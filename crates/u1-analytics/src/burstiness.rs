@@ -1,0 +1,160 @@
+//! Inter-operation time burstiness and power-law fits (§6.2, Fig. 9).
+
+use crate::stats::{cv, fit_power_law, Ecdf, PowerLawFit};
+use serde::Serialize;
+use std::collections::HashMap;
+use u1_core::{ApiOpKind, SimTime};
+use u1_trace::{Payload, TraceRecord};
+
+/// Burstiness analysis of one operation type.
+#[derive(Debug, Serialize)]
+pub struct Burstiness {
+    pub op: &'static str,
+    /// Count of inter-operation gaps measured.
+    pub gaps: usize,
+    /// Gap distribution, seconds.
+    pub ecdf: Ecdf,
+    /// Coefficient of variation — ≫ 1 means bursty/non-Poisson (an
+    /// exponential distribution has CV = 1).
+    pub cv: f64,
+    /// MLE power-law fit of the tail (Fig. 9(b) fits alpha ∈ (1,2)).
+    pub fit: Option<PowerLawFit>,
+    /// CCDF samples for plotting `(x, P(X >= x))`.
+    pub ccdf: Vec<(f64, f64)>,
+}
+
+/// Computes per-user inter-arrival gaps of `op` operations across the whole
+/// trace (gaps span sessions — that is where the heavy tail lives).
+pub fn interop_times(records: &[TraceRecord], op: ApiOpKind) -> Vec<f64> {
+    let mut last: HashMap<u64, SimTime> = HashMap::new();
+    let mut gaps = Vec::new();
+    for rec in records {
+        if let Payload::Storage {
+            op: got,
+            user,
+            success: true,
+            ..
+        } = &rec.payload
+        {
+            if *got != op {
+                continue;
+            }
+            if let Some(prev) = last.insert(user.raw(), rec.t) {
+                let gap = rec.t.since(prev).as_secs_f64();
+                if gap > 0.0 {
+                    gaps.push(gap);
+                }
+            }
+        }
+    }
+    gaps
+}
+
+/// Full Fig. 9 analysis for one operation type.
+pub fn burstiness(records: &[TraceRecord], op: ApiOpKind) -> Burstiness {
+    let gaps = interop_times(records, op);
+    let ecdf = Ecdf::new(gaps.clone());
+    let fit = fit_power_law(&gaps, 0.35);
+    let ccdf = if ecdf.is_empty() {
+        Vec::new()
+    } else {
+        let lo = ecdf.min().max(1e-3);
+        let hi = ecdf.max();
+        (0..40)
+            .map(|i| {
+                let x = lo * (hi / lo).powf(i as f64 / 39.0);
+                (x, ecdf.ccdf(x))
+            })
+            .collect()
+    };
+    Burstiness {
+        op: op.display_name(),
+        gaps: gaps.len(),
+        cv: cv(&gaps),
+        fit,
+        ccdf,
+        ecdf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::*;
+    use u1_core::ApiOpKind::*;
+
+    #[test]
+    fn gaps_are_per_user() {
+        let recs = vec![
+            transfer(at(0), Upload, 1, 1, 1, 10, 1, "a"),
+            transfer(at(5), Upload, 2, 2, 2, 10, 2, "a"),
+            transfer(at(10), Upload, 1, 1, 3, 10, 3, "a"), // user 1 gap: 10
+            transfer(at(25), Upload, 2, 2, 4, 10, 4, "a"), // user 2 gap: 20
+        ];
+        let mut gaps = interop_times(&recs, Upload);
+        gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(gaps, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn other_ops_do_not_mix_in() {
+        let recs = vec![
+            transfer(at(0), Upload, 1, 1, 1, 10, 1, "a"),
+            node_op(at(5), Unlink, 1, 1, 1, u1_core::NodeKind::File),
+            transfer(at(10), Upload, 1, 1, 2, 10, 2, "a"),
+        ];
+        assert_eq!(interop_times(&recs, Upload), vec![10.0]);
+        assert!(interop_times(&recs, Unlink).is_empty());
+    }
+
+    #[test]
+    fn pareto_gaps_are_detected_as_bursty_with_good_alpha() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let mut t = 0u64;
+        let mut recs = Vec::new();
+        for i in 0..30_000u64 {
+            t += (u1_core::rngx::sample_pareto(&mut rng, 1.54, 41.37) * 1e6) as u64;
+            recs.push(transfer(
+                SimTime::from_micros(t),
+                Upload,
+                1,
+                1,
+                i,
+                10,
+                i,
+                "a",
+            ));
+        }
+        let b = burstiness(&recs, Upload);
+        assert_eq!(b.gaps, 29_999);
+        let fit = b.fit.expect("fit");
+        assert!((fit.alpha - 1.54).abs() < 0.12, "alpha {}", fit.alpha);
+        assert!(b.cv > 2.0, "pareto(1.54) is high-variance, cv {}", b.cv);
+        // CCDF is decreasing.
+        assert!(b.ccdf.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn poisson_gaps_have_cv_near_one() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut t = 0u64;
+        let mut recs = Vec::new();
+        for i in 0..20_000u64 {
+            t += (u1_core::rngx::sample_exp(&mut rng, 60.0) * 1e6) as u64;
+            recs.push(transfer(
+                SimTime::from_micros(t),
+                Upload,
+                1,
+                1,
+                i,
+                10,
+                i,
+                "a",
+            ));
+        }
+        let b = burstiness(&recs, Upload);
+        assert!((b.cv - 1.0).abs() < 0.1, "exponential cv {}", b.cv);
+    }
+}

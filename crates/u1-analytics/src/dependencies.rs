@@ -1,0 +1,343 @@
+//! Per-node operation dependencies, reads-per-file and node lifetimes
+//! (§5.2, Fig. 3).
+//!
+//! For each node we track its Write (upload), Read (download) and Delete
+//! (unlink) events and classify consecutive pairs into the paper's six
+//! dependencies: WAW/RAW/DAW (after a write) and WAR/RAR/DAR (after a
+//! read), collecting the inter-operation time for each.
+
+use crate::stats::Ecdf;
+use serde::Serialize;
+use std::collections::HashMap;
+use u1_core::{ApiOpKind, NodeKind, SimDuration, SimTime};
+use u1_trace::{Payload, TraceRecord};
+
+/// The six dependency kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Dependency {
+    WriteAfterWrite,
+    ReadAfterWrite,
+    DeleteAfterWrite,
+    WriteAfterRead,
+    ReadAfterRead,
+    DeleteAfterRead,
+}
+
+impl Dependency {
+    pub const AFTER_WRITE: [Dependency; 3] = [
+        Dependency::WriteAfterWrite,
+        Dependency::ReadAfterWrite,
+        Dependency::DeleteAfterWrite,
+    ];
+    pub const AFTER_READ: [Dependency; 3] = [
+        Dependency::WriteAfterRead,
+        Dependency::ReadAfterRead,
+        Dependency::DeleteAfterRead,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Dependency::WriteAfterWrite => "WAW",
+            Dependency::ReadAfterWrite => "RAW",
+            Dependency::DeleteAfterWrite => "DAW",
+            Dependency::WriteAfterRead => "WAR",
+            Dependency::ReadAfterRead => "RAR",
+            Dependency::DeleteAfterRead => "DAR",
+        }
+    }
+}
+
+/// Full dependency analysis output.
+#[derive(Debug, Serialize)]
+pub struct DependencyAnalysis {
+    /// Inter-operation-time ECDF (seconds) per dependency.
+    pub times: Vec<(Dependency, Ecdf)>,
+    /// Pair counts per dependency.
+    pub counts: Vec<(Dependency, u64)>,
+    /// Downloads per file (only files downloaded at least once).
+    pub reads_per_file: Ecdf,
+    /// Fraction of WAW gaps under one hour (§5.2 reports 80%).
+    pub waw_under_1h: f64,
+    /// Fraction of RAR gaps within one day (§5.2 reports ~40%).
+    pub rar_under_1d: f64,
+    /// Files unused for > 1 day before deletion, and all deleted files
+    /// (§5.2: 12.5M ≈ 9.1% of all files were dying files).
+    pub dying_files: u64,
+    pub deleted_files: u64,
+    /// Distinct files observed.
+    pub total_files: u64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Ev {
+    W,
+    R,
+    D,
+}
+
+pub fn dependency_analysis(records: &[TraceRecord]) -> DependencyAnalysis {
+    // node -> (last event kind, time, last *any* activity time)
+    let mut last: HashMap<u64, (Ev, SimTime)> = HashMap::new();
+    let mut gaps: HashMap<Dependency, Vec<f64>> = HashMap::new();
+    let mut reads: HashMap<u64, u64> = HashMap::new();
+    let mut dying = 0u64;
+    let mut deleted = 0u64;
+    let mut seen_files: std::collections::HashSet<u64> = std::collections::HashSet::new();
+
+    for rec in records {
+        let Payload::Storage {
+            op,
+            success: true,
+            node: Some(node),
+            kind,
+            ..
+        } = &rec.payload
+        else {
+            continue;
+        };
+        if *kind == Some(NodeKind::Directory) {
+            continue;
+        }
+        let ev = match op {
+            ApiOpKind::Upload => Ev::W,
+            ApiOpKind::Download => Ev::R,
+            ApiOpKind::Unlink => Ev::D,
+            _ => continue,
+        };
+        let node = node.raw();
+        seen_files.insert(node);
+        if ev == Ev::R {
+            *reads.entry(node).or_default() += 1;
+        }
+        if let Some((prev, prev_t)) = last.get(&node) {
+            let dep = match (prev, ev) {
+                (Ev::W, Ev::W) => Some(Dependency::WriteAfterWrite),
+                (Ev::W, Ev::R) => Some(Dependency::ReadAfterWrite),
+                (Ev::W, Ev::D) => Some(Dependency::DeleteAfterWrite),
+                (Ev::R, Ev::W) => Some(Dependency::WriteAfterRead),
+                (Ev::R, Ev::R) => Some(Dependency::ReadAfterRead),
+                (Ev::R, Ev::D) => Some(Dependency::DeleteAfterRead),
+                _ => None, // nothing meaningful follows a delete
+            };
+            if let Some(dep) = dep {
+                let gap = rec.t.since(*prev_t);
+                gaps.entry(dep).or_default().push(gap.as_secs_f64());
+                if ev == Ev::D && gap > SimDuration::from_days(1) {
+                    dying += 1;
+                }
+            }
+        }
+        if ev == Ev::D {
+            deleted += 1;
+            last.remove(&node);
+        } else {
+            last.insert(node, (ev, rec.t));
+        }
+    }
+
+    let pct = |dep: Dependency, limit: SimDuration| -> f64 {
+        gaps.get(&dep)
+            .map(|v| {
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().filter(|&&g| g <= limit.as_secs_f64()).count() as f64
+                        / v.len() as f64
+                }
+            })
+            .unwrap_or(0.0)
+    };
+    let waw_under_1h = pct(Dependency::WriteAfterWrite, SimDuration::from_hours(1));
+    let rar_under_1d = pct(Dependency::ReadAfterRead, SimDuration::from_days(1));
+
+    let all_deps = Dependency::AFTER_WRITE
+        .into_iter()
+        .chain(Dependency::AFTER_READ);
+    DependencyAnalysis {
+        counts: all_deps
+            .clone()
+            .map(|d| (d, gaps.get(&d).map(|v| v.len() as u64).unwrap_or(0)))
+            .collect(),
+        times: all_deps
+            .map(|d| (d, Ecdf::new(gaps.remove(&d).unwrap_or_default())))
+            .collect(),
+        reads_per_file: Ecdf::new(reads.values().map(|&c| c as f64).collect()),
+        waw_under_1h,
+        rar_under_1d,
+        dying_files: dying,
+        deleted_files: deleted,
+        total_files: seen_files.len() as u64,
+    }
+}
+
+/// Fig. 3(c): node lifetimes — Make(kind) to Unlink, per node kind.
+#[derive(Debug, Serialize)]
+pub struct LifetimeAnalysis {
+    pub file_lifetimes: Ecdf,
+    pub dir_lifetimes: Ecdf,
+    pub files_created: u64,
+    pub dirs_created: u64,
+    /// Fractions of created nodes deleted within the window.
+    pub file_mortality: f64,
+    pub dir_mortality: f64,
+    /// ... and within 8 hours of creation.
+    pub file_mortality_8h: f64,
+    pub dir_mortality_8h: f64,
+}
+
+pub fn lifetime_analysis(records: &[TraceRecord]) -> LifetimeAnalysis {
+    let mut created: HashMap<u64, (NodeKind, SimTime)> = HashMap::new();
+    let mut file_lt = Vec::new();
+    let mut dir_lt = Vec::new();
+    let mut files_created = 0u64;
+    let mut dirs_created = 0u64;
+    for rec in records {
+        match &rec.payload {
+            Payload::Storage {
+                op: ApiOpKind::MakeFile,
+                success: true,
+                node: Some(node),
+                ..
+            } => {
+                if created
+                    .insert(node.raw(), (NodeKind::File, rec.t))
+                    .is_none()
+                {
+                    files_created += 1;
+                }
+            }
+            Payload::Storage {
+                op: ApiOpKind::MakeDir,
+                success: true,
+                node: Some(node),
+                ..
+            } => {
+                if created
+                    .insert(node.raw(), (NodeKind::Directory, rec.t))
+                    .is_none()
+                {
+                    dirs_created += 1;
+                }
+            }
+            Payload::Storage {
+                op: ApiOpKind::Unlink,
+                success: true,
+                node: Some(node),
+                ..
+            } => {
+                if let Some((kind, t0)) = created.remove(&node.raw()) {
+                    let lt = rec.t.since(t0).as_secs_f64();
+                    match kind {
+                        NodeKind::File => file_lt.push(lt),
+                        NodeKind::Directory => dir_lt.push(lt),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let eight_h = SimDuration::from_hours(8).as_secs_f64();
+    let frac8 = |v: &[f64], total: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            v.iter().filter(|&&x| x <= eight_h).count() as f64 / total as f64
+        }
+    };
+    LifetimeAnalysis {
+        file_mortality: if files_created == 0 {
+            0.0
+        } else {
+            file_lt.len() as f64 / files_created as f64
+        },
+        dir_mortality: if dirs_created == 0 {
+            0.0
+        } else {
+            dir_lt.len() as f64 / dirs_created as f64
+        },
+        file_mortality_8h: frac8(&file_lt, files_created),
+        dir_mortality_8h: frac8(&dir_lt, dirs_created),
+        files_created,
+        dirs_created,
+        file_lifetimes: Ecdf::new(file_lt),
+        dir_lifetimes: Ecdf::new(dir_lt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::*;
+    use u1_core::ApiOpKind::*;
+
+    #[test]
+    fn classifies_all_six_dependencies() {
+        let recs = vec![
+            transfer(at(0), Upload, 1, 1, 1, 10, 1, "a"), // W
+            transfer(at(60), Upload, 1, 1, 1, 10, 2, "a"), // WAW, 60s
+            transfer(at(120), Download, 1, 1, 1, 10, 2, "a"), // RAW
+            transfer(at(180), Download, 1, 1, 1, 10, 2, "a"), // RAR
+            transfer(at(240), Upload, 1, 1, 1, 10, 3, "a"), // WAR
+            node_op(at(300), Unlink, 1, 1, 1, u1_core::NodeKind::File), // DAW
+            transfer(at(0), Upload, 1, 2, 2, 10, 4, "b"),
+            transfer(at(100), Download, 1, 2, 2, 10, 4, "b"), // RAW
+            node_op(at(200), Unlink, 1, 2, 2, u1_core::NodeKind::File), // DAR
+        ];
+        let a = dependency_analysis(&recs);
+        let count = |d: Dependency| a.counts.iter().find(|(k, _)| *k == d).unwrap().1;
+        assert_eq!(count(Dependency::WriteAfterWrite), 1);
+        assert_eq!(count(Dependency::ReadAfterWrite), 2);
+        assert_eq!(count(Dependency::ReadAfterRead), 1);
+        assert_eq!(count(Dependency::WriteAfterRead), 1);
+        assert_eq!(count(Dependency::DeleteAfterWrite), 1);
+        assert_eq!(count(Dependency::DeleteAfterRead), 1);
+        assert_eq!(a.deleted_files, 2);
+        assert_eq!(a.total_files, 2);
+        assert!((a.waw_under_1h - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dying_files_need_a_quiet_day_before_deletion() {
+        let recs = vec![
+            transfer(at(0), Upload, 1, 1, 1, 10, 1, "a"),
+            node_op(at(2 * 86_400), Unlink, 1, 1, 1, u1_core::NodeKind::File),
+            transfer(at(0), Upload, 1, 1, 2, 10, 2, "a"),
+            node_op(at(3_600), Unlink, 1, 1, 2, u1_core::NodeKind::File),
+        ];
+        let a = dependency_analysis(&recs);
+        assert_eq!(a.dying_files, 1);
+        assert_eq!(a.deleted_files, 2);
+    }
+
+    #[test]
+    fn reads_per_file_builds_distribution() {
+        let recs = vec![
+            transfer(at(0), Upload, 1, 1, 1, 10, 1, "a"),
+            transfer(at(1), Download, 1, 1, 1, 10, 1, "a"),
+            transfer(at(2), Download, 1, 1, 1, 10, 1, "a"),
+            transfer(at(3), Download, 1, 1, 1, 10, 1, "a"),
+            transfer(at(0), Upload, 1, 1, 2, 10, 2, "a"),
+            transfer(at(1), Download, 1, 1, 2, 10, 2, "a"),
+        ];
+        let a = dependency_analysis(&recs);
+        assert_eq!(a.reads_per_file.len(), 2);
+        assert_eq!(a.reads_per_file.max(), 3.0);
+    }
+
+    #[test]
+    fn lifetimes_pair_make_with_unlink() {
+        let recs = vec![
+            node_op(at(0), MakeFile, 1, 1, 1, u1_core::NodeKind::File),
+            node_op(at(100), MakeDir, 1, 1, 2, u1_core::NodeKind::Directory),
+            node_op(at(3_600), Unlink, 1, 1, 1, u1_core::NodeKind::File),
+            node_op(at(0), MakeFile, 1, 1, 3, u1_core::NodeKind::File), // survives
+        ];
+        let l = lifetime_analysis(&recs);
+        assert_eq!(l.files_created, 2);
+        assert_eq!(l.dirs_created, 1);
+        assert!((l.file_mortality - 0.5).abs() < 1e-9);
+        assert_eq!(l.dir_mortality, 0.0);
+        assert!((l.file_mortality_8h - 0.5).abs() < 1e-9);
+        assert_eq!(l.file_lifetimes.median(), 3_600.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The empirical user-centric operation-transition graph (Fig. 8).
+//!
+//! Fig. 8 aggregates, per user, consecutive pairs of operations; edge
+//! weights are global transition frequencies. We reconstruct it from the
+//! trace: order every user's operations (storage + authentications) by
+//! time and count transitions.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use u1_core::ApiOpKind;
+use u1_trace::{Payload, TraceRecord};
+
+/// One directed edge of the graph with its global probability.
+#[derive(Debug, Clone, Serialize)]
+pub struct Edge {
+    pub from: &'static str,
+    pub to: &'static str,
+    /// Fraction of *all* transitions that are this edge (the paper labels
+    /// its main edges with global probabilities).
+    pub probability: f64,
+}
+
+/// The reconstructed transition graph.
+#[derive(Debug, Serialize)]
+pub struct TransitionGraph {
+    pub total_transitions: u64,
+    /// Edges sorted by probability, descending.
+    pub edges: Vec<Edge>,
+    /// Per-state transition matrix rows: (from, to, conditional p).
+    pub conditional: Vec<(&'static str, &'static str, f64)>,
+}
+
+impl TransitionGraph {
+    /// Global probability of a specific edge.
+    pub fn probability(&self, from: ApiOpKind, to: ApiOpKind) -> f64 {
+        self.edges
+            .iter()
+            .find(|e| e.from == from.display_name() && e.to == to.display_name())
+            .map(|e| e.probability)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Normalizes a record to a chain state, or `None` if it doesn't belong in
+/// Fig. 8 (MakeFile/MakeDir collapse into "Make" as the figure shows one
+/// Make node).
+fn chain_state(rec: &TraceRecord) -> Option<(u64, ApiOpKind)> {
+    match &rec.payload {
+        Payload::Storage { op, user, success: true, .. } => {
+            let op = match op {
+                ApiOpKind::MakeDir => ApiOpKind::MakeFile, // collapse to Make
+                ApiOpKind::OpenSession | ApiOpKind::CloseSession => return None,
+                other => *other,
+            };
+            Some((user.raw(), op))
+        }
+        Payload::Auth {
+            user,
+            success: true,
+        } => Some((user.raw(), ApiOpKind::Authenticate)),
+        _ => None,
+    }
+}
+
+pub fn transition_graph(records: &[TraceRecord]) -> TransitionGraph {
+    let mut last: HashMap<u64, ApiOpKind> = HashMap::new();
+    let mut counts: HashMap<(ApiOpKind, ApiOpKind), u64> = HashMap::new();
+    let mut from_totals: HashMap<ApiOpKind, u64> = HashMap::new();
+    let mut total = 0u64;
+    for rec in records {
+        let Some((user, op)) = chain_state(rec) else {
+            continue;
+        };
+        if let Some(prev) = last.insert(user, op) {
+            *counts.entry((prev, op)).or_default() += 1;
+            *from_totals.entry(prev).or_default() += 1;
+            total += 1;
+        }
+    }
+    let mut edges: Vec<Edge> = counts
+        .iter()
+        .map(|((from, to), c)| Edge {
+            from: from.display_name(),
+            to: to.display_name(),
+            probability: *c as f64 / total.max(1) as f64,
+        })
+        .collect();
+    edges.sort_by(|a, b| b.probability.partial_cmp(&a.probability).unwrap());
+    let mut conditional: Vec<(&'static str, &'static str, f64)> = counts
+        .iter()
+        .map(|((from, to), c)| {
+            (
+                from.display_name(),
+                to.display_name(),
+                *c as f64 / from_totals[from].max(1) as f64,
+            )
+        })
+        .collect();
+    conditional.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    TransitionGraph {
+        total_transitions: total,
+        edges,
+        conditional,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::*;
+    use u1_core::ApiOpKind::*;
+
+    #[test]
+    fn counts_per_user_transitions_only() {
+        let recs = vec![
+            // User 1: Upload -> Upload -> Download.
+            transfer(at(1), Upload, 1, 1, 1, 10, 1, "a"),
+            transfer(at(2), Upload, 1, 1, 2, 10, 2, "a"),
+            transfer(at(3), Download, 1, 1, 1, 10, 1, "a"),
+            // User 2 interleaved: must not create cross-user edges.
+            op(at(2), ListVolumes, 2, 2),
+            op(at(4), ListShares, 2, 2),
+        ];
+        let g = transition_graph(&recs);
+        assert_eq!(g.total_transitions, 3);
+        assert!((g.probability(Upload, Upload) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((g.probability(Upload, Download) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((g.probability(ListVolumes, ListShares) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(g.probability(Download, ListVolumes), 0.0);
+    }
+
+    #[test]
+    fn make_dir_collapses_into_make() {
+        let recs = vec![
+            node_op(at(1), MakeDir, 1, 1, 1, u1_core::NodeKind::Directory),
+            node_op(at(2), MakeFile, 1, 1, 2, u1_core::NodeKind::File),
+        ];
+        let g = transition_graph(&recs);
+        assert!((g.probability(MakeFile, MakeFile) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auth_enters_the_chain() {
+        let recs = vec![
+            auth(at(1), 1, true),
+            op(at(2), ListVolumes, 1, 1),
+            op(at(3), ListShares, 1, 1),
+        ];
+        let g = transition_graph(&recs);
+        assert!(g.probability(Authenticate, ListVolumes) > 0.0);
+        // Conditional: from Authenticate, everything went to ListVolumes.
+        let cond = g
+            .conditional
+            .iter()
+            .find(|(f, t, _)| *f == "Authenticate" && *t == "List Vol.")
+            .unwrap();
+        assert!((cond.2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_ops_are_excluded() {
+        let mut bad = transfer(at(2), Upload, 1, 1, 1, 10, 1, "a");
+        if let Payload::Storage { success, .. } = &mut bad.payload {
+            *success = false;
+        }
+        let recs = vec![transfer(at(1), Upload, 1, 1, 1, 10, 1, "a"), bad];
+        let g = transition_graph(&recs);
+        assert_eq!(g.total_transitions, 0);
+    }
+}

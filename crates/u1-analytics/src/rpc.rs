@@ -1,0 +1,233 @@
+//! Metadata-store RPC performance and load balance (§7.1–§7.2,
+//! Figs. 12–14).
+
+use crate::stats::{cv, mean, stddev, Ecdf};
+use serde::Serialize;
+use std::collections::HashMap;
+use u1_core::{RpcClass, RpcKind, SimDuration, SimTime};
+use u1_trace::{Payload, TraceRecord};
+
+/// One RPC's service-time profile (a line in one Fig. 12 panel and a point
+/// in Fig. 13).
+#[derive(Debug, Serialize)]
+pub struct RpcProfile {
+    pub rpc: &'static str,
+    pub class: &'static str,
+    pub panel: &'static str,
+    pub count: u64,
+    pub median_s: f64,
+    pub p99_s: f64,
+    pub max_s: f64,
+    /// Fraction of samples more than 10× the median — the paper observes
+    /// 7–22% of samples "very far from the median".
+    pub far_from_median: f64,
+    pub ecdf: Ecdf,
+}
+
+/// Figs. 12–13 analysis.
+#[derive(Debug, Serialize)]
+pub struct RpcAnalysis {
+    pub profiles: Vec<RpcProfile>,
+}
+
+impl RpcAnalysis {
+    pub fn profile(&self, rpc: RpcKind) -> Option<&RpcProfile> {
+        self.profiles.iter().find(|p| p.rpc == rpc.dal_name())
+    }
+
+    /// Median of medians per class (the Fig. 13 separation).
+    pub fn class_median(&self, class: RpcClass) -> f64 {
+        let xs: Vec<f64> = self
+            .profiles
+            .iter()
+            .filter(|p| p.class == class.label() && p.count > 0)
+            .map(|p| p.median_s)
+            .collect();
+        crate::stats::mean(&xs)
+    }
+}
+
+pub fn rpc_analysis(records: &[TraceRecord]) -> RpcAnalysis {
+    let mut samples: HashMap<RpcKind, Vec<f64>> = HashMap::new();
+    for rec in records {
+        if let Payload::Rpc {
+            rpc, service_us, ..
+        } = &rec.payload
+        {
+            samples
+                .entry(*rpc)
+                .or_default()
+                .push(*service_us as f64 / 1e6);
+        }
+    }
+    let mut profiles = Vec::new();
+    for rpc in RpcKind::ALL {
+        let xs = samples.remove(&rpc).unwrap_or_default();
+        let ecdf = Ecdf::new(xs);
+        let median = ecdf.median();
+        let far = if ecdf.is_empty() {
+            0.0
+        } else {
+            1.0 - ecdf.cdf(10.0 * median)
+        };
+        profiles.push(RpcProfile {
+            rpc: rpc.dal_name(),
+            class: rpc.class().label(),
+            panel: rpc.figure12_panel(),
+            count: ecdf.len() as u64,
+            median_s: median,
+            p99_s: ecdf.quantile(0.99),
+            max_s: ecdf.max(),
+            far_from_median: far,
+            ecdf,
+        });
+    }
+    RpcAnalysis { profiles }
+}
+
+/// Fig. 14: load balance across API machines (hourly) and store shards
+/// (per minute).
+#[derive(Debug, Serialize)]
+pub struct LoadBalance {
+    /// Per-hour (mean, stddev) of API requests across machines.
+    pub api_hourly: Vec<(f64, f64)>,
+    /// Per-minute (mean, stddev) of RPCs across shards.
+    pub shard_minutely: Vec<(f64, f64)>,
+    /// Average short-window coefficient of variation for each tier.
+    pub api_mean_cv: f64,
+    pub shard_mean_cv: f64,
+    /// Long-run imbalance: stddev/mean of total per-shard RPC counts over
+    /// the whole trace (paper: 4.9%).
+    pub shard_longrun_cv: f64,
+}
+
+pub fn load_balance(
+    records: &[TraceRecord],
+    horizon: SimTime,
+    machines: usize,
+    shards: usize,
+    minutes_window: usize,
+) -> LoadBalance {
+    let hours = horizon.as_micros().div_ceil(SimDuration::from_hours(1).as_micros()) as usize;
+    let mut api: Vec<Vec<f64>> = vec![vec![0.0; machines]; hours.max(1)];
+    // Shards are binned per minute over a window (the paper plots 60
+    // minutes) — a full month per minute would be enormous.
+    let minutes = minutes_window;
+    let mut shard: Vec<Vec<f64>> = vec![vec![0.0; shards]; minutes.max(1)];
+    let mut shard_totals = vec![0.0f64; shards];
+    for rec in records {
+        if rec.t >= horizon {
+            continue;
+        }
+        match &rec.payload {
+            Payload::Storage { .. } | Payload::Session { .. } => {
+                let h = rec.t.bin_index(SimDuration::from_hours(1)) as usize;
+                let m = (rec.machine.raw() as usize) % machines;
+                api[h][m] += 1.0;
+            }
+            Payload::Rpc { shard: s, .. } => {
+                let idx = (s.raw() as usize) % shards;
+                shard_totals[idx] += 1.0;
+                let minute = rec.t.bin_index(SimDuration::from_mins(1)) as usize;
+                if minute < minutes {
+                    shard[minute][idx] += 1.0;
+                }
+            }
+            _ => {}
+        }
+    }
+    let summarize = |rows: &[Vec<f64>]| -> Vec<(f64, f64)> {
+        rows.iter().map(|r| (mean(r), stddev(r))).collect()
+    };
+    let api_hourly = summarize(&api);
+    let shard_minutely = summarize(&shard);
+    let mean_cv = |rows: &[Vec<f64>]| {
+        let cvs: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.iter().sum::<f64>() > 0.0)
+            .map(|r| cv(r))
+            .collect();
+        mean(&cvs)
+    };
+    LoadBalance {
+        api_mean_cv: mean_cv(&api),
+        shard_mean_cv: mean_cv(&shard),
+        shard_longrun_cv: cv(&shard_totals),
+        api_hourly,
+        shard_minutely,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::*;
+    use u1_core::ApiOpKind::Upload;
+
+    #[test]
+    fn rpc_profiles_summarize_service_times() {
+        let mut recs = Vec::new();
+        for i in 0..100u64 {
+            recs.push(rpc_on(at(i), 0, 0, RpcKind::GetNode, 1, 0, 1_000)); // 1ms
+        }
+        // One 10s outlier.
+        recs.push(rpc_on(at(200), 0, 0, RpcKind::GetNode, 1, 0, 10_000_000));
+        recs.push(rpc_on(at(201), 0, 0, RpcKind::DeleteVolume, 1, 0, 500_000));
+        let a = rpc_analysis(&recs);
+        let node = a.profile(RpcKind::GetNode).unwrap();
+        assert_eq!(node.count, 101);
+        assert!((node.median_s - 0.001).abs() < 1e-9);
+        assert!(node.far_from_median > 0.0);
+        assert_eq!(node.panel, "other");
+        let dv = a.profile(RpcKind::DeleteVolume).unwrap();
+        assert_eq!(dv.class, "cascade");
+        assert!((dv.median_s - 0.5).abs() < 1e-9);
+        // Unseen RPCs have empty profiles, not panics.
+        assert_eq!(a.profile(RpcKind::Move).unwrap().count, 0);
+    }
+
+    #[test]
+    fn load_balance_detects_skew_and_balance() {
+        // Perfectly balanced: same count on each of 2 machines each hour.
+        let mut balanced = Vec::new();
+        for h in 0..3u64 {
+            for m in 0..2u16 {
+                for k in 0..10u64 {
+                    balanced.push(on_machine(
+                        transfer(at(h * 3600 + k), Upload, 1, 1, k, 10, k, "a"),
+                        m,
+                    ));
+                }
+            }
+        }
+        let lb = load_balance(&balanced, SimTime::from_hours(3), 2, 2, 60);
+        assert!(lb.api_mean_cv < 1e-9, "balanced cv {}", lb.api_mean_cv);
+
+        // Skewed: everything on machine 0.
+        let skewed: Vec<_> = balanced
+            .iter()
+            .cloned()
+            .map(|r| on_machine(r, 0))
+            .collect();
+        let lb = load_balance(&skewed, SimTime::from_hours(3), 2, 2, 60);
+        assert!(lb.api_mean_cv > 0.9, "skewed cv {}", lb.api_mean_cv);
+    }
+
+    #[test]
+    fn shard_longrun_cv_reflects_totals() {
+        let mut recs = Vec::new();
+        for s in 0..4u16 {
+            for k in 0..25u64 {
+                recs.push(rpc_on(at(k), 0, 0, RpcKind::GetNode, 1, s, 100));
+            }
+        }
+        let lb = load_balance(&recs, SimTime::from_hours(1), 1, 4, 60);
+        assert!(lb.shard_longrun_cv < 1e-9);
+        // Unbalance one shard.
+        for k in 0..100u64 {
+            recs.push(rpc_on(at(k), 0, 0, RpcKind::GetNode, 1, 0, 100));
+        }
+        let lb = load_balance(&recs, SimTime::from_hours(1), 1, 4, 60);
+        assert!(lb.shard_longrun_cv > 0.5);
+    }
+}

@@ -1,0 +1,244 @@
+//! Session and authentication analyses (§7.3, Figs. 15–16).
+
+use crate::stats::Ecdf;
+use serde::Serialize;
+use std::collections::HashMap;
+use u1_core::{SimDuration, SimTime};
+use u1_trace::{Payload, SessionEvent, TraceRecord};
+
+/// Fig. 15: authentication and session-management activity.
+#[derive(Debug, Serialize)]
+pub struct AuthActivity {
+    pub auth_per_hour: Vec<f64>,
+    pub session_events_per_hour: Vec<f64>,
+    pub auth_failure_fraction: f64,
+    /// Day-vs-night swing of auth activity (mean central hours / mean night
+    /// hours; the paper reports 50–60% higher by day).
+    pub diurnal_swing: f64,
+    /// Mean Monday activity over mean weekend activity (paper: ~15%).
+    pub monday_over_weekend: f64,
+}
+
+pub fn auth_activity(records: &[TraceRecord], horizon: SimTime) -> AuthActivity {
+    let hour = SimDuration::from_hours(1);
+    let auth_per_hour = crate::timeseries::bin_sum(records, horizon, hour, |r| {
+        matches!(r.payload, Payload::Auth { .. }).then_some(1.0)
+    });
+    let session_events_per_hour = crate::timeseries::bin_sum(records, horizon, hour, |r| {
+        matches!(r.payload, Payload::Session { .. }).then_some(1.0)
+    });
+    let mut auth_total = 0u64;
+    let mut auth_failed = 0u64;
+    for rec in records {
+        if let Payload::Auth { success, .. } = &rec.payload {
+            auth_total += 1;
+            auth_failed += (!success) as u64;
+        }
+    }
+    // Day (10:00–16:00) vs night (00:00–05:00) means.
+    let mut day = Vec::new();
+    let mut night = Vec::new();
+    let mut monday = Vec::new();
+    let mut weekend = Vec::new();
+    for (i, &v) in auth_per_hour.iter().enumerate() {
+        let t = SimTime::from_hours(i as u64);
+        match t.hour_of_day() {
+            10..=16 => day.push(v),
+            0..=5 => night.push(v),
+            _ => {}
+        }
+        match t.day_of_week() {
+            0 => monday.push(v),
+            5 | 6 => weekend.push(v),
+            _ => {}
+        }
+    }
+    let ratio = |a: &[f64], b: &[f64]| {
+        let (ma, mb) = (crate::stats::mean(a), crate::stats::mean(b));
+        if mb > 0.0 {
+            ma / mb
+        } else {
+            f64::NAN
+        }
+    };
+    AuthActivity {
+        diurnal_swing: ratio(&day, &night),
+        monday_over_weekend: ratio(&monday, &weekend),
+        auth_failure_fraction: if auth_total == 0 {
+            0.0
+        } else {
+            auth_failed as f64 / auth_total as f64
+        },
+        auth_per_hour,
+        session_events_per_hour,
+    }
+}
+
+/// Fig. 16: session lengths and per-session storage operations.
+#[derive(Debug, Serialize)]
+pub struct SessionAnalysis {
+    /// Closed sessions (open→close observed).
+    pub sessions: u64,
+    pub lengths: Ecdf,
+    pub active_lengths: Ecdf,
+    /// Storage (data-management) operations per active session.
+    pub ops_per_active_session: Ecdf,
+    pub under_1s: f64,
+    pub under_8h: f64,
+    /// Fraction of sessions that performed any data management (paper:
+    /// 5.57%).
+    pub active_fraction: f64,
+    /// 80th percentile of ops per active session (paper: 92).
+    pub p80_ops: f64,
+    /// Share of all data ops issued by the most active 20% of active
+    /// sessions (paper: 96.7%).
+    pub top20_op_share: f64,
+}
+
+pub fn session_analysis(records: &[TraceRecord]) -> SessionAnalysis {
+    let mut open_at: HashMap<u64, SimTime> = HashMap::new();
+    let mut data_ops: HashMap<u64, u64> = HashMap::new();
+    let mut lengths = Vec::new();
+    let mut active_lengths = Vec::new();
+    let mut closed_active = 0u64;
+    let mut closed = 0u64;
+    for rec in records {
+        match &rec.payload {
+            Payload::Session {
+                event: SessionEvent::Open,
+                session,
+                ..
+            } => {
+                open_at.insert(session.raw(), rec.t);
+            }
+            Payload::Storage {
+                op,
+                session,
+                success: true,
+                ..
+            } if op.is_data_management() => {
+                *data_ops.entry(session.raw()).or_default() += 1;
+            }
+            Payload::Session {
+                event: SessionEvent::Close,
+                session,
+                ..
+            } => {
+                if let Some(t0) = open_at.remove(&session.raw()) {
+                    closed += 1;
+                    let len = rec.t.since(t0).as_secs_f64();
+                    lengths.push(len);
+                    if data_ops.contains_key(&session.raw()) {
+                        closed_active += 1;
+                        active_lengths.push(len);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let lengths = Ecdf::new(lengths);
+    let ops: Vec<f64> = data_ops.values().map(|&c| c as f64).collect();
+    let ops_ecdf = Ecdf::new(ops.clone());
+    let top20_share = {
+        let mut sorted = ops.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let cut = (sorted.len() as f64 * 0.8) as usize;
+        let total: f64 = sorted.iter().sum();
+        if total > 0.0 {
+            sorted[cut..].iter().sum::<f64>() / total
+        } else {
+            0.0
+        }
+    };
+    SessionAnalysis {
+        sessions: closed,
+        under_1s: lengths.cdf(1.0),
+        under_8h: lengths.cdf(8.0 * 3600.0),
+        active_fraction: if closed == 0 {
+            0.0
+        } else {
+            closed_active as f64 / closed as f64
+        },
+        p80_ops: ops_ecdf.quantile(0.8),
+        top20_op_share: top20_share,
+        lengths,
+        active_lengths: Ecdf::new(active_lengths),
+        ops_per_active_session: ops_ecdf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::*;
+    use u1_core::ApiOpKind::*;
+
+    #[test]
+    fn session_lengths_and_activity_split() {
+        let recs = vec![
+            session_open(at(0), 1, 1),
+            transfer(at(10), Upload, 1, 1, 1, 10, 1, "a"),
+            session_close(at(100), 1, 1), // active, 100s
+            session_open(at(0), 2, 2),
+            session_close(at(50), 2, 2), // cold, 50s
+            session_open(at(200), 3, 3), // never closes: not counted
+        ];
+        let s = session_analysis(&recs);
+        assert_eq!(s.sessions, 2);
+        assert!((s.active_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(s.lengths.len(), 2);
+        assert_eq!(s.active_lengths.len(), 1);
+        assert_eq!(s.active_lengths.max(), 100.0);
+        assert_eq!(s.ops_per_active_session.max(), 1.0);
+        assert_eq!(s.under_8h, 1.0);
+    }
+
+    #[test]
+    fn sub_second_sessions_measured() {
+        let recs = vec![
+            session_open(SimTime::from_micros(0), 1, 1),
+            session_close(SimTime::from_micros(300_000), 1, 1), // 0.3s
+            session_open(at(10), 2, 2),
+            session_close(at(20), 2, 2),
+        ];
+        let s = session_analysis(&recs);
+        assert!((s.under_1s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auth_activity_counts_failures_and_swing() {
+        let mut recs = Vec::new();
+        // Day 2 (Monday), hour 12: busy. Day 2, hour 3: quiet.
+        for i in 0..60u64 {
+            recs.push(auth(SimTime::from_hours(2 * 24 + 12) + SimDuration::from_secs(i), i, i % 50 != 0));
+        }
+        for i in 0..10u64 {
+            recs.push(auth(SimTime::from_hours(2 * 24 + 3) + SimDuration::from_secs(i), i, true));
+        }
+        let horizon = SimTime::from_days(3);
+        let a = auth_activity(&recs, horizon);
+        assert!(a.diurnal_swing > 2.0, "swing {}", a.diurnal_swing);
+        assert!((a.auth_failure_fraction - 2.0 / 70.0).abs() < 1e-9);
+        assert_eq!(a.auth_per_hour.iter().sum::<f64>() as u64, 70);
+    }
+
+    #[test]
+    fn top20_share_with_heavy_tail() {
+        let mut recs = Vec::new();
+        // 10 sessions: 9 with 1 op, 1 with 991 ops.
+        for s in 1..=10u64 {
+            recs.push(session_open(at(s), s, s));
+            let ops = if s == 10 { 991 } else { 1 };
+            for k in 0..ops {
+                recs.push(transfer(at(s * 100 + k), Upload, s, s, k, 1, k, "a"));
+            }
+            recs.push(session_close(at(s * 100 + 2000), s, s));
+        }
+        let mut sorted = recs;
+        sorted.sort_by_key(|r| r.t);
+        let s = session_analysis(&sorted);
+        assert!(s.top20_op_share > 0.95, "share {}", s.top20_op_share);
+        assert_eq!(s.active_fraction, 1.0);
+    }
+}

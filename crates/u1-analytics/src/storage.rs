@@ -1,0 +1,348 @@
+//! Storage-workload analyses (§5.1, §5.3): size-category traffic shares,
+//! R/W ratios, update overhead, file-type taxonomy and size distributions.
+
+use crate::stats::{acf, Acf, Ecdf};
+use crate::timeseries;
+use serde::Serialize;
+use std::collections::HashMap;
+use u1_core::{ApiOpKind, FileCategory, SimTime, SizeCategory};
+use u1_trace::{Payload, TraceRecord};
+
+/// Fig. 2(b): per size-bucket shares of operations and bytes, separately
+/// for uploads and downloads.
+#[derive(Debug, Clone, Serialize)]
+pub struct SizeCategoryShares {
+    pub categories: Vec<&'static str>,
+    pub upload_op_share: Vec<f64>,
+    pub upload_byte_share: Vec<f64>,
+    pub download_op_share: Vec<f64>,
+    pub download_byte_share: Vec<f64>,
+}
+
+pub fn size_category_shares(records: &[TraceRecord]) -> SizeCategoryShares {
+    let mut up_ops = [0u64; 5];
+    let mut up_bytes = [0u64; 5];
+    let mut down_ops = [0u64; 5];
+    let mut down_bytes = [0u64; 5];
+    for rec in records {
+        if let Payload::Storage {
+            op,
+            success: true,
+            size,
+            ..
+        } = &rec.payload
+        {
+            let idx = SizeCategory::ALL
+                .iter()
+                .position(|c| *c == SizeCategory::of(u1_core::ByteSize(*size)))
+                .expect("category");
+            match op {
+                ApiOpKind::Upload => {
+                    up_ops[idx] += 1;
+                    up_bytes[idx] += size;
+                }
+                ApiOpKind::Download => {
+                    down_ops[idx] += 1;
+                    down_bytes[idx] += size;
+                }
+                _ => {}
+            }
+        }
+    }
+    let share = |xs: [u64; 5]| -> Vec<f64> {
+        let total: u64 = xs.iter().sum();
+        xs.iter()
+            .map(|&x| if total == 0 { 0.0 } else { x as f64 / total as f64 })
+            .collect()
+    };
+    SizeCategoryShares {
+        categories: SizeCategory::ALL.iter().map(|c| c.label()).collect(),
+        upload_op_share: share(up_ops),
+        upload_byte_share: share(up_bytes),
+        download_op_share: share(down_ops),
+        download_byte_share: share(down_bytes),
+    }
+}
+
+/// Fig. 2(c): the hourly R/W (download/upload bytes) ratio series, its
+/// distribution, autocorrelation, and the 6am–3pm hour-of-day profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct RwRatioAnalysis {
+    /// One ratio per hour (hours with zero uploads are skipped).
+    pub hourly: Vec<f64>,
+    pub median: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub acf: Acf,
+    /// Mean ratio per hour-of-day (24 entries).
+    pub by_hour_of_day: Vec<f64>,
+}
+
+pub fn rw_ratio(records: &[TraceRecord], horizon: SimTime) -> RwRatioAnalysis {
+    let ts = timeseries::traffic_per_hour(records, horizon);
+    // Hours with negligible volume produce degenerate ratios (a scaled-down
+    // population has near-empty night hours the production system never
+    // had); require at least 2% of the mean hourly volume on both sides.
+    let mean_up = crate::stats::mean(&ts.upload_bytes).max(1.0);
+    let mean_down = crate::stats::mean(&ts.download_bytes).max(1.0);
+    let (min_up, min_down) = (0.02 * mean_up, 0.02 * mean_down);
+    let mut hourly = Vec::new();
+    let mut by_hour: Vec<Vec<f64>> = vec![Vec::new(); 24];
+    for (i, (up, down)) in ts.upload_bytes.iter().zip(&ts.download_bytes).enumerate() {
+        if *up > min_up && *down > min_down {
+            let ratio = down / up;
+            hourly.push(ratio);
+            by_hour[i % 24].push(ratio);
+        }
+    }
+    let ecdf = Ecdf::new(hourly.clone());
+    RwRatioAnalysis {
+        median: ecdf.median(),
+        mean: ecdf.mean(),
+        min: ecdf.min(),
+        max: ecdf.max(),
+        acf: acf(&hourly, hourly.len().saturating_sub(1).min(700)),
+        by_hour_of_day: by_hour
+            .into_iter()
+            .map(|v| crate::stats::mean(&v))
+            .collect(),
+        hourly,
+    }
+}
+
+/// §5.1: updates — uploads to a node that already had different content.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct UpdateAnalysis {
+    pub uploads: u64,
+    pub update_uploads: u64,
+    pub upload_bytes: u64,
+    pub update_bytes: u64,
+    pub update_op_fraction: f64,
+    pub update_traffic_fraction: f64,
+}
+
+pub fn update_analysis(records: &[TraceRecord]) -> UpdateAnalysis {
+    // node -> (hash, size) of its last upload.
+    let mut last: HashMap<u64, (Option<u1_core::ContentHash>, u64)> = HashMap::new();
+    let mut out = UpdateAnalysis {
+        uploads: 0,
+        update_uploads: 0,
+        upload_bytes: 0,
+        update_bytes: 0,
+        update_op_fraction: 0.0,
+        update_traffic_fraction: 0.0,
+    };
+    for rec in records {
+        if let Payload::Storage {
+            op: ApiOpKind::Upload,
+            success: true,
+            node: Some(node),
+            hash,
+            size,
+            ..
+        } = &rec.payload
+        {
+            out.uploads += 1;
+            out.upload_bytes += size;
+            if let Some((old_hash, old_size)) = last.get(&node.raw()) {
+                // The paper's definition: "an upload of an existing file
+                // that has distinct hash/size".
+                if old_hash != hash || old_size != size {
+                    out.update_uploads += 1;
+                    out.update_bytes += size;
+                }
+            }
+            last.insert(node.raw(), (*hash, *size));
+        }
+    }
+    if out.uploads > 0 {
+        out.update_op_fraction = out.update_uploads as f64 / out.uploads as f64;
+    }
+    if out.upload_bytes > 0 {
+        out.update_traffic_fraction = out.update_bytes as f64 / out.upload_bytes as f64;
+    }
+    out
+}
+
+/// Fig. 4(c): per-category share of files and of storage bytes.
+#[derive(Debug, Clone, Serialize)]
+pub struct TaxonomyShares {
+    pub categories: Vec<&'static str>,
+    pub file_share: Vec<f64>,
+    pub byte_share: Vec<f64>,
+}
+
+pub fn taxonomy_shares(records: &[TraceRecord]) -> TaxonomyShares {
+    // Distinct nodes per category; bytes = last-known size per node.
+    let mut node_cat: HashMap<u64, (FileCategory, u64)> = HashMap::new();
+    for rec in records {
+        if let Payload::Storage {
+            op: ApiOpKind::Upload,
+            success: true,
+            node: Some(node),
+            size,
+            ext,
+            ..
+        } = &rec.payload
+        {
+            node_cat.insert(node.raw(), (FileCategory::of_extension(ext), *size));
+        }
+    }
+    let mut files: HashMap<FileCategory, u64> = HashMap::new();
+    let mut bytes: HashMap<FileCategory, u64> = HashMap::new();
+    for (cat, size) in node_cat.values() {
+        *files.entry(*cat).or_default() += 1;
+        *bytes.entry(*cat).or_default() += size;
+    }
+    let total_files: u64 = files.values().sum();
+    let total_bytes: u64 = bytes.values().sum();
+    TaxonomyShares {
+        categories: FileCategory::ALL.iter().map(|c| c.label()).collect(),
+        file_share: FileCategory::ALL
+            .iter()
+            .map(|c| {
+                files.get(c).copied().unwrap_or(0) as f64 / total_files.max(1) as f64
+            })
+            .collect(),
+        byte_share: FileCategory::ALL
+            .iter()
+            .map(|c| {
+                bytes.get(c).copied().unwrap_or(0) as f64 / total_bytes.max(1) as f64
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 4(b): size ECDF for all uploaded files plus chosen extensions.
+#[derive(Debug, Clone, Serialize)]
+pub struct SizeByExtension {
+    pub all: Ecdf,
+    pub by_ext: Vec<(String, Ecdf)>,
+    pub under_1mb_fraction: f64,
+}
+
+pub fn size_by_extension(records: &[TraceRecord], exts: &[&str]) -> SizeByExtension {
+    let mut all = Vec::new();
+    let mut per: HashMap<String, Vec<f64>> = HashMap::new();
+    for rec in records {
+        if let Payload::Storage {
+            op: ApiOpKind::Upload,
+            success: true,
+            size,
+            ext,
+            ..
+        } = &rec.payload
+        {
+            all.push(*size as f64);
+            if exts.contains(&ext.as_str()) {
+                per.entry(ext.clone()).or_default().push(*size as f64);
+            }
+        }
+    }
+    let all = Ecdf::new(all);
+    let under_1mb_fraction = all.cdf(1_000_000.0);
+    SizeByExtension {
+        under_1mb_fraction,
+        by_ext: exts
+            .iter()
+            .filter_map(|e| {
+                per.remove(*e)
+                    .map(|v| (e.to_string(), Ecdf::new(v)))
+            })
+            .collect(),
+        all,
+    }
+}
+
+/// Diurnal swing of upload traffic (Fig. 2(a)'s "up to 10x higher").
+pub fn upload_diurnal_swing(records: &[TraceRecord], horizon: SimTime) -> f64 {
+    let ts = timeseries::traffic_per_hour(records, horizon);
+    let mut by_hour = vec![Vec::new(); 24];
+    for (i, up) in ts.upload_bytes.iter().enumerate() {
+        by_hour[i % 24].push(*up);
+    }
+    let means: Vec<f64> = by_hour.iter().map(|v| crate::stats::mean(v)).collect();
+    let peak = means.iter().cloned().fold(0.0f64, f64::max);
+    let trough = means.iter().cloned().fold(f64::MAX, f64::min).max(1.0);
+    peak / trough
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::*;
+    use u1_core::ApiOpKind::*;
+
+    #[test]
+    fn size_shares_split_ops_and_bytes() {
+        let recs = vec![
+            // 3 tiny uploads, 1 huge upload.
+            transfer(at(1), Upload, 1, 1, 1, 1_000, 1, "txt"),
+            transfer(at(2), Upload, 1, 1, 2, 2_000, 2, "txt"),
+            transfer(at(3), Upload, 1, 1, 3, 3_000, 3, "txt"),
+            transfer(at(4), Upload, 1, 1, 4, 100_000_000, 4, "iso"),
+        ];
+        let s = size_category_shares(&recs);
+        assert!((s.upload_op_share[0] - 0.75).abs() < 1e-9, "{s:?}");
+        assert!(s.upload_byte_share[4] > 0.99, "{s:?}");
+        assert_eq!(s.download_op_share.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn rw_ratio_computes_hourly_and_profile() {
+        let mut recs = Vec::new();
+        // Hour 0: 100 up, 200 down → ratio 2. Hour 1: 100/50 → 0.5.
+        recs.push(transfer(at(10), Upload, 1, 1, 1, 100, 1, "a"));
+        recs.push(transfer(at(20), Download, 1, 1, 1, 200, 1, "a"));
+        recs.push(transfer(at(3700), Upload, 1, 1, 2, 100, 2, "a"));
+        recs.push(transfer(at(3800), Download, 1, 1, 2, 50, 2, "a"));
+        let rw = rw_ratio(&recs, SimTime::from_hours(2));
+        assert_eq!(rw.hourly, vec![2.0, 0.5]);
+        assert!((rw.mean - 1.25).abs() < 1e-9);
+        assert_eq!(rw.by_hour_of_day[0], 2.0);
+        assert_eq!(rw.by_hour_of_day[1], 0.5);
+    }
+
+    #[test]
+    fn updates_require_changed_hash_or_size() {
+        let recs = vec![
+            transfer(at(1), Upload, 1, 1, 7, 100, 1, "txt"), // first upload
+            transfer(at(2), Upload, 1, 1, 7, 100, 1, "txt"), // same content: not an update
+            transfer(at(3), Upload, 1, 1, 7, 120, 2, "txt"), // update
+            transfer(at(4), Upload, 1, 1, 8, 50, 3, "txt"),  // other node, first
+        ];
+        let u = update_analysis(&recs);
+        assert_eq!(u.uploads, 4);
+        assert_eq!(u.update_uploads, 1);
+        assert_eq!(u.update_bytes, 120);
+        assert!((u.update_op_fraction - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn taxonomy_counts_distinct_nodes_with_final_size() {
+        let recs = vec![
+            transfer(at(1), Upload, 1, 1, 1, 10, 1, "c"),
+            transfer(at(2), Upload, 1, 1, 1, 30, 2, "c"), // updated same node
+            transfer(at(3), Upload, 1, 1, 2, 4_000, 3, "mp3"),
+        ];
+        let t = taxonomy_shares(&recs);
+        let code_idx = t.categories.iter().position(|c| *c == "code").unwrap();
+        let av_idx = t.categories.iter().position(|c| *c == "audio_video").unwrap();
+        assert!((t.file_share[code_idx] - 0.5).abs() < 1e-9);
+        assert!((t.byte_share[av_idx] - 4000.0 / 4030.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_by_extension_builds_requested_curves() {
+        let recs = vec![
+            transfer(at(1), Upload, 1, 1, 1, 100, 1, "jpg"),
+            transfer(at(2), Upload, 1, 1, 2, 5_000_000, 2, "mp3"),
+            transfer(at(3), Upload, 1, 1, 3, 200, 3, "txt"),
+        ];
+        let s = size_by_extension(&recs, &["jpg", "mp3"]);
+        assert_eq!(s.all.len(), 3);
+        assert_eq!(s.by_ext.len(), 2);
+        assert!((s.under_1mb_fraction - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Table 3 (trace summary) and the Table 1 findings check.
+
+use serde::Serialize;
+use std::collections::HashSet;
+use u1_core::{ApiOpKind, SimTime};
+use u1_trace::{Payload, SessionEvent, TraceRecord};
+
+/// Table 3: "Summary of the trace".
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct TraceSummary {
+    pub trace_days: u64,
+    pub records: u64,
+    pub unique_users: u64,
+    pub unique_files: u64,
+    pub sessions: u64,
+    pub transfer_ops: u64,
+    pub upload_bytes: u64,
+    pub download_bytes: u64,
+}
+
+pub fn trace_summary(records: &[TraceRecord], horizon: SimTime) -> TraceSummary {
+    let mut users: HashSet<u64> = HashSet::new();
+    let mut files: HashSet<u64> = HashSet::new();
+    let mut sessions = 0u64;
+    let mut transfer_ops = 0u64;
+    let mut upload_bytes = 0u64;
+    let mut download_bytes = 0u64;
+    for rec in records {
+        users.insert(rec.payload.user().raw());
+        match &rec.payload {
+            Payload::Session {
+                event: SessionEvent::Open,
+                ..
+            } => sessions += 1,
+            Payload::Storage {
+                op,
+                success: true,
+                node,
+                size,
+                ..
+            } => {
+                if let Some(n) = node {
+                    files.insert(n.raw());
+                }
+                match op {
+                    ApiOpKind::Upload => {
+                        transfer_ops += 1;
+                        upload_bytes += size;
+                    }
+                    ApiOpKind::Download => {
+                        transfer_ops += 1;
+                        download_bytes += size;
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    TraceSummary {
+        trace_days: horizon.day_index(),
+        records: records.len() as u64,
+        unique_users: users.len() as u64,
+        unique_files: files.len() as u64,
+        sessions,
+        transfer_ops,
+        upload_bytes,
+        download_bytes,
+    }
+}
+
+/// One Table 1 finding with the paper's value and ours.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    pub id: &'static str,
+    pub statement: &'static str,
+    pub paper_value: f64,
+    pub measured: f64,
+    /// Acceptable relative band for "shape holds".
+    pub tolerance: f64,
+}
+
+impl Finding {
+    pub fn holds(&self) -> bool {
+        if self.paper_value == 0.0 {
+            return (self.measured - self.paper_value).abs() <= self.tolerance;
+        }
+        let rel = (self.measured - self.paper_value).abs() / self.paper_value.abs();
+        rel <= self.tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::*;
+    use u1_core::ApiOpKind::*;
+
+    #[test]
+    fn summary_counts_the_basics() {
+        let recs = vec![
+            session_open(at(1), 1, 1),
+            transfer(at(2), Upload, 1, 1, 10, 100, 1, "a"),
+            transfer(at(3), Download, 1, 1, 10, 100, 1, "a"),
+            transfer(at(4), Upload, 1, 2, 11, 50, 2, "a"),
+            session_close(at(5), 1, 1),
+        ];
+        let s = trace_summary(&recs, SimTime::from_days(30));
+        assert_eq!(s.trace_days, 30);
+        assert_eq!(s.unique_users, 2);
+        assert_eq!(s.unique_files, 2);
+        assert_eq!(s.sessions, 1);
+        assert_eq!(s.transfer_ops, 3);
+        assert_eq!(s.upload_bytes, 150);
+        assert_eq!(s.download_bytes, 100);
+    }
+
+    #[test]
+    fn finding_tolerance_logic() {
+        let f = Finding {
+            id: "x",
+            statement: "s",
+            paper_value: 0.171,
+            measured: 0.19,
+            tolerance: 0.3,
+        };
+        assert!(f.holds());
+        let f = Finding {
+            measured: 0.4,
+            ..f
+        };
+        assert!(!f.holds());
+    }
+}

@@ -1,0 +1,218 @@
+//! Time-binned request and traffic series (Figs. 2(a), 5, 6, 15).
+
+use serde::Serialize;
+use u1_core::{ApiOpKind, SimDuration, SimTime};
+use u1_trace::{Payload, SessionEvent, TraceRecord};
+
+/// Sums `weight(record)` into fixed-width bins covering `[0, horizon)`.
+pub fn bin_sum(
+    records: &[TraceRecord],
+    horizon: SimTime,
+    bin: SimDuration,
+    mut weight: impl FnMut(&TraceRecord) -> Option<f64>,
+) -> Vec<f64> {
+    assert!(bin.as_micros() > 0);
+    let bins = horizon.as_micros().div_ceil(bin.as_micros()) as usize;
+    let mut out = vec![0.0; bins.max(1)];
+    for rec in records {
+        if rec.t >= horizon {
+            continue;
+        }
+        if let Some(w) = weight(rec) {
+            out[rec.t.bin_index(bin) as usize] += w;
+        }
+    }
+    out
+}
+
+/// Fig. 2(a): upload/download GBytes per hour.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrafficSeries {
+    pub upload_bytes: Vec<f64>,
+    pub download_bytes: Vec<f64>,
+}
+
+pub fn traffic_per_hour(records: &[TraceRecord], horizon: SimTime) -> TrafficSeries {
+    let hour = SimDuration::from_hours(1);
+    let upload_bytes = bin_sum(records, horizon, hour, |r| match &r.payload {
+        Payload::Storage {
+            op: ApiOpKind::Upload,
+            success: true,
+            size,
+            ..
+        } => Some(*size as f64),
+        _ => None,
+    });
+    let download_bytes = bin_sum(records, horizon, hour, |r| match &r.payload {
+        Payload::Storage {
+            op: ApiOpKind::Download,
+            success: true,
+            size,
+            ..
+        } => Some(*size as f64),
+        _ => None,
+    });
+    TrafficSeries {
+        upload_bytes,
+        download_bytes,
+    }
+}
+
+/// Fig. 5 / Fig. 15 request families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RequestFamily {
+    Session,
+    Auth,
+    Storage,
+    Rpc,
+}
+
+/// Requests per hour for one family.
+pub fn requests_per_hour(
+    records: &[TraceRecord],
+    horizon: SimTime,
+    family: RequestFamily,
+) -> Vec<f64> {
+    bin_sum(records, horizon, SimDuration::from_hours(1), |r| {
+        let matches = match (&r.payload, family) {
+            (Payload::Session { .. }, RequestFamily::Session) => true,
+            (Payload::Auth { .. }, RequestFamily::Auth) => true,
+            (Payload::Storage { .. }, RequestFamily::Storage) => true,
+            (Payload::Rpc { .. }, RequestFamily::Rpc) => true,
+            _ => false,
+        };
+        matches.then_some(1.0)
+    })
+}
+
+/// Fig. 6: online vs active users per hour. A user is *online* in an hour
+/// if one of their sessions overlaps it; *active* if they issued a
+/// data-management operation in it (§6.1's definitions).
+#[derive(Debug, Clone, Serialize)]
+pub struct OnlineActiveSeries {
+    pub online: Vec<u64>,
+    pub active: Vec<u64>,
+}
+
+pub fn online_active_per_hour(records: &[TraceRecord], horizon: SimTime) -> OnlineActiveSeries {
+    use std::collections::{HashMap, HashSet};
+    let bins = horizon.as_micros().div_ceil(SimDuration::from_hours(1).as_micros()) as usize;
+    let mut online: Vec<HashSet<u64>> = vec![HashSet::new(); bins.max(1)];
+    let mut active: Vec<HashSet<u64>> = vec![HashSet::new(); bins.max(1)];
+    // Session intervals.
+    let mut open_at: HashMap<u64, (u64, SimTime)> = HashMap::new(); // session -> (user, open time)
+    let hour = SimDuration::from_hours(1);
+    let mut mark_online = |user: u64, from: SimTime, to: SimTime| {
+        let first = from.bin_index(hour) as usize;
+        let last = (to.bin_index(hour) as usize).min(bins.saturating_sub(1));
+        for slot in online.iter_mut().take(last + 1).skip(first) {
+            slot.insert(user);
+        }
+    };
+    for rec in records {
+        match &rec.payload {
+            Payload::Session {
+                event: SessionEvent::Open,
+                session,
+                user,
+            } => {
+                open_at.insert(session.raw(), (user.raw(), rec.t));
+            }
+            Payload::Session {
+                event: SessionEvent::Close,
+                session,
+                user,
+            } => {
+                let (u, from) = open_at
+                    .remove(&session.raw())
+                    .unwrap_or((user.raw(), rec.t));
+                mark_online(u, from, rec.t.min(horizon));
+            }
+            Payload::Storage { op, user, success: true, .. } if op.is_data_management() => {
+                if rec.t < horizon {
+                    active[rec.t.bin_index(hour) as usize].insert(user.raw());
+                }
+            }
+            _ => {}
+        }
+    }
+    // Sessions still open at the end of the trace were online until then.
+    let end = SimTime::from_micros(horizon.as_micros().saturating_sub(1));
+    for (_, (u, from)) in open_at {
+        mark_online(u, from, end);
+    }
+    OnlineActiveSeries {
+        online: online.into_iter().map(|s| s.len() as u64).collect(),
+        active: active.into_iter().map(|s| s.len() as u64).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::*;
+    use u1_core::ApiOpKind::*;
+
+    #[test]
+    fn traffic_bins_by_hour() {
+        let recs = vec![
+            transfer(at(100), Upload, 1, 1, 1, 1000, 1, "txt"),
+            transfer(at(200), Download, 1, 1, 1, 500, 1, "txt"),
+            transfer(at(3700), Upload, 1, 1, 2, 2000, 2, "txt"),
+        ];
+        let ts = traffic_per_hour(&recs, SimTime::from_hours(2));
+        assert_eq!(ts.upload_bytes, vec![1000.0, 2000.0]);
+        assert_eq!(ts.download_bytes, vec![500.0, 0.0]);
+    }
+
+    #[test]
+    fn failed_transfers_do_not_count() {
+        let mut rec = transfer(at(1), Upload, 1, 1, 1, 1000, 1, "txt");
+        if let u1_trace::Payload::Storage { success, .. } = &mut rec.payload {
+            *success = false;
+        }
+        let ts = traffic_per_hour(&[rec], SimTime::from_hours(1));
+        assert_eq!(ts.upload_bytes, vec![0.0]);
+    }
+
+    #[test]
+    fn request_families_are_disjoint() {
+        let recs = vec![
+            session_open(at(10), 1, 1),
+            auth(at(11), 1, true),
+            op(at(12), ListVolumes, 1, 1),
+            rpc_on(at(13), 0, 0, u1_core::RpcKind::GetNode, 1, 0, 100),
+        ];
+        let horizon = SimTime::from_hours(1);
+        for (family, expected) in [
+            (RequestFamily::Session, 1.0),
+            (RequestFamily::Auth, 1.0),
+            (RequestFamily::Storage, 1.0),
+            (RequestFamily::Rpc, 1.0),
+        ] {
+            assert_eq!(requests_per_hour(&recs, horizon, family), vec![expected]);
+        }
+    }
+
+    #[test]
+    fn online_spans_session_interval_active_needs_data_ops() {
+        let recs = vec![
+            session_open(at(10), 1, 7),
+            // ListVolumes is not data management: user online, not active.
+            op(at(20), ListVolumes, 1, 7),
+            // Upload in hour 1 makes the user active there.
+            transfer(at(3800), Upload, 1, 7, 1, 10, 1, "txt"),
+            session_close(at(2 * 3600 + 30), 1, 7),
+        ];
+        let series = online_active_per_hour(&recs, SimTime::from_hours(3));
+        assert_eq!(series.online, vec![1, 1, 1]);
+        assert_eq!(series.active, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn unclosed_sessions_count_online_to_the_end() {
+        let recs = vec![session_open(at(10), 1, 7)];
+        let series = online_active_per_hour(&recs, SimTime::from_hours(2));
+        assert_eq!(series.online, vec![1, 1]);
+    }
+}

@@ -1,0 +1,4 @@
+//! Upload state machine experiment (Fig. 17 / Table 4); self-contained.
+fn main() {
+    u1_bench::experiments::exp_f17_uploadjobs();
+}

@@ -1,0 +1,5 @@
+//! Harness binary for one experiment; see `u1-bench` crate docs.
+fn main() {
+    let scenario = u1_bench::scenario_from_env();
+    u1_bench::experiments::exp_f4c_categories(&scenario);
+}

@@ -1,0 +1,60 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§4–§7) from a freshly simulated trace.
+//!
+//! Run one experiment:
+//!
+//! ```text
+//! cargo run --release -p u1-bench --bin exp_f7c_gini
+//! ```
+//!
+//! or everything at once (single simulation, all analyses):
+//!
+//! ```text
+//! cargo run --release -p u1-bench --bin exp_all
+//! ```
+//!
+//! Environment overrides: `U1_USERS`, `U1_DAYS`, `U1_SEED`, `U1_ATTACKS=0`,
+//! `U1_OUT_DIR` (JSON output directory, default `target/experiments`).
+//!
+//! Every experiment prints a human-readable table (the paper row/series)
+//! and writes a JSON document so EXPERIMENTS.md numbers are regenerable.
+
+pub mod experiments;
+pub mod scenario;
+
+pub use scenario::{scenario_from_env, run_scenario, Scenario};
+
+use serde_json::Value;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Output directory for experiment JSON.
+pub fn out_dir() -> PathBuf {
+    std::env::var("U1_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/experiments"))
+}
+
+/// Prints the human-readable block and persists the JSON document.
+pub fn emit(id: &str, human: &str, json: &Value) {
+    println!("== {id} ==");
+    println!("{human}");
+    let dir = out_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{id}.json"));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = writeln!(f, "{}", serde_json::to_string_pretty(json).unwrap());
+            println!("[json: {}]", path.display());
+        }
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats bytes humanely.
+pub fn bytes(x: u64) -> String {
+    u1_core::ByteSize(x).to_string()
+}

@@ -1,0 +1,76 @@
+//! Scenario execution: one simulated month, everything the analyses need.
+
+use std::sync::Arc;
+use u1_blobstore::BlobStoreStats;
+use u1_core::{SimClock, SimTime};
+use u1_metastore::store::VolumeSnapshot;
+use u1_server::{Backend, BackendConfig};
+use u1_trace::{MemorySink, TraceRecord};
+use u1_workload::{Driver, DriverReport, WorkloadConfig};
+
+/// A completed simulation run plus end-of-run state snapshots.
+pub struct Scenario {
+    pub cfg: WorkloadConfig,
+    pub horizon: SimTime,
+    pub records: Vec<TraceRecord>,
+    pub volumes: Vec<VolumeSnapshot>,
+    pub store_dedup_ratio: f64,
+    pub blob_stats: BlobStoreStats,
+    pub report: DriverReport,
+    /// The backend itself, for experiments that keep interacting with it.
+    pub backend: Arc<Backend>,
+}
+
+/// Runs a workload against a fresh backend under a virtual clock.
+pub fn run_scenario(cfg: WorkloadConfig) -> Scenario {
+    let clock = SimClock::new();
+    let sink = Arc::new(MemorySink::new());
+    let backend_cfg = BackendConfig {
+        seed: cfg.seed ^ 0xBACC,
+        ..BackendConfig::default()
+    };
+    let backend = Arc::new(Backend::new(
+        backend_cfg,
+        Arc::new(clock.clone()),
+        sink.clone(),
+    ));
+    let driver = Driver::new(cfg.clone(), Arc::clone(&backend), clock);
+    let started = std::time::Instant::now();
+    let report = driver.run();
+    eprintln!(
+        "[scenario] {} users x {} days: {} records in {:.1}s",
+        cfg.users,
+        cfg.days,
+        sink.len(),
+        started.elapsed().as_secs_f64()
+    );
+    Scenario {
+        horizon: cfg.horizon(),
+        records: sink.take_sorted(),
+        volumes: backend.store.volume_snapshot(),
+        store_dedup_ratio: backend.store.dedup_ratio(),
+        blob_stats: backend.blobs.stats(),
+        report,
+        cfg,
+        backend,
+    }
+}
+
+/// Builds the workload configuration from the environment (see crate docs)
+/// and runs it.
+pub fn scenario_from_env() -> Scenario {
+    let mut cfg = WorkloadConfig::paper_scaled();
+    if let Ok(v) = std::env::var("U1_USERS") {
+        cfg.users = v.parse().expect("U1_USERS must be an integer");
+    }
+    if let Ok(v) = std::env::var("U1_DAYS") {
+        cfg.days = v.parse().expect("U1_DAYS must be an integer");
+    }
+    if let Ok(v) = std::env::var("U1_SEED") {
+        cfg.seed = v.parse().expect("U1_SEED must be an integer");
+    }
+    if std::env::var("U1_ATTACKS").as_deref() == Ok("0") {
+        cfg.attacks = false;
+    }
+    run_scenario(cfg)
+}

@@ -1,0 +1,317 @@
+//! The object store proper.
+
+use crate::multipart::{MultipartError, MultipartUpload};
+use crate::tier::Tier;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use u1_core::{ContentHash, SimTime};
+
+/// Metadata of a stored object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    pub hash: ContentHash,
+    pub size: u64,
+    pub stored_at: SimTime,
+    pub last_access: SimTime,
+    pub tier: Tier,
+    /// Number of GETs served for this object.
+    pub reads: u64,
+}
+
+#[derive(Debug)]
+struct StoredObject {
+    meta: ObjectMeta,
+    /// Present in live mode (real bytes); `None` in measurement mode where
+    /// only sizes matter. Either way `meta.size` is authoritative.
+    data: Option<Vec<u8>>,
+}
+
+/// Aggregate counters, the raw material for storage-cost accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlobStoreStats {
+    pub objects: u64,
+    pub bytes_stored: u64,
+    pub put_ops: u64,
+    pub get_ops: u64,
+    pub delete_ops: u64,
+    pub bytes_uploaded: u64,
+    pub bytes_downloaded: u64,
+    pub multipart_initiated: u64,
+    pub multipart_completed: u64,
+    pub multipart_aborted: u64,
+}
+
+/// The S3 stand-in. Thread-safe; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct BlobStore {
+    objects: RwLock<HashMap<ContentHash, StoredObject>>,
+    multiparts: RwLock<HashMap<u64, MultipartUpload>>,
+    next_multipart: AtomicU64,
+    put_ops: AtomicU64,
+    get_ops: AtomicU64,
+    delete_ops: AtomicU64,
+    bytes_uploaded: AtomicU64,
+    bytes_downloaded: AtomicU64,
+    mp_initiated: AtomicU64,
+    mp_completed: AtomicU64,
+    mp_aborted: AtomicU64,
+}
+
+impl BlobStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether an object with this content identity exists.
+    pub fn contains(&self, hash: ContentHash) -> bool {
+        self.objects.read().contains_key(&hash)
+    }
+
+    /// Direct PUT of a whole object (used for single-shot small uploads and
+    /// for seeding test fixtures). Idempotent: re-putting the same content
+    /// is a no-op, which is exactly how content-addressed storage behaves.
+    pub fn put(&self, hash: ContentHash, size: u64, data: Option<Vec<u8>>, now: SimTime) {
+        self.put_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_uploaded.fetch_add(size, Ordering::Relaxed);
+        let mut objects = self.objects.write();
+        objects.entry(hash).or_insert_with(|| StoredObject {
+            meta: ObjectMeta {
+                hash,
+                size,
+                stored_at: now,
+                last_access: now,
+                tier: Tier::Hot,
+                reads: 0,
+            },
+            data,
+        });
+    }
+
+    /// GET: returns metadata and (in live mode) bytes. Records the access
+    /// for tiering. Cold-tier reads still succeed — tiering is a cost
+    /// model, not an availability model.
+    pub fn get(&self, hash: ContentHash, now: SimTime) -> Option<(ObjectMeta, Option<Vec<u8>>)> {
+        self.get_ops.fetch_add(1, Ordering::Relaxed);
+        let mut objects = self.objects.write();
+        let obj = objects.get_mut(&hash)?;
+        obj.meta.last_access = now;
+        obj.meta.reads += 1;
+        obj.meta.tier = Tier::Hot;
+        self.bytes_downloaded.fetch_add(obj.meta.size, Ordering::Relaxed);
+        Some((obj.meta.clone(), obj.data.clone()))
+    }
+
+    /// Peeks metadata without counting an access.
+    pub fn head(&self, hash: ContentHash) -> Option<ObjectMeta> {
+        self.objects.read().get(&hash).map(|o| o.meta.clone())
+    }
+
+    /// DELETE. Returns true if the object existed.
+    pub fn delete(&self, hash: ContentHash) -> bool {
+        self.delete_ops.fetch_add(1, Ordering::Relaxed);
+        self.objects.write().remove(&hash).is_some()
+    }
+
+    // ----- multipart (Appendix A) ----------------------------------------
+
+    /// Initiates a multipart upload and returns its id (the id the API
+    /// server stores into the uploadjob via
+    /// `dal.set_uploadjob_multipart_id`).
+    pub fn initiate_multipart(&self, now: SimTime) -> u64 {
+        self.mp_initiated.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_multipart.fetch_add(1, Ordering::Relaxed) + 1;
+        self.multiparts
+            .write()
+            .insert(id, MultipartUpload::new(id, now));
+        id
+    }
+
+    /// Uploads one part.
+    pub fn upload_part(
+        &self,
+        multipart_id: u64,
+        data_len: u64,
+        data: Option<Vec<u8>>,
+    ) -> Result<(), MultipartError> {
+        let mut mps = self.multiparts.write();
+        let mp = mps
+            .get_mut(&multipart_id)
+            .ok_or(MultipartError::UnknownUpload)?;
+        mp.add_part(data_len, data)
+    }
+
+    /// Completes a multipart upload, materializing the object under `hash`.
+    pub fn complete_multipart(
+        &self,
+        multipart_id: u64,
+        hash: ContentHash,
+        now: SimTime,
+    ) -> Result<ObjectMeta, MultipartError> {
+        let mp = self
+            .multiparts
+            .write()
+            .remove(&multipart_id)
+            .ok_or(MultipartError::UnknownUpload)?;
+        if mp.parts() == 0 {
+            // Restore: completing an empty upload is invalid.
+            self.multiparts.write().insert(multipart_id, mp);
+            return Err(MultipartError::NoParts);
+        }
+        self.mp_completed.fetch_add(1, Ordering::Relaxed);
+        let (size, data) = mp.into_object();
+        self.bytes_uploaded.fetch_add(size, Ordering::Relaxed);
+        self.put_ops.fetch_add(1, Ordering::Relaxed);
+        let mut objects = self.objects.write();
+        let obj = objects.entry(hash).or_insert_with(|| StoredObject {
+            meta: ObjectMeta {
+                hash,
+                size,
+                stored_at: now,
+                last_access: now,
+                tier: Tier::Hot,
+                reads: 0,
+            },
+            data,
+        });
+        Ok(obj.meta.clone())
+    }
+
+    /// Aborts a multipart upload, discarding its parts (driven by client
+    /// cancellation or the weekly uploadjob GC).
+    pub fn abort_multipart(&self, multipart_id: u64) -> Result<(), MultipartError> {
+        self.multiparts
+            .write()
+            .remove(&multipart_id)
+            .map(|_| {
+                self.mp_aborted.fetch_add(1, Ordering::Relaxed);
+            })
+            .ok_or(MultipartError::UnknownUpload)
+    }
+
+    /// Parts received so far for an in-flight multipart upload.
+    pub fn multipart_progress(&self, multipart_id: u64) -> Option<(usize, u64)> {
+        self.multiparts
+            .read()
+            .get(&multipart_id)
+            .map(|mp| (mp.parts(), mp.bytes()))
+    }
+
+    // ----- accounting ------------------------------------------------------
+
+    pub fn stats(&self) -> BlobStoreStats {
+        let objects = self.objects.read();
+        BlobStoreStats {
+            objects: objects.len() as u64,
+            bytes_stored: objects.values().map(|o| o.meta.size).sum(),
+            put_ops: self.put_ops.load(Ordering::Relaxed),
+            get_ops: self.get_ops.load(Ordering::Relaxed),
+            delete_ops: self.delete_ops.load(Ordering::Relaxed),
+            bytes_uploaded: self.bytes_uploaded.load(Ordering::Relaxed),
+            bytes_downloaded: self.bytes_downloaded.load(Ordering::Relaxed),
+            multipart_initiated: self.mp_initiated.load(Ordering::Relaxed),
+            multipart_completed: self.mp_completed.load(Ordering::Relaxed),
+            multipart_aborted: self.mp_aborted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Applies `f` to every object's metadata (tier sweeps, reports).
+    pub fn for_each_meta_mut(&self, mut f: impl FnMut(&mut ObjectMeta)) {
+        for obj in self.objects.write().values_mut() {
+            f(&mut obj.meta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: u64) -> ContentHash {
+        ContentHash::from_content_id(i)
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let s = BlobStore::new();
+        s.put(h(1), 100, Some(vec![7u8; 100]), SimTime::ZERO);
+        assert!(s.contains(h(1)));
+        let (meta, data) = s.get(h(1), SimTime::from_secs(5)).unwrap();
+        assert_eq!(meta.size, 100);
+        assert_eq!(meta.reads, 1);
+        assert_eq!(data.unwrap().len(), 100);
+        assert!(s.delete(h(1)));
+        assert!(!s.delete(h(1)));
+        assert!(s.get(h(1), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn put_is_idempotent_per_content() {
+        let s = BlobStore::new();
+        s.put(h(1), 100, None, SimTime::ZERO);
+        s.put(h(1), 100, None, SimTime::from_secs(1));
+        let stats = s.stats();
+        assert_eq!(stats.objects, 1);
+        assert_eq!(stats.bytes_stored, 100);
+        // Both PUTs count as traffic though — the dedup *saving* comes from
+        // not issuing the second PUT at all.
+        assert_eq!(stats.bytes_uploaded, 200);
+    }
+
+    #[test]
+    fn multipart_happy_path() {
+        let s = BlobStore::new();
+        let id = s.initiate_multipart(SimTime::ZERO);
+        s.upload_part(id, 5 << 20, None).unwrap();
+        s.upload_part(id, 5 << 20, None).unwrap();
+        s.upload_part(id, 1 << 20, None).unwrap();
+        let meta = s.complete_multipart(id, h(9), SimTime::from_secs(1)).unwrap();
+        assert_eq!(meta.size, 11 << 20);
+        assert!(s.contains(h(9)));
+        let stats = s.stats();
+        assert_eq!(stats.multipart_initiated, 1);
+        assert_eq!(stats.multipart_completed, 1);
+        // Completed upload's id is gone.
+        assert!(s.upload_part(id, 1, None).is_err());
+    }
+
+    #[test]
+    fn multipart_abort_discards_parts() {
+        let s = BlobStore::new();
+        let id = s.initiate_multipart(SimTime::ZERO);
+        s.upload_part(id, 1000, None).unwrap();
+        assert_eq!(s.multipart_progress(id), Some((1, 1000)));
+        s.abort_multipart(id).unwrap();
+        assert_eq!(s.multipart_progress(id), None);
+        assert!(s.abort_multipart(id).is_err());
+        assert_eq!(s.stats().multipart_aborted, 1);
+    }
+
+    #[test]
+    fn completing_empty_or_unknown_multipart_fails() {
+        let s = BlobStore::new();
+        assert_eq!(
+            s.complete_multipart(404, h(1), SimTime::ZERO),
+            Err(MultipartError::UnknownUpload)
+        );
+        let id = s.initiate_multipart(SimTime::ZERO);
+        assert_eq!(
+            s.complete_multipart(id, h(1), SimTime::ZERO),
+            Err(MultipartError::NoParts)
+        );
+        // Still resumable after the failed complete.
+        s.upload_part(id, 10, None).unwrap();
+        assert!(s.complete_multipart(id, h(1), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn live_mode_multipart_carries_bytes() {
+        let s = BlobStore::new();
+        let id = s.initiate_multipart(SimTime::ZERO);
+        s.upload_part(id, 3, Some(vec![1, 2, 3])).unwrap();
+        s.upload_part(id, 2, Some(vec![4, 5])).unwrap();
+        s.complete_multipart(id, h(2), SimTime::ZERO).unwrap();
+        let (_, data) = s.get(h(2), SimTime::ZERO).unwrap();
+        assert_eq!(data.unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,27 @@
+//! The U1 desktop client (§3.3), reproduced as a library.
+//!
+//! The real client was a Python daemon that watched `~/Ubuntu One` with
+//! inotify, kept sync metadata in `~/.cache/ubuntuone`, held a persistent
+//! TCP connection for pushes, hashed every file with SHA-1 before upload
+//! (server-side dedup), compressed transfers, and — deliberately — did
+//! **not** implement delta updates, file bundling or sync deferment, which
+//! the paper repeatedly calls out as a source of overhead (§3.3, §5.1).
+//!
+//! Layers:
+//!
+//! * [`transport`] — how a client reaches the service: [`DirectTransport`]
+//!   (in-process, virtual-time measurement mode) or [`TcpTransport`] (a real
+//!   protocol connection, live mode). Both expose the same [`Transport`]
+//!   trait, so the sync engine is oblivious to the wire.
+//! * [`localfs`] — the client-side mirror of each volume and the
+//!   inotify-like local event queue.
+//! * [`sync`] — the sync engine: reacts to local events by uploading /
+//!   unlinking, and to server pushes by fetching deltas and downloading.
+
+pub mod localfs;
+pub mod sync;
+pub mod transport;
+
+pub use localfs::{LocalEvent, LocalFile, LocalVolume};
+pub use sync::{SyncEngine, SyncStats};
+pub use transport::{DirectTransport, TcpTransport, Transport, UploadResult};

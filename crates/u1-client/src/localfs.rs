@@ -1,0 +1,201 @@
+//! The client-side mirror of a volume and the inotify-like event queue.
+//!
+//! The real daemon watched `~/Ubuntu One` with inotify and kept sync
+//! metadata in `~/.cache/ubuntuone`; here the "filesystem" is an in-memory
+//! model (the measurement study needs behavior, not disks), and the
+//! metadata is [`LocalVolume`]'s known-generation plus per-node state.
+
+use std::collections::HashMap;
+use u1_core::{ContentHash, NodeId, NodeKind, VolumeId};
+use u1_proto::msg::NodeInfo;
+
+/// A file or directory as the client knows it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalFile {
+    pub node: NodeId,
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub name: String,
+    pub size: u64,
+    pub hash: Option<ContentHash>,
+    /// True when the local copy differs from the server's (pending upload).
+    pub dirty: bool,
+}
+
+/// An inotify-style local change the sync engine must propagate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalEvent {
+    /// A file appeared or its content changed (new hash/size).
+    FileWritten {
+        name: String,
+        parent: Option<NodeId>,
+        hash: ContentHash,
+        size: u64,
+    },
+    /// A directory appeared.
+    DirCreated {
+        name: String,
+        parent: Option<NodeId>,
+    },
+    /// A node disappeared locally.
+    Removed { node: NodeId },
+    /// A node was renamed/moved locally.
+    Moved {
+        node: NodeId,
+        new_parent: Option<NodeId>,
+        new_name: String,
+    },
+}
+
+/// The mirrored state of one volume.
+#[derive(Debug, Default)]
+pub struct LocalVolume {
+    pub volume: VolumeId,
+    /// Last server generation fully applied locally (the "generation
+    /// point" of §3.4.2).
+    pub known_generation: u64,
+    nodes: HashMap<NodeId, LocalFile>,
+    by_name: HashMap<(Option<NodeId>, String), NodeId>,
+}
+
+impl LocalVolume {
+    pub fn new(volume: VolumeId) -> Self {
+        Self {
+            volume,
+            ..Default::default()
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn get(&self, node: NodeId) -> Option<&LocalFile> {
+        self.nodes.get(&node)
+    }
+
+    pub fn find_by_name(&self, parent: Option<NodeId>, name: &str) -> Option<&LocalFile> {
+        self.by_name
+            .get(&(parent, name.to_string()))
+            .and_then(|id| self.nodes.get(id))
+    }
+
+    pub fn files(&self) -> impl Iterator<Item = &LocalFile> {
+        self.nodes.values()
+    }
+
+    /// Records a server-known node (post-upload, post-delta).
+    pub fn upsert(&mut self, file: LocalFile) {
+        self.by_name
+            .insert((file.parent, file.name.clone()), file.node);
+        self.nodes.insert(file.node, file);
+    }
+
+    pub fn remove(&mut self, node: NodeId) -> Option<LocalFile> {
+        let file = self.nodes.remove(&node)?;
+        self.by_name.remove(&(file.parent, file.name.clone()));
+        Some(file)
+    }
+
+    /// Applies a server delta (the client's reaction to `GetDelta`),
+    /// returning the file nodes whose content changed and should therefore
+    /// be downloaded.
+    pub fn apply_delta(&mut self, generation: u64, entries: &[NodeInfo]) -> Vec<NodeId> {
+        let mut to_download = Vec::new();
+        for e in entries {
+            if e.is_dead {
+                self.remove(e.node);
+                continue;
+            }
+            let changed_content = match self.nodes.get(&e.node) {
+                Some(prev) => prev.hash != e.hash,
+                None => e.hash.is_some(),
+            };
+            self.upsert(LocalFile {
+                node: e.node,
+                kind: e.kind,
+                parent: e.parent,
+                name: e.name.clone(),
+                size: e.size,
+                hash: e.hash,
+                dirty: false,
+            });
+            if e.kind == NodeKind::File && changed_content {
+                to_download.push(e.node);
+            }
+        }
+        self.known_generation = self.known_generation.max(generation);
+        to_download
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(node: u64, name: &str, hash: Option<u64>, gen: u64, dead: bool) -> NodeInfo {
+        NodeInfo {
+            node: NodeId::new(node),
+            kind: NodeKind::File,
+            parent: None,
+            name: name.into(),
+            size: 10,
+            hash: hash.map(ContentHash::from_content_id),
+            generation: gen,
+            is_dead: dead,
+        }
+    }
+
+    #[test]
+    fn apply_delta_tracks_generation_and_downloads() {
+        let mut lv = LocalVolume::new(VolumeId::new(1));
+        let dl = lv.apply_delta(3, &[info(1, "a.txt", Some(9), 3, false)]);
+        assert_eq!(dl, vec![NodeId::new(1)]);
+        assert_eq!(lv.known_generation, 3);
+        assert_eq!(lv.node_count(), 1);
+        // Same hash again: no download.
+        let dl = lv.apply_delta(4, &[info(1, "a.txt", Some(9), 4, false)]);
+        assert!(dl.is_empty());
+        // New hash: download.
+        let dl = lv.apply_delta(5, &[info(1, "a.txt", Some(10), 5, false)]);
+        assert_eq!(dl, vec![NodeId::new(1)]);
+        // Tombstone: removed, nothing to download.
+        let dl = lv.apply_delta(6, &[info(1, "a.txt", Some(10), 6, true)]);
+        assert!(dl.is_empty());
+        assert_eq!(lv.node_count(), 0);
+    }
+
+    #[test]
+    fn name_index_follows_upserts_and_removes() {
+        let mut lv = LocalVolume::new(VolumeId::new(1));
+        lv.upsert(LocalFile {
+            node: NodeId::new(1),
+            kind: NodeKind::File,
+            parent: None,
+            name: "x".into(),
+            size: 0,
+            hash: None,
+            dirty: true,
+        });
+        assert!(lv.find_by_name(None, "x").is_some());
+        lv.remove(NodeId::new(1));
+        assert!(lv.find_by_name(None, "x").is_none());
+    }
+
+    #[test]
+    fn delta_generation_never_regresses() {
+        let mut lv = LocalVolume::new(VolumeId::new(1));
+        lv.apply_delta(10, &[]);
+        lv.apply_delta(5, &[]);
+        assert_eq!(lv.known_generation, 10);
+    }
+
+    #[test]
+    fn files_created_without_hash_are_not_downloaded() {
+        let mut lv = LocalVolume::new(VolumeId::new(1));
+        let mut e = info(2, "empty.txt", None, 1, false);
+        e.hash = None;
+        let dl = lv.apply_delta(1, &[e]);
+        assert!(dl.is_empty(), "no content yet, nothing to download");
+    }
+}

@@ -1,0 +1,585 @@
+//! Client transports: the same operations over two very different paths.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use u1_auth::Token;
+use u1_core::{
+    ContentHash, CoreError, CoreResult, NodeId, NodeKind, SessionId, UserId, VolumeId,
+};
+use u1_proto::conn::{ClientConn, ClientEvent};
+use u1_proto::msg::{NodeInfo, Push, Request, Response, VolumeInfo};
+use u1_proto::tcp;
+use u1_server::api::UploadOutcome;
+use u1_server::Backend;
+
+/// Result of an upload as the client sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadResult {
+    /// The server already had the content: no bytes were sent (§3.3).
+    pub deduplicated: bool,
+    /// Bytes actually transferred.
+    pub bytes_sent: u64,
+}
+
+/// The operations a desktop client performs against the service. One
+/// transport == one session == one (possibly virtual) connection.
+pub trait Transport {
+    /// Authenticates and opens the session. Must be called first.
+    fn authenticate(&mut self, token: Token) -> CoreResult<(SessionId, UserId)>;
+    fn query_set_caps(&mut self, caps: &[&str]) -> CoreResult<()>;
+    fn list_volumes(&mut self) -> CoreResult<Vec<VolumeInfo>>;
+    fn list_shares(&mut self) -> CoreResult<Vec<VolumeInfo>>;
+    fn create_udf(&mut self, name: &str) -> CoreResult<VolumeInfo>;
+    fn delete_volume(&mut self, volume: VolumeId) -> CoreResult<()>;
+    fn make_node(
+        &mut self,
+        volume: VolumeId,
+        parent: Option<NodeId>,
+        kind: NodeKind,
+        name: &str,
+    ) -> CoreResult<NodeInfo>;
+    fn unlink(&mut self, volume: VolumeId, node: NodeId) -> CoreResult<()>;
+    fn move_node(
+        &mut self,
+        volume: VolumeId,
+        node: NodeId,
+        new_parent: Option<NodeId>,
+        new_name: &str,
+    ) -> CoreResult<()>;
+    fn get_delta(
+        &mut self,
+        volume: VolumeId,
+        from_generation: u64,
+    ) -> CoreResult<(u64, Vec<NodeInfo>)>;
+    fn rescan_from_scratch(&mut self, volume: VolumeId) -> CoreResult<(u64, Vec<NodeInfo>)>;
+    /// Uploads content for an existing file node. `data` carries real bytes
+    /// in live mode; in measurement mode only `size` matters.
+    fn upload(
+        &mut self,
+        volume: VolumeId,
+        node: NodeId,
+        hash: ContentHash,
+        size: u64,
+        data: Option<Vec<u8>>,
+    ) -> CoreResult<UploadResult>;
+    fn download(
+        &mut self,
+        volume: VolumeId,
+        node: NodeId,
+    ) -> CoreResult<(u64, ContentHash, Option<Vec<u8>>)>;
+    /// Pushes received since the last poll.
+    fn poll_pushes(&mut self) -> Vec<Push>;
+    /// Ends the session.
+    fn close(&mut self);
+    /// The session id, once authenticated.
+    fn session(&self) -> Option<SessionId>;
+}
+
+// ---------------------------------------------------------------------------
+// Direct (in-process) transport
+// ---------------------------------------------------------------------------
+
+/// Calls the backend's handlers directly. Used by the virtual-time workload
+/// driver, where thousands of client actors share one process.
+pub struct DirectTransport {
+    backend: Arc<Backend>,
+    session: Option<SessionId>,
+    push_rx: Option<crossbeam::channel::Receiver<Push>>,
+    /// Register for pushes? Cold clients (crashed/quiet) may skip it.
+    subscribe_pushes: bool,
+}
+
+impl DirectTransport {
+    pub fn new(backend: Arc<Backend>) -> Self {
+        Self {
+            backend,
+            session: None,
+            push_rx: None,
+            subscribe_pushes: true,
+        }
+    }
+
+    /// Disables push subscription (for modeling clients that never receive
+    /// notifications).
+    pub fn without_pushes(mut self) -> Self {
+        self.subscribe_pushes = false;
+        self
+    }
+
+    fn sid(&self) -> CoreResult<SessionId> {
+        self.session
+            .ok_or_else(|| CoreError::invalid("not authenticated"))
+    }
+}
+
+impl Transport for DirectTransport {
+    fn authenticate(&mut self, token: Token) -> CoreResult<(SessionId, UserId)> {
+        let h = self.backend.open_session(token)?;
+        if self.subscribe_pushes {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            self.backend.push_router.register(h.session, tx);
+            self.push_rx = Some(rx);
+        }
+        self.session = Some(h.session);
+        Ok((h.session, h.user))
+    }
+
+    fn query_set_caps(&mut self, caps: &[&str]) -> CoreResult<()> {
+        let sid = self.sid()?;
+        self.backend
+            .query_set_caps(sid, caps.iter().map(|s| s.to_string()).collect())?;
+        Ok(())
+    }
+
+    fn list_volumes(&mut self) -> CoreResult<Vec<VolumeInfo>> {
+        self.backend.list_volumes(self.sid()?)
+    }
+
+    fn list_shares(&mut self) -> CoreResult<Vec<VolumeInfo>> {
+        self.backend.list_shares(self.sid()?)
+    }
+
+    fn create_udf(&mut self, name: &str) -> CoreResult<VolumeInfo> {
+        self.backend.create_udf(self.sid()?, name)
+    }
+
+    fn delete_volume(&mut self, volume: VolumeId) -> CoreResult<()> {
+        self.backend.delete_volume(self.sid()?, volume)?;
+        Ok(())
+    }
+
+    fn make_node(
+        &mut self,
+        volume: VolumeId,
+        parent: Option<NodeId>,
+        kind: NodeKind,
+        name: &str,
+    ) -> CoreResult<NodeInfo> {
+        self.backend.make_node(self.sid()?, volume, parent, kind, name)
+    }
+
+    fn unlink(&mut self, volume: VolumeId, node: NodeId) -> CoreResult<()> {
+        self.backend.unlink(self.sid()?, volume, node)?;
+        Ok(())
+    }
+
+    fn move_node(
+        &mut self,
+        volume: VolumeId,
+        node: NodeId,
+        new_parent: Option<NodeId>,
+        new_name: &str,
+    ) -> CoreResult<()> {
+        self.backend
+            .move_node(self.sid()?, volume, node, new_parent, new_name)?;
+        Ok(())
+    }
+
+    fn get_delta(
+        &mut self,
+        volume: VolumeId,
+        from_generation: u64,
+    ) -> CoreResult<(u64, Vec<NodeInfo>)> {
+        self.backend.get_delta(self.sid()?, volume, from_generation)
+    }
+
+    fn rescan_from_scratch(&mut self, volume: VolumeId) -> CoreResult<(u64, Vec<NodeInfo>)> {
+        self.backend.rescan_from_scratch(self.sid()?, volume)
+    }
+
+    fn upload(
+        &mut self,
+        volume: VolumeId,
+        node: NodeId,
+        hash: ContentHash,
+        size: u64,
+        data: Option<Vec<u8>>,
+    ) -> CoreResult<UploadResult> {
+        let sid = self.sid()?;
+        match self.backend.begin_upload(sid, volume, node, hash, size)? {
+            UploadOutcome::Deduplicated { .. } => Ok(UploadResult {
+                deduplicated: true,
+                bytes_sent: 0,
+            }),
+            UploadOutcome::Started { upload } => {
+                let mut remaining = size.max(1);
+                let mut offset = 0usize;
+                while remaining > 0 {
+                    let part = remaining.min(u1_blobstore_part_size());
+                    let chunk = data.as_ref().map(|d| {
+                        let end = (offset + part as usize).min(d.len());
+                        d[offset.min(d.len())..end].to_vec()
+                    });
+                    self.backend.upload_chunk(sid, upload, part, chunk)?;
+                    offset += part as usize;
+                    remaining -= part;
+                }
+                let c = self.backend.commit_upload(sid, upload)?;
+                Ok(UploadResult {
+                    deduplicated: false,
+                    bytes_sent: c.bytes_transferred,
+                })
+            }
+        }
+    }
+
+    fn download(
+        &mut self,
+        volume: VolumeId,
+        node: NodeId,
+    ) -> CoreResult<(u64, ContentHash, Option<Vec<u8>>)> {
+        self.backend.download(self.sid()?, volume, node)
+    }
+
+    fn poll_pushes(&mut self) -> Vec<Push> {
+        match &self.push_rx {
+            Some(rx) => u1_notify::drain(rx),
+            None => Vec::new(),
+        }
+    }
+
+    fn close(&mut self) {
+        if let Some(sid) = self.session.take() {
+            let _ = self.backend.close_session(sid);
+        }
+        self.push_rx = None;
+    }
+
+    fn session(&self) -> Option<SessionId> {
+        self.session
+    }
+}
+
+fn u1_blobstore_part_size() -> u64 {
+    u1_blobstore::PART_SIZE
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------------
+
+/// A real protocol connection. Requests are issued synchronously (one
+/// outstanding request at a time, like the original client's action queue);
+/// pushes arriving between responses are buffered for `poll_pushes`.
+pub struct TcpTransport {
+    stream: TcpStream,
+    conn: ClientConn,
+    pushes: Vec<Push>,
+    session: Option<SessionId>,
+    buf: Vec<u8>,
+}
+
+impl TcpTransport {
+    pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        tcp::configure(&stream)?;
+        Ok(Self {
+            stream,
+            conn: ClientConn::new(),
+            pushes: Vec::new(),
+            session: None,
+            buf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// Sends one request and blocks until its final response, buffering any
+    /// pushes and content chunks seen along the way. Returns the list of
+    /// responses for this request (1 for ordinary ops, begin/chunks/end for
+    /// content streams).
+    fn call(&mut self, req: Request) -> CoreResult<Vec<Response>> {
+        let (id, bytes) = self.conn.request(req);
+        self.stream
+            .write_all(&bytes)
+            .map_err(|e| CoreError::unavailable(format!("send: {e}")))?;
+        let mut responses = Vec::new();
+        loop {
+            let n = tcp::read_some(&mut self.stream, &mut self.buf)
+                .map_err(|e| CoreError::unavailable(format!("recv: {e}")))?;
+            if n == 0 {
+                return Err(CoreError::unavailable("connection closed"));
+            }
+            let events = self
+                .conn
+                .on_bytes(&self.buf[..n])
+                .map_err(|e| CoreError::invalid(format!("protocol: {e}")))?;
+            for ev in events {
+                match ev {
+                    ClientEvent::Push(p) => self.pushes.push(p),
+                    ClientEvent::Response { id: got, resp } => {
+                        if got != id {
+                            return Err(CoreError::invalid("response id mismatch"));
+                        }
+                        let done = resp.is_final();
+                        responses.push(resp);
+                        if done {
+                            return Ok(responses);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unwraps a single expected response, converting protocol errors.
+    fn call_one(&mut self, req: Request) -> CoreResult<Response> {
+        let mut responses = self.call(req)?;
+        let resp = responses
+            .pop()
+            .ok_or_else(|| CoreError::invalid("no response"))?;
+        if let Response::Error { code, message } = &resp {
+            return Err(match code.as_str() {
+                "not_found" => CoreError::not_found(message.clone()),
+                "conflict" => CoreError::conflict(message.clone()),
+                "denied" => CoreError::permission_denied(message.clone()),
+                "unavailable" => CoreError::unavailable(message.clone()),
+                _ => CoreError::invalid(message.clone()),
+            });
+        }
+        Ok(resp)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn authenticate(&mut self, token: Token) -> CoreResult<(SessionId, UserId)> {
+        match self.call_one(Request::Authenticate {
+            token: token.as_bytes().to_vec(),
+        })? {
+            Response::AuthOk { session, user } => {
+                self.session = Some(session);
+                Ok((session, user))
+            }
+            other => Err(CoreError::invalid(format!("unexpected {}", other.label()))),
+        }
+    }
+
+    fn query_set_caps(&mut self, caps: &[&str]) -> CoreResult<()> {
+        self.call_one(Request::QuerySetCaps {
+            caps: caps.iter().map(|s| s.to_string()).collect(),
+        })?;
+        Ok(())
+    }
+
+    fn list_volumes(&mut self) -> CoreResult<Vec<VolumeInfo>> {
+        match self.call_one(Request::ListVolumes)? {
+            Response::Volumes { volumes } => Ok(volumes),
+            other => Err(CoreError::invalid(format!("unexpected {}", other.label()))),
+        }
+    }
+
+    fn list_shares(&mut self) -> CoreResult<Vec<VolumeInfo>> {
+        match self.call_one(Request::ListShares)? {
+            Response::Volumes { volumes } => Ok(volumes),
+            other => Err(CoreError::invalid(format!("unexpected {}", other.label()))),
+        }
+    }
+
+    fn create_udf(&mut self, name: &str) -> CoreResult<VolumeInfo> {
+        match self.call_one(Request::CreateUdf { name: name.into() })? {
+            Response::VolumeCreated { volume, generation } => Ok(VolumeInfo {
+                volume,
+                kind: u1_core::VolumeKind::UserDefined,
+                generation,
+                owner: None,
+                node_count: 0,
+            }),
+            other => Err(CoreError::invalid(format!("unexpected {}", other.label()))),
+        }
+    }
+
+    fn delete_volume(&mut self, volume: VolumeId) -> CoreResult<()> {
+        self.call_one(Request::DeleteVolume { volume })?;
+        Ok(())
+    }
+
+    fn make_node(
+        &mut self,
+        volume: VolumeId,
+        parent: Option<NodeId>,
+        kind: NodeKind,
+        name: &str,
+    ) -> CoreResult<NodeInfo> {
+        let parent_id = parent.unwrap_or(NodeId::new(0));
+        let req = match kind {
+            NodeKind::File => Request::MakeFile {
+                volume,
+                parent: parent_id,
+                name: name.into(),
+            },
+            NodeKind::Directory => Request::MakeDir {
+                volume,
+                parent: parent_id,
+                name: name.into(),
+            },
+        };
+        match self.call_one(req)? {
+            Response::NodeCreated { node, generation } => Ok(NodeInfo {
+                node,
+                kind,
+                parent,
+                name: name.into(),
+                size: 0,
+                hash: None,
+                generation,
+                is_dead: false,
+            }),
+            other => Err(CoreError::invalid(format!("unexpected {}", other.label()))),
+        }
+    }
+
+    fn unlink(&mut self, volume: VolumeId, node: NodeId) -> CoreResult<()> {
+        self.call_one(Request::Unlink { volume, node })?;
+        Ok(())
+    }
+
+    fn move_node(
+        &mut self,
+        volume: VolumeId,
+        node: NodeId,
+        new_parent: Option<NodeId>,
+        new_name: &str,
+    ) -> CoreResult<()> {
+        self.call_one(Request::Move {
+            volume,
+            node,
+            new_parent: new_parent.unwrap_or(NodeId::new(0)),
+            new_name: new_name.into(),
+        })?;
+        Ok(())
+    }
+
+    fn get_delta(
+        &mut self,
+        volume: VolumeId,
+        from_generation: u64,
+    ) -> CoreResult<(u64, Vec<NodeInfo>)> {
+        match self.call_one(Request::GetDelta {
+            volume,
+            from_generation,
+        })? {
+            Response::Delta {
+                generation, nodes, ..
+            } => Ok((generation, nodes)),
+            other => Err(CoreError::invalid(format!("unexpected {}", other.label()))),
+        }
+    }
+
+    fn rescan_from_scratch(&mut self, volume: VolumeId) -> CoreResult<(u64, Vec<NodeInfo>)> {
+        match self.call_one(Request::RescanFromScratch { volume })? {
+            Response::Delta {
+                generation, nodes, ..
+            } => Ok((generation, nodes)),
+            other => Err(CoreError::invalid(format!("unexpected {}", other.label()))),
+        }
+    }
+
+    fn upload(
+        &mut self,
+        volume: VolumeId,
+        node: NodeId,
+        hash: ContentHash,
+        size: u64,
+        data: Option<Vec<u8>>,
+    ) -> CoreResult<UploadResult> {
+        match self.call_one(Request::BeginUpload {
+            volume,
+            node,
+            hash,
+            size,
+        })? {
+            Response::UploadDone { .. } => Ok(UploadResult {
+                deduplicated: true,
+                bytes_sent: 0,
+            }),
+            Response::UploadBegun { upload, .. } => {
+                let bytes = data.unwrap_or_else(|| vec![0u8; size as usize]);
+                let mut sent = 0u64;
+                // Wire chunks are bounded by the frame limit, not the S3
+                // part size; 1MB keeps frames comfortable.
+                const WIRE_CHUNK: usize = 1024 * 1024;
+                for chunk in bytes.chunks(WIRE_CHUNK.max(1)) {
+                    self.call_one(Request::UploadChunk {
+                        upload,
+                        data: chunk.to_vec(),
+                    })?;
+                    sent += chunk.len() as u64;
+                }
+                if bytes.is_empty() {
+                    self.call_one(Request::UploadChunk {
+                        upload,
+                        data: vec![0u8],
+                    })?;
+                    sent += 1;
+                }
+                match self.call_one(Request::CommitUpload { upload })? {
+                    Response::UploadDone { .. } => Ok(UploadResult {
+                        deduplicated: false,
+                        bytes_sent: sent,
+                    }),
+                    other => Err(CoreError::invalid(format!("unexpected {}", other.label()))),
+                }
+            }
+            other => Err(CoreError::invalid(format!("unexpected {}", other.label()))),
+        }
+    }
+
+    fn download(
+        &mut self,
+        volume: VolumeId,
+        node: NodeId,
+    ) -> CoreResult<(u64, ContentHash, Option<Vec<u8>>)> {
+        let responses = self.call(Request::GetContent { volume, node })?;
+        let mut size = 0u64;
+        let mut hash = None;
+        let mut data = Vec::new();
+        for resp in responses {
+            match resp {
+                Response::ContentBegin { size: s, hash: h } => {
+                    size = s;
+                    hash = Some(h);
+                }
+                Response::ContentChunk { data: d } => data.extend_from_slice(&d),
+                Response::ContentEnd => {}
+                Response::Error { message, .. } => return Err(CoreError::invalid(message)),
+                other => {
+                    return Err(CoreError::invalid(format!("unexpected {}", other.label())))
+                }
+            }
+        }
+        let hash = hash.ok_or_else(|| CoreError::invalid("missing content header"))?;
+        Ok((size, hash, Some(data)))
+    }
+
+    fn poll_pushes(&mut self) -> Vec<Push> {
+        // Opportunistically read anything already buffered on the socket.
+        let _ = self.stream.set_nonblocking(true);
+        loop {
+            match std::io::Read::read(&mut self.stream, &mut self.buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    if let Ok(events) = self.conn.on_bytes(&self.buf[..n]) {
+                        for ev in events {
+                            if let ClientEvent::Push(p) = ev {
+                                self.pushes.push(p);
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let _ = self.stream.set_nonblocking(false);
+        std::mem::take(&mut self.pushes)
+    }
+
+    fn close(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.session = None;
+    }
+
+    fn session(&self) -> Option<SessionId> {
+        self.session
+    }
+}

@@ -1,0 +1,35 @@
+//! Core vocabulary for `ubuntuone-rs`, a reproduction of the UbuntuOne (U1)
+//! Personal Cloud back-end described in *"Dissecting UbuntuOne: Autopsy of a
+//! Global-scale Personal Cloud Back-end"* (Gracia-Tinedo et al., IMC 2015).
+//!
+//! This crate holds the types shared by every other crate in the workspace:
+//!
+//! * strongly-typed identifiers for the protocol entities of §3.1.1 of the
+//!   paper (users, volumes, nodes, sessions, contents),
+//! * a pure-Rust SHA-1 implementation (U1 clients identify file contents by
+//!   SHA-1 prior to upload, enabling file-level cross-user deduplication),
+//! * a virtual/real [`clock`] abstraction so that the month-long measurement
+//!   of the paper can be reproduced in virtual time on a laptop,
+//! * the file-type taxonomy of §5.3 (categories and extensions),
+//! * the file-size categories used by Fig. 2(b),
+//! * deterministic RNG plumbing used across the workload generator.
+
+pub mod clock;
+pub mod error;
+pub mod id;
+pub mod op;
+pub mod rngx;
+pub mod sha1;
+pub mod size;
+pub mod taxonomy;
+
+pub use clock::{Clock, RealClock, SimClock, SimDuration, SimTime};
+pub use error::{CoreError, CoreResult};
+pub use id::{
+    ContentHash, MachineId, NodeId, NodeKind, ProcessId, SessionId, ShardId, UploadId, UserId,
+    VolumeId, VolumeKind,
+};
+pub use op::{ApiOpKind, RpcClass, RpcKind};
+pub use sha1::Sha1;
+pub use size::{ByteSize, SizeCategory};
+pub use taxonomy::FileCategory;

@@ -1,0 +1,203 @@
+//! Deterministic randomness plumbing.
+//!
+//! Every stochastic component in the reproduction (workload generator,
+//! latency models, failure injection) derives its RNG from a single
+//! experiment seed, so every figure in EXPERIMENTS.md is regenerable
+//! bit-for-bit. Sub-streams are derived by hashing `(seed, label, index)`
+//! through SplitMix64, which keeps streams independent without coordination.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step — the standard seed-expansion function.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a 64-bit sub-seed from a root seed, a textual label and an index.
+pub fn derive_seed(root: u64, label: &str, index: u64) -> u64 {
+    let mut state = root ^ 0xA076_1D64_78BD_642F;
+    for &b in label.as_bytes() {
+        state ^= b as u64;
+        splitmix64(&mut state);
+    }
+    state ^= index.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    splitmix64(&mut state)
+}
+
+/// Builds a fast non-cryptographic RNG for the given sub-stream.
+pub fn sub_rng(root: u64, label: &str, index: u64) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(root, label, index))
+}
+
+/// Samples an exponential inter-arrival time with the given mean.
+pub fn sample_exp(rng: &mut impl Rng, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Samples a Pareto (power-law tail) variate: `P(X >= x) = (theta/x)^alpha`
+/// for `x >= theta`. This is the distribution family the paper fits to user
+/// inter-operation times in Fig. 9 (`alpha` in (1,2)).
+pub fn sample_pareto(rng: &mut impl Rng, alpha: f64, theta: f64) -> f64 {
+    debug_assert!(alpha > 0.0 && theta > 0.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    theta / u.powf(1.0 / alpha)
+}
+
+/// Samples a log-normal variate parameterized by the mean/stddev of the
+/// underlying normal (`mu`, `sigma`). Used for file sizes and service times.
+pub fn sample_lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * sample_standard_normal(rng)).exp()
+}
+
+/// Standard normal via Box–Muller.
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a Zipf-distributed rank in `[1, n]` with exponent `s`, using
+/// rejection-inversion (Hörmann & Derflinger). Used for content popularity
+/// (Fig. 4(a): a few contents account for very many duplicates).
+pub fn sample_zipf(rng: &mut impl Rng, n: u64, s: f64) -> u64 {
+    debug_assert!(n >= 1);
+    if n == 1 {
+        return 1;
+    }
+    // For s near 1 the harmonic integral changes form; handle generally.
+    let h = |x: f64| -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            (1.0 + x).ln()
+        } else {
+            ((1.0 + x).powf(1.0 - s) - 1.0) / (1.0 - s)
+        }
+    };
+    let h_inv = |y: f64| -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            y.exp() - 1.0
+        } else {
+            (1.0 + y * (1.0 - s)).powf(1.0 / (1.0 - s)) - 1.0
+        }
+    };
+    let h_x1 = h(1.5) - 1.0;
+    let h_n = h(n as f64 + 0.5);
+    loop {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let y = h_x1 + u * (h_n - h_x1);
+        let x = h_inv(y);
+        let k = (x + 0.5).floor().max(1.0).min(n as f64) as u64;
+        // Acceptance test.
+        let hk = h(k as f64 + 0.5) - h(k as f64 - 0.5);
+        if rng.gen_range(0.0..1.0) * hk <= (k as f64).powf(-s) {
+            return k;
+        }
+    }
+}
+
+/// Weighted choice over `(item, weight)` pairs. Panics if weights are all
+/// zero or the slice is empty.
+pub fn weighted_choice<'a, T>(rng: &mut impl Rng, items: &'a [(T, f64)]) -> &'a T {
+    let total: f64 = items.iter().map(|(_, w)| *w).sum();
+    assert!(total > 0.0, "weighted_choice: zero total weight");
+    let mut target = rng.gen_range(0.0..total);
+    for (item, w) in items {
+        if target < *w {
+            return item;
+        }
+        target -= w;
+    }
+    &items.last().expect("weighted_choice: empty slice").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn derive_seed_is_deterministic_and_label_sensitive() {
+        assert_eq!(derive_seed(42, "users", 1), derive_seed(42, "users", 1));
+        assert_ne!(derive_seed(42, "users", 1), derive_seed(42, "users", 2));
+        assert_ne!(derive_seed(42, "users", 1), derive_seed(42, "files", 1));
+        assert_ne!(derive_seed(42, "users", 1), derive_seed(43, "users", 1));
+    }
+
+    #[test]
+    fn exp_has_roughly_the_requested_mean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| sample_exp(&mut rng, 10.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_theta_and_tail() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let alpha = 1.5;
+        let theta = 40.0;
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| sample_pareto(&mut rng, alpha, theta))
+            .collect();
+        assert!(samples.iter().all(|&x| x >= theta));
+        // Empirical CCDF at 2*theta should be near 2^-alpha.
+        let frac = samples.iter().filter(|&&x| x >= 2.0 * theta).count() as f64
+            / samples.len() as f64;
+        assert!((frac - 0.5f64.powf(alpha)).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..40_000 {
+            let k = sample_zipf(&mut rng, 10, 1.2);
+            assert!((1..=10).contains(&k));
+            counts[(k - 1) as usize] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn zipf_handles_n_equals_one() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(sample_zipf(&mut rng, 1, 1.1), 1);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| sample_lognormal(&mut rng, 0.0, 1.0))
+            .collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "lognormal mean {mean} <= median {median}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let items = [("a", 0.0), ("b", 1.0), ("c", 3.0)];
+        let mut b = 0;
+        let mut c = 0;
+        for _ in 0..10_000 {
+            match *weighted_choice(&mut rng, &items) {
+                "a" => panic!("zero-weight item chosen"),
+                "b" => b += 1,
+                _ => c += 1,
+            }
+        }
+        let ratio = c as f64 / b as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+}

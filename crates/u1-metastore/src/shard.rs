@@ -1,0 +1,867 @@
+//! One metadata shard.
+//!
+//! A shard owns every row of the users routed to it: their volumes, the
+//! nodes inside those volumes, and their in-flight upload jobs. All methods
+//! take the *resolved volume owner* — the [`store`](crate::store) layer is
+//! responsible for routing and for authorizing shared-volume access, which
+//! is the only case where a request involves a second shard (§3.4).
+//!
+//! Reads take the shard lock shared; the paper calls this data model
+//! "lockless" because read RPCs exploit parallel access to the shard pair
+//! and ordinary operations never span shards.
+
+use crate::model::{NodeRow, UploadJobRow, UploadState, UserRow, VolumeRow};
+use std::collections::{HashMap, HashSet};
+use u1_core::{
+    ContentHash, CoreError, CoreResult, NodeId, NodeKind, ShardId, SimDuration, SimTime, UploadId,
+    UserId, VolumeId, VolumeKind,
+};
+
+/// A deleted node reported back so the caller can release content refs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadNode {
+    pub node: NodeId,
+    pub kind: NodeKind,
+    pub content: Option<ContentHash>,
+    pub size: u64,
+}
+
+/// The mutable tables of one shard.
+#[derive(Debug, Default)]
+pub struct Shard {
+    pub id: ShardId,
+    users: HashMap<UserId, UserRow>,
+    volumes: HashMap<VolumeId, VolumeRow>,
+    nodes: HashMap<NodeId, NodeRow>,
+    /// Secondary index: nodes per volume (live and tombstoned).
+    volume_nodes: HashMap<VolumeId, HashSet<NodeId>>,
+    uploadjobs: HashMap<UploadId, UploadJobRow>,
+}
+
+impl Shard {
+    pub fn new(id: ShardId) -> Self {
+        Self {
+            id,
+            ..Default::default()
+        }
+    }
+
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn uploadjob_count(&self) -> usize {
+        self.uploadjobs.len()
+    }
+
+    /// Snapshot of every volume on this shard with live file/dir counts.
+    pub fn volume_snapshot(&self) -> Vec<crate::store::VolumeSnapshot> {
+        self.volumes
+            .values()
+            .map(|vol| {
+                let mut files = 0u64;
+                let mut dirs = 0u64;
+                for nid in self.volume_nodes.get(&vol.volume).into_iter().flatten() {
+                    if let Some(n) = self.nodes.get(nid) {
+                        if n.is_live {
+                            match n.kind {
+                                NodeKind::File => files += 1,
+                                NodeKind::Directory => dirs += 1,
+                            }
+                        }
+                    }
+                }
+                crate::store::VolumeSnapshot {
+                    volume: vol.volume,
+                    owner: vol.owner,
+                    kind: vol.kind,
+                    files,
+                    dirs,
+                    shared_to: 0,
+                }
+            })
+            .collect()
+    }
+
+    // ----- users -------------------------------------------------------
+
+    /// Creates a user and their root volume.
+    pub fn create_user(
+        &mut self,
+        user: UserId,
+        root_volume: VolumeId,
+        now: SimTime,
+    ) -> CoreResult<UserRow> {
+        if self.users.contains_key(&user) {
+            return Err(CoreError::conflict(format!("user {user} exists")));
+        }
+        let row = UserRow {
+            user,
+            shard: self.id,
+            root_volume,
+            created_at: now,
+        };
+        self.users.insert(user, row.clone());
+        self.volumes.insert(
+            root_volume,
+            VolumeRow {
+                volume: root_volume,
+                owner: user,
+                kind: VolumeKind::Root,
+                name: "Ubuntu One".to_string(),
+                generation: 0,
+                created_at: now,
+                node_count: 0,
+            },
+        );
+        self.volume_nodes.insert(root_volume, HashSet::new());
+        Ok(row)
+    }
+
+    /// `dal.get_user_data`.
+    pub fn get_user_data(&self, user: UserId) -> CoreResult<UserRow> {
+        self.users
+            .get(&user)
+            .cloned()
+            .ok_or_else(|| CoreError::not_found(format!("user {user}")))
+    }
+
+    /// `dal.get_root`.
+    pub fn get_root(&self, user: UserId) -> CoreResult<VolumeRow> {
+        let u = self.get_user_data(user)?;
+        self.volumes
+            .get(&u.root_volume)
+            .cloned()
+            .ok_or_else(|| CoreError::not_found(format!("root volume of {user}")))
+    }
+
+    /// `dal.list_volumes` — root plus UDFs owned by the user (shares are
+    /// resolved by the store layer).
+    pub fn list_volumes(&self, user: UserId) -> CoreResult<Vec<VolumeRow>> {
+        self.get_user_data(user)?;
+        let mut vols: Vec<VolumeRow> = self
+            .volumes
+            .values()
+            .filter(|v| v.owner == user)
+            .cloned()
+            .collect();
+        vols.sort_by_key(|v| v.volume);
+        Ok(vols)
+    }
+
+    // ----- volumes -----------------------------------------------------
+
+    /// `dal.create_udf`.
+    pub fn create_udf(
+        &mut self,
+        user: UserId,
+        volume: VolumeId,
+        name: &str,
+        now: SimTime,
+    ) -> CoreResult<VolumeRow> {
+        self.get_user_data(user)?;
+        if name.is_empty() {
+            return Err(CoreError::invalid("empty UDF name"));
+        }
+        if self
+            .volumes
+            .values()
+            .any(|v| v.owner == user && v.name == name)
+        {
+            return Err(CoreError::conflict(format!("UDF '{name}' exists")));
+        }
+        let row = VolumeRow {
+            volume,
+            owner: user,
+            kind: VolumeKind::UserDefined,
+            name: name.to_string(),
+            generation: 0,
+            created_at: now,
+            node_count: 0,
+        };
+        self.volumes.insert(volume, row.clone());
+        self.volume_nodes.insert(volume, HashSet::new());
+        Ok(row)
+    }
+
+    pub fn get_volume(&self, volume: VolumeId) -> CoreResult<VolumeRow> {
+        self.volumes
+            .get(&volume)
+            .cloned()
+            .ok_or_else(|| CoreError::not_found(format!("volume {volume}")))
+    }
+
+    /// `dal.delete_volume` — the cascade RPC: removes the volume and every
+    /// node it contains. The root volume cannot be deleted.
+    pub fn delete_volume(&mut self, owner: UserId, volume: VolumeId) -> CoreResult<Vec<DeadNode>> {
+        let vol = self.get_volume(volume)?;
+        if vol.owner != owner {
+            return Err(CoreError::permission_denied(format!("volume {volume}")));
+        }
+        if vol.kind == VolumeKind::Root {
+            return Err(CoreError::invalid("cannot delete the root volume"));
+        }
+        let node_ids = self.volume_nodes.remove(&volume).unwrap_or_default();
+        let mut dead = Vec::with_capacity(node_ids.len());
+        for nid in node_ids {
+            if let Some(row) = self.nodes.remove(&nid) {
+                if row.is_live {
+                    dead.push(DeadNode {
+                        node: row.node,
+                        kind: row.kind,
+                        content: row.content,
+                        size: row.size,
+                    });
+                }
+            }
+        }
+        // Abandon any in-flight uploads into the deleted volume.
+        self.uploadjobs.retain(|_, j| j.volume != volume);
+        self.volumes.remove(&volume);
+        Ok(dead)
+    }
+
+    // ----- nodes -------------------------------------------------------
+
+    fn volume_mut(&mut self, owner: UserId, volume: VolumeId) -> CoreResult<&mut VolumeRow> {
+        let vol = self
+            .volumes
+            .get_mut(&volume)
+            .ok_or_else(|| CoreError::not_found(format!("volume {volume}")))?;
+        if vol.owner != owner {
+            return Err(CoreError::permission_denied(format!("volume {volume}")));
+        }
+        Ok(vol)
+    }
+
+    fn check_parent(&self, volume: VolumeId, parent: Option<NodeId>) -> CoreResult<()> {
+        let Some(parent) = parent else {
+            return Ok(());
+        };
+        match self.nodes.get(&parent) {
+            Some(p) if p.volume == volume && p.is_live && p.kind == NodeKind::Directory => Ok(()),
+            Some(_) => Err(CoreError::invalid(format!(
+                "parent {parent} is not a live directory of {volume}"
+            ))),
+            None => Err(CoreError::not_found(format!("parent {parent}"))),
+        }
+    }
+
+    /// `dal.make_file` / `dal.make_dir`. Idempotent on (parent, name): if a
+    /// live node with the same name exists under the same parent, it is
+    /// returned unchanged — "this operation ... normally precedes a file
+    /// upload" (Table 2), and the desktop client re-issues it freely.
+    #[allow(clippy::too_many_arguments)]
+    pub fn make_node(
+        &mut self,
+        owner: UserId,
+        volume: VolumeId,
+        node_id: NodeId,
+        parent: Option<NodeId>,
+        kind: NodeKind,
+        name: &str,
+        now: SimTime,
+    ) -> CoreResult<NodeRow> {
+        if name.is_empty() {
+            return Err(CoreError::invalid("empty node name"));
+        }
+        self.volume_mut(owner, volume)?;
+        self.check_parent(volume, parent)?;
+        if let Some(existing) = self
+            .volume_nodes
+            .get(&volume)
+            .into_iter()
+            .flatten()
+            .filter_map(|nid| self.nodes.get(nid))
+            .find(|n| n.is_live && n.parent == parent && n.name == name)
+        {
+            if existing.kind != kind {
+                return Err(CoreError::conflict(format!(
+                    "node '{name}' exists with different kind"
+                )));
+            }
+            return Ok(existing.clone());
+        }
+        let vol = self.volume_mut(owner, volume)?;
+        vol.generation += 1;
+        vol.node_count += 1;
+        let generation = vol.generation;
+        let row = NodeRow {
+            node: node_id,
+            volume,
+            parent,
+            kind,
+            name: name.to_string(),
+            content: None,
+            size: 0,
+            generation,
+            is_live: true,
+            created_at: now,
+            changed_at: now,
+        };
+        self.nodes.insert(node_id, row.clone());
+        self.volume_nodes.entry(volume).or_default().insert(node_id);
+        Ok(row)
+    }
+
+    /// `dal.get_node`.
+    pub fn get_node(&self, volume: VolumeId, node: NodeId) -> CoreResult<NodeRow> {
+        match self.nodes.get(&node) {
+            Some(n) if n.volume == volume && n.is_live => Ok(n.clone()),
+            _ => Err(CoreError::not_found(format!("node {node} in {volume}"))),
+        }
+    }
+
+    /// `dal.make_content` — attaches uploaded content to a file node (the
+    /// "equivalent of an inode", Table 4). Returns the replaced content, if
+    /// any, so the caller can drop its dedup reference.
+    #[allow(clippy::too_many_arguments)]
+    pub fn make_content(
+        &mut self,
+        owner: UserId,
+        volume: VolumeId,
+        node: NodeId,
+        hash: ContentHash,
+        size: u64,
+        now: SimTime,
+    ) -> CoreResult<(NodeRow, Option<ContentHash>)> {
+        self.volume_mut(owner, volume)?;
+        let generation = {
+            let vol = self.volume_mut(owner, volume)?;
+            vol.generation += 1;
+            vol.generation
+        };
+        let row = self
+            .nodes
+            .get_mut(&node)
+            .filter(|n| n.volume == volume && n.is_live)
+            .ok_or_else(|| CoreError::not_found(format!("node {node}")))?;
+        if row.kind != NodeKind::File {
+            return Err(CoreError::invalid("make_content on a directory"));
+        }
+        let old = row.content;
+        row.content = Some(hash);
+        row.size = size;
+        row.generation = generation;
+        row.changed_at = now;
+        Ok((row.clone(), old))
+    }
+
+    /// `dal.unlink_node`. Deleting a directory cascades to everything under
+    /// it (§5.2: "deleting a directory in U1 triggers the deletion of all
+    /// the files it contains"). Returns every node that died.
+    pub fn unlink(
+        &mut self,
+        owner: UserId,
+        volume: VolumeId,
+        node: NodeId,
+        now: SimTime,
+    ) -> CoreResult<Vec<DeadNode>> {
+        self.volume_mut(owner, volume)?;
+        let root = self
+            .nodes
+            .get(&node)
+            .filter(|n| n.volume == volume && n.is_live)
+            .ok_or_else(|| CoreError::not_found(format!("node {node}")))?
+            .node;
+        // Collect the subtree (BFS over live children).
+        let mut doomed = vec![root];
+        let mut queue = vec![root];
+        while let Some(cur) = queue.pop() {
+            let children: Vec<NodeId> = self
+                .volume_nodes
+                .get(&volume)
+                .into_iter()
+                .flatten()
+                .filter_map(|nid| self.nodes.get(nid))
+                .filter(|n| n.is_live && n.parent == Some(cur))
+                .map(|n| n.node)
+                .collect();
+            doomed.extend(&children);
+            queue.extend(children);
+        }
+        let generation = {
+            let vol = self.volume_mut(owner, volume)?;
+            vol.generation += 1;
+            vol.node_count = vol.node_count.saturating_sub(doomed.len() as u64);
+            vol.generation
+        };
+        let mut dead = Vec::with_capacity(doomed.len());
+        for nid in doomed {
+            let row = self.nodes.get_mut(&nid).expect("doomed node exists");
+            row.is_live = false;
+            row.generation = generation;
+            row.changed_at = now;
+            dead.push(DeadNode {
+                node: row.node,
+                kind: row.kind,
+                content: row.content,
+                size: row.size,
+            });
+        }
+        Ok(dead)
+    }
+
+    /// `dal.move`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn move_node(
+        &mut self,
+        owner: UserId,
+        volume: VolumeId,
+        node: NodeId,
+        new_parent: Option<NodeId>,
+        new_name: &str,
+        now: SimTime,
+    ) -> CoreResult<NodeRow> {
+        if new_name.is_empty() {
+            return Err(CoreError::invalid("empty node name"));
+        }
+        self.volume_mut(owner, volume)?;
+        self.check_parent(volume, new_parent)?;
+        // A directory cannot be moved under itself.
+        if let Some(mut cursor) = new_parent {
+            loop {
+                if cursor == node {
+                    return Err(CoreError::invalid("move would create a cycle"));
+                }
+                match self.nodes.get(&cursor).and_then(|n| n.parent) {
+                    Some(p) => cursor = p,
+                    None => break,
+                }
+            }
+        }
+        let generation = {
+            let vol = self.volume_mut(owner, volume)?;
+            vol.generation += 1;
+            vol.generation
+        };
+        let row = self
+            .nodes
+            .get_mut(&node)
+            .filter(|n| n.volume == volume && n.is_live)
+            .ok_or_else(|| CoreError::not_found(format!("node {node}")))?;
+        row.parent = new_parent;
+        row.name = new_name.to_string();
+        row.generation = generation;
+        row.changed_at = now;
+        Ok(row.clone())
+    }
+
+    /// `dal.get_delta` — every node changed after `from_generation`,
+    /// including tombstones, plus the current generation.
+    pub fn get_delta(
+        &self,
+        volume: VolumeId,
+        from_generation: u64,
+    ) -> CoreResult<(u64, Vec<NodeRow>)> {
+        let vol = self.get_volume(volume)?;
+        let mut changed: Vec<NodeRow> = self
+            .volume_nodes
+            .get(&volume)
+            .into_iter()
+            .flatten()
+            .filter_map(|nid| self.nodes.get(nid))
+            .filter(|n| n.generation > from_generation)
+            .cloned()
+            .collect();
+        changed.sort_by_key(|n| (n.generation, n.node));
+        Ok((vol.generation, changed))
+    }
+
+    /// `dal.get_from_scratch` — the cascade read: every live node of the
+    /// volume (what a fresh client mirrors).
+    pub fn get_from_scratch(&self, volume: VolumeId) -> CoreResult<(u64, Vec<NodeRow>)> {
+        let vol = self.get_volume(volume)?;
+        let mut live: Vec<NodeRow> = self
+            .volume_nodes
+            .get(&volume)
+            .into_iter()
+            .flatten()
+            .filter_map(|nid| self.nodes.get(nid))
+            .filter(|n| n.is_live)
+            .cloned()
+            .collect();
+        live.sort_by_key(|n| n.node);
+        Ok((vol.generation, live))
+    }
+
+    // ----- upload jobs (Appendix A) -------------------------------------
+
+    /// `dal.make_uploadjob`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn make_uploadjob(
+        &mut self,
+        user: UserId,
+        volume: VolumeId,
+        node: NodeId,
+        upload: UploadId,
+        hash: ContentHash,
+        declared_size: u64,
+        now: SimTime,
+    ) -> CoreResult<UploadJobRow> {
+        self.get_volume(volume)?;
+        let row = UploadJobRow {
+            upload,
+            user,
+            volume,
+            node,
+            hash,
+            declared_size,
+            state: UploadState::Created,
+            multipart_id: None,
+            part_sizes: Vec::new(),
+            created_at: now,
+            touched_at: now,
+        };
+        self.uploadjobs.insert(upload, row.clone());
+        Ok(row)
+    }
+
+    /// `dal.get_uploadjob`.
+    pub fn get_uploadjob(&self, upload: UploadId) -> CoreResult<UploadJobRow> {
+        self.uploadjobs
+            .get(&upload)
+            .cloned()
+            .ok_or_else(|| CoreError::not_found(format!("uploadjob {upload}")))
+    }
+
+    /// `dal.set_uploadjob_multipart_id`.
+    pub fn set_uploadjob_multipart_id(
+        &mut self,
+        upload: UploadId,
+        multipart_id: u64,
+        now: SimTime,
+    ) -> CoreResult<()> {
+        let job = self
+            .uploadjobs
+            .get_mut(&upload)
+            .ok_or_else(|| CoreError::not_found(format!("uploadjob {upload}")))?;
+        if job.multipart_id.is_some() {
+            return Err(CoreError::conflict("multipart id already set"));
+        }
+        job.multipart_id = Some(multipart_id);
+        job.state = UploadState::InProgress;
+        job.touched_at = now;
+        Ok(())
+    }
+
+    /// `dal.add_part_to_uploadjob`.
+    pub fn add_part_to_uploadjob(
+        &mut self,
+        upload: UploadId,
+        part_size: u64,
+        now: SimTime,
+    ) -> CoreResult<UploadJobRow> {
+        let job = self
+            .uploadjobs
+            .get_mut(&upload)
+            .ok_or_else(|| CoreError::not_found(format!("uploadjob {upload}")))?;
+        if job.state != UploadState::InProgress {
+            return Err(CoreError::invalid("uploadjob has no multipart id yet"));
+        }
+        if part_size == 0 {
+            return Err(CoreError::invalid("empty upload part"));
+        }
+        job.part_sizes.push(part_size);
+        job.touched_at = now;
+        Ok(job.clone())
+    }
+
+    /// `dal.touch_uploadjob` — client liveness check on a job.
+    pub fn touch_uploadjob(&mut self, upload: UploadId, now: SimTime) -> CoreResult<()> {
+        let job = self
+            .uploadjobs
+            .get_mut(&upload)
+            .ok_or_else(|| CoreError::not_found(format!("uploadjob {upload}")))?;
+        job.touched_at = now;
+        Ok(())
+    }
+
+    /// `dal.delete_uploadjob` — on commit or cancel.
+    pub fn delete_uploadjob(&mut self, upload: UploadId) -> CoreResult<UploadJobRow> {
+        self.uploadjobs
+            .remove(&upload)
+            .ok_or_else(|| CoreError::not_found(format!("uploadjob {upload}")))
+    }
+
+    /// The weekly garbage collection: removes jobs untouched for longer
+    /// than `max_age` and returns them so the object store can abort the
+    /// corresponding multipart uploads.
+    pub fn gc_uploadjobs(&mut self, now: SimTime, max_age: SimDuration) -> Vec<UploadJobRow> {
+        let doomed: Vec<UploadId> = self
+            .uploadjobs
+            .values()
+            .filter(|j| now.since(j.touched_at) > max_age)
+            .map(|j| j.upload)
+            .collect();
+        doomed
+            .into_iter()
+            .filter_map(|id| self.uploadjobs.remove(&id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Shard, UserId, VolumeId) {
+        let mut shard = Shard::new(ShardId::new(0));
+        let user = UserId::new(1);
+        let root = VolumeId::new(100);
+        shard.create_user(user, root, SimTime::ZERO).unwrap();
+        (shard, user, root)
+    }
+
+    #[test]
+    fn create_user_makes_root_volume() {
+        let (shard, user, root) = setup();
+        let vols = shard.list_volumes(user).unwrap();
+        assert_eq!(vols.len(), 1);
+        assert_eq!(vols[0].volume, root);
+        assert_eq!(vols[0].kind, VolumeKind::Root);
+        assert_eq!(shard.get_root(user).unwrap().volume, root);
+        assert_eq!(shard.get_user_data(user).unwrap().shard, ShardId::new(0));
+    }
+
+    #[test]
+    fn duplicate_user_is_a_conflict() {
+        let (mut shard, user, _) = setup();
+        assert!(shard
+            .create_user(user, VolumeId::new(200), SimTime::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn make_node_bumps_generation_and_count() {
+        let (mut shard, user, root) = setup();
+        let n1 = shard
+            .make_node(
+                user,
+                root,
+                NodeId::new(1),
+                None,
+                NodeKind::File,
+                "a.txt",
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(n1.generation, 1);
+        let vol = shard.get_volume(root).unwrap();
+        assert_eq!(vol.generation, 1);
+        assert_eq!(vol.node_count, 1);
+    }
+
+    #[test]
+    fn make_node_is_idempotent_on_name() {
+        let (mut shard, user, root) = setup();
+        let n1 = shard
+            .make_node(user, root, NodeId::new(1), None, NodeKind::File, "a", SimTime::ZERO)
+            .unwrap();
+        let n2 = shard
+            .make_node(user, root, NodeId::new(2), None, NodeKind::File, "a", SimTime::ZERO)
+            .unwrap();
+        assert_eq!(n1.node, n2.node, "same name resolves to same node");
+        assert_eq!(shard.get_volume(root).unwrap().node_count, 1);
+        // Same name but different kind is a conflict.
+        assert!(shard
+            .make_node(user, root, NodeId::new(3), None, NodeKind::Directory, "a", SimTime::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn make_node_validates_parent() {
+        let (mut shard, user, root) = setup();
+        // Nonexistent parent.
+        assert!(shard
+            .make_node(
+                user,
+                root,
+                NodeId::new(1),
+                Some(NodeId::new(99)),
+                NodeKind::File,
+                "a",
+                SimTime::ZERO
+            )
+            .is_err());
+        // File as parent.
+        shard
+            .make_node(user, root, NodeId::new(1), None, NodeKind::File, "f", SimTime::ZERO)
+            .unwrap();
+        assert!(shard
+            .make_node(
+                user,
+                root,
+                NodeId::new(2),
+                Some(NodeId::new(1)),
+                NodeKind::File,
+                "b",
+                SimTime::ZERO
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn unlink_directory_cascades() {
+        let (mut shard, user, root) = setup();
+        let dir = shard
+            .make_node(user, root, NodeId::new(1), None, NodeKind::Directory, "d", SimTime::ZERO)
+            .unwrap();
+        let sub = shard
+            .make_node(
+                user,
+                root,
+                NodeId::new(2),
+                Some(dir.node),
+                NodeKind::Directory,
+                "sub",
+                SimTime::ZERO,
+            )
+            .unwrap();
+        shard
+            .make_node(
+                user,
+                root,
+                NodeId::new(3),
+                Some(sub.node),
+                NodeKind::File,
+                "f",
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let dead = shard.unlink(user, root, dir.node, SimTime::from_secs(5)).unwrap();
+        assert_eq!(dead.len(), 3);
+        assert_eq!(shard.get_volume(root).unwrap().node_count, 0);
+        assert!(shard.get_node(root, NodeId::new(3)).is_err());
+    }
+
+    #[test]
+    fn delta_reports_changes_and_tombstones() {
+        let (mut shard, user, root) = setup();
+        let n = shard
+            .make_node(user, root, NodeId::new(1), None, NodeKind::File, "a", SimTime::ZERO)
+            .unwrap();
+        let (gen1, delta) = shard.get_delta(root, 0).unwrap();
+        assert_eq!(gen1, 1);
+        assert_eq!(delta.len(), 1);
+        // No changes since gen1.
+        let (_, delta) = shard.get_delta(root, gen1).unwrap();
+        assert!(delta.is_empty());
+        // Unlink produces a tombstone entry.
+        shard.unlink(user, root, n.node, SimTime::from_secs(1)).unwrap();
+        let (gen2, delta) = shard.get_delta(root, gen1).unwrap();
+        assert_eq!(gen2, 2);
+        assert_eq!(delta.len(), 1);
+        assert!(!delta[0].is_live);
+    }
+
+    #[test]
+    fn make_content_replaces_and_reports_old_hash() {
+        let (mut shard, user, root) = setup();
+        let n = shard
+            .make_node(user, root, NodeId::new(1), None, NodeKind::File, "a", SimTime::ZERO)
+            .unwrap();
+        let h1 = ContentHash::from_content_id(1);
+        let h2 = ContentHash::from_content_id(2);
+        let (row, old) = shard
+            .make_content(user, root, n.node, h1, 100, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(old, None);
+        assert_eq!(row.size, 100);
+        let (row, old) = shard
+            .make_content(user, root, n.node, h2, 200, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(old, Some(h1));
+        assert_eq!(row.content, Some(h2));
+    }
+
+    #[test]
+    fn move_rejects_cycles() {
+        let (mut shard, user, root) = setup();
+        let a = shard
+            .make_node(user, root, NodeId::new(1), None, NodeKind::Directory, "a", SimTime::ZERO)
+            .unwrap();
+        let b = shard
+            .make_node(
+                user,
+                root,
+                NodeId::new(2),
+                Some(a.node),
+                NodeKind::Directory,
+                "b",
+                SimTime::ZERO,
+            )
+            .unwrap();
+        // a -> under b (its own child) must fail.
+        assert!(shard
+            .move_node(user, root, a.node, Some(b.node), "a", SimTime::ZERO)
+            .is_err());
+        // b -> root level is fine.
+        let moved = shard
+            .move_node(user, root, b.node, None, "b2", SimTime::ZERO)
+            .unwrap();
+        assert_eq!(moved.parent, None);
+        assert_eq!(moved.name, "b2");
+    }
+
+    #[test]
+    fn delete_volume_cascades_and_is_forbidden_for_root() {
+        let (mut shard, user, root) = setup();
+        assert!(shard.delete_volume(user, root).is_err());
+        let udf = shard
+            .create_udf(user, VolumeId::new(200), "Photos", SimTime::ZERO)
+            .unwrap();
+        shard
+            .make_node(user, udf.volume, NodeId::new(1), None, NodeKind::File, "x", SimTime::ZERO)
+            .unwrap();
+        let dead = shard.delete_volume(user, udf.volume).unwrap();
+        assert_eq!(dead.len(), 1);
+        assert!(shard.get_volume(udf.volume).is_err());
+    }
+
+    #[test]
+    fn permission_checks_apply() {
+        let (mut shard, _user, root) = setup();
+        let other = UserId::new(2);
+        shard.create_user(other, VolumeId::new(300), SimTime::ZERO).unwrap();
+        assert!(matches!(
+            shard.make_node(other, root, NodeId::new(9), None, NodeKind::File, "x", SimTime::ZERO),
+            Err(CoreError::PermissionDenied(_))
+        ));
+        assert!(matches!(
+            shard.delete_volume(other, root),
+            Err(CoreError::PermissionDenied(_))
+        ));
+    }
+
+    #[test]
+    fn uploadjob_lifecycle_and_gc() {
+        let (mut shard, user, root) = setup();
+        let n = shard
+            .make_node(user, root, NodeId::new(1), None, NodeKind::File, "big", SimTime::ZERO)
+            .unwrap();
+        let up = UploadId::new(50);
+        let h = ContentHash::from_content_id(9);
+        shard
+            .make_uploadjob(user, root, n.node, up, h, 10_000_000, SimTime::ZERO)
+            .unwrap();
+        // Parts before multipart id are rejected.
+        assert!(shard.add_part_to_uploadjob(up, 5_000_000, SimTime::ZERO).is_err());
+        shard.set_uploadjob_multipart_id(up, 777, SimTime::ZERO).unwrap();
+        assert!(shard.set_uploadjob_multipart_id(up, 778, SimTime::ZERO).is_err());
+        shard.add_part_to_uploadjob(up, 5_000_000, SimTime::ZERO).unwrap();
+        let job = shard.add_part_to_uploadjob(up, 5_000_000, SimTime::ZERO).unwrap();
+        assert!(job.is_complete());
+        // GC: a week-old untouched job is reaped, a fresh one is not.
+        let week = SimDuration::from_days(7);
+        let reaped = shard.gc_uploadjobs(SimTime::from_days(3), week);
+        assert!(reaped.is_empty());
+        let reaped = shard.gc_uploadjobs(SimTime::from_days(8), week);
+        assert_eq!(reaped.len(), 1);
+        assert!(shard.get_uploadjob(up).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Length-prefixed framing.
+//!
+//! Every message travels in one frame: a 4-byte big-endian length followed
+//! by the message body. The decoder is incremental — feed it arbitrary byte
+//! chunks (as they arrive from a socket) and pull complete frames out — the
+//! framing pattern the networking guides emphasize: never assume message
+//! boundaries align with read boundaries.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Hard upper bound on a frame body. Uploads are chunked well below this
+/// (the S3 part size is 5MB); anything larger is a corrupt or hostile peer.
+pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
+
+/// Framing-layer errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Peer announced a frame larger than [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME_LEN}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Wraps a message body in a frame, appending to `out`.
+pub fn encode_frame(body: &[u8], out: &mut BytesMut) {
+    debug_assert!(body.len() <= MAX_FRAME_LEN);
+    out.put_u32(body.len() as u32);
+    out.put_slice(body);
+}
+
+/// Incremental frame decoder.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds newly received bytes.
+    pub fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame body, if one is buffered.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_round_trip() {
+        let mut out = BytesMut::new();
+        encode_frame(b"hello", &mut out);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&out);
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"hello");
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn frames_survive_arbitrary_chunking() {
+        let mut out = BytesMut::new();
+        for i in 0u8..10 {
+            encode_frame(&vec![i; i as usize * 7 + 1], &mut out);
+        }
+        // Feed one byte at a time — the nastiest chunking.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in out.iter() {
+            dec.extend(&[*b]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got.len(), 10);
+        for (i, frame) in got.iter().enumerate() {
+            assert_eq!(frame.as_ref(), &vec![i as u8; i * 7 + 1][..]);
+        }
+    }
+
+    #[test]
+    fn empty_frame_is_legal() {
+        let mut out = BytesMut::new();
+        encode_frame(b"", &mut out);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&out);
+        assert_eq!(dec.next_frame().unwrap().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_buffering_it() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::TooLarge(MAX_FRAME_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn partial_header_waits_for_more() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&[0, 0]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        dec.extend(&[0, 3, b'a', b'b']);
+        assert_eq!(dec.next_frame().unwrap(), None); // body incomplete
+        dec.extend(&[b'c']);
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"abc");
+    }
+}

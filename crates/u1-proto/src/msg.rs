@@ -1,0 +1,251 @@
+//! The protocol message set.
+//!
+//! Covers every Table 2 operation plus the mechanics the paper describes
+//! around them: capability negotiation at session start (`QuerySetCaps`
+//! appears in Fig. 8), chunked content transfer (uploads are sent in parts;
+//! the back-end maps them to S3 multipart parts, Appendix A), and
+//! server-initiated pushes (§3.4.2).
+
+use u1_core::{ContentHash, NodeId, NodeKind, SessionId, UploadId, UserId, VolumeId, VolumeKind};
+
+/// Correlates requests with their responses over the persistent connection.
+/// Pushes are unsolicited and carry no request id.
+pub type RequestId = u32;
+
+/// A volume as listed by `ListVolumes`/`ListShares`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolumeInfo {
+    pub volume: VolumeId,
+    pub kind: VolumeKind,
+    /// Current generation (monotone per-volume change counter, the basis of
+    /// `GetDelta`).
+    pub generation: u64,
+    /// For shared volumes: the owning user (`shared_by` in Table 2).
+    pub owner: Option<UserId>,
+    /// Number of nodes currently in the volume.
+    pub node_count: u64,
+}
+
+/// A node as carried in deltas and rescans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    pub node: NodeId,
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub name: String,
+    pub size: u64,
+    pub hash: Option<ContentHash>,
+    /// Generation at which this node last changed.
+    pub generation: u64,
+    /// True when the delta entry reports a deletion.
+    pub is_dead: bool,
+}
+
+/// Client-to-server operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Present an OAuth token; must be the first request on a connection.
+    Authenticate { token: Vec<u8> },
+    /// Negotiate protocol capabilities (Fig. 8 startup flow).
+    QuerySetCaps { caps: Vec<String> },
+    ListVolumes,
+    ListShares,
+    CreateUdf { name: String },
+    DeleteVolume { volume: VolumeId },
+    MakeFile {
+        volume: VolumeId,
+        parent: NodeId,
+        name: String,
+    },
+    MakeDir {
+        volume: VolumeId,
+        parent: NodeId,
+        name: String,
+    },
+    Unlink { volume: VolumeId, node: NodeId },
+    Move {
+        volume: VolumeId,
+        node: NodeId,
+        new_parent: NodeId,
+        new_name: String,
+    },
+    GetDelta {
+        volume: VolumeId,
+        from_generation: u64,
+    },
+    RescanFromScratch { volume: VolumeId },
+    /// Start an upload. The client sends the SHA-1 *before* any content so
+    /// the server can deduplicate (§3.3); `reusable: true` in the response
+    /// means no bytes need to be transferred.
+    BeginUpload {
+        volume: VolumeId,
+        node: NodeId,
+        hash: ContentHash,
+        size: u64,
+    },
+    /// One part of an upload (the back-end forwards 5MB parts to S3).
+    UploadChunk { upload: UploadId, data: Vec<u8> },
+    /// Commit a finished upload.
+    CommitUpload { upload: UploadId },
+    /// Abandon an upload (client-side cancellation; the server also
+    /// garbage-collects jobs older than a week, Appendix A).
+    CancelUpload { upload: UploadId },
+    /// Download file contents.
+    GetContent { volume: VolumeId, node: NodeId },
+    /// Keep-alive.
+    Ping,
+}
+
+impl Request {
+    /// Short label for logging/diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Authenticate { .. } => "authenticate",
+            Request::QuerySetCaps { .. } => "query_set_caps",
+            Request::ListVolumes => "list_volumes",
+            Request::ListShares => "list_shares",
+            Request::CreateUdf { .. } => "create_udf",
+            Request::DeleteVolume { .. } => "delete_volume",
+            Request::MakeFile { .. } => "make_file",
+            Request::MakeDir { .. } => "make_dir",
+            Request::Unlink { .. } => "unlink",
+            Request::Move { .. } => "move",
+            Request::GetDelta { .. } => "get_delta",
+            Request::RescanFromScratch { .. } => "rescan_from_scratch",
+            Request::BeginUpload { .. } => "begin_upload",
+            Request::UploadChunk { .. } => "upload_chunk",
+            Request::CommitUpload { .. } => "commit_upload",
+            Request::CancelUpload { .. } => "cancel_upload",
+            Request::GetContent { .. } => "get_content",
+            Request::Ping => "ping",
+        }
+    }
+
+    /// True for the requests allowed before authentication completes.
+    pub fn allowed_unauthenticated(&self) -> bool {
+        matches!(
+            self,
+            Request::Authenticate { .. } | Request::QuerySetCaps { .. } | Request::Ping
+        )
+    }
+}
+
+/// Server-to-client replies. A request normally gets exactly one response;
+/// `GetContent` streams `ContentBegin`, zero or more `ContentChunk`s and a
+/// final `ContentEnd`, all tagged with the request's id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    Ok,
+    Error { code: String, message: String },
+    AuthOk { session: SessionId, user: UserId },
+    Capabilities { accepted: Vec<String> },
+    Volumes { volumes: Vec<VolumeInfo> },
+    VolumeCreated { volume: VolumeId, generation: u64 },
+    NodeCreated { node: NodeId, generation: u64 },
+    Delta {
+        volume: VolumeId,
+        generation: u64,
+        nodes: Vec<NodeInfo>,
+    },
+    UploadBegun {
+        upload: UploadId,
+        /// Dedup hit: content already known, no transfer needed (§3.3).
+        reusable: bool,
+    },
+    UploadDone {
+        node: NodeId,
+        generation: u64,
+        hash: ContentHash,
+    },
+    ContentBegin { size: u64, hash: ContentHash },
+    ContentChunk { data: Vec<u8> },
+    ContentEnd,
+    Pong,
+}
+
+impl Response {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Response::Ok => "ok",
+            Response::Error { .. } => "error",
+            Response::AuthOk { .. } => "auth_ok",
+            Response::Capabilities { .. } => "capabilities",
+            Response::Volumes { .. } => "volumes",
+            Response::VolumeCreated { .. } => "volume_created",
+            Response::NodeCreated { .. } => "node_created",
+            Response::Delta { .. } => "delta",
+            Response::UploadBegun { .. } => "upload_begun",
+            Response::UploadDone { .. } => "upload_done",
+            Response::ContentBegin { .. } => "content_begin",
+            Response::ContentChunk { .. } => "content_chunk",
+            Response::ContentEnd => "content_end",
+            Response::Pong => "pong",
+        }
+    }
+
+    /// Whether this response terminates its request (content streams only
+    /// end at `ContentEnd`/`Error`).
+    pub fn is_final(&self) -> bool {
+        !matches!(
+            self,
+            Response::ContentBegin { .. } | Response::ContentChunk { .. }
+        )
+    }
+}
+
+/// Unsolicited server pushes over the session connection (§3.4.2): "when
+/// remote content changes, the client acts on the incoming unsolicited
+/// notification (push) sent by the U1 service".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Push {
+    /// A volume the client can see advanced to a new generation; the client
+    /// reacts with `GetDelta`.
+    VolumeChanged { volume: VolumeId, generation: u64 },
+    /// A volume was shared to / created for this user.
+    VolumeCreated { volume: VolumeId, kind: VolumeKind },
+    /// A volume disappeared.
+    VolumeDeleted { volume: VolumeId },
+}
+
+/// Anything that can cross the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    Request { id: RequestId, req: Request },
+    Response { id: RequestId, resp: Response },
+    Push(Push),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unauthenticated_allowance_is_minimal() {
+        assert!(Request::Authenticate { token: vec![] }.allowed_unauthenticated());
+        assert!(Request::Ping.allowed_unauthenticated());
+        assert!(Request::QuerySetCaps { caps: vec![] }.allowed_unauthenticated());
+        assert!(!Request::ListVolumes.allowed_unauthenticated());
+        assert!(!Request::GetContent {
+            volume: VolumeId::new(0),
+            node: NodeId::new(0)
+        }
+        .allowed_unauthenticated());
+    }
+
+    #[test]
+    fn content_stream_finality() {
+        assert!(!Response::ContentBegin {
+            size: 1,
+            hash: ContentHash::EMPTY
+        }
+        .is_final());
+        assert!(!Response::ContentChunk { data: vec![1] }.is_final());
+        assert!(Response::ContentEnd.is_final());
+        assert!(Response::Ok.is_final());
+        assert!(Response::Error {
+            code: "x".into(),
+            message: "y".into()
+        }
+        .is_final());
+    }
+}

@@ -1,0 +1,96 @@
+//! Blocking TCP plumbing for the live mode.
+//!
+//! The threaded transport the guides recommend when an async runtime is not
+//! in play: one reader per connection, writes serialized by a mutex at the
+//! caller. This module only moves frames; all protocol logic lives in the
+//! sans-io [`conn`](crate::conn) state machines.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Reads whatever bytes are available (blocking for at least one), appending
+/// them to `buf`. Returns the number of bytes read; `Ok(0)` means EOF.
+pub fn read_some(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+    stream.read(buf)
+}
+
+/// Writes an entire frame, handling short writes.
+pub fn write_all(stream: &mut TcpStream, data: &[u8]) -> io::Result<()> {
+    stream.write_all(data)?;
+    Ok(())
+}
+
+/// Applies the socket options U1-style long-lived sessions want: no Nagle
+/// delay (interactive request/response) — the client holds one TCP
+/// connection open for the whole session precisely to avoid reconnect
+/// overhead (§3.3 footnote 3).
+pub fn configure(stream: &TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::{ClientConn, ServerConn, ServerEvent};
+    use crate::msg::{Request, Response};
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// End-to-end over a real socket: client pings, server pongs.
+    #[test]
+    fn ping_pong_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let server_thread = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            configure(&stream).unwrap();
+            let mut conn = ServerConn::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = read_some(&mut stream, &mut buf).unwrap();
+                if n == 0 {
+                    return;
+                }
+                for ev in conn.on_bytes(&buf[..n]).unwrap() {
+                    match ev {
+                        ServerEvent::Request {
+                            id,
+                            req: Request::Ping,
+                        } => {
+                            write_all(&mut stream, &conn.respond(id, Response::Pong)).unwrap();
+                        }
+                        other => panic!("unexpected event {other:?}"),
+                    }
+                }
+            }
+        });
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        configure(&stream).unwrap();
+        let mut conn = ClientConn::new();
+        let (id, bytes) = conn.request(Request::Ping);
+        write_all(&mut stream, &bytes).unwrap();
+        let mut buf = [0u8; 4096];
+        let mut got_pong = false;
+        while !got_pong {
+            let n = read_some(&mut stream, &mut buf).unwrap();
+            assert_ne!(n, 0, "server closed early");
+            for ev in conn.on_bytes(&buf[..n]).unwrap() {
+                match ev {
+                    crate::conn::ClientEvent::Response {
+                        id: got,
+                        resp: Response::Pong,
+                    } => {
+                        assert_eq!(got, id);
+                        got_pong = true;
+                    }
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+        }
+        drop(stream);
+        server_thread.join().unwrap();
+    }
+}

@@ -1,0 +1,257 @@
+//! Property tests for the wire format, codec and framing: arbitrary
+//! messages survive encode→frame→chunked-decode round trips, and arbitrary
+//! junk bytes never panic the decoder.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use u1_core::{ContentHash, NodeId, NodeKind, SessionId, UploadId, UserId, VolumeId, VolumeKind};
+use u1_proto::codec;
+use u1_proto::frame::{encode_frame, FrameDecoder};
+use u1_proto::msg::{Message, NodeInfo, Push, Request, Response, VolumeInfo};
+
+fn arb_hash() -> impl Strategy<Value = ContentHash> {
+    any::<u64>().prop_map(ContentHash::from_content_id)
+}
+
+fn arb_volume_kind() -> impl Strategy<Value = VolumeKind> {
+    prop_oneof![
+        Just(VolumeKind::Root),
+        Just(VolumeKind::UserDefined),
+        Just(VolumeKind::Shared)
+    ]
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    ".{0,40}"
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    let vol = any::<u64>().prop_map(VolumeId::new);
+    let node = any::<u64>().prop_map(NodeId::new);
+    let upload = any::<u64>().prop_map(UploadId::new);
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|token| Request::Authenticate { token }),
+        proptest::collection::vec(arb_name(), 0..5).prop_map(|caps| Request::QuerySetCaps { caps }),
+        Just(Request::ListVolumes),
+        Just(Request::ListShares),
+        arb_name().prop_map(|name| Request::CreateUdf { name }),
+        vol.clone().prop_map(|volume| Request::DeleteVolume { volume }),
+        (vol.clone(), node.clone(), arb_name()).prop_map(|(volume, parent, name)| {
+            Request::MakeFile {
+                volume,
+                parent,
+                name,
+            }
+        }),
+        (vol.clone(), node.clone(), arb_name()).prop_map(|(volume, parent, name)| {
+            Request::MakeDir {
+                volume,
+                parent,
+                name,
+            }
+        }),
+        (vol.clone(), node.clone()).prop_map(|(volume, node)| Request::Unlink { volume, node }),
+        (vol.clone(), node.clone(), node.clone(), arb_name()).prop_map(
+            |(volume, node, new_parent, new_name)| Request::Move {
+                volume,
+                node,
+                new_parent,
+                new_name,
+            }
+        ),
+        (vol.clone(), any::<u64>()).prop_map(|(volume, from_generation)| Request::GetDelta {
+            volume,
+            from_generation,
+        }),
+        vol.clone()
+            .prop_map(|volume| Request::RescanFromScratch { volume }),
+        (vol.clone(), node.clone(), arb_hash(), any::<u64>()).prop_map(
+            |(volume, node, hash, size)| Request::BeginUpload {
+                volume,
+                node,
+                hash,
+                size,
+            }
+        ),
+        (upload.clone(), proptest::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(upload, data)| Request::UploadChunk { upload, data }),
+        upload.clone().prop_map(|upload| Request::CommitUpload { upload }),
+        upload.prop_map(|upload| Request::CancelUpload { upload }),
+        (vol, node).prop_map(|(volume, node)| Request::GetContent { volume, node }),
+        Just(Request::Ping),
+    ]
+}
+
+fn arb_node_info() -> impl Strategy<Value = NodeInfo> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        proptest::option::of(any::<u64>()),
+        arb_name(),
+        any::<u64>(),
+        proptest::option::of(arb_hash()),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(node, is_file, parent, name, size, hash, generation, is_dead)| NodeInfo {
+                node: NodeId::new(node),
+                kind: if is_file {
+                    NodeKind::File
+                } else {
+                    NodeKind::Directory
+                },
+                parent: parent.map(NodeId::new),
+                name,
+                size,
+                hash,
+                generation,
+                is_dead,
+            },
+        )
+}
+
+fn arb_volume_info() -> impl Strategy<Value = VolumeInfo> {
+    (
+        any::<u64>(),
+        arb_volume_kind(),
+        any::<u64>(),
+        proptest::option::of(any::<u64>()),
+        any::<u64>(),
+    )
+        .prop_map(|(v, kind, generation, owner, node_count)| VolumeInfo {
+            volume: VolumeId::new(v),
+            kind,
+            generation,
+            owner: owner.map(UserId::new),
+            node_count,
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        (arb_name(), arb_name()).prop_map(|(code, message)| Response::Error { code, message }),
+        (any::<u64>(), any::<u64>()).prop_map(|(s, u)| Response::AuthOk {
+            session: SessionId::new(s),
+            user: UserId::new(u),
+        }),
+        proptest::collection::vec(arb_name(), 0..4)
+            .prop_map(|accepted| Response::Capabilities { accepted }),
+        proptest::collection::vec(arb_volume_info(), 0..8)
+            .prop_map(|volumes| Response::Volumes { volumes }),
+        (any::<u64>(), any::<u64>()).prop_map(|(v, g)| Response::VolumeCreated {
+            volume: VolumeId::new(v),
+            generation: g,
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(n, g)| Response::NodeCreated {
+            node: NodeId::new(n),
+            generation: g,
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(arb_node_info(), 0..6)
+        )
+            .prop_map(|(v, g, nodes)| Response::Delta {
+                volume: VolumeId::new(v),
+                generation: g,
+                nodes,
+            }),
+        (any::<u64>(), any::<bool>()).prop_map(|(u, reusable)| Response::UploadBegun {
+            upload: UploadId::new(u),
+            reusable,
+        }),
+        (any::<u64>(), any::<u64>(), arb_hash()).prop_map(|(n, g, hash)| Response::UploadDone {
+            node: NodeId::new(n),
+            generation: g,
+            hash,
+        }),
+        (any::<u64>(), arb_hash()).prop_map(|(size, hash)| Response::ContentBegin { size, hash }),
+        proptest::collection::vec(any::<u8>(), 0..512)
+            .prop_map(|data| Response::ContentChunk { data }),
+        Just(Response::ContentEnd),
+        Just(Response::Pong),
+    ]
+}
+
+fn arb_push() -> impl Strategy<Value = Push> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>()).prop_map(|(v, g)| Push::VolumeChanged {
+            volume: VolumeId::new(v),
+            generation: g,
+        }),
+        (any::<u64>(), arb_volume_kind()).prop_map(|(v, kind)| Push::VolumeCreated {
+            volume: VolumeId::new(v),
+            kind,
+        }),
+        any::<u64>().prop_map(|v| Push::VolumeDeleted {
+            volume: VolumeId::new(v),
+        }),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u32>(), arb_request()).prop_map(|(id, req)| Message::Request { id, req }),
+        (any::<u32>(), arb_response()).prop_map(|(id, resp)| Message::Response { id, resp }),
+        arb_push().prop_map(Message::Push),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn message_codec_round_trips(msg in arb_message()) {
+        let mut buf = BytesMut::new();
+        codec::encode(&msg, &mut buf);
+        let back = codec::decode(&buf).expect("decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn framed_messages_survive_arbitrary_chunking(
+        msgs in proptest::collection::vec(arb_message(), 1..8),
+        chunk_size in 1usize..64,
+    ) {
+        let mut stream = BytesMut::new();
+        for msg in &msgs {
+            let mut body = BytesMut::new();
+            codec::encode(msg, &mut body);
+            encode_frame(&body, &mut stream);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(chunk_size) {
+            dec.extend(chunk);
+            while let Some(frame) = dec.next_frame().expect("frame") {
+                decoded.push(codec::decode(&frame).expect("decode"));
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_junk(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever happens, it must be a clean Result, not a panic.
+        let _ = codec::decode(&junk);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&junk);
+        while let Ok(Some(frame)) = dec.next_frame() {
+            let _ = codec::decode(&frame);
+        }
+    }
+
+    #[test]
+    fn corrupting_one_byte_never_panics(msg in arb_message(), pos_seed in any::<usize>(), new_byte in any::<u8>()) {
+        let mut buf = BytesMut::new();
+        codec::encode(&msg, &mut buf);
+        if !buf.is_empty() {
+            let pos = pos_seed % buf.len();
+            buf[pos] = new_byte;
+            let _ = codec::decode(&buf); // may fail, may decode to another message; must not panic
+        }
+    }
+}

@@ -1,0 +1,935 @@
+//! API-server operation handlers — the server side of every Table-2
+//! operation, shared by live TCP mode and virtual-time measurement mode.
+//!
+//! Each handler:
+//! 1. resolves the session,
+//! 2. executes the operation's DAL RPCs against the metadata store, with a
+//!    sampled service time and an `rpc` trace record per call,
+//! 3. performs any object-store work (multipart parts, GETs, deletes),
+//! 4. logs one `storage_done` record with the summed duration, and
+//! 5. pushes notifications to other affected clients.
+
+use crate::backend::Backend;
+use crate::session::SessionHandle;
+use u1_core::{
+    ApiOpKind, ContentHash, CoreError, CoreResult, NodeId, NodeKind, RpcKind, SessionId,
+    SimDuration, UploadId, UserId, VolumeId, VolumeKind,
+};
+use u1_proto::msg::{NodeInfo, Push, VolumeInfo};
+use u1_trace::SessionEvent;
+
+/// Result of `begin_upload`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UploadOutcome {
+    /// Content already known — no bytes need to travel (§3.3 dedup).
+    Deduplicated { node: NodeId, generation: u64 },
+    /// A multipart upload job was created; stream chunks then commit.
+    Started { upload: UploadId },
+}
+
+/// Result of a committed upload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedUpload {
+    pub node: NodeId,
+    pub generation: u64,
+    pub hash: ContentHash,
+    pub bytes_transferred: u64,
+}
+
+fn ext_of(name: &str) -> &str {
+    match name.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() && !ext.is_empty() => ext,
+        _ => "",
+    }
+}
+
+fn volume_info(row: &u1_metastore::VolumeRow, owner: Option<UserId>) -> VolumeInfo {
+    VolumeInfo {
+        volume: row.volume,
+        kind: row.kind,
+        generation: row.generation,
+        owner,
+        node_count: row.node_count,
+    }
+}
+
+fn node_info(row: &u1_metastore::NodeRow) -> NodeInfo {
+    NodeInfo {
+        node: row.node,
+        kind: row.kind,
+        parent: row.parent,
+        name: row.name.clone(),
+        size: row.size,
+        hash: row.content,
+        generation: row.generation,
+        is_dead: !row.is_live,
+    }
+}
+
+impl Backend {
+    fn session(&self, session: SessionId) -> CoreResult<SessionHandle> {
+        self.sessions
+            .get(session)
+            .ok_or_else(|| CoreError::not_found(format!("session {session}")))
+    }
+
+    // ----- provisioning ---------------------------------------------------
+
+    /// First-time account setup: creates the store-side user (with root
+    /// volume) and returns the OAuth token the desktop client will keep.
+    /// Idempotent.
+    pub fn register_user(&self, user: UserId) -> u1_auth::Token {
+        let _ = self.store.create_user(user, self.now());
+        self.auth.register(user, self.now())
+    }
+
+    /// Grants `to` access to `owner`'s volume and pushes `VolumeCreated` to
+    /// the recipient's live sessions.
+    pub fn create_share(&self, owner: UserId, volume: VolumeId, to: UserId) -> CoreResult<()> {
+        self.store.create_share(owner, volume, to, self.now())?;
+        for sess in self.sessions.sessions_of(to) {
+            self.push_router.deliver(
+                sess.session,
+                Push::VolumeCreated {
+                    volume,
+                    kind: VolumeKind::Shared,
+                },
+                true,
+            );
+        }
+        Ok(())
+    }
+
+    // ----- session lifecycle ------------------------------------------------
+
+    /// The Authenticate flow (§3.4.1): resolve the token against the auth
+    /// service (one `auth.get_user_id_from_token` RPC), then establish the
+    /// session on the least-loaded process.
+    pub fn open_session(&self, token: u1_auth::Token) -> CoreResult<SessionHandle> {
+        let slot = self.cluster.place_session();
+        self.rpc(slot, UserId::new(0), RpcKind::GetUserIdFromToken, 0);
+        match self.auth.get_user_id_from_token(token, self.now()) {
+            Ok(user) => {
+                self.log_auth(slot, user, true);
+                // Session start-up reads.
+                self.rpc(slot, user, RpcKind::GetUserData, 0);
+                self.rpc(slot, user, RpcKind::GetRoot, 0);
+                self.store.get_user_data(user)?;
+                let handle = self.sessions.open(user, slot, self.now());
+                self.log_session_event(&handle, SessionEvent::Open);
+                Ok(handle)
+            }
+            Err(e) => {
+                self.log_auth(slot, UserId::new(0), false);
+                self.cluster.release_session(slot);
+                Err(e)
+            }
+        }
+    }
+
+    /// Ends a session (client disconnect, NAT cut, crash — they all look
+    /// the same: the TCP connection dies, §3.1.1).
+    pub fn close_session(&self, session: SessionId) -> CoreResult<()> {
+        let (handle, _ops, _data_ops) = self
+            .sessions
+            .close(session)
+            .ok_or_else(|| CoreError::not_found(format!("session {session}")))?;
+        self.push_router.unregister(session);
+        self.cluster.release_session(handle.slot);
+        self.log_session_event(&handle, SessionEvent::Close);
+        Ok(())
+    }
+
+    /// Capability negotiation (appears in the Fig. 8 startup flow).
+    pub fn query_set_caps(&self, session: SessionId, caps: Vec<String>) -> CoreResult<Vec<String>> {
+        let h = self.session(session)?;
+        self.log_storage(
+            &h,
+            ApiOpKind::QuerySetCaps,
+            VolumeId::new(0),
+            None,
+            None,
+            0,
+            None,
+            "",
+            true,
+            SimDuration::from_micros(50),
+        );
+        Ok(caps)
+    }
+
+    // ----- volume operations -------------------------------------------------
+
+    /// ListVolumes: all volumes of the user — root, UDFs and shares.
+    pub fn list_volumes(&self, session: SessionId) -> CoreResult<Vec<VolumeInfo>> {
+        let h = self.session(session)?;
+        let d = self.rpc(h.slot, h.user, RpcKind::ListVolumes, 0);
+        let result = self.store.list_volumes(h.user).map(|owned| {
+            let mut vols: Vec<VolumeInfo> = owned.iter().map(|v| volume_info(v, None)).collect();
+            if let Ok(shares) = self.store.list_shares(h.user) {
+                vols.extend(shares.iter().map(|(v, owner)| {
+                    let mut info = volume_info(v, Some(*owner));
+                    info.kind = VolumeKind::Shared;
+                    info
+                }));
+            }
+            vols
+        });
+        self.log_storage(
+            &h,
+            ApiOpKind::ListVolumes,
+            VolumeId::new(0),
+            None,
+            None,
+            0,
+            None,
+            "",
+            result.is_ok(),
+            d,
+        );
+        result
+    }
+
+    /// ListShares: only the volumes shared *to* this user.
+    pub fn list_shares(&self, session: SessionId) -> CoreResult<Vec<VolumeInfo>> {
+        let h = self.session(session)?;
+        let d = self.rpc(h.slot, h.user, RpcKind::ListShares, 0);
+        let result = self.store.list_shares(h.user).map(|shares| {
+            shares
+                .iter()
+                .map(|(v, owner)| {
+                    let mut info = volume_info(v, Some(*owner));
+                    info.kind = VolumeKind::Shared;
+                    info
+                })
+                .collect::<Vec<_>>()
+        });
+        self.log_storage(
+            &h,
+            ApiOpKind::ListShares,
+            VolumeId::new(0),
+            None,
+            None,
+            0,
+            None,
+            "",
+            result.is_ok(),
+            d,
+        );
+        result
+    }
+
+    /// CreateUDF.
+    pub fn create_udf(&self, session: SessionId, name: &str) -> CoreResult<VolumeInfo> {
+        let h = self.session(session)?;
+        let d = self.rpc(h.slot, h.user, RpcKind::CreateUdf, 0);
+        let result = self.store.create_udf(h.user, name, self.now());
+        self.log_storage(
+            &h,
+            ApiOpKind::CreateUdf,
+            result.as_ref().map(|v| v.volume).unwrap_or_default(),
+            None,
+            None,
+            0,
+            None,
+            "",
+            result.is_ok(),
+            d,
+        );
+        let row = result?;
+        // The user's *other* devices learn about the new volume by push.
+        for sess in self.sessions.sessions_of(h.user) {
+            if sess.session != session {
+                self.push_router.deliver(
+                    sess.session,
+                    Push::VolumeCreated {
+                        volume: row.volume,
+                        kind: VolumeKind::UserDefined,
+                    },
+                    sess.slot == h.slot,
+                );
+            }
+        }
+        Ok(volume_info(&row, None))
+    }
+
+    /// DeleteVolume — the cascade operation.
+    pub fn delete_volume(&self, session: SessionId, volume: VolumeId) -> CoreResult<u64> {
+        let h = self.session(session)?;
+        // Notify *before* the rows disappear so recipients are still known.
+        let result = self.store.delete_volume(h.user, volume);
+        let rows = result.as_ref().map(|r| r.dead.len() as u64).unwrap_or(0);
+        let d = self.rpc(h.slot, h.user, RpcKind::DeleteVolume, rows);
+        self.log_storage(
+            &h,
+            ApiOpKind::DeleteVolume,
+            volume,
+            None,
+            None,
+            0,
+            None,
+            "",
+            result.is_ok(),
+            d,
+        );
+        let released = result?;
+        for hash in &released.unreferenced {
+            self.blobs.delete(*hash);
+        }
+        // Other devices of this user learn the volume is gone.
+        for sess in self.sessions.sessions_of(h.user) {
+            if sess.session != session {
+                self.push_router
+                    .deliver(sess.session, Push::VolumeDeleted { volume }, sess.slot == h.slot);
+            }
+        }
+        Ok(released.dead.len() as u64)
+    }
+
+    // ----- namespace operations ----------------------------------------------
+
+    /// Make (file or directory): creates the metadata entry; for files this
+    /// "normally precedes a file upload" (Table 2).
+    pub fn make_node(
+        &self,
+        session: SessionId,
+        volume: VolumeId,
+        parent: Option<NodeId>,
+        kind: NodeKind,
+        name: &str,
+    ) -> CoreResult<NodeInfo> {
+        let h = self.session(session)?;
+        let rpc_kind = match kind {
+            NodeKind::File => RpcKind::MakeFile,
+            NodeKind::Directory => RpcKind::MakeDir,
+        };
+        let op = match kind {
+            NodeKind::File => ApiOpKind::MakeFile,
+            NodeKind::Directory => ApiOpKind::MakeDir,
+        };
+        let d = self.rpc(h.slot, h.user, rpc_kind, 0);
+        let result = self
+            .store
+            .make_node(h.user, volume, parent, kind, name, self.now());
+        self.log_storage(
+            &h,
+            op,
+            volume,
+            result.as_ref().ok().map(|n| n.node),
+            Some(kind),
+            0,
+            None,
+            ext_of(name),
+            result.is_ok(),
+            d,
+        );
+        let row = result?;
+        self.notify_change(
+            &h,
+            volume,
+            Push::VolumeChanged {
+                volume,
+                generation: row.generation,
+            },
+        );
+        Ok(node_info(&row))
+    }
+
+    /// Unlink.
+    pub fn unlink(&self, session: SessionId, volume: VolumeId, node: NodeId) -> CoreResult<u64> {
+        let h = self.session(session)?;
+        let d = self.rpc(h.slot, h.user, RpcKind::UnlinkNode, 0);
+        // Capture identity before deletion for the trace record.
+        let pre = self.store.get_node(h.user, volume, node).ok();
+        let result = self.store.unlink(h.user, volume, node, self.now());
+        self.log_storage(
+            &h,
+            ApiOpKind::Unlink,
+            volume,
+            Some(node),
+            pre.as_ref().map(|n| n.kind),
+            0,
+            pre.as_ref().and_then(|n| n.content),
+            pre.as_ref().map(|n| ext_of(&n.name)).unwrap_or(""),
+            result.is_ok(),
+            d,
+        );
+        let released = result?;
+        for hash in &released.unreferenced {
+            self.blobs.delete(*hash);
+        }
+        let generation = self
+            .store
+            .get_delta(h.user, volume, u64::MAX)
+            .map(|(g, _)| g)
+            .unwrap_or(0);
+        self.notify_change(&h, volume, Push::VolumeChanged { volume, generation });
+        Ok(released.dead.len() as u64)
+    }
+
+    /// Move.
+    pub fn move_node(
+        &self,
+        session: SessionId,
+        volume: VolumeId,
+        node: NodeId,
+        new_parent: Option<NodeId>,
+        new_name: &str,
+    ) -> CoreResult<NodeInfo> {
+        let h = self.session(session)?;
+        let d = self.rpc(h.slot, h.user, RpcKind::Move, 0);
+        let result = self
+            .store
+            .move_node(h.user, volume, node, new_parent, new_name, self.now());
+        self.log_storage(
+            &h,
+            ApiOpKind::Move,
+            volume,
+            Some(node),
+            result.as_ref().ok().map(|n| n.kind),
+            0,
+            None,
+            ext_of(new_name),
+            result.is_ok(),
+            d,
+        );
+        let row = result?;
+        self.notify_change(
+            &h,
+            volume,
+            Push::VolumeChanged {
+                volume,
+                generation: row.generation,
+            },
+        );
+        Ok(node_info(&row))
+    }
+
+    /// GetDelta: changes since a known generation.
+    pub fn get_delta(
+        &self,
+        session: SessionId,
+        volume: VolumeId,
+        from_generation: u64,
+    ) -> CoreResult<(u64, Vec<NodeInfo>)> {
+        let h = self.session(session)?;
+        let d1 = self.rpc(h.slot, h.user, RpcKind::GetVolumeId, 0);
+        let d2 = self.rpc(h.slot, h.user, RpcKind::GetDelta, 0);
+        let result = self.store.get_delta(h.user, volume, from_generation);
+        self.log_storage(
+            &h,
+            ApiOpKind::GetDelta,
+            volume,
+            None,
+            None,
+            0,
+            None,
+            "",
+            result.is_ok(),
+            d1 + d2,
+        );
+        let (generation, rows) = result?;
+        Ok((generation, rows.iter().map(node_info).collect()))
+    }
+
+    /// RescanFromScratch: the full-volume cascade read.
+    pub fn rescan_from_scratch(
+        &self,
+        session: SessionId,
+        volume: VolumeId,
+    ) -> CoreResult<(u64, Vec<NodeInfo>)> {
+        let h = self.session(session)?;
+        let result = self.store.get_from_scratch(h.user, volume);
+        let rows = result.as_ref().map(|(_, v)| v.len() as u64).unwrap_or(0);
+        let d = self.rpc(h.slot, h.user, RpcKind::GetFromScratch, rows);
+        self.log_storage(
+            &h,
+            ApiOpKind::RescanFromScratch,
+            volume,
+            None,
+            None,
+            0,
+            None,
+            "",
+            result.is_ok(),
+            d,
+        );
+        let (generation, nodes) = result?;
+        Ok((generation, nodes.iter().map(node_info).collect()))
+    }
+
+    // ----- transfers (Appendix A) ----------------------------------------------
+
+    /// Upload phase 1: the dedup probe and, on a miss, upload-job setup.
+    /// The client sent the SHA-1 *before* any content (§3.3).
+    pub fn begin_upload(
+        &self,
+        session: SessionId,
+        volume: VolumeId,
+        node: NodeId,
+        hash: ContentHash,
+        size: u64,
+    ) -> CoreResult<UploadOutcome> {
+        let h = self.session(session)?;
+        let mut d = self.rpc(h.slot, h.user, RpcKind::GetReusableContent, 0);
+        let node_row = self.store.get_node(h.user, volume, node)?;
+        if self.store.get_reusable_content(hash, size).is_some() && self.blobs.contains(hash) {
+            // Dedup hit: link and finish — no transfer.
+            d = d + self.rpc(h.slot, h.user, RpcKind::MakeContent, 0);
+            let (row, released) = self
+                .store
+                .make_content(h.user, volume, node, hash, size, self.now())?;
+            if let Some(old) = released {
+                self.blobs.delete(old);
+            }
+            self.log_storage(
+                &h,
+                ApiOpKind::Upload,
+                volume,
+                Some(node),
+                Some(NodeKind::File),
+                size,
+                Some(hash),
+                ext_of(&node_row.name),
+                true,
+                d,
+            );
+            self.notify_change(
+                &h,
+                volume,
+                Push::VolumeChanged {
+                    volume,
+                    generation: row.generation,
+                },
+            );
+            return Ok(UploadOutcome::Deduplicated {
+                node,
+                generation: row.generation,
+            });
+        }
+        // Miss: set up the multipart upload job.
+        self.rpc(h.slot, h.user, RpcKind::MakeUploadJob, 0);
+        let job = self
+            .store
+            .make_uploadjob(h.user, volume, node, hash, size, self.now())?;
+        let mp = self.blobs.initiate_multipart(self.now());
+        self.rpc(h.slot, h.user, RpcKind::SetUploadJobMultipartId, 0);
+        self.store
+            .set_uploadjob_multipart_id(h.user, job.upload, mp, self.now())?;
+        Ok(UploadOutcome::Started { upload: job.upload })
+    }
+
+    /// Upload phase 2: one chunk. The API server forwards it to the object
+    /// store as a multipart part and records it in the upload job.
+    pub fn upload_chunk(
+        &self,
+        session: SessionId,
+        upload: UploadId,
+        len: u64,
+        data: Option<Vec<u8>>,
+    ) -> CoreResult<()> {
+        let h = self.session(session)?;
+        self.rpc(h.slot, h.user, RpcKind::AddPartToUploadJob, 0);
+        let job = self
+            .store
+            .add_part_to_uploadjob(h.user, upload, len, self.now())?;
+        let mp = job
+            .multipart_id
+            .ok_or_else(|| CoreError::invalid("uploadjob has no multipart id"))?;
+        self.blobs
+            .upload_part(mp, len, if self.cfg.store_real_bytes { data } else { None })
+            .map_err(|e| CoreError::invalid(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Upload phase 3: commit. Completes the S3 multipart, attaches content
+    /// to the node, deletes the upload job, logs the Upload operation.
+    pub fn commit_upload(&self, session: SessionId, upload: UploadId) -> CoreResult<CommittedUpload> {
+        let h = self.session(session)?;
+        let mut d = self.rpc(h.slot, h.user, RpcKind::GetUploadJob, 0);
+        let job = self.store.get_uploadjob(h.user, upload)?;
+        if !job.is_complete() {
+            return Err(CoreError::invalid(format!(
+                "upload {upload} incomplete: {}/{} bytes",
+                job.bytes_received(),
+                job.declared_size
+            )));
+        }
+        let mp = job
+            .multipart_id
+            .ok_or_else(|| CoreError::invalid("uploadjob has no multipart id"))?;
+        self.blobs
+            .complete_multipart(mp, job.hash, self.now())
+            .map_err(|e| CoreError::invalid(e.to_string()))?;
+        d = d + self.rpc(h.slot, h.user, RpcKind::MakeContent, 0);
+        let (row, released) = self.store.make_content(
+            h.user,
+            job.volume,
+            job.node,
+            job.hash,
+            job.declared_size,
+            self.now(),
+        )?;
+        if let Some(old) = released {
+            self.blobs.delete(old);
+        }
+        d = d + self.rpc(h.slot, h.user, RpcKind::DeleteUploadJob, 0);
+        self.store.delete_uploadjob(h.user, upload)?;
+        let node_row = self.store.get_node(h.user, job.volume, job.node)?;
+        d = d + self.transfer_time(job.declared_size);
+        self.log_storage(
+            &h,
+            ApiOpKind::Upload,
+            job.volume,
+            Some(job.node),
+            Some(NodeKind::File),
+            job.declared_size,
+            Some(job.hash),
+            ext_of(&node_row.name),
+            true,
+            d,
+        );
+        self.notify_change(
+            &h,
+            job.volume,
+            Push::VolumeChanged {
+                volume: job.volume,
+                generation: row.generation,
+            },
+        );
+        Ok(CommittedUpload {
+            node: job.node,
+            generation: row.generation,
+            hash: job.hash,
+            bytes_transferred: job.declared_size,
+        })
+    }
+
+    /// Client-side cancellation of an in-flight upload.
+    pub fn cancel_upload(&self, session: SessionId, upload: UploadId) -> CoreResult<()> {
+        let h = self.session(session)?;
+        self.rpc(h.slot, h.user, RpcKind::DeleteUploadJob, 0);
+        let job = self.store.delete_uploadjob(h.user, upload)?;
+        if let Some(mp) = job.multipart_id {
+            let _ = self.blobs.abort_multipart(mp);
+        }
+        Ok(())
+    }
+
+    /// The whole upload in one call — what the virtual-time client uses.
+    /// Chunks at the 5MB S3 part size.
+    pub fn upload_file(
+        &self,
+        session: SessionId,
+        volume: VolumeId,
+        node: NodeId,
+        hash: ContentHash,
+        size: u64,
+    ) -> CoreResult<(bool, u64)> {
+        match self.begin_upload(session, volume, node, hash, size)? {
+            UploadOutcome::Deduplicated { .. } => Ok((true, 0)),
+            UploadOutcome::Started { upload } => {
+                let mut remaining = size.max(1);
+                while remaining > 0 {
+                    let part = remaining.min(u1_blobstore::PART_SIZE);
+                    self.upload_chunk(session, upload, part, None)?;
+                    remaining -= part;
+                }
+                let committed = self.commit_upload(session, upload)?;
+                Ok((false, committed.bytes_transferred))
+            }
+        }
+    }
+
+    /// Download (GetContent). Returns (size, hash, bytes-if-live).
+    pub fn download(
+        &self,
+        session: SessionId,
+        volume: VolumeId,
+        node: NodeId,
+    ) -> CoreResult<(u64, ContentHash, Option<Vec<u8>>)> {
+        let h = self.session(session)?;
+        let d = self.rpc(h.slot, h.user, RpcKind::GetNode, 0);
+        let row = self.store.get_node(h.user, volume, node);
+        let result = match &row {
+            Ok(r) => match (r.kind, r.content) {
+                (NodeKind::File, Some(hash)) => match self.blobs.get(hash, self.now()) {
+                    Some((meta, data)) => Ok((meta.size, hash, data)),
+                    None => Err(CoreError::not_found(format!("content of {node}"))),
+                },
+                _ => Err(CoreError::invalid(format!("{node} has no content"))),
+            },
+            Err(e) => Err(e.clone()),
+        };
+        let size = result.as_ref().map(|(s, _, _)| *s).unwrap_or(0);
+        self.log_storage(
+            &h,
+            ApiOpKind::Download,
+            volume,
+            Some(node),
+            row.as_ref().ok().map(|r| r.kind),
+            size,
+            result.as_ref().ok().map(|(_, h, _)| *h),
+            row.as_ref().map(|r| ext_of(&r.name)).unwrap_or(""),
+            result.is_ok(),
+            d + self.transfer_time(size),
+        );
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendConfig;
+    use std::sync::Arc;
+    use u1_core::{SimClock, Sha1};
+    use u1_trace::MemorySink;
+
+    fn backend() -> (Arc<Backend>, Arc<MemorySink>, Arc<SimClock>) {
+        let clock = Arc::new(SimClock::new());
+        let sink = Arc::new(MemorySink::new());
+        let cfg = BackendConfig {
+            auth: u1_auth::AuthConfig {
+                transient_failure_rate: 0.0,
+                token_ttl: None,
+            },
+            store_real_bytes: true,
+            ..Default::default()
+        };
+        let backend = Arc::new(Backend::new(cfg, clock.clone(), sink.clone()));
+        (backend, sink, clock)
+    }
+
+    fn open(b: &Backend, user: u64) -> SessionHandle {
+        let token = b.register_user(UserId::new(user));
+        b.open_session(token).unwrap()
+    }
+
+    #[test]
+    fn session_lifecycle_with_auth() {
+        let (b, sink, _clock) = backend();
+        let h = open(&b, 1);
+        assert_eq!(b.sessions.live_count(), 1);
+        b.close_session(h.session).unwrap();
+        assert_eq!(b.sessions.live_count(), 0);
+        let recs = sink.take_sorted();
+        let kinds: Vec<&str> = recs.iter().map(|r| r.payload.request_type()).collect();
+        assert!(kinds.contains(&"auth"));
+        assert!(kinds.contains(&"session"));
+        assert!(kinds.contains(&"rpc"));
+    }
+
+    #[test]
+    fn bad_token_is_rejected_and_logged() {
+        let (b, sink, _clock) = backend();
+        let bogus = u1_auth::Token([7u8; 16]);
+        assert!(b.open_session(bogus).is_err());
+        let recs = sink.take_sorted();
+        let auth_fail = recs.iter().any(|r| {
+            matches!(
+                r.payload,
+                u1_trace::Payload::Auth { success: false, .. }
+            )
+        });
+        assert!(auth_fail);
+        assert_eq!(b.sessions.live_count(), 0);
+    }
+
+    #[test]
+    fn full_upload_download_round_trip_with_real_bytes() {
+        let (b, _sink, _clock) = backend();
+        let h = open(&b, 1);
+        let root = b.list_volumes(h.session).unwrap()[0].volume;
+        let node = b
+            .make_node(h.session, root, None, NodeKind::File, "hello.txt")
+            .unwrap();
+        let data = b"hello, personal cloud".to_vec();
+        let hash = Sha1::digest(&data);
+
+        match b
+            .begin_upload(h.session, root, node.node, hash, data.len() as u64)
+            .unwrap()
+        {
+            UploadOutcome::Started { upload } => {
+                b.upload_chunk(h.session, upload, data.len() as u64, Some(data.clone()))
+                    .unwrap();
+                let committed = b.commit_upload(h.session, upload).unwrap();
+                assert_eq!(committed.hash, hash);
+            }
+            other => panic!("expected Started, got {other:?}"),
+        }
+        let (size, got_hash, got_data) = b.download(h.session, root, node.node).unwrap();
+        assert_eq!(size, data.len() as u64);
+        assert_eq!(got_hash, hash);
+        assert_eq!(got_data.unwrap(), data);
+    }
+
+    #[test]
+    fn second_upload_of_same_content_deduplicates() {
+        let (b, _sink, _clock) = backend();
+        let h1 = open(&b, 1);
+        let h2 = open(&b, 2);
+        let v1 = b.list_volumes(h1.session).unwrap()[0].volume;
+        let v2 = b.list_volumes(h2.session).unwrap()[0].volume;
+        let n1 = b.make_node(h1.session, v1, None, NodeKind::File, "song.mp3").unwrap();
+        let n2 = b.make_node(h2.session, v2, None, NodeKind::File, "same.mp3").unwrap();
+        let hash = ContentHash::from_content_id(77);
+
+        let (dedup, sent) = b.upload_file(h1.session, v1, n1.node, hash, 8_000_000).unwrap();
+        assert!(!dedup);
+        assert_eq!(sent, 8_000_000);
+        let (dedup, sent) = b.upload_file(h2.session, v2, n2.node, hash, 8_000_000).unwrap();
+        assert!(dedup, "cross-user dedup should hit");
+        assert_eq!(sent, 0);
+        assert!((b.store.dedup_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(b.blobs.stats().objects, 1);
+    }
+
+    #[test]
+    fn incomplete_upload_cannot_commit_but_can_resume() {
+        let (b, _sink, _clock) = backend();
+        let h = open(&b, 1);
+        let v = b.list_volumes(h.session).unwrap()[0].volume;
+        let n = b.make_node(h.session, v, None, NodeKind::File, "big.iso").unwrap();
+        let hash = ContentHash::from_content_id(5);
+        let size = 12 * 1024 * 1024u64;
+        let upload = match b.begin_upload(h.session, v, n.node, hash, size).unwrap() {
+            UploadOutcome::Started { upload } => upload,
+            other => panic!("{other:?}"),
+        };
+        b.upload_chunk(h.session, upload, 5 << 20, None).unwrap();
+        // Interrupted: commit refuses.
+        assert!(b.commit_upload(h.session, upload).is_err());
+        // Resume: the job remembers the received parts.
+        let job = b.store.get_uploadjob(h.user, upload).unwrap();
+        assert_eq!(job.bytes_received(), 5 << 20);
+        b.upload_chunk(h.session, upload, 5 << 20, None).unwrap();
+        b.upload_chunk(h.session, upload, size - (10 << 20), None).unwrap();
+        assert!(b.commit_upload(h.session, upload).is_ok());
+    }
+
+    #[test]
+    fn push_notification_reaches_other_device_of_same_user() {
+        let (b, _sink, _clock) = backend();
+        let token = b.register_user(UserId::new(1));
+        let h1 = b.open_session(token).unwrap();
+        let h2 = b.open_session(token).unwrap(); // second device
+        let (tx, rx) = crossbeam::channel::unbounded();
+        b.push_router.register(h2.session, tx);
+        let v = b.list_volumes(h1.session).unwrap()[0].volume;
+        b.make_node(h1.session, v, None, NodeKind::File, "new.txt").unwrap();
+        b.pump_broker();
+        let pushes = u1_notify::drain(&rx);
+        assert_eq!(pushes.len(), 1, "second device must be pushed");
+        assert!(matches!(pushes[0], Push::VolumeChanged { .. }));
+    }
+
+    #[test]
+    fn push_notification_reaches_share_recipient() {
+        let (b, _sink, _clock) = backend();
+        let h1 = open(&b, 1);
+        let h2 = open(&b, 2);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        b.push_router.register(h2.session, tx);
+        let udf = b.create_udf(h1.session, "Shared").unwrap();
+        b.create_share(h1.user, udf.volume, h2.user).unwrap();
+        // Recipient got VolumeCreated.
+        assert!(matches!(
+            u1_notify::drain(&rx)[..],
+            [Push::VolumeCreated { .. }]
+        ));
+        // A change by the owner lands as VolumeChanged at the recipient.
+        b.make_node(h1.session, udf.volume, None, NodeKind::File, "x.pdf")
+            .unwrap();
+        b.pump_broker();
+        let pushes = u1_notify::drain(&rx);
+        assert!(
+            pushes.iter().any(|p| matches!(p, Push::VolumeChanged { .. })),
+            "{pushes:?}"
+        );
+    }
+
+    #[test]
+    fn unlink_releases_unreferenced_content_from_blobstore() {
+        let (b, _sink, _clock) = backend();
+        let h = open(&b, 1);
+        let v = b.list_volumes(h.session).unwrap()[0].volume;
+        let n = b.make_node(h.session, v, None, NodeKind::File, "f.bin").unwrap();
+        let hash = ContentHash::from_content_id(3);
+        b.upload_file(h.session, v, n.node, hash, 1000).unwrap();
+        assert!(b.blobs.contains(hash));
+        b.unlink(h.session, v, n.node).unwrap();
+        assert!(!b.blobs.contains(hash), "S3 object deleted with last ref");
+    }
+
+    #[test]
+    fn get_delta_tracks_changes() {
+        let (b, _sink, _clock) = backend();
+        let h = open(&b, 1);
+        let v = b.list_volumes(h.session).unwrap()[0].volume;
+        let (gen0, delta) = b.get_delta(h.session, v, 0).unwrap();
+        assert_eq!(gen0, 0);
+        assert!(delta.is_empty());
+        b.make_node(h.session, v, None, NodeKind::Directory, "docs").unwrap();
+        let (gen1, delta) = b.get_delta(h.session, v, gen0).unwrap();
+        assert_eq!(gen1, 1);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].name, "docs");
+    }
+
+    #[test]
+    fn maintenance_reaps_stale_uploadjobs() {
+        let (b, _sink, clock) = backend();
+        let h = open(&b, 1);
+        let v = b.list_volumes(h.session).unwrap()[0].volume;
+        let n = b.make_node(h.session, v, None, NodeKind::File, "stale.bin").unwrap();
+        let upload = match b
+            .begin_upload(h.session, v, n.node, ContentHash::from_content_id(1), 10 << 20)
+            .unwrap()
+        {
+            UploadOutcome::Started { upload } => upload,
+            other => panic!("{other:?}"),
+        };
+        b.upload_chunk(h.session, upload, 5 << 20, None).unwrap();
+        clock.set(u1_core::SimTime::from_days(8));
+        assert_eq!(b.run_maintenance(), 1);
+        assert!(b.store.get_uploadjob(h.user, upload).is_err());
+        assert_eq!(b.blobs.stats().multipart_aborted, 1);
+    }
+
+    #[test]
+    fn ban_user_removes_sessions_content_and_token() {
+        let (b, _sink, _clock) = backend();
+        let token = b.register_user(UserId::new(66));
+        let h = b.open_session(token).unwrap();
+        let v = b.list_volumes(h.session).unwrap()[0].volume;
+        let n = b.make_node(h.session, v, None, NodeKind::File, "warez.zip").unwrap();
+        let hash = ContentHash::from_content_id(666);
+        b.upload_file(h.session, v, n.node, hash, 50_000_000).unwrap();
+
+        let evicted = b.ban_user(UserId::new(66));
+        assert_eq!(evicted, 1);
+        assert_eq!(b.sessions.live_count(), 0);
+        assert!(!b.blobs.contains(hash), "fraudulent content deleted");
+        assert!(b.open_session(token).is_err(), "token revoked");
+    }
+
+    #[test]
+    fn failed_ops_are_logged_as_failures() {
+        let (b, sink, _clock) = backend();
+        let h = open(&b, 1);
+        let v = b.list_volumes(h.session).unwrap()[0].volume;
+        let _ = sink.take_sorted();
+        assert!(b.download(h.session, v, NodeId::new(424242)).is_err());
+        let recs = sink.take_sorted();
+        assert!(recs.iter().any(|r| matches!(
+            &r.payload,
+            u1_trace::Payload::Storage {
+                op: ApiOpKind::Download,
+                success: false,
+                ..
+            }
+        )));
+    }
+}

@@ -1,0 +1,339 @@
+//! [`Backend`]: ownership and wiring of every back-end component, plus the
+//! cross-cutting helpers (RPC execution with service-time sampling and
+//! tracing, push fan-out, maintenance, abuse response).
+
+use crate::cluster::{Cluster, ClusterConfig, Slot};
+use crate::push::{PushRouter, VolumeEvent};
+use crate::session::{SessionHandle, SessionTable};
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use u1_auth::{AuthConfig, AuthService};
+use u1_blobstore::BlobStore;
+use u1_core::{
+    ApiOpKind, Clock, ContentHash, NodeId, NodeKind, RpcKind, SimDuration, SimTime,
+    UserId, VolumeId,
+};
+use u1_metastore::{LatencyModel, LatencyProfile, MetaStore, StoreConfig};
+use u1_notify::{Broker, SubscriberId};
+use u1_proto::msg::Push;
+use u1_trace::{Payload, TraceRecord, TraceSink};
+
+/// Everything tunable about the back-end.
+#[derive(Clone)]
+pub struct BackendConfig {
+    pub cluster: ClusterConfig,
+    pub store: StoreConfig,
+    pub auth: AuthConfig,
+    pub latency: LatencyProfile,
+    /// Root seed for every stochastic model inside the back-end.
+    pub seed: u64,
+    /// Effective client↔S3 forwarding bandwidth used to account transfer
+    /// time into upload/download durations (bytes/second).
+    pub transfer_bandwidth: u64,
+    /// Keep real object bytes (live mode) or sizes only (measurement mode).
+    pub store_real_bytes: bool,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        Self {
+            cluster: ClusterConfig::default(),
+            store: StoreConfig::default(),
+            auth: AuthConfig::default(),
+            latency: LatencyProfile::default(),
+            seed: 0xD1CE,
+            transfer_bandwidth: 10 * 1024 * 1024,
+            store_real_bytes: false,
+        }
+    }
+}
+
+/// The U1 back-end.
+pub struct Backend {
+    pub(crate) cfg: BackendConfig,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub store: MetaStore,
+    pub blobs: BlobStore,
+    pub auth: AuthService,
+    pub broker: Broker<VolumeEvent>,
+    pub(crate) cluster: Cluster,
+    pub sessions: SessionTable,
+    pub push_router: PushRouter,
+    pub(crate) latency: Mutex<LatencyModel>,
+    pub(crate) sink: Arc<dyn TraceSink>,
+    /// One broker subscription per API process; drained synchronously after
+    /// every publish (`pump_broker`).
+    subscriptions: Vec<(Slot, SubscriberId, Receiver<VolumeEvent>)>,
+    slot_to_sub: HashMap<(u16, u16), SubscriberId>,
+}
+
+impl Backend {
+    pub fn new(cfg: BackendConfig, clock: Arc<dyn Clock>, sink: Arc<dyn TraceSink>) -> Self {
+        let store = MetaStore::new(cfg.store.clone());
+        let auth = AuthService::new(cfg.auth.clone(), cfg.seed ^ 0xA117);
+        let latency = Mutex::new(LatencyModel::new(cfg.latency.clone(), cfg.seed ^ 0x1A7));
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let broker = Broker::new();
+        let mut subscriptions = Vec::new();
+        let mut slot_to_sub = HashMap::new();
+        for (slot, _) in cluster.active_sessions() {
+            let (id, rx) = broker.subscribe();
+            slot_to_sub.insert((slot.machine.raw(), slot.process.raw()), id);
+            subscriptions.push((slot, id, rx));
+        }
+        Self {
+            cfg,
+            clock,
+            store,
+            blobs: BlobStore::new(),
+            auth,
+            broker,
+            cluster,
+            sessions: SessionTable::new(),
+            push_router: PushRouter::new(),
+            latency,
+            sink,
+            subscriptions,
+            slot_to_sub,
+        }
+    }
+
+    pub fn config(&self) -> &BackendConfig {
+        &self.cfg
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    // ----- tracing helpers (crate-internal) ------------------------------
+
+    /// Executes one metadata RPC: samples its service time, logs the `rpc`
+    /// trace record against the acting user's shard, and returns the
+    /// sampled duration.
+    pub(crate) fn rpc(
+        &self,
+        slot: Slot,
+        shard_user: UserId,
+        rpc: RpcKind,
+        cascade_rows: u64,
+    ) -> SimDuration {
+        let d = self.latency.lock().sample(rpc, cascade_rows);
+        self.sink.record(TraceRecord::new(
+            self.now(),
+            slot.machine,
+            slot.process,
+            Payload::Rpc {
+                rpc,
+                shard: self.store.shard_of(shard_user),
+                user: shard_user,
+                service_us: d.as_micros(),
+            },
+        ));
+        d
+    }
+
+    /// Logs a completed (or failed) API operation.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn log_storage(
+        &self,
+        h: &SessionHandle,
+        op: ApiOpKind,
+        volume: VolumeId,
+        node: Option<NodeId>,
+        kind: Option<NodeKind>,
+        size: u64,
+        hash: Option<ContentHash>,
+        ext: &str,
+        success: bool,
+        duration: SimDuration,
+    ) {
+        self.sessions.count_op(h.session, op.is_data_management());
+        self.sink.record(TraceRecord::new(
+            self.now(),
+            h.slot.machine,
+            h.slot.process,
+            Payload::Storage {
+                op,
+                session: h.session,
+                user: h.user,
+                volume,
+                node,
+                kind,
+                size,
+                hash,
+                ext: ext.to_string(),
+                success,
+                duration_us: duration.as_micros(),
+            },
+        ));
+    }
+
+    pub(crate) fn log_session_event(
+        &self,
+        h: &SessionHandle,
+        event: u1_trace::SessionEvent,
+    ) {
+        self.sink.record(TraceRecord::new(
+            self.now(),
+            h.slot.machine,
+            h.slot.process,
+            Payload::Session {
+                event,
+                session: h.session,
+                user: h.user,
+            },
+        ));
+    }
+
+    pub(crate) fn log_auth(&self, slot: Slot, user: UserId, success: bool) {
+        self.sink.record(TraceRecord::new(
+            self.now(),
+            slot.machine,
+            slot.process,
+            Payload::Auth { user, success },
+        ));
+    }
+
+    /// Transfer-time component of an upload/download.
+    pub(crate) fn transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.cfg.transfer_bandwidth as f64)
+    }
+
+    // ----- push fan-out ----------------------------------------------------
+
+    /// Notifies every affected client of a volume change: the volume
+    /// owner's and share recipients' live sessions, except the session that
+    /// caused it. Same-process sessions take the direct path; everything
+    /// else goes through the broker (§3.4.2 footnote 4).
+    pub(crate) fn notify_change(&self, origin: &SessionHandle, volume: VolumeId, push: Push) {
+        let mut targets = Vec::new();
+        if let Some(owner) = self.store.owner_of(volume) {
+            targets.push(owner);
+        }
+        targets.extend(self.store.share_recipients(volume));
+        targets.sort_unstable();
+        targets.dedup();
+        if targets.is_empty() {
+            return;
+        }
+
+        let mut remote_any = false;
+        for user in &targets {
+            for sess in self.sessions.sessions_of(*user) {
+                if sess.session == origin.session {
+                    continue;
+                }
+                if sess.slot == origin.slot {
+                    // Same API process: immediate delivery, no broker.
+                    self.push_router.deliver(sess.session, push.clone(), true);
+                } else {
+                    remote_any = true;
+                }
+            }
+        }
+        if remote_any {
+            let from = self
+                .slot_to_sub
+                .get(&(origin.slot.machine.raw(), origin.slot.process.raw()))
+                .copied();
+            self.broker.publish_except(
+                from,
+                VolumeEvent {
+                    volume,
+                    targets,
+                    origin_session: origin.session,
+                    origin: origin.slot,
+                    push,
+                },
+            );
+            self.pump_broker();
+        }
+    }
+
+    /// Drains every process's broker queue, delivering pushes to the
+    /// sessions that process hosts. Called synchronously after publishes;
+    /// also usable directly in tests.
+    pub fn pump_broker(&self) {
+        for (slot, _, rx) in &self.subscriptions {
+            for ev in u1_notify::drain(rx) {
+                for user in &ev.targets {
+                    for sess in self.sessions.sessions_of(*user) {
+                        if sess.session != ev.origin_session && sess.slot == *slot {
+                            self.push_router.deliver(sess.session, ev.push.clone(), false);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- maintenance & abuse response -------------------------------------
+
+    /// The periodic server-side sweep: touches and garbage-collects upload
+    /// jobs older than the configured week (Appendix A), aborting their
+    /// object-store multiparts.
+    pub fn run_maintenance(&self) -> usize {
+        let now = self.now();
+        let reaped = self.store.gc_uploadjobs(now);
+        for job in &reaped {
+            // The GC check itself is an RPC against the store.
+            let slot = Slot {
+                machine: u1_core::MachineId::new(0),
+                process: u1_core::ProcessId::new(0),
+            };
+            self.rpc(slot, job.user, RpcKind::TouchUploadJob, 0);
+            self.rpc(slot, job.user, RpcKind::DeleteUploadJob, 0);
+            if let Some(mp) = job.multipart_id {
+                let _ = self.blobs.abort_multipart(mp);
+            }
+        }
+        reaped.len()
+    }
+
+    /// The manual DDoS countermeasure of §5.4: "U1 engineers manually
+    /// handled DDoS by means of deleting fraudulent users and the content
+    /// to be shared". Revokes the token, closes every session, and deletes
+    /// the user's volumes and contents.
+    pub fn ban_user(&self, user: UserId) -> usize {
+        self.auth.revoke_user(user);
+        let evicted = self.sessions.evict_user(user);
+        for h in &evicted {
+            self.push_router.unregister(h.session);
+            self.cluster.release_session(h.slot);
+            self.log_session_event(h, u1_trace::SessionEvent::Close);
+        }
+        // Delete the fraudulent content (every non-root volume, then the
+        // root volume's nodes).
+        if let Ok(vols) = self.store.list_volumes(user) {
+            for v in vols {
+                if v.kind != u1_core::VolumeKind::Root {
+                    if let Ok(released) = self.store.delete_volume(user, v.volume) {
+                        for hash in released.unreferenced {
+                            self.blobs.delete(hash);
+                        }
+                    }
+                } else if let Ok((_, nodes)) = self.store.get_from_scratch(user, v.volume) {
+                    for n in nodes {
+                        if n.parent.is_none() {
+                            if let Ok(released) = self.store.unlink(user, v.volume, n.node, self.now())
+                            {
+                                for hash in released.unreferenced {
+                                    self.blobs.delete(hash);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        evicted.len()
+    }
+
+    /// Flushes the trace sink.
+    pub fn flush_trace(&self) {
+        self.sink.flush();
+    }
+}

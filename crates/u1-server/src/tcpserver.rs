@@ -1,0 +1,387 @@
+//! Live TCP front-end: real protocol connections against the backend.
+//!
+//! Threading model (the guides' classic blocking design): one acceptor
+//! thread, one reader thread per connection, plus one push-writer thread
+//! per authenticated session that forwards broker-routed pushes onto the
+//! client's TCP connection — the persistent connection that makes U1's
+//! push notifications possible (§3.3).
+
+use crate::api::UploadOutcome;
+use crate::backend::Backend;
+use crate::session::SessionHandle;
+use parking_lot::Mutex;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use u1_auth::Token;
+use u1_core::{CoreError, NodeKind};
+use u1_proto::conn::{ServerConn, ServerEvent};
+use u1_proto::msg::{Request, RequestId, Response};
+use u1_proto::tcp;
+
+/// Maximum bytes per ContentChunk response.
+const DOWNLOAD_CHUNK: usize = 256 * 1024;
+
+/// A running TCP server.
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds and starts accepting. Pass `"127.0.0.1:0"` to get an ephemeral
+    /// port (see [`TcpServer::local_addr`]).
+    pub fn start(backend: Arc<Backend>, addr: &str) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("u1-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown2.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let backend = Arc::clone(&backend);
+                            let _ = std::thread::Builder::new()
+                                .name("u1-conn".into())
+                                .spawn(move || handle_connection(backend, stream));
+                        }
+                        Err(_) => return,
+                    }
+                }
+            })?;
+        Ok(TcpServer {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections. Existing connections drain on their
+    /// own when clients disconnect.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn err_response(e: &CoreError) -> Response {
+    Response::Error {
+        code: e.code().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Per-connection server loop.
+fn handle_connection(backend: Arc<Backend>, stream: TcpStream) {
+    let _ = tcp::configure(&stream);
+    let writer = Arc::new(Mutex::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    }));
+    let mut reader = stream;
+    let mut conn = ServerConn::new();
+    let mut handle: Option<SessionHandle> = None;
+    let mut push_thread: Option<JoinHandle<()>> = None;
+    let mut buf = vec![0u8; 64 * 1024];
+
+    'outer: loop {
+        let n = match tcp::read_some(&mut reader, &mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let events = match conn.on_bytes(&buf[..n]) {
+            Ok(evs) => evs,
+            Err(_) => break, // protocol violation: drop the connection
+        };
+        for ev in events {
+            match ev {
+                ServerEvent::Unauthenticated { id } => {
+                    let resp = conn.respond(
+                        id,
+                        Response::Error {
+                            code: "denied".into(),
+                            message: "authenticate first".into(),
+                        },
+                    );
+                    let _ = writer.lock().write_all(&resp);
+                    break 'outer;
+                }
+                ServerEvent::Request { id, req } => {
+                    if !dispatch(
+                        &backend,
+                        &mut conn,
+                        &writer,
+                        &mut handle,
+                        &mut push_thread,
+                        id,
+                        req,
+                    ) {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    // Connection died (client disconnect, NAT cut, shutdown): the session
+    // dies with it (§3.1.1).
+    if let Some(h) = handle {
+        let _ = backend.close_session(h.session);
+    }
+    if let Some(t) = push_thread {
+        let _ = t.join();
+    }
+}
+
+fn send_resp(
+    conn: &ServerConn,
+    writer: &Arc<Mutex<TcpStream>>,
+    id: RequestId,
+    resp: Response,
+) -> bool {
+    let bytes = conn.respond(id, resp);
+    writer.lock().write_all(&bytes).is_ok()
+}
+
+/// Handles one request; returns false to drop the connection.
+fn dispatch(
+    backend: &Arc<Backend>,
+    conn: &mut ServerConn,
+    writer: &Arc<Mutex<TcpStream>>,
+    handle: &mut Option<SessionHandle>,
+    push_thread: &mut Option<JoinHandle<()>>,
+    id: RequestId,
+    req: Request,
+) -> bool {
+    match req {
+        Request::Ping => send_resp(conn, writer, id, Response::Pong),
+        Request::QuerySetCaps { caps } => {
+            if let Some(h) = handle {
+                let _ = backend.query_set_caps(h.session, caps.clone());
+            }
+            send_resp(conn, writer, id, Response::Capabilities { accepted: caps })
+        }
+        Request::Authenticate { token } => {
+            if handle.is_some() {
+                return send_resp(conn, writer, id, err_response(&CoreError::conflict("already authenticated")));
+            }
+            let Some(token) = Token::from_bytes(&token) else {
+                return send_resp(conn, writer, id, err_response(&CoreError::invalid("malformed token")));
+            };
+            match backend.open_session(token) {
+                Ok(h) => {
+                    conn.mark_authenticated(h.session, h.user);
+                    // Route pushes for this session onto the connection.
+                    let (tx, rx) = crossbeam::channel::unbounded();
+                    backend.push_router.register(h.session, tx);
+                    let push_writer = Arc::clone(writer);
+                    let pconn = ServerConn::new();
+                    *push_thread = Some(
+                        std::thread::Builder::new()
+                            .name("u1-push".into())
+                            .spawn(move || {
+                                while let Ok(push) = rx.recv() {
+                                    let bytes = pconn.push(push);
+                                    if push_writer.lock().write_all(&bytes).is_err() {
+                                        return;
+                                    }
+                                }
+                            })
+                            .expect("spawn push writer"),
+                    );
+                    let resp = Response::AuthOk {
+                        session: h.session,
+                        user: h.user,
+                    };
+                    *handle = Some(h);
+                    send_resp(conn, writer, id, resp)
+                }
+                Err(e) => {
+                    send_resp(conn, writer, id, err_response(&e));
+                    false
+                }
+            }
+        }
+        other => {
+            let Some(h) = handle.as_ref() else {
+                return send_resp(conn, writer, id, err_response(&CoreError::permission_denied("no session")));
+            };
+            let sid = h.session;
+            match other {
+                Request::ListVolumes => match backend.list_volumes(sid) {
+                    Ok(volumes) => send_resp(conn, writer, id, Response::Volumes { volumes }),
+                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                },
+                Request::ListShares => match backend.list_shares(sid) {
+                    Ok(volumes) => send_resp(conn, writer, id, Response::Volumes { volumes }),
+                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                },
+                Request::CreateUdf { name } => match backend.create_udf(sid, &name) {
+                    Ok(v) => send_resp(conn, writer, id, Response::VolumeCreated {
+                        volume: v.volume,
+                        generation: v.generation,
+                    }),
+                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                },
+                Request::DeleteVolume { volume } => match backend.delete_volume(sid, volume) {
+                    Ok(_) => send_resp(conn, writer, id, Response::Ok),
+                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                },
+                Request::MakeFile {
+                    volume,
+                    parent,
+                    name,
+                } => {
+                    let parent = if parent.raw() == 0 { None } else { Some(parent) };
+                    match backend.make_node(sid, volume, parent, NodeKind::File, &name) {
+                        Ok(n) => send_resp(conn, writer, id, Response::NodeCreated {
+                            node: n.node,
+                            generation: n.generation,
+                        }),
+                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    }
+                }
+                Request::MakeDir {
+                    volume,
+                    parent,
+                    name,
+                } => {
+                    let parent = if parent.raw() == 0 { None } else { Some(parent) };
+                    match backend.make_node(sid, volume, parent, NodeKind::Directory, &name) {
+                        Ok(n) => send_resp(conn, writer, id, Response::NodeCreated {
+                            node: n.node,
+                            generation: n.generation,
+                        }),
+                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    }
+                }
+                Request::Unlink { volume, node } => match backend.unlink(sid, volume, node) {
+                    Ok(_) => send_resp(conn, writer, id, Response::Ok),
+                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                },
+                Request::Move {
+                    volume,
+                    node,
+                    new_parent,
+                    new_name,
+                } => {
+                    let new_parent = if new_parent.raw() == 0 {
+                        None
+                    } else {
+                        Some(new_parent)
+                    };
+                    match backend.move_node(sid, volume, node, new_parent, &new_name) {
+                        Ok(_) => send_resp(conn, writer, id, Response::Ok),
+                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    }
+                }
+                Request::GetDelta {
+                    volume,
+                    from_generation,
+                } => match backend.get_delta(sid, volume, from_generation) {
+                    Ok((generation, nodes)) => send_resp(conn, writer, id, Response::Delta {
+                        volume,
+                        generation,
+                        nodes,
+                    }),
+                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                },
+                Request::RescanFromScratch { volume } => {
+                    match backend.rescan_from_scratch(sid, volume) {
+                        Ok((generation, nodes)) => send_resp(conn, writer, id, Response::Delta {
+                            volume,
+                            generation,
+                            nodes,
+                        }),
+                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    }
+                }
+                Request::BeginUpload {
+                    volume,
+                    node,
+                    hash,
+                    size,
+                } => match backend.begin_upload(sid, volume, node, hash, size) {
+                    Ok(UploadOutcome::Deduplicated { node, generation }) => {
+                        send_resp(conn, writer, id, Response::UploadDone {
+                            node,
+                            generation,
+                            hash,
+                        })
+                    }
+                    Ok(UploadOutcome::Started { upload }) => send_resp(conn, writer, id, Response::UploadBegun {
+                        upload,
+                        reusable: false,
+                    }),
+                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                },
+                Request::UploadChunk { upload, data } => {
+                    match backend.upload_chunk(sid, upload, data.len() as u64, Some(data)) {
+                        Ok(()) => send_resp(conn, writer, id, Response::Ok),
+                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    }
+                }
+                Request::CommitUpload { upload } => match backend.commit_upload(sid, upload) {
+                    Ok(c) => send_resp(conn, writer, id, Response::UploadDone {
+                        node: c.node,
+                        generation: c.generation,
+                        hash: c.hash,
+                    }),
+                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                },
+                Request::CancelUpload { upload } => match backend.cancel_upload(sid, upload) {
+                    Ok(()) => send_resp(conn, writer, id, Response::Ok),
+                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                },
+                Request::GetContent { volume, node } => {
+                    match backend.download(sid, volume, node) {
+                        Ok((size, hash, data)) => {
+                            if !send_resp(conn, writer, id, Response::ContentBegin { size, hash }) {
+                                return false;
+                            }
+                            let bytes = data.unwrap_or_else(|| vec![0u8; size as usize]);
+                            for chunk in bytes.chunks(DOWNLOAD_CHUNK) {
+                                if !send_resp(conn, writer, id, Response::ContentChunk {
+                                    data: chunk.to_vec(),
+                                }) {
+                                    return false;
+                                }
+                            }
+                            send_resp(conn, writer, id, Response::ContentEnd)
+                        }
+                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    }
+                }
+                Request::Authenticate { .. } | Request::QuerySetCaps { .. } | Request::Ping => {
+                    unreachable!("handled above")
+                }
+            }
+        }
+    }
+}

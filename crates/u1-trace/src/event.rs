@@ -1,0 +1,174 @@
+//! The typed trace event model.
+
+use serde::{Deserialize, Serialize};
+use u1_core::{
+    ApiOpKind, ContentHash, MachineId, NodeId, NodeKind, ProcessId, RpcKind, SessionId, ShardId,
+    SimTime, UserId, VolumeId,
+};
+
+/// Session lifecycle events (request type `session` in the original trace).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SessionEvent {
+    Open,
+    Close,
+}
+
+/// The payload of one trace line.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Payload {
+    /// Session opened/closed on an API server process.
+    Session {
+        event: SessionEvent,
+        session: SessionId,
+        user: UserId,
+    },
+    /// A completed API operation (request type `storage_done`): the unit the
+    /// paper's storage-workload and user-behavior analyses consume.
+    Storage {
+        op: ApiOpKind,
+        session: SessionId,
+        user: UserId,
+        volume: VolumeId,
+        node: Option<NodeId>,
+        kind: Option<NodeKind>,
+        /// Transferred bytes for uploads/downloads, 0 for metadata ops.
+        size: u64,
+        /// Content hash for transfers (provided by the client before upload,
+        /// §3.3); `None` for metadata operations and directories.
+        hash: Option<ContentHash>,
+        /// File extension, lowercased, without the dot; empty when n/a.
+        ext: String,
+        success: bool,
+        /// Server-side processing time for the request, microseconds.
+        duration_us: u64,
+    },
+    /// An RPC against the metadata store (request type `rpc`), with its
+    /// service time — the raw material for Figs. 12–14.
+    Rpc {
+        rpc: RpcKind,
+        shard: ShardId,
+        user: UserId,
+        service_us: u64,
+    },
+    /// A request from an API server to the Canonical authentication service
+    /// (§3.4.1, Fig. 15). 2.76% of these failed in the original trace.
+    Auth { user: UserId, success: bool },
+}
+
+impl Payload {
+    /// The request type tag used in trace lines (mirrors §4's vocabulary).
+    pub fn request_type(&self) -> &'static str {
+        match self {
+            Payload::Session { .. } => "session",
+            Payload::Storage { .. } => "storage_done",
+            Payload::Rpc { .. } => "rpc",
+            Payload::Auth { .. } => "auth",
+        }
+    }
+
+    /// The user this record concerns.
+    pub fn user(&self) -> UserId {
+        match self {
+            Payload::Session { user, .. }
+            | Payload::Storage { user, .. }
+            | Payload::Rpc { user, .. }
+            | Payload::Auth { user, .. } => *user,
+        }
+    }
+}
+
+/// One line of the trace: where it was logged, when, and what happened.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Timestamp. Within one (machine, process) stream timestamps are
+    /// monotone; across servers they are NTP-synchronized-but-not-dependable,
+    /// exactly as §4 warns.
+    pub t: SimTime,
+    /// Physical machine that hosted the process.
+    pub machine: MachineId,
+    /// Server process number, unique within the machine.
+    pub process: ProcessId,
+    pub payload: Payload,
+}
+
+impl TraceRecord {
+    pub fn new(t: SimTime, machine: MachineId, process: ProcessId, payload: Payload) -> Self {
+        Self {
+            t,
+            machine,
+            process,
+            payload,
+        }
+    }
+
+    /// Convenience accessor: true if this record is a completed data
+    /// transfer (upload or download).
+    pub fn is_transfer(&self) -> bool {
+        matches!(
+            &self.payload,
+            Payload::Storage { op, success: true, .. } if op.is_transfer()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storage(op: ApiOpKind, ok: bool) -> Payload {
+        Payload::Storage {
+            op,
+            session: SessionId::new(1),
+            user: UserId::new(2),
+            volume: VolumeId::new(0),
+            node: Some(NodeId::new(3)),
+            kind: Some(NodeKind::File),
+            size: 100,
+            hash: None,
+            ext: "txt".into(),
+            success: ok,
+            duration_us: 500,
+        }
+    }
+
+    #[test]
+    fn request_types_match_paper_vocabulary() {
+        assert_eq!(
+            Payload::Session {
+                event: SessionEvent::Open,
+                session: SessionId::new(1),
+                user: UserId::new(1)
+            }
+            .request_type(),
+            "session"
+        );
+        assert_eq!(storage(ApiOpKind::Upload, true).request_type(), "storage_done");
+        assert_eq!(
+            Payload::Rpc {
+                rpc: RpcKind::GetNode,
+                shard: ShardId::new(0),
+                user: UserId::new(1),
+                service_us: 10
+            }
+            .request_type(),
+            "rpc"
+        );
+        assert_eq!(
+            Payload::Auth {
+                user: UserId::new(1),
+                success: true
+            }
+            .request_type(),
+            "auth"
+        );
+    }
+
+    #[test]
+    fn is_transfer_requires_success_and_transfer_op() {
+        let rec = |p| TraceRecord::new(SimTime::ZERO, MachineId::new(0), ProcessId::new(0), p);
+        assert!(rec(storage(ApiOpKind::Upload, true)).is_transfer());
+        assert!(rec(storage(ApiOpKind::Download, true)).is_transfer());
+        assert!(!rec(storage(ApiOpKind::Upload, false)).is_transfer());
+        assert!(!rec(storage(ApiOpKind::Unlink, true)).is_transfer());
+    }
+}

@@ -1,0 +1,197 @@
+//! Trace sinks: where running server processes emit their records.
+
+use crate::csvline;
+use crate::event::TraceRecord;
+use crate::logfile::logfile_name;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use u1_core::{MachineId, ProcessId};
+
+/// Something that accepts trace records. Implementations must be
+/// thread-safe: every API/RPC process logs through a shared sink.
+pub trait TraceSink: Send + Sync {
+    fn record(&self, rec: TraceRecord);
+
+    /// Flushes buffered output (no-op for memory sinks).
+    fn flush(&self) {}
+}
+
+/// Discards all records. Useful for benchmarks isolating server cost.
+#[derive(Default, Debug)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _rec: TraceRecord) {}
+}
+
+/// Collects records in memory, for analyses that skip the logfile round
+/// trip. `take_sorted` returns records ordered by timestamp, which is what
+/// the analytics crate expects after a logfile merge.
+#[derive(Default, Debug)]
+pub struct MemorySink {
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Drains and returns all records sorted by timestamp (stable, so
+    /// equal-timestamp records keep their per-process order).
+    pub fn take_sorted(&self) -> Vec<TraceRecord> {
+        let mut recs = std::mem::take(&mut *self.records.lock());
+        recs.sort_by_key(|r| r.t);
+        recs
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, rec: TraceRecord) {
+        self.records.lock().push(rec);
+    }
+}
+
+/// Writes paper-style logfiles under a directory: one file per
+/// (machine, process, day), rotated as simulated days advance.
+pub struct DirSink {
+    dir: PathBuf,
+    /// Open writer per (machine, process): (day, writer).
+    writers: Mutex<HashMap<(MachineId, ProcessId), (u64, BufWriter<File>)>>,
+}
+
+impl DirSink {
+    /// Creates the directory (and parents) if needed.
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            writers: Mutex::new(HashMap::new()),
+        })
+    }
+
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn open(&self, machine: MachineId, process: ProcessId, day: u64) -> BufWriter<File> {
+        let path = self.dir.join(logfile_name(machine, process, day));
+        // Append: a process may be asked to re-open a day's file after a
+        // rotation race; losing previously written lines would corrupt the
+        // trace.
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("open trace logfile {}: {e}", path.display()));
+        BufWriter::new(file)
+    }
+}
+
+impl TraceSink for DirSink {
+    fn record(&self, rec: TraceRecord) {
+        let day = rec.t.day_index();
+        let key = (rec.machine, rec.process);
+        let line = csvline::to_line(&rec);
+        let mut writers = self.writers.lock();
+        let entry = writers.entry(key);
+        let slot = match entry {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                if o.get().0 != day {
+                    // Day changed for this process: flush and rotate, like
+                    // the original "one log file per server/service and day".
+                    let (_, mut w) = o.insert((day, self.open(rec.machine, rec.process, day)));
+                    let _ = w.flush();
+                }
+                o.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((day, self.open(rec.machine, rec.process, day)))
+            }
+        };
+        let _ = writeln!(slot.1, "{line}");
+    }
+
+    fn flush(&self) {
+        for (_, (_, w)) in self.writers.lock().iter_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Drop for DirSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Payload, SessionEvent};
+    use u1_core::{SessionId, SimTime, UserId};
+
+    fn rec(t_secs: u64, machine: u16, process: u16) -> TraceRecord {
+        TraceRecord::new(
+            SimTime::from_secs(t_secs),
+            MachineId::new(machine),
+            ProcessId::new(process),
+            Payload::Session {
+                event: SessionEvent::Open,
+                session: SessionId::new(t_secs),
+                user: UserId::new(1),
+            },
+        )
+    }
+
+    #[test]
+    fn memory_sink_sorts_by_time() {
+        let sink = MemorySink::new();
+        sink.record(rec(30, 0, 0));
+        sink.record(rec(10, 0, 0));
+        sink.record(rec(20, 0, 0));
+        let recs = sink.take_sorted();
+        let times: Vec<u64> = recs.iter().map(|r| r.t.as_secs()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn dir_sink_rotates_per_day_and_process() {
+        let dir = std::env::temp_dir().join(format!("u1-trace-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let sink = DirSink::create(&dir).unwrap();
+            sink.record(rec(10, 0, 1)); // day 0, proc 1
+            sink.record(rec(20, 0, 2)); // day 0, proc 2
+            sink.record(rec(86_400 + 5, 0, 1)); // day 1, proc 1
+            sink.flush();
+        }
+        let mut names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "production-whitecurrant-1-day00.csv",
+                "production-whitecurrant-1-day01.csv",
+                "production-whitecurrant-2-day00.csv",
+            ]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

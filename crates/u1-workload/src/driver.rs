@@ -1,0 +1,1227 @@
+//! The discrete-event workload driver.
+//!
+//! Replays a month of client activity against a [`Backend`] under a
+//! virtual clock: session arrivals per user (diurnal, weekday-aware),
+//! Fig. 8 operation chains inside active sessions with Fig. 9 bursty think
+//! times, calibrated file sizes/dedup/lifetimes, the three §5.4 DDoS
+//! episodes, and the daily upload-job GC. Every server-side effect is
+//! logged through the backend's trace sink, producing the dataset the
+//! analytics crate consumes.
+
+use crate::attack::AttackScript;
+use crate::files::{FileModel, FileSpec};
+use crate::markov;
+use crate::sessions::{self, SessionPlan};
+use crate::users::{sample_profile, UserClass, UserProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use u1_auth::Token;
+use u1_core::{
+    rngx, ApiOpKind, ContentHash, NodeKind, SessionId, SimDuration, SimTime, UserId, VolumeId,
+};
+use u1_server::Backend;
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Simulated user population (the paper had 1.29M; the default scale
+    /// keeps laptop runtimes in seconds while preserving every shape).
+    pub users: u64,
+    /// Trace window length in days (paper: 30).
+    pub days: u64,
+    /// Master seed: same seed ⇒ identical trace.
+    pub seed: u64,
+    /// Inject the three §5.4 DDoS episodes.
+    pub attacks: bool,
+    /// Scale factor on the pre-trace seeded file population.
+    pub seed_files: f64,
+}
+
+impl WorkloadConfig {
+    /// The default measurement-scale configuration used by the experiment
+    /// harness: a 1:~500 scale-down of the paper's population over the full
+    /// 30-day window.
+    pub fn paper_scaled() -> Self {
+        Self {
+            users: 2_500,
+            days: 30,
+            seed: 0x0B5E55ED,
+            attacks: true,
+            seed_files: 1.0,
+        }
+    }
+
+    /// A fast configuration for tests.
+    pub fn quick() -> Self {
+        Self {
+            users: 300,
+            days: 7,
+            seed: 7,
+            attacks: true,
+            seed_files: 1.0,
+        }
+    }
+
+    pub fn horizon(&self) -> SimTime {
+        SimTime::from_days(self.days)
+    }
+}
+
+/// What the driver did — the ground truth the trace analyses are checked
+/// against.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct DriverReport {
+    pub users: u64,
+    pub seeded_files: u64,
+    pub sessions_opened: u64,
+    pub sessions_auth_failed: u64,
+    pub ops_executed: u64,
+    pub op_errors: u64,
+    pub uploads: u64,
+    pub upload_updates: u64,
+    pub uploads_deduplicated: u64,
+    pub bytes_uploaded: u64,
+    pub downloads: u64,
+    pub bytes_downloaded: u64,
+    pub unlinks: u64,
+    pub attack_sessions: u64,
+    pub attack_ops: u64,
+    pub users_banned: u64,
+    pub maintenance_runs: u64,
+    pub uploadjobs_reaped: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FileRef {
+    volume: VolumeId,
+    node: u1_core::NodeId,
+    name: String,
+    size: u64,
+    hash: ContentHash,
+    death: Option<SimTime>,
+    last_write: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct DirRef {
+    volume: VolumeId,
+    node: u1_core::NodeId,
+    death: Option<SimTime>,
+}
+
+struct ClientState {
+    user: UserId,
+    token: Token,
+    profile: UserProfile,
+    session: Option<SessionId>,
+    session_end: SimTime,
+    ops_left: u64,
+    last_op: ApiOpKind,
+    root: VolumeId,
+    udfs: Vec<VolumeId>,
+    files: Vec<FileRef>,
+    dirs: Vec<DirRef>,
+    known_gen: HashMap<VolumeId, u64>,
+    pending_upload: Option<(VolumeId, u1_core::NodeId, String, ContentHash, u64)>,
+    move_counter: u64,
+    /// Machine-paced session (large planned op volume syncs at server
+    /// turnaround speed, not human think time).
+    bulk: bool,
+    /// Occasional users may make a couple of tiny (<10KB-total) transfers
+    /// over the month — §6.1's class definition allows it, and Fig. 7(b)
+    /// needs ~25%/14% of users to have uploaded/downloaded *something*.
+    tiny_budget: u8,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    SessionStart(u32),
+    Op(u32),
+    SessionEnd(u32),
+    Maintenance,
+    AttackWave(u8),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    t: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct AttackState {
+    script: AttackScript,
+    user: UserId,
+    token: Token,
+    responded: bool,
+}
+
+/// The driver itself.
+pub struct Driver {
+    cfg: WorkloadConfig,
+    backend: Arc<Backend>,
+    clock: u1_core::SimClock,
+    rng: SmallRng,
+    clients: Vec<ClientState>,
+    files: FileModel,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    attacks: Vec<AttackState>,
+    report: DriverReport,
+}
+
+impl Driver {
+    pub fn new(cfg: WorkloadConfig, backend: Arc<Backend>, clock: u1_core::SimClock) -> Self {
+        let rng = SmallRng::seed_from_u64(rngx::derive_seed(cfg.seed, "driver", 0));
+        let expected_files = cfg.users * 60;
+        Self {
+            cfg,
+            backend,
+            clock,
+            rng,
+            clients: Vec::new(),
+            files: FileModel::new(expected_files),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            attacks: Vec::new(),
+            report: DriverReport::default(),
+        }
+    }
+
+    fn push_event(&mut self, t: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            t,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Runs the whole window and returns the report. The trace lands in
+    /// the backend's sink.
+    pub fn run(mut self) -> DriverReport {
+        self.setup();
+        let horizon = self.cfg.horizon();
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if ev.t >= horizon {
+                break;
+            }
+            self.clock.set(ev.t);
+            match ev.kind {
+                EventKind::SessionStart(u) => self.on_session_start(u as usize, ev.t),
+                EventKind::Op(u) => self.on_op(u as usize, ev.t),
+                EventKind::SessionEnd(u) => self.on_session_end(u as usize, ev.t),
+                EventKind::Maintenance => self.on_maintenance(ev.t),
+                EventKind::AttackWave(i) => self.on_attack_wave(i as usize, ev.t),
+            }
+        }
+        self.backend.flush_trace();
+        self.report.users = self.cfg.users;
+        self.report
+    }
+
+    // ----- setup -----------------------------------------------------------
+
+    fn setup(&mut self) {
+        // Population. User ids start at 1 (id 0 is the "unknown" sentinel).
+        for i in 0..self.cfg.users {
+            let user = UserId::new(i + 1);
+            let mut rng = rngx::sub_rng(self.cfg.seed, "user", i);
+            let profile = sample_profile(&mut rng);
+            let token = self.backend.register_user(user);
+            let root = self
+                .backend
+                .store
+                .get_root(user)
+                .expect("root volume exists")
+                .volume;
+            self.clients.push(ClientState {
+                user,
+                token,
+                profile,
+                session: None,
+                session_end: SimTime::ZERO,
+                ops_left: 0,
+                last_op: ApiOpKind::Authenticate,
+                root,
+                udfs: Vec::new(),
+                files: Vec::new(),
+                dirs: Vec::new(),
+                known_gen: HashMap::new(),
+                pending_upload: None,
+                move_counter: 0,
+                bulk: false,
+                tiny_budget: 2,
+            });
+        }
+        self.seed_population();
+        // First session per user.
+        for i in 0..self.clients.len() {
+            let gap = sessions::next_session_gap(
+                &mut self.rng,
+                &self.clients[i].profile,
+                SimTime::ZERO,
+            );
+            // Spread initial arrivals over the first day regardless of rate.
+            let t0 = SimTime::from_micros(
+                gap.as_micros() % SimDuration::from_days(1).as_micros().max(1),
+            );
+            self.push_event(t0, EventKind::SessionStart(i as u32));
+        }
+        // Daily maintenance at 03:00 (quiet hours).
+        self.push_event(SimTime::from_hours(3), EventKind::Maintenance);
+        // Attacks.
+        if self.cfg.attacks {
+            for (i, script) in AttackScript::paper_attacks().into_iter().enumerate() {
+                if script.start >= self.cfg.horizon() {
+                    continue;
+                }
+                let user = UserId::new(10_000_000 + i as u64);
+                let token = self.backend.register_user(user);
+                // The content the attacker distributes.
+                let root = self.backend.store.get_root(user).unwrap().volume;
+                for f in 0..5 {
+                    let spec = self.files.new_file(&mut self.rng);
+                    let node = self
+                        .backend
+                        .store
+                        .make_node(
+                            user,
+                            root,
+                            None,
+                            NodeKind::File,
+                            &format!("leak{f}_{}", spec.name),
+                            SimTime::ZERO,
+                        )
+                        .unwrap();
+                    let size = spec.size.max(20_000_000); // big media payloads
+                    let _ = self.backend.store.make_content(
+                        user,
+                        root,
+                        node.node,
+                        spec.hash,
+                        size,
+                        SimTime::ZERO,
+                    );
+                    self.backend.blobs.put(spec.hash, size, None, SimTime::ZERO);
+                }
+                let start = script.start;
+                self.attacks.push(AttackState {
+                    script,
+                    user,
+                    token,
+                    responded: false,
+                });
+                self.push_event(start, EventKind::AttackWave(i as u8));
+            }
+        }
+    }
+
+    /// Pre-trace state: volumes, directories and files that existed before
+    /// the window opened. Written directly into the store/blobstore so no
+    /// trace records are emitted — exactly like the real system, whose
+    /// month-long trace opens onto years of accumulated state.
+    fn seed_population(&mut self) {
+        for i in 0..self.clients.len() {
+            let mut rng = rngx::sub_rng(self.cfg.seed, "seed-files", i as u64);
+            let (class_files, class_dirs) = match self.clients[i].profile.class {
+                UserClass::Occasional => (6.0, 1.4),
+                UserClass::UploadOnly => (30.0, 5.0),
+                UserClass::DownloadOnly => (35.0, 6.0),
+                UserClass::Heavy => (80.0, 13.0),
+            };
+            // One shared scale factor for files AND dirs: per-volume file
+            // and dir counts are near-perfectly correlated in the paper
+            // (Pearson 0.998, Fig. 10).
+            let weight = self.clients[i].profile.weight.clamp(0.5, 40.0);
+            let user = self.clients[i].user;
+
+            // Nearly all UDF owners already had their UDF before the window.
+            if self.clients[i].profile.has_udf && rng.gen_range(0.0..1.0) < 0.95 {
+                if let Ok(v) = self.backend.store.create_udf(user, "Documents", SimTime::ZERO) {
+                    self.clients[i].udfs.push(v.volume);
+                }
+            }
+            let volumes: Vec<VolumeId> = std::iter::once(self.clients[i].root)
+                .chain(self.clients[i].udfs.iter().copied())
+                .collect();
+
+            // Seed each volume with a single random scale applied to both
+            // its files and its dirs, keeping the two proportional.
+            for &vol in &volumes {
+                let vol_scale =
+                    weight * self.cfg.seed_files * rng.gen_range(0.4..1.6) / volumes.len() as f64;
+                let n_files = (class_files * vol_scale) as u64;
+                let n_dirs = (class_dirs * vol_scale).round() as u64;
+                for _ in 0..n_dirs {
+                    if let Ok(node) = self.backend.store.make_node(
+                        user,
+                        vol,
+                        None,
+                        NodeKind::Directory,
+                        &self.files.new_dir_name(),
+                        SimTime::ZERO,
+                    ) {
+                        self.clients[i].dirs.push(DirRef {
+                            volume: vol,
+                            node: node.node,
+                            death: None,
+                        });
+                    }
+                }
+                for _ in 0..n_files {
+                    let spec = self.files.new_file(&mut rng);
+                    let parent = if rng.gen_range(0.0..1.0) < 0.4 {
+                        None
+                    } else {
+                        let dirs: Vec<_> = self.clients[i]
+                            .dirs
+                            .iter()
+                            .filter(|d| d.volume == vol)
+                            .collect();
+                        if dirs.is_empty() {
+                            None
+                        } else {
+                            Some(dirs[rng.gen_range(0..dirs.len())].node)
+                        }
+                    };
+                    if let Ok(node) = self.backend.store.make_node(
+                        user,
+                        vol,
+                        parent,
+                        NodeKind::File,
+                        &spec.name,
+                        SimTime::ZERO,
+                    ) {
+                        let _ = self.backend.store.make_content(
+                            user,
+                            vol,
+                            node.node,
+                            spec.hash,
+                            spec.size,
+                            SimTime::ZERO,
+                        );
+                        self.backend.blobs.put(spec.hash, spec.size, None, SimTime::ZERO);
+                        self.report.seeded_files += 1;
+                        self.clients[i].files.push(FileRef {
+                            volume: vol,
+                            node: node.node,
+                            name: spec.name,
+                            size: spec.size,
+                            hash: spec.hash,
+                            death: None,
+                            last_write: SimTime::ZERO,
+                        });
+                    }
+                }
+            }
+        }
+        // Shares between consenting users (1.8% of the population, §6.3).
+        let sharers: Vec<usize> = (0..self.clients.len())
+            .filter(|&i| self.clients[i].profile.shares)
+            .collect();
+        for (k, &i) in sharers.iter().enumerate() {
+            let j = sharers[(k + 1) % sharers.len()];
+            if i == j {
+                continue;
+            }
+            let owner = self.clients[i].user;
+            let to = self.clients[j].user;
+            let volume = self.clients[i]
+                .udfs
+                .first()
+                .copied()
+                .unwrap_or(self.clients[i].root);
+            let _ = self.backend.store.create_share(owner, volume, to, SimTime::ZERO);
+        }
+    }
+
+    // ----- session lifecycle -------------------------------------------------
+
+    fn on_session_start(&mut self, u: usize, t: SimTime) {
+        // Schedule the next session regardless of what happens now.
+        let gap = sessions::next_session_gap(&mut self.rng, &self.clients[u].profile, t);
+        self.push_event(t + gap, EventKind::SessionStart(u as u32));
+
+        if self.clients[u].session.is_some() {
+            return; // still connected; skip this arrival
+        }
+        let token = self.clients[u].token;
+        match self.backend.open_session(token) {
+            Ok(handle) => {
+                self.report.sessions_opened += 1;
+                let plan: SessionPlan = sessions::plan_session(&mut self.rng, &self.clients[u].profile);
+                self.clients[u].session = Some(handle.session);
+                self.clients[u].session_end = t + plan.duration;
+                self.clients[u].ops_left = plan.planned_ops;
+                self.clients[u].bulk = plan.planned_ops > 3_000;
+                self.clients[u].last_op = ApiOpKind::Authenticate;
+                self.push_event(t + plan.duration, EventKind::SessionEnd(u as u32));
+
+                let sid = handle.session;
+                // Startup chatter: a fraction of (re)connections list
+                // volumes/shares; active sessions always do (Fig. 8 flow).
+                let long_enough = plan.duration > SimDuration::from_secs(2);
+                if long_enough && (plan.active || self.rng.gen_range(0.0..1.0) < 0.15) {
+                    let _ = self.backend.query_set_caps(sid, vec!["generations".into()]);
+                    let _ = self.backend.list_volumes(sid);
+                    if self.rng.gen_range(0.0..1.0) < 0.6 {
+                        let _ = self.backend.list_shares(sid);
+                    }
+                    // Generation-point check.
+                    let root = self.clients[u].root;
+                    let from = *self.clients[u].known_gen.get(&root).unwrap_or(&0);
+                    if let Ok((generation, _)) = self.backend.get_delta(sid, root, from) {
+                        self.clients[u].known_gen.insert(root, generation);
+                    }
+                }
+                if plan.active {
+                    // Deletions made while offline sync at reconnect: sweep
+                    // files whose planned lifetime expired (this is what
+                    // realizes the Fig. 3(c) mortality profile).
+                    self.sweep_overdue(u, sid, t);
+                    let gap = sessions::interop_gap_with_mode(
+                        &mut self.rng,
+                        false,
+                        self.clients[u].bulk,
+                    );
+                    self.push_event(t + gap, EventKind::Op(u as u32));
+                }
+            }
+            Err(_) => {
+                self.report.sessions_auth_failed += 1;
+                // Transient auth failure: the client retries shortly.
+                let retry = SimDuration::from_secs(self.rng.gen_range(20..120));
+                self.push_event(t + retry, EventKind::SessionStart(u as u32));
+            }
+        }
+    }
+
+    fn on_session_end(&mut self, u: usize, t: SimTime) {
+        if let Some(sid) = self.clients[u].session {
+            if t >= self.clients[u].session_end {
+                let _ = self.backend.close_session(sid);
+                self.clients[u].session = None;
+                self.clients[u].ops_left = 0;
+                self.clients[u].pending_upload = None;
+            }
+        }
+    }
+
+    /// Unlinks up to 40 overdue nodes at session start (offline deletions
+    /// syncing back).
+    fn sweep_overdue(&mut self, u: usize, sid: SessionId, t: SimTime) {
+        for _ in 0..40 {
+            let overdue = self.clients[u]
+                .files
+                .iter()
+                .position(|f| f.death.is_some_and(|d| d <= t));
+            let Some(idx) = overdue else { break };
+            let f = self.clients[u].files.swap_remove(idx);
+            self.report.unlinks += 1;
+            self.report.ops_executed += 1;
+            if self.backend.unlink(sid, f.volume, f.node).is_err() {
+                self.report.op_errors += 1;
+            }
+        }
+        for _ in 0..8 {
+            let overdue = self.clients[u]
+                .dirs
+                .iter()
+                .position(|d| d.death.is_some_and(|dd| dd <= t));
+            let Some(idx) = overdue else { break };
+            let d = self.clients[u].dirs.swap_remove(idx);
+            self.report.unlinks += 1;
+            self.report.ops_executed += 1;
+            if self.backend.unlink(sid, d.volume, d.node).is_err() {
+                self.report.op_errors += 1;
+            }
+        }
+    }
+
+    fn on_maintenance(&mut self, t: SimTime) {
+        self.report.maintenance_runs += 1;
+        self.report.uploadjobs_reaped += self.backend.run_maintenance() as u64;
+        self.push_event(t + SimDuration::from_days(1), EventKind::Maintenance);
+    }
+
+    // ----- operations ---------------------------------------------------------
+
+    fn on_op(&mut self, u: usize, t: SimTime) {
+        let Some(sid) = self.clients[u].session else {
+            return;
+        };
+        if t >= self.clients[u].session_end || self.clients[u].ops_left == 0 {
+            return;
+        }
+        self.clients[u].ops_left -= 1;
+
+        let mut op = markov::next_op(&mut self.rng, self.clients[u].last_op);
+        op = self.class_filter(u, op, t);
+        self.execute_op(u, sid, op, t);
+        self.clients[u].last_op = op;
+
+        if self.clients[u].ops_left > 0 {
+            let metadata = !op.is_transfer();
+            let gap =
+                sessions::interop_gap_with_mode(&mut self.rng, metadata, self.clients[u].bulk);
+            self.push_event(t + gap, EventKind::Op(u as u32));
+        }
+    }
+
+    /// Restricts chain proposals to the user's class, and applies the
+    /// morning-download bias (§5.1's R/W trend).
+    fn class_filter(&mut self, u: usize, mut op: ApiOpKind, t: SimTime) -> ApiOpKind {
+        use ApiOpKind::*;
+        let class = self.clients[u].profile.class;
+        // Hour-of-day swap between transfer directions.
+        let bias = sessions::download_bias(t);
+        if op == Upload && bias > 1.0 && self.rng.gen_range(0.0..1.0) < (bias - 1.0) * 0.35 {
+            op = Download;
+        } else if op == Download && bias < 1.0 && self.rng.gen_range(0.0..1.0) < (1.0 - bias) * 0.35
+        {
+            op = Upload;
+        }
+        match class {
+            UserClass::Occasional => match op {
+                // Tiny-budget transfers keep the user under the 10KB
+                // "occasional" ceiling; everything else degrades to
+                // metadata work.
+                Upload | MakeFile | Download if self.clients[u].tiny_budget > 0 => op,
+                Upload | Download | MakeFile => GetDelta,
+                other => other,
+            },
+            UserClass::UploadOnly => match op {
+                Download => GetDelta,
+                other => other,
+            },
+            UserClass::DownloadOnly => match op {
+                Upload | MakeFile | MakeDir => Download,
+                other => other,
+            },
+            UserClass::Heavy => op,
+        }
+    }
+
+    fn execute_op(&mut self, u: usize, sid: SessionId, op: ApiOpKind, t: SimTime) {
+        use ApiOpKind::*;
+        self.report.ops_executed += 1;
+        let ok = match op {
+            Upload => self.op_upload(u, sid, t),
+            Download => self.op_download(u, sid),
+            MakeFile => self.op_make_file(u, sid, t),
+            MakeDir => self.op_make_dir(u, sid, t),
+            Unlink => self.op_unlink(u, sid, t),
+            Move => self.op_move(u, sid),
+            GetDelta => self.op_get_delta(u, sid),
+            ListVolumes => self.backend.list_volumes(sid).map(|_| ()).is_ok(),
+            ListShares => self.backend.list_shares(sid).map(|_| ()).is_ok(),
+            CreateUdf => self.op_create_udf(u, sid),
+            DeleteVolume => self.op_delete_volume(u, sid),
+            RescanFromScratch => {
+                let vol = self.clients[u].root;
+                self.backend.rescan_from_scratch(sid, vol).is_ok()
+            }
+            QuerySetCaps => self
+                .backend
+                .query_set_caps(sid, vec!["generations".into()])
+                .is_ok(),
+            Authenticate | OpenSession | CloseSession => true,
+        };
+        if !ok {
+            self.report.op_errors += 1;
+        }
+    }
+
+    fn pick_volume(&mut self, u: usize) -> VolumeId {
+        let c = &self.clients[u];
+        if !c.udfs.is_empty() && self.rng.gen_range(0.0..1.0) < 0.3 {
+            c.udfs[self.rng.gen_range(0..c.udfs.len())]
+        } else {
+            c.root
+        }
+    }
+
+    fn op_upload(&mut self, u: usize, sid: SessionId, t: SimTime) -> bool {
+        // A Make that preceded us?
+        if let Some((vol, node, name, hash, size)) = self.clients[u].pending_upload.take() {
+            return match self.backend.upload_file(sid, vol, node, hash, size) {
+                Ok((dedup, sent)) => {
+                    self.report.uploads += 1;
+                    if dedup {
+                        self.report.uploads_deduplicated += 1;
+                    }
+                    self.report.bytes_uploaded += sent;
+                    self.clients[u].files.push(FileRef {
+                        volume: vol,
+                        node,
+                        name,
+                        size,
+                        hash,
+                        death: FileModel::sample_lifetime(&mut self.rng, false).map(|d| t + d),
+                        last_write: t,
+                    });
+                    true
+                }
+                Err(_) => false,
+            };
+        }
+        // Re-write an existing file? The U1 client re-uploads on any change;
+        // §5.1 finds 10.05% of uploads carry *distinct* hash/size (updates),
+        // and Fig. 3(a) shows WAW as the most common dependency — which
+        // includes same-content re-uploads (e.g. touched files dedup away).
+        let is_rewrite =
+            !self.clients[u].files.is_empty() && self.rng.gen_range(0.0..1.0) < 0.18;
+        if is_rewrite {
+            let idx = self.pick_update_target(u, t);
+            let old_size = self.clients[u].files[idx].size;
+            let distinct = self.rng.gen_range(0.0..1.0) < 0.55;
+            let (hash, size) = if distinct {
+                let (_, h, s) = self.files.updated_file(&mut self.rng, old_size);
+                (h, s)
+            } else {
+                // Same content re-uploaded: the dedup probe short-circuits.
+                (self.clients[u].files[idx].hash, old_size)
+            };
+            let (vol, node) = (
+                self.clients[u].files[idx].volume,
+                self.clients[u].files[idx].node,
+            );
+            return match self.backend.upload_file(sid, vol, node, hash, size) {
+                Ok((dedup, sent)) => {
+                    self.report.uploads += 1;
+                    if distinct {
+                        self.report.upload_updates += 1;
+                    }
+                    if dedup {
+                        self.report.uploads_deduplicated += 1;
+                    }
+                    self.report.bytes_uploaded += sent;
+                    let f = &mut self.clients[u].files[idx];
+                    f.size = size;
+                    f.hash = hash;
+                    f.last_write = t;
+                    true
+                }
+                Err(_) => false,
+            };
+        }
+        // Brand-new file: Make then upload in one chain step.
+        if self.clients[u].files.len() > 4_000 {
+            // Hygiene cap: treat as an update instead of growing unboundedly.
+            return self.op_get_delta(u, sid);
+        }
+        // Directory growth tracks file growth (users sync whole folders),
+        // keeping per-volume file:dir ratios stable — the Fig. 10
+        // correlation.
+        if self.rng.gen_range(0.0..1.0) < 0.15 {
+            let vol = self.pick_volume(u);
+            let name = self.files.new_dir_name();
+            if let Ok(node) = self
+                .backend
+                .make_node(sid, vol, None, NodeKind::Directory, &name)
+            {
+                let death = FileModel::sample_lifetime(&mut self.rng, true).map(|d| t + d);
+                self.clients[u].dirs.push(DirRef {
+                    volume: vol,
+                    node: node.node,
+                    death,
+                });
+            }
+        }
+        let mut spec: FileSpec = self.files.new_file(&mut self.rng);
+        if self.clients[u].profile.class == UserClass::Occasional {
+            // Tiny transfer: stay under the 10KB "occasional" ceiling.
+            spec.size = spec.size.min(4 * 1024);
+            self.clients[u].tiny_budget = self.clients[u].tiny_budget.saturating_sub(1);
+        }
+        let vol = self.pick_volume(u);
+        let parent = self.pick_parent(u, vol);
+        let Ok(node) = self
+            .backend
+            .make_node(sid, vol, parent, NodeKind::File, &spec.name)
+        else {
+            return false;
+        };
+        match self.backend.upload_file(sid, vol, node.node, spec.hash, spec.size) {
+            Ok((dedup, sent)) => {
+                self.report.uploads += 1;
+                if dedup {
+                    self.report.uploads_deduplicated += 1;
+                }
+                self.report.bytes_uploaded += sent;
+                self.clients[u].files.push(FileRef {
+                    volume: vol,
+                    node: node.node,
+                    name: spec.name,
+                    size: spec.size,
+                    hash: spec.hash,
+                    death: spec.lifetime.map(|d| t + d),
+                    last_write: t,
+                });
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Re-write targets mix the just-written file (80% of WAW gaps < 1h,
+    /// §5.2) with large media files (§5.1 blames .mp3 re-tagging for the
+    /// 18.5% update-traffic share: metadata edits re-upload big files).
+    fn pick_update_target(&mut self, u: usize, _t: SimTime) -> usize {
+        let files = &self.clients[u].files;
+        let roll: f64 = self.rng.gen_range(0.0..1.0);
+        if roll < 0.45 {
+            // Most recently written.
+            files
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, f)| f.last_write)
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        } else if roll < 0.85 {
+            // Largest of a random handful (media re-tagging).
+            let mut best = self.rng.gen_range(0..files.len());
+            for _ in 0..6 {
+                let cand = self.rng.gen_range(0..files.len());
+                if files[cand].size > files[best].size {
+                    best = cand;
+                }
+            }
+            best
+        } else {
+            self.rng.gen_range(0..files.len())
+        }
+    }
+
+    fn pick_parent(&mut self, u: usize, vol: VolumeId) -> Option<u1_core::NodeId> {
+        if self.rng.gen_range(0.0..1.0) < 0.5 {
+            return None;
+        }
+        let dirs: Vec<u1_core::NodeId> = self.clients[u]
+            .dirs
+            .iter()
+            .filter(|d| d.volume == vol)
+            .map(|d| d.node)
+            .collect();
+        if dirs.is_empty() {
+            None
+        } else {
+            Some(dirs[self.rng.gen_range(0..dirs.len())])
+        }
+    }
+
+    fn op_download(&mut self, u: usize, sid: SessionId) -> bool {
+        if self.clients[u].files.is_empty() {
+            return self.op_get_delta(u, sid);
+        }
+        let occasional = self.clients[u].profile.class == UserClass::Occasional;
+        let idx = {
+            let files = &self.clients[u].files;
+            if occasional {
+                // Tiny download only (stay under the occasional ceiling).
+                match files.iter().position(|f| f.size <= 4 * 1024) {
+                    Some(i) => i,
+                    None => return self.op_get_delta(u, sid),
+                }
+            } else if self.rng.gen_range(0.0..1.0) < 0.12 {
+                // Fetch what was just written (RAW; sync to another device).
+                files
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, f)| f.last_write)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            } else {
+                // Mild size bias: popular big media is fetched more, which
+                // is what pushes the download byte share of >25MB files
+                // above the upload share (Fig. 2(b)).
+                let mut best = self.rng.gen_range(0..files.len());
+                for _ in 0..3 {
+                    let cand = self.rng.gen_range(0..files.len());
+                    if files[cand].size > files[best].size
+                        && self.rng.gen_range(0.0..1.0) < 0.7
+                    {
+                        best = cand;
+                    }
+                }
+                best
+            }
+        };
+        if occasional {
+            self.clients[u].tiny_budget = self.clients[u].tiny_budget.saturating_sub(1);
+        }
+        let (vol, node) = (
+            self.clients[u].files[idx].volume,
+            self.clients[u].files[idx].node,
+        );
+        match self.backend.download(sid, vol, node) {
+            Ok((size, _, _)) => {
+                self.report.downloads += 1;
+                self.report.bytes_downloaded += size;
+                true
+            }
+            Err(_) => {
+                // Stale reference (e.g. volume deleted): drop it.
+                self.clients[u].files.swap_remove(idx);
+                false
+            }
+        }
+    }
+
+    fn op_make_file(&mut self, u: usize, sid: SessionId, _t: SimTime) -> bool {
+        let spec = self.files.new_file(&mut self.rng);
+        let vol = self.pick_volume(u);
+        let parent = self.pick_parent(u, vol);
+        match self
+            .backend
+            .make_node(sid, vol, parent, NodeKind::File, &spec.name)
+        {
+            Ok(node) => {
+                self.clients[u].pending_upload =
+                    Some((vol, node.node, spec.name, spec.hash, spec.size));
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn op_make_dir(&mut self, u: usize, sid: SessionId, t: SimTime) -> bool {
+        let vol = self.pick_volume(u);
+        let name = self.files.new_dir_name();
+        match self.backend.make_node(sid, vol, None, NodeKind::Directory, &name) {
+            Ok(node) => {
+                let death = FileModel::sample_lifetime(&mut self.rng, true).map(|d| t + d);
+                self.clients[u].dirs.push(DirRef {
+                    volume: vol,
+                    node: node.node,
+                    death,
+                });
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn op_unlink(&mut self, u: usize, sid: SessionId, t: SimTime) -> bool {
+        // Overdue file first (planned lifetime reached), then overdue dir,
+        // then occasionally an old file.
+        let overdue_file = self.clients[u]
+            .files
+            .iter()
+            .position(|f| f.death.is_some_and(|d| d <= t));
+        if let Some(idx) = overdue_file {
+            let f = self.clients[u].files.swap_remove(idx);
+            self.report.unlinks += 1;
+            return self.backend.unlink(sid, f.volume, f.node).is_ok();
+        }
+        let overdue_dir = self.clients[u]
+            .dirs
+            .iter()
+            .position(|d| d.death.is_some_and(|dd| dd <= t));
+        if let Some(idx) = overdue_dir {
+            let d = self.clients[u].dirs.swap_remove(idx);
+            // Cascades server-side; forget local files under that volume's
+            // dir lazily (stale refs are swept on failed ops).
+            self.report.unlinks += 1;
+            return self.backend.unlink(sid, d.volume, d.node).is_ok();
+        }
+        if !self.clients[u].files.is_empty() && self.rng.gen_range(0.0..1.0) < 0.4 {
+            let idx = self.rng.gen_range(0..self.clients[u].files.len());
+            let f = self.clients[u].files.swap_remove(idx);
+            self.report.unlinks += 1;
+            return self.backend.unlink(sid, f.volume, f.node).is_ok();
+        }
+        // Nothing to delete: degrade to a metadata check.
+        self.op_get_delta(u, sid)
+    }
+
+    fn op_move(&mut self, u: usize, sid: SessionId) -> bool {
+        if self.clients[u].files.is_empty() {
+            return self.op_get_delta(u, sid);
+        }
+        let idx = self.rng.gen_range(0..self.clients[u].files.len());
+        self.clients[u].move_counter += 1;
+        let counter = self.clients[u].move_counter;
+        let (vol, node, name) = {
+            let f = &self.clients[u].files[idx];
+            (f.volume, f.node, f.name.clone())
+        };
+        let new_parent = self.pick_parent(u, vol);
+        let new_name = format!("r{counter}_{name}");
+        match self.backend.move_node(sid, vol, node, new_parent, &new_name) {
+            Ok(_) => {
+                self.clients[u].files[idx].name = new_name;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn op_get_delta(&mut self, u: usize, sid: SessionId) -> bool {
+        let vol = self.pick_volume(u);
+        let from = *self.clients[u].known_gen.get(&vol).unwrap_or(&0);
+        match self.backend.get_delta(sid, vol, from) {
+            Ok((generation, _)) => {
+                self.clients[u].known_gen.insert(vol, generation);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn op_create_udf(&mut self, u: usize, sid: SessionId) -> bool {
+        if self.clients[u].udfs.len() >= 3 || !self.clients[u].profile.has_udf {
+            return self.op_get_delta(u, sid);
+        }
+        let name = format!("udf{}", self.clients[u].udfs.len() + 1);
+        match self.backend.create_udf(sid, &name) {
+            Ok(v) => {
+                self.clients[u].udfs.push(v.volume);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn op_delete_volume(&mut self, u: usize, sid: SessionId) -> bool {
+        if self.clients[u].udfs.is_empty() {
+            return self.backend.list_volumes(sid).is_ok();
+        }
+        let idx = self.rng.gen_range(0..self.clients[u].udfs.len());
+        let vol = self.clients[u].udfs.swap_remove(idx);
+        let ok = self.backend.delete_volume(sid, vol).is_ok();
+        self.clients[u].files.retain(|f| f.volume != vol);
+        self.clients[u].dirs.retain(|d| d.volume != vol);
+        ok
+    }
+
+    // ----- attacks ---------------------------------------------------------------
+
+    fn on_attack_wave(&mut self, i: usize, t: SimTime) {
+        let (intensity, done, should_respond, token, user) = {
+            let a = &self.attacks[i];
+            (
+                a.script.intensity(t),
+                t >= a.script.end(),
+                a.script.responded(t) && !a.responded,
+                a.token,
+                a.user,
+            )
+        };
+        if should_respond {
+            // Engineers notice and pull the plug (§5.4): ban the user.
+            self.backend.ban_user(user);
+            self.attacks[i].responded = true;
+            self.report.users_banned += 1;
+        }
+        if done {
+            return;
+        }
+        // Baselines from actual trace so multipliers mean "× normal".
+        let hours = (t.as_secs_f64() / 3600.0).max(1.0);
+        let normal_sessions_per_min = (self.report.sessions_opened as f64 / hours / 60.0).max(0.5);
+        let normal_ops_per_min = (self.report.ops_executed as f64 / hours / 60.0).max(0.5);
+
+        let a = &self.attacks[i];
+        let bot_sessions =
+            (normal_sessions_per_min * a.script.auth_multiplier * intensity).round() as u64;
+        let mut bot_ops_budget =
+            (normal_ops_per_min * a.script.storage_multiplier * intensity).round() as u64;
+
+        // Attacker's distributed files (fetched fresh each wave; empty
+        // after the ban's cleanup).
+        let attacker_files: Vec<(VolumeId, u1_core::NodeId)> = self
+            .backend
+            .store
+            .get_root(user)
+            .ok()
+            .and_then(|root| {
+                self.backend
+                    .store
+                    .get_from_scratch(user, root.volume)
+                    .ok()
+                    .map(|(_, nodes)| {
+                        nodes
+                            .iter()
+                            .filter(|n| n.content.is_some())
+                            .map(|n| (root.volume, n.node))
+                            .collect()
+                    })
+            })
+            .unwrap_or_default();
+
+        for _ in 0..bot_sessions.min(5_000) {
+            match self.backend.open_session(token) {
+                Ok(h) => {
+                    self.report.attack_sessions += 1;
+                    // Each bot leeches a few ops from the shared account.
+                    let ops = self
+                        .rng
+                        .gen_range(1..=8)
+                        .min(bot_ops_budget.max(1));
+                    for _ in 0..ops {
+                        if bot_ops_budget == 0 {
+                            break;
+                        }
+                        bot_ops_budget -= 1;
+                        self.report.attack_ops += 1;
+                        if !attacker_files.is_empty() && self.rng.gen_range(0.0..1.0) < 0.85 {
+                            let (v, n) =
+                                attacker_files[self.rng.gen_range(0..attacker_files.len())];
+                            let _ = self.backend.download(h.session, v, n);
+                        } else {
+                            // Leech uploads: push new content through the
+                            // shared account.
+                            let spec = self.files.new_file(&mut self.rng);
+                            if let Ok(root) = self.backend.store.get_root(user) {
+                                if let Ok(node) = self.backend.make_node(
+                                    h.session,
+                                    root.volume,
+                                    None,
+                                    NodeKind::File,
+                                    &spec.name,
+                                ) {
+                                    let _ = self.backend.upload_file(
+                                        h.session,
+                                        root.volume,
+                                        node.node,
+                                        spec.hash,
+                                        spec.size,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    let _ = self.backend.close_session(h.session);
+                }
+                Err(_) => {
+                    // Post-ban: a storm of failing authentications.
+                    self.report.sessions_auth_failed += 1;
+                }
+            }
+        }
+        self.push_event(t + SimDuration::from_secs(60), EventKind::AttackWave(i as u8));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use u1_core::SimClock;
+    use u1_server::BackendConfig;
+    use u1_trace::MemorySink;
+
+    fn run_quick() -> (DriverReport, Vec<u1_trace::TraceRecord>) {
+        let clock = SimClock::new();
+        let sink = Arc::new(MemorySink::new());
+        let backend = Arc::new(Backend::new(
+            BackendConfig::default(),
+            Arc::new(clock.clone()),
+            sink.clone(),
+        ));
+        let cfg = WorkloadConfig {
+            users: 120,
+            days: 3,
+            seed: 11,
+            attacks: false,
+            seed_files: 0.5,
+        };
+        let driver = Driver::new(cfg, backend, clock);
+        let report = driver.run();
+        (report, sink.take_sorted())
+    }
+
+    #[test]
+    fn quick_run_produces_a_coherent_trace() {
+        let (report, records) = run_quick();
+        assert!(report.sessions_opened > 150, "{report:?}");
+        assert!(report.ops_executed > 20, "{report:?}");
+        assert!(report.uploads + report.downloads > 5, "{report:?}");
+        assert!(!records.is_empty());
+        // Timestamps are sorted and within the window.
+        assert!(records.windows(2).all(|w| w[0].t <= w[1].t));
+        assert!(records.iter().all(|r| r.t <= SimTime::from_days(3)));
+        // All four record families appear.
+        let mut kinds = std::collections::HashSet::new();
+        for r in &records {
+            kinds.insert(r.payload.request_type());
+        }
+        for k in ["session", "storage_done", "rpc", "auth"] {
+            assert!(kinds.contains(k), "missing {k} records");
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_given_seed() {
+        let (r1, t1) = run_quick();
+        let (r2, t2) = run_quick();
+        assert_eq!(r1, r2);
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(t1.first(), t2.first());
+        assert_eq!(t1.last(), t2.last());
+    }
+
+    #[test]
+    fn attacks_inject_visible_spikes_and_get_banned() {
+        let clock = SimClock::new();
+        let sink = Arc::new(MemorySink::new());
+        let backend = Arc::new(Backend::new(
+            BackendConfig::default(),
+            Arc::new(clock.clone()),
+            sink.clone(),
+        ));
+        let cfg = WorkloadConfig {
+            users: 100,
+            days: 6, // covers attacks on days 4 and 5
+            seed: 13,
+            attacks: true,
+            seed_files: 0.3,
+        };
+        let report = Driver::new(cfg, backend, clock).run();
+        assert!(report.attack_sessions > 50, "{report:?}");
+        assert!(report.attack_ops > 50, "{report:?}");
+        assert_eq!(report.users_banned, 2, "both in-window attacks answered");
+        assert!(
+            report.sessions_auth_failed > 20,
+            "post-ban auth storm: {report:?}"
+        );
+    }
+
+    #[test]
+    fn update_fraction_is_near_ten_percent() {
+        let clock = SimClock::new();
+        let sink = Arc::new(MemorySink::new());
+        let backend = Arc::new(Backend::new(
+            BackendConfig::default(),
+            Arc::new(clock.clone()),
+            sink,
+        ));
+        let cfg = WorkloadConfig {
+            users: 250,
+            days: 5,
+            seed: 17,
+            attacks: false,
+            seed_files: 1.0,
+        };
+        let report = Driver::new(cfg, backend, clock).run();
+        assert!(report.uploads > 150, "need volume: {report:?}");
+        let frac = report.upload_updates as f64 / report.uploads as f64;
+        assert!((0.04..=0.20).contains(&frac), "update fraction {frac}");
+    }
+}

@@ -1,0 +1,191 @@
+//! The Fig. 8 user-centric operation-transition chain.
+//!
+//! Fig. 8 aggregates, per user, the sequence of operations issued by
+//! desktop clients; its strongest edges are transfer self-loops ("when a
+//! client transfers a file, the next operation ... is also another
+//! transfer"), the Make→Upload coupling, and the Authenticate →
+//! ListVolumes → ListShares startup flow. The matrix below encodes those
+//! observations; rows normalize at sampling time.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use u1_core::ApiOpKind;
+
+/// Returns the outgoing transition weights from `state`.
+pub fn transitions(state: ApiOpKind) -> &'static [(ApiOpKind, f64)] {
+    use ApiOpKind::*;
+    match state {
+        // Startup flow (Fig. 8): Authenticate → caps / ListVolumes.
+        Authenticate => &[(QuerySetCaps, 0.60), (ListVolumes, 0.40)],
+        QuerySetCaps => &[(ListVolumes, 0.70), (ListShares, 0.10), (GetDelta, 0.20)],
+        ListVolumes => &[
+            (ListShares, 0.55),
+            (GetDelta, 0.24),
+            (Upload, 0.08),
+            (Download, 0.06),
+            (MakeFile, 0.04),
+            (CreateUdf, 0.02),
+            (DeleteVolume, 0.01),
+        ],
+        ListShares => &[
+            (GetDelta, 0.40),
+            (Upload, 0.20),
+            (Download, 0.15),
+            (MakeFile, 0.12),
+            (Unlink, 0.05),
+            (ListVolumes, 0.08),
+        ],
+        // Transfers repeat themselves (directory-granularity sync, edits).
+        Upload => &[
+            (Upload, 0.55),
+            (MakeFile, 0.15),
+            (Download, 0.10),
+            (Unlink, 0.08),
+            (GetDelta, 0.05),
+            (Move, 0.03),
+            (ListVolumes, 0.04),
+        ],
+        Download => &[
+            (Download, 0.60),
+            (Upload, 0.12),
+            (GetDelta, 0.10),
+            (Unlink, 0.05),
+            (MakeFile, 0.05),
+            (Move, 0.03),
+            (ListShares, 0.05),
+        ],
+        // Make precedes Upload.
+        MakeFile => &[
+            (Upload, 0.70),
+            (MakeFile, 0.15),
+            (MakeDir, 0.05),
+            (Download, 0.05),
+            (GetDelta, 0.05),
+        ],
+        MakeDir => &[
+            (MakeFile, 0.50),
+            (MakeDir, 0.20),
+            (Upload, 0.20),
+            (GetDelta, 0.10),
+        ],
+        // Deletions come in long runs (directory clean-ups).
+        Unlink => &[
+            (Unlink, 0.55),
+            (Upload, 0.15),
+            (Download, 0.10),
+            (MakeFile, 0.10),
+            (GetDelta, 0.10),
+        ],
+        Move => &[
+            (Move, 0.40),
+            (Upload, 0.20),
+            (GetDelta, 0.20),
+            (Unlink, 0.10),
+            (Download, 0.10),
+        ],
+        GetDelta => &[
+            (Download, 0.33),
+            (Upload, 0.15),
+            (GetDelta, 0.15),
+            (MakeFile, 0.10),
+            (ListVolumes, 0.10),
+            (Move, 0.08),
+            (Unlink, 0.05),
+            (RescanFromScratch, 0.04),
+        ],
+        CreateUdf => &[(MakeDir, 0.40), (MakeFile, 0.30), (Upload, 0.20), (GetDelta, 0.10)],
+        DeleteVolume => &[(ListVolumes, 0.50), (GetDelta, 0.50)],
+        RescanFromScratch => &[
+            (Download, 0.40),
+            (GetDelta, 0.30),
+            (Upload, 0.20),
+            (MakeFile, 0.10),
+        ],
+        // Session bookkeeping states never occur mid-chain; restart cleanly.
+        OpenSession | CloseSession => &[(ListVolumes, 1.0)],
+    }
+}
+
+/// Samples the next operation.
+pub fn next_op(rng: &mut SmallRng, state: ApiOpKind) -> ApiOpKind {
+    let row = transitions(state);
+    let total: f64 = row.iter().map(|(_, w)| w).sum();
+    let mut target = rng.gen_range(0.0..total);
+    for (op, w) in row {
+        if target < *w {
+            return *op;
+        }
+        target -= w;
+    }
+    row.last().expect("non-empty row").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn every_row_is_normalized_enough_and_nonempty() {
+        for op in ApiOpKind::ALL {
+            let row = transitions(op);
+            assert!(!row.is_empty(), "{op:?}");
+            let total: f64 = row.iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 0.02, "{op:?} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn transfer_self_loops_dominate() {
+        let up = transitions(ApiOpKind::Upload);
+        assert_eq!(up[0].0, ApiOpKind::Upload);
+        assert!(up[0].1 >= 0.5);
+        let down = transitions(ApiOpKind::Download);
+        assert_eq!(down[0].0, ApiOpKind::Download);
+        assert!(down[0].1 >= 0.5);
+    }
+
+    #[test]
+    fn chain_produces_long_transfer_runs() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut state = ApiOpKind::Upload;
+        let mut runs = Vec::new();
+        let mut run = 0u32;
+        for _ in 0..50_000 {
+            let next = next_op(&mut rng, state);
+            if next.is_transfer() && state.is_transfer() {
+                run += 1;
+            } else if run > 0 {
+                runs.push(run);
+                run = 0;
+            }
+            state = next;
+        }
+        let long = runs.iter().filter(|&&r| r >= 5).count();
+        assert!(long > 100, "expect many transfer runs >= 5, got {long}");
+    }
+
+    #[test]
+    fn stationary_mix_is_transfer_heavy() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut state = ApiOpKind::Authenticate;
+        let mut counts: HashMap<ApiOpKind, u64> = HashMap::new();
+        for _ in 0..100_000 {
+            state = next_op(&mut rng, state);
+            *counts.entry(state).or_default() += 1;
+        }
+        let transfers = counts[&ApiOpKind::Upload] + counts[&ApiOpKind::Download];
+        let total: u64 = counts.values().sum();
+        assert!(
+            transfers as f64 / total as f64 > 0.35,
+            "transfers {} of {total}",
+            transfers
+        );
+        // DeleteVolume stays rare.
+        assert!(
+            *counts.get(&ApiOpKind::DeleteVolume).unwrap_or(&0) < total / 50,
+            "{counts:?}"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Capacity planning with the simulator: the kind of what-if analysis the
+//! paper's §9 motivates. Sweeps the metadata-cluster shard count and
+//! reports load balance and RPC latency, then prices the object store with
+//! and without the suggested warm/cold tiering.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use std::sync::Arc;
+use ubuntuone::analytics as ana;
+use ubuntuone::blobstore::{tier, TierPolicy};
+use ubuntuone::core::SimClock;
+use ubuntuone::metastore::StoreConfig;
+use ubuntuone::server::{Backend, BackendConfig};
+use ubuntuone::trace::MemorySink;
+use ubuntuone::workload::{Driver, WorkloadConfig};
+
+fn run_with_shards(shards: u16) -> (f64, f64, f64) {
+    let clock = SimClock::new();
+    let sink = Arc::new(MemorySink::new());
+    let backend = Arc::new(Backend::new(
+        BackendConfig {
+            store: StoreConfig {
+                shards,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        Arc::new(clock.clone()),
+        sink.clone(),
+    ));
+    let cfg = WorkloadConfig {
+        users: 600,
+        days: 5,
+        seed: 7,
+        attacks: false,
+        seed_files: 1.0,
+    };
+    let horizon = cfg.horizon();
+    Driver::new(cfg, Arc::clone(&backend), clock).run();
+    let records = sink.take_sorted();
+    let lb = ana::rpc::load_balance(&records, horizon, 6, shards as usize, 60);
+    let rpc = ana::rpc::rpc_analysis(&records);
+    let read_median = rpc.class_median(ubuntuone::core::RpcClass::Read);
+    (lb.shard_mean_cv, lb.shard_longrun_cv, read_median)
+}
+
+fn main() {
+    println!("metadata cluster sweep (600 users, 5 days each):");
+    println!("shards   short-window CV   long-run imbalance   read median");
+    for shards in [2u16, 5, 10, 20] {
+        let (short_cv, long_cv, read_median) = run_with_shards(shards);
+        println!(
+            "{shards:>6}   {short_cv:>15.2}   {:>17.1}%   {:>9.2}ms",
+            long_cv * 100.0,
+            read_median * 1000.0
+        );
+    }
+    println!(
+        "\nreading: more shards spread the long-run load, but the user-per-shard\n\
+         model keeps short windows unbalanced regardless — the paper's Fig. 14\n\
+         observation (skewed, bursty users + session pinning)."
+    );
+
+    // Object-store pricing with the §9 warm/cold suggestion.
+    let clock = SimClock::new();
+    let sink = Arc::new(MemorySink::new());
+    let backend = Arc::new(Backend::new(
+        BackendConfig::default(),
+        Arc::new(clock.clone()),
+        sink,
+    ));
+    let cfg = WorkloadConfig {
+        users: 600,
+        days: 30,
+        seed: 11,
+        attacks: false,
+        seed_files: 1.0,
+    };
+    let horizon = cfg.horizon();
+    Driver::new(cfg, Arc::clone(&backend), clock).run();
+    let policy = TierPolicy::default();
+    let sweep = tier::tier_sweep(&backend.blobs, &policy, horizon);
+    let flat = sweep.monthly_cost_flat(&policy);
+    let tiered = sweep.monthly_cost(&policy);
+    println!("\nobject-store tiering after one month:");
+    println!(
+        "  hot {} / warm {} / cold {} objects",
+        sweep.hot_objects, sweep.warm_objects, sweep.cold_objects
+    );
+    println!(
+        "  flat bill ${flat:.2}/month vs tiered ${tiered:.2}/month → {:.1}% saved",
+        (1.0 - tiered / flat.max(f64::MIN_POSITIVE)) * 100.0
+    );
+    println!(
+        "  (U1's real bill was ≈ $20,000/month on S3; §9 argues exactly this\n\
+          kind of cold-data offload, citing Amazon Glacier and Facebook f4)"
+    );
+}

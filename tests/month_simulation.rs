@@ -1,0 +1,229 @@
+//! Virtual-time integration: simulate a small population over a full
+//! 30-day window and assert that the trace reproduces the paper's shapes —
+//! the same checks the experiment harness reports, as hard assertions with
+//! scale-tolerant bands.
+
+use std::sync::Arc;
+use ubuntuone::analytics as ana;
+use ubuntuone::core::{ApiOpKind, SimClock};
+use ubuntuone::server::{Backend, BackendConfig};
+use ubuntuone::trace::MemorySink;
+use ubuntuone::workload::{Driver, WorkloadConfig};
+
+struct Run {
+    records: Vec<ubuntuone::trace::TraceRecord>,
+    horizon: ubuntuone::core::SimTime,
+    backend: Arc<Backend>,
+}
+
+fn run_month() -> Run {
+    run_cfg(WorkloadConfig {
+        users: 320,
+        days: 30,
+        seed: 0xFEED,
+        attacks: true,
+        seed_files: 1.0,
+    })
+}
+
+fn run_cfg(cfg: WorkloadConfig) -> Run {
+    let clock = SimClock::new();
+    let sink = Arc::new(MemorySink::new());
+    let backend = Arc::new(Backend::new(
+        BackendConfig::default(),
+        Arc::new(clock.clone()),
+        sink.clone(),
+    ));
+    let horizon = cfg.horizon();
+    Driver::new(cfg, Arc::clone(&backend), clock).run();
+    Run {
+        records: sink.take_sorted(),
+        horizon,
+        backend,
+    }
+}
+
+#[test]
+fn month_trace_reproduces_paper_shapes() {
+    let run = run_month();
+    let records = &run.records;
+    assert!(records.len() > 50_000, "substantial trace: {}", records.len());
+
+    // --- Table 3 basics -------------------------------------------------
+    let summary = ana::summary::trace_summary(records, run.horizon);
+    assert_eq!(summary.trace_days, 30);
+    assert!(summary.sessions > 3_000);
+    assert!(summary.transfer_ops > 1_500);
+    let rw = summary.download_bytes as f64 / summary.upload_bytes.max(1) as f64;
+    assert!((0.5..=2.5).contains(&rw), "overall R/W {rw} (paper 1.14)");
+
+    // --- Fig. 2(b): small files dominate ops, huge files dominate bytes --
+    let sizes = ana::storage::size_category_shares(records);
+    assert!(
+        sizes.upload_op_share[0] > 0.6,
+        "tiny-file upload ops {} (paper 0.84)",
+        sizes.upload_op_share[0]
+    );
+    assert!(
+        sizes.upload_byte_share[4] > 0.35,
+        "huge-file upload bytes {} (paper 0.79)",
+        sizes.upload_byte_share[4]
+    );
+
+    // --- Fig. 4(a)/(b): dedup and file sizes -----------------------------
+    let dedup = ana::dedup::dedup_analysis(records);
+    assert!(
+        (0.08..=0.35).contains(&dedup.dedup_ratio),
+        "dedup ratio {} (paper 0.171)",
+        dedup.dedup_ratio
+    );
+    let by_size = ana::storage::size_by_extension(records, &[]);
+    assert!(
+        by_size.under_1mb_fraction > 0.75,
+        "files under 1MB {} (paper 0.90)",
+        by_size.under_1mb_fraction
+    );
+
+    // --- §5.1: update overhead -------------------------------------------
+    let upd = ana::storage::update_analysis(records);
+    assert!(
+        (0.04..=0.25).contains(&upd.update_op_fraction),
+        "update op fraction {} (paper 0.1005)",
+        upd.update_op_fraction
+    );
+    assert!(
+        upd.update_traffic_fraction > upd.update_op_fraction,
+        "updates cost more traffic than their op share (paper: 10% ops, 18.5% traffic)"
+    );
+
+    // --- Fig. 7(c): inequality -------------------------------------------
+    let ineq = ana::users::traffic_inequality(records);
+    assert!(
+        ineq.upload_lorenz.gini > 0.75,
+        "upload gini {} (paper 0.894)",
+        ineq.upload_lorenz.gini
+    );
+    assert!(
+        ineq.top1_share > 0.15,
+        "top-1% share {} (paper 0.656)",
+        ineq.top1_share
+    );
+
+    // --- Fig. 9: burstiness ----------------------------------------------
+    let burst = ana::burstiness::burstiness(records, ApiOpKind::Upload);
+    assert!(burst.cv > 2.0, "upload inter-op CV {} — not Poisson", burst.cv);
+    if let Some(fit) = burst.fit {
+        assert!(
+            (0.4..=2.5).contains(&fit.alpha),
+            "power-law alpha {}",
+            fit.alpha
+        );
+    }
+
+    // --- Fig. 8: transfer self-transitions dominate -----------------------
+    let graph = ana::markov::transition_graph(records);
+    let upload_self = graph.probability(ApiOpKind::Upload, ApiOpKind::Upload);
+    assert!(upload_self > 0.01, "upload self-loop {upload_self}");
+
+    // --- Figs. 12–13: RPC latency classes ---------------------------------
+    let rpc = ana::rpc::rpc_analysis(records);
+    let read = rpc.class_median(ubuntuone::core::RpcClass::Read);
+    let write = rpc.class_median(ubuntuone::core::RpcClass::Write);
+    let cascade = rpc.class_median(ubuntuone::core::RpcClass::Cascade);
+    assert!(read < write && write < cascade, "{read} {write} {cascade}");
+    assert!(cascade / read > 10.0, "cascade {}x read", cascade / read);
+    let get_node = rpc.profile(ubuntuone::core::RpcKind::GetNode).unwrap();
+    assert!(
+        get_node.far_from_median > 0.01,
+        "long tail present: {}",
+        get_node.far_from_median
+    );
+
+    // --- Fig. 16: sessions -------------------------------------------------
+    let sess = ana::sessions::session_analysis(records);
+    assert!(
+        (0.2..=0.45).contains(&sess.under_1s),
+        "sub-second sessions {} (paper 0.32)",
+        sess.under_1s
+    );
+    assert!(
+        sess.under_8h > 0.93,
+        "sessions under 8h {} (paper 0.97)",
+        sess.under_8h
+    );
+    assert!(
+        (0.02..=0.12).contains(&sess.active_fraction),
+        "active sessions {} (paper 0.0557)",
+        sess.active_fraction
+    );
+    assert!(
+        sess.top20_op_share > 0.7,
+        "top-20% op share {} (paper 0.967)",
+        sess.top20_op_share
+    );
+
+    // --- Fig. 5: the three attacks are discoverable ------------------------
+    let eps = ana::ddos::detect(records, run.horizon, &Default::default()).episodes;
+    let control: Vec<_> = eps.iter().filter(|e| e.signal != "storage").cloned().collect();
+    let attacks = ana::ddos::distinct_attacks(&control);
+    assert!(
+        (2..=4).contains(&attacks.len()),
+        "detected {} attacks (3 injected)",
+        attacks.len()
+    );
+    let attack_days: Vec<u64> = attacks.iter().map(|(s, _, _)| *s as u64 / 24).collect();
+    assert!(
+        attack_days.contains(&4) || attack_days.contains(&5),
+        "January attacks found: {attack_days:?}"
+    );
+
+    // --- Fig. 10/11: volumes ------------------------------------------------
+    let volumes = run.backend.store.volume_snapshot();
+    let contents = ana::volumes::volume_contents(&volumes);
+    assert!(
+        contents.files_dirs_pearson > 0.85,
+        "files/dirs correlation {} (paper 0.998)",
+        contents.files_dirs_pearson
+    );
+    let types = ana::volumes::volume_types(&volumes);
+    assert!(
+        (0.4..=0.7).contains(&types.users_with_udf),
+        "users with UDF {} (paper 0.58)",
+        types.users_with_udf
+    );
+    assert!(
+        types.users_with_share < 0.06,
+        "sharing users {} (paper 0.018)",
+        types.users_with_share
+    );
+
+    // --- Fig. 15: auth diurnality -------------------------------------------
+    let auth = ana::sessions::auth_activity(records, run.horizon);
+    assert!(
+        auth.diurnal_swing > 1.2,
+        "auth day/night swing {} (paper 1.5-1.6)",
+        auth.diurnal_swing
+    );
+    assert!(
+        (0.005..=0.10).contains(&auth.auth_failure_fraction),
+        "auth failures {} (paper 0.0276)",
+        auth.auth_failure_fraction
+    );
+}
+
+#[test]
+fn trace_is_reproducible_bit_for_bit() {
+    let cfg = WorkloadConfig {
+        users: 120,
+        days: 7,
+        seed: 0xFACE,
+        attacks: true,
+        seed_files: 0.6,
+    };
+    let a = run_cfg(cfg.clone());
+    let b = run_cfg(cfg);
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(b.records.iter()).step_by(1000) {
+        assert_eq!(x, y);
+    }
+}

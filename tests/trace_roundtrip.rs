@@ -1,0 +1,126 @@
+//! Trace pipeline integration: a simulated trace written to paper-format
+//! logfiles, read back, merged and anonymized must support the same
+//! analyses as the in-memory records — the fidelity Canonical's release
+//! pipeline needed.
+
+use std::sync::Arc;
+use ubuntuone::analytics as ana;
+use ubuntuone::core::SimClock;
+use ubuntuone::server::{Backend, BackendConfig};
+use ubuntuone::trace::{Anonymizer, DirSink, LogDirReader, MemorySink, TraceSink};
+use ubuntuone::workload::{Driver, WorkloadConfig};
+
+fn cfg() -> WorkloadConfig {
+    WorkloadConfig {
+        users: 250,
+        days: 5,
+        seed: 31337,
+        attacks: false,
+        seed_files: 0.6,
+    }
+}
+
+/// A sink that tees into memory and a logfile directory at once.
+struct Tee(Arc<MemorySink>, DirSink);
+
+impl TraceSink for Tee {
+    fn record(&self, rec: ubuntuone::trace::TraceRecord) {
+        self.0.record(rec.clone());
+        self.1.record(rec);
+    }
+    fn flush(&self) {
+        self.1.flush();
+    }
+}
+
+#[test]
+fn logfile_round_trip_preserves_every_analysis_input() {
+    let dir = std::env::temp_dir().join(format!("u1-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mem = Arc::new(MemorySink::new());
+    let tee = Arc::new(Tee(mem.clone(), DirSink::create(&dir).unwrap()));
+
+    let clock = SimClock::new();
+    let backend = Arc::new(Backend::new(
+        BackendConfig::default(),
+        Arc::new(clock.clone()),
+        tee,
+    ));
+    let workload = cfg();
+    let horizon = workload.horizon();
+    Driver::new(workload, Arc::clone(&backend), clock).run();
+    backend.flush_trace();
+
+    let direct = mem.take_sorted();
+    let (from_disk, stats) = LogDirReader::new(&dir).read_all().unwrap();
+
+    assert_eq!(stats.malformed, 0, "we wrote every line; all must parse");
+    assert_eq!(direct.len(), from_disk.len());
+    // The multisets agree record-by-record after the same stable sort.
+    for (a, b) in direct.iter().zip(from_disk.iter()) {
+        assert_eq!(a.t, b.t);
+    }
+    // Analyses computed from both sources agree exactly.
+    let s1 = ana::summary::trace_summary(&direct, horizon);
+    let s2 = ana::summary::trace_summary(&from_disk, horizon);
+    assert_eq!(s1, s2);
+    let d1 = ana::dedup::dedup_analysis(&direct);
+    let d2 = ana::dedup::dedup_analysis(&from_disk);
+    assert_eq!(d1.dedup_ratio, d2.dedup_ratio);
+    assert_eq!(d1.unique_contents, d2.unique_contents);
+    let u1 = ana::storage::update_analysis(&direct);
+    let u2 = ana::storage::update_analysis(&from_disk);
+    assert_eq!(u1, u2);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn anonymization_preserves_all_aggregate_statistics() {
+    let mem = Arc::new(MemorySink::new());
+    let clock = SimClock::new();
+    let backend = Arc::new(Backend::new(
+        BackendConfig::default(),
+        Arc::new(clock.clone()),
+        mem.clone(),
+    ));
+    let workload = cfg();
+    let horizon = workload.horizon();
+    Driver::new(workload, Arc::clone(&backend), clock).run();
+
+    let original = mem.take_sorted();
+    let mut anonymized = original.clone();
+    Anonymizer::new(0xDEAD_BEEF).anonymize_all(&mut anonymized);
+
+    // Raw ids differ...
+    let raw_users: std::collections::HashSet<u64> =
+        original.iter().map(|r| r.payload.user().raw()).collect();
+    let anon_users: std::collections::HashSet<u64> =
+        anonymized.iter().map(|r| r.payload.user().raw()).collect();
+    assert_ne!(raw_users, anon_users, "ids must be scrambled");
+    assert_eq!(raw_users.len(), anon_users.len(), "…but stay distinct");
+
+    // ...while every aggregate analysis is untouched: per-user correlation
+    // survives the keyed bijection.
+    let s1 = ana::summary::trace_summary(&original, horizon);
+    let s2 = ana::summary::trace_summary(&anonymized, horizon);
+    assert_eq!(s1.unique_users, s2.unique_users);
+    assert_eq!(s1.unique_files, s2.unique_files);
+    assert_eq!(s1.upload_bytes, s2.upload_bytes);
+
+    let g1 = ana::users::traffic_inequality(&original);
+    let g2 = ana::users::traffic_inequality(&anonymized);
+    assert!((g1.upload_lorenz.gini - g2.upload_lorenz.gini).abs() < 1e-12);
+    assert!((g1.top1_share - g2.top1_share).abs() < 1e-12);
+
+    let b1 = ana::burstiness::interop_times(&original, ubuntuone::core::ApiOpKind::Upload);
+    let b2 = ana::burstiness::interop_times(&anonymized, ubuntuone::core::ApiOpKind::Upload);
+    let sum1: f64 = b1.iter().sum();
+    let sum2: f64 = b2.iter().sum();
+    assert_eq!(b1.len(), b2.len());
+    assert!((sum1 - sum2).abs() < 1e-6);
+
+    let dep1 = ana::dependencies::dependency_analysis(&original);
+    let dep2 = ana::dependencies::dependency_analysis(&anonymized);
+    assert_eq!(dep1.counts, dep2.counts);
+}
