@@ -141,8 +141,7 @@ pub fn dependency_analysis(records: &[TraceRecord]) -> DependencyAnalysis {
                 if v.is_empty() {
                     0.0
                 } else {
-                    v.iter().filter(|&&g| g <= limit.as_secs_f64()).count() as f64
-                        / v.len() as f64
+                    v.iter().filter(|&&g| g <= limit.as_secs_f64()).count() as f64 / v.len() as f64
                 }
             })
             .unwrap_or(0.0)
@@ -198,26 +197,22 @@ pub fn lifetime_analysis(records: &[TraceRecord]) -> LifetimeAnalysis {
                 success: true,
                 node: Some(node),
                 ..
-            } => {
-                if created
-                    .insert(node.raw(), (NodeKind::File, rec.t))
-                    .is_none()
-                {
-                    files_created += 1;
-                }
+            } if created
+                .insert(node.raw(), (NodeKind::File, rec.t))
+                .is_none() =>
+            {
+                files_created += 1;
             }
             Payload::Storage {
                 op: ApiOpKind::MakeDir,
                 success: true,
                 node: Some(node),
                 ..
-            } => {
-                if created
-                    .insert(node.raw(), (NodeKind::Directory, rec.t))
-                    .is_none()
-                {
-                    dirs_created += 1;
-                }
+            } if created
+                .insert(node.raw(), (NodeKind::Directory, rec.t))
+                .is_none() =>
+            {
+                dirs_created += 1;
             }
             Payload::Storage {
                 op: ApiOpKind::Unlink,
@@ -273,11 +268,11 @@ mod tests {
     #[test]
     fn classifies_all_six_dependencies() {
         let recs = vec![
-            transfer(at(0), Upload, 1, 1, 1, 10, 1, "a"), // W
-            transfer(at(60), Upload, 1, 1, 1, 10, 2, "a"), // WAW, 60s
+            transfer(at(0), Upload, 1, 1, 1, 10, 1, "a"),     // W
+            transfer(at(60), Upload, 1, 1, 1, 10, 2, "a"),    // WAW, 60s
             transfer(at(120), Download, 1, 1, 1, 10, 2, "a"), // RAW
             transfer(at(180), Download, 1, 1, 1, 10, 2, "a"), // RAR
-            transfer(at(240), Upload, 1, 1, 1, 10, 3, "a"), // WAR
+            transfer(at(240), Upload, 1, 1, 1, 10, 3, "a"),   // WAR
             node_op(at(300), Unlink, 1, 1, 1, u1_core::NodeKind::File), // DAW
             transfer(at(0), Upload, 1, 2, 2, 10, 4, "b"),
             transfer(at(100), Download, 1, 2, 2, 10, 4, "b"), // RAW

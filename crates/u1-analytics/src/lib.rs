@@ -34,9 +34,9 @@ pub mod markov;
 pub mod rpc;
 pub mod sessions;
 pub mod stats;
-pub mod testkit;
 pub mod storage;
 pub mod summary;
+pub mod testkit;
 pub mod timeseries;
 pub mod users;
 pub mod volumes;

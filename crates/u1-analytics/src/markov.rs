@@ -46,7 +46,12 @@ impl TransitionGraph {
 /// Make node).
 fn chain_state(rec: &TraceRecord) -> Option<(u64, ApiOpKind)> {
     match &rec.payload {
-        Payload::Storage { op, user, success: true, .. } => {
+        Payload::Storage {
+            op,
+            user,
+            success: true,
+            ..
+        } => {
             let op = match op {
                 ApiOpKind::MakeDir => ApiOpKind::MakeFile, // collapse to Make
                 ApiOpKind::OpenSession | ApiOpKind::CloseSession => return None,

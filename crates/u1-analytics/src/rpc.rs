@@ -108,7 +108,9 @@ pub fn load_balance(
     shards: usize,
     minutes_window: usize,
 ) -> LoadBalance {
-    let hours = horizon.as_micros().div_ceil(SimDuration::from_hours(1).as_micros()) as usize;
+    let hours = horizon
+        .as_micros()
+        .div_ceil(SimDuration::from_hours(1).as_micros()) as usize;
     let mut api: Vec<Vec<f64>> = vec![vec![0.0; machines]; hours.max(1)];
     // Shards are binned per minute over a window (the paper plots 60
     // minutes) — a full month per minute would be enormous.
@@ -204,11 +206,7 @@ mod tests {
         assert!(lb.api_mean_cv < 1e-9, "balanced cv {}", lb.api_mean_cv);
 
         // Skewed: everything on machine 0.
-        let skewed: Vec<_> = balanced
-            .iter()
-            .cloned()
-            .map(|r| on_machine(r, 0))
-            .collect();
+        let skewed: Vec<_> = balanced.iter().cloned().map(|r| on_machine(r, 0)).collect();
         let lb = load_balance(&skewed, SimTime::from_hours(3), 2, 2, 60);
         assert!(lb.api_mean_cv > 0.9, "skewed cv {}", lb.api_mean_cv);
     }

@@ -211,10 +211,18 @@ mod tests {
         let mut recs = Vec::new();
         // Day 2 (Monday), hour 12: busy. Day 2, hour 3: quiet.
         for i in 0..60u64 {
-            recs.push(auth(SimTime::from_hours(2 * 24 + 12) + SimDuration::from_secs(i), i, i % 50 != 0));
+            recs.push(auth(
+                SimTime::from_hours(2 * 24 + 12) + SimDuration::from_secs(i),
+                i,
+                i % 50 != 0,
+            ));
         }
         for i in 0..10u64 {
-            recs.push(auth(SimTime::from_hours(2 * 24 + 3) + SimDuration::from_secs(i), i, true));
+            recs.push(auth(
+                SimTime::from_hours(2 * 24 + 3) + SimDuration::from_secs(i),
+                i,
+                true,
+            ));
         }
         let horizon = SimTime::from_days(3);
         let a = auth_activity(&recs, horizon);

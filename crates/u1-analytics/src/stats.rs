@@ -358,7 +358,10 @@ mod tests {
             .iter()
             .filter(|l| l.abs() > a.confidence)
             .count();
-        assert!(outside <= 6, "noise ACF mostly inside bounds, {outside} out");
+        assert!(
+            outside <= 6,
+            "noise ACF mostly inside bounds, {outside} out"
+        );
     }
 
     #[test]

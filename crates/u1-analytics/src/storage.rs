@@ -52,7 +52,13 @@ pub fn size_category_shares(records: &[TraceRecord]) -> SizeCategoryShares {
     let share = |xs: [u64; 5]| -> Vec<f64> {
         let total: u64 = xs.iter().sum();
         xs.iter()
-            .map(|&x| if total == 0 { 0.0 } else { x as f64 / total as f64 })
+            .map(|&x| {
+                if total == 0 {
+                    0.0
+                } else {
+                    x as f64 / total as f64
+                }
+            })
             .collect()
     };
     SizeCategoryShares {
@@ -201,15 +207,11 @@ pub fn taxonomy_shares(records: &[TraceRecord]) -> TaxonomyShares {
         categories: FileCategory::ALL.iter().map(|c| c.label()).collect(),
         file_share: FileCategory::ALL
             .iter()
-            .map(|c| {
-                files.get(c).copied().unwrap_or(0) as f64 / total_files.max(1) as f64
-            })
+            .map(|c| files.get(c).copied().unwrap_or(0) as f64 / total_files.max(1) as f64)
             .collect(),
         byte_share: FileCategory::ALL
             .iter()
-            .map(|c| {
-                bytes.get(c).copied().unwrap_or(0) as f64 / total_bytes.max(1) as f64
-            })
+            .map(|c| bytes.get(c).copied().unwrap_or(0) as f64 / total_bytes.max(1) as f64)
             .collect(),
     }
 }
@@ -246,10 +248,7 @@ pub fn size_by_extension(records: &[TraceRecord], exts: &[&str]) -> SizeByExtens
         under_1mb_fraction,
         by_ext: exts
             .iter()
-            .filter_map(|e| {
-                per.remove(*e)
-                    .map(|v| (e.to_string(), Ecdf::new(v)))
-            })
+            .filter_map(|e| per.remove(*e).map(|v| (e.to_string(), Ecdf::new(v))))
             .collect(),
         all,
     }
@@ -291,12 +290,13 @@ mod tests {
 
     #[test]
     fn rw_ratio_computes_hourly_and_profile() {
-        let mut recs = Vec::new();
         // Hour 0: 100 up, 200 down → ratio 2. Hour 1: 100/50 → 0.5.
-        recs.push(transfer(at(10), Upload, 1, 1, 1, 100, 1, "a"));
-        recs.push(transfer(at(20), Download, 1, 1, 1, 200, 1, "a"));
-        recs.push(transfer(at(3700), Upload, 1, 1, 2, 100, 2, "a"));
-        recs.push(transfer(at(3800), Download, 1, 1, 2, 50, 2, "a"));
+        let recs = vec![
+            transfer(at(10), Upload, 1, 1, 1, 100, 1, "a"),
+            transfer(at(20), Download, 1, 1, 1, 200, 1, "a"),
+            transfer(at(3700), Upload, 1, 1, 2, 100, 2, "a"),
+            transfer(at(3800), Download, 1, 1, 2, 50, 2, "a"),
+        ];
         let rw = rw_ratio(&recs, SimTime::from_hours(2));
         assert_eq!(rw.hourly, vec![2.0, 0.5]);
         assert!((rw.mean - 1.25).abs() < 1e-9);
@@ -328,7 +328,11 @@ mod tests {
         ];
         let t = taxonomy_shares(&recs);
         let code_idx = t.categories.iter().position(|c| *c == "code").unwrap();
-        let av_idx = t.categories.iter().position(|c| *c == "audio_video").unwrap();
+        let av_idx = t
+            .categories
+            .iter()
+            .position(|c| *c == "audio_video")
+            .unwrap();
         assert!((t.file_share[code_idx] - 0.5).abs() < 1e-9);
         assert!((t.byte_share[av_idx] - 4000.0 / 4030.0).abs() < 1e-9);
     }

@@ -125,10 +125,7 @@ mod tests {
             tolerance: 0.3,
         };
         assert!(f.holds());
-        let f = Finding {
-            measured: 0.4,
-            ..f
-        };
+        let f = Finding { measured: 0.4, ..f };
         assert!(!f.holds());
     }
 }

@@ -74,14 +74,14 @@ pub fn requests_per_hour(
     family: RequestFamily,
 ) -> Vec<f64> {
     bin_sum(records, horizon, SimDuration::from_hours(1), |r| {
-        let matches = match (&r.payload, family) {
-            (Payload::Session { .. }, RequestFamily::Session) => true,
-            (Payload::Auth { .. }, RequestFamily::Auth) => true,
-            (Payload::Storage { .. }, RequestFamily::Storage) => true,
-            (Payload::Rpc { .. }, RequestFamily::Rpc) => true,
-            _ => false,
-        };
-        matches.then_some(1.0)
+        let matched = matches!(
+            (&r.payload, family),
+            (Payload::Session { .. }, RequestFamily::Session)
+                | (Payload::Auth { .. }, RequestFamily::Auth)
+                | (Payload::Storage { .. }, RequestFamily::Storage)
+                | (Payload::Rpc { .. }, RequestFamily::Rpc)
+        );
+        matched.then_some(1.0)
     })
 }
 
@@ -96,7 +96,9 @@ pub struct OnlineActiveSeries {
 
 pub fn online_active_per_hour(records: &[TraceRecord], horizon: SimTime) -> OnlineActiveSeries {
     use std::collections::{HashMap, HashSet};
-    let bins = horizon.as_micros().div_ceil(SimDuration::from_hours(1).as_micros()) as usize;
+    let bins = horizon
+        .as_micros()
+        .div_ceil(SimDuration::from_hours(1).as_micros()) as usize;
     let mut online: Vec<HashSet<u64>> = vec![HashSet::new(); bins.max(1)];
     let mut active: Vec<HashSet<u64>> = vec![HashSet::new(); bins.max(1)];
     // Session intervals.
@@ -128,10 +130,13 @@ pub fn online_active_per_hour(records: &[TraceRecord], horizon: SimTime) -> Onli
                     .unwrap_or((user.raw(), rec.t));
                 mark_online(u, from, rec.t.min(horizon));
             }
-            Payload::Storage { op, user, success: true, .. } if op.is_data_management() => {
-                if rec.t < horizon {
-                    active[rec.t.bin_index(hour) as usize].insert(user.raw());
-                }
+            Payload::Storage {
+                op,
+                user,
+                success: true,
+                ..
+            } if op.is_data_management() && rec.t < horizon => {
+                active[rec.t.bin_index(hour) as usize].insert(user.raw());
             }
             _ => {}
         }

@@ -63,14 +63,14 @@ fn bench_protocol(c: &mut Criterion) {
             let mut body = BytesMut::with_capacity(64 * 1024 + 32);
             codec::encode(std::hint::black_box(&chunk), &mut body);
             let mut framed = BytesMut::with_capacity(body.len() + 4);
-            encode_frame(&body, &mut framed);
+            encode_frame(&body, &mut framed).expect("chunk fits frame");
             framed
         })
     });
     let mut body = BytesMut::new();
     codec::encode(&chunk, &mut body);
     let mut framed = BytesMut::new();
-    encode_frame(&body, &mut framed);
+    encode_frame(&body, &mut framed).expect("chunk fits frame");
     g.bench_function("frame_decode_64k_chunk", |b| {
         b.iter(|| {
             let mut dec = FrameDecoder::new();
@@ -111,7 +111,9 @@ fn bench_metastore(c: &mut Criterion) {
                     SimTime::ZERO,
                 )
                 .unwrap();
-            store.unlink(UserId::new(1), root, row.node, SimTime::ZERO).unwrap()
+            store
+                .unlink(UserId::new(1), root, row.node, SimTime::ZERO)
+                .unwrap()
         })
     });
 
@@ -120,7 +122,14 @@ fn bench_metastore(c: &mut Criterion) {
     let root = store.get_root(UserId::new(1)).unwrap().volume;
     for i in 0..1_000 {
         store
-            .make_node(UserId::new(1), root, None, NodeKind::File, &format!("f{i}"), SimTime::ZERO)
+            .make_node(
+                UserId::new(1),
+                root,
+                None,
+                NodeKind::File,
+                &format!("f{i}"),
+                SimTime::ZERO,
+            )
             .unwrap();
     }
     g.bench_function("get_delta_tail_of_1k", |b| {
@@ -135,7 +144,14 @@ fn bench_metastore(c: &mut Criterion) {
     let root = store.get_root(UserId::new(1)).unwrap().volume;
     for i in 0..100_000u64 {
         let node = store
-            .make_node(UserId::new(1), root, None, NodeKind::File, &format!("c{i}"), SimTime::ZERO)
+            .make_node(
+                UserId::new(1),
+                root,
+                None,
+                NodeKind::File,
+                &format!("c{i}"),
+                SimTime::ZERO,
+            )
             .unwrap();
         store
             .make_content(
@@ -214,7 +230,9 @@ fn bench_analytics(c: &mut Criterion) {
     use u1_analytics::stats;
     let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
     let samples: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0..1e6)).collect();
-    let series: Vec<f64> = (0..5_000).map(|i| (i as f64 / 24.0).sin() + rng.gen_range(0.0..0.1)).collect();
+    let series: Vec<f64> = (0..5_000)
+        .map(|i| (i as f64 / 24.0).sin() + rng.gen_range(0.0..0.1))
+        .collect();
     let pareto: Vec<f64> = (0..50_000)
         .map(|_| u1_core::rngx::sample_pareto(&mut rng, 1.5, 40.0))
         .collect();

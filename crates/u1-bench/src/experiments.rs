@@ -130,7 +130,11 @@ pub fn exp_f2c_rw_ratio(scn: &Scenario) -> Value {
         outside,
         rw.acf.lags.len().saturating_sub(1),
         rw.acf.confidence,
-        if outside * 20 > rw.acf.lags.len() { "correlated (non-random), as in the paper" } else { "mostly uncorrelated" },
+        if outside * 20 > rw.acf.lags.len() {
+            "correlated (non-random), as in the paper"
+        } else {
+            "mostly uncorrelated"
+        },
         morning.join(" "),
     );
     let j = json!({
@@ -143,7 +147,10 @@ pub fn exp_f2c_rw_ratio(scn: &Scenario) -> Value {
     j
 }
 
-fn dep_block(analysis: &ana::dependencies::DependencyAnalysis, deps: &[ana::dependencies::Dependency]) -> (String, Value) {
+fn dep_block(
+    analysis: &ana::dependencies::DependencyAnalysis,
+    deps: &[ana::dependencies::Dependency],
+) -> (String, Value) {
     let total: u64 = deps
         .iter()
         .map(|d| {
@@ -164,11 +171,7 @@ fn dep_block(analysis: &ana::dependencies::DependencyAnalysis, deps: &[ana::depe
             .find(|(k, _)| k == d)
             .map(|(_, c)| *c)
             .unwrap_or(0);
-        let ecdf = analysis
-            .times
-            .iter()
-            .find(|(k, _)| k == d)
-            .map(|(_, e)| e);
+        let ecdf = analysis.times.iter().find(|(k, _)| k == d).map(|(_, e)| e);
         let med = ecdf.map(|e| e.median()).unwrap_or(f64::NAN);
         let under_1h = ecdf.map(|e| e.cdf(3600.0)).unwrap_or(0.0);
         human.push_str(&format!(
@@ -274,10 +277,8 @@ pub fn exp_f4a_dedup(scn: &Scenario) -> Value {
 
 /// Fig. 4(b): file sizes per extension.
 pub fn exp_f4b_sizes_by_ext(scn: &Scenario) -> Value {
-    let s = ana::storage::size_by_extension(
-        &scn.records,
-        &["jpg", "mp3", "pdf", "doc", "java", "zip"],
-    );
+    let s =
+        ana::storage::size_by_extension(&scn.records, &["jpg", "mp3", "pdf", "doc", "java", "zip"]);
     let mut human = format!(
         "all files: {} under 1MB (paper: 90%)\n  ext    median       p90\n",
         pct(s.under_1mb_fraction)
@@ -578,8 +579,12 @@ pub fn exp_f13_rpc_scatter(scn: &Scenario) -> Value {
          cascade/read ratio: {:.0}x (paper: more than one order of magnitude)\n\
          cascades are rare: delete_volume n={}, get_from_scratch n={}",
         cascade / read,
-        a.profile(RpcKind::DeleteVolume).map(|p| p.count).unwrap_or(0),
-        a.profile(RpcKind::GetFromScratch).map(|p| p.count).unwrap_or(0),
+        a.profile(RpcKind::DeleteVolume)
+            .map(|p| p.count)
+            .unwrap_or(0),
+        a.profile(RpcKind::GetFromScratch)
+            .map(|p| p.count)
+            .unwrap_or(0),
     );
     let j = json!({"read_median": read, "write_median": write, "cascade_median": cascade,
                    "cascade_over_read": cascade / read,
@@ -703,20 +708,30 @@ pub fn exp_f17_uploadjobs() -> Value {
             u1_server::api::UploadOutcome::Started { upload } => upload,
             u1_server::api::UploadOutcome::Deduplicated { .. } => continue,
         };
-        backend.upload_chunk(h.session, upload, 5 << 20, None).unwrap();
+        backend
+            .upload_chunk(h.session, upload, 5 << 20, None)
+            .unwrap();
         match i % 6 {
             0 | 1 => {
                 // Clean finish.
-                backend.upload_chunk(h.session, upload, 5 << 20, None).unwrap();
-                backend.upload_chunk(h.session, upload, size - (10 << 20), None).unwrap();
+                backend
+                    .upload_chunk(h.session, upload, 5 << 20, None)
+                    .unwrap();
+                backend
+                    .upload_chunk(h.session, upload, size - (10 << 20), None)
+                    .unwrap();
                 backend.commit_upload(h.session, upload).unwrap();
                 committed += 1;
             }
             2 | 3 => {
                 // Interrupted: commit refused; resume; commit.
                 assert!(backend.commit_upload(h.session, upload).is_err());
-                backend.upload_chunk(h.session, upload, 5 << 20, None).unwrap();
-                backend.upload_chunk(h.session, upload, size - (10 << 20), None).unwrap();
+                backend
+                    .upload_chunk(h.session, upload, 5 << 20, None)
+                    .unwrap();
+                backend
+                    .upload_chunk(h.session, upload, size - (10 << 20), None)
+                    .unwrap();
                 backend.commit_upload(h.session, upload).unwrap();
                 committed += 1;
                 resumed += 1;
@@ -761,7 +776,11 @@ pub fn exp_t1_findings(scn: &Scenario) -> Value {
     let ded = ana::dedup::dedup_analysis(&scn.records);
     let ddos = {
         let eps = ana::ddos::detect(&scn.records, scn.horizon, &Default::default()).episodes;
-        let control: Vec<_> = eps.iter().filter(|e| e.signal != "storage").cloned().collect();
+        let control: Vec<_> = eps
+            .iter()
+            .filter(|e| e.signal != "storage")
+            .cloned()
+            .collect();
         ana::ddos::distinct_attacks(&control)
     };
     let ineq = ana::users::traffic_inequality(&scn.records);

@@ -22,7 +22,7 @@
 pub mod experiments;
 pub mod scenario;
 
-pub use scenario::{scenario_from_env, run_scenario, Scenario};
+pub use scenario::{run_scenario, scenario_from_env, Scenario};
 
 use serde_json::Value;
 use std::io::Write;

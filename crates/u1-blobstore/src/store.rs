@@ -98,7 +98,8 @@ impl BlobStore {
         obj.meta.last_access = now;
         obj.meta.reads += 1;
         obj.meta.tier = Tier::Hot;
-        self.bytes_downloaded.fetch_add(obj.meta.size, Ordering::Relaxed);
+        self.bytes_downloaded
+            .fetch_add(obj.meta.size, Ordering::Relaxed);
         Some((obj.meta.clone(), obj.data.clone()))
     }
 
@@ -265,7 +266,9 @@ mod tests {
         s.upload_part(id, 5 << 20, None).unwrap();
         s.upload_part(id, 5 << 20, None).unwrap();
         s.upload_part(id, 1 << 20, None).unwrap();
-        let meta = s.complete_multipart(id, h(9), SimTime::from_secs(1)).unwrap();
+        let meta = s
+            .complete_multipart(id, h(9), SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(meta.size, 11 << 20);
         assert!(s.contains(h(9)));
         let stats = s.stats();

@@ -155,7 +155,10 @@ mod tests {
         assert_eq!(report.cold_objects, 100);
         let tiered = report.monthly_cost(&policy);
         let flat = report.monthly_cost_flat(&policy);
-        assert!(tiered < flat * 0.5, "cold storage should cut cost: {tiered} vs {flat}");
+        assert!(
+            tiered < flat * 0.5,
+            "cold storage should cut cost: {tiered} vs {flat}"
+        );
     }
 
     #[test]

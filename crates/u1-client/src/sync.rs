@@ -169,7 +169,8 @@ impl<T: Transport> SyncEngine<T> {
                 new_parent,
                 new_name,
             } => {
-                self.transport.move_node(volume, node, new_parent, &new_name)?;
+                self.transport
+                    .move_node(volume, node, new_parent, &new_name)?;
                 self.stats.moves += 1;
                 if let Some(mut f) = self.local(volume).remove(node) {
                     f.parent = new_parent;
@@ -256,7 +257,10 @@ mod tests {
 
     fn engine(backend: &Arc<Backend>, user: u64) -> (SyncEngine<DirectTransport>, Token) {
         let token = backend.register_user(UserId::new(user));
-        (SyncEngine::new(DirectTransport::new(Arc::clone(backend))), token)
+        (
+            SyncEngine::new(DirectTransport::new(Arc::clone(backend))),
+            token,
+        )
     }
 
     #[test]
@@ -367,10 +371,15 @@ mod tests {
             .unwrap()
             .node;
 
-        dev1.handle_local_event(root, LocalEvent::Removed { node }).unwrap();
+        dev1.handle_local_event(root, LocalEvent::Removed { node })
+            .unwrap();
         b.pump_broker();
         dev2.handle_pushes().unwrap();
-        assert!(dev2.volume(root).unwrap().find_by_name(None, "temp.bin").is_none());
+        assert!(dev2
+            .volume(root)
+            .unwrap()
+            .find_by_name(None, "temp.bin")
+            .is_none());
     }
 
     #[test]

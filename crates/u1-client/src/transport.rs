@@ -4,9 +4,7 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Arc;
 use u1_auth::Token;
-use u1_core::{
-    ContentHash, CoreError, CoreResult, NodeId, NodeKind, SessionId, UserId, VolumeId,
-};
+use u1_core::{ContentHash, CoreError, CoreResult, NodeId, NodeKind, SessionId, UserId, VolumeId};
 use u1_proto::conn::{ClientConn, ClientEvent};
 use u1_proto::msg::{NodeInfo, Push, Request, Response, VolumeInfo};
 use u1_proto::tcp;
@@ -156,7 +154,8 @@ impl Transport for DirectTransport {
         kind: NodeKind,
         name: &str,
     ) -> CoreResult<NodeInfo> {
-        self.backend.make_node(self.sid()?, volume, parent, kind, name)
+        self.backend
+            .make_node(self.sid()?, volume, parent, kind, name)
     }
 
     fn unlink(&mut self, volume: VolumeId, node: NodeId) -> CoreResult<()> {
@@ -288,7 +287,10 @@ impl TcpTransport {
     /// responses for this request (1 for ordinary ops, begin/chunks/end for
     /// content streams).
     fn call(&mut self, req: Request) -> CoreResult<Vec<Response>> {
-        let (id, bytes) = self.conn.request(req);
+        let (id, bytes) = self
+            .conn
+            .request(req)
+            .map_err(|e| CoreError::invalid(format!("encode: {e}")))?;
         self.stream
             .write_all(&bytes)
             .map_err(|e| CoreError::unavailable(format!("send: {e}")))?;
@@ -541,9 +543,7 @@ impl Transport for TcpTransport {
                 Response::ContentChunk { data: d } => data.extend_from_slice(&d),
                 Response::ContentEnd => {}
                 Response::Error { message, .. } => return Err(CoreError::invalid(message)),
-                other => {
-                    return Err(CoreError::invalid(format!("unexpected {}", other.label())))
-                }
+                other => return Err(CoreError::invalid(format!("unexpected {}", other.label()))),
             }
         }
         let hash = hash.ok_or_else(|| CoreError::invalid("missing content header"))?;

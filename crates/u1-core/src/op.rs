@@ -351,7 +351,10 @@ mod tests {
             .into_iter()
             .filter(|k| k.class() == RpcClass::Cascade)
             .collect();
-        assert_eq!(cascades, vec![RpcKind::DeleteVolume, RpcKind::GetFromScratch]);
+        assert_eq!(
+            cascades,
+            vec![RpcKind::DeleteVolume, RpcKind::GetFromScratch]
+        );
     }
 
     #[test]

@@ -147,8 +147,8 @@ mod tests {
             .collect();
         assert!(samples.iter().all(|&x| x >= theta));
         // Empirical CCDF at 2*theta should be near 2^-alpha.
-        let frac = samples.iter().filter(|&&x| x >= 2.0 * theta).count() as f64
-            / samples.len() as f64;
+        let frac =
+            samples.iter().filter(|&&x| x >= 2.0 * theta).count() as f64 / samples.len() as f64;
         assert!((frac - 0.5f64.powf(alpha)).abs() < 0.02, "frac {frac}");
     }
 

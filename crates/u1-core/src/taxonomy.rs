@@ -139,11 +139,20 @@ mod tests {
 
     #[test]
     fn filename_classification_handles_edge_cases() {
-        assert_eq!(FileCategory::of_filename("a.tar.gz"), FileCategory::Compressed);
+        assert_eq!(
+            FileCategory::of_filename("a.tar.gz"),
+            FileCategory::Compressed
+        );
         assert_eq!(FileCategory::of_filename("noext"), FileCategory::Other);
         assert_eq!(FileCategory::of_filename(".bashrc"), FileCategory::Other);
-        assert_eq!(FileCategory::of_filename("trailingdot."), FileCategory::Other);
-        assert_eq!(FileCategory::of_filename("song.mp3"), FileCategory::AudioVideo);
+        assert_eq!(
+            FileCategory::of_filename("trailingdot."),
+            FileCategory::Other
+        );
+        assert_eq!(
+            FileCategory::of_filename("song.mp3"),
+            FileCategory::AudioVideo
+        );
     }
 
     #[test]

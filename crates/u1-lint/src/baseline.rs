@@ -1,0 +1,163 @@
+//! Baseline handling for incremental burn-down.
+//!
+//! The baseline is a plain-text file, one entry per grandfathered
+//! violation, keyed `rule|path|trimmed-line-text`. Keys are line-number
+//! free so edits elsewhere in a file do not churn the baseline; duplicate
+//! keys are counted as a multiset, so two identical `x.unwrap();` lines in
+//! one file need two entries. `check` fails only on findings not covered
+//! here, and reports entries that no longer match anything so they can be
+//! deleted as violations are fixed.
+
+use crate::diag::Finding;
+use std::collections::HashMap;
+use std::path::Path;
+
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// key → allowed count.
+    entries: HashMap<String, usize>,
+}
+
+/// The result of matching findings against a baseline.
+#[derive(Debug, Default)]
+pub struct MatchOutcome {
+    /// Findings not covered by the baseline: these fail the build.
+    pub new: Vec<Finding>,
+    /// Findings absorbed by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Baseline keys that matched nothing: fixed violations whose entries
+    /// should be removed (with their leftover counts).
+    pub stale: Vec<(String, usize)>,
+}
+
+impl Baseline {
+    pub fn load(path: &Path) -> std::io::Result<Baseline> {
+        let mut entries = HashMap::new();
+        if path.exists() {
+            for line in std::fs::read_to_string(path)?.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                *entries.entry(line.to_string()).or_insert(0) += 1;
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Splits findings into new vs. baselined and reports stale entries.
+    pub fn matches(&self, findings: Vec<Finding>) -> MatchOutcome {
+        let mut remaining = self.entries.clone();
+        let mut outcome = MatchOutcome::default();
+        for f in findings {
+            match remaining.get_mut(&f.baseline_key()) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    outcome.baselined.push(f);
+                }
+                _ => outcome.new.push(f),
+            }
+        }
+        outcome.stale = remaining.into_iter().filter(|(_, n)| *n > 0).collect();
+        outcome.stale.sort();
+        outcome
+    }
+
+    /// Serializes findings as a fresh baseline file.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut keys: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
+        keys.sort();
+        let mut out = String::from(
+            "# u1-lint baseline: grandfathered violations, one per line, keyed\n\
+             # rule|path|trimmed-line-text. Regenerate with `cargo run -p u1-lint -- baseline`.\n\
+             # Delete entries as violations are fixed; `check` reports stale ones.\n",
+        );
+        for k in keys {
+            out.push_str(&k);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, text: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            slug: "slug",
+            path: path.into(),
+            line,
+            col: 1,
+            message: "m".into(),
+            line_text: text.into(),
+        }
+    }
+
+    fn baseline_of(findings: &[Finding]) -> Baseline {
+        let mut entries = HashMap::new();
+        for f in findings {
+            *entries.entry(f.baseline_key()).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        // Two identical lines baselined; three occurrences now → one new.
+        let grandfathered = vec![
+            finding("U1L001", "a.rs", "x.unwrap();", 5),
+            finding("U1L001", "a.rs", "x.unwrap();", 9),
+        ];
+        let baseline = baseline_of(&grandfathered);
+        let now = vec![
+            finding("U1L001", "a.rs", "x.unwrap();", 5),
+            finding("U1L001", "a.rs", "x.unwrap();", 9),
+            finding("U1L001", "a.rs", "x.unwrap();", 40),
+        ];
+        let outcome = baseline.matches(now);
+        assert_eq!(outcome.baselined.len(), 2);
+        assert_eq!(outcome.new.len(), 1);
+        assert!(outcome.stale.is_empty());
+    }
+
+    #[test]
+    fn line_drift_does_not_invalidate() {
+        let baseline = baseline_of(&[finding("U1L001", "a.rs", "x.unwrap();", 5)]);
+        let outcome = baseline.matches(vec![finding("U1L001", "a.rs", "x.unwrap();", 300)]);
+        assert!(outcome.new.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let baseline = baseline_of(&[finding("U1L002", "b.rs", "n as u32", 7)]);
+        let outcome = baseline.matches(vec![]);
+        assert_eq!(outcome.stale, vec![("U1L002|b.rs|n as u32".to_string(), 1)]);
+    }
+
+    #[test]
+    fn render_then_load_round_trip() {
+        let findings = vec![
+            finding("U1L001", "a.rs", "x.unwrap();", 5),
+            finding("U1L005", "c.rs", "a == 0.0", 2),
+        ];
+        let rendered = Baseline::render(&findings);
+        let dir = std::env::temp_dir().join("u1-lint-baseline-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("baseline.txt");
+        std::fs::write(&path, rendered).expect("write");
+        let loaded = Baseline::load(&path).expect("load");
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.matches(findings).new.is_empty());
+    }
+}

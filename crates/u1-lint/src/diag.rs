@@ -1,0 +1,123 @@
+//! Findings and their rendering: rustc-style text for humans, line-oriented
+//! JSON for CI. JSON is emitted by hand — the analyzer stays dependency-free
+//! so it builds even when the workspace under analysis does not.
+
+use std::fmt::Write as _;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule ID, e.g. `U1L001`.
+    pub rule: &'static str,
+    /// Short rule slug, e.g. `no-panic`.
+    pub slug: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    pub line: usize,
+    pub col: usize,
+    /// Human message for this occurrence.
+    pub message: String,
+    /// Trimmed text of the offending source line (baseline key material).
+    pub line_text: String,
+}
+
+impl Finding {
+    /// Baseline identity: rule + file + trimmed line text. Line *numbers*
+    /// are deliberately excluded so unrelated edits above a baselined
+    /// violation do not invalidate the baseline.
+    pub fn baseline_key(&self) -> String {
+        format!("{}|{}|{}", self.rule, self.path, self.line_text)
+    }
+
+    /// rustc-style rendering:
+    ///
+    /// ```text
+    /// error[U1L001]: `unwrap()` in serving-tier non-test code
+    ///   --> crates/u1-server/src/tcpserver.rs:216:14
+    ///    |
+    /// 216|     handle.join().unwrap();
+    ///    |
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "error[{}]: {}", self.rule, self.message);
+        let _ = writeln!(out, "  --> {}:{}:{}", self.path, self.line, self.col);
+        let gutter = self.line.to_string().len();
+        let _ = writeln!(out, "{:gutter$} |", "");
+        let _ = writeln!(out, "{} | {}", self.line, self.line_text);
+        let _ = writeln!(out, "{:gutter$} |", "");
+        out
+    }
+
+    pub fn render_json(&self) -> String {
+        format!(
+            r#"{{"rule":"{}","slug":"{}","path":"{}","line":{},"col":{},"message":"{}"}}"#,
+            self.rule,
+            self.slug,
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            json_escape(&self.message),
+        )
+    }
+}
+
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "U1L001",
+            slug: "no-panic",
+            path: "crates/u1-server/src/tcpserver.rs".into(),
+            line: 216,
+            col: 14,
+            message: "`unwrap()` in serving-tier non-test code".into(),
+            line_text: "handle.join().unwrap();".into(),
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_shaped() {
+        let text = finding().render_text();
+        assert!(text.starts_with("error[U1L001]:"));
+        assert!(text.contains("--> crates/u1-server/src/tcpserver.rs:216:14"));
+        assert!(text.contains("216 | handle.join().unwrap();"));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let mut f = finding();
+        f.message = "bad \"quote\"".into();
+        let json = f.render_json();
+        assert!(json.contains(r#""message":"bad \"quote\"""#));
+        assert!(json.contains(r#""line":216"#));
+    }
+
+    #[test]
+    fn baseline_key_ignores_line_number() {
+        let mut a = finding();
+        let mut b = finding();
+        a.line = 10;
+        b.line = 99;
+        assert_eq!(a.baseline_key(), b.baseline_key());
+    }
+}

@@ -1,0 +1,107 @@
+//! u1-lint: workspace analyzer enforcing U1 back-end invariants that
+//! clippy cannot express (see DESIGN.md, "Static analysis & lint policy").
+//!
+//! | Rule   | Slug                 | Scope                         |
+//! |--------|----------------------|-------------------------------|
+//! | U1L001 | `no-panic`           | serving tiers, non-test code  |
+//! | U1L002 | `no-truncating-cast` | wire/frame/codec files        |
+//! | U1L003 | `msg-exhaustive`     | u1-proto msg.rs vs codec.rs   |
+//! | U1L004 | `async-blocking`     | async fn bodies, all crates   |
+//! | U1L005 | `no-float-eq`        | u1-analytics                  |
+//!
+//! Findings are suppressible per line with
+//! `// u1-lint: allow(<rule>) — <reason>` (rule ID or slug; the reason is
+//! mandatory) and grandfathered via a baseline file for incremental
+//! burn-down.
+
+pub mod baseline;
+pub mod diag;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+use baseline::{Baseline, MatchOutcome};
+use diag::Finding;
+use model::SourceFile;
+use std::path::Path;
+
+/// Default baseline location, relative to the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+/// Parses and analyzes the given files (paths must be workspace-relative).
+/// Suppressed findings are dropped here; baseline filtering is separate.
+pub fn analyze_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(rel, src)| SourceFile::parse(rel, src))
+        .collect();
+    let mut findings = Vec::new();
+    for rule in rules::all() {
+        findings.extend(rule.check(&files));
+    }
+    findings.retain(|f| {
+        let Some(file) = files.iter().find(|s| s.rel_path == f.path) else {
+            return true;
+        };
+        !(file.is_suppressed(f.rule, f.line) || file.is_suppressed(f.slug, f.line))
+    });
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    findings
+}
+
+/// Reads every analyzable file under `root` and runs all rules.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut sources = Vec::new();
+    for path in model::workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel, std::fs::read_to_string(&path)?));
+    }
+    Ok(analyze_sources(&sources))
+}
+
+/// Applies the baseline at `baseline_path` to raw findings.
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline_path: &Path,
+) -> std::io::Result<MatchOutcome> {
+    Ok(Baseline::load(baseline_path)?.matches(findings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_filters_by_id_and_slug() {
+        let src = "\
+fn serve() {
+    let a = x.unwrap(); // u1-lint: allow(U1L001) — recovery handled by supervisor
+    let b = y.unwrap(); // u1-lint: allow(no-panic) — recovery handled by supervisor
+    let c = z.unwrap();
+}
+";
+        let findings = analyze_sources(&[(
+            "crates/u1-server/src/handler.rs".to_string(),
+            src.to_string(),
+        )]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn findings_are_sorted_by_location() {
+        let src = "fn serve() { b.unwrap(); }\nfn serve2() { a.unwrap(); }\n";
+        let findings = analyze_sources(&[
+            ("crates/u1-server/src/z.rs".to_string(), src.to_string()),
+            ("crates/u1-server/src/a.rs".to_string(), src.to_string()),
+        ]);
+        assert_eq!(findings.len(), 4);
+        assert!(findings[0].path < findings[2].path);
+        assert!(findings[0].line < findings[1].line);
+    }
+}

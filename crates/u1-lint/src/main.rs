@@ -1,0 +1,136 @@
+//! CLI for the u1-lint workspace analyzer.
+//!
+//! ```text
+//! cargo run -p u1-lint -- check            # human diagnostics, exit 1 on new findings
+//! cargo run -p u1-lint -- check --json     # one JSON object per finding, for CI
+//! cargo run -p u1-lint -- baseline         # rewrite lint-baseline.txt from current state
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use u1_lint::baseline::Baseline;
+use u1_lint::BASELINE_FILE;
+
+struct Args {
+    command: String,
+    json: bool,
+    root: PathBuf,
+    baseline: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: u1-lint <check|baseline> [--json] [--root DIR] [--baseline FILE]\n\
+         \n\
+         check     analyze the workspace; exit 1 on findings not in the baseline\n\
+         baseline  rewrite the baseline file from the current findings\n\
+         --json    (check) emit one JSON object per finding instead of text\n\
+         --root    workspace root (default: the root this binary was built in)\n\
+         --baseline  baseline path (default: <root>/{BASELINE_FILE})"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    // The compile-time manifest dir is crates/u1-lint; the workspace root
+    // is two levels up. Overridable for out-of-tree use.
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else { usage() };
+    if !matches!(command.as_str(), "check" | "baseline") {
+        usage();
+    }
+    let mut args = Args {
+        command,
+        json: false,
+        root: default_root,
+        baseline: PathBuf::new(),
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--json" => args.json = true,
+            "--root" => args.root = argv.next().map(PathBuf::from).unwrap_or_else(|| usage()),
+            "--baseline" => {
+                args.baseline = argv.next().map(PathBuf::from).unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    if args.baseline.as_os_str().is_empty() {
+        args.baseline = args.root.join(BASELINE_FILE);
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let findings = match u1_lint::analyze_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "u1-lint: failed to read workspace at {}: {e}",
+                args.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.command == "baseline" {
+        let rendered = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&args.baseline, rendered) {
+            eprintln!("u1-lint: failed to write {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "u1-lint: wrote {} entries to {}",
+            findings.len(),
+            args.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = match u1_lint::apply_baseline(findings, &args.baseline) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("u1-lint: failed to read {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        for f in &outcome.new {
+            println!("{}", f.render_json());
+        }
+    } else {
+        for f in &outcome.new {
+            print!("{}", f.render_text());
+        }
+        for (key, count) in &outcome.stale {
+            eprintln!(
+                "u1-lint: stale baseline entry (matched nothing, remove it): {key}{}",
+                if *count > 1 {
+                    format!(" (×{count})")
+                } else {
+                    String::new()
+                }
+            );
+        }
+        eprintln!(
+            "u1-lint: {} new finding(s), {} baselined, {} stale baseline entr(ies)",
+            outcome.new.len(),
+            outcome.baselined.len(),
+            outcome.stale.len()
+        );
+    }
+
+    if outcome.new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,165 @@
+//! U1L004 `async-blocking`: `async fn` bodies must not block the executor.
+//!
+//! Flags two classes inside `async fn` bodies, workspace-wide:
+//! - `std::sync::Mutex` (or a bare `Mutex::new`) — a std mutex held across
+//!   an `.await` deadlocks the worker; use a lock designed for async or
+//!   confine locking to sync helper functions;
+//! - `thread::sleep` / `std::thread::sleep` — stalls the whole executor
+//!   thread rather than yielding.
+//!
+//! The current back-end is thread-per-connection, so the production tree
+//! has no async fns today; the rule exists so the first async refactor
+//! (ROADMAP: epoll/io_uring experiments) starts with the guardrail already
+//! in place.
+
+use super::{finding, Rule};
+use crate::diag::Finding;
+use crate::model::{FnSpan, SourceFile};
+
+pub struct AsyncBlocking;
+
+impl Rule for AsyncBlocking {
+    fn id(&self) -> &'static str {
+        "U1L004"
+    }
+
+    fn slug(&self) -> &'static str {
+        "async-blocking"
+    }
+
+    fn check(&self, files: &[SourceFile]) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in files {
+            for f in file.fns.iter().filter(|f| f.is_async) {
+                self.check_body(file, f, &mut out);
+            }
+        }
+        out
+    }
+}
+
+impl AsyncBlocking {
+    fn check_body(&self, file: &SourceFile, f: &FnSpan, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        let last = f.body.last_tok.min(toks.len().saturating_sub(1));
+        for i in f.body.first_tok..=last {
+            if file.is_test_tok(i) {
+                continue;
+            }
+            let Some(name) = toks[i].kind.ident() else {
+                continue;
+            };
+
+            // `thread::sleep` (with or without a `std::` prefix).
+            if name == "sleep" && path_seg_before(file, i).is_some_and(|prev| prev == "thread") {
+                out.push(finding(
+                    self.id(),
+                    self.slug(),
+                    file,
+                    toks[i].line,
+                    toks[i].col,
+                    format!(
+                        "`thread::sleep` inside `async fn {}` blocks the executor thread; \
+                         use an async timer or move the wait to a sync helper",
+                        f.name
+                    ),
+                ));
+            }
+
+            // `std::sync::Mutex` path, or `Mutex::…` where the file does
+            // not import a non-std mutex (heuristic: flag the fully
+            // qualified path always, the bare name only on construction).
+            if name == "Mutex" {
+                let qualified = path_seg_before(file, i).is_some_and(|p| p == "sync")
+                    && path_seg_before_n(file, i, 2).is_some_and(|p| p == "std");
+                let constructed = toks
+                    .get(i + 1)
+                    .zip(toks.get(i + 2))
+                    .zip(toks.get(i + 3))
+                    .is_some_and(|((a, b), c)| {
+                        a.kind.is_punct(':') && b.kind.is_punct(':') && c.kind.is_ident("new")
+                    });
+                if qualified || constructed {
+                    out.push(finding(
+                        self.id(),
+                        self.slug(),
+                        file,
+                        toks[i].line,
+                        toks[i].col,
+                        format!(
+                            "blocking `Mutex` used inside `async fn {}`; a std mutex held \
+                             across `.await` can deadlock the executor",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The path segment directly before token `i` (`foo::<here>` → `foo`).
+fn path_seg_before(file: &SourceFile, i: usize) -> Option<&str> {
+    path_seg_before_n(file, i, 1)
+}
+
+/// The `n`-th path segment before token `i` along a `::` chain.
+fn path_seg_before_n(file: &SourceFile, i: usize, n: usize) -> Option<&str> {
+    let mut idx = i;
+    for _ in 0..n {
+        if idx < 3
+            || !file.tokens[idx - 1].kind.is_punct(':')
+            || !file.tokens[idx - 2].kind.is_punct(':')
+        {
+            return None;
+        }
+        idx -= 3;
+    }
+    file.tokens[idx].kind.ident()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn check(src: &str) -> Vec<Finding> {
+        AsyncBlocking.check(&[SourceFile::parse("crates/u1-server/src/session.rs", src)])
+    }
+
+    #[test]
+    fn flags_sleep_and_mutex_in_async_fn() {
+        let src = r#"
+async fn handle(conn: Conn) {
+    let lock = std::sync::Mutex::new(0u32);
+    std::thread::sleep(Duration::from_millis(5));
+    thread::sleep(BACKOFF);
+}
+"#;
+        let lines: Vec<usize> = check(src).iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn sync_fns_are_exempt() {
+        let src = r#"
+fn handle(conn: Conn) {
+    let lock = std::sync::Mutex::new(0u32);
+    std::thread::sleep(Duration::from_millis(5));
+}
+"#;
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn async_safe_constructs_pass() {
+        let src = r#"
+async fn handle(conn: Conn) {
+    let guard = state.lock().await;
+    timer::sleep_until(deadline).await; // not thread::sleep
+    tokio_sleep(BACKOFF).await;
+}
+"#;
+        assert!(check(src).is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! U1L005 `no-float-eq`: exact float equality is banned in `u1-analytics`.
+//!
+//! The analytics crate reproduces the paper's distribution fits and
+//! summary tables; `==`/`!=` against floats there silently turns numeric
+//! jitter into wrong branch decisions (the classic `gini == 0.0` guard
+//! that never fires after a refactor changes summation order). Flags a
+//! comparison when either operand is visibly a float: a float literal
+//! (`0.0`, `1e-9`, `2f64`) or an `f32`/`f64` associated constant such as
+//! `f64::NAN`. Compare against an epsilon, use `.abs() < eps`, or
+//! `total_cmp` instead.
+
+use super::{finding, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+pub struct FloatEq;
+
+impl Rule for FloatEq {
+    fn id(&self) -> &'static str {
+        "U1L005"
+    }
+
+    fn slug(&self) -> &'static str {
+        "no-float-eq"
+    }
+
+    fn check(&self, files: &[SourceFile]) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in files {
+            if file.crate_name.as_deref() != Some("u1-analytics") {
+                continue;
+            }
+            let toks = &file.tokens;
+            for i in 0..toks.len().saturating_sub(1) {
+                // `==` is two adjacent `=` tokens; `!=` is `!` then `=`.
+                // Exclude `<=`, `>=`, `+=` etc. (first char differs) and
+                // `===`-like runs (impossible in valid Rust).
+                let first = &toks[i].kind;
+                let second = &toks[i + 1].kind;
+                let is_eq = first.is_punct('=') && second.is_punct('=');
+                let is_ne = first.is_punct('!') && second.is_punct('=');
+                if !(is_eq || is_ne) {
+                    continue;
+                }
+                // `a == = b` cannot occur, but `a === b` would double-count;
+                // skip when the preceding token is also `=` (covers `<=`,
+                // `>=`, `+=`… whose trailing `=` would otherwise pair with
+                // a following `=`).
+                if i > 0
+                    && matches!(
+                        toks[i - 1].kind,
+                        TokenKind::Punct('=' | '<' | '>' | '+' | '-' | '*' | '/' | '!')
+                    )
+                {
+                    continue;
+                }
+                if file.is_test_tok(i) {
+                    continue;
+                }
+                let left_float = i > 0 && operand_is_float(file, i - 1, Direction::Left);
+                let right_float = operand_is_float(file, i + 2, Direction::Right);
+                if left_float || right_float {
+                    let op = if is_eq { "==" } else { "!=" };
+                    out.push(finding(
+                        self.id(),
+                        self.slug(),
+                        file,
+                        toks[i].line,
+                        toks[i].col,
+                        format!(
+                            "exact float `{op}` comparison in u1-analytics; compare with an \
+                             epsilon (`(a - b).abs() < EPS`) or use `total_cmp`"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+enum Direction {
+    Left,
+    Right,
+}
+
+/// Is the operand token at `idx` (left neighbor of the operator, or the
+/// first token after it) visibly a float?
+fn operand_is_float(file: &SourceFile, idx: usize, dir: Direction) -> bool {
+    let Some(tok) = file.tokens.get(idx) else {
+        return false;
+    };
+    match &tok.kind {
+        TokenKind::Number(n) => is_float_literal(n),
+        // `f64::NAN`, `f32::EPSILON`, …
+        TokenKind::Ident(i) => match dir {
+            Direction::Right => {
+                (i == "f32" || i == "f64")
+                    && file
+                        .tokens
+                        .get(idx + 1)
+                        .is_some_and(|t| t.kind.is_punct(':'))
+            }
+            Direction::Left => {
+                // Left side ends at the const name: look back for
+                // `f64 :: NAME`.
+                idx >= 3
+                    && file.tokens[idx - 1].kind.is_punct(':')
+                    && file.tokens[idx - 2].kind.is_punct(':')
+                    && file.tokens[idx - 3]
+                        .kind
+                        .ident()
+                        .is_some_and(|p| p == "f32" || p == "f64")
+            }
+        },
+        _ => false,
+    }
+}
+
+fn is_float_literal(raw: &str) -> bool {
+    if raw.starts_with("0x") || raw.starts_with("0b") || raw.starts_with("0o") {
+        return false;
+    }
+    raw.contains('.')
+        || raw.ends_with("f32")
+        || raw.ends_with("f64")
+        || (raw.contains(['e', 'E'])
+            && !raw
+                .chars()
+                .any(|c| c.is_ascii_alphabetic() && !matches!(c, 'e' | 'E')))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        FloatEq.check(&[SourceFile::parse(path, src)])
+    }
+
+    #[test]
+    fn flags_float_literal_comparisons() {
+        let src = r#"
+fn f(vx: f64, vy: f64) -> bool {
+    if vx == 0.0 { return true; }
+    if 1e-9 != vy { return false; }
+    vx == f64::NAN
+}
+"#;
+        let lines: Vec<usize> = check("crates/u1-analytics/src/stats.rs", src)
+            .iter()
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn integer_comparisons_and_compound_ops_pass() {
+        let src = r#"
+fn f(n: u64, x: f64) -> bool {
+    let mut acc = 0.0;
+    acc += 1.0;
+    if n == 0 { return true; }
+    n != 5 && acc <= 2.0 && acc >= 0.5
+}
+"#;
+        assert!(check("crates/u1-analytics/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn only_analytics_is_in_scope() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        assert!(check("crates/u1-metastore/src/store.rs", src).is_empty());
+        assert_eq!(check("crates/u1-analytics/src/summary.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn float_literal_shapes() {
+        assert!(is_float_literal("0.0"));
+        assert!(is_float_literal("1e-9"));
+        assert!(is_float_literal("2f64"));
+        assert!(!is_float_literal("42"));
+        assert!(!is_float_literal("0xEE"));
+        assert!(!is_float_literal("7u64"));
+    }
+}

@@ -1,0 +1,259 @@
+//! U1L003 `msg-exhaustive`: every message variant must be wired through
+//! both the encoder and the decoder.
+//!
+//! Reads the `Request`, `Response`, and `Push` enum declarations in
+//! `u1-proto/src/msg.rs`, then audits `u1-proto/src/codec.rs`: each variant
+//! must be constructed/matched (`Enum::Variant`) at least once inside an
+//! encode-side function (`put_*`/`encode*`) and once inside a decode-side
+//! function (`get_*`/`decode*`). A variant added to `msg.rs` but not to
+//! both codec paths is exactly the frame-mismatch bug class the paper's
+//! postmortems describe, and the compiler alone only catches the encode
+//! half (match exhaustiveness) — never a forgotten decoder tag arm.
+
+use super::{finding, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+pub struct MsgExhaustive;
+
+const MSG_ENUMS: &[&str] = &["Request", "Response", "Push"];
+
+impl Rule for MsgExhaustive {
+    fn id(&self) -> &'static str {
+        "U1L003"
+    }
+
+    fn slug(&self) -> &'static str {
+        "msg-exhaustive"
+    }
+
+    fn check(&self, files: &[SourceFile]) -> Vec<Finding> {
+        let Some(msg) = files
+            .iter()
+            .find(|f| f.rel_path.ends_with("u1-proto/src/msg.rs"))
+        else {
+            return Vec::new();
+        };
+        let Some(codec) = files
+            .iter()
+            .find(|f| f.rel_path.ends_with("u1-proto/src/codec.rs"))
+        else {
+            return Vec::new();
+        };
+
+        let mut out = Vec::new();
+        for enum_name in MSG_ENUMS {
+            for variant in enum_variants(msg, enum_name) {
+                let encode = usage_count(codec, enum_name, &variant.name, Side::Encode);
+                let decode = usage_count(codec, enum_name, &variant.name, Side::Decode);
+                let missing = match (encode, decode) {
+                    (0, 0) => Some("neither the encode nor the decode path"),
+                    (0, _) => Some("the encode path (no `put_*`/`encode*` arm)"),
+                    (_, 0) => Some("the decode path (no `get_*`/`decode*` arm)"),
+                    _ => None,
+                };
+                if let Some(missing) = missing {
+                    out.push(finding(
+                        self.id(),
+                        self.slug(),
+                        msg,
+                        variant.line,
+                        variant.col,
+                        format!(
+                            "`{enum_name}::{}` is declared in msg.rs but missing from {missing} \
+                             in codec.rs",
+                            variant.name
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+struct Variant {
+    name: String,
+    line: usize,
+    col: usize,
+}
+
+enum Side {
+    Encode,
+    Decode,
+}
+
+/// Extracts the variant names of `enum <name> { … }`.
+fn enum_variants(file: &SourceFile, enum_name: &str) -> Vec<Variant> {
+    let toks = &file.tokens;
+    let Some(decl) = (0..toks.len()).find(|&i| {
+        toks[i].kind.is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.kind.is_ident(enum_name))
+    }) else {
+        return Vec::new();
+    };
+    let Some(open) = (decl..toks.len()).find(|&i| toks[i].kind.is_punct('{')) else {
+        return Vec::new();
+    };
+    let mut variants = Vec::new();
+    let mut depth = 1usize; // past the opening `{`
+    let mut expecting_variant = true;
+    for t in &toks[open + 1..] {
+        match &t.kind {
+            // Attribute brackets (`#[…]`) nest like groups but do not
+            // consume the variant slot: `#[doc = "…"] BeginUpload` must
+            // still yield `BeginUpload`.
+            TokenKind::Punct('{') | TokenKind::Punct('(') => {
+                depth += 1;
+                expecting_variant = false;
+            }
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct('}') | TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break; // end of enum body
+                }
+            }
+            TokenKind::Punct(',') if depth == 1 => expecting_variant = true,
+            TokenKind::Ident(name) if depth == 1 && expecting_variant => {
+                variants.push(Variant {
+                    name: name.clone(),
+                    line: t.line,
+                    col: t.col,
+                });
+                expecting_variant = false;
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+/// Counts `Enum::Variant` occurrences inside encode- or decode-side
+/// functions of the codec (non-test code only).
+fn usage_count(codec: &SourceFile, enum_name: &str, variant: &str, side: Side) -> usize {
+    let toks = &codec.tokens;
+    let mut count = 0;
+    for f in &codec.fns {
+        let on_side = match side {
+            Side::Encode => f.name.starts_with("put_") || f.name.starts_with("encode"),
+            Side::Decode => f.name.starts_with("get_") || f.name.starts_with("decode"),
+        };
+        if !on_side {
+            continue;
+        }
+        for i in f.body.first_tok..=f.body.last_tok.min(toks.len().saturating_sub(1)) {
+            if toks[i].kind.is_ident(variant)
+                && i >= 3
+                && toks[i - 1].kind.is_punct(':')
+                && toks[i - 2].kind.is_punct(':')
+                && toks[i - 3].kind.is_ident(enum_name)
+                && !codec.is_test_tok(i)
+            {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    const MSG: &str = r#"
+pub enum Request {
+    Ping,
+    #[doc = "uploads"]
+    BeginUpload { size: u64 },
+    Unlink(u64),
+}
+pub enum Response { Ok, Err(String) }
+pub enum Push { NodeChanged }
+"#;
+
+    fn run(codec_src: &str) -> Vec<Finding> {
+        let msg = SourceFile::parse("crates/u1-proto/src/msg.rs", MSG);
+        let codec = SourceFile::parse("crates/u1-proto/src/codec.rs", codec_src);
+        MsgExhaustive.check(&[msg, codec])
+    }
+
+    #[test]
+    fn variant_extraction_handles_fields_and_attrs() {
+        let msg = SourceFile::parse("crates/u1-proto/src/msg.rs", MSG);
+        let names: Vec<String> = enum_variants(&msg, "Request")
+            .into_iter()
+            .map(|v| v.name)
+            .collect();
+        assert_eq!(names, vec!["Ping", "BeginUpload", "Unlink"]);
+    }
+
+    #[test]
+    fn fully_wired_codec_is_clean() {
+        let codec = r#"
+fn put_request(r: &Request) {
+    match r {
+        Request::Ping => {}
+        Request::BeginUpload { size } => {}
+        Request::Unlink(n) => {}
+    }
+}
+fn get_request(tag: u8) -> Request {
+    match tag {
+        0 => Request::Ping,
+        1 => Request::BeginUpload { size: 0 },
+        _ => Request::Unlink(0),
+    }
+}
+fn put_response(r: &Response) { match r { Response::Ok => {}, Response::Err(e) => {} } }
+fn get_response(tag: u8) -> Response { if tag == 0 { Response::Ok } else { Response::Err(s) } }
+fn put_push(p: &Push) { match p { Push::NodeChanged => {} } }
+fn get_push(tag: u8) -> Push { Push::NodeChanged }
+"#;
+        assert!(run(codec).is_empty());
+    }
+
+    #[test]
+    fn missing_decode_arm_is_reported_at_the_variant() {
+        let codec = r#"
+fn put_request(r: &Request) {
+    match r {
+        Request::Ping => {}
+        Request::BeginUpload { size } => {}
+        Request::Unlink(n) => {}
+    }
+}
+fn get_request(tag: u8) -> Request {
+    match tag {
+        0 => Request::Ping,
+        _ => Request::Unlink(0), // BeginUpload forgotten
+    }
+}
+fn put_response(r: &Response) { match r { Response::Ok => {}, Response::Err(e) => {} } }
+fn get_response(tag: u8) -> Response { if tag == 0 { Response::Ok } else { Response::Err(s) } }
+fn put_push(p: &Push) { match p { Push::NodeChanged => {} } }
+fn get_push(tag: u8) -> Push { Push::NodeChanged }
+"#;
+        let found = run(codec);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("Request::BeginUpload"));
+        assert!(found[0].message.contains("decode path"));
+        assert_eq!(found[0].path, "crates/u1-proto/src/msg.rs");
+        // Points at the BeginUpload declaration line in MSG.
+        assert_eq!(found[0].line, 5);
+    }
+
+    #[test]
+    fn encode_only_in_helper_fn_does_not_count_for_decode() {
+        // A variant referenced only in a put_* fn must still fail decode.
+        let codec = r#"
+fn put_push(p: &Push) { match p { Push::NodeChanged => {} } }
+"#;
+        let found = run(codec);
+        // Everything except Push::NodeChanged-encode is missing.
+        assert!(found
+            .iter()
+            .any(|f| f.message.contains("Push::NodeChanged") && f.message.contains("decode")));
+    }
+}

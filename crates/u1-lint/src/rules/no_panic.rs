@@ -1,0 +1,131 @@
+//! U1L001 `no-panic`: the serving tiers must not panic in non-test code.
+//!
+//! Flags `.unwrap()`, `.expect(…)`, and the `panic!`/`todo!`/
+//! `unimplemented!`/`unreachable!` macros in the request-serving crates
+//! (see [`super::SERVING_TIERS`]). Test modules and `#[test]` fns are
+//! exempt; deliberate exceptions use the escape hatch
+//! `// u1-lint: allow(U1L001) — <reason>`.
+
+use super::{finding, Rule, SERVING_TIERS};
+use crate::diag::Finding;
+use crate::model::SourceFile;
+
+pub struct NoPanic;
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+impl Rule for NoPanic {
+    fn id(&self) -> &'static str {
+        "U1L001"
+    }
+
+    fn slug(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn check(&self, files: &[SourceFile]) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in files {
+            let serving = file
+                .crate_name
+                .as_deref()
+                .is_some_and(|c| SERVING_TIERS.contains(&c));
+            if !serving {
+                continue;
+            }
+            for (i, tok) in file.tokens.iter().enumerate() {
+                let Some(name) = tok.kind.ident() else {
+                    continue;
+                };
+
+                // `.unwrap(` / `.expect(` — method position only, so local
+                // fns named e.g. `unwrap_frame` or struct fields don't trip.
+                let is_method_call = PANIC_METHODS.contains(&name)
+                    && i > 0
+                    && file.tokens[i - 1].kind.is_punct('.')
+                    && file.tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('('));
+                // `panic!(` and friends — macro position only.
+                let is_panic_macro = PANIC_MACROS.contains(&name)
+                    && file.tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('!'))
+                    // Not `macro_rules! panic` or a path segment like
+                    // `std::panic::catch_unwind` (no `!` there anyway).
+                    && !(i > 0 && file.tokens[i - 1].kind.is_punct(':'));
+
+                if (is_method_call || is_panic_macro) && !file.is_test_tok(i) {
+                    let what = if is_method_call {
+                        format!("`.{name}()`")
+                    } else {
+                        format!("`{name}!`")
+                    };
+                    out.push(finding(
+                        self.id(),
+                        self.slug(),
+                        file,
+                        tok.line,
+                        tok.col,
+                        format!(
+                            "{what} in non-test code of serving tier `{}`; return a typed \
+                             error (u1-core::error) instead",
+                            file.crate_name.as_deref().unwrap_or("?"),
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        NoPanic.check(&[SourceFile::parse(path, src)])
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let src = r#"
+fn serve() {
+    let a = conn.recv().unwrap();
+    let b = row.expect("row must exist");
+    if bad { panic!("boom"); }
+    match x { _ => unreachable!("nope") }
+}
+"#;
+        let found = check("crates/u1-server/src/handler.rs", src);
+        let rules: Vec<usize> = found.iter().map(|f| f.line).collect();
+        assert_eq!(rules, vec![3, 4, 5, 6]);
+        assert!(found.iter().all(|f| f.rule == "U1L001"));
+    }
+
+    #[test]
+    fn test_code_and_non_serving_crates_are_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); panic!("fine in tests"); }
+}
+"#;
+        assert!(check("crates/u1-server/src/handler.rs", src).is_empty());
+        // u1-analytics is not a serving tier.
+        assert!(check("crates/u1-analytics/src/stats.rs", "fn f() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn identifier_lookalikes_do_not_trip() {
+        let src = r#"
+fn unwrap_frame(buf: &[u8]) -> &[u8] { &buf[4..] }
+fn serve() {
+    let a = unwrap_frame(&data);
+    let msg = "never unwrap() in prod";
+    let level = settings.panic; // field named panic
+}
+"#;
+        assert!(check("crates/u1-proto/src/frame.rs", src).is_empty());
+    }
+}

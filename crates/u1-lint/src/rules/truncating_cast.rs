@@ -1,0 +1,243 @@
+//! U1L002 `no-truncating-cast`: wire/frame/codec code must not narrow
+//! integers with `as`.
+//!
+//! In files named `wire.rs`, `frame.rs`, or `codec.rs` (any crate), an
+//! `as` cast to a type that can drop bits — `u8`/`u16`/`u32`/`i8`/`i16`/
+//! `i32`, or `usize`/`isize` whose width is platform-dependent — is
+//! flagged. The paper's framing bugs came exactly from silent 64→32-bit
+//! length truncation; `TryFrom` conversions returning a typed overflow
+//! error are required instead.
+//!
+//! Two shapes are exempt because they provably cannot truncate:
+//! - literal casts whose value fits the target (`0x7F as u8`);
+//! - mask-then-cast, `(expr & MASK) as T`, when `MASK` fits the target —
+//!   the varint encoder's `(v & 0x7F) as u8` idiom.
+
+use super::{finding, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+pub struct TruncatingCast;
+
+const WIRE_FILE_STEMS: &[&str] = &["wire", "frame", "codec"];
+
+/// Narrow targets and their maximum values. `usize`/`isize` are treated as
+/// 32-bit (their minimum guaranteed width here) so a u64 → usize cast is
+/// flagged even though it happens to be lossless on 64-bit hosts.
+const NARROW_TARGETS: &[(&str, u128)] = &[
+    ("u8", u8::MAX as u128),
+    ("u16", u16::MAX as u128),
+    ("u32", u32::MAX as u128),
+    ("i8", i8::MAX as u128),
+    ("i16", i16::MAX as u128),
+    ("i32", i32::MAX as u128),
+    ("usize", u32::MAX as u128),
+    ("isize", i32::MAX as u128),
+];
+
+impl Rule for TruncatingCast {
+    fn id(&self) -> &'static str {
+        "U1L002"
+    }
+
+    fn slug(&self) -> &'static str {
+        "no-truncating-cast"
+    }
+
+    fn check(&self, files: &[SourceFile]) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in files {
+            if !WIRE_FILE_STEMS.contains(&file.stem.as_str()) {
+                continue;
+            }
+            for (i, tok) in file.tokens.iter().enumerate() {
+                if !tok.kind.is_ident("as") {
+                    continue;
+                }
+                let Some(target) = file.tokens.get(i + 1).and_then(|t| t.kind.ident()) else {
+                    continue;
+                };
+                let Some(&(_, target_max)) =
+                    NARROW_TARGETS.iter().find(|(name, _)| *name == target)
+                else {
+                    continue;
+                };
+                if file.is_test_tok(i) {
+                    continue;
+                }
+                if literal_fits(file, i, target_max) || masked_fits(file, i, target_max) {
+                    continue;
+                }
+                out.push(finding(
+                    self.id(),
+                    self.slug(),
+                    file,
+                    tok.line,
+                    tok.col,
+                    format!(
+                        "possibly-truncating `as {target}` in wire-format code; use \
+                         `{target}::try_from(..)` (or a checked helper) and surface overflow \
+                         as a protocol error"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// `LIT as T` where the literal's value fits the target.
+fn literal_fits(file: &SourceFile, as_idx: usize, target_max: u128) -> bool {
+    as_idx > 0
+        && matches!(
+            &file.tokens[as_idx - 1].kind,
+            TokenKind::Number(n) if parse_int(n).is_some_and(|v| v <= target_max)
+        )
+}
+
+/// `(… & LIT) as T` where the mask literal fits the target: the `&` bounds
+/// the value regardless of the operand's type.
+fn masked_fits(file: &SourceFile, as_idx: usize, target_max: u128) -> bool {
+    if as_idx == 0 || !file.tokens[as_idx - 1].kind.is_punct(')') {
+        return false;
+    }
+    // Walk back to the matching `(`.
+    let mut depth = 0usize;
+    let mut open = None;
+    for j in (0..as_idx).rev() {
+        match file.tokens[j].kind {
+            TokenKind::Punct(')') => depth += 1,
+            TokenKind::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(j);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else { return false };
+    // Inside the parens, look for a top-level `&` with a fitting literal on
+    // either side. (`&&` would be two adjacent Punct('&') tokens; a mask
+    // expression has exactly one.)
+    let inner = &file.tokens[open + 1..as_idx - 1];
+    for (k, t) in inner.iter().enumerate() {
+        let is_single_amp = t.kind.is_punct('&')
+            && !matches!(inner.get(k + 1), Some(n) if n.kind.is_punct('&'))
+            && !(k > 0 && inner[k - 1].kind.is_punct('&'));
+        if !is_single_amp {
+            continue;
+        }
+        let neighbor_fits = |idx: Option<&crate::lexer::Token>| {
+            matches!(
+                idx.map(|t| &t.kind),
+                Some(TokenKind::Number(n)) if parse_int(n).is_some_and(|v| v <= target_max)
+            )
+        };
+        if neighbor_fits(inner.get(k + 1)) || (k > 0 && neighbor_fits(inner.get(k - 1))) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Parses an integer literal in any base, ignoring `_` separators and a
+/// type suffix. Returns None for float literals.
+fn parse_int(raw: &str) -> Option<u128> {
+    let cleaned: String = raw.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = match cleaned.get(..2) {
+        Some("0x") | Some("0X") => (&cleaned[2..], 16),
+        Some("0o") => (&cleaned[2..], 8),
+        Some("0b") => (&cleaned[2..], 2),
+        _ => (cleaned.as_str(), 10),
+    };
+    // Strip a trailing type suffix (u8, i64, usize, …).
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    // Anything unparsed that is not a pure alpha suffix (e.g. `.` or `e5`)
+    // means a float or malformed literal.
+    if !digits[end..].chars().all(|c| c.is_ascii_alphanumeric()) || digits[end..].starts_with('e') {
+        return None;
+    }
+    if digits.contains('.') {
+        return None;
+    }
+    u128::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        TruncatingCast.check(&[SourceFile::parse(path, src)])
+    }
+
+    #[test]
+    fn flags_narrowing_casts_in_wire_files() {
+        let src = r#"
+fn get_len(buf: &mut B) -> usize {
+    let raw = get_uvarint(buf)? as usize;
+    let id = get_uvarint(buf)? as u32;
+    let b = word as u8;
+    raw + id as usize + b as usize
+}
+"#;
+        let lines: Vec<usize> = check("crates/u1-proto/src/wire.rs", src)
+            .iter()
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![3, 4, 5, 6, 6]);
+    }
+
+    #[test]
+    fn widening_and_exempt_shapes_pass() {
+        let src = r#"
+fn put(out: &mut B, v: u64, items: &[u8]) {
+    put_uvarint(out, items.len() as u64);      // widening: fine
+    out.put_u8((v & 0x7F) as u8);              // masked: provably fits
+    out.put_u8(0x80 as u8);                    // literal fits
+    let tag = (v >> 4 & 0x0F) as u8;           // masked, literal on right
+}
+"#;
+        assert!(check("crates/u1-proto/src/codec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mask_too_large_still_flags() {
+        let src = "fn f(v: u64) -> u8 { (v & 0x1FF) as u8 }\n";
+        assert_eq!(check("crates/u1-proto/src/wire.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn non_wire_files_are_out_of_scope() {
+        let src = "fn f(v: u64) -> u32 { v as u32 }\n";
+        assert!(check("crates/u1-metastore/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reference_and_in_mask_scan_is_not_fooled() {
+        // `&x & 2` style and `&&` must not register as mask exemptions,
+        // while a real mask with the literal left of `&` must.
+        let src = "fn f(a: u64, b: u64) -> u32 { (a & b) as u32 }\n";
+        assert_eq!(check("crates/u1-proto/src/wire.rs", src).len(), 1);
+        let src2 = "fn f(a: u64) -> u32 { (0xFF & a) as u32 }\n";
+        assert!(check("crates/u1-proto/src/wire.rs", src2).is_empty());
+    }
+
+    #[test]
+    fn int_literal_parsing() {
+        assert_eq!(parse_int("0x7F"), Some(0x7F));
+        assert_eq!(parse_int("1_000u64"), Some(1000));
+        assert_eq!(parse_int("0b1010"), Some(10));
+        assert_eq!(parse_int("1.5"), None);
+        assert_eq!(parse_int("1e5"), None);
+    }
+}

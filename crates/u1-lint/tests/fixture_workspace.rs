@@ -1,0 +1,135 @@
+//! End-to-end tests over the seeded fixture workspace in
+//! `tests/fixtures/ws/`: exact rule IDs and line numbers, escape-hatch
+//! suppression, and the CLI's exit-code / JSON / baseline contracts.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn findings() -> Vec<u1_lint::diag::Finding> {
+    u1_lint::analyze_workspace(&fixture_root()).expect("fixture workspace readable")
+}
+
+#[test]
+fn seeded_violations_are_found_at_exact_locations() {
+    let got: Vec<(String, String, usize)> = findings()
+        .iter()
+        .map(|f| (f.rule.to_string(), f.path.clone(), f.line))
+        .collect();
+    let want: Vec<(String, String, usize)> = [
+        ("U1L001", "crates/u1-server/src/handler.rs", 4),
+        ("U1L001", "crates/u1-server/src/handler.rs", 5),
+        ("U1L001", "crates/u1-server/src/handler.rs", 7),
+        ("U1L002", "crates/u1-proto/src/wire.rs", 4),
+        ("U1L003", "crates/u1-proto/src/msg.rs", 13),
+        ("U1L004", "crates/u1-notify/src/lib.rs", 4),
+        ("U1L004", "crates/u1-notify/src/lib.rs", 5),
+        ("U1L005", "crates/u1-analytics/src/stats.rs", 4),
+    ]
+    .iter()
+    .map(|(r, p, l)| (r.to_string(), p.to_string(), *l))
+    .collect();
+    let mut got_sorted = got.clone();
+    got_sorted.sort();
+    let mut want_sorted = want;
+    want_sorted.sort();
+    assert_eq!(got_sorted, want_sorted, "full findings: {got:#?}");
+}
+
+#[test]
+fn escape_hatch_suppresses_by_id_and_slug() {
+    // handler.rs:9 carries `allow(U1L001)`, wire.rs:12 `allow(no-truncating-cast)`;
+    // neither may appear even though both lines violate their rule.
+    for f in findings() {
+        assert!(
+            !(f.path.ends_with("handler.rs") && f.line == 9),
+            "suppressed unwrap reported: {f:?}"
+        );
+        assert!(
+            !(f.path.ends_with("wire.rs") && f.line == 12),
+            "suppressed cast reported: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn missing_decode_arm_names_both_enum_and_path() {
+    let f = findings()
+        .into_iter()
+        .find(|f| f.rule == "U1L003")
+        .expect("U1L003 finding");
+    assert!(f.message.contains("Push::ShareCreated"), "{}", f.message);
+    assert!(f.message.contains("decode path"), "{}", f.message);
+}
+
+#[test]
+fn cli_exits_nonzero_on_fixture_violations() {
+    let out = Command::new(env!("CARGO_BIN_EXE_u1-lint"))
+        .args(["check", "--root"])
+        .arg(fixture_root())
+        .args(["--baseline", "/nonexistent/u1-lint-baseline.txt"])
+        .output()
+        .expect("run u1-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[U1L001]"), "{stdout}");
+    assert!(stdout.contains("handler.rs:4"), "{stdout}");
+}
+
+#[test]
+fn cli_json_mode_emits_one_object_per_finding() {
+    let out = Command::new(env!("CARGO_BIN_EXE_u1-lint"))
+        .args(["check", "--json", "--root"])
+        .arg(fixture_root())
+        .args(["--baseline", "/nonexistent/u1-lint-baseline.txt"])
+        .output()
+        .expect("run u1-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 8, "{stdout}");
+    for line in lines {
+        assert!(line.starts_with("{\"rule\":\"U1L"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+}
+
+#[test]
+fn cli_baseline_round_trip_silences_check() {
+    let baseline = std::env::temp_dir().join(format!(
+        "u1-lint-fixture-baseline-{}.txt",
+        std::process::id()
+    ));
+    let write = Command::new(env!("CARGO_BIN_EXE_u1-lint"))
+        .args(["baseline", "--root"])
+        .arg(fixture_root())
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run u1-lint baseline");
+    assert!(write.status.success());
+
+    let check = Command::new(env!("CARGO_BIN_EXE_u1-lint"))
+        .args(["check", "--root"])
+        .arg(fixture_root())
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run u1-lint check");
+    let _ = std::fs::remove_file(&baseline);
+    assert_eq!(
+        check.status.code(),
+        Some(0),
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&check.stdout),
+        String::from_utf8_lossy(&check.stderr)
+    );
+}

@@ -1,0 +1,9 @@
+//! Fixture: seeded U1L005 violation (line 4); epsilon comparison is exempt.
+
+fn gini_is_zero(g: f64) -> bool {
+    g == 0.0
+}
+
+fn nearly(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}

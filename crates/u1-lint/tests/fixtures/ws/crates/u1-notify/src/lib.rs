@@ -1,0 +1,11 @@
+//! Fixture: seeded U1L004 violations (lines 4 and 5); sync fn is exempt.
+
+async fn deliver(q: &Queue) {
+    std::thread::sleep(poll_interval());
+    let lock = std::sync::Mutex::new(0u32);
+    q.flush().await;
+}
+
+fn sync_retry() {
+    std::thread::sleep(backoff());
+}

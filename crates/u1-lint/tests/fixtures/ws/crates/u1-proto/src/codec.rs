@@ -1,0 +1,32 @@
+//! Fixture codec: encodes every variant, forgets `Push::ShareCreated` on decode.
+
+fn put_request(r: &Request) {
+    match r {
+        Request::Ping => {}
+    }
+}
+
+fn get_request(tag: u8) -> Request {
+    Request::Ping
+}
+
+fn put_response(r: &Response) {
+    match r {
+        Response::Pong => {}
+    }
+}
+
+fn get_response(tag: u8) -> Response {
+    Response::Pong
+}
+
+fn put_push(p: &Push) {
+    match p {
+        Push::NodeChanged => {}
+        Push::ShareCreated => {}
+    }
+}
+
+fn get_push(tag: u8) -> Push {
+    Push::NodeChanged
+}

@@ -1,0 +1,14 @@
+//! Fixture: `Push::ShareCreated` (line 13) is missing from the decode path.
+
+pub enum Request {
+    Ping,
+}
+
+pub enum Response {
+    Pong,
+}
+
+pub enum Push {
+    NodeChanged,
+    ShareCreated,
+}

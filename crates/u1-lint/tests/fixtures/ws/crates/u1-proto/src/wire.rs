@@ -1,0 +1,13 @@
+//! Fixture: seeded U1L002 violation (line 4; line 8 mask-exempt, line 12 suppressed).
+
+fn read_len(v: u64) -> usize {
+    v as usize
+}
+
+fn tag_of(v: u64) -> u8 {
+    (v & 0xFF) as u8
+}
+
+fn small(v: u64) -> u16 {
+    v as u16 // u1-lint: allow(no-truncating-cast) — fixture: suppressed via slug
+}

@@ -1,0 +1,18 @@
+//! Fixture: seeded U1L001 violations (lines 4, 5, 7; line 9 suppressed).
+
+fn serve(conn: Conn) {
+    let frame = conn.recv().unwrap();
+    let row = lookup(frame).expect("row exists");
+    if row.bad() {
+        panic!("corrupt row");
+    }
+    let ok = checked(row).unwrap(); // u1-lint: allow(U1L001) — fixture: justified exception
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        build().unwrap();
+    }
+}

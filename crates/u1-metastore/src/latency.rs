@@ -155,7 +155,10 @@ mod tests {
         let c = median(sample_many(&mut m, RpcKind::DeleteVolume, 4000));
         assert!(r < w, "read median {r} should be below write {w}");
         assert!(w < c, "write median {w} should be below cascade {c}");
-        assert!(c / r > 10.0, "cascade {c} should be >=10x read {r} (Fig. 13)");
+        assert!(
+            c / r > 10.0,
+            "cascade {c} should be >=10x read {r} (Fig. 13)"
+        );
     }
 
     #[test]
@@ -204,7 +207,10 @@ mod tests {
                 .map(|_| m.sample(RpcKind::DeleteVolume, 1000).as_secs_f64())
                 .collect(),
         );
-        assert!(big > small + 1.0, "1000 rows at 2ms each ≈ +2s, got {small} -> {big}");
+        assert!(
+            big > small + 1.0,
+            "1000 rows at 2ms each ≈ +2s, got {small} -> {big}"
+        );
     }
 
     #[test]
@@ -212,7 +218,10 @@ mod tests {
         let mut a = LatencyModel::new(LatencyProfile::default(), 9);
         let mut b = LatencyModel::new(LatencyProfile::default(), 9);
         for _ in 0..100 {
-            assert_eq!(a.sample(RpcKind::GetDelta, 0), b.sample(RpcKind::GetDelta, 0));
+            assert_eq!(
+                a.sample(RpcKind::GetDelta, 0),
+                b.sample(RpcKind::GetDelta, 0)
+            );
         }
     }
 }

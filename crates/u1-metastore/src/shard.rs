@@ -660,16 +660,40 @@ mod tests {
     fn make_node_is_idempotent_on_name() {
         let (mut shard, user, root) = setup();
         let n1 = shard
-            .make_node(user, root, NodeId::new(1), None, NodeKind::File, "a", SimTime::ZERO)
+            .make_node(
+                user,
+                root,
+                NodeId::new(1),
+                None,
+                NodeKind::File,
+                "a",
+                SimTime::ZERO,
+            )
             .unwrap();
         let n2 = shard
-            .make_node(user, root, NodeId::new(2), None, NodeKind::File, "a", SimTime::ZERO)
+            .make_node(
+                user,
+                root,
+                NodeId::new(2),
+                None,
+                NodeKind::File,
+                "a",
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(n1.node, n2.node, "same name resolves to same node");
         assert_eq!(shard.get_volume(root).unwrap().node_count, 1);
         // Same name but different kind is a conflict.
         assert!(shard
-            .make_node(user, root, NodeId::new(3), None, NodeKind::Directory, "a", SimTime::ZERO)
+            .make_node(
+                user,
+                root,
+                NodeId::new(3),
+                None,
+                NodeKind::Directory,
+                "a",
+                SimTime::ZERO
+            )
             .is_err());
     }
 
@@ -690,7 +714,15 @@ mod tests {
             .is_err());
         // File as parent.
         shard
-            .make_node(user, root, NodeId::new(1), None, NodeKind::File, "f", SimTime::ZERO)
+            .make_node(
+                user,
+                root,
+                NodeId::new(1),
+                None,
+                NodeKind::File,
+                "f",
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(shard
             .make_node(
@@ -709,7 +741,15 @@ mod tests {
     fn unlink_directory_cascades() {
         let (mut shard, user, root) = setup();
         let dir = shard
-            .make_node(user, root, NodeId::new(1), None, NodeKind::Directory, "d", SimTime::ZERO)
+            .make_node(
+                user,
+                root,
+                NodeId::new(1),
+                None,
+                NodeKind::Directory,
+                "d",
+                SimTime::ZERO,
+            )
             .unwrap();
         let sub = shard
             .make_node(
@@ -733,7 +773,9 @@ mod tests {
                 SimTime::ZERO,
             )
             .unwrap();
-        let dead = shard.unlink(user, root, dir.node, SimTime::from_secs(5)).unwrap();
+        let dead = shard
+            .unlink(user, root, dir.node, SimTime::from_secs(5))
+            .unwrap();
         assert_eq!(dead.len(), 3);
         assert_eq!(shard.get_volume(root).unwrap().node_count, 0);
         assert!(shard.get_node(root, NodeId::new(3)).is_err());
@@ -743,7 +785,15 @@ mod tests {
     fn delta_reports_changes_and_tombstones() {
         let (mut shard, user, root) = setup();
         let n = shard
-            .make_node(user, root, NodeId::new(1), None, NodeKind::File, "a", SimTime::ZERO)
+            .make_node(
+                user,
+                root,
+                NodeId::new(1),
+                None,
+                NodeKind::File,
+                "a",
+                SimTime::ZERO,
+            )
             .unwrap();
         let (gen1, delta) = shard.get_delta(root, 0).unwrap();
         assert_eq!(gen1, 1);
@@ -752,7 +802,9 @@ mod tests {
         let (_, delta) = shard.get_delta(root, gen1).unwrap();
         assert!(delta.is_empty());
         // Unlink produces a tombstone entry.
-        shard.unlink(user, root, n.node, SimTime::from_secs(1)).unwrap();
+        shard
+            .unlink(user, root, n.node, SimTime::from_secs(1))
+            .unwrap();
         let (gen2, delta) = shard.get_delta(root, gen1).unwrap();
         assert_eq!(gen2, 2);
         assert_eq!(delta.len(), 1);
@@ -763,7 +815,15 @@ mod tests {
     fn make_content_replaces_and_reports_old_hash() {
         let (mut shard, user, root) = setup();
         let n = shard
-            .make_node(user, root, NodeId::new(1), None, NodeKind::File, "a", SimTime::ZERO)
+            .make_node(
+                user,
+                root,
+                NodeId::new(1),
+                None,
+                NodeKind::File,
+                "a",
+                SimTime::ZERO,
+            )
             .unwrap();
         let h1 = ContentHash::from_content_id(1);
         let h2 = ContentHash::from_content_id(2);
@@ -783,7 +843,15 @@ mod tests {
     fn move_rejects_cycles() {
         let (mut shard, user, root) = setup();
         let a = shard
-            .make_node(user, root, NodeId::new(1), None, NodeKind::Directory, "a", SimTime::ZERO)
+            .make_node(
+                user,
+                root,
+                NodeId::new(1),
+                None,
+                NodeKind::Directory,
+                "a",
+                SimTime::ZERO,
+            )
             .unwrap();
         let b = shard
             .make_node(
@@ -816,7 +884,15 @@ mod tests {
             .create_udf(user, VolumeId::new(200), "Photos", SimTime::ZERO)
             .unwrap();
         shard
-            .make_node(user, udf.volume, NodeId::new(1), None, NodeKind::File, "x", SimTime::ZERO)
+            .make_node(
+                user,
+                udf.volume,
+                NodeId::new(1),
+                None,
+                NodeKind::File,
+                "x",
+                SimTime::ZERO,
+            )
             .unwrap();
         let dead = shard.delete_volume(user, udf.volume).unwrap();
         assert_eq!(dead.len(), 1);
@@ -827,9 +903,19 @@ mod tests {
     fn permission_checks_apply() {
         let (mut shard, _user, root) = setup();
         let other = UserId::new(2);
-        shard.create_user(other, VolumeId::new(300), SimTime::ZERO).unwrap();
+        shard
+            .create_user(other, VolumeId::new(300), SimTime::ZERO)
+            .unwrap();
         assert!(matches!(
-            shard.make_node(other, root, NodeId::new(9), None, NodeKind::File, "x", SimTime::ZERO),
+            shard.make_node(
+                other,
+                root,
+                NodeId::new(9),
+                None,
+                NodeKind::File,
+                "x",
+                SimTime::ZERO
+            ),
             Err(CoreError::PermissionDenied(_))
         ));
         assert!(matches!(
@@ -842,7 +928,15 @@ mod tests {
     fn uploadjob_lifecycle_and_gc() {
         let (mut shard, user, root) = setup();
         let n = shard
-            .make_node(user, root, NodeId::new(1), None, NodeKind::File, "big", SimTime::ZERO)
+            .make_node(
+                user,
+                root,
+                NodeId::new(1),
+                None,
+                NodeKind::File,
+                "big",
+                SimTime::ZERO,
+            )
             .unwrap();
         let up = UploadId::new(50);
         let h = ContentHash::from_content_id(9);
@@ -850,11 +944,21 @@ mod tests {
             .make_uploadjob(user, root, n.node, up, h, 10_000_000, SimTime::ZERO)
             .unwrap();
         // Parts before multipart id are rejected.
-        assert!(shard.add_part_to_uploadjob(up, 5_000_000, SimTime::ZERO).is_err());
-        shard.set_uploadjob_multipart_id(up, 777, SimTime::ZERO).unwrap();
-        assert!(shard.set_uploadjob_multipart_id(up, 778, SimTime::ZERO).is_err());
-        shard.add_part_to_uploadjob(up, 5_000_000, SimTime::ZERO).unwrap();
-        let job = shard.add_part_to_uploadjob(up, 5_000_000, SimTime::ZERO).unwrap();
+        assert!(shard
+            .add_part_to_uploadjob(up, 5_000_000, SimTime::ZERO)
+            .is_err());
+        shard
+            .set_uploadjob_multipart_id(up, 777, SimTime::ZERO)
+            .unwrap();
+        assert!(shard
+            .set_uploadjob_multipart_id(up, 778, SimTime::ZERO)
+            .is_err());
+        shard
+            .add_part_to_uploadjob(up, 5_000_000, SimTime::ZERO)
+            .unwrap();
+        let job = shard
+            .add_part_to_uploadjob(up, 5_000_000, SimTime::ZERO)
+            .unwrap();
         assert!(job.is_complete());
         // GC: a week-old untouched job is reaped, a fresh one is not.
         let week = SimDuration::from_days(7);

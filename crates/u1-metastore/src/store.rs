@@ -223,14 +223,21 @@ impl MetaStore {
             return Err(CoreError::conflict("share already exists"));
         }
         shares.by_recipient.entry(to).or_default().push(row.clone());
-        shares.by_volume.entry(volume).or_default().push(row.clone());
+        shares
+            .by_volume
+            .entry(volume)
+            .or_default()
+            .push(row.clone());
         Ok(row)
     }
 
     /// `dal.create_udf`.
     pub fn create_udf(&self, user: UserId, name: &str, now: SimTime) -> CoreResult<VolumeRow> {
         let volume = self.alloc_volume();
-        let row = self.shard(user).write().create_udf(user, volume, name, now)?;
+        let row = self
+            .shard(user)
+            .write()
+            .create_udf(user, volume, name, now)?;
         self.volume_owner.write().insert(volume, user);
         Ok(row)
     }
@@ -424,9 +431,15 @@ impl MetaStore {
     ) -> CoreResult<UploadJobRow> {
         let owner = self.authorize(actor, volume)?;
         let upload = self.alloc_upload();
-        self.shard(owner)
-            .write()
-            .make_uploadjob(actor, volume, node, upload, hash, declared_size, now)
+        self.shard(owner).write().make_uploadjob(
+            actor,
+            volume,
+            node,
+            upload,
+            hash,
+            declared_size,
+            now,
+        )
     }
 
     fn uploadjob_shard(&self, actor: UserId, upload: UploadId) -> CoreResult<&RwLock<Shard>> {
@@ -449,7 +462,9 @@ impl MetaStore {
 
     /// `dal.get_uploadjob`.
     pub fn get_uploadjob(&self, actor: UserId, upload: UploadId) -> CoreResult<UploadJobRow> {
-        self.uploadjob_shard(actor, upload)?.read().get_uploadjob(upload)
+        self.uploadjob_shard(actor, upload)?
+            .read()
+            .get_uploadjob(upload)
     }
 
     /// `dal.set_uploadjob_multipart_id`.
@@ -662,8 +677,12 @@ mod tests {
         let bv = s.get_root(bob).unwrap().volume;
         let h = ContentHash::from_content_id(42);
 
-        let an = s.make_node(alice, av, None, NodeKind::File, "song.mp3", now()).unwrap();
-        let bn = s.make_node(bob, bv, None, NodeKind::File, "copy.mp3", now()).unwrap();
+        let an = s
+            .make_node(alice, av, None, NodeKind::File, "song.mp3", now())
+            .unwrap();
+        let bn = s
+            .make_node(bob, bv, None, NodeKind::File, "copy.mp3", now())
+            .unwrap();
         // First upload: content unknown.
         assert!(s.get_reusable_content(h, 1000).is_none());
         s.make_content(alice, av, an.node, h, 1000, now()).unwrap();
@@ -729,7 +748,8 @@ mod tests {
             .make_node(alice, udf.volume, None, NodeKind::File, "f", now())
             .unwrap();
         let h = ContentHash::from_content_id(5);
-        s.make_content(alice, udf.volume, n.node, h, 100, now()).unwrap();
+        s.make_content(alice, udf.volume, n.node, h, 100, now())
+            .unwrap();
 
         let rel = s.delete_volume(alice, udf.volume).unwrap();
         assert_eq!(rel.dead.len(), 1);
@@ -744,12 +764,17 @@ mod tests {
         let u = UserId::new(1);
         s.create_user(u, now()).unwrap();
         let v = s.get_root(u).unwrap().volume;
-        let n = s.make_node(u, v, None, NodeKind::File, "big.iso", now()).unwrap();
+        let n = s
+            .make_node(u, v, None, NodeKind::File, "big.iso", now())
+            .unwrap();
         let h = ContentHash::from_content_id(9);
         let job = s.make_uploadjob(u, v, n.node, h, 10 << 20, now()).unwrap();
-        s.set_uploadjob_multipart_id(u, job.upload, 1, now()).unwrap();
-        s.add_part_to_uploadjob(u, job.upload, 5 << 20, now()).unwrap();
-        s.touch_uploadjob(u, job.upload, SimTime::from_days(1)).unwrap();
+        s.set_uploadjob_multipart_id(u, job.upload, 1, now())
+            .unwrap();
+        s.add_part_to_uploadjob(u, job.upload, 5 << 20, now())
+            .unwrap();
+        s.touch_uploadjob(u, job.upload, SimTime::from_days(1))
+            .unwrap();
         // GC at day 5: touched at day 1, age 4 days < 7, survives.
         assert!(s.gc_uploadjobs(SimTime::from_days(5)).is_empty());
         // GC at day 9: age 8 days > 7, reaped.
@@ -767,7 +792,9 @@ mod tests {
         s.create_user(alice, now()).unwrap();
         s.create_user(eve, now()).unwrap();
         let v = s.get_root(alice).unwrap().volume;
-        let n = s.make_node(alice, v, None, NodeKind::File, "f", now()).unwrap();
+        let n = s
+            .make_node(alice, v, None, NodeKind::File, "f", now())
+            .unwrap();
         let job = s
             .make_uploadjob(alice, v, n.node, ContentHash::EMPTY, 100, now())
             .unwrap();

@@ -90,7 +90,7 @@ fn put_node_info(buf: &mut impl BufMut, n: &NodeInfo) {
     wire::put_uvarint(buf, n.size);
     put_opt_hash(buf, &n.hash);
     wire::put_uvarint(buf, n.generation);
-    buf.put_u8(n.is_dead as u8);
+    buf.put_u8(u8::from(n.is_dead));
 }
 
 fn get_node_info(buf: &mut impl Buf) -> WireResult<NodeInfo> {
@@ -245,7 +245,7 @@ fn get_request(buf: &mut impl Buf) -> WireResult<Request> {
             token: wire::get_bytes(buf)?,
         },
         QUERY_SET_CAPS => {
-            let n = wire::get_uvarint(buf)? as usize;
+            let n = wire::get_uvarint_len(buf)?;
             if n > 1024 {
                 return Err(WireError::BadLength);
             }
@@ -386,7 +386,7 @@ fn put_response(buf: &mut impl BufMut, resp: &Response) {
         Response::UploadBegun { upload, reusable } => {
             buf.put_u8(UPLOAD_BEGUN);
             wire::put_uvarint(buf, upload.raw());
-            buf.put_u8(*reusable as u8);
+            buf.put_u8(u8::from(*reusable));
         }
         Response::UploadDone {
             node,
@@ -425,7 +425,7 @@ fn get_response(buf: &mut impl Buf) -> WireResult<Response> {
             user: UserId::new(wire::get_uvarint(buf)?),
         },
         CAPABILITIES => {
-            let n = wire::get_uvarint(buf)? as usize;
+            let n = wire::get_uvarint_len(buf)?;
             if n > 1024 {
                 return Err(WireError::BadLength);
             }
@@ -436,7 +436,7 @@ fn get_response(buf: &mut impl Buf) -> WireResult<Response> {
             Response::Capabilities { accepted }
         }
         VOLUMES => {
-            let n = wire::get_uvarint(buf)? as usize;
+            let n = wire::get_uvarint_len(buf)?;
             if n > 1_000_000 {
                 return Err(WireError::BadLength);
             }
@@ -457,7 +457,7 @@ fn get_response(buf: &mut impl Buf) -> WireResult<Response> {
         DELTA => {
             let volume = VolumeId::new(wire::get_uvarint(buf)?);
             let generation = wire::get_uvarint(buf)?;
-            let n = wire::get_uvarint(buf)? as usize;
+            let n = wire::get_uvarint_len(buf)?;
             if n > 10_000_000 {
                 return Err(WireError::BadLength);
             }
@@ -566,14 +566,14 @@ pub fn encode(msg: &Message, buf: &mut BytesMut) {
 pub fn decode(mut body: &[u8]) -> WireResult<Message> {
     let msg = match wire::get_u8(&mut body)? {
         KIND_REQUEST => {
-            let id = wire::get_uvarint(&mut body)? as u32;
+            let id = wire::get_uvarint_u32(&mut body)?;
             Message::Request {
                 id,
                 req: get_request(&mut body)?,
             }
         }
         KIND_RESPONSE => {
-            let id = wire::get_uvarint(&mut body)? as u32;
+            let id = wire::get_uvarint_u32(&mut body)?;
             Message::Response {
                 id,
                 resp: get_response(&mut body)?,

@@ -82,16 +82,17 @@ impl ClientConn {
     }
 
     /// Encodes a request into a framed byte block ready to write, returning
-    /// the assigned request id.
-    pub fn request(&mut self, req: Request) -> (RequestId, Bytes) {
+    /// the assigned request id. Fails (without marking the request pending)
+    /// when the encoded body exceeds the frame limit.
+    pub fn request(&mut self, req: Request) -> Result<(RequestId, Bytes), ConnError> {
         self.next_id = self.next_id.wrapping_add(1);
         let id = self.next_id;
-        self.pending.insert(id);
         let mut body = BytesMut::new();
         codec::encode(&Message::Request { id, req }, &mut body);
         let mut framed = BytesMut::with_capacity(body.len() + 4);
-        encode_frame(&body, &mut framed);
-        (id, framed.freeze())
+        encode_frame(&body, &mut framed)?;
+        self.pending.insert(id);
+        Ok((id, framed.freeze()))
     }
 
     /// Feeds received bytes; returns the complete events they produced.
@@ -178,22 +179,24 @@ impl ServerConn {
         Ok(events)
     }
 
-    /// Frames a response for writing.
-    pub fn respond(&self, id: RequestId, resp: Response) -> Bytes {
+    /// Frames a response for writing. Fails when the encoded body exceeds
+    /// the frame limit (e.g. an oversized `ContentChunk`).
+    pub fn respond(&self, id: RequestId, resp: Response) -> Result<Bytes, ConnError> {
         let mut body = BytesMut::new();
         codec::encode(&Message::Response { id, resp }, &mut body);
         let mut framed = BytesMut::with_capacity(body.len() + 4);
-        encode_frame(&body, &mut framed);
-        framed.freeze()
+        encode_frame(&body, &mut framed)?;
+        Ok(framed.freeze())
     }
 
-    /// Frames a push notification for writing.
-    pub fn push(&self, push: Push) -> Bytes {
+    /// Frames a push notification for writing. Fails when the encoded body
+    /// exceeds the frame limit.
+    pub fn push(&self, push: Push) -> Result<Bytes, ConnError> {
         let mut body = BytesMut::new();
         codec::encode(&Message::Push(push), &mut body);
         let mut framed = BytesMut::with_capacity(body.len() + 4);
-        encode_frame(&body, &mut framed);
-        framed.freeze()
+        encode_frame(&body, &mut framed)?;
+        Ok(framed.freeze())
     }
 }
 
@@ -210,32 +213,36 @@ mod tests {
         let mut server = ServerConn::new();
 
         // Pre-auth data op is flagged, not crashed.
-        let (bad_id, bytes) = client.request(Request::ListVolumes);
+        let (bad_id, bytes) = client.request(Request::ListVolumes).expect("encode");
         let evs = server.on_bytes(&bytes).unwrap();
         assert_eq!(evs, vec![ServerEvent::Unauthenticated { id: bad_id }]);
 
         // Authenticate.
-        let (auth_id, bytes) = client.request(Request::Authenticate { token: vec![7] });
+        let (auth_id, bytes) = client
+            .request(Request::Authenticate { token: vec![7] })
+            .expect("encode");
         let evs = server.on_bytes(&bytes).unwrap();
         assert!(
             matches!(&evs[0], ServerEvent::Request { id, req: Request::Authenticate { token } }
                 if *id == auth_id && token == &vec![7])
         );
         server.mark_authenticated(SessionId::new(5), UserId::new(9));
-        let resp_bytes = server.respond(
-            auth_id,
-            Response::AuthOk {
-                session: SessionId::new(5),
-                user: UserId::new(9),
-            },
-        );
+        let resp_bytes = server
+            .respond(
+                auth_id,
+                Response::AuthOk {
+                    session: SessionId::new(5),
+                    user: UserId::new(9),
+                },
+            )
+            .expect("encode");
         let evs = client.on_bytes(&resp_bytes).unwrap();
         assert_eq!(evs.len(), 1);
         assert_eq!(client.session(), Some((SessionId::new(5), UserId::new(9))));
         assert_eq!(client.pending_count(), 1); // the flagged ListVolumes never got a reply
 
         // Now data ops pass.
-        let (id, bytes) = client.request(Request::ListVolumes);
+        let (id, bytes) = client.request(Request::ListVolumes).expect("encode");
         let evs = server.on_bytes(&bytes).unwrap();
         assert!(matches!(
             &evs[0],
@@ -251,20 +258,37 @@ mod tests {
         let mut client = ClientConn::new();
         let mut server = ServerConn::new();
         server.mark_authenticated(SessionId::new(1), UserId::new(1));
-        let (id, _bytes) = client.request(Request::GetContent {
-            volume: VolumeId::new(0),
-            node: u1_core::NodeId::new(1),
-        });
+        let (id, _bytes) = client
+            .request(Request::GetContent {
+                volume: VolumeId::new(0),
+                node: u1_core::NodeId::new(1),
+            })
+            .expect("encode");
         let h = u1_core::ContentHash::EMPTY;
         client
-            .on_bytes(&server.respond(id, Response::ContentBegin { size: 3, hash: h }))
+            .on_bytes(
+                &server
+                    .respond(id, Response::ContentBegin { size: 3, hash: h })
+                    .expect("encode"),
+            )
             .unwrap();
         assert_eq!(client.pending_count(), 1);
         client
-            .on_bytes(&server.respond(id, Response::ContentChunk { data: vec![1, 2, 3] }))
+            .on_bytes(
+                &server
+                    .respond(
+                        id,
+                        Response::ContentChunk {
+                            data: vec![1, 2, 3],
+                        },
+                    )
+                    .expect("encode"),
+            )
             .unwrap();
         assert_eq!(client.pending_count(), 1);
-        client.on_bytes(&server.respond(id, Response::ContentEnd)).unwrap();
+        client
+            .on_bytes(&server.respond(id, Response::ContentEnd).expect("encode"))
+            .unwrap();
         assert_eq!(client.pending_count(), 0);
     }
 
@@ -272,7 +296,7 @@ mod tests {
     fn response_to_unknown_id_is_fatal() {
         let mut client = ClientConn::new();
         let server = ServerConn::new();
-        let bytes = server.respond(42, Response::Ok);
+        let bytes = server.respond(42, Response::Ok).expect("encode");
         assert_eq!(
             client.on_bytes(&bytes),
             Err(ConnError::Protocol("response to unknown request id"))
@@ -284,7 +308,7 @@ mod tests {
         // Server receiving a response.
         let mut server = ServerConn::new();
         let other_server = ServerConn::new();
-        let bytes = other_server.respond(1, Response::Ok);
+        let bytes = other_server.respond(1, Response::Ok).expect("encode");
         assert!(matches!(
             server.on_bytes(&bytes),
             Err(ConnError::Protocol(_))
@@ -292,7 +316,7 @@ mod tests {
         // Client receiving a request.
         let mut client = ClientConn::new();
         let mut peer = ClientConn::new();
-        let (_, bytes) = peer.request(Request::Ping);
+        let (_, bytes) = peer.request(Request::Ping).expect("encode");
         assert!(matches!(
             client.on_bytes(&bytes),
             Err(ConnError::Protocol(_))
@@ -303,10 +327,12 @@ mod tests {
     fn pushes_are_delivered_without_pending_request() {
         let mut client = ClientConn::new();
         let server = ServerConn::new();
-        let bytes = server.push(Push::VolumeChanged {
-            volume: VolumeId::new(3),
-            generation: 12,
-        });
+        let bytes = server
+            .push(Push::VolumeChanged {
+                volume: VolumeId::new(3),
+                generation: 12,
+            })
+            .expect("encode");
         let evs = client.on_bytes(&bytes).unwrap();
         assert_eq!(
             evs,
@@ -322,7 +348,7 @@ mod tests {
         let mut client = ClientConn::new();
         let mut server = ServerConn::new();
         server.mark_authenticated(SessionId::new(1), UserId::new(1));
-        let (id, bytes) = client.request(Request::Ping);
+        let (id, bytes) = client.request(Request::Ping).expect("encode");
         let mut evs = Vec::new();
         for b in bytes.iter() {
             evs.extend(server.on_bytes(&[*b]).unwrap());

@@ -15,8 +15,10 @@ pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
 /// Framing-layer errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameError {
-    /// Peer announced a frame larger than [`MAX_FRAME_LEN`].
-    TooLarge(usize),
+    /// A frame body larger than [`MAX_FRAME_LEN`] — announced by a peer on
+    /// decode, or handed to [`encode_frame`] locally. Carried as `u64` so
+    /// the offending size is reportable even when it exceeds `usize`.
+    TooLarge(u64),
 }
 
 impl std::fmt::Display for FrameError {
@@ -29,11 +31,17 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Wraps a message body in a frame, appending to `out`.
-pub fn encode_frame(body: &[u8], out: &mut BytesMut) {
-    debug_assert!(body.len() <= MAX_FRAME_LEN);
-    out.put_u32(body.len() as u32);
+/// Wraps a message body in a frame, appending to `out`. Fails when the body
+/// exceeds [`MAX_FRAME_LEN`] (and therefore would not round-trip through a
+/// peer's decoder) or cannot be described by the 4-byte length prefix.
+pub fn encode_frame(body: &[u8], out: &mut BytesMut) -> Result<(), FrameError> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(body.len() as u64));
+    }
+    let len = u32::try_from(body.len()).map_err(|_| FrameError::TooLarge(body.len() as u64))?;
+    out.put_u32(len);
     out.put_slice(body);
+    Ok(())
 }
 
 /// Incremental frame decoder.
@@ -62,9 +70,10 @@ impl FrameDecoder {
         if self.buf.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        let word = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        let len = usize::try_from(word).map_err(|_| FrameError::TooLarge(u64::from(word)))?;
         if len > MAX_FRAME_LEN {
-            return Err(FrameError::TooLarge(len));
+            return Err(FrameError::TooLarge(word.into()));
         }
         if self.buf.len() < 4 + len {
             return Ok(None);
@@ -81,7 +90,7 @@ mod tests {
     #[test]
     fn single_frame_round_trip() {
         let mut out = BytesMut::new();
-        encode_frame(b"hello", &mut out);
+        encode_frame(b"hello", &mut out).expect("fits");
         let mut dec = FrameDecoder::new();
         dec.extend(&out);
         assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"hello");
@@ -93,7 +102,7 @@ mod tests {
     fn frames_survive_arbitrary_chunking() {
         let mut out = BytesMut::new();
         for i in 0u8..10 {
-            encode_frame(&vec![i; i as usize * 7 + 1], &mut out);
+            encode_frame(&vec![i; i as usize * 7 + 1], &mut out).expect("fits");
         }
         // Feed one byte at a time — the nastiest chunking.
         let mut dec = FrameDecoder::new();
@@ -106,14 +115,15 @@ mod tests {
         }
         assert_eq!(got.len(), 10);
         for (i, frame) in got.iter().enumerate() {
-            assert_eq!(frame.as_ref(), &vec![i as u8; i * 7 + 1][..]);
+            let byte = u8::try_from(i).expect("small index");
+            assert_eq!(frame.as_ref(), &vec![byte; i * 7 + 1][..]);
         }
     }
 
     #[test]
     fn empty_frame_is_legal() {
         let mut out = BytesMut::new();
-        encode_frame(b"", &mut out);
+        encode_frame(b"", &mut out).expect("fits");
         let mut dec = FrameDecoder::new();
         dec.extend(&out);
         assert_eq!(dec.next_frame().unwrap().unwrap().len(), 0);
@@ -122,10 +132,11 @@ mod tests {
     #[test]
     fn oversized_frame_is_rejected_before_buffering_it() {
         let mut dec = FrameDecoder::new();
-        dec.extend(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        let oversized = u32::try_from(MAX_FRAME_LEN).expect("limit fits u32") + 1;
+        dec.extend(&oversized.to_be_bytes());
         assert_eq!(
             dec.next_frame(),
-            Err(FrameError::TooLarge(MAX_FRAME_LEN + 1))
+            Err(FrameError::TooLarge(MAX_FRAME_LEN as u64 + 1))
         );
     }
 
@@ -136,7 +147,7 @@ mod tests {
         assert_eq!(dec.next_frame().unwrap(), None);
         dec.extend(&[0, 3, b'a', b'b']);
         assert_eq!(dec.next_frame().unwrap(), None); // body incomplete
-        dec.extend(&[b'c']);
+        dec.extend(b"c");
         assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"abc");
     }
 }

@@ -29,3 +29,4 @@ pub mod wire;
 pub use conn::{ClientConn, ConnError, ServerConn, ServerEvent};
 pub use frame::{FrameDecoder, FrameError, MAX_FRAME_LEN};
 pub use msg::{Message, NodeInfo, Push, Request, RequestId, Response, VolumeInfo};
+pub use wire::{WireError as ProtoError, WireResult as ProtoResult};

@@ -45,13 +45,21 @@ pub struct NodeInfo {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Present an OAuth token; must be the first request on a connection.
-    Authenticate { token: Vec<u8> },
+    Authenticate {
+        token: Vec<u8>,
+    },
     /// Negotiate protocol capabilities (Fig. 8 startup flow).
-    QuerySetCaps { caps: Vec<String> },
+    QuerySetCaps {
+        caps: Vec<String>,
+    },
     ListVolumes,
     ListShares,
-    CreateUdf { name: String },
-    DeleteVolume { volume: VolumeId },
+    CreateUdf {
+        name: String,
+    },
+    DeleteVolume {
+        volume: VolumeId,
+    },
     MakeFile {
         volume: VolumeId,
         parent: NodeId,
@@ -62,7 +70,10 @@ pub enum Request {
         parent: NodeId,
         name: String,
     },
-    Unlink { volume: VolumeId, node: NodeId },
+    Unlink {
+        volume: VolumeId,
+        node: NodeId,
+    },
     Move {
         volume: VolumeId,
         node: NodeId,
@@ -73,7 +84,9 @@ pub enum Request {
         volume: VolumeId,
         from_generation: u64,
     },
-    RescanFromScratch { volume: VolumeId },
+    RescanFromScratch {
+        volume: VolumeId,
+    },
     /// Start an upload. The client sends the SHA-1 *before* any content so
     /// the server can deduplicate (§3.3); `reusable: true` in the response
     /// means no bytes need to be transferred.
@@ -84,14 +97,24 @@ pub enum Request {
         size: u64,
     },
     /// One part of an upload (the back-end forwards 5MB parts to S3).
-    UploadChunk { upload: UploadId, data: Vec<u8> },
+    UploadChunk {
+        upload: UploadId,
+        data: Vec<u8>,
+    },
     /// Commit a finished upload.
-    CommitUpload { upload: UploadId },
+    CommitUpload {
+        upload: UploadId,
+    },
     /// Abandon an upload (client-side cancellation; the server also
     /// garbage-collects jobs older than a week, Appendix A).
-    CancelUpload { upload: UploadId },
+    CancelUpload {
+        upload: UploadId,
+    },
     /// Download file contents.
-    GetContent { volume: VolumeId, node: NodeId },
+    GetContent {
+        volume: VolumeId,
+        node: NodeId,
+    },
     /// Keep-alive.
     Ping,
 }
@@ -136,12 +159,28 @@ impl Request {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     Ok,
-    Error { code: String, message: String },
-    AuthOk { session: SessionId, user: UserId },
-    Capabilities { accepted: Vec<String> },
-    Volumes { volumes: Vec<VolumeInfo> },
-    VolumeCreated { volume: VolumeId, generation: u64 },
-    NodeCreated { node: NodeId, generation: u64 },
+    Error {
+        code: String,
+        message: String,
+    },
+    AuthOk {
+        session: SessionId,
+        user: UserId,
+    },
+    Capabilities {
+        accepted: Vec<String>,
+    },
+    Volumes {
+        volumes: Vec<VolumeInfo>,
+    },
+    VolumeCreated {
+        volume: VolumeId,
+        generation: u64,
+    },
+    NodeCreated {
+        node: NodeId,
+        generation: u64,
+    },
     Delta {
         volume: VolumeId,
         generation: u64,
@@ -157,8 +196,13 @@ pub enum Response {
         generation: u64,
         hash: ContentHash,
     },
-    ContentBegin { size: u64, hash: ContentHash },
-    ContentChunk { data: Vec<u8> },
+    ContentBegin {
+        size: u64,
+        hash: ContentHash,
+    },
+    ContentChunk {
+        data: Vec<u8>,
+    },
     ContentEnd,
     Pong,
 }

@@ -59,7 +59,8 @@ mod tests {
                             id,
                             req: Request::Ping,
                         } => {
-                            write_all(&mut stream, &conn.respond(id, Response::Pong)).unwrap();
+                            let pong = conn.respond(id, Response::Pong).unwrap();
+                            write_all(&mut stream, &pong).unwrap();
                         }
                         other => panic!("unexpected event {other:?}"),
                     }
@@ -70,7 +71,7 @@ mod tests {
         let mut stream = TcpStream::connect(addr).unwrap();
         configure(&stream).unwrap();
         let mut conn = ClientConn::new();
-        let (id, bytes) = conn.request(Request::Ping);
+        let (id, bytes) = conn.request(Request::Ping).unwrap();
         write_all(&mut stream, &bytes).unwrap();
         let mut buf = [0u8; 4096];
         let mut got_pong = false;

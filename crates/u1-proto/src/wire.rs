@@ -24,6 +24,9 @@ pub enum WireError {
     BadDiscriminant(u8),
     /// A string field held invalid UTF-8.
     BadUtf8,
+    /// A decoded integer does not fit the field's native width (e.g. a
+    /// count that must fit `usize`, or a request id that must fit `u32`).
+    Overflow,
 }
 
 impl std::fmt::Display for WireError {
@@ -34,6 +37,7 @@ impl std::fmt::Display for WireError {
             WireError::BadLength => write!(f, "bad length prefix"),
             WireError::BadDiscriminant(d) => write!(f, "unknown discriminant {d}"),
             WireError::BadUtf8 => write!(f, "invalid utf-8"),
+            WireError::Overflow => write!(f, "integer field overflows its native width"),
         }
     }
 }
@@ -77,6 +81,18 @@ pub fn get_uvarint(buf: &mut impl Buf) -> WireResult<u64> {
     Err(WireError::VarintOverflow)
 }
 
+/// Reads a varint that must fit `usize` — collection counts and byte-string
+/// lengths. A value a 32-bit host cannot even address is [`WireError::Overflow`],
+/// not a length to be truncated.
+pub fn get_uvarint_len(buf: &mut impl Buf) -> WireResult<usize> {
+    usize::try_from(get_uvarint(buf)?).map_err(|_| WireError::Overflow)
+}
+
+/// Reads a varint that must fit `u32` — request ids and other 32-bit fields.
+pub fn get_uvarint_u32(buf: &mut impl Buf) -> WireResult<u32> {
+    u32::try_from(get_uvarint(buf)?).map_err(|_| WireError::Overflow)
+}
+
 /// Appends a length-prefixed byte string.
 pub fn put_bytes(buf: &mut impl BufMut, data: &[u8]) {
     put_uvarint(buf, data.len() as u64);
@@ -85,7 +101,7 @@ pub fn put_bytes(buf: &mut impl BufMut, data: &[u8]) {
 
 /// Reads a length-prefixed byte string, bounded by the remaining buffer.
 pub fn get_bytes(buf: &mut impl Buf) -> WireResult<Vec<u8>> {
-    let len = get_uvarint(buf)? as usize;
+    let len = get_uvarint_len(buf)?;
     if len > buf.remaining() {
         return Err(WireError::BadLength);
     }
@@ -242,6 +258,27 @@ mod tests {
     }
 
     #[test]
+    fn u32_varint_boundary_and_overflow() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, u64::from(u32::MAX));
+        let mut cur = buf.freeze();
+        assert_eq!(get_uvarint_u32(&mut cur).unwrap(), u32::MAX);
+
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, u64::from(u32::MAX) + 1);
+        let mut cur = buf.freeze();
+        assert_eq!(get_uvarint_u32(&mut cur), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn len_varint_round_trips_counts() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 4096);
+        let mut cur = buf.freeze();
+        assert_eq!(get_uvarint_len(&mut cur).unwrap(), 4096);
+    }
+
+    #[test]
     fn optional_varint_round_trip() {
         for v in [None, Some(0u64), Some(12345)] {
             let mut buf = BytesMut::new();
@@ -250,6 +287,9 @@ mod tests {
             assert_eq!(get_opt_uvarint(&mut cur).unwrap(), v);
         }
         let mut bad = &[9u8][..];
-        assert_eq!(get_opt_uvarint(&mut bad), Err(WireError::BadDiscriminant(9)));
+        assert_eq!(
+            get_opt_uvarint(&mut bad),
+            Err(WireError::BadDiscriminant(9))
+        );
     }
 }

@@ -36,7 +36,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::ListVolumes),
         Just(Request::ListShares),
         arb_name().prop_map(|name| Request::CreateUdf { name }),
-        vol.clone().prop_map(|volume| Request::DeleteVolume { volume }),
+        vol.clone()
+            .prop_map(|volume| Request::DeleteVolume { volume }),
         (vol.clone(), node.clone(), arb_name()).prop_map(|(volume, parent, name)| {
             Request::MakeFile {
                 volume,
@@ -74,9 +75,14 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 size,
             }
         ),
-        (upload.clone(), proptest::collection::vec(any::<u8>(), 0..256))
+        (
+            upload.clone(),
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
             .prop_map(|(upload, data)| Request::UploadChunk { upload, data }),
-        upload.clone().prop_map(|upload| Request::CommitUpload { upload }),
+        upload
+            .clone()
+            .prop_map(|upload| Request::CommitUpload { upload }),
         upload.prop_map(|upload| Request::CancelUpload { upload }),
         (vol, node).prop_map(|(volume, node)| Request::GetContent { volume, node }),
         Just(Request::Ping),
@@ -220,7 +226,7 @@ proptest! {
         for msg in &msgs {
             let mut body = BytesMut::new();
             codec::encode(msg, &mut body);
-            encode_frame(&body, &mut stream);
+            encode_frame(&body, &mut stream).expect("frame");
         }
         let mut dec = FrameDecoder::new();
         let mut decoded = Vec::new();

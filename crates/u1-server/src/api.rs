@@ -279,8 +279,11 @@ impl Backend {
         // Other devices of this user learn the volume is gone.
         for sess in self.sessions.sessions_of(h.user) {
             if sess.session != session {
-                self.push_router
-                    .deliver(sess.session, Push::VolumeDeleted { volume }, sess.slot == h.slot);
+                self.push_router.deliver(
+                    sess.session,
+                    Push::VolumeDeleted { volume },
+                    sess.slot == h.slot,
+                );
             }
         }
         Ok(released.dead.len() as u64)
@@ -476,9 +479,9 @@ impl Backend {
         if self.store.get_reusable_content(hash, size).is_some() && self.blobs.contains(hash) {
             // Dedup hit: link and finish — no transfer.
             d = d + self.rpc(h.slot, h.user, RpcKind::MakeContent, 0);
-            let (row, released) = self
-                .store
-                .make_content(h.user, volume, node, hash, size, self.now())?;
+            let (row, released) =
+                self.store
+                    .make_content(h.user, volume, node, hash, size, self.now())?;
             if let Some(old) = released {
                 self.blobs.delete(old);
             }
@@ -537,14 +540,26 @@ impl Backend {
             .multipart_id
             .ok_or_else(|| CoreError::invalid("uploadjob has no multipart id"))?;
         self.blobs
-            .upload_part(mp, len, if self.cfg.store_real_bytes { data } else { None })
+            .upload_part(
+                mp,
+                len,
+                if self.cfg.store_real_bytes {
+                    data
+                } else {
+                    None
+                },
+            )
             .map_err(|e| CoreError::invalid(e.to_string()))?;
         Ok(())
     }
 
     /// Upload phase 3: commit. Completes the S3 multipart, attaches content
     /// to the node, deletes the upload job, logs the Upload operation.
-    pub fn commit_upload(&self, session: SessionId, upload: UploadId) -> CoreResult<CommittedUpload> {
+    pub fn commit_upload(
+        &self,
+        session: SessionId,
+        upload: UploadId,
+    ) -> CoreResult<CommittedUpload> {
         let h = self.session(session)?;
         let mut d = self.rpc(h.slot, h.user, RpcKind::GetUploadJob, 0);
         let job = self.store.get_uploadjob(h.user, upload)?;
@@ -683,7 +698,7 @@ mod tests {
     use super::*;
     use crate::backend::BackendConfig;
     use std::sync::Arc;
-    use u1_core::{SimClock, Sha1};
+    use u1_core::{Sha1, SimClock};
     use u1_trace::MemorySink;
 
     fn backend() -> (Arc<Backend>, Arc<MemorySink>, Arc<SimClock>) {
@@ -726,12 +741,9 @@ mod tests {
         let bogus = u1_auth::Token([7u8; 16]);
         assert!(b.open_session(bogus).is_err());
         let recs = sink.take_sorted();
-        let auth_fail = recs.iter().any(|r| {
-            matches!(
-                r.payload,
-                u1_trace::Payload::Auth { success: false, .. }
-            )
-        });
+        let auth_fail = recs
+            .iter()
+            .any(|r| matches!(r.payload, u1_trace::Payload::Auth { success: false, .. }));
         assert!(auth_fail);
         assert_eq!(b.sessions.live_count(), 0);
     }
@@ -772,14 +784,22 @@ mod tests {
         let h2 = open(&b, 2);
         let v1 = b.list_volumes(h1.session).unwrap()[0].volume;
         let v2 = b.list_volumes(h2.session).unwrap()[0].volume;
-        let n1 = b.make_node(h1.session, v1, None, NodeKind::File, "song.mp3").unwrap();
-        let n2 = b.make_node(h2.session, v2, None, NodeKind::File, "same.mp3").unwrap();
+        let n1 = b
+            .make_node(h1.session, v1, None, NodeKind::File, "song.mp3")
+            .unwrap();
+        let n2 = b
+            .make_node(h2.session, v2, None, NodeKind::File, "same.mp3")
+            .unwrap();
         let hash = ContentHash::from_content_id(77);
 
-        let (dedup, sent) = b.upload_file(h1.session, v1, n1.node, hash, 8_000_000).unwrap();
+        let (dedup, sent) = b
+            .upload_file(h1.session, v1, n1.node, hash, 8_000_000)
+            .unwrap();
         assert!(!dedup);
         assert_eq!(sent, 8_000_000);
-        let (dedup, sent) = b.upload_file(h2.session, v2, n2.node, hash, 8_000_000).unwrap();
+        let (dedup, sent) = b
+            .upload_file(h2.session, v2, n2.node, hash, 8_000_000)
+            .unwrap();
         assert!(dedup, "cross-user dedup should hit");
         assert_eq!(sent, 0);
         assert!((b.store.dedup_ratio() - 0.5).abs() < 1e-9);
@@ -791,7 +811,9 @@ mod tests {
         let (b, _sink, _clock) = backend();
         let h = open(&b, 1);
         let v = b.list_volumes(h.session).unwrap()[0].volume;
-        let n = b.make_node(h.session, v, None, NodeKind::File, "big.iso").unwrap();
+        let n = b
+            .make_node(h.session, v, None, NodeKind::File, "big.iso")
+            .unwrap();
         let hash = ContentHash::from_content_id(5);
         let size = 12 * 1024 * 1024u64;
         let upload = match b.begin_upload(h.session, v, n.node, hash, size).unwrap() {
@@ -805,7 +827,8 @@ mod tests {
         let job = b.store.get_uploadjob(h.user, upload).unwrap();
         assert_eq!(job.bytes_received(), 5 << 20);
         b.upload_chunk(h.session, upload, 5 << 20, None).unwrap();
-        b.upload_chunk(h.session, upload, size - (10 << 20), None).unwrap();
+        b.upload_chunk(h.session, upload, size - (10 << 20), None)
+            .unwrap();
         assert!(b.commit_upload(h.session, upload).is_ok());
     }
 
@@ -818,7 +841,8 @@ mod tests {
         let (tx, rx) = crossbeam::channel::unbounded();
         b.push_router.register(h2.session, tx);
         let v = b.list_volumes(h1.session).unwrap()[0].volume;
-        b.make_node(h1.session, v, None, NodeKind::File, "new.txt").unwrap();
+        b.make_node(h1.session, v, None, NodeKind::File, "new.txt")
+            .unwrap();
         b.pump_broker();
         let pushes = u1_notify::drain(&rx);
         assert_eq!(pushes.len(), 1, "second device must be pushed");
@@ -845,7 +869,9 @@ mod tests {
         b.pump_broker();
         let pushes = u1_notify::drain(&rx);
         assert!(
-            pushes.iter().any(|p| matches!(p, Push::VolumeChanged { .. })),
+            pushes
+                .iter()
+                .any(|p| matches!(p, Push::VolumeChanged { .. })),
             "{pushes:?}"
         );
     }
@@ -855,7 +881,9 @@ mod tests {
         let (b, _sink, _clock) = backend();
         let h = open(&b, 1);
         let v = b.list_volumes(h.session).unwrap()[0].volume;
-        let n = b.make_node(h.session, v, None, NodeKind::File, "f.bin").unwrap();
+        let n = b
+            .make_node(h.session, v, None, NodeKind::File, "f.bin")
+            .unwrap();
         let hash = ContentHash::from_content_id(3);
         b.upload_file(h.session, v, n.node, hash, 1000).unwrap();
         assert!(b.blobs.contains(hash));
@@ -871,7 +899,8 @@ mod tests {
         let (gen0, delta) = b.get_delta(h.session, v, 0).unwrap();
         assert_eq!(gen0, 0);
         assert!(delta.is_empty());
-        b.make_node(h.session, v, None, NodeKind::Directory, "docs").unwrap();
+        b.make_node(h.session, v, None, NodeKind::Directory, "docs")
+            .unwrap();
         let (gen1, delta) = b.get_delta(h.session, v, gen0).unwrap();
         assert_eq!(gen1, 1);
         assert_eq!(delta.len(), 1);
@@ -883,9 +912,17 @@ mod tests {
         let (b, _sink, clock) = backend();
         let h = open(&b, 1);
         let v = b.list_volumes(h.session).unwrap()[0].volume;
-        let n = b.make_node(h.session, v, None, NodeKind::File, "stale.bin").unwrap();
+        let n = b
+            .make_node(h.session, v, None, NodeKind::File, "stale.bin")
+            .unwrap();
         let upload = match b
-            .begin_upload(h.session, v, n.node, ContentHash::from_content_id(1), 10 << 20)
+            .begin_upload(
+                h.session,
+                v,
+                n.node,
+                ContentHash::from_content_id(1),
+                10 << 20,
+            )
             .unwrap()
         {
             UploadOutcome::Started { upload } => upload,
@@ -904,9 +941,12 @@ mod tests {
         let token = b.register_user(UserId::new(66));
         let h = b.open_session(token).unwrap();
         let v = b.list_volumes(h.session).unwrap()[0].volume;
-        let n = b.make_node(h.session, v, None, NodeKind::File, "warez.zip").unwrap();
+        let n = b
+            .make_node(h.session, v, None, NodeKind::File, "warez.zip")
+            .unwrap();
         let hash = ContentHash::from_content_id(666);
-        b.upload_file(h.session, v, n.node, hash, 50_000_000).unwrap();
+        b.upload_file(h.session, v, n.node, hash, 50_000_000)
+            .unwrap();
 
         let evicted = b.ban_user(UserId::new(66));
         assert_eq!(evicted, 1);

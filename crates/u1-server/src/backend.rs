@@ -12,8 +12,8 @@ use std::sync::Arc;
 use u1_auth::{AuthConfig, AuthService};
 use u1_blobstore::BlobStore;
 use u1_core::{
-    ApiOpKind, Clock, ContentHash, NodeId, NodeKind, RpcKind, SimDuration, SimTime,
-    UserId, VolumeId,
+    ApiOpKind, Clock, ContentHash, NodeId, NodeKind, RpcKind, SimDuration, SimTime, UserId,
+    VolumeId,
 };
 use u1_metastore::{LatencyModel, LatencyProfile, MetaStore, StoreConfig};
 use u1_notify::{Broker, SubscriberId};
@@ -171,11 +171,7 @@ impl Backend {
         ));
     }
 
-    pub(crate) fn log_session_event(
-        &self,
-        h: &SessionHandle,
-        event: u1_trace::SessionEvent,
-    ) {
+    pub(crate) fn log_session_event(&self, h: &SessionHandle, event: u1_trace::SessionEvent) {
         self.sink.record(TraceRecord::new(
             self.now(),
             h.slot.machine,
@@ -262,7 +258,8 @@ impl Backend {
                 for user in &ev.targets {
                     for sess in self.sessions.sessions_of(*user) {
                         if sess.session != ev.origin_session && sess.slot == *slot {
-                            self.push_router.deliver(sess.session, ev.push.clone(), false);
+                            self.push_router
+                                .deliver(sess.session, ev.push.clone(), false);
                         }
                     }
                 }
@@ -318,7 +315,8 @@ impl Backend {
                 } else if let Ok((_, nodes)) = self.store.get_from_scratch(user, v.volume) {
                     for n in nodes {
                         if n.parent.is_none() {
-                            if let Ok(released) = self.store.unlink(user, v.volume, n.node, self.now())
+                            if let Ok(released) =
+                                self.store.unlink(user, v.volume, n.node, self.now())
                             {
                                 for hash in released.unreferenced {
                                     self.blobs.delete(hash);

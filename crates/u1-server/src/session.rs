@@ -104,12 +104,7 @@ impl SessionTable {
     /// Force-closes every session of a user (the §5.4 manual DDoS
     /// countermeasure). Returns the closed handles.
     pub fn evict_user(&self, user: UserId) -> Vec<SessionHandle> {
-        let sids: Vec<SessionId> = self
-            .by_user
-            .read()
-            .get(&user)
-            .cloned()
-            .unwrap_or_default();
+        let sids: Vec<SessionId> = self.by_user.read().get(&user).cloned().unwrap_or_default();
         sids.into_iter()
             .filter_map(|sid| self.close(sid).map(|(h, _, _)| h))
             .collect()

@@ -39,24 +39,25 @@ impl TcpServer {
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown2 = Arc::clone(&shutdown);
-        let accept_thread = std::thread::Builder::new()
-            .name("u1-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown2.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    match stream {
-                        Ok(stream) => {
-                            let backend = Arc::clone(&backend);
-                            let _ = std::thread::Builder::new()
-                                .name("u1-conn".into())
-                                .spawn(move || handle_connection(backend, stream));
+        let accept_thread =
+            std::thread::Builder::new()
+                .name("u1-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown2.load(Ordering::SeqCst) {
+                            return;
                         }
-                        Err(_) => return,
+                        match stream {
+                            Ok(stream) => {
+                                let backend = Arc::clone(&backend);
+                                let _ = std::thread::Builder::new()
+                                    .name("u1-conn".into())
+                                    .spawn(move || handle_connection(backend, stream));
+                            }
+                            Err(_) => return,
+                        }
                     }
-                }
-            })?;
+                })?;
         Ok(TcpServer {
             addr: local,
             shutdown,
@@ -122,14 +123,15 @@ fn handle_connection(backend: Arc<Backend>, stream: TcpStream) {
         for ev in events {
             match ev {
                 ServerEvent::Unauthenticated { id } => {
-                    let resp = conn.respond(
+                    if let Ok(resp) = conn.respond(
                         id,
                         Response::Error {
                             code: "denied".into(),
                             message: "authenticate first".into(),
                         },
-                    );
-                    let _ = writer.lock().write_all(&resp);
+                    ) {
+                        let _ = writer.lock().write_all(&resp);
+                    }
                     break 'outer;
                 }
                 ServerEvent::Request { id, req } => {
@@ -165,7 +167,11 @@ fn send_resp(
     id: RequestId,
     resp: Response,
 ) -> bool {
-    let bytes = conn.respond(id, resp);
+    // An encode failure (oversized frame) is as fatal as a dead socket:
+    // report it the same way so the caller drops the connection.
+    let Ok(bytes) = conn.respond(id, resp) else {
+        return false;
+    };
     writer.lock().write_all(&bytes).is_ok()
 }
 
@@ -189,10 +195,20 @@ fn dispatch(
         }
         Request::Authenticate { token } => {
             if handle.is_some() {
-                return send_resp(conn, writer, id, err_response(&CoreError::conflict("already authenticated")));
+                return send_resp(
+                    conn,
+                    writer,
+                    id,
+                    err_response(&CoreError::conflict("already authenticated")),
+                );
             }
             let Some(token) = Token::from_bytes(&token) else {
-                return send_resp(conn, writer, id, err_response(&CoreError::invalid("malformed token")));
+                return send_resp(
+                    conn,
+                    writer,
+                    id,
+                    err_response(&CoreError::invalid("malformed token")),
+                );
             };
             match backend.open_session(token) {
                 Ok(h) => {
@@ -202,19 +218,35 @@ fn dispatch(
                     backend.push_router.register(h.session, tx);
                     let push_writer = Arc::clone(writer);
                     let pconn = ServerConn::new();
-                    *push_thread = Some(
+                    let spawned =
                         std::thread::Builder::new()
                             .name("u1-push".into())
                             .spawn(move || {
                                 while let Ok(push) = rx.recv() {
-                                    let bytes = pconn.push(push);
+                                    let Ok(bytes) = pconn.push(push) else {
+                                        return;
+                                    };
                                     if push_writer.lock().write_all(&bytes).is_err() {
                                         return;
                                     }
                                 }
-                            })
-                            .expect("spawn push writer"),
-                    );
+                            });
+                    match spawned {
+                        Ok(t) => *push_thread = Some(t),
+                        Err(_) => {
+                            // Without a push writer the session would sync
+                            // stale data silently; refuse it instead.
+                            backend.push_router.unregister(h.session);
+                            let _ = backend.close_session(h.session);
+                            send_resp(
+                                conn,
+                                writer,
+                                id,
+                                err_response(&CoreError::unavailable("push delivery")),
+                            );
+                            return false;
+                        }
+                    }
                     let resp = Response::AuthOk {
                         session: h.session,
                         user: h.user,
@@ -230,7 +262,12 @@ fn dispatch(
         }
         other => {
             let Some(h) = handle.as_ref() else {
-                return send_resp(conn, writer, id, err_response(&CoreError::permission_denied("no session")));
+                return send_resp(
+                    conn,
+                    writer,
+                    id,
+                    err_response(&CoreError::permission_denied("no session")),
+                );
             };
             let sid = h.session;
             match other {
@@ -243,10 +280,15 @@ fn dispatch(
                     Err(e) => send_resp(conn, writer, id, err_response(&e)),
                 },
                 Request::CreateUdf { name } => match backend.create_udf(sid, &name) {
-                    Ok(v) => send_resp(conn, writer, id, Response::VolumeCreated {
-                        volume: v.volume,
-                        generation: v.generation,
-                    }),
+                    Ok(v) => send_resp(
+                        conn,
+                        writer,
+                        id,
+                        Response::VolumeCreated {
+                            volume: v.volume,
+                            generation: v.generation,
+                        },
+                    ),
                     Err(e) => send_resp(conn, writer, id, err_response(&e)),
                 },
                 Request::DeleteVolume { volume } => match backend.delete_volume(sid, volume) {
@@ -258,12 +300,21 @@ fn dispatch(
                     parent,
                     name,
                 } => {
-                    let parent = if parent.raw() == 0 { None } else { Some(parent) };
+                    let parent = if parent.raw() == 0 {
+                        None
+                    } else {
+                        Some(parent)
+                    };
                     match backend.make_node(sid, volume, parent, NodeKind::File, &name) {
-                        Ok(n) => send_resp(conn, writer, id, Response::NodeCreated {
-                            node: n.node,
-                            generation: n.generation,
-                        }),
+                        Ok(n) => send_resp(
+                            conn,
+                            writer,
+                            id,
+                            Response::NodeCreated {
+                                node: n.node,
+                                generation: n.generation,
+                            },
+                        ),
                         Err(e) => send_resp(conn, writer, id, err_response(&e)),
                     }
                 }
@@ -272,12 +323,21 @@ fn dispatch(
                     parent,
                     name,
                 } => {
-                    let parent = if parent.raw() == 0 { None } else { Some(parent) };
+                    let parent = if parent.raw() == 0 {
+                        None
+                    } else {
+                        Some(parent)
+                    };
                     match backend.make_node(sid, volume, parent, NodeKind::Directory, &name) {
-                        Ok(n) => send_resp(conn, writer, id, Response::NodeCreated {
-                            node: n.node,
-                            generation: n.generation,
-                        }),
+                        Ok(n) => send_resp(
+                            conn,
+                            writer,
+                            id,
+                            Response::NodeCreated {
+                                node: n.node,
+                                generation: n.generation,
+                            },
+                        ),
                         Err(e) => send_resp(conn, writer, id, err_response(&e)),
                     }
                 }
@@ -305,20 +365,30 @@ fn dispatch(
                     volume,
                     from_generation,
                 } => match backend.get_delta(sid, volume, from_generation) {
-                    Ok((generation, nodes)) => send_resp(conn, writer, id, Response::Delta {
-                        volume,
-                        generation,
-                        nodes,
-                    }),
+                    Ok((generation, nodes)) => send_resp(
+                        conn,
+                        writer,
+                        id,
+                        Response::Delta {
+                            volume,
+                            generation,
+                            nodes,
+                        },
+                    ),
                     Err(e) => send_resp(conn, writer, id, err_response(&e)),
                 },
                 Request::RescanFromScratch { volume } => {
                     match backend.rescan_from_scratch(sid, volume) {
-                        Ok((generation, nodes)) => send_resp(conn, writer, id, Response::Delta {
-                            volume,
-                            generation,
-                            nodes,
-                        }),
+                        Ok((generation, nodes)) => send_resp(
+                            conn,
+                            writer,
+                            id,
+                            Response::Delta {
+                                volume,
+                                generation,
+                                nodes,
+                            },
+                        ),
                         Err(e) => send_resp(conn, writer, id, err_response(&e)),
                     }
                 }
@@ -328,17 +398,25 @@ fn dispatch(
                     hash,
                     size,
                 } => match backend.begin_upload(sid, volume, node, hash, size) {
-                    Ok(UploadOutcome::Deduplicated { node, generation }) => {
-                        send_resp(conn, writer, id, Response::UploadDone {
+                    Ok(UploadOutcome::Deduplicated { node, generation }) => send_resp(
+                        conn,
+                        writer,
+                        id,
+                        Response::UploadDone {
                             node,
                             generation,
                             hash,
-                        })
-                    }
-                    Ok(UploadOutcome::Started { upload }) => send_resp(conn, writer, id, Response::UploadBegun {
-                        upload,
-                        reusable: false,
-                    }),
+                        },
+                    ),
+                    Ok(UploadOutcome::Started { upload }) => send_resp(
+                        conn,
+                        writer,
+                        id,
+                        Response::UploadBegun {
+                            upload,
+                            reusable: false,
+                        },
+                    ),
                     Err(e) => send_resp(conn, writer, id, err_response(&e)),
                 },
                 Request::UploadChunk { upload, data } => {
@@ -348,38 +426,54 @@ fn dispatch(
                     }
                 }
                 Request::CommitUpload { upload } => match backend.commit_upload(sid, upload) {
-                    Ok(c) => send_resp(conn, writer, id, Response::UploadDone {
-                        node: c.node,
-                        generation: c.generation,
-                        hash: c.hash,
-                    }),
+                    Ok(c) => send_resp(
+                        conn,
+                        writer,
+                        id,
+                        Response::UploadDone {
+                            node: c.node,
+                            generation: c.generation,
+                            hash: c.hash,
+                        },
+                    ),
                     Err(e) => send_resp(conn, writer, id, err_response(&e)),
                 },
                 Request::CancelUpload { upload } => match backend.cancel_upload(sid, upload) {
                     Ok(()) => send_resp(conn, writer, id, Response::Ok),
                     Err(e) => send_resp(conn, writer, id, err_response(&e)),
                 },
-                Request::GetContent { volume, node } => {
-                    match backend.download(sid, volume, node) {
-                        Ok((size, hash, data)) => {
-                            if !send_resp(conn, writer, id, Response::ContentBegin { size, hash }) {
+                Request::GetContent { volume, node } => match backend.download(sid, volume, node) {
+                    Ok((size, hash, data)) => {
+                        if !send_resp(conn, writer, id, Response::ContentBegin { size, hash }) {
+                            return false;
+                        }
+                        let bytes = data.unwrap_or_else(|| vec![0u8; size as usize]);
+                        for chunk in bytes.chunks(DOWNLOAD_CHUNK) {
+                            if !send_resp(
+                                conn,
+                                writer,
+                                id,
+                                Response::ContentChunk {
+                                    data: chunk.to_vec(),
+                                },
+                            ) {
                                 return false;
                             }
-                            let bytes = data.unwrap_or_else(|| vec![0u8; size as usize]);
-                            for chunk in bytes.chunks(DOWNLOAD_CHUNK) {
-                                if !send_resp(conn, writer, id, Response::ContentChunk {
-                                    data: chunk.to_vec(),
-                                }) {
-                                    return false;
-                                }
-                            }
-                            send_resp(conn, writer, id, Response::ContentEnd)
                         }
-                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                        send_resp(conn, writer, id, Response::ContentEnd)
                     }
-                }
+                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                },
+                // Handled by the outer match arms; if control flow ever
+                // regresses, answer with a typed error instead of panicking
+                // the connection thread.
                 Request::Authenticate { .. } | Request::QuerySetCaps { .. } | Request::Ping => {
-                    unreachable!("handled above")
+                    send_resp(
+                        conn,
+                        writer,
+                        id,
+                        err_response(&CoreError::invalid("control request in data path")),
+                    )
                 }
             }
         }

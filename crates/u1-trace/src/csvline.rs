@@ -133,7 +133,11 @@ pub fn from_line(
                 's',
                 "bad session id",
             )?);
-            let user = UserId::new(parse_prefixed(fields.next().unwrap_or(""), 'u', "bad user")?);
+            let user = UserId::new(parse_prefixed(
+                fields.next().unwrap_or(""),
+                'u',
+                "bad user",
+            )?);
             Payload::Session {
                 event: ev,
                 session,
@@ -148,9 +152,16 @@ pub fn from_line(
                 's',
                 "bad session id",
             )?);
-            let user = UserId::new(parse_prefixed(fields.next().unwrap_or(""), 'u', "bad user")?);
-            let volume =
-                VolumeId::new(parse_prefixed(fields.next().unwrap_or(""), 'v', "bad volume")?);
+            let user = UserId::new(parse_prefixed(
+                fields.next().unwrap_or(""),
+                'u',
+                "bad user",
+            )?);
+            let volume = VolumeId::new(parse_prefixed(
+                fields.next().unwrap_or(""),
+                'v',
+                "bad volume",
+            )?);
             let node = match fields.next().unwrap_or("") {
                 "-" => None,
                 s => Some(NodeId::new(parse_prefixed(s, 'n', "bad node")?)),
@@ -194,15 +205,17 @@ pub fn from_line(
             let rpc = RpcKind::from_dal_name(fields.next().unwrap_or(""))
                 .ok_or(LineError { reason: "bad rpc" })?;
             let shard_field = fields.next().unwrap_or("");
-            let shard_raw = shard_field
-                .strip_prefix("shard")
-                .ok_or(LineError { reason: "bad shard" })?;
-            let shard = ShardId::new(
-                shard_raw
-                    .parse::<u16>()
-                    .map_err(|_| LineError { reason: "bad shard" })?,
-            );
-            let user = UserId::new(parse_prefixed(fields.next().unwrap_or(""), 'u', "bad user")?);
+            let shard_raw = shard_field.strip_prefix("shard").ok_or(LineError {
+                reason: "bad shard",
+            })?;
+            let shard = ShardId::new(shard_raw.parse::<u16>().map_err(|_| LineError {
+                reason: "bad shard",
+            })?);
+            let user = UserId::new(parse_prefixed(
+                fields.next().unwrap_or(""),
+                'u',
+                "bad user",
+            )?);
             let service_us = parse_u64(fields.next().unwrap_or(""), "bad service time")?;
             Payload::Rpc {
                 rpc,
@@ -212,7 +225,11 @@ pub fn from_line(
             }
         }
         "auth" => {
-            let user = UserId::new(parse_prefixed(fields.next().unwrap_or(""), 'u', "bad user")?);
+            let user = UserId::new(parse_prefixed(
+                fields.next().unwrap_or(""),
+                'u',
+                "bad user",
+            )?);
             let success = match fields.next().unwrap_or("") {
                 "ok" => true,
                 "fail" => false,

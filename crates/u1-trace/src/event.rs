@@ -142,7 +142,10 @@ mod tests {
             .request_type(),
             "session"
         );
-        assert_eq!(storage(ApiOpKind::Upload, true).request_type(), "storage_done");
+        assert_eq!(
+            storage(ApiOpKind::Upload, true).request_type(),
+            "storage_done"
+        );
         assert_eq!(
             Payload::Rpc {
                 rpc: RpcKind::GetNode,

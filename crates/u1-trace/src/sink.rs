@@ -65,10 +65,13 @@ impl TraceSink for MemorySink {
 
 /// Writes paper-style logfiles under a directory: one file per
 /// (machine, process, day), rotated as simulated days advance.
+/// Open logfile for one (machine, process): the simulated day it covers
+/// and the buffered writer.
+type DayWriter = (u64, BufWriter<File>);
+
 pub struct DirSink {
     dir: PathBuf,
-    /// Open writer per (machine, process): (day, writer).
-    writers: Mutex<HashMap<(MachineId, ProcessId), (u64, BufWriter<File>)>>,
+    writers: Mutex<HashMap<(MachineId, ProcessId), DayWriter>>,
 }
 
 impl DirSink {

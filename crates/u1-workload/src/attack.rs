@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn intensity_profile_ramps_peaks_and_decays() {
         let a = &AttackScript::paper_attacks()[0];
-        assert_eq!(a.intensity(a.start + SimDuration::from_secs(1)) < 0.1, true);
+        assert!(a.intensity(a.start + SimDuration::from_secs(1)) < 0.1);
         assert!((a.intensity(a.start + SimDuration::from_mins(30)) - 1.0).abs() < 1e-9);
         let mid_decay = a.start + a.response_after + SimDuration::from_mins(30);
         let i = a.intensity(mid_decay);

@@ -272,11 +272,8 @@ impl Driver {
         self.seed_population();
         // First session per user.
         for i in 0..self.clients.len() {
-            let gap = sessions::next_session_gap(
-                &mut self.rng,
-                &self.clients[i].profile,
-                SimTime::ZERO,
-            );
+            let gap =
+                sessions::next_session_gap(&mut self.rng, &self.clients[i].profile, SimTime::ZERO);
             // Spread initial arrivals over the first day regardless of rate.
             let t0 = SimTime::from_micros(
                 gap.as_micros() % SimDuration::from_days(1).as_micros().max(1),
@@ -353,7 +350,11 @@ impl Driver {
 
             // Nearly all UDF owners already had their UDF before the window.
             if self.clients[i].profile.has_udf && rng.gen_range(0.0..1.0) < 0.95 {
-                if let Ok(v) = self.backend.store.create_udf(user, "Documents", SimTime::ZERO) {
+                if let Ok(v) = self
+                    .backend
+                    .store
+                    .create_udf(user, "Documents", SimTime::ZERO)
+                {
                     self.clients[i].udfs.push(v.volume);
                 }
             }
@@ -416,7 +417,9 @@ impl Driver {
                             spec.size,
                             SimTime::ZERO,
                         );
-                        self.backend.blobs.put(spec.hash, spec.size, None, SimTime::ZERO);
+                        self.backend
+                            .blobs
+                            .put(spec.hash, spec.size, None, SimTime::ZERO);
                         self.report.seeded_files += 1;
                         self.clients[i].files.push(FileRef {
                             volume: vol,
@@ -447,7 +450,10 @@ impl Driver {
                 .first()
                 .copied()
                 .unwrap_or(self.clients[i].root);
-            let _ = self.backend.store.create_share(owner, volume, to, SimTime::ZERO);
+            let _ = self
+                .backend
+                .store
+                .create_share(owner, volume, to, SimTime::ZERO);
         }
     }
 
@@ -465,7 +471,8 @@ impl Driver {
         match self.backend.open_session(token) {
             Ok(handle) => {
                 self.report.sessions_opened += 1;
-                let plan: SessionPlan = sessions::plan_session(&mut self.rng, &self.clients[u].profile);
+                let plan: SessionPlan =
+                    sessions::plan_session(&mut self.rng, &self.clients[u].profile);
                 self.clients[u].session = Some(handle.session);
                 self.clients[u].session_end = t + plan.duration;
                 self.clients[u].ops_left = plan.planned_ops;
@@ -495,11 +502,8 @@ impl Driver {
                     // files whose planned lifetime expired (this is what
                     // realizes the Fig. 3(c) mortality profile).
                     self.sweep_overdue(u, sid, t);
-                    let gap = sessions::interop_gap_with_mode(
-                        &mut self.rng,
-                        false,
-                        self.clients[u].bulk,
-                    );
+                    let gap =
+                        sessions::interop_gap_with_mode(&mut self.rng, false, self.clients[u].bulk);
                     self.push_event(t + gap, EventKind::Op(u as u32));
                 }
             }
@@ -685,8 +689,7 @@ impl Driver {
         // §5.1 finds 10.05% of uploads carry *distinct* hash/size (updates),
         // and Fig. 3(a) shows WAW as the most common dependency — which
         // includes same-content re-uploads (e.g. touched files dedup away).
-        let is_rewrite =
-            !self.clients[u].files.is_empty() && self.rng.gen_range(0.0..1.0) < 0.18;
+        let is_rewrite = !self.clients[u].files.is_empty() && self.rng.gen_range(0.0..1.0) < 0.18;
         if is_rewrite {
             let idx = self.pick_update_target(u, t);
             let old_size = self.clients[u].files[idx].size;
@@ -758,7 +761,10 @@ impl Driver {
         else {
             return false;
         };
-        match self.backend.upload_file(sid, vol, node.node, spec.hash, spec.size) {
+        match self
+            .backend
+            .upload_file(sid, vol, node.node, spec.hash, spec.size)
+        {
             Ok((dedup, sent)) => {
                 self.report.uploads += 1;
                 if dedup {
@@ -854,9 +860,7 @@ impl Driver {
                 let mut best = self.rng.gen_range(0..files.len());
                 for _ in 0..3 {
                     let cand = self.rng.gen_range(0..files.len());
-                    if files[cand].size > files[best].size
-                        && self.rng.gen_range(0.0..1.0) < 0.7
-                    {
+                    if files[cand].size > files[best].size && self.rng.gen_range(0.0..1.0) < 0.7 {
                         best = cand;
                     }
                 }
@@ -904,7 +908,10 @@ impl Driver {
     fn op_make_dir(&mut self, u: usize, sid: SessionId, t: SimTime) -> bool {
         let vol = self.pick_volume(u);
         let name = self.files.new_dir_name();
-        match self.backend.make_node(sid, vol, None, NodeKind::Directory, &name) {
+        match self
+            .backend
+            .make_node(sid, vol, None, NodeKind::Directory, &name)
+        {
             Ok(node) => {
                 let death = FileModel::sample_lifetime(&mut self.rng, true).map(|d| t + d);
                 self.clients[u].dirs.push(DirRef {
@@ -964,7 +971,10 @@ impl Driver {
         };
         let new_parent = self.pick_parent(u, vol);
         let new_name = format!("r{counter}_{name}");
-        match self.backend.move_node(sid, vol, node, new_parent, &new_name) {
+        match self
+            .backend
+            .move_node(sid, vol, node, new_parent, &new_name)
+        {
             Ok(_) => {
                 self.clients[u].files[idx].name = new_name;
                 true
@@ -1071,10 +1081,7 @@ impl Driver {
                 Ok(h) => {
                     self.report.attack_sessions += 1;
                     // Each bot leeches a few ops from the shared account.
-                    let ops = self
-                        .rng
-                        .gen_range(1..=8)
-                        .min(bot_ops_budget.max(1));
+                    let ops = self.rng.gen_range(1..=8).min(bot_ops_budget.max(1));
                     for _ in 0..ops {
                         if bot_ops_budget == 0 {
                             break;
@@ -1116,7 +1123,10 @@ impl Driver {
                 }
             }
         }
-        self.push_event(t + SimDuration::from_secs(60), EventKind::AttackWave(i as u8));
+        self.push_event(
+            t + SimDuration::from_secs(60),
+            EventKind::AttackWave(i as u8),
+        );
     }
 }
 

@@ -282,7 +282,9 @@ mod tests {
         let code_count = count[&FileCategory::Code];
         let av_bytes = bytes[&FileCategory::AudioVideo];
         assert!(
-            count.iter().all(|(c, n)| *c == FileCategory::Code || *n <= code_count),
+            count
+                .iter()
+                .all(|(c, n)| *c == FileCategory::Code || *n <= code_count),
             "{count:?}"
         );
         assert!(
@@ -361,6 +363,6 @@ mod tests {
         let (c2, h2, _) = m.updated_file(&mut rng, 1000);
         assert_ne!(c1, c2);
         assert_ne!(h1, h2);
-        assert!(s1 >= 900 - 10 && s1 <= 1120 + 10, "size jitter near old: {s1}");
+        assert!((890..=1130).contains(&s1), "size jitter near old: {s1}");
     }
 }

@@ -93,7 +93,12 @@ pub fn transitions(state: ApiOpKind) -> &'static [(ApiOpKind, f64)] {
             (Unlink, 0.05),
             (RescanFromScratch, 0.04),
         ],
-        CreateUdf => &[(MakeDir, 0.40), (MakeFile, 0.30), (Upload, 0.20), (GetDelta, 0.10)],
+        CreateUdf => &[
+            (MakeDir, 0.40),
+            (MakeFile, 0.30),
+            (Upload, 0.20),
+            (GetDelta, 0.10),
+        ],
         DeleteVolume => &[(ListVolumes, 0.50), (GetDelta, 0.50)],
         RescanFromScratch => &[
             (Download, 0.40),

@@ -50,7 +50,7 @@ pub fn next_session_gap(rng: &mut SmallRng, profile: &UserProfile, now: SimTime)
     let mut t = now;
     for _ in 0..64 {
         let gap = rngx::sample_exp(rng, 1.0 / peak_rate_per_sec).clamp(30.0, 6.0 * 86_400.0);
-        t = t + SimDuration::from_secs_f64(gap);
+        t += SimDuration::from_secs_f64(gap);
         let accept = diurnal_factor(t) / PEAK;
         if rng.gen_range(0.0..1.0) < accept {
             break;
@@ -205,7 +205,10 @@ mod tests {
         let f_active = active as f64 / n as f64;
         let f_1s = under_1s as f64 / n as f64;
         let f_8h = under_8h as f64 / n as f64;
-        assert!((0.035..=0.085).contains(&f_active), "active fraction {f_active}");
+        assert!(
+            (0.035..=0.085).contains(&f_active),
+            "active fraction {f_active}"
+        );
         assert!((0.24..=0.40).contains(&f_1s), "sub-second fraction {f_1s}");
         assert!((0.93..=0.995).contains(&f_8h), "under-8h fraction {f_8h}");
     }

@@ -110,8 +110,6 @@ fn main() {
     println!("alice saw the deletion propagate back ✔");
 
     let (local, remote, unroutable) = backend.push_router.stats();
-    println!(
-        "push routing: {local} same-process, {remote} via broker, {unroutable} unroutable"
-    );
+    println!("push routing: {local} same-process, {remote} via broker, {unroutable} unroutable");
     println!("store dedup ratio: {:.3}", backend.store.dedup_ratio());
 }

@@ -88,7 +88,10 @@ fn main() {
         burst.cv,
         burst
             .fit
-            .map(|f| format!("; power-law fit alpha {:.2}, theta {:.0}s", f.alpha, f.theta))
+            .map(|f| format!(
+                "; power-law fit alpha {:.2}, theta {:.0}s",
+                f.alpha, f.theta
+            ))
             .unwrap_or_default()
     );
 

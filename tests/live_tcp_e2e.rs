@@ -66,7 +66,9 @@ fn cross_user_dedup_over_tcp() {
     let mut alice = TcpTransport::connect(server.local_addr()).unwrap();
     alice.authenticate(t1).unwrap();
     let av = alice.list_volumes().unwrap()[0].volume;
-    let an = alice.make_node(av, None, NodeKind::File, "song.mp3").unwrap();
+    let an = alice
+        .make_node(av, None, NodeKind::File, "song.mp3")
+        .unwrap();
     let up = alice
         .upload(av, an.node, hash, data.len() as u64, Some(data.clone()))
         .unwrap();
@@ -158,7 +160,10 @@ fn dropped_connection_closes_session_and_upload_resumes() {
     t.authenticate(token).unwrap();
     let root = t.list_volumes().unwrap()[0].volume;
     let (_, nodes) = t.rescan_from_scratch(root).unwrap();
-    let node = nodes.iter().find(|n| n.name == "half.bin").expect("node survived");
+    let node = nodes
+        .iter()
+        .find(|n| n.name == "half.bin")
+        .expect("node survived");
     let data = vec![9u8; 100_000];
     let hash = Sha1::digest(&data);
     let up = t

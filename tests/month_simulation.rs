@@ -47,7 +47,11 @@ fn run_cfg(cfg: WorkloadConfig) -> Run {
 fn month_trace_reproduces_paper_shapes() {
     let run = run_month();
     let records = &run.records;
-    assert!(records.len() > 50_000, "substantial trace: {}", records.len());
+    assert!(
+        records.len() > 50_000,
+        "substantial trace: {}",
+        records.len()
+    );
 
     // --- Table 3 basics -------------------------------------------------
     let summary = ana::summary::trace_summary(records, run.horizon);
@@ -111,7 +115,11 @@ fn month_trace_reproduces_paper_shapes() {
 
     // --- Fig. 9: burstiness ----------------------------------------------
     let burst = ana::burstiness::burstiness(records, ApiOpKind::Upload);
-    assert!(burst.cv > 2.0, "upload inter-op CV {} — not Poisson", burst.cv);
+    assert!(
+        burst.cv > 2.0,
+        "upload inter-op CV {} — not Poisson",
+        burst.cv
+    );
     if let Some(fit) = burst.fit {
         assert!(
             (0.4..=2.5).contains(&fit.alpha),
@@ -164,7 +172,11 @@ fn month_trace_reproduces_paper_shapes() {
 
     // --- Fig. 5: the three attacks are discoverable ------------------------
     let eps = ana::ddos::detect(records, run.horizon, &Default::default()).episodes;
-    let control: Vec<_> = eps.iter().filter(|e| e.signal != "storage").cloned().collect();
+    let control: Vec<_> = eps
+        .iter()
+        .filter(|e| e.signal != "storage")
+        .cloned()
+        .collect();
     let attacks = ana::ddos::distinct_attacks(&control);
     assert!(
         (2..=4).contains(&attacks.len()),

@@ -8,13 +8,36 @@ use ubuntuone::metastore::{MetaStore, StoreConfig};
 
 #[derive(Debug, Clone)]
 enum Op {
-    MakeFile { user: u8, name_seed: u8 },
-    MakeDir { user: u8, name_seed: u8 },
-    AttachContent { user: u8, pick: u8, content: u8, size: u16 },
-    Unlink { user: u8, pick: u8 },
-    Move { user: u8, pick: u8, name_seed: u8 },
-    CreateUdf { user: u8, name_seed: u8 },
-    GetDelta { user: u8 },
+    MakeFile {
+        user: u8,
+        name_seed: u8,
+    },
+    MakeDir {
+        user: u8,
+        name_seed: u8,
+    },
+    AttachContent {
+        user: u8,
+        pick: u8,
+        content: u8,
+        size: u16,
+    },
+    Unlink {
+        user: u8,
+        pick: u8,
+    },
+    Move {
+        user: u8,
+        pick: u8,
+        name_seed: u8,
+    },
+    CreateUdf {
+        user: u8,
+        name_seed: u8,
+    },
+    GetDelta {
+        user: u8,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {

@@ -1,0 +1,270 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/parking_lot` for
+//! why these exist). Same builder/group/bencher surface; measurement is a
+//! plain wall-clock loop — warm-up, then `sample_size` timed samples —
+//! reporting median ns/iter and derived throughput to stdout. No HTML
+//! reports, outlier analysis, or statistical regression testing.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; scales the reported rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Parameter label for `bench_with_input`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", name.into(), param))
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self(param.to_string())
+    }
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// From the real crate's CLI handling; accepted and ignored here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (sample_size, measurement_time, warm_up_time) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_benchmark(name, None, sample_size, measurement_time, warm_up_time, f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups run.
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks sharing throughput/timing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            self.criterion.warm_up_time,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            self.criterion.warm_up_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Hands the closure-under-test to the timing loop.
+pub struct Bencher {
+    /// ns/iter for the current sample, set by `iter`.
+    sample_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate an iteration count big enough to out-run timer noise.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(200) || iters >= 1 << 24 {
+                self.sample_ns = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters *= 4;
+        }
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher { sample_ns: 0.0 };
+
+    let warm_up_end = Instant::now() + warm_up_time;
+    while Instant::now() < warm_up_end {
+        f(&mut bencher);
+    }
+
+    let mut samples = Vec::with_capacity(sample_size);
+    let deadline = Instant::now() + measurement_time;
+    for _ in 0..sample_size {
+        f(&mut bencher);
+        samples.push(bencher.sample_ns);
+        if Instant::now() > deadline && samples.len() >= 5 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median = samples[samples.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            format!(" ({:.1} MiB/s)", n as f64 / median * 1e9 / (1 << 20) as f64)
+        }
+        Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / median * 1e9),
+    });
+    println!(
+        "{name:<50} {median:>12.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group: `criterion_group!{name = n; config = c; targets = a, b}`
+/// or the positional `criterion_group!(n, a, b)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::from_parameter(1024), &1024usize, |b, n| {
+            b.iter(|| (0..*n).sum::<usize>())
+        });
+        g.bench_function("sum", |b| b.iter(|| (0..100).sum::<u32>()));
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(10));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+}

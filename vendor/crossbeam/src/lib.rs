@@ -1,0 +1,163 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/parking_lot` for
+//! why these exist). Only the `channel` module is provided: an unbounded
+//! MPMC channel built from `std::sync::mpsc` with the receiver behind a
+//! mutex so it can be cloned and shared the way crossbeam's can.
+
+pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError as TrySendError};
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+                queued: Arc::clone(&self.queued),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)?;
+            self.queued.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    /// Receiving half of an unbounded channel. Clonable (MPMC): clones share
+    /// one underlying queue, so each message is delivered to exactly one
+    /// receiver.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+                queued: Arc::clone(&self.queued),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let value = self.lock().recv()?;
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            Ok(value)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let value = self.lock().try_recv()?;
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            Ok(value)
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let value = self.lock().recv_timeout(timeout)?;
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            Ok(value)
+        }
+
+        /// Messages currently queued. Approximate under concurrency, exact
+        /// when the channel is quiescent — which is how tests use it.
+        pub fn len(&self) -> usize {
+            self.queued.load(Ordering::SeqCst)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+    }
+
+    /// Iterator over currently queued messages (never blocks).
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        let queued = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: tx,
+                queued: Arc::clone(&queued),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+                queued,
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_and_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            assert_eq!(rx.len(), 1);
+            assert_eq!(rx.recv().unwrap(), 7);
+            assert!(rx.is_empty());
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn cloned_receivers_compete_for_messages() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let a = rx.recv().unwrap();
+            let b = rx2.recv().unwrap();
+            assert_eq!(a + b, 3);
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/parking_lot` for
+//! why these exist). Implements the combinators the workspace's property
+//! tests use — `any`, ranges, `Just`, tuples, `prop_map`, `prop_oneof!`,
+//! `collection::vec`, `option::of`, string patterns — over a deterministic
+//! seeded generator. No shrinking: a failing case panics with the standard
+//! assert message, which is enough for CI triage at this scale, and every
+//! run is reproducible because the seed is fixed per test name.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Per-block configuration; only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic generator backing all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Derives a per-test seed from the test's name, so each property gets
+    /// an independent, stable stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// A value generator. `generate` replaces the real crate's `new_tree` +
+/// simplification machinery.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: std::rc::Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Type-erased strategy, the unifier behind `prop_oneof!`.
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    gen: std::rc::Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self {
+            gen: std::rc::Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// `s.prop_map(f)`.
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for MapStrategy<S, F> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for MapStrategy<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `s.prop_flat_map(f)`.
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for FlatMapStrategy<S, F> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMapStrategy<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives; built by `prop_oneof!`.
+pub struct Union<T> {
+    pub alternatives: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self {
+            alternatives: self.alternatives.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(
+            !self.alternatives.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        let idx = rng.below(self.alternatives.len() as u64) as usize;
+        self.alternatives[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// `any::<T>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                (self.start as u128 + rng.below(span) as u128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// String patterns act as generators, like the real crate's regex
+/// strategies. Supported shape: an optional literal prefix followed by
+/// `.{min,max}` (e.g. `".{0,40}"`); anything else yields the pattern text's
+/// literal characters. That covers the workspace's usage without dragging
+/// in a regex engine.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some((prefix, min, max)) = parse_dot_repeat(self) {
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            let mut s = String::from(prefix);
+            for _ in 0..len {
+                // Mix ASCII with occasional multi-byte chars so UTF-8
+                // handling in codecs actually gets exercised.
+                let c = match rng.below(8) {
+                    0 => 'ü',
+                    1 => '√',
+                    _ => (b' ' + rng.below(95) as u8) as char,
+                };
+                s.push(c);
+            }
+            s
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(&str, usize, usize)> {
+    let open = pattern.find(".{")?;
+    let rest = &pattern[open + 2..];
+    let close = rest.find('}')?;
+    let (min_s, max_s) = rest[..close].split_once(',')?;
+    Some((
+        &pattern[..open],
+        min_s.trim().parse().ok()?,
+        max_s.trim().parse().ok()?,
+    ))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            Self {
+                element: self.element.clone(),
+                size: self.size.clone(),
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `of(inner)`: `None` about a quarter of the time, like the real crate.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Clone> Clone for OptionStrategy<S> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union {
+            alternatives: vec![$($crate::Strategy::boxed($strategy)),+],
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The harness macro: each `fn name(arg in strategy, ...) { body }` becomes
+/// a `#[test]` that runs `body` against `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident ($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                // Bind each strategy once, named after its argument, then
+                // shadow with the generated value inside the loop.
+                $(let $arg = $strategy;)*
+                let __strategies = ($(&$arg,)*);
+                for __case in 0..config.cases {
+                    let ($($arg,)*) = __strategies;
+                    $(let $arg = $crate::Strategy::generate($arg, &mut rng);)*
+                    // The closure lets test bodies `return Ok(())` early,
+                    // matching the real crate's TestCaseResult convention.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), String> = (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(message) = outcome {
+                        panic!("proptest case {} failed: {}", __case, message);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_compose() {
+        let mut rng = TestRng::new(1);
+        let strat = (1u16..10, any::<bool>()).prop_map(|(n, b)| if b { n * 2 } else { n });
+        for _ in 0..1000 {
+            let v = strat.generate(&mut rng);
+            assert!((1..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_alternative() {
+        let mut rng = TestRng::new(2);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn string_pattern_respects_bounds() {
+        let mut rng = TestRng::new(3);
+        let strat: &'static str = ".{0,40}";
+        for _ in 0..500 {
+            let s = strat.generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_size() {
+        let mut rng = TestRng::new(4);
+        let strat = collection::vec(any::<u8>(), 1..8);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_macro_compiles_and_runs(x in 0u64..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            let _ = flag;
+        }
+    }
+}

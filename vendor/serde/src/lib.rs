@@ -1,0 +1,262 @@
+//! Offline stand-in for the `serde` crate (see `vendor/parking_lot` for why
+//! these exist). The workspace only ever serializes — derived types flow
+//! into `serde_json::json!` and `serde_json::to_string_pretty` — so this
+//! stub models serialization as direct conversion to a JSON [`Value`] tree:
+//! `Serialize` is "can become a `Value`", and `Deserialize` is a marker so
+//! existing `#[derive(Deserialize)]` attributes keep compiling.
+//!
+//! The derive macro lives in `vendor/serde_derive` and generates
+//! `impl Serialize` blocks against the types here; `serde_json` re-exports
+//! [`Value`]/[`Map`] and adds the `json!` macro and writers.
+
+use std::collections::{BTreeMap, HashMap};
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Conversion into a JSON value tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Marker: the real crate's `Deserialize` has no offline consumer (nothing
+/// in the workspace deserializes), so derives reduce to this.
+pub trait Deserialize: Sized {}
+
+/// Free-function form used by derive-generated code and `json!`.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for Map {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Map keys must become JSON strings; numbers use their display form, the
+/// convention the real serde_json applies to integer-keyed maps.
+pub trait SerializeKey {
+    fn to_key(&self) -> String;
+}
+
+macro_rules! impl_key_display {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+        }
+    )*};
+}
+
+impl_key_display!(String, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, char);
+
+impl SerializeKey for str {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl<T: SerializeKey + ?Sized> SerializeKey for &T {
+    fn to_key(&self) -> String {
+        (**self).to_key()
+    }
+}
+
+impl<K: SerializeKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output — HashMap iteration order is not.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut map = Map::new();
+        for (k, v) in entries {
+            map.insert(k, v);
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K: SerializeKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.to_key(), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(7u64.to_value(), Value::Number(Number::U64(7)));
+        assert_eq!((-3i32).to_value(), Value::Number(Number::I64(-3)));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+        let arr = vec![1u8, 2].to_value();
+        assert_eq!(
+            arr,
+            Value::Array(vec![
+                Value::Number(Number::U64(1)),
+                Value::Number(Number::U64(2))
+            ])
+        );
+        let pair = ("k", 1u64).to_value();
+        assert!(matches!(pair, Value::Array(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn maps_serialize_deterministically() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let v = m.to_value();
+        if let Value::Object(obj) = v {
+            let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, ["a", "b"]);
+        } else {
+            panic!("expected object");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The JSON value tree shared by the `serde` and `serde_json` stubs.
+
+/// A JSON number. Kept as three variants so `u64` sizes and counters —
+/// ubiquitous in the trace model — print exactly, never through `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F64(f)) => Some(*f),
+            Value::Number(Number::I64(i)) => Some(*i as f64),
+            Value::Number(Number::U64(u)) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(u)) => Some(*u),
+            Value::Number(Number::I64(i)) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(i)) => Some(*i),
+            Value::Number(Number::U64(u)) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (`value.get("key")`), `Null` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// A JSON object preserving insertion order, like serde_json with its
+/// `preserve_order` feature — experiment output stays in authoring order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts, replacing in place (keeping the original position) when the
+    /// key already exists. Returns the previous value if any.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for entry in &mut self.entries {
+            if entry.0 == key {
+                return Some(std::mem::replace(&mut entry.1, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, (String, Value)> {
+        self.entries.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = &'a (String, Value);
+    type IntoIter = std::slice::Iter<'a, (String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::Null);
+        m.insert("a".into(), Value::Bool(true));
+        m.insert("z".into(), Value::Bool(false));
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a"]);
+        assert_eq!(m.get("z"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Number(Number::U64(u64::MAX));
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(v.as_i64(), None);
+        assert!(Value::Null.is_null());
+    }
+}

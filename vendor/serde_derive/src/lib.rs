@@ -1,0 +1,344 @@
+//! Offline stand-in for `serde_derive` (see `vendor/parking_lot` for why
+//! these exist). `syn`/`quote` are not available offline, so the item is
+//! parsed directly from the `proc_macro` token stream. That is tractable
+//! because the grammar needed is small: non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple, struct variants) — exactly the shapes the
+//! workspace derives on. Generic items get a clear compile error.
+//!
+//! `Serialize` derives generate `to_value` conversions into the `serde`
+//! stub's `Value` tree, externally tagged for enums like the real serde.
+//! `Deserialize` derives generate the marker impl only (nothing in the
+//! workspace deserializes).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match which {
+            Trait::Serialize => gen_serialize(&item),
+            Trait::Deserialize => format!("impl ::serde::Deserialize for {} {{}}", item.name),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive stub: {e:?}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// A token cursor with the few lookahead helpers the item grammar needs.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips attributes (`#[...]`, which is also how doc comments arrive)
+    /// and visibility (`pub`, `pub(...)`).
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                    {
+                        self.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    self.next();
+                    if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        self.next();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Consumes tokens until a top-level comma (angle-bracket depth 0),
+    /// leaving the comma unconsumed. Groups are atomic in proc_macro
+    /// streams, so only `<`/`>` need depth tracking; `->` is recognized so
+    /// its `>` does not close an angle bracket.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        let mut prev_dash = false;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle == 0 {
+                        return;
+                    }
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' && !prev_dash {
+                        angle -= 1;
+                    }
+                    prev_dash = c == '-';
+                }
+                _ => prev_dash = false,
+            }
+            self.next();
+        }
+    }
+}
+
+fn ident_text(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs_and_vis();
+
+    let kw = cur
+        .next()
+        .and_then(|t| ident_text(&t))
+        .ok_or_else(|| "expected `struct` or `enum`".to_string())?;
+    let name = cur
+        .next()
+        .and_then(|t| ident_text(&t))
+        .ok_or_else(|| "expected item name".to_string())?;
+
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub cannot derive for generic type `{name}`; write the impl by hand"
+        ));
+    }
+    if matches!(cur.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        return Err(format!(
+            "serde stub cannot derive for `{name}` with a where-clause; write the impl by hand"
+        ));
+    }
+
+    match kw.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Struct(Fields::Named(parse_named_fields(g.stream())?)),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                shape: Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream()))),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                shape: Shape::Struct(Fields::Unit),
+            }),
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attrs_and_vis();
+        let Some(tok) = cur.next() else { break };
+        let field = ident_text(&tok).ok_or_else(|| "expected field name".to_string())?;
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        fields.push(field);
+        cur.skip_until_comma();
+        cur.next(); // consume the comma, if any
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        cur.skip_attrs_and_vis();
+        if cur.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        cur.skip_until_comma();
+        cur.next();
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs_and_vis();
+        let Some(tok) = cur.next() else { break };
+        let name = ident_text(&tok).ok_or_else(|| "expected variant name".to_string())?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                cur.next();
+                Fields::Named(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                cur.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        cur.skip_until_comma();
+        cur.next();
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+/// Key text for a field: raw identifiers serialize without the `r#`.
+fn key_of(field: &str) -> &str {
+    field.strip_prefix("r#").unwrap_or(field)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{}\"), ::serde::to_value(&self.{f}));\n",
+                    key_of(f)
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner =
+                            String::from("let mut __fields = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.insert(::std::string::String::from(\"{}\"), ::serde::to_value({f}));\n",
+                                key_of(f)
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(__fields));\n\
+                             ::serde::Value::Object(__m)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
