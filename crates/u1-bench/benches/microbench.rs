@@ -173,6 +173,82 @@ fn bench_metastore(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_contention(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // N threads hammer ONE MetaStore with the commit cycle the parallel
+    // driver produces per upload: make_node → make_content → dedup probe →
+    // unlink. Total work is fixed, split across threads, so on a
+    // multi-core host the striped contents index and sharded volume_owner
+    // map let wall-clock fall with the thread count; before de-contention
+    // the global write locks made this flat or worse.
+    const OPS_PER_ITER: u64 = 2_000;
+    let serial = AtomicU64::new(0);
+    let mut g = c.benchmark_group("metastore_contention");
+    g.measurement_time(Duration::from_secs(2));
+    for threads in [1usize, 2, 4] {
+        // Four users per thread, mirroring the driver's per-shard client
+        // partitioning: threads never share a user, but do share the
+        // store-global tables.
+        let users = 4 * threads as u64;
+        let store = store_with_users(users);
+        let roots: Vec<_> = (1..=users)
+            .map(|u| store.get_root(UserId::new(u)).unwrap().volume)
+            .collect();
+        g.throughput(Throughput::Elements(OPS_PER_ITER));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let base = serial.fetch_add(OPS_PER_ITER, Ordering::Relaxed);
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let store = &store;
+                            let roots = &roots;
+                            s.spawn(move || {
+                                let per = OPS_PER_ITER / threads as u64;
+                                for i in 0..per {
+                                    let seq = base + t as u64 * per + i;
+                                    let slot = t as u64 * 4 + i % 4;
+                                    let user = UserId::new(slot + 1);
+                                    let root = roots[slot as usize];
+                                    let row = store
+                                        .make_node(
+                                            user,
+                                            root,
+                                            None,
+                                            NodeKind::File,
+                                            &format!("b{seq}"),
+                                            SimTime::ZERO,
+                                        )
+                                        .unwrap();
+                                    store
+                                        .make_content(
+                                            user,
+                                            root,
+                                            row.node,
+                                            ContentHash::from_content_id(seq),
+                                            100,
+                                            SimTime::ZERO,
+                                        )
+                                        .unwrap();
+                                    std::hint::black_box(store.get_reusable_content(
+                                        ContentHash::from_content_id(seq),
+                                        100,
+                                    ));
+                                    store.unlink(user, root, row.node, SimTime::ZERO).unwrap();
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_latency_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("latency_model");
     let mut with_tail = LatencyModel::new(LatencyProfile::default(), 1);
@@ -281,7 +357,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_sha1, bench_protocol, bench_metastore, bench_latency_model,
-              bench_trace, bench_analytics, bench_tier_sweep
+    targets = bench_sha1, bench_protocol, bench_metastore, bench_contention,
+              bench_latency_model, bench_trace, bench_analytics, bench_tier_sweep
 }
 criterion_main!(benches);

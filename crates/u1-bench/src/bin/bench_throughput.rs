@@ -1,0 +1,145 @@
+//! Throughput benchmark: the same `paper_scaled()` month replayed at
+//! 1/2/4/8 worker threads.
+//!
+//! Writes `BENCH_throughput.json` (ops/sec, wall-clock, speedup vs the
+//! single-worker run) so future changes have a performance trajectory to
+//! beat, and cross-checks that every worker count produced the identical
+//! `DriverReport` — the determinism contract of the parallel driver.
+//!
+//! Environment overrides: `U1_USERS`, `U1_DAYS`, `U1_SEED`, `U1_ATTACKS=0`
+//! (same as the experiment harness), plus `U1_BENCH_WORKERS` as a
+//! comma-separated list of worker counts (default `1,2,4,8`).
+
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+use u1_core::SimClock;
+use u1_server::{Backend, BackendConfig};
+use u1_trace::MemorySink;
+use u1_workload::{Driver, DriverReport, WorkloadConfig};
+
+struct Run {
+    workers: usize,
+    wall_secs: f64,
+    ops: u64,
+    records: u64,
+    report: DriverReport,
+}
+
+fn run_once(mut cfg: WorkloadConfig, workers: usize) -> Run {
+    cfg.workers = workers;
+    let clock = SimClock::new();
+    let sink = Arc::new(MemorySink::new());
+    let backend_cfg = BackendConfig {
+        seed: cfg.seed ^ 0xBACC,
+        ..BackendConfig::default()
+    };
+    let backend = Arc::new(Backend::new(
+        backend_cfg,
+        Arc::new(clock.clone()),
+        sink.clone(),
+    ));
+    let driver = Driver::new(cfg, Arc::clone(&backend), clock);
+    let started = Instant::now();
+    let report = driver.run();
+    let wall_secs = started.elapsed().as_secs_f64();
+    Run {
+        workers,
+        wall_secs,
+        ops: report.ops_executed + report.attack_ops,
+        records: sink.len() as u64,
+        report,
+    }
+}
+
+fn main() {
+    let mut cfg = WorkloadConfig::paper_scaled();
+    if let Ok(v) = std::env::var("U1_USERS") {
+        cfg.users = v.parse().expect("U1_USERS must be an integer");
+    }
+    if let Ok(v) = std::env::var("U1_DAYS") {
+        cfg.days = v.parse().expect("U1_DAYS must be an integer");
+    }
+    if let Ok(v) = std::env::var("U1_SEED") {
+        cfg.seed = v.parse().expect("U1_SEED must be an integer");
+    }
+    if std::env::var("U1_ATTACKS").as_deref() == Ok("0") {
+        cfg.attacks = false;
+    }
+    let worker_counts: Vec<usize> = std::env::var("U1_BENCH_WORKERS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .map(|w| w.trim().parse().expect("U1_BENCH_WORKERS must be integers"))
+        .collect();
+
+    let runs: Vec<Run> = worker_counts
+        .iter()
+        .map(|&w| {
+            let run = run_once(cfg.clone(), w);
+            eprintln!(
+                "[throughput] workers={} wall={:.2}s ops/s={:.0}",
+                run.workers,
+                run.wall_secs,
+                run.ops as f64 / run.wall_secs
+            );
+            run
+        })
+        .collect();
+
+    // Determinism cross-check: worker count must not change what happened.
+    let deterministic = runs
+        .windows(2)
+        .all(|w| w[0].report == w[1].report && w[0].records == w[1].records);
+    assert!(
+        deterministic,
+        "DriverReport differs across worker counts — determinism violated"
+    );
+
+    let base = &runs[0];
+    let mut human = String::new();
+    human.push_str(&format!(
+        "{} users x {} days (seed {:#x}), {} trace records\n",
+        cfg.users, cfg.days, cfg.seed, base.records
+    ));
+    human.push_str("workers  wall(s)   ops/s     speedup\n");
+    let rows: Vec<serde_json::Value> = runs
+        .iter()
+        .map(|r| {
+            let ops_per_sec = r.ops as f64 / r.wall_secs;
+            let speedup = base.wall_secs / r.wall_secs;
+            human.push_str(&format!(
+                "{:>7}  {:>7.2}  {:>8.0}  {:>6.2}x\n",
+                r.workers, r.wall_secs, ops_per_sec, speedup
+            ));
+            json!({
+                "workers": r.workers,
+                "wall_secs": r.wall_secs,
+                "ops": r.ops,
+                "ops_per_sec": ops_per_sec,
+                "speedup_vs_serial": speedup,
+            })
+        })
+        .collect();
+    // Speedup is bounded by the host: on a 1-core container every worker
+    // count degenerates to ~1.0x, so record what was available.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    human.push_str(&format!("host cpus: {host_cpus}\n"));
+    u1_bench::emit(
+        "BENCH_throughput",
+        &human,
+        &json!({
+            "config": {
+                "users": cfg.users,
+                "days": cfg.days,
+                "seed": cfg.seed,
+                "attacks": cfg.attacks,
+            },
+            "host_cpus": host_cpus,
+            "trace_records": base.records,
+            "deterministic_across_worker_counts": deterministic,
+            "runs": rows,
+        }),
+    );
+}

@@ -276,8 +276,11 @@ impl SimClock {
 }
 
 impl Clock for SimClock {
+    /// When a [`crate::partition::PartitionCtx`] is installed on the calling
+    /// thread, that partition's own time cell wins: parallel driver workers
+    /// sit at different virtual instants without racing on the shared cell.
     fn now(&self) -> SimTime {
-        SimTime(self.now.load(Ordering::SeqCst))
+        crate::partition::current_time().unwrap_or_else(|| SimTime(self.now.load(Ordering::SeqCst)))
     }
 }
 

@@ -18,6 +18,7 @@ pub mod clock;
 pub mod error;
 pub mod id;
 pub mod op;
+pub mod partition;
 pub mod rngx;
 pub mod sha1;
 pub mod size;
@@ -30,6 +31,7 @@ pub use id::{
     VolumeId, VolumeKind,
 };
 pub use op::{ApiOpKind, RpcClass, RpcKind};
+pub use partition::PartitionCtx;
 pub use sha1::Sha1;
 pub use size::{ByteSize, SizeCategory};
 pub use taxonomy::FileCategory;

@@ -1,0 +1,172 @@
+//! Thread-local partition context for the parallel workload driver.
+//!
+//! The driver partitions the client population by metastore shard and runs
+//! each partition on a worker thread. Determinism across worker counts
+//! requires that every source of state a partition consumes is keyed by the
+//! *partition* (called its **origin**), never by the thread or by global
+//! arrival order. This module carries that origin — plus the partition's
+//! virtual time and its monotone per-origin counters — as a thread-local
+//! context that a worker installs while it runs a partition:
+//!
+//! - `SimClock::now()` prefers the context's time cell, so concurrent
+//!   partitions can sit at different virtual instants without racing on the
+//!   shared clock cell.
+//! - `TraceRecord::new` stamps records with `(origin, seq)` so a canonical
+//!   sort order exists even when two partitions log at the same instant.
+//! - `SessionTable::open` derives origin-tagged session ids, keeping id
+//!   assignment independent of cross-partition interleaving.
+//!
+//! When no context is installed everything falls back to origin 0 with the
+//! legacy global counters — single-threaded callers (unit tests, live TCP
+//! mode) behave exactly as before.
+
+use crate::clock::SimTime;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-partition state installed on a worker thread while it runs that
+/// partition. One context per partition per run; it persists across days so
+/// the counters stay monotone for the whole window.
+#[derive(Debug)]
+pub struct PartitionCtx {
+    origin: u32,
+    /// Current virtual time of this partition, in µs.
+    time: AtomicU64,
+    /// Monotone per-origin trace-record sequence.
+    trace_seq: AtomicU64,
+    /// Monotone per-origin session-id sequence.
+    session_seq: AtomicU64,
+}
+
+impl PartitionCtx {
+    pub fn new(origin: u32) -> Arc<Self> {
+        Arc::new(Self {
+            origin,
+            time: AtomicU64::new(0),
+            trace_seq: AtomicU64::new(0),
+            session_seq: AtomicU64::new(0),
+        })
+    }
+
+    pub fn origin(&self) -> u32 {
+        self.origin
+    }
+
+    /// Moves this partition's clock. Only the owning worker writes it, so
+    /// `Relaxed` suffices.
+    pub fn set_time(&self, t: SimTime) {
+        self.time.store(t.as_micros(), Ordering::Relaxed);
+    }
+
+    pub fn time(&self) -> SimTime {
+        SimTime::from_micros(self.time.load(Ordering::Relaxed))
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<PartitionCtx>>> = const { RefCell::new(None) };
+}
+
+/// Installs `ctx` on this thread, returning a guard that restores the
+/// previous context (usually `None`) on drop.
+pub fn install(ctx: Arc<PartitionCtx>) -> CtxGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(ctx));
+    CtxGuard { prev }
+}
+
+/// RAII guard from [`install`].
+pub struct CtxGuard {
+    prev: Option<Arc<PartitionCtx>>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+fn with_current<T>(f: impl FnOnce(&PartitionCtx) -> T) -> Option<T> {
+    CURRENT.with(|c| c.borrow().as_deref().map(f))
+}
+
+/// Origin of the partition running on this thread; 0 when none is installed.
+pub fn current_origin() -> u32 {
+    with_current(|ctx| ctx.origin).unwrap_or(0)
+}
+
+/// This partition's virtual time, if a context is installed.
+pub fn current_time() -> Option<SimTime> {
+    with_current(PartitionCtx::time)
+}
+
+/// Next `(origin, seq)` stamp for a trace record; `None` without a context
+/// (callers then use the legacy `(0, 0)` stamp).
+pub fn next_trace_stamp() -> Option<(u32, u64)> {
+    with_current(|ctx| {
+        (
+            ctx.origin,
+            ctx.trace_seq.fetch_add(1, Ordering::Relaxed) + 1,
+        )
+    })
+}
+
+/// Next origin-tagged raw session id; `None` without a context (callers then
+/// fall back to their own global counter). The origin lives in the high bits
+/// so ids from different partitions never collide.
+pub fn next_session_id() -> Option<u64> {
+    with_current(|ctx| {
+        let seq = ctx.session_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        ((ctx.origin as u64 + 1) << 40) | seq
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply_without_a_context() {
+        assert_eq!(current_origin(), 0);
+        assert_eq!(current_time(), None);
+        assert_eq!(next_trace_stamp(), None);
+        assert_eq!(next_session_id(), None);
+    }
+
+    #[test]
+    fn installed_context_supplies_origin_time_and_counters() {
+        let ctx = PartitionCtx::new(3);
+        ctx.set_time(SimTime::from_secs(42));
+        let _g = install(ctx.clone());
+        assert_eq!(current_origin(), 3);
+        assert_eq!(current_time(), Some(SimTime::from_secs(42)));
+        assert_eq!(next_trace_stamp(), Some((3, 1)));
+        assert_eq!(next_trace_stamp(), Some((3, 2)));
+        let s1 = next_session_id().unwrap();
+        let s2 = next_session_id().unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(s1 >> 40, 4, "origin + 1 in the high bits");
+    }
+
+    #[test]
+    fn guard_restores_previous_context() {
+        {
+            let _outer = install(PartitionCtx::new(1));
+            {
+                let _inner = install(PartitionCtx::new(2));
+                assert_eq!(current_origin(), 2);
+            }
+            assert_eq!(current_origin(), 1);
+        }
+        assert_eq!(current_origin(), 0);
+    }
+
+    #[test]
+    fn contexts_are_per_thread() {
+        let _g = install(PartitionCtx::new(7));
+        let other = std::thread::spawn(current_origin).join().unwrap();
+        assert_eq!(other, 0);
+        assert_eq!(current_origin(), 7);
+    }
+}

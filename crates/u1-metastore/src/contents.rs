@@ -1,0 +1,340 @@
+//! The striped, epoch-visibility cross-user content index (file-level
+//! dedup, §3.3/§5.3).
+//!
+//! The legacy index was one `RwLock<HashMap<ContentHash, ContentRow>>` —
+//! a write lock on every commit and unlink, i.e. the single hottest point
+//! of cross-shard contention in the whole store. This version fixes both
+//! the *contention* and the *determinism* problem of running partitions in
+//! parallel:
+//!
+//! * **Striping** — rows are spread over [`STRIPES`] independent locks by
+//!   hash byte, so concurrent commits rarely collide.
+//! * **Epoch visibility** — mutations made while partitions run
+//!   concurrently are buffered as per-`(hash, origin)` deltas. An origin
+//!   observes the committed state plus *its own* deltas only; other
+//!   origins' same-epoch activity stays invisible until [`ContentIndex::seal`]
+//!   folds the deltas at a synchronization barrier (the driver's day
+//!   boundary). Visibility therefore depends only on (origin, epoch), never
+//!   on thread interleaving — the same seed gives the same dedup decisions
+//!   at any worker count.
+//!
+//! With a single origin (every unit test, live TCP mode, the serial
+//! driver's coordinator-free paths) an origin sees all of its own deltas
+//! immediately, which is exactly the legacy immediate-visibility semantics.
+
+use crate::model::ContentRow;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use u1_core::{ContentHash, SimTime};
+
+/// Number of index stripes. Power of two, comfortably above any plausible
+/// worker count so stripe collisions stay rare.
+pub const STRIPES: usize = 64;
+
+/// Buffered same-epoch activity of one origin on one hash.
+#[derive(Debug, Clone)]
+struct Delta {
+    /// Net refcount change (increfs minus decrefs) this epoch.
+    delta: i64,
+    /// Size recorded at this origin's first incref (sizes are a pure
+    /// function of the hash in this model, so any origin's value agrees).
+    size: u64,
+    /// Time of this origin's first incref this epoch.
+    first_seen: SimTime,
+    /// The origin's *view* of the refcount hit zero at some point this
+    /// epoch — the caller then deleted the blob, so if the hash survives
+    /// the fold the blob must be restored.
+    view_zeroed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Stripe {
+    /// Rows visible to every origin (folded at the last seal).
+    committed: HashMap<ContentHash, ContentRow>,
+    /// Same-epoch deltas, visible only to their origin.
+    pending: HashMap<(ContentHash, u32), Delta>,
+}
+
+impl Stripe {
+    /// Refcount as seen by `origin`: committed plus its own delta.
+    fn view_refcount(&self, hash: ContentHash, origin: u32) -> i64 {
+        let committed = self
+            .committed
+            .get(&hash)
+            .map(|r| r.refcount as i64)
+            .unwrap_or(0);
+        let delta = self
+            .pending
+            .get(&(hash, origin))
+            .map(|d| d.delta)
+            .unwrap_or(0);
+        committed + delta
+    }
+}
+
+/// What a [`ContentIndex::seal`] fold decided about the object store.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SealOutcome {
+    /// Hashes whose folded refcount is zero: delete from the object store
+    /// (idempotent — an origin may already have deleted them mid-epoch).
+    pub dead: Vec<ContentHash>,
+    /// `(hash, size)` pairs that survived the fold but whose blob an
+    /// origin deleted mid-epoch on a view-local zero: restore them.
+    pub live: Vec<(ContentHash, u64)>,
+}
+
+/// The striped content index.
+#[derive(Debug)]
+pub struct ContentIndex {
+    stripes: Vec<Mutex<Stripe>>,
+}
+
+impl Default for ContentIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContentIndex {
+    pub fn new() -> Self {
+        Self {
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect(),
+        }
+    }
+
+    fn stripe(&self, hash: ContentHash) -> &Mutex<Stripe> {
+        &self.stripes[hash.0[0] as usize % STRIPES]
+    }
+
+    /// Adds one reference from `origin`.
+    pub fn incref(&self, hash: ContentHash, size: u64, now: SimTime, origin: u32) {
+        let mut stripe = self.stripe(hash).lock();
+        let entry = stripe.pending.entry((hash, origin)).or_insert(Delta {
+            delta: 0,
+            size,
+            first_seen: now,
+            view_zeroed: false,
+        });
+        entry.delta += 1;
+    }
+
+    /// Undoes one same-epoch incref (same content re-attached to the same
+    /// node: the commit double-counted and takes the count back).
+    pub fn undo_incref(&self, hash: ContentHash, origin: u32) {
+        let mut stripe = self.stripe(hash).lock();
+        if let Some(entry) = stripe.pending.get_mut(&(hash, origin)) {
+            entry.delta -= 1;
+        }
+    }
+
+    /// Drops one reference from `origin`. Returns `true` when the origin's
+    /// view of the refcount reached zero — the caller deletes the blob,
+    /// exactly like the legacy remove-at-zero path.
+    pub fn decref(&self, hash: ContentHash, origin: u32) -> bool {
+        let mut stripe = self.stripe(hash).lock();
+        let entry = stripe.pending.entry((hash, origin)).or_insert(Delta {
+            delta: 0,
+            size: 0,
+            first_seen: SimTime::ZERO,
+            view_zeroed: false,
+        });
+        entry.delta -= 1;
+        // Exactly zero: the last visible reference went away right now. A
+        // negative view means an unbalanced release (legacy semantics:
+        // decref of an untracked hash is a no-op).
+        if stripe.view_refcount(hash, origin) == 0 {
+            if let Some(entry) = stripe.pending.get_mut(&(hash, origin)) {
+                entry.view_zeroed = true;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The dedup probe: the row as seen by `origin`, if its view holds at
+    /// least one reference.
+    pub fn probe(&self, hash: ContentHash, origin: u32) -> Option<ContentRow> {
+        let stripe = self.stripe(hash).lock();
+        let refcount = stripe.view_refcount(hash, origin);
+        if refcount <= 0 {
+            return None;
+        }
+        let (size, first_seen) = match stripe.committed.get(&hash) {
+            Some(row) => (row.size, row.first_seen),
+            None => {
+                let d = stripe.pending.get(&(hash, origin))?;
+                (d.size, d.first_seen)
+            }
+        };
+        Some(ContentRow {
+            hash,
+            size,
+            refcount: refcount as u64,
+            first_seen,
+        })
+    }
+
+    /// Folds every pending delta into the committed state. Called at a
+    /// synchronization barrier (no concurrent mutators). The fold is
+    /// deterministic: per hash it combines origins by commutative
+    /// aggregates (sum of deltas, min of first-seen), so the outcome is
+    /// independent of both worker count and arrival order.
+    pub fn seal(&self) -> SealOutcome {
+        let mut out = SealOutcome::default();
+        for stripe in &self.stripes {
+            let mut stripe = stripe.lock();
+            // Group drained deltas by hash, in deterministic hash order.
+            let mut by_hash: BTreeMap<[u8; 20], Vec<Delta>> = BTreeMap::new();
+            for ((hash, _origin), delta) in stripe.pending.drain() {
+                by_hash.entry(hash.0).or_default().push(delta);
+            }
+            for (hash_bytes, deltas) in by_hash {
+                let hash = ContentHash(hash_bytes);
+                let total: i64 = deltas.iter().map(|d| d.delta).sum();
+                let zeroed = deltas.iter().any(|d| d.view_zeroed);
+                let increfed = deltas.iter().filter(|d| d.delta > 0 || d.size > 0);
+                let size = increfed.clone().map(|d| d.size).max().unwrap_or(0);
+                let first_seen = increfed
+                    .map(|d| d.first_seen)
+                    .min()
+                    .unwrap_or(SimTime::ZERO);
+                let folded = match stripe.committed.get(&hash) {
+                    Some(row) => ContentRow {
+                        refcount: row.refcount.saturating_add_signed(total),
+                        ..row.clone()
+                    },
+                    None => ContentRow {
+                        hash,
+                        size,
+                        refcount: total.max(0) as u64,
+                        first_seen,
+                    },
+                };
+                if folded.refcount == 0 {
+                    stripe.committed.remove(&hash);
+                    out.dead.push(hash);
+                } else {
+                    if zeroed {
+                        out.live.push((hash, folded.size));
+                    }
+                    stripe.committed.insert(hash, folded);
+                }
+            }
+        }
+        out.dead.sort();
+        out.live.sort();
+        out
+    }
+
+    /// Global-view aggregate over committed rows plus all pending deltas:
+    /// `(distinct_contents, unique_bytes, total_bytes)`. Single-origin
+    /// callers get exact legacy numbers; mid-epoch multi-origin callers get
+    /// the state a seal would commit.
+    pub fn fold_stats(&self) -> (usize, u64, u64) {
+        let mut count = 0usize;
+        let mut unique = 0u64;
+        let mut total = 0u64;
+        for stripe in &self.stripes {
+            let stripe = stripe.lock();
+            let mut folded: HashMap<ContentHash, (u64, i64)> = stripe
+                .committed
+                .iter()
+                .map(|(h, r)| (*h, (r.size, r.refcount as i64)))
+                .collect();
+            for ((hash, _origin), delta) in &stripe.pending {
+                let entry = folded.entry(*hash).or_insert((delta.size, 0));
+                entry.1 += delta.delta;
+                if entry.0 == 0 {
+                    entry.0 = delta.size;
+                }
+            }
+            for (size, refcount) in folded.values() {
+                if *refcount > 0 {
+                    count += 1;
+                    unique += size;
+                    total += size * (*refcount as u64);
+                }
+            }
+        }
+        (count, unique, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: u64) -> ContentHash {
+        ContentHash::from_content_id(n)
+    }
+
+    #[test]
+    fn single_origin_sees_its_own_writes_immediately() {
+        let idx = ContentIndex::new();
+        assert!(idx.probe(h(1), 0).is_none());
+        idx.incref(h(1), 100, SimTime::ZERO, 0);
+        let row = idx.probe(h(1), 0).unwrap();
+        assert_eq!(row.refcount, 1);
+        assert_eq!(row.size, 100);
+        assert!(idx.decref(h(1), 0), "last ref released");
+        assert!(idx.probe(h(1), 0).is_none());
+    }
+
+    #[test]
+    fn cross_origin_writes_are_invisible_until_seal() {
+        let idx = ContentIndex::new();
+        idx.incref(h(1), 100, SimTime::ZERO, 0);
+        assert!(idx.probe(h(1), 1).is_none(), "other origin blind pre-seal");
+        let outcome = idx.seal();
+        assert!(outcome.dead.is_empty());
+        assert!(outcome.live.is_empty());
+        assert_eq!(idx.probe(h(1), 1).unwrap().refcount, 1);
+    }
+
+    #[test]
+    fn seal_reports_dead_and_restored_hashes() {
+        let idx = ContentIndex::new();
+        idx.incref(h(1), 50, SimTime::ZERO, 0);
+        idx.seal();
+        // Origin 0 drops the only committed ref (and would delete the
+        // blob), while origin 1 gains one in the same epoch.
+        assert!(idx.decref(h(1), 0));
+        idx.incref(h(1), 50, SimTime::from_secs(2), 1);
+        let outcome = idx.seal();
+        assert!(outcome.dead.is_empty());
+        assert_eq!(outcome.live, vec![(h(1), 50)], "blob must be restored");
+        assert_eq!(idx.probe(h(1), 0).unwrap().refcount, 1);
+        // Now the last ref goes away for real.
+        assert!(idx.decref(h(1), 1));
+        let outcome = idx.seal();
+        assert_eq!(outcome.dead, vec![h(1)]);
+        assert!(idx.probe(h(1), 1).is_none());
+    }
+
+    #[test]
+    fn fold_stats_match_a_sealed_view() {
+        let idx = ContentIndex::new();
+        idx.incref(h(1), 100, SimTime::ZERO, 0);
+        idx.incref(h(1), 100, SimTime::ZERO, 1);
+        idx.incref(h(2), 30, SimTime::ZERO, 2);
+        let (count, unique, total) = idx.fold_stats();
+        assert_eq!((count, unique, total), (2, 130, 230));
+        idx.seal();
+        assert_eq!(idx.fold_stats(), (2, 130, 230));
+    }
+
+    #[test]
+    fn first_seen_folds_to_the_earliest_origin() {
+        let idx = ContentIndex::new();
+        idx.incref(h(9), 10, SimTime::from_secs(20), 3);
+        idx.incref(h(9), 10, SimTime::from_secs(5), 7);
+        idx.seal();
+        assert_eq!(
+            idx.probe(h(9), 0).unwrap().first_seen,
+            SimTime::from_secs(5)
+        );
+    }
+}

@@ -20,11 +20,13 @@
 //! * [`latency`] — the calibrated per-RPC-class service-time model that
 //!   reproduces the long-tailed distributions of Figs. 12–13.
 
+pub mod contents;
 pub mod latency;
 pub mod model;
 pub mod shard;
 pub mod store;
 
+pub use contents::{ContentIndex, SealOutcome};
 pub use latency::{LatencyModel, LatencyProfile};
 pub use model::{ContentRow, NodeRow, ShareRow, UploadJobRow, UploadState, UserRow, VolumeRow};
 pub use store::{MetaStore, StoreConfig};

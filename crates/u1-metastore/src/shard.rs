@@ -11,7 +11,7 @@
 //! and ordinary operations never span shards.
 
 use crate::model::{NodeRow, UploadJobRow, UploadState, UserRow, VolumeRow};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use u1_core::{
     ContentHash, CoreError, CoreResult, NodeId, NodeKind, ShardId, SimDuration, SimTime, UploadId,
     UserId, VolumeId, VolumeKind,
@@ -35,6 +35,16 @@ pub struct Shard {
     nodes: HashMap<NodeId, NodeRow>,
     /// Secondary index: nodes per volume (live and tombstoned).
     volume_nodes: HashMap<VolumeId, HashSet<NodeId>>,
+    /// Secondary index: live `(parent, name)` → node, per volume. Backs
+    /// `make_node`'s idempotency probe without scanning the volume.
+    live_names: HashMap<VolumeId, HashMap<Option<NodeId>, HashMap<String, NodeId>>>,
+    /// Secondary index: per-volume change log ordered by
+    /// `(generation, node)`, one entry per node at its *current*
+    /// generation. Backs `get_delta` range scans.
+    volume_log: HashMap<VolumeId, BTreeSet<(u64, NodeId)>>,
+    /// Secondary index: live children of each directory (`unlink`'s
+    /// cascade walk). Ordered so cascade output is iteration-order-free.
+    children: HashMap<NodeId, BTreeSet<NodeId>>,
     uploadjobs: HashMap<UploadId, UploadJobRow>,
 }
 
@@ -206,8 +216,11 @@ impl Shard {
             return Err(CoreError::invalid("cannot delete the root volume"));
         }
         let node_ids = self.volume_nodes.remove(&volume).unwrap_or_default();
+        self.live_names.remove(&volume);
+        self.volume_log.remove(&volume);
         let mut dead = Vec::with_capacity(node_ids.len());
         for nid in node_ids {
+            self.children.remove(&nid);
             if let Some(row) = self.nodes.remove(&nid) {
                 if row.is_live {
                     dead.push(DeadNode {
@@ -272,12 +285,11 @@ impl Shard {
         self.volume_mut(owner, volume)?;
         self.check_parent(volume, parent)?;
         if let Some(existing) = self
-            .volume_nodes
+            .live_names
             .get(&volume)
-            .into_iter()
-            .flatten()
-            .filter_map(|nid| self.nodes.get(nid))
-            .find(|n| n.is_live && n.parent == parent && n.name == name)
+            .and_then(|m| m.get(&parent))
+            .and_then(|names| names.get(name))
+            .and_then(|nid| self.nodes.get(nid))
         {
             if existing.kind != kind {
                 return Err(CoreError::conflict(format!(
@@ -305,6 +317,19 @@ impl Shard {
         };
         self.nodes.insert(node_id, row.clone());
         self.volume_nodes.entry(volume).or_default().insert(node_id);
+        self.live_names
+            .entry(volume)
+            .or_default()
+            .entry(parent)
+            .or_default()
+            .insert(name.to_string(), node_id);
+        self.volume_log
+            .entry(volume)
+            .or_default()
+            .insert((generation, node_id));
+        if let Some(p) = parent {
+            self.children.entry(p).or_default().insert(node_id);
+        }
         Ok(row)
     }
 
@@ -344,11 +369,16 @@ impl Shard {
             return Err(CoreError::invalid("make_content on a directory"));
         }
         let old = row.content;
+        let old_generation = row.generation;
         row.content = Some(hash);
         row.size = size;
         row.generation = generation;
         row.changed_at = now;
-        Ok((row.clone(), old))
+        let result = (row.clone(), old);
+        let log = self.volume_log.entry(volume).or_default();
+        log.remove(&(old_generation, node));
+        log.insert((generation, node));
+        Ok(result)
     }
 
     /// `dal.unlink_node`. Deleting a directory cascades to everything under
@@ -368,21 +398,14 @@ impl Shard {
             .filter(|n| n.volume == volume && n.is_live)
             .ok_or_else(|| CoreError::not_found(format!("node {node}")))?
             .node;
-        // Collect the subtree (BFS over live children).
+        // Collect the subtree (BFS over the live-children index).
         let mut doomed = vec![root];
         let mut queue = vec![root];
         while let Some(cur) = queue.pop() {
-            let children: Vec<NodeId> = self
-                .volume_nodes
-                .get(&volume)
-                .into_iter()
-                .flatten()
-                .filter_map(|nid| self.nodes.get(nid))
-                .filter(|n| n.is_live && n.parent == Some(cur))
-                .map(|n| n.node)
-                .collect();
-            doomed.extend(&children);
-            queue.extend(children);
+            if let Some(kids) = self.children.get(&cur) {
+                doomed.extend(kids.iter().copied());
+                queue.extend(kids.iter().copied());
+            }
         }
         let generation = {
             let vol = self.volume_mut(owner, volume)?;
@@ -392,7 +415,12 @@ impl Shard {
         };
         let mut dead = Vec::with_capacity(doomed.len());
         for nid in doomed {
-            let row = self.nodes.get_mut(&nid).expect("doomed node exists");
+            // Doomed ids were collected from live rows above; a missing row
+            // means nothing to kill, not an error.
+            let Some(row) = self.nodes.get_mut(&nid) else {
+                continue;
+            };
+            let old_generation = row.generation;
             row.is_live = false;
             row.generation = generation;
             row.changed_at = now;
@@ -402,6 +430,22 @@ impl Shard {
                 content: row.content,
                 size: row.size,
             });
+            if let Some(names) = self
+                .live_names
+                .get_mut(&volume)
+                .and_then(|m| m.get_mut(&row.parent))
+            {
+                names.remove(&row.name);
+            }
+            if let Some(p) = row.parent {
+                if let Some(kids) = self.children.get_mut(&p) {
+                    kids.remove(&nid);
+                }
+            }
+            self.children.remove(&nid);
+            let log = self.volume_log.entry(volume).or_default();
+            log.remove(&(old_generation, nid));
+            log.insert((generation, nid));
         }
         Ok(dead)
     }
@@ -444,11 +488,35 @@ impl Shard {
             .get_mut(&node)
             .filter(|n| n.volume == volume && n.is_live)
             .ok_or_else(|| CoreError::not_found(format!("node {node}")))?;
+        let old_parent = row.parent;
+        let old_name = std::mem::replace(&mut row.name, new_name.to_string());
+        let old_generation = row.generation;
         row.parent = new_parent;
-        row.name = new_name.to_string();
         row.generation = generation;
         row.changed_at = now;
-        Ok(row.clone())
+        let result = row.clone();
+        let names = self.live_names.entry(volume).or_default();
+        if let Some(old_bucket) = names.get_mut(&old_parent) {
+            old_bucket.remove(&old_name);
+        }
+        names
+            .entry(new_parent)
+            .or_default()
+            .insert(new_name.to_string(), node);
+        if old_parent != new_parent {
+            if let Some(p) = old_parent {
+                if let Some(kids) = self.children.get_mut(&p) {
+                    kids.remove(&node);
+                }
+            }
+            if let Some(p) = new_parent {
+                self.children.entry(p).or_default().insert(node);
+            }
+        }
+        let log = self.volume_log.entry(volume).or_default();
+        log.remove(&(old_generation, node));
+        log.insert((generation, node));
+        Ok(result)
     }
 
     /// `dal.get_delta` — every node changed after `from_generation`,
@@ -459,16 +527,17 @@ impl Shard {
         from_generation: u64,
     ) -> CoreResult<(u64, Vec<NodeRow>)> {
         let vol = self.get_volume(volume)?;
-        let mut changed: Vec<NodeRow> = self
-            .volume_nodes
+        // The log holds each node once, at its current generation, ordered
+        // by (generation, node) — the canonical delta order — so the read
+        // is O(log n + |delta|) instead of a volume scan.
+        let changed: Vec<NodeRow> = self
+            .volume_log
             .get(&volume)
             .into_iter()
-            .flatten()
-            .filter_map(|nid| self.nodes.get(nid))
-            .filter(|n| n.generation > from_generation)
+            .flat_map(|log| log.range((from_generation.saturating_add(1), NodeId::new(0))..))
+            .filter_map(|(_, nid)| self.nodes.get(nid))
             .cloned()
             .collect();
-        changed.sort_by_key(|n| (n.generation, n.node));
         Ok((vol.generation, changed))
     }
 
@@ -592,12 +661,15 @@ impl Shard {
     /// than `max_age` and returns them so the object store can abort the
     /// corresponding multipart uploads.
     pub fn gc_uploadjobs(&mut self, now: SimTime, max_age: SimDuration) -> Vec<UploadJobRow> {
-        let doomed: Vec<UploadId> = self
+        let mut doomed: Vec<UploadId> = self
             .uploadjobs
             .values()
             .filter(|j| now.since(j.touched_at) > max_age)
             .map(|j| j.upload)
             .collect();
+        // The reaped jobs are traced one record each at the same timestamp,
+        // so their order must not depend on hash-map iteration order.
+        doomed.sort();
         doomed
             .into_iter()
             .filter_map(|id| self.uploadjobs.remove(&id))

@@ -1,13 +1,33 @@
 //! The metadata store cluster: shard routing, the cross-user content index
 //! (file-level dedup), shares, and id allocation.
 //!
-//! Locking discipline: at most one shard lock is ever held at a time, and
-//! the small global tables (volume→owner routing, contents, shares) are
-//! locked after — never while holding — another global table. This mirrors
-//! the paper's observation that the user-per-shard data model is effectively
-//! lockless: only shared-volume operations ever involve state outside the
-//! owner's shard.
+//! Locking discipline — the store is built so that the common path touches
+//! exactly one shard lock plus at most one *stripe* of a global table, and
+//! no two locks of the same kind are ever held together:
+//!
+//! * **Shard locks** (`RwLock<Shard>`): at most one is held at a time,
+//!   except `list_shares`/`create_share`, which take the recipient's and
+//!   then the owner's shard *sequentially* (reads only, never nested).
+//! * **`volume_owner`** is striped by volume id: `authorize()` — on the
+//!   path of every request — read-locks a single stripe and releases it
+//!   before any shard lock is taken.
+//! * **`contents`** is a [`ContentIndex`]: striped by hash byte with
+//!   per-origin epoch visibility, so commits and unlinks from different
+//!   partitions neither contend nor observe each other mid-epoch (see the
+//!   module docs of [`crate::contents`]). Stripe locks are leaf locks:
+//!   nothing else is acquired while one is held.
+//! * **`shares`** stays one table under a single `RwLock` — share grants
+//!   are rare (1.8% of users, §6.3), written only during setup-time
+//!   `create_share`/`delete_volume`, and read-mostly thereafter. The lock
+//!   is always taken *after* any shard/stripe lock has been dropped, never
+//!   while holding one.
+//!
+//! Id allocation is per-shard and strided (shard `s` of `S` hands out
+//! `s+1, s+1+S, s+1+2S, …`), so concurrent partitions draw disjoint,
+//! interleaving-independent id sequences — the paper's "effectively
+//! lockless" user-per-shard model, taken at its word.
 
+use crate::contents::{ContentIndex, SealOutcome};
 use crate::model::{ContentRow, ShareRow, UploadJobRow, UserRow, VolumeRow};
 use crate::shard::{DeadNode, Shard};
 use parking_lot::RwLock;
@@ -17,6 +37,9 @@ use u1_core::{
     ContentHash, CoreError, CoreResult, NodeId, NodeKind, ShardId, SimDuration, SimTime, UploadId,
     UserId, VolumeId,
 };
+
+/// Stripe count for the `volume_owner` routing map.
+const OWNER_STRIPES: usize = 64;
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -48,20 +71,44 @@ pub struct Released {
     pub unreferenced: Vec<ContentHash>,
 }
 
+/// Per-shard strided id allocator: shard `s` draws `s+1, s+1+S, s+1+2S, …`
+/// so the sequences of different shards are disjoint and independent of
+/// cross-shard interleaving.
+#[derive(Debug)]
+struct StridedAlloc {
+    counters: Vec<AtomicU64>,
+    stride: u64,
+}
+
+impl StridedAlloc {
+    fn new(shards: u16) -> Self {
+        Self {
+            counters: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            stride: shards as u64,
+        }
+    }
+
+    fn next(&self, shard: ShardId) -> u64 {
+        let slot = shard.raw() as usize % self.counters.len();
+        let k = self.counters[slot].fetch_add(1, Ordering::Relaxed);
+        1 + slot as u64 + k * self.stride
+    }
+}
+
 /// The sharded metadata store.
 pub struct MetaStore {
     config: StoreConfig,
     shards: Vec<RwLock<Shard>>,
-    /// Global routing index: volume → owner. Needed because requests name
-    /// volumes, while sharding is by user.
-    volume_owner: RwLock<HashMap<VolumeId, UserId>>,
-    /// Cross-user content index (dedup).
-    contents: RwLock<HashMap<ContentHash, ContentRow>>,
+    /// Global routing index: volume → owner, striped by volume id. Needed
+    /// because requests name volumes, while sharding is by user.
+    volume_owner: Vec<RwLock<HashMap<VolumeId, UserId>>>,
+    /// Cross-user content index (dedup), striped with epoch visibility.
+    contents: ContentIndex,
     /// Share grants, indexed both ways.
     shares: RwLock<ShareTable>,
-    next_volume: AtomicU64,
-    next_node: AtomicU64,
-    next_upload: AtomicU64,
+    next_volume: StridedAlloc,
+    next_node: StridedAlloc,
+    next_upload: StridedAlloc,
 }
 
 #[derive(Debug, Default)]
@@ -77,14 +124,16 @@ impl MetaStore {
             .map(|i| RwLock::new(Shard::new(ShardId::new(i))))
             .collect();
         Self {
-            config,
             shards,
-            volume_owner: RwLock::new(HashMap::new()),
-            contents: RwLock::new(HashMap::new()),
+            volume_owner: (0..OWNER_STRIPES)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            contents: ContentIndex::new(),
             shares: RwLock::new(ShareTable::default()),
-            next_volume: AtomicU64::new(1),
-            next_node: AtomicU64::new(1),
-            next_upload: AtomicU64::new(1),
+            next_volume: StridedAlloc::new(config.shards),
+            next_node: StridedAlloc::new(config.shards),
+            next_upload: StridedAlloc::new(config.shards),
+            config,
         }
     }
 
@@ -106,16 +155,20 @@ impl MetaStore {
         &self.shards[self.shard_of(user).raw() as usize]
     }
 
-    fn alloc_volume(&self) -> VolumeId {
-        VolumeId::new(self.next_volume.fetch_add(1, Ordering::Relaxed))
+    fn alloc_volume(&self, owner: UserId) -> VolumeId {
+        VolumeId::new(self.next_volume.next(self.shard_of(owner)))
     }
 
-    fn alloc_node(&self) -> NodeId {
-        NodeId::new(self.next_node.fetch_add(1, Ordering::Relaxed))
+    fn alloc_node(&self, owner: UserId) -> NodeId {
+        NodeId::new(self.next_node.next(self.shard_of(owner)))
     }
 
-    fn alloc_upload(&self) -> UploadId {
-        UploadId::new(self.next_upload.fetch_add(1, Ordering::Relaxed))
+    fn alloc_upload(&self, owner: UserId) -> UploadId {
+        UploadId::new(self.next_upload.next(self.shard_of(owner)))
+    }
+
+    fn owner_stripe(&self, volume: VolumeId) -> &RwLock<HashMap<VolumeId, UserId>> {
+        &self.volume_owner[volume.raw() as usize % OWNER_STRIPES]
     }
 
     /// Resolves the owner of `volume` and checks `actor` may touch it:
@@ -123,7 +176,7 @@ impl MetaStore {
     /// whose shard hosts the volume's rows.
     fn authorize(&self, actor: UserId, volume: VolumeId) -> CoreResult<UserId> {
         let owner = *self
-            .volume_owner
+            .owner_stripe(volume)
             .read()
             .get(&volume)
             .ok_or_else(|| CoreError::not_found(format!("volume {volume}")))?;
@@ -148,9 +201,9 @@ impl MetaStore {
 
     /// Registers a user (first connection), creating their root volume.
     pub fn create_user(&self, user: UserId, now: SimTime) -> CoreResult<UserRow> {
-        let root = self.alloc_volume();
+        let root = self.alloc_volume(user);
         let row = self.shard(user).write().create_user(user, root, now)?;
-        self.volume_owner.write().insert(root, user);
+        self.owner_stripe(root).write().insert(root, user);
         Ok(row)
     }
 
@@ -233,12 +286,12 @@ impl MetaStore {
 
     /// `dal.create_udf`.
     pub fn create_udf(&self, user: UserId, name: &str, now: SimTime) -> CoreResult<VolumeRow> {
-        let volume = self.alloc_volume();
+        let volume = self.alloc_volume(user);
         let row = self
             .shard(user)
             .write()
             .create_udf(user, volume, name, now)?;
-        self.volume_owner.write().insert(volume, user);
+        self.owner_stripe(volume).write().insert(volume, user);
         Ok(row)
     }
 
@@ -246,7 +299,7 @@ impl MetaStore {
     pub fn delete_volume(&self, actor: UserId, volume: VolumeId) -> CoreResult<Released> {
         let owner = self.authorize(actor, volume)?;
         let dead = self.shard(owner).write().delete_volume(owner, volume)?;
-        self.volume_owner.write().remove(&volume);
+        self.owner_stripe(volume).write().remove(&volume);
         // Drop share grants on the deleted volume.
         {
             let mut shares = self.shares.write();
@@ -275,7 +328,7 @@ impl MetaStore {
         now: SimTime,
     ) -> CoreResult<crate::model::NodeRow> {
         let owner = self.authorize(actor, volume)?;
-        let node = self.alloc_node();
+        let node = self.alloc_node(owner);
         self.shard(owner)
             .write()
             .make_node(owner, volume, node, parent, kind, name, now)
@@ -306,49 +359,32 @@ impl MetaStore {
         now: SimTime,
     ) -> CoreResult<(crate::model::NodeRow, Option<ContentHash>)> {
         let owner = self.authorize(actor, volume)?;
+        let origin = u1_core::partition::current_origin();
         let (row, old) = self
             .shard(owner)
             .write()
             .make_content(owner, volume, node, hash, size, now)?;
-        let mut contents = self.contents.write();
-        let entry = contents.entry(hash).or_insert_with(|| ContentRow {
-            hash,
-            size,
-            refcount: 0,
-            first_seen: now,
-        });
-        entry.refcount += 1;
+        self.contents.incref(hash, size, now, origin);
         let mut released = None;
         if let Some(old_hash) = old {
             if old_hash != hash {
-                if Self::decref(&mut contents, old_hash) {
+                if self.contents.decref(old_hash, origin) {
                     released = Some(old_hash);
                 }
             } else {
                 // Same content re-attached: undo the double count.
-                contents.get_mut(&hash).expect("just inserted").refcount -= 1;
+                self.contents.undo_incref(hash, origin);
             }
         }
         Ok((row, released))
     }
 
-    fn decref(contents: &mut HashMap<ContentHash, ContentRow>, hash: ContentHash) -> bool {
-        if let Some(row) = contents.get_mut(&hash) {
-            row.refcount = row.refcount.saturating_sub(1);
-            if row.refcount == 0 {
-                contents.remove(&hash);
-                return true;
-            }
-        }
-        false
-    }
-
     fn release_contents(&self, dead: &[DeadNode]) -> Vec<ContentHash> {
-        let mut contents = self.contents.write();
+        let origin = u1_core::partition::current_origin();
         let mut unreferenced = Vec::new();
         for d in dead {
             if let Some(hash) = d.content {
-                if Self::decref(&mut contents, hash) {
+                if self.contents.decref(hash, origin) {
                     unreferenced.push(hash);
                 }
             }
@@ -357,13 +393,29 @@ impl MetaStore {
     }
 
     /// `dal.get_reusable_content` — the dedup probe: returns the content row
-    /// if a file with this exact hash and size is already stored (§3.3).
+    /// if a file with this exact hash and size is already stored (§3.3), as
+    /// visible to the calling partition.
     pub fn get_reusable_content(&self, hash: ContentHash, size: u64) -> Option<ContentRow> {
         self.contents
-            .read()
-            .get(&hash)
+            .probe(hash, u1_core::partition::current_origin())
             .filter(|c| c.size == size)
-            .cloned()
+    }
+
+    /// Whether `hash` is a live content for the calling partition — the
+    /// presence check the download path uses in place of consulting the
+    /// object store (whose blob set is only reconciled at epoch seals).
+    pub fn content_visible(&self, hash: ContentHash) -> bool {
+        self.contents
+            .probe(hash, u1_core::partition::current_origin())
+            .is_some()
+    }
+
+    /// Folds all same-epoch content-index deltas into the committed state.
+    /// Must be called from a synchronization barrier (the parallel driver's
+    /// day boundary). The caller applies the outcome to the object store:
+    /// delete `dead`, restore `live`.
+    pub fn seal_epoch(&self) -> SealOutcome {
+        self.contents.seal()
     }
 
     /// `dal.unlink_node`.
@@ -430,7 +482,7 @@ impl MetaStore {
         now: SimTime,
     ) -> CoreResult<UploadJobRow> {
         let owner = self.authorize(actor, volume)?;
-        let upload = self.alloc_upload();
+        let upload = self.alloc_upload(owner);
         self.shard(owner).write().make_uploadjob(
             actor,
             volume,
@@ -530,7 +582,7 @@ impl MetaStore {
 
     /// The owner of a volume, if it exists.
     pub fn owner_of(&self, volume: VolumeId) -> Option<UserId> {
-        self.volume_owner.read().get(&volume).copied()
+        self.owner_stripe(volume).read().get(&volume).copied()
     }
 
     // ----- measurement helpers ---------------------------------------------
@@ -538,9 +590,7 @@ impl MetaStore {
     /// The deduplication ratio `dr = 1 - (unique / total)` over currently
     /// referenced contents (§5.3).
     pub fn dedup_ratio(&self) -> f64 {
-        let contents = self.contents.read();
-        let unique: u64 = contents.values().map(|c| c.size).sum();
-        let total: u64 = contents.values().map(|c| c.size * c.refcount).sum();
+        let (_, unique, total) = self.contents.fold_stats();
         if total == 0 {
             0.0
         } else {
@@ -548,9 +598,10 @@ impl MetaStore {
         }
     }
 
-    /// Number of distinct contents currently referenced.
+    /// Number of distinct contents currently referenced (global view:
+    /// committed plus all same-epoch deltas).
     pub fn content_count(&self) -> usize {
-        self.contents.read().len()
+        self.contents.fold_stats().0
     }
 
     /// Per-shard user counts — raw material for load-balance sanity checks.

@@ -476,7 +476,11 @@ impl Backend {
         let h = self.session(session)?;
         let mut d = self.rpc(h.slot, h.user, RpcKind::GetReusableContent, 0);
         let node_row = self.store.get_node(h.user, volume, node)?;
-        if self.store.get_reusable_content(hash, size).is_some() && self.blobs.contains(hash) {
+        // The content index view is the source of truth for dedup: a hash
+        // visible to this partition is either epoch-committed (its blob is
+        // guaranteed by seal-time reconciliation) or was put by this
+        // partition earlier in the epoch.
+        if self.store.get_reusable_content(hash, size).is_some() {
             // Dedup hit: link and finish — no transfer.
             d = d + self.rpc(h.slot, h.user, RpcKind::MakeContent, 0);
             let (row, released) =
@@ -668,10 +672,17 @@ impl Backend {
         let row = self.store.get_node(h.user, volume, node);
         let result = match &row {
             Ok(r) => match (r.kind, r.content) {
-                (NodeKind::File, Some(hash)) => match self.blobs.get(hash, self.now()) {
-                    Some((meta, data)) => Ok((meta.size, hash, data)),
-                    None => Err(CoreError::not_found(format!("content of {node}"))),
-                },
+                // Presence is answered by the content index (like the dedup
+                // probe); the node row carries the size and the blob store is
+                // only consulted for live bytes and read accounting.
+                (NodeKind::File, Some(hash)) => {
+                    if self.store.content_visible(hash) {
+                        let data = self.blobs.get(hash, self.now()).and_then(|(_, d)| d);
+                        Ok((r.size, hash, data))
+                    } else {
+                        Err(CoreError::not_found(format!("content of {node}")))
+                    }
+                }
                 _ => Err(CoreError::invalid(format!("{node} has no content"))),
             },
             Err(e) => Err(e.clone()),

@@ -6,7 +6,7 @@ use crate::cluster::{Cluster, ClusterConfig, Slot};
 use crate::push::{PushRouter, VolumeEvent};
 use crate::session::{SessionHandle, SessionTable};
 use crossbeam::channel::Receiver;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use u1_auth::{AuthConfig, AuthService};
@@ -50,6 +50,45 @@ impl Default for BackendConfig {
     }
 }
 
+/// Per-partition-origin latency models.
+///
+/// Service-time sampling is stochastic: with a single shared model, the
+/// interleaving of concurrent driver partitions would decide which RPC
+/// draws which sample, making traces depend on worker count. Each origin
+/// gets its own independently seeded [`LatencyModel`]; origin 0 (threads
+/// without a partition context) keeps the legacy seed bit-for-bit.
+pub(crate) struct LatencyBank {
+    profile: LatencyProfile,
+    seed: u64,
+    models: RwLock<HashMap<u32, Arc<Mutex<LatencyModel>>>>,
+}
+
+impl LatencyBank {
+    fn new(profile: LatencyProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            seed,
+            models: RwLock::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn current(&self) -> Arc<Mutex<LatencyModel>> {
+        let origin = u1_core::partition::current_origin();
+        if let Some(m) = self.models.read().get(&origin) {
+            return Arc::clone(m);
+        }
+        let mut models = self.models.write();
+        Arc::clone(models.entry(origin).or_insert_with(|| {
+            let seed = if origin == 0 {
+                self.seed
+            } else {
+                u1_core::rngx::derive_seed(self.seed, "latency-origin", origin as u64)
+            };
+            Arc::new(Mutex::new(LatencyModel::new(self.profile.clone(), seed)))
+        }))
+    }
+}
+
 /// The U1 back-end.
 pub struct Backend {
     pub(crate) cfg: BackendConfig,
@@ -61,7 +100,7 @@ pub struct Backend {
     pub(crate) cluster: Cluster,
     pub sessions: SessionTable,
     pub push_router: PushRouter,
-    pub(crate) latency: Mutex<LatencyModel>,
+    pub(crate) latency: LatencyBank,
     pub(crate) sink: Arc<dyn TraceSink>,
     /// One broker subscription per API process; drained synchronously after
     /// every publish (`pump_broker`).
@@ -73,7 +112,7 @@ impl Backend {
     pub fn new(cfg: BackendConfig, clock: Arc<dyn Clock>, sink: Arc<dyn TraceSink>) -> Self {
         let store = MetaStore::new(cfg.store.clone());
         let auth = AuthService::new(cfg.auth.clone(), cfg.seed ^ 0xA117);
-        let latency = Mutex::new(LatencyModel::new(cfg.latency.clone(), cfg.seed ^ 0x1A7));
+        let latency = LatencyBank::new(cfg.latency.clone(), cfg.seed ^ 0x1A7);
         let cluster = Cluster::new(cfg.cluster.clone());
         let broker = Broker::new();
         let mut subscriptions = Vec::new();
@@ -120,7 +159,7 @@ impl Backend {
         rpc: RpcKind,
         cascade_rows: u64,
     ) -> SimDuration {
-        let d = self.latency.lock().sample(rpc, cascade_rows);
+        let d = self.latency.current().lock().sample(rpc, cascade_rows);
         self.sink.record(TraceRecord::new(
             self.now(),
             slot.machine,
@@ -288,6 +327,26 @@ impl Backend {
             }
         }
         reaped.len()
+    }
+
+    /// Closes the current content-index epoch (see
+    /// [`u1_metastore::ContentIndex`]) and reconciles the object store with
+    /// the folded outcome: hashes whose global refcount folded to zero lose
+    /// their objects, and hashes some partition view-zeroed but that
+    /// survived the fold get their objects restored (size-only in
+    /// measurement mode). The workload driver calls this at day boundaries,
+    /// while every partition is quiescent.
+    pub fn seal_content_epoch(&self) {
+        let outcome = self.store.seal_epoch();
+        let now = self.now();
+        for hash in outcome.dead {
+            self.blobs.delete(hash);
+        }
+        for (hash, size) in outcome.live {
+            if !self.blobs.contains(hash) {
+                self.blobs.put(hash, size, None, now);
+            }
+        }
     }
 
     /// The manual DDoS countermeasure of §5.4: "U1 engineers manually

@@ -6,8 +6,20 @@
 //! That placement policy, combined with skewed/bursty user activity, is
 //! what produces the short-window load imbalance of Fig. 14 — so we
 //! reproduce it literally.
+//!
+//! Load accounting is kept **per partition origin** (see
+//! [`u1_core::partition`]): each driver partition places its sessions
+//! against its own private view of the slot loads. This removes the single
+//! global placement lock from the parallel driver's hot path, and — more
+//! importantly — makes every placement a pure function of that partition's
+//! own deterministic history, so slot assignments (and hence the
+//! machine/process columns of the trace) do not depend on how many worker
+//! threads the partitions were packed onto. Threads without a partition
+//! context share the origin-0 view and see exactly the legacy behavior.
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
 use u1_core::{MachineId, ProcessId};
 
 /// Topology parameters.
@@ -35,9 +47,8 @@ pub struct Slot {
     pub process: ProcessId,
 }
 
-#[derive(Debug)]
-struct SlotState {
-    slot: Slot,
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotLoad {
     active_sessions: u64,
     total_sessions: u64,
 }
@@ -45,7 +56,9 @@ struct SlotState {
 /// Tracks per-process load and places sessions.
 #[derive(Debug)]
 pub struct Cluster {
-    slots: Mutex<Vec<SlotState>>,
+    slots: Vec<Slot>,
+    /// One private load view per partition origin, created on first use.
+    views: RwLock<HashMap<u32, Arc<Mutex<Vec<SlotLoad>>>>>,
     config: ClusterConfig,
 }
 
@@ -55,18 +68,15 @@ impl Cluster {
         let mut slots = Vec::new();
         for m in 0..config.machines {
             for p in 0..config.processes_per_machine {
-                slots.push(SlotState {
-                    slot: Slot {
-                        machine: MachineId::new(m),
-                        process: ProcessId::new(p),
-                    },
-                    active_sessions: 0,
-                    total_sessions: 0,
+                slots.push(Slot {
+                    machine: MachineId::new(m),
+                    process: ProcessId::new(p),
                 });
             }
         }
         Self {
-            slots: Mutex::new(slots),
+            slots,
+            views: RwLock::new(HashMap::new()),
             config,
         }
     }
@@ -79,34 +89,55 @@ impl Cluster {
         (self.config.machines as usize) * (self.config.processes_per_machine as usize)
     }
 
-    /// Places a new session on the least-loaded process (§4's policy). Ties
-    /// break on slot order, which keeps placement deterministic.
+    fn view(&self, origin: u32) -> Arc<Mutex<Vec<SlotLoad>>> {
+        if let Some(v) = self.views.read().get(&origin) {
+            return Arc::clone(v);
+        }
+        let mut views = self.views.write();
+        Arc::clone(
+            views.entry(origin).or_insert_with(|| {
+                Arc::new(Mutex::new(vec![SlotLoad::default(); self.slots.len()]))
+            }),
+        )
+    }
+
+    /// Places a new session on the least-loaded process (§4's policy)
+    /// according to the calling partition's own view. Ties break on slot
+    /// order, which keeps placement deterministic.
     pub fn place_session(&self) -> Slot {
-        let mut slots = self.slots.lock();
-        let best = slots
+        let view = self.view(u1_core::partition::current_origin());
+        let mut loads = view.lock();
+        let (idx, best) = loads
             .iter_mut()
-            .min_by_key(|s| s.active_sessions)
+            .enumerate()
+            .min_by_key(|(_, s)| s.active_sessions)
             .expect("cluster has slots");
         best.active_sessions += 1;
         best.total_sessions += 1;
-        best.slot
+        self.slots[idx]
     }
 
-    /// Releases a slot when its session closes.
+    /// Releases a slot when its session closes. Decrements the calling
+    /// partition's view; a release from a different origin than the
+    /// placement (e.g. a coordinator-driven ban) saturates at zero.
     pub fn release_session(&self, slot: Slot) {
-        let mut slots = self.slots.lock();
-        if let Some(s) = slots.iter_mut().find(|s| s.slot == slot) {
-            s.active_sessions = s.active_sessions.saturating_sub(1);
+        let view = self.view(u1_core::partition::current_origin());
+        let mut loads = view.lock();
+        if let Some(idx) = self.slots.iter().position(|s| *s == slot) {
+            loads[idx].active_sessions = loads[idx].active_sessions.saturating_sub(1);
         }
     }
 
-    /// Current active sessions per slot (diagnostics).
+    /// Current active sessions per slot, summed over every partition's view
+    /// (diagnostics).
     pub fn active_sessions(&self) -> Vec<(Slot, u64)> {
-        self.slots
-            .lock()
-            .iter()
-            .map(|s| (s.slot, s.active_sessions))
-            .collect()
+        let mut totals = vec![0u64; self.slots.len()];
+        for view in self.views.read().values() {
+            for (t, l) in totals.iter_mut().zip(view.lock().iter()) {
+                *t += l.active_sessions;
+            }
+        }
+        self.slots.iter().copied().zip(totals).collect()
     }
 }
 
@@ -155,5 +186,26 @@ mod tests {
     fn slot_count_matches_topology() {
         let cluster = Cluster::new(ClusterConfig::default());
         assert_eq!(cluster.slot_count(), 6 * 12);
+    }
+
+    #[test]
+    fn origins_place_against_independent_views() {
+        let cluster = Cluster::new(ClusterConfig {
+            machines: 1,
+            processes_per_machine: 4,
+        });
+        // Origin 0 (no ctx) fills two slots.
+        let a = cluster.place_session();
+        let b = cluster.place_session();
+        assert_ne!(a, b);
+        // A different origin starts from an empty view: its first placement
+        // is slot 0 again, regardless of origin 0's load.
+        let ctx = u1_core::PartitionCtx::new(7);
+        let _guard = u1_core::partition::install(ctx);
+        let c = cluster.place_session();
+        assert_eq!(c, a);
+        // Diagnostics sum the views.
+        let total: u64 = cluster.active_sessions().iter().map(|(_, l)| *l).sum();
+        assert_eq!(total, 3);
     }
 }

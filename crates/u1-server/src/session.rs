@@ -1,10 +1,18 @@
 //! The session table: one entry per live storage-protocol session.
+//!
+//! Both maps are striped so concurrent driver partitions do not serialize on
+//! a single `RwLock` — `count_op` takes a write lock on every storage
+//! operation, which made a global map the hottest lock in the server under
+//! the parallel workload driver.
 
 use crate::cluster::Slot;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use u1_core::{SessionId, SimTime, UserId};
+
+/// Number of independent lock stripes for the live/by-user maps.
+const SESSION_STRIPES: usize = 16;
 
 /// A live session's bookkeeping.
 #[derive(Debug, Clone)]
@@ -23,11 +31,21 @@ struct SessionEntry {
 }
 
 /// Thread-safe session registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SessionTable {
     next_id: AtomicU64,
-    live: RwLock<HashMap<SessionId, SessionEntry>>,
-    by_user: RwLock<HashMap<UserId, Vec<SessionId>>>,
+    live: Vec<RwLock<HashMap<SessionId, SessionEntry>>>,
+    by_user: Vec<RwLock<HashMap<UserId, Vec<SessionId>>>>,
+}
+
+impl Default for SessionTable {
+    fn default() -> Self {
+        Self {
+            next_id: AtomicU64::new(0),
+            live: (0..SESSION_STRIPES).map(|_| RwLock::default()).collect(),
+            by_user: (0..SESSION_STRIPES).map(|_| RwLock::default()).collect(),
+        }
+    }
 }
 
 impl SessionTable {
@@ -35,16 +53,33 @@ impl SessionTable {
         Self::default()
     }
 
+    fn live_stripe(&self, session: SessionId) -> &RwLock<HashMap<SessionId, SessionEntry>> {
+        &self.live[session.raw() as usize % SESSION_STRIPES]
+    }
+
+    fn user_stripe(&self, user: UserId) -> &RwLock<HashMap<UserId, Vec<SessionId>>> {
+        &self.by_user[user.raw() as usize % SESSION_STRIPES]
+    }
+
     /// Registers a new session.
+    ///
+    /// When the calling thread carries a [`u1_core::PartitionCtx`], the
+    /// session id is derived from the partition's own counter — ids are then
+    /// a pure function of (origin, per-origin arrival order), independent of
+    /// how partitions are packed onto worker threads. Without a context the
+    /// legacy global counter is used.
     pub fn open(&self, user: UserId, slot: Slot, now: SimTime) -> SessionHandle {
-        let session = SessionId::new(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let session = match u1_core::partition::next_session_id() {
+            Some(id) => SessionId::new(id),
+            None => SessionId::new(self.next_id.fetch_add(1, Ordering::Relaxed) + 1),
+        };
         let handle = SessionHandle {
             session,
             user,
             slot,
             opened_at: now,
         };
-        self.live.write().insert(
+        self.live_stripe(session).write().insert(
             session,
             SessionEntry {
                 handle: handle.clone(),
@@ -52,14 +87,18 @@ impl SessionTable {
                 data_ops: 0,
             },
         );
-        self.by_user.write().entry(user).or_default().push(session);
+        self.user_stripe(user)
+            .write()
+            .entry(user)
+            .or_default()
+            .push(session);
         handle
     }
 
     /// Removes a session; returns its handle and (ops, data_ops) counters.
     pub fn close(&self, session: SessionId) -> Option<(SessionHandle, u64, u64)> {
-        let entry = self.live.write().remove(&session)?;
-        let mut by_user = self.by_user.write();
+        let entry = self.live_stripe(session).write().remove(&session)?;
+        let mut by_user = self.user_stripe(entry.handle.user).write();
         if let Some(v) = by_user.get_mut(&entry.handle.user) {
             v.retain(|s| *s != session);
             if v.is_empty() {
@@ -70,13 +109,16 @@ impl SessionTable {
     }
 
     pub fn get(&self, session: SessionId) -> Option<SessionHandle> {
-        self.live.read().get(&session).map(|e| e.handle.clone())
+        self.live_stripe(session)
+            .read()
+            .get(&session)
+            .map(|e| e.handle.clone())
     }
 
     /// Counts an operation against a session. `data` marks data-management
     /// operations (the active/cold session distinction of §7.3).
     pub fn count_op(&self, session: SessionId, data: bool) {
-        if let Some(e) = self.live.write().get_mut(&session) {
+        if let Some(e) = self.live_stripe(session).write().get_mut(&session) {
             e.ops += 1;
             if data {
                 e.data_ops += 1;
@@ -87,24 +129,28 @@ impl SessionTable {
     /// All live sessions of a user (push targets — a user may run several
     /// devices).
     pub fn sessions_of(&self, user: UserId) -> Vec<SessionHandle> {
-        let by_user = self.by_user.read();
-        let live = self.live.read();
-        by_user
+        let sids: Vec<SessionId> = self
+            .user_stripe(user)
+            .read()
             .get(&user)
-            .into_iter()
-            .flatten()
-            .filter_map(|sid| live.get(sid).map(|e| e.handle.clone()))
-            .collect()
+            .cloned()
+            .unwrap_or_default();
+        sids.into_iter().filter_map(|sid| self.get(sid)).collect()
     }
 
     pub fn live_count(&self) -> usize {
-        self.live.read().len()
+        self.live.iter().map(|s| s.read().len()).sum()
     }
 
     /// Force-closes every session of a user (the §5.4 manual DDoS
     /// countermeasure). Returns the closed handles.
     pub fn evict_user(&self, user: UserId) -> Vec<SessionHandle> {
-        let sids: Vec<SessionId> = self.by_user.read().get(&user).cloned().unwrap_or_default();
+        let sids: Vec<SessionId> = self
+            .user_stripe(user)
+            .read()
+            .get(&user)
+            .cloned()
+            .unwrap_or_default();
         sids.into_iter()
             .filter_map(|sid| self.close(sid).map(|(h, _, _)| h))
             .collect()
@@ -161,5 +207,17 @@ mod tests {
         assert_eq!(evicted.len(), 2);
         assert_eq!(t.live_count(), 1);
         assert!(t.sessions_of(u).is_empty());
+    }
+
+    #[test]
+    fn partition_ctx_derives_namespaced_session_ids() {
+        let t = SessionTable::new();
+        let ctx = u1_core::PartitionCtx::new(3);
+        let _guard = u1_core::partition::install(ctx);
+        let h = t.open(UserId::new(1), slot(), SimTime::ZERO);
+        // Origin 3 => ids live in the (3 + 1) << 40 namespace.
+        assert_eq!(h.session.raw() >> 40, 4);
+        assert!(t.get(h.session).is_some());
+        assert!(t.close(h.session).is_some());
     }
 }

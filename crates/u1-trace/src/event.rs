@@ -80,23 +80,35 @@ impl Payload {
 /// One line of the trace: where it was logged, when, and what happened.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct TraceRecord {
-    /// Timestamp. Within one (machine, process) stream timestamps are
-    /// monotone; across servers they are NTP-synchronized-but-not-dependable,
-    /// exactly as §4 warns.
+    /// Timestamp. Timestamps are NTP-synchronized-but-not-dependable across
+    /// servers, exactly as §4 warns; under the parallel driver even one
+    /// process's stream interleaves records from concurrently-simulated
+    /// partitions, so `(t, origin, seq)` — not `t` alone — is the canonical
+    /// order (see [`crate::MemorySink::take_sorted`]).
     pub t: SimTime,
     /// Physical machine that hosted the process.
     pub machine: MachineId,
     /// Server process number, unique within the machine.
     pub process: ProcessId,
+    /// Simulation partition that produced this record (0 when the producer
+    /// ran without a [`u1_core::PartitionCtx`]). Synthetic — not part of the
+    /// paper's logfile schema, so CSV round trips reset it to 0.
+    pub origin: u32,
+    /// Monotone per-origin sequence number; ties with `origin` break
+    /// equal-timestamp records deterministically regardless of worker count.
+    pub seq: u64,
     pub payload: Payload,
 }
 
 impl TraceRecord {
     pub fn new(t: SimTime, machine: MachineId, process: ProcessId, payload: Payload) -> Self {
+        let (origin, seq) = u1_core::partition::next_trace_stamp().unwrap_or((0, 0));
         Self {
             t,
             machine,
             process,
+            origin,
+            seq,
             payload,
         }
     }

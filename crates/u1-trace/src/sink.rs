@@ -28,11 +28,20 @@ impl TraceSink for NullSink {
 }
 
 /// Collects records in memory, for analyses that skip the logfile round
-/// trip. `take_sorted` returns records ordered by timestamp, which is what
-/// the analytics crate expects after a logfile merge.
-#[derive(Default, Debug)]
+/// trip. Internally striped by record origin so concurrent driver
+/// partitions don't serialize on one lock; `take_sorted` merges the stripes
+/// into the canonical order.
+#[derive(Debug)]
 pub struct MemorySink {
-    records: Mutex<Vec<TraceRecord>>,
+    stripes: Vec<Mutex<Vec<TraceRecord>>>,
+}
+
+impl Default for MemorySink {
+    fn default() -> Self {
+        Self {
+            stripes: (0..16).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
 }
 
 impl MemorySink {
@@ -41,25 +50,31 @@ impl MemorySink {
     }
 
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.stripes.iter().map(|s| s.lock().len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.records.lock().is_empty()
+        self.stripes.iter().all(|s| s.lock().is_empty())
     }
 
-    /// Drains and returns all records sorted by timestamp (stable, so
-    /// equal-timestamp records keep their per-process order).
+    /// Drains and returns all records in canonical order: sorted by
+    /// `(t, origin, seq)`. The stable sort keeps legacy single-threaded
+    /// records (all stamped `(0, 0)`) in their per-process emission order,
+    /// and gives parallel runs an order independent of worker count.
     pub fn take_sorted(&self) -> Vec<TraceRecord> {
-        let mut recs = std::mem::take(&mut *self.records.lock());
-        recs.sort_by_key(|r| r.t);
+        let mut recs: Vec<TraceRecord> = Vec::new();
+        for stripe in &self.stripes {
+            recs.append(&mut std::mem::take(&mut *stripe.lock()));
+        }
+        recs.sort_by_key(|r| (r.t, r.origin, r.seq));
         recs
     }
 }
 
 impl TraceSink for MemorySink {
     fn record(&self, rec: TraceRecord) {
-        self.records.lock().push(rec);
+        let stripe = rec.origin as usize % self.stripes.len();
+        self.stripes[stripe].lock().push(rec);
     }
 }
 

@@ -7,6 +7,27 @@
 //! episodes, and the daily upload-job GC. Every server-side effect is
 //! logged through the backend's trace sink, producing the dataset the
 //! analytics crate consumes.
+//!
+//! # Parallel execution
+//!
+//! The client population is partitioned by metastore shard
+//! ([`u1_metastore::MetaStore::shard_of`]) into one [`ShardSim`] per shard,
+//! plus a coordinator partition that owns the cross-cutting events
+//! (maintenance GC and the §5.4 attack episodes). Each partition carries its
+//! own event queue, its own [`u1_core::PartitionCtx`] (origin = shard
+//! index), its own strided [`FileModel`] namespace, and per-client RNG
+//! substreams — so every random draw and every id a partition consumes is a
+//! pure function of the seed and the partition, never of thread
+//! interleaving.
+//!
+//! Partitions are packed round-robin onto `cfg.workers` OS threads and run
+//! a day of virtual time at a time. At each day boundary the workers park
+//! on a barrier while the coordinator runs its own events for the day and
+//! seals the content-index epoch ([`Backend::seal_content_epoch`]), making
+//! the day's cross-partition dedup state globally visible. Because no
+//! mutable state is keyed by thread or by global arrival order, the report
+//! and the canonically-sorted trace are identical for every worker count —
+//! `workers` is purely a wall-clock knob.
 
 use crate::attack::AttackScript;
 use crate::files::{FileModel, FileSpec};
@@ -17,8 +38,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier, Mutex};
 use u1_auth::Token;
+use u1_core::partition::PartitionCtx;
 use u1_core::{
     rngx, ApiOpKind, ContentHash, NodeKind, SessionId, SimDuration, SimTime, UserId, VolumeId,
 };
@@ -38,6 +60,10 @@ pub struct WorkloadConfig {
     pub attacks: bool,
     /// Scale factor on the pre-trace seeded file population.
     pub seed_files: f64,
+    /// Worker threads the shard partitions are packed onto; `0` means one
+    /// per metastore shard. The report and the canonically-sorted trace are
+    /// identical for every value — this knob only trades wall-clock time.
+    pub workers: usize,
 }
 
 impl WorkloadConfig {
@@ -51,6 +77,7 @@ impl WorkloadConfig {
             seed: 0x0B5E55ED,
             attacks: true,
             seed_files: 1.0,
+            workers: 0,
         }
     }
 
@@ -62,6 +89,7 @@ impl WorkloadConfig {
             seed: 7,
             attacks: true,
             seed_files: 1.0,
+            workers: 0,
         }
     }
 
@@ -94,6 +122,30 @@ pub struct DriverReport {
     pub uploadjobs_reaped: u64,
 }
 
+impl DriverReport {
+    /// Sums every counter of `other` into `self`. `users` is a population
+    /// parameter, not a counter — the driver sets it once at the end.
+    fn absorb(&mut self, other: &DriverReport) {
+        self.seeded_files += other.seeded_files;
+        self.sessions_opened += other.sessions_opened;
+        self.sessions_auth_failed += other.sessions_auth_failed;
+        self.ops_executed += other.ops_executed;
+        self.op_errors += other.op_errors;
+        self.uploads += other.uploads;
+        self.upload_updates += other.upload_updates;
+        self.uploads_deduplicated += other.uploads_deduplicated;
+        self.bytes_uploaded += other.bytes_uploaded;
+        self.downloads += other.downloads;
+        self.bytes_downloaded += other.bytes_downloaded;
+        self.unlinks += other.unlinks;
+        self.attack_sessions += other.attack_sessions;
+        self.attack_ops += other.attack_ops;
+        self.users_banned += other.users_banned;
+        self.maintenance_runs += other.maintenance_runs;
+        self.uploadjobs_reaped += other.uploadjobs_reaped;
+    }
+}
+
 #[derive(Debug, Clone)]
 struct FileRef {
     volume: VolumeId,
@@ -116,6 +168,10 @@ struct ClientState {
     user: UserId,
     token: Token,
     profile: UserProfile,
+    /// Every behavioral draw of this client comes from its own substream
+    /// (`sub_rng(seed, "client", user-1)`), so the draw sequence is
+    /// independent of how clients across partitions interleave.
+    rng: SmallRng,
     session: Option<SessionId>,
     session_end: SimTime,
     ops_left: u64,
@@ -171,38 +227,109 @@ struct AttackState {
     responded: bool,
 }
 
-/// The driver itself.
-pub struct Driver {
-    cfg: WorkloadConfig,
+// ----- per-client helpers (free functions so partition methods can borrow
+// ----- a client and the shared file model disjointly) -----------------------
+
+fn pick_volume(c: &mut ClientState) -> VolumeId {
+    if !c.udfs.is_empty() && c.rng.gen_range(0.0..1.0) < 0.3 {
+        c.udfs[c.rng.gen_range(0..c.udfs.len())]
+    } else {
+        c.root
+    }
+}
+
+fn pick_parent(c: &mut ClientState, vol: VolumeId) -> Option<u1_core::NodeId> {
+    if c.rng.gen_range(0.0..1.0) < 0.5 {
+        return None;
+    }
+    let dirs: Vec<u1_core::NodeId> = c
+        .dirs
+        .iter()
+        .filter(|d| d.volume == vol)
+        .map(|d| d.node)
+        .collect();
+    if dirs.is_empty() {
+        None
+    } else {
+        Some(dirs[c.rng.gen_range(0..dirs.len())])
+    }
+}
+
+/// Re-write targets mix the just-written file (80% of WAW gaps < 1h, §5.2)
+/// with large media files (§5.1 blames .mp3 re-tagging for the 18.5%
+/// update-traffic share: metadata edits re-upload big files).
+fn pick_update_target(c: &mut ClientState) -> usize {
+    let roll: f64 = c.rng.gen_range(0.0..1.0);
+    if roll < 0.45 {
+        // Most recently written.
+        c.files
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, f)| f.last_write)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    } else if roll < 0.85 {
+        // Largest of a random handful (media re-tagging).
+        let mut best = c.rng.gen_range(0..c.files.len());
+        for _ in 0..6 {
+            let cand = c.rng.gen_range(0..c.files.len());
+            if c.files[cand].size > c.files[best].size {
+                best = cand;
+            }
+        }
+        best
+    } else {
+        c.rng.gen_range(0..c.files.len())
+    }
+}
+
+/// Restricts chain proposals to the user's class, and applies the
+/// morning-download bias (§5.1's R/W trend).
+fn class_filter(c: &mut ClientState, mut op: ApiOpKind, t: SimTime) -> ApiOpKind {
+    use ApiOpKind::*;
+    // Hour-of-day swap between transfer directions.
+    let bias = sessions::download_bias(t);
+    if op == Upload && bias > 1.0 && c.rng.gen_range(0.0..1.0) < (bias - 1.0) * 0.35 {
+        op = Download;
+    } else if op == Download && bias < 1.0 && c.rng.gen_range(0.0..1.0) < (1.0 - bias) * 0.35 {
+        op = Upload;
+    }
+    match c.profile.class {
+        UserClass::Occasional => match op {
+            // Tiny-budget transfers keep the user under the 10KB
+            // "occasional" ceiling; everything else degrades to
+            // metadata work.
+            Upload | MakeFile | Download if c.tiny_budget > 0 => op,
+            Upload | Download | MakeFile => GetDelta,
+            other => other,
+        },
+        UserClass::UploadOnly => match op {
+            Download => GetDelta,
+            other => other,
+        },
+        UserClass::DownloadOnly => match op {
+            Upload | MakeFile | MakeDir => Download,
+            other => other,
+        },
+        UserClass::Heavy => op,
+    }
+}
+
+/// One partition of the parallel driver: the clients whose users live on a
+/// single metastore shard, with their own event queue, file-name/content
+/// namespace, and trace origin.
+struct ShardSim {
+    origin: u32,
+    ctx: Arc<PartitionCtx>,
     backend: Arc<Backend>,
-    clock: u1_core::SimClock,
-    rng: SmallRng,
     clients: Vec<ClientState>,
     files: FileModel,
     queue: BinaryHeap<Reverse<Event>>,
     seq: u64,
-    attacks: Vec<AttackState>,
     report: DriverReport,
 }
 
-impl Driver {
-    pub fn new(cfg: WorkloadConfig, backend: Arc<Backend>, clock: u1_core::SimClock) -> Self {
-        let rng = SmallRng::seed_from_u64(rngx::derive_seed(cfg.seed, "driver", 0));
-        let expected_files = cfg.users * 60;
-        Self {
-            cfg,
-            backend,
-            clock,
-            rng,
-            clients: Vec::new(),
-            files: FileModel::new(expected_files),
-            queue: BinaryHeap::new(),
-            seq: 0,
-            attacks: Vec::new(),
-            report: DriverReport::default(),
-        }
-    }
-
+impl ShardSim {
     fn push_event(&mut self, t: SimTime, kind: EventKind) {
         self.seq += 1;
         self.queue.push(Reverse(Event {
@@ -212,130 +339,36 @@ impl Driver {
         }));
     }
 
-    /// Runs the whole window and returns the report. The trace lands in
-    /// the backend's sink.
-    pub fn run(mut self) -> DriverReport {
-        self.setup();
-        let horizon = self.cfg.horizon();
-        while let Some(Reverse(ev)) = self.queue.pop() {
-            if ev.t >= horizon {
+    /// Runs every queued event with `t < end`. Events at or past `end` stay
+    /// queued for the next day slice.
+    fn run_until(&mut self, end: SimTime) {
+        while self.queue.peek().is_some_and(|Reverse(ev)| ev.t < end) {
+            let Some(Reverse(ev)) = self.queue.pop() else {
                 break;
-            }
-            self.clock.set(ev.t);
+            };
+            self.ctx.set_time(ev.t);
             match ev.kind {
                 EventKind::SessionStart(u) => self.on_session_start(u as usize, ev.t),
                 EventKind::Op(u) => self.on_op(u as usize, ev.t),
                 EventKind::SessionEnd(u) => self.on_session_end(u as usize, ev.t),
-                EventKind::Maintenance => self.on_maintenance(ev.t),
-                EventKind::AttackWave(i) => self.on_attack_wave(i as usize, ev.t),
-            }
-        }
-        self.backend.flush_trace();
-        self.report.users = self.cfg.users;
-        self.report
-    }
-
-    // ----- setup -----------------------------------------------------------
-
-    fn setup(&mut self) {
-        // Population. User ids start at 1 (id 0 is the "unknown" sentinel).
-        for i in 0..self.cfg.users {
-            let user = UserId::new(i + 1);
-            let mut rng = rngx::sub_rng(self.cfg.seed, "user", i);
-            let profile = sample_profile(&mut rng);
-            let token = self.backend.register_user(user);
-            let root = self
-                .backend
-                .store
-                .get_root(user)
-                .expect("root volume exists")
-                .volume;
-            self.clients.push(ClientState {
-                user,
-                token,
-                profile,
-                session: None,
-                session_end: SimTime::ZERO,
-                ops_left: 0,
-                last_op: ApiOpKind::Authenticate,
-                root,
-                udfs: Vec::new(),
-                files: Vec::new(),
-                dirs: Vec::new(),
-                known_gen: HashMap::new(),
-                pending_upload: None,
-                move_counter: 0,
-                bulk: false,
-                tiny_budget: 2,
-            });
-        }
-        self.seed_population();
-        // First session per user.
-        for i in 0..self.clients.len() {
-            let gap =
-                sessions::next_session_gap(&mut self.rng, &self.clients[i].profile, SimTime::ZERO);
-            // Spread initial arrivals over the first day regardless of rate.
-            let t0 = SimTime::from_micros(
-                gap.as_micros() % SimDuration::from_days(1).as_micros().max(1),
-            );
-            self.push_event(t0, EventKind::SessionStart(i as u32));
-        }
-        // Daily maintenance at 03:00 (quiet hours).
-        self.push_event(SimTime::from_hours(3), EventKind::Maintenance);
-        // Attacks.
-        if self.cfg.attacks {
-            for (i, script) in AttackScript::paper_attacks().into_iter().enumerate() {
-                if script.start >= self.cfg.horizon() {
-                    continue;
+                EventKind::Maintenance | EventKind::AttackWave(_) => {
+                    unreachable!("coordinator event in a shard partition")
                 }
-                let user = UserId::new(10_000_000 + i as u64);
-                let token = self.backend.register_user(user);
-                // The content the attacker distributes.
-                let root = self.backend.store.get_root(user).unwrap().volume;
-                for f in 0..5 {
-                    let spec = self.files.new_file(&mut self.rng);
-                    let node = self
-                        .backend
-                        .store
-                        .make_node(
-                            user,
-                            root,
-                            None,
-                            NodeKind::File,
-                            &format!("leak{f}_{}", spec.name),
-                            SimTime::ZERO,
-                        )
-                        .unwrap();
-                    let size = spec.size.max(20_000_000); // big media payloads
-                    let _ = self.backend.store.make_content(
-                        user,
-                        root,
-                        node.node,
-                        spec.hash,
-                        size,
-                        SimTime::ZERO,
-                    );
-                    self.backend.blobs.put(spec.hash, size, None, SimTime::ZERO);
-                }
-                let start = script.start;
-                self.attacks.push(AttackState {
-                    script,
-                    user,
-                    token,
-                    responded: false,
-                });
-                self.push_event(start, EventKind::AttackWave(i as u8));
             }
         }
     }
 
-    /// Pre-trace state: volumes, directories and files that existed before
-    /// the window opened. Written directly into the store/blobstore so no
-    /// trace records are emitted — exactly like the real system, whose
-    /// month-long trace opens onto years of accumulated state.
-    fn seed_population(&mut self) {
+    /// Pre-trace state for this partition's clients: volumes, directories
+    /// and files that existed before the window opened. Written directly
+    /// into the store/blobstore so no trace records are emitted — exactly
+    /// like the real system, whose month-long trace opens onto years of
+    /// accumulated state.
+    fn seed_population(&mut self, cfg: &WorkloadConfig) {
         for i in 0..self.clients.len() {
-            let mut rng = rngx::sub_rng(self.cfg.seed, "seed-files", i as u64);
+            // The substream is keyed by the *global* user index so the
+            // seeded state of any one user is partition-layout-independent.
+            let global = self.clients[i].user.raw() - 1;
+            let mut rng = rngx::sub_rng(cfg.seed, "seed-files", global);
             let (class_files, class_dirs) = match self.clients[i].profile.class {
                 UserClass::Occasional => (6.0, 1.4),
                 UserClass::UploadOnly => (30.0, 5.0),
@@ -366,7 +399,7 @@ impl Driver {
             // its files and its dirs, keeping the two proportional.
             for &vol in &volumes {
                 let vol_scale =
-                    weight * self.cfg.seed_files * rng.gen_range(0.4..1.6) / volumes.len() as f64;
+                    weight * cfg.seed_files * rng.gen_range(0.4..1.6) / volumes.len() as f64;
                 let n_files = (class_files * vol_scale) as u64;
                 let n_dirs = (class_dirs * vol_scale).round() as u64;
                 for _ in 0..n_dirs {
@@ -434,34 +467,16 @@ impl Driver {
                 }
             }
         }
-        // Shares between consenting users (1.8% of the population, §6.3).
-        let sharers: Vec<usize> = (0..self.clients.len())
-            .filter(|&i| self.clients[i].profile.shares)
-            .collect();
-        for (k, &i) in sharers.iter().enumerate() {
-            let j = sharers[(k + 1) % sharers.len()];
-            if i == j {
-                continue;
-            }
-            let owner = self.clients[i].user;
-            let to = self.clients[j].user;
-            let volume = self.clients[i]
-                .udfs
-                .first()
-                .copied()
-                .unwrap_or(self.clients[i].root);
-            let _ = self
-                .backend
-                .store
-                .create_share(owner, volume, to, SimTime::ZERO);
-        }
     }
 
-    // ----- session lifecycle -------------------------------------------------
+    // ----- session lifecycle ------------------------------------------------
 
     fn on_session_start(&mut self, u: usize, t: SimTime) {
         // Schedule the next session regardless of what happens now.
-        let gap = sessions::next_session_gap(&mut self.rng, &self.clients[u].profile, t);
+        let gap = {
+            let c = &mut self.clients[u];
+            sessions::next_session_gap(&mut c.rng, &c.profile, t)
+        };
         self.push_event(t + gap, EventKind::SessionStart(u as u32));
 
         if self.clients[u].session.is_some() {
@@ -471,23 +486,28 @@ impl Driver {
         match self.backend.open_session(token) {
             Ok(handle) => {
                 self.report.sessions_opened += 1;
-                let plan: SessionPlan =
-                    sessions::plan_session(&mut self.rng, &self.clients[u].profile);
-                self.clients[u].session = Some(handle.session);
-                self.clients[u].session_end = t + plan.duration;
-                self.clients[u].ops_left = plan.planned_ops;
-                self.clients[u].bulk = plan.planned_ops > 3_000;
-                self.clients[u].last_op = ApiOpKind::Authenticate;
+                let plan: SessionPlan = {
+                    let c = &mut self.clients[u];
+                    sessions::plan_session(&mut c.rng, &c.profile)
+                };
+                {
+                    let c = &mut self.clients[u];
+                    c.session = Some(handle.session);
+                    c.session_end = t + plan.duration;
+                    c.ops_left = plan.planned_ops;
+                    c.bulk = plan.planned_ops > 3_000;
+                    c.last_op = ApiOpKind::Authenticate;
+                }
                 self.push_event(t + plan.duration, EventKind::SessionEnd(u as u32));
 
                 let sid = handle.session;
                 // Startup chatter: a fraction of (re)connections list
                 // volumes/shares; active sessions always do (Fig. 8 flow).
                 let long_enough = plan.duration > SimDuration::from_secs(2);
-                if long_enough && (plan.active || self.rng.gen_range(0.0..1.0) < 0.15) {
+                if long_enough && (plan.active || self.clients[u].rng.gen_range(0.0..1.0) < 0.15) {
                     let _ = self.backend.query_set_caps(sid, vec!["generations".into()]);
                     let _ = self.backend.list_volumes(sid);
-                    if self.rng.gen_range(0.0..1.0) < 0.6 {
+                    if self.clients[u].rng.gen_range(0.0..1.0) < 0.6 {
                         let _ = self.backend.list_shares(sid);
                     }
                     // Generation-point check.
@@ -502,15 +522,17 @@ impl Driver {
                     // files whose planned lifetime expired (this is what
                     // realizes the Fig. 3(c) mortality profile).
                     self.sweep_overdue(u, sid, t);
-                    let gap =
-                        sessions::interop_gap_with_mode(&mut self.rng, false, self.clients[u].bulk);
+                    let gap = {
+                        let c = &mut self.clients[u];
+                        sessions::interop_gap_with_mode(&mut c.rng, false, c.bulk)
+                    };
                     self.push_event(t + gap, EventKind::Op(u as u32));
                 }
             }
             Err(_) => {
                 self.report.sessions_auth_failed += 1;
                 // Transient auth failure: the client retries shortly.
-                let retry = SimDuration::from_secs(self.rng.gen_range(20..120));
+                let retry = SimDuration::from_secs(self.clients[u].rng.gen_range(20..120));
                 self.push_event(t + retry, EventKind::SessionStart(u as u32));
             }
         }
@@ -558,13 +580,7 @@ impl Driver {
         }
     }
 
-    fn on_maintenance(&mut self, t: SimTime) {
-        self.report.maintenance_runs += 1;
-        self.report.uploadjobs_reaped += self.backend.run_maintenance() as u64;
-        self.push_event(t + SimDuration::from_days(1), EventKind::Maintenance);
-    }
-
-    // ----- operations ---------------------------------------------------------
+    // ----- operations -------------------------------------------------------
 
     fn on_op(&mut self, u: usize, t: SimTime) {
         let Some(sid) = self.clients[u].session else {
@@ -575,50 +591,21 @@ impl Driver {
         }
         self.clients[u].ops_left -= 1;
 
-        let mut op = markov::next_op(&mut self.rng, self.clients[u].last_op);
-        op = self.class_filter(u, op, t);
+        let op = {
+            let c = &mut self.clients[u];
+            let proposed = markov::next_op(&mut c.rng, c.last_op);
+            class_filter(c, proposed, t)
+        };
         self.execute_op(u, sid, op, t);
         self.clients[u].last_op = op;
 
         if self.clients[u].ops_left > 0 {
             let metadata = !op.is_transfer();
-            let gap =
-                sessions::interop_gap_with_mode(&mut self.rng, metadata, self.clients[u].bulk);
+            let gap = {
+                let c = &mut self.clients[u];
+                sessions::interop_gap_with_mode(&mut c.rng, metadata, c.bulk)
+            };
             self.push_event(t + gap, EventKind::Op(u as u32));
-        }
-    }
-
-    /// Restricts chain proposals to the user's class, and applies the
-    /// morning-download bias (§5.1's R/W trend).
-    fn class_filter(&mut self, u: usize, mut op: ApiOpKind, t: SimTime) -> ApiOpKind {
-        use ApiOpKind::*;
-        let class = self.clients[u].profile.class;
-        // Hour-of-day swap between transfer directions.
-        let bias = sessions::download_bias(t);
-        if op == Upload && bias > 1.0 && self.rng.gen_range(0.0..1.0) < (bias - 1.0) * 0.35 {
-            op = Download;
-        } else if op == Download && bias < 1.0 && self.rng.gen_range(0.0..1.0) < (1.0 - bias) * 0.35
-        {
-            op = Upload;
-        }
-        match class {
-            UserClass::Occasional => match op {
-                // Tiny-budget transfers keep the user under the 10KB
-                // "occasional" ceiling; everything else degrades to
-                // metadata work.
-                Upload | MakeFile | Download if self.clients[u].tiny_budget > 0 => op,
-                Upload | Download | MakeFile => GetDelta,
-                other => other,
-            },
-            UserClass::UploadOnly => match op {
-                Download => GetDelta,
-                other => other,
-            },
-            UserClass::DownloadOnly => match op {
-                Upload | MakeFile | MakeDir => Download,
-                other => other,
-            },
-            UserClass::Heavy => op,
         }
     }
 
@@ -652,15 +639,6 @@ impl Driver {
         }
     }
 
-    fn pick_volume(&mut self, u: usize) -> VolumeId {
-        let c = &self.clients[u];
-        if !c.udfs.is_empty() && self.rng.gen_range(0.0..1.0) < 0.3 {
-            c.udfs[self.rng.gen_range(0..c.udfs.len())]
-        } else {
-            c.root
-        }
-    }
-
     fn op_upload(&mut self, u: usize, sid: SessionId, t: SimTime) -> bool {
         // A Make that preceded us?
         if let Some((vol, node, name, hash, size)) = self.clients[u].pending_upload.take() {
@@ -671,13 +649,15 @@ impl Driver {
                         self.report.uploads_deduplicated += 1;
                     }
                     self.report.bytes_uploaded += sent;
-                    self.clients[u].files.push(FileRef {
+                    let c = &mut self.clients[u];
+                    let death = FileModel::sample_lifetime(&mut c.rng, false).map(|d| t + d);
+                    c.files.push(FileRef {
                         volume: vol,
                         node,
                         name,
                         size,
                         hash,
-                        death: FileModel::sample_lifetime(&mut self.rng, false).map(|d| t + d),
+                        death,
                         last_write: t,
                     });
                     true
@@ -689,22 +669,33 @@ impl Driver {
         // §5.1 finds 10.05% of uploads carry *distinct* hash/size (updates),
         // and Fig. 3(a) shows WAW as the most common dependency — which
         // includes same-content re-uploads (e.g. touched files dedup away).
-        let is_rewrite = !self.clients[u].files.is_empty() && self.rng.gen_range(0.0..1.0) < 0.18;
+        let is_rewrite = {
+            let c = &mut self.clients[u];
+            !c.files.is_empty() && c.rng.gen_range(0.0..1.0) < 0.18
+        };
         if is_rewrite {
-            let idx = self.pick_update_target(u, t);
-            let old_size = self.clients[u].files[idx].size;
-            let distinct = self.rng.gen_range(0.0..1.0) < 0.55;
-            let (hash, size) = if distinct {
-                let (_, h, s) = self.files.updated_file(&mut self.rng, old_size);
-                (h, s)
-            } else {
-                // Same content re-uploaded: the dedup probe short-circuits.
-                (self.clients[u].files[idx].hash, old_size)
+            let (idx, vol, node, hash, size, distinct) = {
+                let c = &mut self.clients[u];
+                let idx = pick_update_target(c);
+                let old_size = c.files[idx].size;
+                let distinct = c.rng.gen_range(0.0..1.0) < 0.55;
+                let (hash, size) = if distinct {
+                    let (_, h, s) = self.files.updated_file(&mut c.rng, old_size);
+                    (h, s)
+                } else {
+                    // Same content re-uploaded: the dedup probe
+                    // short-circuits.
+                    (c.files[idx].hash, old_size)
+                };
+                (
+                    idx,
+                    c.files[idx].volume,
+                    c.files[idx].node,
+                    hash,
+                    size,
+                    distinct,
+                )
             };
-            let (vol, node) = (
-                self.clients[u].files[idx].volume,
-                self.clients[u].files[idx].node,
-            );
             return match self.backend.upload_file(sid, vol, node, hash, size) {
                 Ok((dedup, sent)) => {
                     self.report.uploads += 1;
@@ -732,29 +723,30 @@ impl Driver {
         // Directory growth tracks file growth (users sync whole folders),
         // keeping per-volume file:dir ratios stable — the Fig. 10
         // correlation.
-        if self.rng.gen_range(0.0..1.0) < 0.15 {
-            let vol = self.pick_volume(u);
+        if self.clients[u].rng.gen_range(0.0..1.0) < 0.15 {
+            let vol = pick_volume(&mut self.clients[u]);
             let name = self.files.new_dir_name();
             if let Ok(node) = self
                 .backend
                 .make_node(sid, vol, None, NodeKind::Directory, &name)
             {
-                let death = FileModel::sample_lifetime(&mut self.rng, true).map(|d| t + d);
-                self.clients[u].dirs.push(DirRef {
+                let c = &mut self.clients[u];
+                let death = FileModel::sample_lifetime(&mut c.rng, true).map(|d| t + d);
+                c.dirs.push(DirRef {
                     volume: vol,
                     node: node.node,
                     death,
                 });
             }
         }
-        let mut spec: FileSpec = self.files.new_file(&mut self.rng);
+        let mut spec: FileSpec = self.files.new_file(&mut self.clients[u].rng);
         if self.clients[u].profile.class == UserClass::Occasional {
             // Tiny transfer: stay under the 10KB "occasional" ceiling.
             spec.size = spec.size.min(4 * 1024);
             self.clients[u].tiny_budget = self.clients[u].tiny_budget.saturating_sub(1);
         }
-        let vol = self.pick_volume(u);
-        let parent = self.pick_parent(u, vol);
+        let vol = pick_volume(&mut self.clients[u]);
+        let parent = pick_parent(&mut self.clients[u], vol);
         let Ok(node) = self
             .backend
             .make_node(sid, vol, parent, NodeKind::File, &spec.name)
@@ -786,86 +778,42 @@ impl Driver {
         }
     }
 
-    /// Re-write targets mix the just-written file (80% of WAW gaps < 1h,
-    /// §5.2) with large media files (§5.1 blames .mp3 re-tagging for the
-    /// 18.5% update-traffic share: metadata edits re-upload big files).
-    fn pick_update_target(&mut self, u: usize, _t: SimTime) -> usize {
-        let files = &self.clients[u].files;
-        let roll: f64 = self.rng.gen_range(0.0..1.0);
-        if roll < 0.45 {
-            // Most recently written.
-            files
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, f)| f.last_write)
-                .map(|(i, _)| i)
-                .unwrap_or(0)
-        } else if roll < 0.85 {
-            // Largest of a random handful (media re-tagging).
-            let mut best = self.rng.gen_range(0..files.len());
-            for _ in 0..6 {
-                let cand = self.rng.gen_range(0..files.len());
-                if files[cand].size > files[best].size {
-                    best = cand;
-                }
-            }
-            best
-        } else {
-            self.rng.gen_range(0..files.len())
-        }
-    }
-
-    fn pick_parent(&mut self, u: usize, vol: VolumeId) -> Option<u1_core::NodeId> {
-        if self.rng.gen_range(0.0..1.0) < 0.5 {
-            return None;
-        }
-        let dirs: Vec<u1_core::NodeId> = self.clients[u]
-            .dirs
-            .iter()
-            .filter(|d| d.volume == vol)
-            .map(|d| d.node)
-            .collect();
-        if dirs.is_empty() {
-            None
-        } else {
-            Some(dirs[self.rng.gen_range(0..dirs.len())])
-        }
-    }
-
     fn op_download(&mut self, u: usize, sid: SessionId) -> bool {
         if self.clients[u].files.is_empty() {
             return self.op_get_delta(u, sid);
         }
         let occasional = self.clients[u].profile.class == UserClass::Occasional;
         let idx = {
-            let files = &self.clients[u].files;
+            let c = &mut self.clients[u];
             if occasional {
                 // Tiny download only (stay under the occasional ceiling).
-                match files.iter().position(|f| f.size <= 4 * 1024) {
-                    Some(i) => i,
-                    None => return self.op_get_delta(u, sid),
-                }
-            } else if self.rng.gen_range(0.0..1.0) < 0.12 {
+                c.files.iter().position(|f| f.size <= 4 * 1024)
+            } else if c.rng.gen_range(0.0..1.0) < 0.12 {
                 // Fetch what was just written (RAW; sync to another device).
-                files
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, f)| f.last_write)
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
+                Some(
+                    c.files
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, f)| f.last_write)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0),
+                )
             } else {
                 // Mild size bias: popular big media is fetched more, which
                 // is what pushes the download byte share of >25MB files
                 // above the upload share (Fig. 2(b)).
-                let mut best = self.rng.gen_range(0..files.len());
+                let mut best = c.rng.gen_range(0..c.files.len());
                 for _ in 0..3 {
-                    let cand = self.rng.gen_range(0..files.len());
-                    if files[cand].size > files[best].size && self.rng.gen_range(0.0..1.0) < 0.7 {
+                    let cand = c.rng.gen_range(0..c.files.len());
+                    if c.files[cand].size > c.files[best].size && c.rng.gen_range(0.0..1.0) < 0.7 {
                         best = cand;
                     }
                 }
-                best
+                Some(best)
             }
+        };
+        let Some(idx) = idx else {
+            return self.op_get_delta(u, sid);
         };
         if occasional {
             self.clients[u].tiny_budget = self.clients[u].tiny_budget.saturating_sub(1);
@@ -889,9 +837,9 @@ impl Driver {
     }
 
     fn op_make_file(&mut self, u: usize, sid: SessionId, _t: SimTime) -> bool {
-        let spec = self.files.new_file(&mut self.rng);
-        let vol = self.pick_volume(u);
-        let parent = self.pick_parent(u, vol);
+        let spec = self.files.new_file(&mut self.clients[u].rng);
+        let vol = pick_volume(&mut self.clients[u]);
+        let parent = pick_parent(&mut self.clients[u], vol);
         match self
             .backend
             .make_node(sid, vol, parent, NodeKind::File, &spec.name)
@@ -906,15 +854,16 @@ impl Driver {
     }
 
     fn op_make_dir(&mut self, u: usize, sid: SessionId, t: SimTime) -> bool {
-        let vol = self.pick_volume(u);
+        let vol = pick_volume(&mut self.clients[u]);
         let name = self.files.new_dir_name();
         match self
             .backend
             .make_node(sid, vol, None, NodeKind::Directory, &name)
         {
             Ok(node) => {
-                let death = FileModel::sample_lifetime(&mut self.rng, true).map(|d| t + d);
-                self.clients[u].dirs.push(DirRef {
+                let c = &mut self.clients[u];
+                let death = FileModel::sample_lifetime(&mut c.rng, true).map(|d| t + d);
+                c.dirs.push(DirRef {
                     volume: vol,
                     node: node.node,
                     death,
@@ -948,8 +897,15 @@ impl Driver {
             self.report.unlinks += 1;
             return self.backend.unlink(sid, d.volume, d.node).is_ok();
         }
-        if !self.clients[u].files.is_empty() && self.rng.gen_range(0.0..1.0) < 0.4 {
-            let idx = self.rng.gen_range(0..self.clients[u].files.len());
+        let pick_old = {
+            let c = &mut self.clients[u];
+            !c.files.is_empty() && c.rng.gen_range(0.0..1.0) < 0.4
+        };
+        if pick_old {
+            let idx = {
+                let c = &mut self.clients[u];
+                c.rng.gen_range(0..c.files.len())
+            };
             let f = self.clients[u].files.swap_remove(idx);
             self.report.unlinks += 1;
             return self.backend.unlink(sid, f.volume, f.node).is_ok();
@@ -962,15 +918,15 @@ impl Driver {
         if self.clients[u].files.is_empty() {
             return self.op_get_delta(u, sid);
         }
-        let idx = self.rng.gen_range(0..self.clients[u].files.len());
-        self.clients[u].move_counter += 1;
-        let counter = self.clients[u].move_counter;
-        let (vol, node, name) = {
-            let f = &self.clients[u].files[idx];
-            (f.volume, f.node, f.name.clone())
+        let (idx, vol, node, new_name) = {
+            let c = &mut self.clients[u];
+            let idx = c.rng.gen_range(0..c.files.len());
+            c.move_counter += 1;
+            let counter = c.move_counter;
+            let f = &c.files[idx];
+            (idx, f.volume, f.node, format!("r{counter}_{}", f.name))
         };
-        let new_parent = self.pick_parent(u, vol);
-        let new_name = format!("r{counter}_{name}");
+        let new_parent = pick_parent(&mut self.clients[u], vol);
         match self
             .backend
             .move_node(sid, vol, node, new_parent, &new_name)
@@ -984,7 +940,7 @@ impl Driver {
     }
 
     fn op_get_delta(&mut self, u: usize, sid: SessionId) -> bool {
-        let vol = self.pick_volume(u);
+        let vol = pick_volume(&mut self.clients[u]);
         let from = *self.clients[u].known_gen.get(&vol).unwrap_or(&0);
         match self.backend.get_delta(sid, vol, from) {
             Ok((generation, _)) => {
@@ -1013,15 +969,116 @@ impl Driver {
         if self.clients[u].udfs.is_empty() {
             return self.backend.list_volumes(sid).is_ok();
         }
-        let idx = self.rng.gen_range(0..self.clients[u].udfs.len());
+        let idx = {
+            let c = &mut self.clients[u];
+            c.rng.gen_range(0..c.udfs.len())
+        };
         let vol = self.clients[u].udfs.swap_remove(idx);
         let ok = self.backend.delete_volume(sid, vol).is_ok();
         self.clients[u].files.retain(|f| f.volume != vol);
         self.clients[u].dirs.retain(|d| d.volume != vol);
         ok
     }
+}
 
-    // ----- attacks ---------------------------------------------------------------
+/// The coordinator partition: owns the daily maintenance GC and the §5.4
+/// attack episodes. It runs between day slices, while every shard partition
+/// is parked on the barrier, so its cross-shard effects (bans, GC sweeps)
+/// never race client activity.
+struct CoordinatorSim {
+    ctx: Arc<PartitionCtx>,
+    backend: Arc<Backend>,
+    rng: SmallRng,
+    files: FileModel,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    attacks: Vec<AttackState>,
+    report: DriverReport,
+    /// Whole-population counters merged at the last day boundary — the
+    /// attack waves scale off these ("× normal" multipliers).
+    baseline: DriverReport,
+    /// How much virtual time the baseline counters cover (the shard
+    /// partitions have already finished the current day when they are
+    /// merged).
+    baseline_window: SimTime,
+}
+
+impl CoordinatorSim {
+    fn push_event(&mut self, t: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            t,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn run_until(&mut self, end: SimTime) {
+        while self.queue.peek().is_some_and(|Reverse(ev)| ev.t < end) {
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
+            self.ctx.set_time(ev.t);
+            match ev.kind {
+                EventKind::Maintenance => self.on_maintenance(ev.t),
+                EventKind::AttackWave(i) => self.on_attack_wave(i as usize, ev.t),
+                EventKind::SessionStart(_) | EventKind::Op(_) | EventKind::SessionEnd(_) => {
+                    unreachable!("client event in the coordinator partition")
+                }
+            }
+        }
+    }
+
+    fn setup_attacks(&mut self, cfg: &WorkloadConfig) {
+        for (i, script) in AttackScript::paper_attacks().into_iter().enumerate() {
+            if script.start >= cfg.horizon() {
+                continue;
+            }
+            let user = UserId::new(10_000_000 + i as u64);
+            let token = self.backend.register_user(user);
+            // The content the attacker distributes.
+            let root = self.backend.store.get_root(user).unwrap().volume;
+            for f in 0..5 {
+                let spec = self.files.new_file(&mut self.rng);
+                let node = self
+                    .backend
+                    .store
+                    .make_node(
+                        user,
+                        root,
+                        None,
+                        NodeKind::File,
+                        &format!("leak{f}_{}", spec.name),
+                        SimTime::ZERO,
+                    )
+                    .unwrap();
+                let size = spec.size.max(20_000_000); // big media payloads
+                let _ = self.backend.store.make_content(
+                    user,
+                    root,
+                    node.node,
+                    spec.hash,
+                    size,
+                    SimTime::ZERO,
+                );
+                self.backend.blobs.put(spec.hash, size, None, SimTime::ZERO);
+            }
+            let start = script.start;
+            self.attacks.push(AttackState {
+                script,
+                user,
+                token,
+                responded: false,
+            });
+            self.push_event(start, EventKind::AttackWave(i as u8));
+        }
+    }
+
+    fn on_maintenance(&mut self, t: SimTime) {
+        self.report.maintenance_runs += 1;
+        self.report.uploadjobs_reaped += self.backend.run_maintenance() as u64;
+        self.push_event(t + SimDuration::from_days(1), EventKind::Maintenance);
+    }
 
     fn on_attack_wave(&mut self, i: usize, t: SimTime) {
         let (intensity, done, should_respond, token, user) = {
@@ -1043,10 +1100,13 @@ impl Driver {
         if done {
             return;
         }
-        // Baselines from actual trace so multipliers mean "× normal".
-        let hours = (t.as_secs_f64() / 3600.0).max(1.0);
-        let normal_sessions_per_min = (self.report.sessions_opened as f64 / hours / 60.0).max(0.5);
-        let normal_ops_per_min = (self.report.ops_executed as f64 / hours / 60.0).max(0.5);
+        // Baselines from the whole population's merged counters so
+        // multipliers mean "× normal". Normalize by the window those
+        // counters actually cover, not the wave time.
+        let hours = (self.baseline_window.as_secs_f64() / 3600.0).max(1.0);
+        let normal_sessions_per_min =
+            (self.baseline.sessions_opened as f64 / hours / 60.0).max(0.5);
+        let normal_ops_per_min = (self.baseline.ops_executed as f64 / hours / 60.0).max(0.5);
 
         let a = &self.attacks[i];
         let bot_sessions =
@@ -1130,6 +1190,251 @@ impl Driver {
     }
 }
 
+/// The driver itself.
+pub struct Driver {
+    cfg: WorkloadConfig,
+    backend: Arc<Backend>,
+    clock: u1_core::SimClock,
+    shards: Vec<ShardSim>,
+    coordinator: CoordinatorSim,
+}
+
+impl Driver {
+    pub fn new(cfg: WorkloadConfig, backend: Arc<Backend>, clock: u1_core::SimClock) -> Self {
+        let shard_count = backend.store.num_shards() as usize;
+        // Shard partitions use namespaces 0..shard_count; the coordinator
+        // takes the one past the end. Strided file models keep every
+        // partition's names and synthetic content ids disjoint.
+        let stride = shard_count as u64 + 1;
+        let expected_files = cfg.users * 60;
+        let shards = (0..shard_count)
+            .map(|s| ShardSim {
+                origin: s as u32,
+                ctx: PartitionCtx::new(s as u32),
+                backend: Arc::clone(&backend),
+                clients: Vec::new(),
+                files: FileModel::with_partition(expected_files, cfg.seed, s as u64, stride),
+                queue: BinaryHeap::new(),
+                seq: 0,
+                report: DriverReport::default(),
+            })
+            .collect();
+        let coordinator = CoordinatorSim {
+            ctx: PartitionCtx::new(shard_count as u32),
+            backend: Arc::clone(&backend),
+            rng: SmallRng::seed_from_u64(rngx::derive_seed(cfg.seed, "driver", 0)),
+            files: FileModel::with_partition(expected_files, cfg.seed, shard_count as u64, stride),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            attacks: Vec::new(),
+            report: DriverReport::default(),
+            baseline: DriverReport::default(),
+            baseline_window: SimTime::ZERO,
+        };
+        Self {
+            cfg,
+            backend,
+            clock,
+            shards,
+            coordinator,
+        }
+    }
+
+    // ----- setup ------------------------------------------------------------
+
+    fn setup(&mut self) {
+        // Population. User ids start at 1 (id 0 is the "unknown" sentinel).
+        // Profile and behavior substreams are keyed by the global user
+        // index, so a user's whole life is independent of partition layout.
+        for i in 0..self.cfg.users {
+            let user = UserId::new(i + 1);
+            let mut rng = rngx::sub_rng(self.cfg.seed, "user", i);
+            let profile = sample_profile(&mut rng);
+            let token = self.backend.register_user(user);
+            let root = self
+                .backend
+                .store
+                .get_root(user)
+                .expect("root volume exists")
+                .volume;
+            let shard = self.backend.store.shard_of(user).raw() as usize;
+            self.shards[shard].clients.push(ClientState {
+                user,
+                token,
+                profile,
+                rng: rngx::sub_rng(self.cfg.seed, "client", i),
+                session: None,
+                session_end: SimTime::ZERO,
+                ops_left: 0,
+                last_op: ApiOpKind::Authenticate,
+                root,
+                udfs: Vec::new(),
+                files: Vec::new(),
+                dirs: Vec::new(),
+                known_gen: HashMap::new(),
+                pending_upload: None,
+                move_counter: 0,
+                bulk: false,
+                tiny_budget: 2,
+            });
+        }
+        for sim in &mut self.shards {
+            sim.seed_population(&self.cfg);
+        }
+        // Shares between consenting users (1.8% of the population, §6.3):
+        // a ring over the sharers in global user order.
+        let mut sharers: Vec<(u64, usize, usize)> = Vec::new();
+        for (s, sim) in self.shards.iter().enumerate() {
+            for (u, c) in sim.clients.iter().enumerate() {
+                if c.profile.shares {
+                    sharers.push((c.user.raw(), s, u));
+                }
+            }
+        }
+        sharers.sort_unstable();
+        for k in 0..sharers.len() {
+            let (_, si, ui) = sharers[k];
+            let (_, sj, uj) = sharers[(k + 1) % sharers.len()];
+            if (si, ui) == (sj, uj) {
+                continue;
+            }
+            let owner = self.shards[si].clients[ui].user;
+            let to = self.shards[sj].clients[uj].user;
+            let volume = self.shards[si].clients[ui]
+                .udfs
+                .first()
+                .copied()
+                .unwrap_or(self.shards[si].clients[ui].root);
+            let _ = self
+                .backend
+                .store
+                .create_share(owner, volume, to, SimTime::ZERO);
+        }
+        // First session per user.
+        for sim in &mut self.shards {
+            for u in 0..sim.clients.len() {
+                let gap = {
+                    let c = &mut sim.clients[u];
+                    sessions::next_session_gap(&mut c.rng, &c.profile, SimTime::ZERO)
+                };
+                // Spread initial arrivals over the first day regardless of
+                // rate.
+                let t0 = SimTime::from_micros(
+                    gap.as_micros() % SimDuration::from_days(1).as_micros().max(1),
+                );
+                sim.push_event(t0, EventKind::SessionStart(u as u32));
+            }
+        }
+        // Daily maintenance at 03:00 (quiet hours).
+        self.coordinator
+            .push_event(SimTime::from_hours(3), EventKind::Maintenance);
+        // Attacks.
+        if self.cfg.attacks {
+            let cfg = self.cfg.clone();
+            self.coordinator.setup_attacks(&cfg);
+        }
+    }
+
+    /// Runs the whole window and returns the report. The trace lands in
+    /// the backend's sink.
+    pub fn run(mut self) -> DriverReport {
+        {
+            let _g = u1_core::partition::install(self.coordinator.ctx.clone());
+            self.setup();
+            // Commit the seeded population (and the attack payloads) so
+            // every partition sees it from day 0.
+            self.backend.seal_content_epoch();
+        }
+        let horizon = self.cfg.horizon();
+        let days = self.cfg.days;
+        let shard_count = self.shards.len();
+        let workers = match self.cfg.workers {
+            0 => shard_count.max(1),
+            w => w.min(shard_count).max(1),
+        };
+        // Pack the partitions round-robin onto the worker threads. The
+        // packing has no effect on results — only on wall-clock time.
+        let mut bins: Vec<Vec<ShardSim>> = (0..workers).map(|_| Vec::new()).collect();
+        for (k, sim) in self.shards.drain(..).enumerate() {
+            bins[k % workers].push(sim);
+        }
+        // Each partition publishes a snapshot of its report at every day
+        // boundary; the coordinator folds them into the attack baseline.
+        let shared: Vec<Mutex<DriverReport>> = (0..shard_count)
+            .map(|_| Mutex::new(DriverReport::default()))
+            .collect();
+        let barrier = Barrier::new(workers + 1);
+        let coordinator = &mut self.coordinator;
+        let backend = &self.backend;
+        std::thread::scope(|s| {
+            for mut bin in bins {
+                let barrier = &barrier;
+                let shared = &shared;
+                s.spawn(move || {
+                    for day in 0..days {
+                        let day_end = SimTime::from_days(day + 1).min(horizon);
+                        for sim in bin.iter_mut() {
+                            let _g = u1_core::partition::install(sim.ctx.clone());
+                            sim.run_until(day_end);
+                            *shared[sim.origin as usize]
+                                .lock()
+                                .expect("report lock poisoned") = sim.report.clone();
+                        }
+                        // All partitions quiescent: let the coordinator run.
+                        barrier.wait();
+                        // Coordinator done; next day slice may start.
+                        barrier.wait();
+                    }
+                });
+            }
+            let timing = std::env::var("U1_DRIVER_TIMING").is_ok();
+            let mut t_workers = std::time::Duration::ZERO;
+            let mut t_coord = std::time::Duration::ZERO;
+            let mut t_seal = std::time::Duration::ZERO;
+            for day in 0..days {
+                let day_end = SimTime::from_days(day + 1).min(horizon);
+                let t0 = std::time::Instant::now();
+                barrier.wait();
+                let t1 = std::time::Instant::now();
+                {
+                    let _g = u1_core::partition::install(coordinator.ctx.clone());
+                    let mut baseline = coordinator.report.clone();
+                    for slot in &shared {
+                        baseline.absorb(&slot.lock().expect("report lock poisoned"));
+                    }
+                    coordinator.baseline = baseline;
+                    coordinator.baseline_window = day_end;
+                    coordinator.run_until(day_end);
+                    coordinator.ctx.set_time(day_end);
+                    let ts = std::time::Instant::now();
+                    backend.seal_content_epoch();
+                    t_seal += ts.elapsed();
+                }
+                let t2 = std::time::Instant::now();
+                barrier.wait();
+                t_workers += t1 - t0;
+                t_coord += t2 - t1;
+            }
+            if timing {
+                eprintln!(
+                    "[driver-timing] workers {:.2}s coordinator {:.2}s (seal {:.2}s)",
+                    t_workers.as_secs_f64(),
+                    t_coord.as_secs_f64(),
+                    t_seal.as_secs_f64()
+                );
+            }
+        });
+        self.clock.set(horizon);
+        self.backend.flush_trace();
+        let mut report = self.coordinator.report.clone();
+        for slot in &shared {
+            report.absorb(&slot.lock().expect("report lock poisoned"));
+        }
+        report.users = self.cfg.users;
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1137,7 +1442,7 @@ mod tests {
     use u1_server::BackendConfig;
     use u1_trace::MemorySink;
 
-    fn run_quick() -> (DriverReport, Vec<u1_trace::TraceRecord>) {
+    fn run_quick_with(workers: usize) -> (DriverReport, Vec<u1_trace::TraceRecord>) {
         let clock = SimClock::new();
         let sink = Arc::new(MemorySink::new());
         let backend = Arc::new(Backend::new(
@@ -1151,10 +1456,15 @@ mod tests {
             seed: 11,
             attacks: false,
             seed_files: 0.5,
+            workers,
         };
         let driver = Driver::new(cfg, backend, clock);
         let report = driver.run();
         (report, sink.take_sorted())
+    }
+
+    fn run_quick() -> (DriverReport, Vec<u1_trace::TraceRecord>) {
+        run_quick_with(0)
     }
 
     #[test]
@@ -1182,9 +1492,16 @@ mod tests {
         let (r1, t1) = run_quick();
         let (r2, t2) = run_quick();
         assert_eq!(r1, r2);
-        assert_eq!(t1.len(), t2.len());
-        assert_eq!(t1.first(), t2.first());
-        assert_eq!(t1.last(), t2.last());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let (r1, t1) = run_quick_with(1);
+        let (r4, t4) = run_quick_with(4);
+        assert_eq!(r1, r4, "report must be worker-count-invariant");
+        assert_eq!(t1.len(), t4.len());
+        assert_eq!(t1, t4, "canonical trace must be worker-count-invariant");
     }
 
     #[test]
@@ -1202,6 +1519,7 @@ mod tests {
             seed: 13,
             attacks: true,
             seed_files: 0.3,
+            workers: 0,
         };
         let report = Driver::new(cfg, backend, clock).run();
         assert!(report.attack_sessions > 50, "{report:?}");
@@ -1228,6 +1546,7 @@ mod tests {
             seed: 17,
             attacks: false,
             seed_files: 1.0,
+            workers: 0,
         };
         let report = Driver::new(cfg, backend, clock).run();
         assert!(report.uploads > 150, "need volume: {report:?}");

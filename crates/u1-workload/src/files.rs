@@ -3,7 +3,6 @@
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::HashMap;
 use u1_core::rngx;
 use u1_core::{ContentHash, FileCategory, SimDuration};
 
@@ -86,6 +85,13 @@ pub struct FileSpec {
 /// Global content-popularity pool: a small set of popular contents (songs,
 /// installers...) that many users upload, producing the Fig. 4(a) long tail
 /// and the 17% dedup ratio, plus unique contents for everything else.
+///
+/// Popular ranks map to a fixed (size, ext) identity derived from the pool
+/// seed alone (see [`FileModel::popular_identity`]), so independent
+/// per-partition pools agree on every popular content without sharing
+/// state — cross-partition dedup (matching hash AND size) keeps working
+/// under the parallel driver, and the mapping no longer depends on which
+/// client happens to draw a rank first.
 pub struct ContentPool {
     /// Size of the popular pool.
     popular: u64,
@@ -93,9 +99,9 @@ pub struct ContentPool {
     zipf_s: f64,
     /// Probability that a new file's content comes from the popular pool.
     p_popular: f64,
-    /// Sizes already assigned to popular contents (dedup requires matching
-    /// hash AND size).
-    assigned: HashMap<u64, (u64, &'static str)>,
+    /// Unique-content ids advance by `stride` from a per-partition start, so
+    /// concurrent partitions never collide or depend on interleaving.
+    stride: u64,
     next_unique: u64,
 }
 
@@ -103,41 +109,27 @@ impl ContentPool {
     /// `expected_files` scales the popular pool so duplication statistics
     /// are population-size independent.
     pub fn new(expected_files: u64) -> Self {
+        Self::with_stride(expected_files, 0, 1)
+    }
+
+    /// A pool whose unique-content ids are the arithmetic sequence
+    /// `(1 << 32) + partition + k * stride` — disjoint across partitions.
+    pub fn with_stride(expected_files: u64, partition: u64, stride: u64) -> Self {
+        debug_assert!(stride > 0 && partition < stride);
         Self {
             popular: (expected_files / 100).clamp(16, 500_000),
             zipf_s: 0.95,
             // Tuned to land dr ≈ 0.17 (§5.3) together with the Zipf skew.
             p_popular: 0.165,
-            assigned: HashMap::new(),
-            next_unique: 1 << 32,
-        }
-    }
-
-    /// Draws the content identity for a brand-new file of the given
-    /// category. Returns (content id, size override, ext override).
-    fn draw(
-        &mut self,
-        rng: &mut SmallRng,
-        default_size: u64,
-        default_ext: &'static str,
-    ) -> (u64, u64, &'static str) {
-        if rng.gen_range(0.0..1.0) < self.p_popular {
-            let rank = rngx::sample_zipf(rng, self.popular, self.zipf_s);
-            let (size, ext) = *self
-                .assigned
-                .entry(rank)
-                .or_insert((default_size, default_ext));
-            (rank, size, ext)
-        } else {
-            self.next_unique += 1;
-            (self.next_unique, default_size, default_ext)
+            stride,
+            next_unique: (1 << 32) + partition,
         }
     }
 
     /// A guaranteed-unique content id (file updates always produce new
     /// content — edits don't collide).
     pub fn unique(&mut self) -> u64 {
-        self.next_unique += 1;
+        self.next_unique += self.stride;
         self.next_unique
     }
 }
@@ -146,11 +138,30 @@ impl ContentPool {
 pub struct FileModel {
     pool: ContentPool,
     ext_cdf: Vec<(&'static str, f64)>,
+    /// Seed the popular-rank identities are derived from. Every partition
+    /// of one experiment must share it.
+    pool_seed: u64,
     next_name: u64,
+    name_stride: u64,
 }
 
 impl FileModel {
     pub fn new(expected_files: u64) -> Self {
+        Self::with_partition(expected_files, 0, 0, 1)
+    }
+
+    /// A file model for one driver partition: names and unique content ids
+    /// advance by `stride` from `partition`, so the id spaces of concurrent
+    /// partitions are disjoint and independent of execution interleaving.
+    /// `partition 0, stride 1` reproduces the legacy single-threaded
+    /// sequences exactly.
+    pub fn with_partition(
+        expected_files: u64,
+        pool_seed: u64,
+        partition: u64,
+        stride: u64,
+    ) -> Self {
+        debug_assert!(stride > 0 && partition < stride);
         let total: f64 = EXT_WEIGHTS.iter().map(|(_, w)| w).sum();
         let mut acc = 0.0;
         let ext_cdf = EXT_WEIGHTS
@@ -161,10 +172,22 @@ impl FileModel {
             })
             .collect();
         Self {
-            pool: ContentPool::new(expected_files),
+            pool: ContentPool::with_stride(expected_files, partition, stride),
             ext_cdf,
-            next_name: 0,
+            pool_seed,
+            next_name: partition,
+            name_stride: stride,
         }
+    }
+
+    /// The fixed (size, ext) identity of a popular content rank, derived
+    /// from the pool seed alone. Dedup requires matching hash AND size, so
+    /// every drawer of a rank must agree on its size without coordination.
+    fn popular_identity(&self, rank: u64) -> (u64, &'static str) {
+        let mut rng = rngx::sub_rng(self.pool_seed, "popular-content", rank);
+        let ext = self.sample_ext(&mut rng);
+        let size = Self::sample_size(&mut rng, FileCategory::of_extension(ext));
+        (size, ext)
     }
 
     fn sample_ext(&self, rng: &mut SmallRng) -> &'static str {
@@ -219,8 +242,14 @@ impl FileModel {
         let ext = self.sample_ext(rng);
         let category = FileCategory::of_extension(ext);
         let default_size = Self::sample_size(rng, category);
-        let (content_id, size, ext) = self.pool.draw(rng, default_size, ext);
-        self.next_name += 1;
+        let (content_id, size, ext) = if rng.gen_range(0.0..1.0) < self.pool.p_popular {
+            let rank = rngx::sample_zipf(rng, self.pool.popular, self.pool.zipf_s);
+            let (size, ext) = self.popular_identity(rank);
+            (rank, size, ext)
+        } else {
+            (self.pool.unique(), default_size, ext)
+        };
+        self.next_name += self.name_stride;
         FileSpec {
             name: format!("f{}.{}", self.next_name, ext),
             ext,
@@ -244,7 +273,7 @@ impl FileModel {
 
     /// Fresh directory name.
     pub fn new_dir_name(&mut self) -> String {
-        self.next_name += 1;
+        self.next_name += self.name_stride;
         format!("dir{}", self.next_name)
     }
 }
@@ -253,6 +282,7 @@ impl FileModel {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use std::collections::HashMap;
 
     fn model_and_rng() -> (FileModel, SmallRng) {
         (FileModel::new(100_000), SmallRng::seed_from_u64(42))

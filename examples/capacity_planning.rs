@@ -36,6 +36,7 @@ fn run_with_shards(shards: u16) -> (f64, f64, f64) {
         seed: 7,
         attacks: false,
         seed_files: 1.0,
+        workers: 0,
     };
     let horizon = cfg.horizon();
     Driver::new(cfg, Arc::clone(&backend), clock).run();
@@ -77,6 +78,7 @@ fn main() {
         seed: 11,
         attacks: false,
         seed_files: 1.0,
+        workers: 0,
     };
     let horizon = cfg.horizon();
     Driver::new(cfg, Arc::clone(&backend), clock).run();

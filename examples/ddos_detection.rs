@@ -28,6 +28,7 @@ fn main() {
         seed: 99,
         attacks: true,
         seed_files: 1.0,
+        workers: 0,
     };
     let horizon = cfg.horizon();
     let report = Driver::new(cfg, Arc::clone(&backend), clock).run();

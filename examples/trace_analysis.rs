@@ -33,6 +33,7 @@ fn main() {
         seed: 42,
         attacks: false,
         seed_files: 1.0,
+        workers: 0,
     };
     let horizon = cfg.horizon();
     let report = Driver::new(cfg, Arc::clone(&backend), clock).run();

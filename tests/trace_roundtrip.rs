@@ -17,6 +17,7 @@ fn cfg() -> WorkloadConfig {
         seed: 31337,
         attacks: false,
         seed_files: 0.6,
+        workers: 0,
     }
 }
 
