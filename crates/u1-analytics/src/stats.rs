@@ -131,7 +131,9 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
         vx += (x - mx).powi(2);
         vy += (y - my).powi(2);
     }
-    if vx == 0.0 || vy == 0.0 {
+    // `vx`/`vy` are sums of squares, so `<= 0.0` is exactly the
+    // degenerate-variance check without a float `==` (U1L005).
+    if vx <= 0.0 || vy <= 0.0 {
         return f64::NAN;
     }
     cov / (vx.sqrt() * vy.sqrt())
@@ -192,7 +194,8 @@ pub fn acf(xs: &[f64], max_lag: usize) -> Acf {
     let denom: f64 = xs.iter().map(|x| (x - m).powi(2)).sum();
     let mut lags = Vec::with_capacity(max_lag + 1);
     for lag in 0..=max_lag.min(n.saturating_sub(1)) {
-        if denom == 0.0 {
+        // Sum of squares: `<= 0.0` ⇔ every sample equals the mean.
+        if denom <= 0.0 {
             lags.push(0.0);
             continue;
         }

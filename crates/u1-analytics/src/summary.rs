@@ -82,8 +82,10 @@ pub struct Finding {
 
 impl Finding {
     pub fn holds(&self) -> bool {
-        if self.paper_value == 0.0 {
-            return (self.measured - self.paper_value).abs() <= self.tolerance;
+        // A zero paper value makes the relative band meaningless; compare
+        // absolutely instead (without a float `==`, per U1L005).
+        if self.paper_value.abs() < f64::EPSILON {
+            return self.measured.abs() <= self.tolerance;
         }
         let rel = (self.measured - self.paper_value).abs() / self.paper_value.abs();
         rel <= self.tolerance

@@ -178,12 +178,14 @@ impl AuthService {
     }
 
     /// Revokes a user's token (the manual DDoS countermeasure of §5.4:
-    /// engineers "deleted fraudulent users").
-    pub fn revoke_user(&self, user: UserId) -> bool {
-        let Some(token) = self.by_user.write().remove(&user) else {
-            return false;
-        };
-        self.tokens.write().remove(&token).is_some()
+    /// engineers "deleted fraudulent users"). Returns the revoked token so
+    /// callers can invalidate downstream caches — the API tier's
+    /// memcached-style token cache must drop the entry too, or the banned
+    /// user would keep authenticating until the cache TTL ran out.
+    pub fn revoke_user(&self, user: UserId) -> Option<Token> {
+        let token = self.by_user.write().remove(&user)?;
+        self.tokens.write().remove(&token);
+        Some(token)
     }
 
     pub fn stats(&self) -> AuthStats {
@@ -193,57 +195,6 @@ impl AuthService {
             transient_failures: self.transient_failures.load(Ordering::Relaxed),
             rejections: self.rejections.load(Ordering::Relaxed),
         }
-    }
-}
-
-/// Per-API-server token cache (§3.4.1: "during the session, the token of
-/// that client is cached to avoid overloading the authentication service").
-pub struct TokenCache {
-    ttl: SimDuration,
-    entries: RwLock<HashMap<Token, (UserId, SimTime)>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl TokenCache {
-    pub fn new(ttl: SimDuration) -> Self {
-        Self {
-            ttl,
-            entries: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-
-    /// Looks up a token, counting hit/miss.
-    pub fn lookup(&self, token: Token, now: SimTime) -> Option<UserId> {
-        let entries = self.entries.read();
-        match entries.get(&token) {
-            Some((user, cached_at)) if now.since(*cached_at) <= self.ttl => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(*user)
-            }
-            _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
-    }
-
-    pub fn insert(&self, token: Token, user: UserId, now: SimTime) {
-        self.entries.write().insert(token, (user, now));
-    }
-
-    pub fn invalidate(&self, token: Token) {
-        self.entries.write().remove(&token);
-    }
-
-    /// (hits, misses)
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
     }
 }
 
@@ -322,23 +273,9 @@ mod tests {
         let s = svc(0.0);
         let u = UserId::new(3);
         let t = s.register(u, SimTime::ZERO);
-        assert!(s.revoke_user(u));
-        assert!(!s.revoke_user(u));
+        assert_eq!(s.revoke_user(u), Some(t));
+        assert_eq!(s.revoke_user(u), None);
         assert!(s.get_user_id_from_token(t, SimTime::ZERO).is_err());
-    }
-
-    #[test]
-    fn token_cache_hits_within_ttl_only() {
-        let c = TokenCache::new(SimDuration::from_hours(8));
-        let t = Token([1u8; 16]);
-        assert_eq!(c.lookup(t, SimTime::ZERO), None);
-        c.insert(t, UserId::new(2), SimTime::ZERO);
-        assert_eq!(c.lookup(t, SimTime::from_hours(1)), Some(UserId::new(2)));
-        assert_eq!(c.lookup(t, SimTime::from_hours(9)), None);
-        c.invalidate(t);
-        assert_eq!(c.lookup(t, SimTime::from_hours(1)), None);
-        let (hits, misses) = c.stats();
-        assert_eq!((hits, misses), (1, 3));
     }
 
     #[test]

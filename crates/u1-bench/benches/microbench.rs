@@ -301,6 +301,150 @@ fn bench_trace(c: &mut Criterion) {
     g.finish();
 }
 
+/// A representative record per payload family, for encode benches.
+fn sample_records() -> Vec<(&'static str, u1_trace::TraceRecord)> {
+    use u1_trace::{Payload, SessionEvent, TraceRecord};
+    let storage = TraceRecord::new(
+        SimTime::from_secs(12345),
+        u1_core::MachineId::new(3),
+        u1_core::ProcessId::new(9),
+        Payload::Storage {
+            op: u1_core::ApiOpKind::Upload,
+            session: u1_core::SessionId::new(17),
+            user: UserId::new(4),
+            volume: u1_core::VolumeId::new(2),
+            node: Some(u1_core::NodeId::new(99)),
+            kind: Some(NodeKind::File),
+            size: 1_048_576,
+            hash: Some(ContentHash::from_content_id(5)),
+            ext: "jpg".into(),
+            success: true,
+            duration_us: 15_000,
+        },
+    );
+    let rpc = TraceRecord::new(
+        SimTime::from_secs(12345),
+        u1_core::MachineId::new(3),
+        u1_core::ProcessId::new(9),
+        Payload::Rpc {
+            rpc: RpcKind::GetNode,
+            shard: u1_core::ShardId::new(5),
+            user: UserId::new(4),
+            service_us: 903,
+        },
+    );
+    let session = TraceRecord::new(
+        SimTime::from_secs(12345),
+        u1_core::MachineId::new(3),
+        u1_core::ProcessId::new(9),
+        Payload::Session {
+            event: SessionEvent::Open,
+            session: u1_core::SessionId::new(17),
+            user: UserId::new(4),
+        },
+    );
+    vec![("storage", storage), ("rpc", rpc), ("session", session)]
+}
+
+fn bench_trace_encode(c: &mut Criterion) {
+    use u1_trace::csvline;
+    let mut g = c.benchmark_group("trace_encode");
+    for (name, rec) in sample_records() {
+        // Allocation-free path: serialize into a reused buffer.
+        let mut buf = String::with_capacity(160);
+        g.bench_function(&format!("write_line_{name}"), |b| {
+            b.iter(|| {
+                buf.clear();
+                csvline::write_line(std::hint::black_box(&rec), &mut buf).unwrap();
+                buf.len()
+            })
+        });
+        // Allocating wrapper, for the before/after comparison.
+        g.bench_function(&format!("to_line_{name}"), |b| {
+            b.iter(|| csvline::to_line(std::hint::black_box(&rec)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sink_throughput(c: &mut Criterion) {
+    use criterion::BatchSize;
+    use std::sync::Arc;
+    use u1_trace::{BufferedSink, MemorySink, TraceRecord, TraceSink};
+
+    // A batch shaped like one partition-day: a few origins, each a
+    // (t, seq)-monotone run, interleaved by origin blocks.
+    const N: usize = 8_192;
+    let proto = sample_records();
+    let mut recs: Vec<TraceRecord> = Vec::with_capacity(N);
+    for origin in 0u32..4 {
+        for i in 0..(N / 4) {
+            let mut r = proto[i % proto.len()].1.clone();
+            r.t = SimTime::from_secs(i as u64);
+            r.origin = origin + 1;
+            r.seq = i as u64;
+            recs.push(r);
+        }
+    }
+
+    let mut g = c.benchmark_group("sink_throughput");
+    g.measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("memory_record", |b| {
+        b.iter_batched(
+            || recs.clone(),
+            |batch| {
+                let sink = MemorySink::new();
+                for r in batch {
+                    sink.record(r);
+                }
+                sink
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("memory_record_batch_owned", |b| {
+        b.iter_batched(
+            || recs.clone(),
+            |mut batch| {
+                let sink = MemorySink::new();
+                sink.record_batch_owned(&mut batch);
+                sink
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("buffered_record_flush", |b| {
+        b.iter_batched(
+            || recs.clone(),
+            |batch| {
+                let inner = Arc::new(MemorySink::new());
+                let sink = BufferedSink::new(Arc::clone(&inner));
+                for r in batch {
+                    sink.record(r);
+                }
+                sink.flush();
+                inner
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    // The read side: k-way merge of the per-origin runs into canonical order.
+    g.bench_function("take_sorted_merge_4_runs", |b| {
+        b.iter_batched(
+            || {
+                let sink = MemorySink::new();
+                let mut batch = recs.clone();
+                sink.record_batch_owned(&mut batch);
+                sink
+            },
+            |sink| sink.take_sorted(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_analytics(c: &mut Criterion) {
     use rand::{Rng, SeedableRng};
     use u1_analytics::stats;
@@ -358,6 +502,7 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_sha1, bench_protocol, bench_metastore, bench_contention,
-              bench_latency_model, bench_trace, bench_analytics, bench_tier_sweep
+              bench_latency_model, bench_trace, bench_trace_encode,
+              bench_sink_throughput, bench_analytics, bench_tier_sweep
 }
 criterion_main!(benches);

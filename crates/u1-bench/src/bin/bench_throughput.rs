@@ -3,51 +3,91 @@
 //!
 //! Writes `BENCH_throughput.json` (ops/sec, wall-clock, speedup vs the
 //! single-worker run) so future changes have a performance trajectory to
-//! beat, and cross-checks that every worker count produced the identical
-//! `DriverReport` — the determinism contract of the parallel driver.
+//! beat, and cross-checks two determinism contracts of the parallel driver:
+//!
+//! * every worker count produces the identical `DriverReport` **and** the
+//!   identical canonical trace (SHA-1 over every line in `(t, origin, seq)`
+//!   order), and
+//! * buffering does not change the trace: a run with the batched
+//!   [`BufferedSink`] path is byte-identical to a per-record run (batch
+//!   size 1).
+//!
+//! A final run with the auth token cache enabled measures
+//! `token_cache_hit_rate`; its trace legitimately differs (cache hits skip
+//! the `GetUserIdFromToken` rpc and auth records), so it is excluded from
+//! the hash cross-check.
 //!
 //! Environment overrides: `U1_USERS`, `U1_DAYS`, `U1_SEED`, `U1_ATTACKS=0`
 //! (same as the experiment harness), plus `U1_BENCH_WORKERS` as a
 //! comma-separated list of worker counts (default `1,2,4,8`).
 
 use serde_json::json;
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
-use u1_core::SimClock;
+use u1_core::{Sha1, SimClock, SimDuration};
 use u1_server::{Backend, BackendConfig};
-use u1_trace::MemorySink;
+use u1_trace::{csvline, BufferedSink, MemorySink, TraceRecord, TraceSink};
 use u1_workload::{Driver, DriverReport, WorkloadConfig};
 
 struct Run {
+    label: &'static str,
     workers: usize,
     wall_secs: f64,
     ops: u64,
     records: u64,
+    trace_hash: String,
     report: DriverReport,
 }
 
-fn run_once(mut cfg: WorkloadConfig, workers: usize) -> Run {
+/// SHA-1 over the canonical trace: every record serialized with
+/// [`csvline::write_line`] plus its `(origin, seq)` stamp, in
+/// `take_sorted` order. Same formula as the golden test in u1-workload.
+fn canonical_trace_hash(records: &[TraceRecord]) -> String {
+    let mut sha = Sha1::new();
+    let mut line = String::with_capacity(160);
+    for r in records {
+        line.clear();
+        let _ = csvline::write_line(r, &mut line);
+        let _ = writeln!(line, "|{}|{}", r.origin, r.seq);
+        sha.update(line.as_bytes());
+    }
+    sha.finalize().to_hex()
+}
+
+fn run_once(
+    mut cfg: WorkloadConfig,
+    label: &'static str,
+    workers: usize,
+    buffered: bool,
+    auth_cache: bool,
+) -> Run {
     cfg.workers = workers;
     let clock = SimClock::new();
-    let sink = Arc::new(MemorySink::new());
+    let inner = Arc::new(MemorySink::new());
+    let sink: Arc<dyn TraceSink> = if buffered {
+        Arc::new(BufferedSink::new(Arc::clone(&inner)))
+    } else {
+        Arc::clone(&inner) as Arc<dyn TraceSink>
+    };
     let backend_cfg = BackendConfig {
         seed: cfg.seed ^ 0xBACC,
+        auth_cache_ttl: auth_cache.then(|| SimDuration::from_hours(8)),
         ..BackendConfig::default()
     };
-    let backend = Arc::new(Backend::new(
-        backend_cfg,
-        Arc::new(clock.clone()),
-        sink.clone(),
-    ));
+    let backend = Arc::new(Backend::new(backend_cfg, Arc::new(clock.clone()), sink));
     let driver = Driver::new(cfg, Arc::clone(&backend), clock);
     let started = Instant::now();
     let report = driver.run();
     let wall_secs = started.elapsed().as_secs_f64();
+    let records = inner.take_sorted();
     Run {
+        label,
         workers,
         wall_secs,
         ops: report.ops_executed + report.attack_ops,
-        records: sink.len() as u64,
+        records: records.len() as u64,
+        trace_hash: canonical_trace_hash(&records),
         report,
     }
 }
@@ -72,60 +112,95 @@ fn main() {
         .map(|w| w.trim().parse().expect("U1_BENCH_WORKERS must be integers"))
         .collect();
 
-    let runs: Vec<Run> = worker_counts
-        .iter()
-        .map(|&w| {
-            let run = run_once(cfg.clone(), w);
-            eprintln!(
-                "[throughput] workers={} wall={:.2}s ops/s={:.0}",
-                run.workers,
-                run.wall_secs,
-                run.ops as f64 / run.wall_secs
-            );
-            run
-        })
-        .collect();
+    let mut runs: Vec<Run> = Vec::new();
+    for &w in &worker_counts {
+        runs.push(run_once(cfg.clone(), "buffered", w, true, false));
+        let run = runs.last().unwrap();
+        eprintln!(
+            "[throughput] workers={} buffered wall={:.2}s ops/s={:.0}",
+            run.workers,
+            run.wall_secs,
+            run.ops as f64 / run.wall_secs
+        );
+    }
+    // Batch-size cross-check: per-record emission (batch size 1) against the
+    // buffered path at the same worker count.
+    let unbuffered = run_once(cfg.clone(), "per-record", worker_counts[0], false, false);
+    eprintln!(
+        "[throughput] workers={} per-record wall={:.2}s ops/s={:.0}",
+        unbuffered.workers,
+        unbuffered.wall_secs,
+        unbuffered.ops as f64 / unbuffered.wall_secs
+    );
 
-    // Determinism cross-check: worker count must not change what happened.
-    let deterministic = runs
-        .windows(2)
-        .all(|w| w[0].report == w[1].report && w[0].records == w[1].records);
+    // Determinism cross-check: neither worker count nor batching may change
+    // what happened or what was traced.
+    let deterministic = runs.windows(2).all(|w| {
+        w[0].report == w[1].report
+            && w[0].records == w[1].records
+            && w[0].trace_hash == w[1].trace_hash
+    });
     assert!(
         deterministic,
-        "DriverReport differs across worker counts — determinism violated"
+        "DriverReport or canonical trace differs across worker counts — determinism violated"
+    );
+    let batch_invariant = unbuffered.report == runs[0].report
+        && unbuffered.records == runs[0].records
+        && unbuffered.trace_hash == runs[0].trace_hash;
+    assert!(
+        batch_invariant,
+        "buffered trace differs from per-record trace — batching changed the output"
+    );
+
+    // Auth-cache run: same workload with the memcached-analogue token cache
+    // enabled, to record the hit rate and the fast-path throughput.
+    let cached = run_once(cfg.clone(), "auth-cached", worker_counts[0], true, true);
+    let cache_lookups = cached.report.token_cache_hits + cached.report.token_cache_misses;
+    let token_cache_hit_rate = if cache_lookups == 0 {
+        0.0
+    } else {
+        cached.report.token_cache_hits as f64 / cache_lookups as f64
+    };
+    eprintln!(
+        "[throughput] workers={} auth-cached wall={:.2}s ops/s={:.0} hit_rate={:.3}",
+        cached.workers,
+        cached.wall_secs,
+        cached.ops as f64 / cached.wall_secs,
+        token_cache_hit_rate
     );
 
     let base = &runs[0];
     let mut human = String::new();
     human.push_str(&format!(
-        "{} users x {} days (seed {:#x}), {} trace records\n",
-        cfg.users, cfg.days, cfg.seed, base.records
+        "{} users x {} days (seed {:#x}), {} trace records, hash {}\n",
+        cfg.users, cfg.days, cfg.seed, base.records, base.trace_hash
     ));
-    human.push_str("workers  wall(s)   ops/s     speedup\n");
-    let rows: Vec<serde_json::Value> = runs
-        .iter()
-        .map(|r| {
-            let ops_per_sec = r.ops as f64 / r.wall_secs;
-            let speedup = base.wall_secs / r.wall_secs;
-            human.push_str(&format!(
-                "{:>7}  {:>7.2}  {:>8.0}  {:>6.2}x\n",
-                r.workers, r.wall_secs, ops_per_sec, speedup
-            ));
-            json!({
-                "workers": r.workers,
-                "wall_secs": r.wall_secs,
-                "ops": r.ops,
-                "ops_per_sec": ops_per_sec,
-                "speedup_vs_serial": speedup,
-            })
-        })
-        .collect();
+    human.push_str("workers  mode        wall(s)   ops/s     speedup\n");
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    for r in runs.iter().chain([&unbuffered, &cached]) {
+        let ops_per_sec = r.ops as f64 / r.wall_secs;
+        let speedup = base.wall_secs / r.wall_secs;
+        human.push_str(&format!(
+            "{:>7}  {:<10}  {:>7.2}  {:>8.0}  {:>6.2}x\n",
+            r.workers, r.label, r.wall_secs, ops_per_sec, speedup
+        ));
+        rows.push(json!({
+            "workers": r.workers,
+            "mode": r.label,
+            "wall_secs": r.wall_secs,
+            "ops": r.ops,
+            "ops_per_sec": ops_per_sec,
+            "speedup_vs_serial": speedup,
+        }));
+    }
     // Speedup is bounded by the host: on a 1-core container every worker
     // count degenerates to ~1.0x, so record what was available.
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    human.push_str(&format!("host cpus: {host_cpus}\n"));
+    human.push_str(&format!(
+        "host cpus: {host_cpus}; token cache hit rate: {token_cache_hit_rate:.3}\n"
+    ));
     u1_bench::emit(
         "BENCH_throughput",
         &human,
@@ -138,7 +213,10 @@ fn main() {
             },
             "host_cpus": host_cpus,
             "trace_records": base.records,
+            "trace_hash": base.trace_hash,
             "deterministic_across_worker_counts": deterministic,
+            "batch_invariant": batch_invariant,
+            "token_cache_hit_rate": token_cache_hit_rate,
             "runs": rows,
         }),
     );

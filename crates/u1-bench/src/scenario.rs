@@ -5,7 +5,7 @@ use u1_blobstore::BlobStoreStats;
 use u1_core::{SimClock, SimTime};
 use u1_metastore::store::VolumeSnapshot;
 use u1_server::{Backend, BackendConfig};
-use u1_trace::{MemorySink, TraceRecord};
+use u1_trace::{BufferedSink, MemorySink, TraceRecord};
 use u1_workload::{Driver, DriverReport, WorkloadConfig};
 
 /// A completed simulation run plus end-of-run state snapshots.
@@ -24,6 +24,9 @@ pub struct Scenario {
 /// Runs a workload against a fresh backend under a virtual clock.
 pub fn run_scenario(cfg: WorkloadConfig) -> Scenario {
     let clock = SimClock::new();
+    // Emission goes through the batched path; `sink` keeps a handle on the
+    // underlying store for `take_sorted` (the driver flushes at day
+    // boundaries and on run exit).
     let sink = Arc::new(MemorySink::new());
     let backend_cfg = BackendConfig {
         seed: cfg.seed ^ 0xBACC,
@@ -32,7 +35,7 @@ pub fn run_scenario(cfg: WorkloadConfig) -> Scenario {
     let backend = Arc::new(Backend::new(
         backend_cfg,
         Arc::new(clock.clone()),
-        sink.clone(),
+        Arc::new(BufferedSink::new(Arc::clone(&sink))),
     ));
     let driver = Driver::new(cfg.clone(), Arc::clone(&backend), clock);
     let started = std::time::Instant::now();

@@ -194,11 +194,21 @@ impl ContentHash {
     /// Hex encoding, as it appears in trace log lines.
     pub fn to_hex(self) -> String {
         let mut s = String::with_capacity(40);
-        for b in self.0 {
-            use std::fmt::Write;
-            let _ = write!(s, "{b:02x}");
-        }
+        let _ = self.write_hex(&mut s);
         s
+    }
+
+    /// Writes the 40-char hex form into `out` without allocating — the
+    /// per-record trace serialization path uses this on every transfer line.
+    pub fn write_hex<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
+        let mut buf = [0u8; 40];
+        for (i, b) in self.0.iter().enumerate() {
+            buf[i * 2] = HEX[(b >> 4) as usize];
+            buf[i * 2 + 1] = HEX[(b & 0xf) as usize];
+        }
+        // The buffer is built from the hex alphabet above, so it is ASCII.
+        out.write_str(std::str::from_utf8(&buf).unwrap_or("-"))
     }
 
     /// Parses the 40-char hex form produced by [`ContentHash::to_hex`].

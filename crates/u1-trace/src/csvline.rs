@@ -15,25 +15,74 @@
 //! ```
 
 use crate::event::{Payload, SessionEvent, TraceRecord};
+use std::fmt;
 use u1_core::{
     ApiOpKind, ContentHash, MachineId, NodeId, NodeKind, ProcessId, RpcKind, SessionId, ShardId,
     SimTime, UserId, VolumeId,
 };
 
-/// Serializes a record to one CSV line (no trailing newline).
-pub fn to_line(rec: &TraceRecord) -> String {
-    let t = rec.t.as_micros();
+/// Writes a `u64` as decimal digits without going through `core::fmt`'s
+/// generic machinery: digits are produced backwards into a stack buffer and
+/// emitted as one `write_str`. This is the innermost loop of trace
+/// emission — every line carries at least a timestamp and a handful of ids.
+fn write_u64<W: fmt::Write>(out: &mut W, mut v: u64) -> fmt::Result {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // Only ASCII digits were written, so the slice is valid UTF-8.
+    out.write_str(std::str::from_utf8(&buf[i..]).unwrap_or("0"))
+}
+
+/// Writes a prefixed id like `s17` / `u4` / `v0` / `n99`.
+fn write_id<W: fmt::Write>(out: &mut W, prefix: &str, raw: u64) -> fmt::Result {
+    out.write_str(prefix)?;
+    write_u64(out, raw)
+}
+
+/// Writes the sanitized extension field: `[a-z0-9]`, max 16 chars, `-` when
+/// nothing survives. Streaming equivalent of the old `sanitize_ext` —
+/// byte-identical output, no intermediate `String`.
+fn write_sanitized_ext<W: fmt::Write>(out: &mut W, ext: &str) -> fmt::Result {
+    let mut written = 0usize;
+    for c in ext.chars() {
+        if written == 16 {
+            break;
+        }
+        if c.is_ascii_alphanumeric() {
+            out.write_char(c.to_ascii_lowercase())?;
+            written += 1;
+        }
+    }
+    if written == 0 {
+        out.write_char('-')?;
+    }
+    Ok(())
+}
+
+/// Serializes a record as one CSV line (no trailing newline) into any
+/// [`fmt::Write`] — typically an amortized per-thread `String` buffer. This
+/// is the allocation-free core; [`to_line`] is a thin compatibility wrapper.
+pub fn write_line<W: fmt::Write>(rec: &TraceRecord, out: &mut W) -> fmt::Result {
+    write_u64(out, rec.t.as_micros())?;
     match &rec.payload {
         Payload::Session {
             event,
             session,
             user,
         } => {
-            let ev = match event {
-                SessionEvent::Open => "open",
-                SessionEvent::Close => "close",
-            };
-            format!("{t},session,{ev},{session},{user}")
+            out.write_str(match event {
+                SessionEvent::Open => ",session,open,",
+                SessionEvent::Close => ",session,close,",
+            })?;
+            write_id(out, "s", session.raw())?;
+            write_id(out, ",u", user.raw())
         }
         Payload::Storage {
             op,
@@ -48,44 +97,58 @@ pub fn to_line(rec: &TraceRecord) -> String {
             success,
             duration_us,
         } => {
-            let node = node.map_or("-".to_string(), |n| n.to_string());
-            let kind = match kind {
-                Some(NodeKind::File) => "file",
-                Some(NodeKind::Directory) => "dir",
-                None => "-",
-            };
-            let hash = hash.map_or("-".to_string(), |h| h.to_hex());
-            let ext = sanitize_ext(ext);
-            let ok = if *success { "ok" } else { "err" };
-            format!(
-                "{t},storage_done,{op},{session},{user},{volume},{node},{kind},{size},{hash},{ext},{ok},{duration_us}"
-            )
+            out.write_str(",storage_done,")?;
+            out.write_str(op.label())?;
+            write_id(out, ",s", session.raw())?;
+            write_id(out, ",u", user.raw())?;
+            write_id(out, ",v", volume.raw())?;
+            match node {
+                Some(n) => write_id(out, ",n", n.raw())?,
+                None => out.write_str(",-")?,
+            }
+            out.write_str(match kind {
+                Some(NodeKind::File) => ",file,",
+                Some(NodeKind::Directory) => ",dir,",
+                None => ",-,",
+            })?;
+            write_u64(out, *size)?;
+            out.write_char(',')?;
+            match hash {
+                Some(h) => h.write_hex(out)?,
+                None => out.write_char('-')?,
+            }
+            out.write_char(',')?;
+            write_sanitized_ext(out, ext)?;
+            out.write_str(if *success { ",ok," } else { ",err," })?;
+            write_u64(out, *duration_us)
         }
         Payload::Rpc {
             rpc,
             shard,
             user,
             service_us,
-        } => format!("{t},rpc,{},{shard},{user},{service_us}", rpc.dal_name()),
+        } => {
+            out.write_str(",rpc,")?;
+            out.write_str(rpc.dal_name())?;
+            write_id(out, ",shard", shard.raw() as u64)?;
+            write_id(out, ",u", user.raw())?;
+            out.write_char(',')?;
+            write_u64(out, *service_us)
+        }
         Payload::Auth { user, success } => {
-            let ok = if *success { "ok" } else { "fail" };
-            format!("{t},auth,{user},{ok}")
+            write_id(out, ",auth,u", user.raw())?;
+            out.write_str(if *success { ",ok" } else { ",fail" })
         }
     }
 }
 
-fn sanitize_ext(ext: &str) -> String {
-    let cleaned: String = ext
-        .chars()
-        .filter(|c| c.is_ascii_alphanumeric())
-        .map(|c| c.to_ascii_lowercase())
-        .take(16)
-        .collect();
-    if cleaned.is_empty() {
-        "-".to_string()
-    } else {
-        cleaned
-    }
+/// Serializes a record to one CSV line (no trailing newline). Compatibility
+/// wrapper over [`write_line`]; allocates the returned `String` and nothing
+/// else.
+pub fn to_line(rec: &TraceRecord) -> String {
+    let mut s = String::with_capacity(128);
+    let _ = write_line(rec, &mut s);
+    s
 }
 
 /// Error describing why a line failed to parse. The reader counts these
@@ -340,6 +403,82 @@ mod tests {
         match back.payload {
             Payload::Storage { ext, .. } => assert_eq!(ext, "jpg"),
             _ => panic!("wrong payload"),
+        }
+    }
+
+    #[test]
+    fn sanitize_ext_edge_cases_round_trip() {
+        // (raw extension, sanitized field bytes, ext after parse-back)
+        for (raw, field, parsed) in [
+            ("", "-", ""),                                                 // empty
+            ("≈∅", "-", ""),                                               // all non-ASCII
+            ("häßlich", "hlich", "hlich"),                                 // mixed non-ASCII
+            ("TARGZ", "targz", "targz"),                                   // lowercased
+            ("verylongextension", "verylongextensio", "verylongextensio"), // >16 truncated
+            ("a.b-c_d", "abcd", "abcd"),                                   // punctuation stripped
+        ] {
+            let rec = mk(Payload::Storage {
+                op: ApiOpKind::Upload,
+                session: SessionId::new(1),
+                user: UserId::new(1),
+                volume: VolumeId::new(0),
+                node: Some(NodeId::new(1)),
+                kind: Some(NodeKind::File),
+                size: 1,
+                hash: None,
+                ext: raw.into(),
+                success: true,
+                duration_us: 1,
+            });
+            let line = to_line(&rec);
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields[10], field, "raw ext {raw:?}, line was: {line}");
+            let back = from_line(&line, rec.machine, rec.process).expect("parse");
+            match back.payload {
+                Payload::Storage { ext, .. } => assert_eq!(ext, parsed, "raw ext {raw:?}"),
+                _ => panic!("wrong payload"),
+            }
+        }
+    }
+
+    #[test]
+    fn write_line_matches_to_line_for_every_variant() {
+        let recs = [
+            mk(Payload::Session {
+                event: SessionEvent::Close,
+                session: SessionId::new(u64::MAX),
+                user: UserId::new(0),
+            }),
+            mk(Payload::Storage {
+                op: ApiOpKind::Download,
+                session: SessionId::new(7),
+                user: UserId::new(1_294_794),
+                volume: VolumeId::new(3),
+                node: Some(NodeId::new(10_000_000)),
+                kind: Some(NodeKind::Directory),
+                size: u64::MAX,
+                hash: Some(ContentHash::EMPTY),
+                ext: "OgG".into(),
+                success: false,
+                duration_us: 0,
+            }),
+            mk(Payload::Rpc {
+                rpc: RpcKind::GetNode,
+                shard: ShardId::new(9),
+                user: UserId::new(42),
+                service_us: 123_456,
+            }),
+            mk(Payload::Auth {
+                user: UserId::new(5),
+                success: true,
+            }),
+        ];
+        for rec in recs {
+            let mut streamed = String::new();
+            write_line(&rec, &mut streamed).expect("write_line");
+            assert_eq!(streamed, to_line(&rec));
+            let back = from_line(&streamed, rec.machine, rec.process).expect("parse");
+            assert_eq!(back.payload.request_type(), rec.payload.request_type());
         }
     }
 

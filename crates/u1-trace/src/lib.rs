@@ -25,4 +25,4 @@ pub mod sink;
 pub use anonymize::Anonymizer;
 pub use event::{Payload, SessionEvent, TraceRecord};
 pub use logfile::{logfile_name, parse_logfile_name, LogDirReader, ParseStats};
-pub use sink::{DirSink, MemorySink, NullSink, TraceSink};
+pub use sink::{BufferedSink, DirSink, MemorySink, NullSink, TraceSink};

@@ -2,21 +2,81 @@
 
 use crate::csvline;
 use crate::event::TraceRecord;
-use crate::logfile::logfile_name;
 use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::fs::{self, File};
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
-use u1_core::{MachineId, ProcessId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use u1_core::{MachineId, ProcessId, SimTime};
+
+/// Stripe count used by the lock-sharded sinks below. Origins (driver
+/// partitions) and (machine, process) pairs are spread across this many
+/// independent locks so concurrent emitters rarely contend.
+const STRIPES: usize = 16;
+
+/// Records buffered per origin before [`BufferedSink`] pushes a batch to its
+/// inner sink on its own (callers still flush explicitly at day boundaries).
+const BUFFER_FLUSH_THRESHOLD: usize = 4096;
 
 /// Something that accepts trace records. Implementations must be
 /// thread-safe: every API/RPC process logs through a shared sink.
 pub trait TraceSink: Send + Sync {
     fn record(&self, rec: TraceRecord);
 
+    /// Accepts a batch of records. The default forwards record by record;
+    /// sinks with per-record locking override this to take their lock once
+    /// per batch instead.
+    fn record_batch(&self, recs: &[TraceRecord]) {
+        for rec in recs {
+            self.record(rec.clone());
+        }
+    }
+
+    /// Like [`TraceSink::record_batch`] but drains `recs`, moving the
+    /// records instead of cloning them (a `Storage` record owns its `ext`
+    /// string). [`BufferedSink`] flushes through this path.
+    fn record_batch_owned(&self, recs: &mut Vec<TraceRecord>) {
+        for rec in recs.drain(..) {
+            self.record(rec);
+        }
+    }
+
+    /// Accepts one single-origin run in emission order — the shape
+    /// [`BufferedSink`] flushes. `origin` is every record's origin stamp.
+    /// The default delegates to [`TraceSink::record_batch_owned`]; sinks
+    /// that store runs (like [`MemorySink`]) override this to append the
+    /// whole vector at once instead of re-pushing record by record.
+    fn record_run(&self, origin: u32, run: &mut Vec<TraceRecord>) {
+        let _ = origin;
+        self.record_batch_owned(run);
+    }
+
     /// Flushes buffered output (no-op for memory sinks).
     fn flush(&self) {}
+}
+
+/// Sharing a sink via `Arc` keeps it a sink, including the batch overrides
+/// of the underlying type.
+impl<S: TraceSink + ?Sized> TraceSink for std::sync::Arc<S> {
+    fn record(&self, rec: TraceRecord) {
+        (**self).record(rec);
+    }
+    fn record_batch(&self, recs: &[TraceRecord]) {
+        (**self).record_batch(recs);
+    }
+    fn record_batch_owned(&self, recs: &mut Vec<TraceRecord>) {
+        (**self).record_batch_owned(recs);
+    }
+    fn record_run(&self, origin: u32, run: &mut Vec<TraceRecord>) {
+        (**self).record_run(origin, run);
+    }
+    fn flush(&self) {
+        (**self).flush();
+    }
 }
 
 /// Discards all records. Useful for benchmarks isolating server cost.
@@ -25,21 +85,34 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn record(&self, _rec: TraceRecord) {}
+    fn record_batch(&self, _recs: &[TraceRecord]) {}
+    fn record_batch_owned(&self, recs: &mut Vec<TraceRecord>) {
+        recs.clear();
+    }
+    fn record_run(&self, _origin: u32, run: &mut Vec<TraceRecord>) {
+        run.clear();
+    }
 }
 
+/// Per-origin run storage: each driver partition appends to its own vector,
+/// so a run is naturally `(t, seq)`-monotonic unless the producer bypassed
+/// the partition clock (legacy single-threaded emitters, tests).
+type OriginRuns = Vec<(u32, Vec<TraceRecord>)>;
+
 /// Collects records in memory, for analyses that skip the logfile round
-/// trip. Internally striped by record origin so concurrent driver
-/// partitions don't serialize on one lock; `take_sorted` merges the stripes
-/// into the canonical order.
+/// trip. Records are kept as one run per origin (striped by origin so
+/// concurrent driver partitions don't serialize on one lock);
+/// `take_sorted` k-way-merges the runs into the canonical order instead of
+/// globally sorting millions of records.
 #[derive(Debug)]
 pub struct MemorySink {
-    stripes: Vec<Mutex<Vec<TraceRecord>>>,
+    stripes: Vec<Mutex<OriginRuns>>,
 }
 
 impl Default for MemorySink {
     fn default() -> Self {
         Self {
-            stripes: (0..16).map(|_| Mutex::new(Vec::new())).collect(),
+            stripes: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
 }
@@ -50,43 +123,229 @@ impl MemorySink {
     }
 
     pub fn len(&self) -> usize {
-        self.stripes.iter().map(|s| s.lock().len()).sum()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().iter().map(|(_, run)| run.len()).sum::<usize>())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.stripes.iter().all(|s| s.lock().is_empty())
+        self.stripes
+            .iter()
+            .all(|s| s.lock().iter().all(|(_, run)| run.is_empty()))
+    }
+
+    fn run_slot(runs: &mut OriginRuns, origin: u32) -> &mut Vec<TraceRecord> {
+        // Linear scan: a stripe holds at most a handful of origins (one per
+        // driver partition mapping to it), so this beats hashing.
+        let idx = match runs.iter().position(|(o, _)| *o == origin) {
+            Some(i) => i,
+            None => {
+                runs.push((origin, Vec::new()));
+                runs.len() - 1
+            }
+        };
+        &mut runs[idx].1
     }
 
     /// Drains and returns all records in canonical order: sorted by
-    /// `(t, origin, seq)`. The stable sort keeps legacy single-threaded
-    /// records (all stamped `(0, 0)`) in their per-process emission order,
-    /// and gives parallel runs an order independent of worker count.
+    /// `(t, origin, seq)`. Each per-origin run is already monotonic in
+    /// `(t, seq)` (verified, and stable-sorted if a producer emitted out of
+    /// order), so a k-way merge reproduces exactly what the previous global
+    /// stable sort produced: full keys collide only within one origin's
+    /// legacy `(0, 0)`-stamped records, whose emission order both the old
+    /// stable sort and the merge preserve.
     pub fn take_sorted(&self) -> Vec<TraceRecord> {
-        let mut recs: Vec<TraceRecord> = Vec::new();
+        let mut runs: Vec<Vec<TraceRecord>> = Vec::new();
         for stripe in &self.stripes {
-            recs.append(&mut std::mem::take(&mut *stripe.lock()));
+            for (_, run) in std::mem::take(&mut *stripe.lock()) {
+                if !run.is_empty() {
+                    runs.push(run);
+                }
+            }
         }
-        recs.sort_by_key(|r| (r.t, r.origin, r.seq));
-        recs
+        for run in &mut runs {
+            let sorted = run
+                .windows(2)
+                .all(|w| (w[0].t, w[0].seq) <= (w[1].t, w[1].seq));
+            if !sorted {
+                run.sort_by_key(|r| (r.t, r.seq));
+            }
+        }
+        merge_runs(runs)
     }
 }
 
 impl TraceSink for MemorySink {
     fn record(&self, rec: TraceRecord) {
         let stripe = rec.origin as usize % self.stripes.len();
-        self.stripes[stripe].lock().push(rec);
+        let mut runs = self.stripes[stripe].lock();
+        Self::run_slot(&mut runs, rec.origin).push(rec);
+    }
+
+    fn record_batch_owned(&self, recs: &mut Vec<TraceRecord>) {
+        // Batches arriving from `BufferedSink` are single-origin; append
+        // contiguous same-origin spans under one lock acquisition.
+        let mut drained = recs.drain(..).peekable();
+        while let Some(rec) = drained.next() {
+            let origin = rec.origin;
+            let stripe = origin as usize % self.stripes.len();
+            let mut runs = self.stripes[stripe].lock();
+            let run = Self::run_slot(&mut runs, origin);
+            run.push(rec);
+            while let Some(next) = drained.next_if(|r| r.origin == origin) {
+                run.push(next);
+            }
+        }
+    }
+
+    fn record_run(&self, origin: u32, recs: &mut Vec<TraceRecord>) {
+        // One lock acquisition and one slab memcpy for the whole run.
+        let stripe = origin as usize % self.stripes.len();
+        let mut runs = self.stripes[stripe].lock();
+        Self::run_slot(&mut runs, origin).append(recs);
     }
 }
 
-/// Writes paper-style logfiles under a directory: one file per
-/// (machine, process, day), rotated as simulated days advance.
-/// Open logfile for one (machine, process): the simulated day it covers
-/// and the buffered writer.
-type DayWriter = (u64, BufWriter<File>);
+/// Merge key for the k-way merge: the canonical `(t, origin, seq)` order.
+type MergeKey = (SimTime, u32, u64);
 
+fn merge_key(rec: &TraceRecord) -> MergeKey {
+    (rec.t, rec.origin, rec.seq)
+}
+
+/// K-way merges per-origin runs, each sorted by `(t, seq)`, into one vector
+/// sorted by `(t, origin, seq)`. Only one head per run lives in the heap at
+/// a time, and records of different runs never share a full key (the key
+/// includes the origin), so the merge is deterministic.
+fn merge_runs(runs: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
+    match runs.len() {
+        0 => return Vec::new(),
+        1 => return runs.into_iter().next().unwrap_or_default(),
+        _ => {}
+    }
+    let total = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut iters: Vec<std::vec::IntoIter<TraceRecord>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<TraceRecord>> = Vec::with_capacity(iters.len());
+    let mut heap: BinaryHeap<Reverse<(MergeKey, usize)>> = BinaryHeap::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        let head = it.next();
+        if let Some(rec) = &head {
+            heap.push(Reverse((merge_key(rec), i)));
+        }
+        heads.push(head);
+    }
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let next = iters[i].next();
+        if let Some(rec) = &next {
+            heap.push(Reverse((merge_key(rec), i)));
+        }
+        if let Some(rec) = std::mem::replace(&mut heads[i], next) {
+            out.push(rec);
+        }
+    }
+    out
+}
+
+/// Buffers records per origin in front of an inner sink, so hot emission
+/// paths touch an uncontended stripe instead of the inner sink's locks.
+///
+/// Workers in `u1-workload::driver` flush at day boundaries (all partitions
+/// parked on the barrier), and the buffer self-flushes an origin's run when
+/// it reaches [`BUFFER_FLUSH_THRESHOLD`] records. Because each origin is
+/// emitted by exactly one thread and delivered to the inner sink in
+/// emission order, buffering never changes the canonical `(t, origin, seq)`
+/// trace — only the interleaving of already-concurrent origins.
+pub struct BufferedSink<S: TraceSink> {
+    inner: S,
+    stripes: Vec<Mutex<OriginRuns>>,
+}
+
+impl<S: TraceSink> BufferedSink<S> {
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            stripes: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// The wrapped sink. Records still buffered are not visible in it until
+    /// [`TraceSink::flush`].
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: TraceSink> TraceSink for BufferedSink<S> {
+    fn record(&self, rec: TraceRecord) {
+        let origin = rec.origin;
+        let stripe = origin as usize % self.stripes.len();
+        let mut full: Option<(u32, Vec<TraceRecord>)> = None;
+        {
+            let mut runs = self.stripes[stripe].lock();
+            let run = MemorySink::run_slot(&mut runs, origin);
+            run.push(rec);
+            if run.len() >= BUFFER_FLUSH_THRESHOLD {
+                full = Some((origin, std::mem::take(run)));
+            }
+        }
+        if let Some((origin, mut batch)) = full {
+            self.inner.record_run(origin, &mut batch);
+        }
+    }
+
+    fn record_batch_owned(&self, recs: &mut Vec<TraceRecord>) {
+        for rec in recs.drain(..) {
+            self.record(rec);
+        }
+    }
+
+    fn flush(&self) {
+        for stripe in &self.stripes {
+            let runs = std::mem::take(&mut *stripe.lock());
+            for (origin, mut run) in runs {
+                if !run.is_empty() {
+                    self.inner.record_run(origin, &mut run);
+                }
+            }
+        }
+        self.inner.flush();
+    }
+}
+
+impl<S: TraceSink> Drop for BufferedSink<S> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Open logfile for one (machine, process): the simulated day it covers
+/// and the buffered writer — `None` when opening the day's file failed and
+/// the sink is running degraded for that (process, day).
+type DayWriter = (u64, Option<BufWriter<File>>);
+
+thread_local! {
+    /// Amortized per-thread serialization buffer: one line is formatted
+    /// here, outside any writer lock, then written as a single byte slice.
+    static LINE_BUF: RefCell<String> = RefCell::new(String::with_capacity(256));
+}
+
+/// Writes paper-style logfiles under a directory: one file per
+/// (machine, process, day), rotated as simulated days advance. The writer
+/// map is striped by (machine, process) so concurrent processes don't
+/// contend on one global lock.
+///
+/// I/O errors do not abort the process: the sink degrades by dropping that
+/// (process, day)'s records, counting the failure in
+/// [`DirSink::io_errors`] and keeping the first error message in
+/// [`DirSink::first_io_error`].
 pub struct DirSink {
     dir: PathBuf,
-    writers: Mutex<HashMap<(MachineId, ProcessId), DayWriter>>,
+    stripes: Vec<Mutex<HashMap<(MachineId, ProcessId), DayWriter>>>,
+    io_errors: AtomicU64,
+    first_error: Mutex<Option<String>>,
 }
 
 impl DirSink {
@@ -96,7 +355,9 @@ impl DirSink {
         fs::create_dir_all(&dir)?;
         Ok(Self {
             dir,
-            writers: Mutex::new(HashMap::new()),
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            io_errors: AtomicU64::new(0),
+            first_error: Mutex::new(None),
         })
     }
 
@@ -104,47 +365,107 @@ impl DirSink {
         &self.dir
     }
 
-    fn open(&self, machine: MachineId, process: ProcessId, day: u64) -> BufWriter<File> {
-        let path = self.dir.join(logfile_name(machine, process, day));
+    /// Number of failed logfile opens since creation. Each failure degrades
+    /// (drops) one (process, day) stream; the next day retries.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// The first I/O error observed, if any — enough to diagnose a
+    /// misconfigured trace directory without aborting a multi-hour run.
+    pub fn first_io_error(&self) -> Option<String> {
+        self.first_error.lock().clone()
+    }
+
+    fn stripe_of(machine: MachineId, process: ProcessId) -> usize {
+        (machine.raw() as usize)
+            .wrapping_mul(31)
+            .wrapping_add(process.raw() as usize)
+            % STRIPES
+    }
+
+    fn open(&self, machine: MachineId, process: ProcessId, day: u64) -> Option<BufWriter<File>> {
+        let path = self
+            .dir
+            .join(crate::logfile::logfile_name(machine, process, day));
         // Append: a process may be asked to re-open a day's file after a
         // rotation race; losing previously written lines would corrupt the
         // trace.
-        let file = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .unwrap_or_else(|e| panic!("open trace logfile {}: {e}", path.display()));
-        BufWriter::new(file)
+        match fs::OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(file) => Some(BufWriter::new(file)),
+            Err(e) => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                let mut slot = self.first_error.lock();
+                if slot.is_none() {
+                    *slot = Some(format!("open trace logfile {}: {e}", path.display()));
+                }
+                None
+            }
+        }
     }
-}
 
-impl TraceSink for DirSink {
-    fn record(&self, rec: TraceRecord) {
-        let day = rec.t.day_index();
-        let key = (rec.machine, rec.process);
-        let line = csvline::to_line(&rec);
-        let mut writers = self.writers.lock();
-        let entry = writers.entry(key);
+    /// Appends one pre-serialized line (newline included) to the right
+    /// (machine, process, day) file.
+    fn write_serialized(&self, machine: MachineId, process: ProcessId, day: u64, line: &[u8]) {
+        let mut writers = self.stripes[Self::stripe_of(machine, process)].lock();
+        let entry = writers.entry((machine, process));
         let slot = match entry {
             std::collections::hash_map::Entry::Occupied(mut o) => {
                 if o.get().0 != day {
                     // Day changed for this process: flush and rotate, like
                     // the original "one log file per server/service and day".
-                    let (_, mut w) = o.insert((day, self.open(rec.machine, rec.process, day)));
-                    let _ = w.flush();
+                    let (_, old) = o.insert((day, self.open(machine, process, day)));
+                    if let Some(mut w) = old {
+                        let _ = w.flush();
+                    }
                 }
                 o.into_mut()
             }
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert((day, self.open(rec.machine, rec.process, day)))
+                v.insert((day, self.open(machine, process, day)))
             }
         };
-        let _ = writeln!(slot.1, "{line}");
+        if let Some(w) = &mut slot.1 {
+            let _ = w.write_all(line);
+        }
+    }
+}
+
+impl TraceSink for DirSink {
+    fn record(&self, rec: TraceRecord) {
+        LINE_BUF.with(|b| {
+            let mut buf = b.borrow_mut();
+            buf.clear();
+            let _ = csvline::write_line(&rec, &mut *buf);
+            buf.push('\n');
+            self.write_serialized(rec.machine, rec.process, rec.t.day_index(), buf.as_bytes());
+        });
+    }
+
+    fn record_batch(&self, recs: &[TraceRecord]) {
+        LINE_BUF.with(|b| {
+            let mut buf = b.borrow_mut();
+            for rec in recs {
+                buf.clear();
+                let _ = csvline::write_line(rec, &mut *buf);
+                buf.push('\n');
+                self.write_serialized(rec.machine, rec.process, rec.t.day_index(), buf.as_bytes());
+            }
+        });
+    }
+
+    fn record_batch_owned(&self, recs: &mut Vec<TraceRecord>) {
+        self.record_batch(recs);
+        recs.clear();
     }
 
     fn flush(&self) {
-        for (_, (_, w)) in self.writers.lock().iter_mut() {
-            let _ = w.flush();
+        for stripe in &self.stripes {
+            for (_, (_, w)) in stripe.lock().iter_mut() {
+                if let Some(w) = w {
+                    let _ = w.flush();
+                }
+            }
         }
     }
 }
@@ -174,6 +495,13 @@ mod tests {
         )
     }
 
+    fn rec_origin(t_secs: u64, origin: u32, seq: u64) -> TraceRecord {
+        let mut r = rec(t_secs, 0, 0);
+        r.origin = origin;
+        r.seq = seq;
+        r
+    }
+
     #[test]
     fn memory_sink_sorts_by_time() {
         let sink = MemorySink::new();
@@ -187,6 +515,44 @@ mod tests {
     }
 
     #[test]
+    fn memory_sink_merges_origin_runs_into_canonical_order() {
+        let sink = MemorySink::new();
+        // Three origins, interleaved timestamps; origin 17 shares stripe 1
+        // with origin 1, exercising the per-stripe multi-run path.
+        for (t, origin, seq) in [
+            (5u64, 1u32, 0u64),
+            (9, 1, 1),
+            (9, 17, 0),
+            (12, 17, 1),
+            (3, 2, 0),
+            (9, 2, 1),
+        ] {
+            sink.record(rec_origin(t, origin, seq));
+        }
+        let recs = sink.take_sorted();
+        let keys: Vec<(u64, u32, u64)> = recs
+            .iter()
+            .map(|r| (r.t.as_secs(), r.origin, r.seq))
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        assert_eq!(keys, expect);
+        assert_eq!(recs.len(), 6);
+    }
+
+    #[test]
+    fn buffered_sink_flush_delivers_everything() {
+        let inner = std::sync::Arc::new(MemorySink::new());
+        let buffered = BufferedSink::new(std::sync::Arc::clone(&inner));
+        for i in 0..100 {
+            buffered.record(rec_origin(i, (i % 3) as u32, i));
+        }
+        assert!(inner.is_empty(), "nothing reaches inner before flush");
+        buffered.flush();
+        assert_eq!(inner.len(), 100);
+    }
+
+    #[test]
     fn dir_sink_rotates_per_day_and_process() {
         let dir = std::env::temp_dir().join(format!("u1-trace-test-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
@@ -196,6 +562,8 @@ mod tests {
             sink.record(rec(20, 0, 2)); // day 0, proc 2
             sink.record(rec(86_400 + 5, 0, 1)); // day 1, proc 1
             sink.flush();
+            assert_eq!(sink.io_errors(), 0);
+            assert_eq!(sink.first_io_error(), None);
         }
         let mut names: Vec<String> = fs::read_dir(&dir)
             .unwrap()
@@ -211,5 +579,23 @@ mod tests {
             ]
         );
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_sink_degrades_on_unopenable_path() {
+        // A file where the sink expects a directory: every open fails, but
+        // nothing panics and the failure is observable.
+        let bogus = std::env::temp_dir().join(format!("u1-trace-bogus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&bogus);
+        let sink = DirSink::create(&bogus).unwrap();
+        fs::remove_dir_all(&bogus).unwrap();
+        fs::write(&bogus, b"not a directory").unwrap();
+        sink.record(rec(10, 0, 1));
+        sink.record(rec(20, 0, 1)); // same (process, day): no second open
+        sink.record(rec(86_400 + 5, 0, 1)); // next day retries and fails again
+        sink.flush();
+        assert_eq!(sink.io_errors(), 2);
+        assert!(sink.first_io_error().is_some());
+        let _ = fs::remove_file(&bogus);
     }
 }

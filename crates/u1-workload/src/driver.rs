@@ -120,6 +120,11 @@ pub struct DriverReport {
     pub users_banned: u64,
     pub maintenance_runs: u64,
     pub uploadjobs_reaped: u64,
+    /// Token-cache counters (the backend's memcached tier; zeros when the
+    /// cache is disabled). Globals read off the backend once at the end of
+    /// the run, not per-partition counters — `absorb` skips them.
+    pub token_cache_hits: u64,
+    pub token_cache_misses: u64,
 }
 
 impl DriverReport {
@@ -1409,6 +1414,11 @@ impl Driver {
                     let ts = std::time::Instant::now();
                     backend.seal_content_epoch();
                     t_seal += ts.elapsed();
+                    // Day-boundary trace flush: every shard partition is
+                    // parked on the barrier, so draining a `BufferedSink`
+                    // here races nothing and bounds buffered memory to one
+                    // day of records.
+                    backend.flush_trace();
                 }
                 let t2 = std::time::Instant::now();
                 barrier.wait();
@@ -1431,6 +1441,9 @@ impl Driver {
             report.absorb(&slot.lock().expect("report lock poisoned"));
         }
         report.users = self.cfg.users;
+        let cache = self.backend.token_cache_stats();
+        report.token_cache_hits = cache.hits;
+        report.token_cache_misses = cache.misses;
         report
     }
 }
@@ -1502,6 +1515,144 @@ mod tests {
         assert_eq!(r1, r4, "report must be worker-count-invariant");
         assert_eq!(t1.len(), t4.len());
         assert_eq!(t1, t4, "canonical trace must be worker-count-invariant");
+    }
+
+    /// Locks the exact observable output of the driver — full report plus a
+    /// SHA-1 over every canonical trace line and its `(origin, seq)` stamp.
+    /// The constants were recorded on the pre-optimization code; the
+    /// zero-allocation serializer, the k-way-merge `take_sorted`, and the
+    /// batched sink path must all be byte-for-byte invisible here. If this
+    /// test fails, a perf change altered observable behavior.
+    #[test]
+    fn golden_trace_and_report_are_unchanged() {
+        let clock = SimClock::new();
+        let sink = Arc::new(MemorySink::new());
+        let backend = Arc::new(Backend::new(
+            BackendConfig::default(),
+            Arc::new(clock.clone()),
+            sink.clone(),
+        ));
+        let cfg = WorkloadConfig {
+            users: 120,
+            days: 3,
+            seed: 11,
+            attacks: true,
+            seed_files: 0.5,
+            workers: 0,
+        };
+        let report = Driver::new(cfg, backend, clock).run();
+        let records = sink.take_sorted();
+        assert_eq!(records.len(), 8184);
+        let mut buf = String::new();
+        for r in &records {
+            buf.push_str(&u1_trace::csvline::to_line(r));
+            buf.push_str(&format!("|{}|{}\n", r.origin, r.seq));
+        }
+        let hash = u1_core::Sha1::digest(buf.as_bytes()).to_hex();
+        assert_eq!(hash, "78be5180fee062f073b8838c0cb695e681de3f1b");
+        assert_eq!(
+            report,
+            DriverReport {
+                users: 120,
+                seeded_files: 246,
+                sessions_opened: 338,
+                sessions_auth_failed: 9,
+                ops_executed: 1884,
+                op_errors: 0,
+                uploads: 100,
+                upload_updates: 6,
+                uploads_deduplicated: 14,
+                bytes_uploaded: 101_463_468,
+                downloads: 23,
+                bytes_downloaded: 25_701_437,
+                unlinks: 33,
+                attack_sessions: 0,
+                attack_ops: 0,
+                users_banned: 0,
+                maintenance_runs: 3,
+                uploadjobs_reaped: 0,
+                token_cache_hits: 0,
+                token_cache_misses: 0,
+            }
+        );
+    }
+
+    /// The differential test for the batched path: a run whose backend logs
+    /// through a `BufferedSink` (day-boundary + threshold flushes,
+    /// `record_batch_owned` delivery) must produce the same report and a
+    /// byte-identical canonical trace as the per-record run.
+    #[test]
+    fn buffered_sink_run_is_byte_identical_to_per_record_run() {
+        let (direct_report, direct_trace) = run_quick_with(2);
+
+        let clock = SimClock::new();
+        let inner = Arc::new(MemorySink::new());
+        let buffered = Arc::new(u1_trace::BufferedSink::new(Arc::clone(&inner)));
+        let backend = Arc::new(Backend::new(
+            BackendConfig::default(),
+            Arc::new(clock.clone()),
+            buffered,
+        ));
+        let cfg = WorkloadConfig {
+            users: 120,
+            days: 3,
+            seed: 11,
+            attacks: false,
+            seed_files: 0.5,
+            workers: 2,
+        };
+        let buffered_report = Driver::new(cfg, backend, clock).run();
+        let buffered_trace = inner.take_sorted();
+
+        assert_eq!(direct_report, buffered_report);
+        assert_eq!(direct_trace.len(), buffered_trace.len());
+        for (a, b) in direct_trace.iter().zip(&buffered_trace) {
+            assert_eq!(u1_trace::csvline::to_line(a), u1_trace::csvline::to_line(b));
+            assert_eq!((a.origin, a.seq), (b.origin, b.seq));
+        }
+    }
+
+    fn run_quick_cached(workers: usize) -> (DriverReport, Vec<u1_trace::TraceRecord>) {
+        let clock = SimClock::new();
+        let sink = Arc::new(MemorySink::new());
+        let backend = Arc::new(Backend::new(
+            BackendConfig {
+                auth_cache_ttl: Some(SimDuration::from_hours(8)),
+                ..Default::default()
+            },
+            Arc::new(clock.clone()),
+            sink.clone(),
+        ));
+        let cfg = WorkloadConfig {
+            users: 120,
+            days: 3,
+            seed: 11,
+            attacks: false,
+            seed_files: 0.5,
+            workers,
+        };
+        let report = Driver::new(cfg, backend, clock).run();
+        (report, sink.take_sorted())
+    }
+
+    /// With the memcached tier enabled, repeat opens hit the cache — and
+    /// because each token is only ever touched by its owning partition, the
+    /// hit/miss counters and the trace stay worker-count-invariant.
+    #[test]
+    fn token_cache_hits_are_worker_count_invariant() {
+        let (r1, t1) = run_quick_cached(1);
+        let (r4, t4) = run_quick_cached(4);
+        assert_eq!(r1, r4, "cached report must be worker-count-invariant");
+        assert_eq!(t1, t4, "cached trace must be worker-count-invariant");
+        assert!(r1.token_cache_hits > 0, "{r1:?}");
+        assert!(r1.token_cache_misses > 0, "{r1:?}");
+        // Every session-open attempt consults the cache exactly once: hits
+        // skip the auth round trip entirely, misses fall through to it.
+        assert_eq!(
+            r1.token_cache_hits + r1.token_cache_misses,
+            r1.sessions_opened + r1.sessions_auth_failed,
+            "{r1:?}"
+        );
     }
 
     #[test]

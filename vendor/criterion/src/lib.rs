@@ -15,6 +15,15 @@ pub enum Throughput {
     Elements(u64),
 }
 
+/// Batch sizing hint for `iter_batched`; the stub's calibration loop treats
+/// every variant the same (it only bounds how many setups are pre-built).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
 /// Parameter label for `bench_with_input`.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId(String);
@@ -169,6 +178,47 @@ impl Bencher {
             iters *= 4;
         }
     }
+
+    /// `iter` with per-iteration setup excluded from the timed region.
+    /// Outputs are dropped after the clock stops, like the real crate.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Lower iteration cap than `iter`: each calibration step holds
+        // `iters` pre-built inputs in memory at once.
+        let mut iters: u64 = 1;
+        loop {
+            let mut inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let mut outputs = Vec::with_capacity(inputs.len());
+            let start = Instant::now();
+            for input in inputs.drain(..) {
+                outputs.push(black_box(routine(input)));
+            }
+            let elapsed = start.elapsed();
+            drop(outputs);
+            if elapsed >= Duration::from_micros(200) || iters >= 1 << 12 {
+                self.sample_ns = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters *= 4;
+        }
+    }
+}
+
+/// CLI filtering like the real crate: any non-flag argument is a substring
+/// filter, and a benchmark runs when no filter is given or any matches.
+fn name_matches_filter(name: &str) -> bool {
+    static FILTERS: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    let filters = FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    });
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
 }
 
 fn run_benchmark(
@@ -179,6 +229,9 @@ fn run_benchmark(
     warm_up_time: Duration,
     mut f: impl FnMut(&mut Bencher),
 ) {
+    if !name_matches_filter(name) {
+        return;
+    }
     let mut bencher = Bencher { sample_ns: 0.0 };
 
     let warm_up_end = Instant::now() + warm_up_time;
