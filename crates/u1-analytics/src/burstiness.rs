@@ -1,9 +1,10 @@
 //! Inter-operation time burstiness and power-law fits (§6.2, Fig. 9).
 
+use crate::engine::TraceFold;
 use crate::stats::{cv, fit_power_law, Ecdf, PowerLawFit};
 use serde::Serialize;
 use std::collections::HashMap;
-use u1_core::{ApiOpKind, SimTime};
+use u1_core::{ApiOpKind, FxHashMap, SimTime};
 use u1_trace::{Payload, TraceRecord};
 
 /// Burstiness analysis of one operation type.
@@ -50,31 +51,109 @@ pub fn interop_times(records: &[TraceRecord], op: ApiOpKind) -> Vec<f64> {
     gaps
 }
 
+/// Streaming state behind [`burstiness`]. A partial keeps each user's first
+/// and last matching timestamp so the merge can measure the gap that spans
+/// the chunk boundary. `finish` sorts the gaps before fitting, so the same
+/// multiset of gaps — however it was chunked — yields bit-identical output.
+pub struct BurstinessFold {
+    op: ApiOpKind,
+    first: FxHashMap<u64, SimTime>,
+    last: FxHashMap<u64, SimTime>,
+    gaps: Vec<f64>,
+}
+
+impl BurstinessFold {
+    pub fn new(op: ApiOpKind) -> Self {
+        Self {
+            op,
+            first: FxHashMap::default(),
+            last: FxHashMap::default(),
+            gaps: Vec::new(),
+        }
+    }
+}
+
+impl TraceFold for BurstinessFold {
+    type Output = Burstiness;
+
+    fn new_partial(&self) -> Self {
+        BurstinessFold::new(self.op)
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
+        if let Payload::Storage {
+            op: got,
+            user,
+            success: true,
+            ..
+        } = &rec.payload
+        {
+            if *got != self.op {
+                return;
+            }
+            match self.last.insert(user.raw(), rec.t) {
+                Some(prev) => {
+                    let gap = rec.t.since(prev).as_secs_f64();
+                    if gap > 0.0 {
+                        self.gaps.push(gap);
+                    }
+                }
+                None => {
+                    self.first.insert(user.raw(), rec.t);
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, later: Self) {
+        for (user, t) in &later.first {
+            if let Some(prev) = self.last.get(user) {
+                let gap = t.since(*prev).as_secs_f64();
+                if gap > 0.0 {
+                    self.gaps.push(gap);
+                }
+            }
+        }
+        for (user, t) in later.last {
+            self.last.insert(user, t);
+        }
+        for (user, t) in later.first {
+            self.first.entry(user).or_insert(t);
+        }
+        self.gaps.extend(later.gaps);
+    }
+
+    fn finish(mut self) -> Burstiness {
+        self.gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let gaps = self.gaps;
+        let ecdf = Ecdf::new(gaps.clone());
+        let fit = fit_power_law(&gaps, 0.35);
+        let ccdf = if ecdf.is_empty() {
+            Vec::new()
+        } else {
+            let lo = ecdf.min().max(1e-3);
+            let hi = ecdf.max();
+            (0..40)
+                .map(|i| {
+                    let x = lo * (hi / lo).powf(i as f64 / 39.0);
+                    (x, ecdf.ccdf(x))
+                })
+                .collect()
+        };
+        Burstiness {
+            op: self.op.display_name(),
+            gaps: gaps.len(),
+            cv: cv(&gaps),
+            fit,
+            ccdf,
+            ecdf,
+        }
+    }
+}
+
 /// Full Fig. 9 analysis for one operation type.
 pub fn burstiness(records: &[TraceRecord], op: ApiOpKind) -> Burstiness {
-    let gaps = interop_times(records, op);
-    let ecdf = Ecdf::new(gaps.clone());
-    let fit = fit_power_law(&gaps, 0.35);
-    let ccdf = if ecdf.is_empty() {
-        Vec::new()
-    } else {
-        let lo = ecdf.min().max(1e-3);
-        let hi = ecdf.max();
-        (0..40)
-            .map(|i| {
-                let x = lo * (hi / lo).powf(i as f64 / 39.0);
-                (x, ecdf.ccdf(x))
-            })
-            .collect()
-    };
-    Burstiness {
-        op: op.display_name(),
-        gaps: gaps.len(),
-        cv: cv(&gaps),
-        fit,
-        ccdf,
-        ecdf,
-    }
+    crate::engine::run_fold(BurstinessFold::new(op), records)
 }
 
 #[cfg(test)]
@@ -105,6 +184,28 @@ mod tests {
         ];
         assert_eq!(interop_times(&recs, Upload), vec![10.0]);
         assert!(interop_times(&recs, Unlink).is_empty());
+    }
+
+    #[test]
+    fn chunked_gaps_match_serial() {
+        let recs = vec![
+            transfer(at(0), Upload, 1, 1, 1, 10, 1, "a"),
+            transfer(at(5), Upload, 2, 2, 2, 10, 2, "a"),
+            transfer(at(10), Upload, 1, 1, 3, 10, 3, "a"),
+            transfer(at(25), Upload, 2, 2, 4, 10, 4, "a"),
+            transfer(at(90), Upload, 1, 1, 5, 10, 5, "a"),
+        ];
+        let serial = burstiness(&recs, Upload);
+        for split in 0..=recs.len() {
+            let (a, b) = recs.split_at(split);
+            let got = crate::engine::run_chunks(BurstinessFold::new(Upload), &[a, b]);
+            assert_eq!(got.gaps, serial.gaps, "split={split}");
+            assert_eq!(
+                serde_json::to_value(&got.ecdf),
+                serde_json::to_value(&serial.ecdf),
+                "split={split}"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! countermeasures — this module is that automation, and the harness
 //! verifies it rediscovers the three injected attacks.
 
+use crate::engine::TraceFold;
 use serde::Serialize;
 use u1_core::{SimDuration, SimTime};
 use u1_trace::{Payload, TraceRecord};
@@ -119,27 +120,82 @@ pub fn distinct_attacks(episodes: &[Episode]) -> Vec<(usize, usize, f64)> {
     spans
 }
 
-pub fn detect(records: &[TraceRecord], horizon: SimTime, cfg: &DetectorConfig) -> DdosReport {
-    let hour = SimDuration::from_hours(1);
-    let session = crate::timeseries::bin_sum(records, horizon, hour, |r| {
-        matches!(r.payload, Payload::Session { .. }).then_some(1.0)
-    });
-    let auth = crate::timeseries::bin_sum(records, horizon, hour, |r| {
-        matches!(r.payload, Payload::Auth { .. }).then_some(1.0)
-    });
-    let storage = crate::timeseries::bin_sum(records, horizon, hour, |r| {
-        matches!(r.payload, Payload::Storage { .. }).then_some(1.0)
-    });
-    let mut episodes = detect_series(&session, "session", cfg);
-    episodes.extend(detect_series(&auth, "auth", cfg));
-    episodes.extend(detect_series(&storage, "storage", cfg));
-    episodes.sort_by_key(|e| (e.start_hour, e.signal));
-    DdosReport {
-        episodes,
-        session_per_hour: session,
-        auth_per_hour: auth,
-        storage_per_hour: storage,
+/// Streaming state behind [`detect`]: the three Fig. 5 hourly count series.
+/// Counts are integers, so chunk merges add exactly and the episode search
+/// at finish sees the same series the legacy three-pass binning built.
+pub struct DdosFold {
+    horizon: SimTime,
+    cfg: DetectorConfig,
+    session: Vec<u64>,
+    auth: Vec<u64>,
+    storage: Vec<u64>,
+}
+
+impl DdosFold {
+    pub fn new(horizon: SimTime, cfg: DetectorConfig) -> Self {
+        let bins = crate::timeseries::hour_bins(horizon);
+        Self {
+            horizon,
+            cfg,
+            session: vec![0; bins],
+            auth: vec![0; bins],
+            storage: vec![0; bins],
+        }
     }
+}
+
+impl TraceFold for DdosFold {
+    type Output = DdosReport;
+
+    fn new_partial(&self) -> Self {
+        DdosFold::new(self.horizon, self.cfg.clone())
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
+        if rec.t >= self.horizon {
+            return;
+        }
+        let h = rec.t.bin_index(SimDuration::from_hours(1)) as usize;
+        match &rec.payload {
+            Payload::Session { .. } => self.session[h] += 1,
+            Payload::Auth { .. } => self.auth[h] += 1,
+            Payload::Storage { .. } => self.storage[h] += 1,
+            _ => {}
+        }
+    }
+
+    fn merge(&mut self, later: Self) {
+        for (d, s) in self.session.iter_mut().zip(later.session) {
+            *d += s;
+        }
+        for (d, s) in self.auth.iter_mut().zip(later.auth) {
+            *d += s;
+        }
+        for (d, s) in self.storage.iter_mut().zip(later.storage) {
+            *d += s;
+        }
+    }
+
+    fn finish(self) -> DdosReport {
+        let to_f64 = |v: Vec<u64>| -> Vec<f64> { v.into_iter().map(|c| c as f64).collect() };
+        let session = to_f64(self.session);
+        let auth = to_f64(self.auth);
+        let storage = to_f64(self.storage);
+        let mut episodes = detect_series(&session, "session", &self.cfg);
+        episodes.extend(detect_series(&auth, "auth", &self.cfg));
+        episodes.extend(detect_series(&storage, "storage", &self.cfg));
+        episodes.sort_by_key(|e| (e.start_hour, e.signal));
+        DdosReport {
+            episodes,
+            session_per_hour: session,
+            auth_per_hour: auth,
+            storage_per_hour: storage,
+        }
+    }
+}
+
+pub fn detect(records: &[TraceRecord], horizon: SimTime, cfg: &DetectorConfig) -> DdosReport {
+    crate::engine::run_fold(DdosFold::new(horizon, cfg.clone()), records)
 }
 
 #[cfg(test)]
@@ -218,5 +274,29 @@ mod tests {
         let attacks = distinct_attacks(&report.episodes);
         assert_eq!(attacks.len(), 1);
         assert_eq!(attacks[0].0 / 24, 2, "attack on day 2");
+    }
+
+    #[test]
+    fn chunked_detection_matches_serial() {
+        let mut recs = Vec::new();
+        for h in 0..120u64 {
+            let n = if (60..62).contains(&h) { 600 } else { 40 };
+            for k in 0..n {
+                recs.push(auth(
+                    SimTime::from_hours(h) + SimDuration::from_secs(k),
+                    k,
+                    true,
+                ));
+            }
+        }
+        let horizon = SimTime::from_days(5);
+        let cfg = DetectorConfig::default();
+        let serial = detect(&recs, horizon, &cfg);
+        for chunk_len in [1usize, 997, 4096] {
+            let chunks: Vec<&[_]> = recs.chunks(chunk_len).collect();
+            let got = crate::engine::run_chunks(DdosFold::new(horizon, cfg.clone()), &chunks);
+            assert_eq!(got.episodes, serial.episodes, "chunk_len={chunk_len}");
+            assert_eq!(got.auth_per_hour, serial.auth_per_hour);
+        }
     }
 }

@@ -1,9 +1,9 @@
 //! File-level deduplication analysis (§5.3, Fig. 4(a)).
 
+use crate::engine::TraceFold;
 use crate::stats::Ecdf;
 use serde::Serialize;
-use std::collections::HashMap;
-use u1_core::ApiOpKind;
+use u1_core::{ApiOpKind, ContentHash, FxHashMap};
 use u1_trace::{Payload, TraceRecord};
 
 /// Fig. 4(a): distribution of logical copies per distinct content, and the
@@ -25,9 +25,35 @@ pub struct DedupAnalysis {
     pub max_copies: u64,
 }
 
-pub fn dedup_analysis(records: &[TraceRecord]) -> DedupAnalysis {
-    let mut per_hash: HashMap<u1_core::ContentHash, (u64, u64)> = HashMap::new(); // hash -> (copies, size)
-    for rec in records {
+/// Streaming state behind [`dedup_analysis`]: copies and last-seen size per
+/// content hash. Merging adds copy counts; the later chunk's size wins,
+/// matching the serial "size of the last upload" rule.
+pub struct DedupFold {
+    per_hash: FxHashMap<ContentHash, (u64, u64)>, // hash -> (copies, size)
+}
+
+impl DedupFold {
+    pub fn new() -> Self {
+        Self {
+            per_hash: FxHashMap::default(),
+        }
+    }
+}
+
+impl Default for DedupFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceFold for DedupFold {
+    type Output = DedupAnalysis;
+
+    fn new_partial(&self) -> Self {
+        DedupFold::new()
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
         if let Payload::Storage {
             op: ApiOpKind::Upload,
             success: true,
@@ -36,35 +62,51 @@ pub fn dedup_analysis(records: &[TraceRecord]) -> DedupAnalysis {
             ..
         } = &rec.payload
         {
-            let entry = per_hash.entry(*hash).or_insert((0, *size));
+            let entry = self.per_hash.entry(*hash).or_insert((0, *size));
             entry.0 += 1;
             entry.1 = *size;
         }
     }
-    let unique_contents = per_hash.len() as u64;
-    let total_uploads: u64 = per_hash.values().map(|(c, _)| *c).sum();
-    let unique_bytes: u64 = per_hash.values().map(|(_, s)| *s).sum();
-    let total_bytes: u64 = per_hash.values().map(|(c, s)| c * s).sum();
-    let singletons = per_hash.values().filter(|(c, _)| *c == 1).count() as u64;
-    let copies: Vec<f64> = per_hash.values().map(|(c, _)| *c as f64).collect();
-    DedupAnalysis {
-        unique_contents,
-        total_uploads,
-        unique_bytes,
-        total_bytes,
-        dedup_ratio: if total_bytes == 0 {
-            0.0
-        } else {
-            1.0 - unique_bytes as f64 / total_bytes as f64
-        },
-        singleton_fraction: if unique_contents == 0 {
-            0.0
-        } else {
-            singletons as f64 / unique_contents as f64
-        },
-        max_copies: per_hash.values().map(|(c, _)| *c).max().unwrap_or(0),
-        copies_per_content: Ecdf::new(copies),
+
+    fn merge(&mut self, later: Self) {
+        for (hash, (copies, size)) in later.per_hash {
+            let entry = self.per_hash.entry(hash).or_insert((0, size));
+            entry.0 += copies;
+            entry.1 = size;
+        }
     }
+
+    fn finish(self) -> DedupAnalysis {
+        let per_hash = self.per_hash;
+        let unique_contents = per_hash.len() as u64;
+        let total_uploads: u64 = per_hash.values().map(|(c, _)| *c).sum();
+        let unique_bytes: u64 = per_hash.values().map(|(_, s)| *s).sum();
+        let total_bytes: u64 = per_hash.values().map(|(c, s)| c * s).sum();
+        let singletons = per_hash.values().filter(|(c, _)| *c == 1).count() as u64;
+        let copies: Vec<f64> = per_hash.values().map(|(c, _)| *c as f64).collect();
+        DedupAnalysis {
+            unique_contents,
+            total_uploads,
+            unique_bytes,
+            total_bytes,
+            dedup_ratio: if total_bytes == 0 {
+                0.0
+            } else {
+                1.0 - unique_bytes as f64 / total_bytes as f64
+            },
+            singleton_fraction: if unique_contents == 0 {
+                0.0
+            } else {
+                singletons as f64 / unique_contents as f64
+            },
+            max_copies: per_hash.values().map(|(c, _)| *c).max().unwrap_or(0),
+            copies_per_content: Ecdf::new(copies),
+        }
+    }
+}
+
+pub fn dedup_analysis(records: &[TraceRecord]) -> DedupAnalysis {
+    crate::engine::run_fold(DedupFold::new(), records)
 }
 
 #[cfg(test)]

@@ -6,10 +6,10 @@
 //! dependencies: WAW/RAW/DAW (after a write) and WAR/RAR/DAR (after a
 //! read), collecting the inter-operation time for each.
 
+use crate::engine::TraceFold;
 use crate::stats::Ecdf;
 use serde::Serialize;
-use std::collections::HashMap;
-use u1_core::{ApiOpKind, NodeKind, SimDuration, SimTime};
+use u1_core::{ApiOpKind, FxHashMap, NodeKind, SimDuration, SimTime};
 use u1_trace::{Payload, TraceRecord};
 
 /// The six dependency kinds.
@@ -75,16 +75,71 @@ enum Ev {
     D,
 }
 
-pub fn dependency_analysis(records: &[TraceRecord]) -> DependencyAnalysis {
-    // node -> (last event kind, time, last *any* activity time)
-    let mut last: HashMap<u64, (Ev, SimTime)> = HashMap::new();
-    let mut gaps: HashMap<Dependency, Vec<f64>> = HashMap::new();
-    let mut reads: HashMap<u64, u64> = HashMap::new();
-    let mut dying = 0u64;
-    let mut deleted = 0u64;
-    let mut seen_files: std::collections::HashSet<u64> = std::collections::HashSet::new();
+fn classify(prev: Ev, ev: Ev) -> Option<Dependency> {
+    match (prev, ev) {
+        (Ev::W, Ev::W) => Some(Dependency::WriteAfterWrite),
+        (Ev::W, Ev::R) => Some(Dependency::ReadAfterWrite),
+        (Ev::W, Ev::D) => Some(Dependency::DeleteAfterWrite),
+        (Ev::R, Ev::W) => Some(Dependency::WriteAfterRead),
+        (Ev::R, Ev::R) => Some(Dependency::ReadAfterRead),
+        (Ev::R, Ev::D) => Some(Dependency::DeleteAfterRead),
+        _ => None, // nothing meaningful follows a delete
+    }
+}
 
-    for rec in records {
+/// Per-node event chain inside one chunk: the first event (which may pair
+/// with an earlier chunk's last event at merge) and the running last state
+/// (`None` after a delete — nothing meaningful follows a delete).
+struct Chain {
+    first: (Ev, SimTime),
+    last: Option<(Ev, SimTime)>,
+}
+
+/// Streaming state behind [`dependency_analysis`].
+pub struct DependencyFold {
+    nodes: FxHashMap<u64, Chain>,
+    gaps: FxHashMap<Dependency, Vec<f64>>,
+    reads: FxHashMap<u64, u64>,
+    dying: u64,
+    deleted: u64,
+}
+
+impl DependencyFold {
+    pub fn new() -> Self {
+        Self {
+            nodes: FxHashMap::default(),
+            gaps: FxHashMap::default(),
+            reads: FxHashMap::default(),
+            dying: 0,
+            deleted: 0,
+        }
+    }
+
+    fn record_pair(&mut self, prev: Ev, prev_t: SimTime, ev: Ev, t: SimTime) {
+        if let Some(dep) = classify(prev, ev) {
+            let gap = t.since(prev_t);
+            self.gaps.entry(dep).or_default().push(gap.as_secs_f64());
+            if ev == Ev::D && gap > SimDuration::from_days(1) {
+                self.dying += 1;
+            }
+        }
+    }
+}
+
+impl Default for DependencyFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceFold for DependencyFold {
+    type Output = DependencyAnalysis;
+
+    fn new_partial(&self) -> Self {
+        DependencyFold::new()
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
         let Payload::Storage {
             op,
             success: true,
@@ -93,80 +148,119 @@ pub fn dependency_analysis(records: &[TraceRecord]) -> DependencyAnalysis {
             ..
         } = &rec.payload
         else {
-            continue;
+            return;
         };
         if *kind == Some(NodeKind::Directory) {
-            continue;
+            return;
         }
         let ev = match op {
             ApiOpKind::Upload => Ev::W,
             ApiOpKind::Download => Ev::R,
             ApiOpKind::Unlink => Ev::D,
-            _ => continue,
+            _ => return,
         };
         let node = node.raw();
-        seen_files.insert(node);
         if ev == Ev::R {
-            *reads.entry(node).or_default() += 1;
+            *self.reads.entry(node).or_default() += 1;
         }
-        if let Some((prev, prev_t)) = last.get(&node) {
-            let dep = match (prev, ev) {
-                (Ev::W, Ev::W) => Some(Dependency::WriteAfterWrite),
-                (Ev::W, Ev::R) => Some(Dependency::ReadAfterWrite),
-                (Ev::W, Ev::D) => Some(Dependency::DeleteAfterWrite),
-                (Ev::R, Ev::W) => Some(Dependency::WriteAfterRead),
-                (Ev::R, Ev::R) => Some(Dependency::ReadAfterRead),
-                (Ev::R, Ev::D) => Some(Dependency::DeleteAfterRead),
-                _ => None, // nothing meaningful follows a delete
-            };
-            if let Some(dep) = dep {
-                let gap = rec.t.since(*prev_t);
-                gaps.entry(dep).or_default().push(gap.as_secs_f64());
-                if ev == Ev::D && gap > SimDuration::from_days(1) {
-                    dying += 1;
+        let next = (ev != Ev::D).then_some((ev, rec.t));
+        match self.nodes.get_mut(&node) {
+            Some(chain) => {
+                let prev = chain.last;
+                chain.last = next;
+                if let Some((p, p_t)) = prev {
+                    self.record_pair(p, p_t, ev, rec.t);
                 }
+            }
+            None => {
+                self.nodes.insert(
+                    node,
+                    Chain {
+                        first: (ev, rec.t),
+                        last: next,
+                    },
+                );
             }
         }
         if ev == Ev::D {
-            deleted += 1;
-            last.remove(&node);
-        } else {
-            last.insert(node, (ev, rec.t));
+            self.deleted += 1;
         }
     }
 
-    let pct = |dep: Dependency, limit: SimDuration| -> f64 {
-        gaps.get(&dep)
-            .map(|v| {
-                if v.is_empty() {
-                    0.0
-                } else {
-                    v.iter().filter(|&&g| g <= limit.as_secs_f64()).count() as f64 / v.len() as f64
+    fn merge(&mut self, later: Self) {
+        for (node, chain) in later.nodes {
+            match self.nodes.get_mut(&node) {
+                Some(mine) => {
+                    let boundary = mine.last;
+                    mine.last = chain.last;
+                    if let Some((prev, prev_t)) = boundary {
+                        let (ev, t) = chain.first;
+                        self.record_pair(prev, prev_t, ev, t);
+                    }
                 }
-            })
-            .unwrap_or(0.0)
-    };
-    let waw_under_1h = pct(Dependency::WriteAfterWrite, SimDuration::from_hours(1));
-    let rar_under_1d = pct(Dependency::ReadAfterRead, SimDuration::from_days(1));
-
-    let all_deps = Dependency::AFTER_WRITE
-        .into_iter()
-        .chain(Dependency::AFTER_READ);
-    DependencyAnalysis {
-        counts: all_deps
-            .clone()
-            .map(|d| (d, gaps.get(&d).map(|v| v.len() as u64).unwrap_or(0)))
-            .collect(),
-        times: all_deps
-            .map(|d| (d, Ecdf::new(gaps.remove(&d).unwrap_or_default())))
-            .collect(),
-        reads_per_file: Ecdf::new(reads.values().map(|&c| c as f64).collect()),
-        waw_under_1h,
-        rar_under_1d,
-        dying_files: dying,
-        deleted_files: deleted,
-        total_files: seen_files.len() as u64,
+                None => {
+                    self.nodes.insert(node, chain);
+                }
+            }
+        }
+        for (dep, xs) in later.gaps {
+            self.gaps.entry(dep).or_default().extend(xs);
+        }
+        for (node, c) in later.reads {
+            *self.reads.entry(node).or_default() += c;
+        }
+        self.dying += later.dying;
+        self.deleted += later.deleted;
     }
+
+    fn finish(mut self) -> DependencyAnalysis {
+        let pct =
+            |gaps: &FxHashMap<Dependency, Vec<f64>>, dep: Dependency, limit: SimDuration| -> f64 {
+                gaps.get(&dep)
+                    .map(|v| {
+                        if v.is_empty() {
+                            0.0
+                        } else {
+                            v.iter().filter(|&&g| g <= limit.as_secs_f64()).count() as f64
+                                / v.len() as f64
+                        }
+                    })
+                    .unwrap_or(0.0)
+            };
+        let waw_under_1h = pct(
+            &self.gaps,
+            Dependency::WriteAfterWrite,
+            SimDuration::from_hours(1),
+        );
+        let rar_under_1d = pct(
+            &self.gaps,
+            Dependency::ReadAfterRead,
+            SimDuration::from_days(1),
+        );
+
+        let all_deps = Dependency::AFTER_WRITE
+            .into_iter()
+            .chain(Dependency::AFTER_READ);
+        DependencyAnalysis {
+            counts: all_deps
+                .clone()
+                .map(|d| (d, self.gaps.get(&d).map(|v| v.len() as u64).unwrap_or(0)))
+                .collect(),
+            times: all_deps
+                .map(|d| (d, Ecdf::new(self.gaps.remove(&d).unwrap_or_default())))
+                .collect(),
+            reads_per_file: Ecdf::new(self.reads.values().map(|&c| c as f64).collect()),
+            waw_under_1h,
+            rar_under_1d,
+            dying_files: self.dying,
+            deleted_files: self.deleted,
+            total_files: self.nodes.len() as u64,
+        }
+    }
+}
+
+pub fn dependency_analysis(records: &[TraceRecord]) -> DependencyAnalysis {
+    crate::engine::run_fold(DependencyFold::new(), records)
 }
 
 /// Fig. 3(c): node lifetimes — Make(kind) to Unlink, per node kind.
@@ -184,79 +278,172 @@ pub struct LifetimeAnalysis {
     pub dir_mortality_8h: f64,
 }
 
-pub fn lifetime_analysis(records: &[TraceRecord]) -> LifetimeAnalysis {
-    let mut created: HashMap<u64, (NodeKind, SimTime)> = HashMap::new();
-    let mut file_lt = Vec::new();
-    let mut dir_lt = Vec::new();
-    let mut files_created = 0u64;
-    let mut dirs_created = 0u64;
-    for rec in records {
-        match &rec.payload {
-            Payload::Storage {
-                op: ApiOpKind::MakeFile,
-                success: true,
-                node: Some(node),
-                ..
-            } if created
-                .insert(node.raw(), (NodeKind::File, rec.t))
-                .is_none() =>
-            {
-                files_created += 1;
-            }
-            Payload::Storage {
-                op: ApiOpKind::MakeDir,
-                success: true,
-                node: Some(node),
-                ..
-            } if created
-                .insert(node.raw(), (NodeKind::Directory, rec.t))
-                .is_none() =>
-            {
-                dirs_created += 1;
-            }
-            Payload::Storage {
-                op: ApiOpKind::Unlink,
-                success: true,
-                node: Some(node),
-                ..
-            } => {
-                if let Some((kind, t0)) = created.remove(&node.raw()) {
-                    let lt = rec.t.since(t0).as_secs_f64();
+/// A make/unlink event that could not be resolved against chunk-local state
+/// and must replay, in time order, against earlier chunks at merge.
+enum LtEvent {
+    Make { node: u64, kind: NodeKind },
+    Unlink { node: u64, t: SimTime },
+}
+
+/// Streaming state behind [`lifetime_analysis`].
+///
+/// A Make whose node is absent from the chunk-local `created` map is counted
+/// provisionally and recorded as a boundary event; if the merge finds the
+/// node already created in an earlier chunk, the provisional count is taken
+/// back (matching the serial pass, which only counts first creations but
+/// still refreshes the creation record). Unlinks that found nothing local
+/// stay pending and resolve against earlier chunks the same way.
+pub struct LifetimeFold {
+    created: FxHashMap<u64, (NodeKind, SimTime)>,
+    file_lt: Vec<f64>,
+    dir_lt: Vec<f64>,
+    files_created: u64,
+    dirs_created: u64,
+    boundary: Vec<LtEvent>,
+}
+
+impl LifetimeFold {
+    pub fn new() -> Self {
+        Self {
+            created: FxHashMap::default(),
+            file_lt: Vec::new(),
+            dir_lt: Vec::new(),
+            files_created: 0,
+            dirs_created: 0,
+            boundary: Vec::new(),
+        }
+    }
+
+    fn push_lifetime(&mut self, kind: NodeKind, secs: f64) {
+        match kind {
+            NodeKind::File => self.file_lt.push(secs),
+            NodeKind::Directory => self.dir_lt.push(secs),
+        }
+    }
+
+    fn uncount_make(&mut self, kind: NodeKind) {
+        match kind {
+            NodeKind::File => self.files_created -= 1,
+            NodeKind::Directory => self.dirs_created -= 1,
+        }
+    }
+}
+
+impl Default for LifetimeFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceFold for LifetimeFold {
+    type Output = LifetimeAnalysis;
+
+    fn new_partial(&self) -> Self {
+        LifetimeFold::new()
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
+        let Payload::Storage {
+            op,
+            success: true,
+            node: Some(node),
+            ..
+        } = &rec.payload
+        else {
+            return;
+        };
+        let node = node.raw();
+        match op {
+            ApiOpKind::MakeFile | ApiOpKind::MakeDir => {
+                let kind = if *op == ApiOpKind::MakeFile {
+                    NodeKind::File
+                } else {
+                    NodeKind::Directory
+                };
+                if self.created.insert(node, (kind, rec.t)).is_none() {
                     match kind {
-                        NodeKind::File => file_lt.push(lt),
-                        NodeKind::Directory => dir_lt.push(lt),
+                        NodeKind::File => self.files_created += 1,
+                        NodeKind::Directory => self.dirs_created += 1,
                     }
+                    self.boundary.push(LtEvent::Make { node, kind });
+                }
+            }
+            ApiOpKind::Unlink => {
+                if let Some((kind, t0)) = self.created.remove(&node) {
+                    self.push_lifetime(kind, rec.t.since(t0).as_secs_f64());
+                } else {
+                    self.boundary.push(LtEvent::Unlink { node, t: rec.t });
                 }
             }
             _ => {}
         }
     }
-    let eight_h = SimDuration::from_hours(8).as_secs_f64();
-    let frac8 = |v: &[f64], total: u64| {
-        if total == 0 {
-            0.0
-        } else {
-            v.iter().filter(|&&x| x <= eight_h).count() as f64 / total as f64
+
+    fn merge(&mut self, later: Self) {
+        // Replay the later chunk's boundary events, in time order, against
+        // our (earlier) creation state.
+        let mut kept = Vec::new();
+        for ev in later.boundary {
+            match ev {
+                LtEvent::Make { node, kind } => {
+                    if self.created.remove(&node).is_some() {
+                        // The node already existed, so the serial pass would
+                        // not have counted this Make; the later chunk's own
+                        // state carries the refreshed creation record.
+                        self.uncount_make(kind);
+                    } else {
+                        kept.push(ev);
+                    }
+                }
+                LtEvent::Unlink { node, t } => {
+                    if let Some((kind, t0)) = self.created.remove(&node) {
+                        self.push_lifetime(kind, t.since(t0).as_secs_f64());
+                    } else {
+                        kept.push(ev);
+                    }
+                }
+            }
         }
-    };
-    LifetimeAnalysis {
-        file_mortality: if files_created == 0 {
-            0.0
-        } else {
-            file_lt.len() as f64 / files_created as f64
-        },
-        dir_mortality: if dirs_created == 0 {
-            0.0
-        } else {
-            dir_lt.len() as f64 / dirs_created as f64
-        },
-        file_mortality_8h: frac8(&file_lt, files_created),
-        dir_mortality_8h: frac8(&dir_lt, dirs_created),
-        files_created,
-        dirs_created,
-        file_lifetimes: Ecdf::new(file_lt),
-        dir_lifetimes: Ecdf::new(dir_lt),
+        self.boundary.extend(kept);
+        self.created.extend(later.created);
+        self.file_lt.extend(later.file_lt);
+        self.dir_lt.extend(later.dir_lt);
+        self.files_created += later.files_created;
+        self.dirs_created += later.dirs_created;
     }
+
+    fn finish(self) -> LifetimeAnalysis {
+        let eight_h = SimDuration::from_hours(8).as_secs_f64();
+        let frac8 = |v: &[f64], total: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                v.iter().filter(|&&x| x <= eight_h).count() as f64 / total as f64
+            }
+        };
+        LifetimeAnalysis {
+            file_mortality: if self.files_created == 0 {
+                0.0
+            } else {
+                self.file_lt.len() as f64 / self.files_created as f64
+            },
+            dir_mortality: if self.dirs_created == 0 {
+                0.0
+            } else {
+                self.dir_lt.len() as f64 / self.dirs_created as f64
+            },
+            file_mortality_8h: frac8(&self.file_lt, self.files_created),
+            dir_mortality_8h: frac8(&self.dir_lt, self.dirs_created),
+            files_created: self.files_created,
+            dirs_created: self.dirs_created,
+            file_lifetimes: Ecdf::new(self.file_lt),
+            dir_lifetimes: Ecdf::new(self.dir_lt),
+        }
+    }
+}
+
+pub fn lifetime_analysis(records: &[TraceRecord]) -> LifetimeAnalysis {
+    crate::engine::run_fold(LifetimeFold::new(), records)
 }
 
 #[cfg(test)]
@@ -334,5 +521,67 @@ mod tests {
         assert_eq!(l.dir_mortality, 0.0);
         assert!((l.file_mortality_8h - 0.5).abs() < 1e-9);
         assert_eq!(l.file_lifetimes.median(), 3_600.0);
+    }
+
+    #[test]
+    fn chunked_dependencies_match_serial_at_every_split() {
+        // Node 1 spans chunks (W..W..R..D with gaps); node 2 is deleted and
+        // re-written; node 3 exists only in the tail.
+        let recs = vec![
+            transfer(at(0), Upload, 1, 1, 1, 10, 1, "a"),
+            transfer(at(60), Upload, 1, 1, 1, 10, 2, "a"),
+            transfer(at(0), Upload, 1, 2, 2, 10, 3, "b"),
+            node_op(at(30), Unlink, 1, 2, 2, u1_core::NodeKind::File),
+            transfer(at(40), Upload, 1, 2, 2, 10, 4, "b"),
+            transfer(at(120), Download, 1, 1, 1, 10, 2, "a"),
+            node_op(at(2 * 86_400), Unlink, 1, 1, 1, u1_core::NodeKind::File),
+            transfer(at(2 * 86_400 + 5), Upload, 1, 3, 3, 10, 5, "c"),
+            transfer(at(2 * 86_400 + 9), Download, 1, 3, 3, 10, 5, "c"),
+        ];
+        let serial = dependency_analysis(&recs);
+        for split in 0..=recs.len() {
+            let (a, b) = recs.split_at(split);
+            let got = crate::engine::run_chunks(DependencyFold::new(), &[a, b]);
+            assert_eq!(
+                serde_json::to_value(&got),
+                serde_json::to_value(&serial),
+                "split={split}"
+            );
+        }
+        // Single-record chunks exercise every boundary at once.
+        let chunks: Vec<&[_]> = recs.chunks(1).collect();
+        let got = crate::engine::run_chunks(DependencyFold::new(), &chunks);
+        assert_eq!(serde_json::to_value(&got), serde_json::to_value(&serial));
+    }
+
+    #[test]
+    fn chunked_lifetimes_match_serial_at_every_split() {
+        // Exercises the re-make quirk: a second Make refreshes the creation
+        // record without counting, and an Unlink then measures from the
+        // refreshed time.
+        let recs = vec![
+            node_op(at(0), MakeFile, 1, 1, 1, u1_core::NodeKind::File),
+            node_op(at(50), MakeFile, 1, 1, 1, u1_core::NodeKind::File), // refresh, not counted
+            node_op(at(100), MakeDir, 1, 1, 2, u1_core::NodeKind::Directory),
+            node_op(at(3_650), Unlink, 1, 1, 1, u1_core::NodeKind::File), // lifetime 3600 from refresh
+            node_op(at(4_000), MakeFile, 1, 1, 1, u1_core::NodeKind::File), // counted again
+            node_op(at(5_000), Unlink, 1, 1, 3, u1_core::NodeKind::File), // never created: ignored
+            node_op(at(6_000), Unlink, 1, 1, 2, u1_core::NodeKind::Directory),
+        ];
+        let serial = lifetime_analysis(&recs);
+        assert_eq!(serial.files_created, 2);
+        assert_eq!(serial.file_lifetimes.median(), 3_600.0);
+        for split in 0..=recs.len() {
+            let (a, b) = recs.split_at(split);
+            let got = crate::engine::run_chunks(LifetimeFold::new(), &[a, b]);
+            assert_eq!(
+                serde_json::to_value(&got),
+                serde_json::to_value(&serial),
+                "split={split}"
+            );
+        }
+        let chunks: Vec<&[_]> = recs.chunks(1).collect();
+        let got = crate::engine::run_chunks(LifetimeFold::new(), &chunks);
+        assert_eq!(serde_json::to_value(&got), serde_json::to_value(&serial));
     }
 }

@@ -1,0 +1,458 @@
+//! The streaming fold/merge analytics engine.
+//!
+//! Every mergeable analyzer implements [`TraceFold`]: records are `feed`
+//! one at a time, partial states from disjoint contiguous chunks are
+//! `merge`d earlier←later, and `finish` produces the same output the legacy
+//! slice-based free function produced. The legacy functions are now thin
+//! wrappers over their folds, so the two paths cannot drift.
+//!
+//! [`Battery`] bundles every fold the experiment harness needs and feeds
+//! them all from ONE pass over the trace (the legacy battery made one pass
+//! per analyzer — ~30 passes for an EXPERIMENTS.md regeneration).
+//! [`run_all_chunked`] splits the record slice into contiguous chunks, folds
+//! each on its own thread and k-way merges the partials in order; the
+//! result is exactly equal to the serial pass (see DESIGN.md §10 for the
+//! determinism argument).
+
+use crate::burstiness::BurstinessFold;
+use crate::ddos::{DdosFold, DdosReport, DetectorConfig};
+use crate::dedup::{DedupAnalysis, DedupFold};
+use crate::dependencies::{DependencyAnalysis, DependencyFold, LifetimeAnalysis, LifetimeFold};
+use crate::markov::{MarkovFold, TransitionGraph};
+use crate::rpc::{LoadBalance, LoadBalanceFold, RpcAnalysis, RpcFold};
+use crate::sessions::{AuthActivity, AuthActivityFold, SessionAnalysis, SessionFold};
+use crate::storage::{
+    RwRatioAnalysis, SizeByExtFold, SizeByExtension, SizeCategoryFold, SizeCategoryShares,
+    TaxonomyFold, TaxonomyShares, UpdateAnalysis, UpdateFold,
+};
+use crate::summary::{SummaryFold, TraceSummary};
+use crate::timeseries::{OnlineActiveFold, OnlineActiveSeries, TrafficFold, TrafficSeries};
+use crate::users::{
+    ActiveOnlineSummary, ClassShares, OpMix, OpMixFold, PerUserTrafficFold, TrafficInequality,
+};
+use serde::Serialize;
+use u1_core::{ApiOpKind, SimTime};
+use u1_trace::TraceRecord;
+
+/// A streaming, mergeable analysis.
+///
+/// Laws the differential tests pin down:
+/// * **fold == slice**: feeding a sorted slice record-by-record and
+///   finishing equals the legacy slice analyzer exactly.
+/// * **merge is associative** and respects concatenation: for any split of
+///   a sorted slice into contiguous chunks, folding each chunk into a
+///   partial (from [`TraceFold::new_partial`]) and merging earlier←later
+///   yields the same output as one serial pass.
+pub trait TraceFold: Sized {
+    type Output;
+
+    /// An empty fold carrying the same configuration (horizon, op, …),
+    /// suitable for folding one chunk of a larger stream.
+    fn new_partial(&self) -> Self;
+
+    /// Absorbs one record. Records must arrive in trace (timestamp-sorted
+    /// slice) order within a chunk.
+    fn feed(&mut self, rec: &TraceRecord);
+
+    /// Absorbs the partial state of the chunk *immediately after* this
+    /// one's. `self` is the earlier chunk.
+    fn merge(&mut self, later: Self);
+
+    /// Finalizes into the analyzer's output.
+    fn finish(self) -> Self::Output;
+}
+
+/// One serial pass: feed every record, then finish.
+pub fn run_fold<F: TraceFold>(mut fold: F, records: &[TraceRecord]) -> F::Output {
+    for rec in records {
+        fold.feed(rec);
+    }
+    fold.finish()
+}
+
+/// Folds each chunk into a fresh partial and merges them left-to-right into
+/// `seed`. Chunks must be contiguous pieces of one sorted slice, in order.
+/// This is the serial reference for the chunk-parallel path and the
+/// workhorse of the adversarial-split differential tests.
+pub fn run_chunks<F: TraceFold>(mut seed: F, chunks: &[&[TraceRecord]]) -> F::Output {
+    for chunk in chunks {
+        let mut part = seed.new_partial();
+        for rec in *chunk {
+            part.feed(rec);
+        }
+        seed.merge(part);
+    }
+    seed.finish()
+}
+
+/// Chunk-parallel run: splits `records` into `threads` contiguous chunks,
+/// folds each on its own thread, merges partials in chunk order. Output is
+/// exactly equal to [`run_fold`] at every thread count.
+pub fn run_chunked<F>(mut seed: F, records: &[TraceRecord], threads: usize) -> F::Output
+where
+    F: TraceFold + Send,
+{
+    let threads = threads.max(1).min(records.len().max(1));
+    if threads <= 1 {
+        return run_fold(seed, records);
+    }
+    let chunk_len = records.len().div_ceil(threads);
+    let partials: Vec<F> = std::thread::scope(|scope| {
+        let handles: Vec<_> = records
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let mut part = seed.new_partial();
+                scope.spawn(move || {
+                    for rec in chunk {
+                        part.feed(rec);
+                    }
+                    part
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold worker panicked"))
+            .collect()
+    });
+    for part in partials {
+        seed.merge(part);
+    }
+    seed.finish()
+}
+
+/// Configuration for the full experiment battery.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Trace horizon (bins cover `[0, horizon)`).
+    pub horizon: SimTime,
+    /// API machines for the Fig. 14 load-balance grid.
+    pub machines: usize,
+    /// Metadata-store shards for the Fig. 14 load-balance grid.
+    pub shards: usize,
+    /// Per-minute load-balance window, minutes (the paper plots 60).
+    pub lb_minutes: usize,
+    /// Extensions for the Fig. 4(b) size-by-extension curves.
+    pub exts: Vec<String>,
+    /// DDoS detector parameters.
+    pub ddos: DetectorConfig,
+}
+
+impl EngineConfig {
+    pub fn new(horizon: SimTime, machines: usize, shards: usize) -> Self {
+        Self {
+            horizon,
+            machines,
+            shards,
+            lb_minutes: 60,
+            exts: ["jpg", "mp3", "pdf", "doc", "java", "zip"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            ddos: DetectorConfig::default(),
+        }
+    }
+}
+
+/// Everything the Table-3/figure battery needs, from one pass.
+#[derive(Debug, Serialize)]
+pub struct EngineReport {
+    pub summary: TraceSummary,
+    pub traffic: TrafficSeries,
+    pub diurnal_swing: f64,
+    pub online_active: OnlineActiveSeries,
+    pub active_online: ActiveOnlineSummary,
+    pub size_shares: SizeCategoryShares,
+    pub rw: RwRatioAnalysis,
+    pub updates: UpdateAnalysis,
+    pub taxonomy: TaxonomyShares,
+    pub size_by_ext: SizeByExtension,
+    pub dedup: DedupAnalysis,
+    pub dependencies: DependencyAnalysis,
+    pub lifetimes: LifetimeAnalysis,
+    pub ddos: DdosReport,
+    pub op_mix: OpMix,
+    pub inequality: TrafficInequality,
+    pub class_shares: ClassShares,
+    pub markov: TransitionGraph,
+    pub burst_upload: crate::burstiness::Burstiness,
+    pub burst_unlink: crate::burstiness::Burstiness,
+    pub rpc: RpcAnalysis,
+    pub load_balance: LoadBalance,
+    pub auth: AuthActivity,
+    pub sessions: SessionAnalysis,
+}
+
+/// All registered folds, fed simultaneously. Itself a [`TraceFold`], so the
+/// whole battery chunk-parallelizes like any single analyzer.
+pub struct Battery {
+    cfg: EngineConfig,
+    summary: SummaryFold,
+    traffic: TrafficFold,
+    online_active: OnlineActiveFold,
+    size_shares: SizeCategoryFold,
+    updates: UpdateFold,
+    taxonomy: TaxonomyFold,
+    size_by_ext: SizeByExtFold,
+    dedup: DedupFold,
+    dependencies: DependencyFold,
+    lifetimes: LifetimeFold,
+    ddos: DdosFold,
+    op_mix: OpMixFold,
+    per_user: PerUserTrafficFold,
+    markov: MarkovFold,
+    burst_upload: BurstinessFold,
+    burst_unlink: BurstinessFold,
+    rpc: RpcFold,
+    load_balance: LoadBalanceFold,
+    auth: AuthActivityFold,
+    sessions: SessionFold,
+}
+
+impl Battery {
+    pub fn new(cfg: &EngineConfig) -> Self {
+        Self {
+            summary: SummaryFold::new(cfg.horizon),
+            traffic: TrafficFold::new(cfg.horizon),
+            online_active: OnlineActiveFold::new(cfg.horizon),
+            size_shares: SizeCategoryFold::new(),
+            updates: UpdateFold::new(),
+            taxonomy: TaxonomyFold::new(),
+            size_by_ext: SizeByExtFold::new(cfg.exts.clone()),
+            dedup: DedupFold::new(),
+            dependencies: DependencyFold::new(),
+            lifetimes: LifetimeFold::new(),
+            ddos: DdosFold::new(cfg.horizon, cfg.ddos.clone()),
+            op_mix: OpMixFold::new(),
+            per_user: PerUserTrafficFold::new(),
+            markov: MarkovFold::new(),
+            burst_upload: BurstinessFold::new(ApiOpKind::Upload),
+            burst_unlink: BurstinessFold::new(ApiOpKind::Unlink),
+            rpc: RpcFold::new(),
+            load_balance: LoadBalanceFold::new(
+                cfg.horizon,
+                cfg.machines,
+                cfg.shards,
+                cfg.lb_minutes,
+            ),
+            auth: AuthActivityFold::new(cfg.horizon),
+            sessions: SessionFold::new(),
+            cfg: cfg.clone(),
+        }
+    }
+}
+
+impl TraceFold for Battery {
+    type Output = EngineReport;
+
+    fn new_partial(&self) -> Self {
+        Battery::new(&self.cfg)
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
+        self.summary.feed(rec);
+        self.traffic.feed(rec);
+        self.online_active.feed(rec);
+        self.size_shares.feed(rec);
+        self.updates.feed(rec);
+        self.taxonomy.feed(rec);
+        self.size_by_ext.feed(rec);
+        self.dedup.feed(rec);
+        self.dependencies.feed(rec);
+        self.lifetimes.feed(rec);
+        self.ddos.feed(rec);
+        self.op_mix.feed(rec);
+        self.per_user.feed(rec);
+        self.markov.feed(rec);
+        self.burst_upload.feed(rec);
+        self.burst_unlink.feed(rec);
+        self.rpc.feed(rec);
+        self.load_balance.feed(rec);
+        self.auth.feed(rec);
+        self.sessions.feed(rec);
+    }
+
+    fn merge(&mut self, later: Self) {
+        self.summary.merge(later.summary);
+        self.traffic.merge(later.traffic);
+        self.online_active.merge(later.online_active);
+        self.size_shares.merge(later.size_shares);
+        self.updates.merge(later.updates);
+        self.taxonomy.merge(later.taxonomy);
+        self.size_by_ext.merge(later.size_by_ext);
+        self.dedup.merge(later.dedup);
+        self.dependencies.merge(later.dependencies);
+        self.lifetimes.merge(later.lifetimes);
+        self.ddos.merge(later.ddos);
+        self.op_mix.merge(later.op_mix);
+        self.per_user.merge(later.per_user);
+        self.markov.merge(later.markov);
+        self.burst_upload.merge(later.burst_upload);
+        self.burst_unlink.merge(later.burst_unlink);
+        self.rpc.merge(later.rpc);
+        self.load_balance.merge(later.load_balance);
+        self.auth.merge(later.auth);
+        self.sessions.merge(later.sessions);
+    }
+
+    fn finish(self) -> EngineReport {
+        let traffic = self.traffic.finish();
+        let online_active = self.online_active.finish();
+        let per_user = self.per_user.finish();
+        EngineReport {
+            summary: self.summary.finish(),
+            diurnal_swing: crate::storage::upload_diurnal_swing_from_series(&traffic),
+            rw: crate::storage::rw_ratio_from_series(&traffic),
+            active_online: crate::users::active_online_summary_from_series(&online_active),
+            size_shares: self.size_shares.finish(),
+            updates: self.updates.finish(),
+            taxonomy: self.taxonomy.finish(),
+            size_by_ext: self.size_by_ext.finish(),
+            dedup: self.dedup.finish(),
+            dependencies: self.dependencies.finish(),
+            lifetimes: self.lifetimes.finish(),
+            ddos: self.ddos.finish(),
+            op_mix: self.op_mix.finish(),
+            inequality: crate::users::traffic_inequality_from_traffic(&per_user),
+            class_shares: crate::users::class_shares_from_traffic(&per_user),
+            markov: self.markov.finish(),
+            burst_upload: self.burst_upload.finish(),
+            burst_unlink: self.burst_unlink.finish(),
+            rpc: self.rpc.finish(),
+            load_balance: self.load_balance.finish(),
+            auth: self.auth.finish(),
+            sessions: self.sessions.finish(),
+            traffic,
+            online_active,
+        }
+    }
+}
+
+/// One pass over the trace, all analyses at once.
+pub fn run_all(records: &[TraceRecord], cfg: &EngineConfig) -> EngineReport {
+    run_fold(Battery::new(cfg), records)
+}
+
+/// One chunk-parallel pass over the trace, all analyses at once.
+pub fn run_all_chunked(
+    records: &[TraceRecord],
+    cfg: &EngineConfig,
+    threads: usize,
+) -> EngineReport {
+    run_chunked(Battery::new(cfg), records, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::*;
+    use u1_core::ApiOpKind::*;
+
+    fn mixed_records() -> Vec<TraceRecord> {
+        let mut recs = Vec::new();
+        for u in 1..=8u64 {
+            recs.push(session_open(at(u * 10), u, u));
+            recs.push(auth(at(u * 10 + 1), u, u % 5 != 0));
+            for k in 0..6u64 {
+                recs.push(transfer(
+                    at(u * 10 + 100 + k * 700),
+                    if k % 3 == 0 { Download } else { Upload },
+                    u,
+                    u,
+                    u * 100 + k % 4,
+                    1000 * (k + 1),
+                    u * 10 + k % 3,
+                    if k % 2 == 0 { "jpg" } else { "mp3" },
+                ));
+            }
+            recs.push(node_op(
+                at(u * 10 + 5000),
+                Unlink,
+                u,
+                u,
+                u * 100,
+                u1_core::NodeKind::File,
+            ));
+            recs.push(rpc_on(
+                at(u * 10 + 2),
+                (u % 3) as u16,
+                0,
+                u1_core::RpcKind::GetNode,
+                u,
+                (u % 4) as u16,
+                1000 + u * 10,
+            ));
+            recs.push(session_close(at(u * 10 + 6000), u, u));
+        }
+        recs.sort_by_key(|r| r.t);
+        recs
+    }
+
+    #[test]
+    fn battery_chunked_equals_serial_at_any_split() {
+        let recs = mixed_records();
+        let cfg = EngineConfig::new(SimTime::from_hours(3), 3, 4);
+        let serial = serde_json::to_value(&run_all(&recs, &cfg));
+        for threads in [1, 2, 3, 7, 64] {
+            let chunked = serde_json::to_value(&run_all_chunked(&recs, &cfg, threads));
+            assert_eq!(chunked, serial, "threads={threads}");
+        }
+        // Adversarial: every record its own chunk.
+        let singles: Vec<&[TraceRecord]> = recs.chunks(1).collect();
+        let report = run_chunks(Battery::new(&cfg), &singles);
+        assert_eq!(serde_json::to_value(&report), serial);
+    }
+
+    #[test]
+    fn run_chunks_is_associative() {
+        let recs = mixed_records();
+        let cfg = EngineConfig::new(SimTime::from_hours(3), 3, 4);
+        let (a, rest) = recs.split_at(recs.len() / 3);
+        let (b, c) = rest.split_at(rest.len() / 2);
+        // (A·B)·C
+        let left = {
+            let mut ab = Battery::new(&cfg);
+            for part in [a, b] {
+                let mut p = ab.new_partial();
+                part.iter().for_each(|r| p.feed(r));
+                ab.merge(p);
+            }
+            let mut pc = ab.new_partial();
+            c.iter().for_each(|r| pc.feed(r));
+            ab.merge(pc);
+            ab.finish()
+        };
+        // A·(B·C)
+        let right = {
+            let mut bc = {
+                let mut seed = Battery::new(&cfg);
+                let mut pb = seed.new_partial();
+                b.iter().for_each(|r| pb.feed(r));
+                let mut pcc = seed.new_partial();
+                c.iter().for_each(|r| pcc.feed(r));
+                pb.merge(pcc);
+                seed.merge(pb);
+                seed
+            };
+            let mut root = bc.new_partial();
+            let mut pa = root.new_partial();
+            a.iter().for_each(|r| pa.feed(r));
+            root.merge(pa);
+            // root now holds A; absorb (B·C).
+            std::mem::swap(&mut root, &mut bc);
+            // after swap: root = (B·C) battery, bc = A battery — merge A←(B·C).
+            bc.merge(root);
+            bc.finish()
+        };
+        assert_eq!(serde_json::to_value(&left), serde_json::to_value(&right));
+    }
+
+    #[test]
+    fn empty_trace_finishes_cleanly() {
+        let cfg = EngineConfig::new(SimTime::from_hours(1), 1, 1);
+        let report = run_all(&[], &cfg);
+        assert_eq!(report.summary.records, 0);
+        assert_eq!(report.dedup.unique_contents, 0);
+        assert_eq!(report.sessions.sessions, 0);
+    }
+}

@@ -25,11 +25,17 @@
 //!   16),
 //! * [`ddos`] — attack detection from request-rate anomalies (Fig. 5),
 //! * [`summary`] — Table 3 and the Table 1 findings check.
+//!
+//! Every analyzer is implemented as an [`engine::TraceFold`]: a streaming
+//! fold that can also run chunk-parallel and merge partial states without
+//! changing any output bit. [`engine::run_all`] evaluates the whole battery
+//! in a single pass over the records.
 
 pub mod burstiness;
 pub mod ddos;
 pub mod dedup;
 pub mod dependencies;
+pub mod engine;
 pub mod markov;
 pub mod rpc;
 pub mod sessions;

@@ -5,9 +5,9 @@
 //! trace: order every user's operations (storage + authentications) by
 //! time and count transitions.
 
+use crate::engine::TraceFold;
 use serde::Serialize;
-use std::collections::HashMap;
-use u1_core::ApiOpKind;
+use u1_core::{ApiOpKind, FxHashMap};
 use u1_trace::{Payload, TraceRecord};
 
 /// One directed edge of the graph with its global probability.
@@ -24,7 +24,8 @@ pub struct Edge {
 #[derive(Debug, Serialize)]
 pub struct TransitionGraph {
     pub total_transitions: u64,
-    /// Edges sorted by probability, descending.
+    /// Edges sorted by probability descending, then by (from, to) name so
+    /// equal-probability edges order deterministically.
     pub edges: Vec<Edge>,
     /// Per-state transition matrix rows: (from, to, conditional p).
     pub conditional: Vec<(&'static str, &'static str, f64)>,
@@ -67,46 +68,121 @@ fn chain_state(rec: &TraceRecord) -> Option<(u64, ApiOpKind)> {
     }
 }
 
-pub fn transition_graph(records: &[TraceRecord]) -> TransitionGraph {
-    let mut last: HashMap<u64, ApiOpKind> = HashMap::new();
-    let mut counts: HashMap<(ApiOpKind, ApiOpKind), u64> = HashMap::new();
-    let mut from_totals: HashMap<ApiOpKind, u64> = HashMap::new();
-    let mut total = 0u64;
-    for rec in records {
-        let Some((user, op)) = chain_state(rec) else {
-            continue;
-        };
-        if let Some(prev) = last.insert(user, op) {
-            *counts.entry((prev, op)).or_default() += 1;
-            *from_totals.entry(prev).or_default() += 1;
-            total += 1;
+/// Streaming state behind [`transition_graph`]. Besides the edge counters,
+/// a partial keeps each user's first and last chain state so the merge can
+/// count the one boundary-straddling transition per user.
+pub struct MarkovFold {
+    counts: FxHashMap<(ApiOpKind, ApiOpKind), u64>,
+    from_totals: FxHashMap<ApiOpKind, u64>,
+    total: u64,
+    first: FxHashMap<u64, ApiOpKind>,
+    last: FxHashMap<u64, ApiOpKind>,
+}
+
+impl MarkovFold {
+    pub fn new() -> Self {
+        Self {
+            counts: FxHashMap::default(),
+            from_totals: FxHashMap::default(),
+            total: 0,
+            first: FxHashMap::default(),
+            last: FxHashMap::default(),
         }
     }
-    let mut edges: Vec<Edge> = counts
-        .iter()
-        .map(|((from, to), c)| Edge {
-            from: from.display_name(),
-            to: to.display_name(),
-            probability: *c as f64 / total.max(1) as f64,
-        })
-        .collect();
-    edges.sort_by(|a, b| b.probability.partial_cmp(&a.probability).unwrap());
-    let mut conditional: Vec<(&'static str, &'static str, f64)> = counts
-        .iter()
-        .map(|((from, to), c)| {
-            (
-                from.display_name(),
-                to.display_name(),
-                *c as f64 / from_totals[from].max(1) as f64,
-            )
-        })
-        .collect();
-    conditional.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
-    TransitionGraph {
-        total_transitions: total,
-        edges,
-        conditional,
+
+    fn count_edge(&mut self, from: ApiOpKind, to: ApiOpKind) {
+        *self.counts.entry((from, to)).or_default() += 1;
+        *self.from_totals.entry(from).or_default() += 1;
+        self.total += 1;
     }
+}
+
+impl Default for MarkovFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceFold for MarkovFold {
+    type Output = TransitionGraph;
+
+    fn new_partial(&self) -> Self {
+        MarkovFold::new()
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
+        let Some((user, op)) = chain_state(rec) else {
+            return;
+        };
+        match self.last.insert(user, op) {
+            Some(prev) => self.count_edge(prev, op),
+            None => {
+                self.first.insert(user, op);
+            }
+        }
+    }
+
+    fn merge(&mut self, later: Self) {
+        // The boundary transition: our last op per user flows into the later
+        // chunk's first op for the same user.
+        for (user, first_op) in &later.first {
+            if let Some(prev) = self.last.get(user).copied() {
+                self.count_edge(prev, *first_op);
+            }
+        }
+        for (key, c) in later.counts {
+            *self.counts.entry(key).or_default() += c;
+        }
+        for (op, c) in later.from_totals {
+            *self.from_totals.entry(op).or_default() += c;
+        }
+        self.total += later.total;
+        for (user, op) in later.last {
+            self.last.insert(user, op);
+        }
+        for (user, op) in later.first {
+            self.first.entry(user).or_insert(op);
+        }
+    }
+
+    fn finish(self) -> TransitionGraph {
+        let mut edges: Vec<Edge> = self
+            .counts
+            .iter()
+            .map(|((from, to), c)| Edge {
+                from: from.display_name(),
+                to: to.display_name(),
+                probability: *c as f64 / self.total.max(1) as f64,
+            })
+            .collect();
+        edges.sort_by(|a, b| {
+            b.probability
+                .partial_cmp(&a.probability)
+                .unwrap()
+                .then_with(|| (a.from, a.to).cmp(&(b.from, b.to)))
+        });
+        let mut conditional: Vec<(&'static str, &'static str, f64)> = self
+            .counts
+            .iter()
+            .map(|((from, to), c)| {
+                (
+                    from.display_name(),
+                    to.display_name(),
+                    *c as f64 / self.from_totals[from].max(1) as f64,
+                )
+            })
+            .collect();
+        conditional.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        TransitionGraph {
+            total_transitions: self.total,
+            edges,
+            conditional,
+        }
+    }
+}
+
+pub fn transition_graph(records: &[TraceRecord]) -> TransitionGraph {
+    crate::engine::run_fold(MarkovFold::new(), records)
 }
 
 #[cfg(test)]
@@ -171,5 +247,30 @@ mod tests {
         let recs = vec![transfer(at(1), Upload, 1, 1, 1, 10, 1, "a"), bad];
         let g = transition_graph(&recs);
         assert_eq!(g.total_transitions, 0);
+    }
+
+    #[test]
+    fn chunk_boundary_transitions_are_counted_once() {
+        let recs = vec![
+            transfer(at(1), Upload, 1, 1, 1, 10, 1, "a"),
+            transfer(at(2), Upload, 2, 2, 2, 10, 2, "a"),
+            transfer(at(3), Download, 1, 1, 1, 10, 1, "a"),
+            transfer(at(4), Download, 2, 2, 2, 10, 2, "a"),
+            transfer(at(5), Upload, 1, 1, 3, 10, 3, "a"),
+        ];
+        let serial = transition_graph(&recs);
+        for split in 0..=recs.len() {
+            let (a, b) = recs.split_at(split);
+            let got = crate::engine::run_chunks(MarkovFold::new(), &[a, b]);
+            assert_eq!(
+                got.total_transitions, serial.total_transitions,
+                "split={split}"
+            );
+            assert_eq!(
+                serde_json::to_value(&got.edges),
+                serde_json::to_value(&serial.edges),
+                "split={split}"
+            );
+        }
     }
 }

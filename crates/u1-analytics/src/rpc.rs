@@ -1,10 +1,10 @@
 //! Metadata-store RPC performance and load balance (§7.1–§7.2,
 //! Figs. 12–14).
 
+use crate::engine::TraceFold;
 use crate::stats::{cv, mean, stddev, Ecdf};
 use serde::Serialize;
-use std::collections::HashMap;
-use u1_core::{RpcClass, RpcKind, SimDuration, SimTime};
+use u1_core::{FxHashMap, RpcClass, RpcKind, SimDuration, SimTime};
 use u1_trace::{Payload, TraceRecord};
 
 /// One RPC's service-time profile (a line in one Fig. 12 panel and a point
@@ -47,42 +47,80 @@ impl RpcAnalysis {
     }
 }
 
-pub fn rpc_analysis(records: &[TraceRecord]) -> RpcAnalysis {
-    let mut samples: HashMap<RpcKind, Vec<f64>> = HashMap::new();
-    for rec in records {
+/// Streaming state behind [`rpc_analysis`]: service-time samples per RPC
+/// kind. Merging concatenates; the per-kind ECDFs sort at finish.
+pub struct RpcFold {
+    samples: FxHashMap<RpcKind, Vec<f64>>,
+}
+
+impl RpcFold {
+    pub fn new() -> Self {
+        Self {
+            samples: FxHashMap::default(),
+        }
+    }
+}
+
+impl Default for RpcFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceFold for RpcFold {
+    type Output = RpcAnalysis;
+
+    fn new_partial(&self) -> Self {
+        RpcFold::new()
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
         if let Payload::Rpc {
             rpc, service_us, ..
         } = &rec.payload
         {
-            samples
+            self.samples
                 .entry(*rpc)
                 .or_default()
                 .push(*service_us as f64 / 1e6);
         }
     }
-    let mut profiles = Vec::new();
-    for rpc in RpcKind::ALL {
-        let xs = samples.remove(&rpc).unwrap_or_default();
-        let ecdf = Ecdf::new(xs);
-        let median = ecdf.median();
-        let far = if ecdf.is_empty() {
-            0.0
-        } else {
-            1.0 - ecdf.cdf(10.0 * median)
-        };
-        profiles.push(RpcProfile {
-            rpc: rpc.dal_name(),
-            class: rpc.class().label(),
-            panel: rpc.figure12_panel(),
-            count: ecdf.len() as u64,
-            median_s: median,
-            p99_s: ecdf.quantile(0.99),
-            max_s: ecdf.max(),
-            far_from_median: far,
-            ecdf,
-        });
+
+    fn merge(&mut self, later: Self) {
+        for (rpc, xs) in later.samples {
+            self.samples.entry(rpc).or_default().extend(xs);
+        }
     }
-    RpcAnalysis { profiles }
+
+    fn finish(mut self) -> RpcAnalysis {
+        let mut profiles = Vec::new();
+        for rpc in RpcKind::ALL {
+            let xs = self.samples.remove(&rpc).unwrap_or_default();
+            let ecdf = Ecdf::new(xs);
+            let median = ecdf.median();
+            let far = if ecdf.is_empty() {
+                0.0
+            } else {
+                1.0 - ecdf.cdf(10.0 * median)
+            };
+            profiles.push(RpcProfile {
+                rpc: rpc.dal_name(),
+                class: rpc.class().label(),
+                panel: rpc.figure12_panel(),
+                count: ecdf.len() as u64,
+                median_s: median,
+                p99_s: ecdf.quantile(0.99),
+                max_s: ecdf.max(),
+                far_from_median: far,
+                ecdf,
+            });
+        }
+        RpcAnalysis { profiles }
+    }
+}
+
+pub fn rpc_analysis(records: &[TraceRecord]) -> RpcAnalysis {
+    crate::engine::run_fold(RpcFold::new(), records)
 }
 
 /// Fig. 14: load balance across API machines (hourly) and store shards
@@ -101,6 +139,115 @@ pub struct LoadBalance {
     pub shard_longrun_cv: f64,
 }
 
+/// Streaming state behind [`load_balance`]. Grid cells are integer request
+/// counts, so chunk merges add exactly and the f64 conversion at finish
+/// matches the legacy accumulate-as-f64 bit-for-bit.
+pub struct LoadBalanceFold {
+    horizon: SimTime,
+    machines: usize,
+    shards: usize,
+    minutes: usize,
+    api: Vec<Vec<u64>>,
+    shard: Vec<Vec<u64>>,
+    shard_totals: Vec<u64>,
+}
+
+impl LoadBalanceFold {
+    pub fn new(horizon: SimTime, machines: usize, shards: usize, minutes_window: usize) -> Self {
+        let hours = horizon
+            .as_micros()
+            .div_ceil(SimDuration::from_hours(1).as_micros()) as usize;
+        // Shards are binned per minute over a window (the paper plots 60
+        // minutes) — a full month per minute would be enormous.
+        Self {
+            horizon,
+            machines,
+            shards,
+            minutes: minutes_window,
+            api: vec![vec![0; machines]; hours.max(1)],
+            shard: vec![vec![0; shards]; minutes_window.max(1)],
+            shard_totals: vec![0; shards],
+        }
+    }
+}
+
+impl TraceFold for LoadBalanceFold {
+    type Output = LoadBalance;
+
+    fn new_partial(&self) -> Self {
+        LoadBalanceFold::new(self.horizon, self.machines, self.shards, self.minutes)
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
+        if rec.t >= self.horizon {
+            return;
+        }
+        match &rec.payload {
+            Payload::Storage { .. } | Payload::Session { .. } => {
+                let h = rec.t.bin_index(SimDuration::from_hours(1)) as usize;
+                let m = (rec.machine.raw() as usize) % self.machines;
+                self.api[h][m] += 1;
+            }
+            Payload::Rpc { shard: s, .. } => {
+                let idx = (s.raw() as usize) % self.shards;
+                self.shard_totals[idx] += 1;
+                let minute = rec.t.bin_index(SimDuration::from_mins(1)) as usize;
+                if minute < self.minutes {
+                    self.shard[minute][idx] += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn merge(&mut self, later: Self) {
+        for (dst, src) in self.api.iter_mut().zip(later.api) {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        for (dst, src) in self.shard.iter_mut().zip(later.shard) {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        for (d, s) in self.shard_totals.iter_mut().zip(later.shard_totals) {
+            *d += s;
+        }
+    }
+
+    fn finish(self) -> LoadBalance {
+        let to_f64 = |rows: Vec<Vec<u64>>| -> Vec<Vec<f64>> {
+            rows.into_iter()
+                .map(|r| r.into_iter().map(|c| c as f64).collect())
+                .collect()
+        };
+        let api = to_f64(self.api);
+        let shard = to_f64(self.shard);
+        let shard_totals: Vec<f64> = self.shard_totals.into_iter().map(|c| c as f64).collect();
+        let summarize = |rows: &[Vec<f64>]| -> Vec<(f64, f64)> {
+            rows.iter().map(|r| (mean(r), stddev(r))).collect()
+        };
+        let api_hourly = summarize(&api);
+        let shard_minutely = summarize(&shard);
+        let mean_cv = |rows: &[Vec<f64>]| {
+            let cvs: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.iter().sum::<f64>() > 0.0)
+                .map(|r| cv(r))
+                .collect();
+            mean(&cvs)
+        };
+        LoadBalance {
+            api_mean_cv: mean_cv(&api),
+            shard_mean_cv: mean_cv(&shard),
+            shard_longrun_cv: cv(&shard_totals),
+            api_hourly,
+            shard_minutely,
+        }
+    }
+}
+
 pub fn load_balance(
     records: &[TraceRecord],
     horizon: SimTime,
@@ -108,56 +255,10 @@ pub fn load_balance(
     shards: usize,
     minutes_window: usize,
 ) -> LoadBalance {
-    let hours = horizon
-        .as_micros()
-        .div_ceil(SimDuration::from_hours(1).as_micros()) as usize;
-    let mut api: Vec<Vec<f64>> = vec![vec![0.0; machines]; hours.max(1)];
-    // Shards are binned per minute over a window (the paper plots 60
-    // minutes) — a full month per minute would be enormous.
-    let minutes = minutes_window;
-    let mut shard: Vec<Vec<f64>> = vec![vec![0.0; shards]; minutes.max(1)];
-    let mut shard_totals = vec![0.0f64; shards];
-    for rec in records {
-        if rec.t >= horizon {
-            continue;
-        }
-        match &rec.payload {
-            Payload::Storage { .. } | Payload::Session { .. } => {
-                let h = rec.t.bin_index(SimDuration::from_hours(1)) as usize;
-                let m = (rec.machine.raw() as usize) % machines;
-                api[h][m] += 1.0;
-            }
-            Payload::Rpc { shard: s, .. } => {
-                let idx = (s.raw() as usize) % shards;
-                shard_totals[idx] += 1.0;
-                let minute = rec.t.bin_index(SimDuration::from_mins(1)) as usize;
-                if minute < minutes {
-                    shard[minute][idx] += 1.0;
-                }
-            }
-            _ => {}
-        }
-    }
-    let summarize = |rows: &[Vec<f64>]| -> Vec<(f64, f64)> {
-        rows.iter().map(|r| (mean(r), stddev(r))).collect()
-    };
-    let api_hourly = summarize(&api);
-    let shard_minutely = summarize(&shard);
-    let mean_cv = |rows: &[Vec<f64>]| {
-        let cvs: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.iter().sum::<f64>() > 0.0)
-            .map(|r| cv(r))
-            .collect();
-        mean(&cvs)
-    };
-    LoadBalance {
-        api_mean_cv: mean_cv(&api),
-        shard_mean_cv: mean_cv(&shard),
-        shard_longrun_cv: cv(&shard_totals),
-        api_hourly,
-        shard_minutely,
-    }
+    crate::engine::run_fold(
+        LoadBalanceFold::new(horizon, machines, shards, minutes_window),
+        records,
+    )
 }
 
 #[cfg(test)]

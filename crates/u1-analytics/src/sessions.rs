@@ -1,9 +1,9 @@
 //! Session and authentication analyses (§7.3, Figs. 15–16).
 
+use crate::engine::TraceFold;
 use crate::stats::Ecdf;
 use serde::Serialize;
-use std::collections::HashMap;
-use u1_core::{SimDuration, SimTime};
+use u1_core::{FxHashMap, FxHashSet, SimDuration, SimTime};
 use u1_trace::{Payload, SessionEvent, TraceRecord};
 
 /// Fig. 15: authentication and session-management activity.
@@ -19,59 +19,110 @@ pub struct AuthActivity {
     pub monday_over_weekend: f64,
 }
 
+/// Streaming state behind [`auth_activity`].
+pub struct AuthActivityFold {
+    horizon: SimTime,
+    auth_bins: Vec<u64>,
+    session_bins: Vec<u64>,
+    auth_total: u64,
+    auth_failed: u64,
+}
+
+impl AuthActivityFold {
+    pub fn new(horizon: SimTime) -> Self {
+        let bins = horizon
+            .as_micros()
+            .div_ceil(SimDuration::from_hours(1).as_micros()) as usize;
+        Self {
+            horizon,
+            auth_bins: vec![0; bins.max(1)],
+            session_bins: vec![0; bins.max(1)],
+            auth_total: 0,
+            auth_failed: 0,
+        }
+    }
+}
+
+impl TraceFold for AuthActivityFold {
+    type Output = AuthActivity;
+
+    fn new_partial(&self) -> Self {
+        AuthActivityFold::new(self.horizon)
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
+        match &rec.payload {
+            Payload::Auth { success, .. } => {
+                self.auth_total += 1;
+                self.auth_failed += u64::from(!success);
+                if rec.t < self.horizon {
+                    self.auth_bins[rec.t.bin_index(SimDuration::from_hours(1)) as usize] += 1;
+                }
+            }
+            Payload::Session { .. } if rec.t < self.horizon => {
+                self.session_bins[rec.t.bin_index(SimDuration::from_hours(1)) as usize] += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn merge(&mut self, later: Self) {
+        for (dst, src) in self.auth_bins.iter_mut().zip(later.auth_bins) {
+            *dst += src;
+        }
+        for (dst, src) in self.session_bins.iter_mut().zip(later.session_bins) {
+            *dst += src;
+        }
+        self.auth_total += later.auth_total;
+        self.auth_failed += later.auth_failed;
+    }
+
+    fn finish(self) -> AuthActivity {
+        let auth_per_hour: Vec<f64> = self.auth_bins.iter().map(|&c| c as f64).collect();
+        let session_events_per_hour: Vec<f64> =
+            self.session_bins.iter().map(|&c| c as f64).collect();
+        // Day (10:00–16:00) vs night (00:00–05:00) means.
+        let mut day = Vec::new();
+        let mut night = Vec::new();
+        let mut monday = Vec::new();
+        let mut weekend = Vec::new();
+        for (i, &v) in auth_per_hour.iter().enumerate() {
+            let t = SimTime::from_hours(i as u64);
+            match t.hour_of_day() {
+                10..=16 => day.push(v),
+                0..=5 => night.push(v),
+                _ => {}
+            }
+            match t.day_of_week() {
+                0 => monday.push(v),
+                5 | 6 => weekend.push(v),
+                _ => {}
+            }
+        }
+        let ratio = |a: &[f64], b: &[f64]| {
+            let (ma, mb) = (crate::stats::mean(a), crate::stats::mean(b));
+            if mb > 0.0 {
+                ma / mb
+            } else {
+                f64::NAN
+            }
+        };
+        AuthActivity {
+            diurnal_swing: ratio(&day, &night),
+            monday_over_weekend: ratio(&monday, &weekend),
+            auth_failure_fraction: if self.auth_total == 0 {
+                0.0
+            } else {
+                self.auth_failed as f64 / self.auth_total as f64
+            },
+            auth_per_hour,
+            session_events_per_hour,
+        }
+    }
+}
+
 pub fn auth_activity(records: &[TraceRecord], horizon: SimTime) -> AuthActivity {
-    let hour = SimDuration::from_hours(1);
-    let auth_per_hour = crate::timeseries::bin_sum(records, horizon, hour, |r| {
-        matches!(r.payload, Payload::Auth { .. }).then_some(1.0)
-    });
-    let session_events_per_hour = crate::timeseries::bin_sum(records, horizon, hour, |r| {
-        matches!(r.payload, Payload::Session { .. }).then_some(1.0)
-    });
-    let mut auth_total = 0u64;
-    let mut auth_failed = 0u64;
-    for rec in records {
-        if let Payload::Auth { success, .. } = &rec.payload {
-            auth_total += 1;
-            auth_failed += (!success) as u64;
-        }
-    }
-    // Day (10:00–16:00) vs night (00:00–05:00) means.
-    let mut day = Vec::new();
-    let mut night = Vec::new();
-    let mut monday = Vec::new();
-    let mut weekend = Vec::new();
-    for (i, &v) in auth_per_hour.iter().enumerate() {
-        let t = SimTime::from_hours(i as u64);
-        match t.hour_of_day() {
-            10..=16 => day.push(v),
-            0..=5 => night.push(v),
-            _ => {}
-        }
-        match t.day_of_week() {
-            0 => monday.push(v),
-            5 | 6 => weekend.push(v),
-            _ => {}
-        }
-    }
-    let ratio = |a: &[f64], b: &[f64]| {
-        let (ma, mb) = (crate::stats::mean(a), crate::stats::mean(b));
-        if mb > 0.0 {
-            ma / mb
-        } else {
-            f64::NAN
-        }
-    };
-    AuthActivity {
-        diurnal_swing: ratio(&day, &night),
-        monday_over_weekend: ratio(&monday, &weekend),
-        auth_failure_fraction: if auth_total == 0 {
-            0.0
-        } else {
-            auth_failed as f64 / auth_total as f64
-        },
-        auth_per_hour,
-        session_events_per_hour,
-    }
+    crate::engine::run_fold(AuthActivityFold::new(horizon), records)
 }
 
 /// Fig. 16: session lengths and per-session storage operations.
@@ -95,21 +146,79 @@ pub struct SessionAnalysis {
     pub top20_op_share: f64,
 }
 
-pub fn session_analysis(records: &[TraceRecord]) -> SessionAnalysis {
-    let mut open_at: HashMap<u64, SimTime> = HashMap::new();
-    let mut data_ops: HashMap<u64, u64> = HashMap::new();
-    let mut lengths = Vec::new();
-    let mut active_lengths = Vec::new();
-    let mut closed_active = 0u64;
-    let mut closed = 0u64;
-    for rec in records {
+/// Streaming state behind [`session_analysis`].
+///
+/// The serial pass classifies a session as *active* by looking up its data
+/// op count at close time — and that count is never cleared, so it includes
+/// ops from every record before the close, even a previous use of the same
+/// session id. Replaying that across chunks needs:
+/// * `pending_closes` — closes with no local open; they bind to an earlier
+///   chunk's open at merge time, carrying the op count seen so far so the
+///   activity check stays "ops strictly before the close".
+/// * `inactive_closes` — closes already matched and counted, but classified
+///   inactive using only local knowledge; an earlier chunk holding data ops
+///   for that session upgrades them to active at merge time.
+pub struct SessionFold {
+    open_at: FxHashMap<u64, SimTime>,
+    opened: FxHashSet<u64>,
+    data_ops: FxHashMap<u64, u64>,
+    lengths: Vec<f64>,
+    active_lengths: Vec<f64>,
+    closed: u64,
+    closed_active: u64,
+    pending_closes: Vec<(u64, SimTime, u64)>, // (session, close time, ops before)
+    inactive_closes: Vec<(u64, f64)>,         // (session, length)
+}
+
+impl SessionFold {
+    pub fn new() -> Self {
+        Self {
+            open_at: FxHashMap::default(),
+            opened: FxHashSet::default(),
+            data_ops: FxHashMap::default(),
+            lengths: Vec::new(),
+            active_lengths: Vec::new(),
+            closed: 0,
+            closed_active: 0,
+            pending_closes: Vec::new(),
+            inactive_closes: Vec::new(),
+        }
+    }
+
+    fn record_close(&mut self, session: u64, len: f64, active: bool) {
+        self.closed += 1;
+        self.lengths.push(len);
+        if active {
+            self.closed_active += 1;
+            self.active_lengths.push(len);
+        } else {
+            self.inactive_closes.push((session, len));
+        }
+    }
+}
+
+impl Default for SessionFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceFold for SessionFold {
+    type Output = SessionAnalysis;
+
+    fn new_partial(&self) -> Self {
+        SessionFold::new()
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
         match &rec.payload {
             Payload::Session {
                 event: SessionEvent::Open,
                 session,
                 ..
             } => {
-                open_at.insert(session.raw(), rec.t);
+                self.open_at.insert(session.raw(), rec.t);
+                self.opened.insert(session.raw());
             }
             Payload::Storage {
                 op,
@@ -117,55 +226,108 @@ pub fn session_analysis(records: &[TraceRecord]) -> SessionAnalysis {
                 success: true,
                 ..
             } if op.is_data_management() => {
-                *data_ops.entry(session.raw()).or_default() += 1;
+                *self.data_ops.entry(session.raw()).or_default() += 1;
             }
             Payload::Session {
                 event: SessionEvent::Close,
                 session,
                 ..
             } => {
-                if let Some(t0) = open_at.remove(&session.raw()) {
-                    closed += 1;
+                let s = session.raw();
+                if let Some(t0) = self.open_at.remove(&s) {
                     let len = rec.t.since(t0).as_secs_f64();
-                    lengths.push(len);
-                    if data_ops.contains_key(&session.raw()) {
-                        closed_active += 1;
-                        active_lengths.push(len);
-                    }
+                    let active = self.data_ops.contains_key(&s);
+                    self.record_close(s, len, active);
+                } else if !self.opened.contains(&s) {
+                    // No open seen locally at all: may bind to an earlier
+                    // chunk's open. Ops-before snapshot keeps the activity
+                    // check restricted to records preceding this close.
+                    let ops_before = self.data_ops.get(&s).copied().unwrap_or(0);
+                    self.pending_closes.push((s, rec.t, ops_before));
                 }
+                // An open existed locally but was already consumed: the
+                // serial pass drops such a close silently.
             }
             _ => {}
         }
     }
-    let lengths = Ecdf::new(lengths);
-    let ops: Vec<f64> = data_ops.values().map(|&c| c as f64).collect();
-    let ops_ecdf = Ecdf::new(ops.clone());
-    let top20_share = {
-        let mut sorted = ops.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let cut = (sorted.len() as f64 * 0.8) as usize;
-        let total: f64 = sorted.iter().sum();
-        if total > 0.0 {
-            sorted[cut..].iter().sum::<f64>() / total
-        } else {
-            0.0
+
+    fn merge(&mut self, later: Self) {
+        for (s, t_close, ops_before) in later.pending_closes {
+            if let Some(t0) = self.open_at.remove(&s) {
+                let len = t_close.since(t0).as_secs_f64();
+                let active = ops_before > 0 || self.data_ops.contains_key(&s);
+                self.record_close(s, len, active);
+            } else if !self.opened.contains(&s) {
+                let ops_here = self.data_ops.get(&s).copied().unwrap_or(0);
+                self.pending_closes
+                    .push((s, t_close, ops_before + ops_here));
+            }
         }
-    };
-    SessionAnalysis {
-        sessions: closed,
-        under_1s: lengths.cdf(1.0),
-        under_8h: lengths.cdf(8.0 * 3600.0),
-        active_fraction: if closed == 0 {
-            0.0
-        } else {
-            closed_active as f64 / closed as f64
-        },
-        p80_ops: ops_ecdf.quantile(0.8),
-        top20_op_share: top20_share,
-        lengths,
-        active_lengths: Ecdf::new(active_lengths),
-        ops_per_active_session: ops_ecdf,
+        // Closes the later chunk classified inactive become active if this
+        // (earlier) chunk saw data ops for the session.
+        for (s, len) in later.inactive_closes {
+            if self.data_ops.contains_key(&s) {
+                self.closed_active += 1;
+                self.active_lengths.push(len);
+            } else {
+                self.inactive_closes.push((s, len));
+            }
+        }
+        // Later re-opens overwrite (lose) earlier unclosed opens.
+        for s in &later.opened {
+            self.open_at.remove(s);
+        }
+        self.opened.extend(later.opened);
+        self.open_at.extend(later.open_at);
+        for (s, c) in later.data_ops {
+            *self.data_ops.entry(s).or_default() += c;
+        }
+        self.lengths.extend(later.lengths);
+        self.active_lengths.extend(later.active_lengths);
+        self.closed += later.closed;
+        self.closed_active += later.closed_active;
     }
+
+    fn finish(self) -> SessionAnalysis {
+        // Pending closes that never found an open are dropped, as in the
+        // serial pass.
+        let closed = self.closed;
+        let closed_active = self.closed_active;
+        let lengths = Ecdf::new(self.lengths);
+        let ops: Vec<f64> = self.data_ops.values().map(|&c| c as f64).collect();
+        let ops_ecdf = Ecdf::new(ops.clone());
+        let top20_share = {
+            let mut sorted = ops;
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let cut = (sorted.len() as f64 * 0.8) as usize;
+            let total: f64 = sorted.iter().sum();
+            if total > 0.0 {
+                sorted[cut..].iter().sum::<f64>() / total
+            } else {
+                0.0
+            }
+        };
+        SessionAnalysis {
+            sessions: closed,
+            under_1s: lengths.cdf(1.0),
+            under_8h: lengths.cdf(8.0 * 3600.0),
+            active_fraction: if closed == 0 {
+                0.0
+            } else {
+                closed_active as f64 / closed as f64
+            },
+            p80_ops: ops_ecdf.quantile(0.8),
+            top20_op_share: top20_share,
+            lengths,
+            active_lengths: Ecdf::new(self.active_lengths),
+            ops_per_active_session: ops_ecdf,
+        }
+    }
+}
+
+pub fn session_analysis(records: &[TraceRecord]) -> SessionAnalysis {
+    crate::engine::run_fold(SessionFold::new(), records)
 }
 
 #[cfg(test)]
@@ -204,6 +366,33 @@ mod tests {
         ];
         let s = session_analysis(&recs);
         assert!((s.under_1s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunked_sessions_match_serial_at_every_split() {
+        // Covers: boundary-spanning session, op-before-close in a different
+        // chunk, session-id reuse inheriting activity, double close.
+        let recs = vec![
+            session_open(at(0), 1, 1),
+            transfer(at(10), Upload, 1, 1, 1, 10, 1, "a"),
+            session_open(at(20), 2, 2),
+            session_close(at(100), 1, 1),
+            session_close(at(110), 2, 2), // cold close
+            session_open(at(120), 1, 1),  // reuse id 1: inherits data ops
+            session_close(at(130), 1, 1), // active via stale count
+            session_close(at(140), 1, 1), // double close: dropped
+        ];
+        let serial = session_analysis(&recs);
+        for split in 0..=recs.len() {
+            let (a, b) = recs.split_at(split);
+            let got = crate::engine::run_chunks(SessionFold::new(), &[a, b]);
+            assert_eq!(got.sessions, serial.sessions, "split={split}");
+            assert_eq!(
+                serde_json::to_value(&got),
+                serde_json::to_value(&serial),
+                "split={split}"
+            );
+        }
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Storage-workload analyses (§5.1, §5.3): size-category traffic shares,
 //! R/W ratios, update overhead, file-type taxonomy and size distributions.
 
+use crate::engine::TraceFold;
 use crate::stats::{acf, Acf, Ecdf};
-use crate::timeseries;
+use crate::timeseries::{self, TrafficSeries};
 use serde::Serialize;
-use std::collections::HashMap;
-use u1_core::{ApiOpKind, FileCategory, SimTime, SizeCategory};
+use u1_core::{ApiOpKind, ContentHash, FileCategory, FxHashMap, SimTime, SizeCategory};
 use u1_trace::{Payload, TraceRecord};
 
 /// Fig. 2(b): per size-bucket shares of operations and bytes, separately
@@ -19,12 +19,29 @@ pub struct SizeCategoryShares {
     pub download_byte_share: Vec<f64>,
 }
 
-pub fn size_category_shares(records: &[TraceRecord]) -> SizeCategoryShares {
-    let mut up_ops = [0u64; 5];
-    let mut up_bytes = [0u64; 5];
-    let mut down_ops = [0u64; 5];
-    let mut down_bytes = [0u64; 5];
-    for rec in records {
+/// Streaming state behind [`size_category_shares`].
+#[derive(Default)]
+pub struct SizeCategoryFold {
+    up_ops: [u64; 5],
+    up_bytes: [u64; 5],
+    down_ops: [u64; 5],
+    down_bytes: [u64; 5],
+}
+
+impl SizeCategoryFold {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceFold for SizeCategoryFold {
+    type Output = SizeCategoryShares;
+
+    fn new_partial(&self) -> Self {
+        Self::default()
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
         if let Payload::Storage {
             op,
             success: true,
@@ -38,36 +55,52 @@ pub fn size_category_shares(records: &[TraceRecord]) -> SizeCategoryShares {
                 .expect("category");
             match op {
                 ApiOpKind::Upload => {
-                    up_ops[idx] += 1;
-                    up_bytes[idx] += size;
+                    self.up_ops[idx] += 1;
+                    self.up_bytes[idx] += size;
                 }
                 ApiOpKind::Download => {
-                    down_ops[idx] += 1;
-                    down_bytes[idx] += size;
+                    self.down_ops[idx] += 1;
+                    self.down_bytes[idx] += size;
                 }
                 _ => {}
             }
         }
     }
-    let share = |xs: [u64; 5]| -> Vec<f64> {
-        let total: u64 = xs.iter().sum();
-        xs.iter()
-            .map(|&x| {
-                if total == 0 {
-                    0.0
-                } else {
-                    x as f64 / total as f64
-                }
-            })
-            .collect()
-    };
-    SizeCategoryShares {
-        categories: SizeCategory::ALL.iter().map(|c| c.label()).collect(),
-        upload_op_share: share(up_ops),
-        upload_byte_share: share(up_bytes),
-        download_op_share: share(down_ops),
-        download_byte_share: share(down_bytes),
+
+    fn merge(&mut self, later: Self) {
+        for i in 0..5 {
+            self.up_ops[i] += later.up_ops[i];
+            self.up_bytes[i] += later.up_bytes[i];
+            self.down_ops[i] += later.down_ops[i];
+            self.down_bytes[i] += later.down_bytes[i];
+        }
     }
+
+    fn finish(self) -> SizeCategoryShares {
+        let share = |xs: [u64; 5]| -> Vec<f64> {
+            let total: u64 = xs.iter().sum();
+            xs.iter()
+                .map(|&x| {
+                    if total == 0 {
+                        0.0
+                    } else {
+                        x as f64 / total as f64
+                    }
+                })
+                .collect()
+        };
+        SizeCategoryShares {
+            categories: SizeCategory::ALL.iter().map(|c| c.label()).collect(),
+            upload_op_share: share(self.up_ops),
+            upload_byte_share: share(self.up_bytes),
+            download_op_share: share(self.down_ops),
+            download_byte_share: share(self.down_bytes),
+        }
+    }
+}
+
+pub fn size_category_shares(records: &[TraceRecord]) -> SizeCategoryShares {
+    crate::engine::run_fold(SizeCategoryFold::new(), records)
 }
 
 /// Fig. 2(c): the hourly R/W (download/upload bytes) ratio series, its
@@ -85,8 +118,9 @@ pub struct RwRatioAnalysis {
     pub by_hour_of_day: Vec<f64>,
 }
 
-pub fn rw_ratio(records: &[TraceRecord], horizon: SimTime) -> RwRatioAnalysis {
-    let ts = timeseries::traffic_per_hour(records, horizon);
+/// Derives the R/W analysis from an already-computed hourly traffic series —
+/// the single-pass battery computes the series once and shares it.
+pub fn rw_ratio_from_series(ts: &TrafficSeries) -> RwRatioAnalysis {
     // Hours with negligible volume produce degenerate ratios (a scaled-down
     // population has near-empty night hours the production system never
     // had); require at least 2% of the mean hourly volume on both sides.
@@ -117,6 +151,10 @@ pub fn rw_ratio(records: &[TraceRecord], horizon: SimTime) -> RwRatioAnalysis {
     }
 }
 
+pub fn rw_ratio(records: &[TraceRecord], horizon: SimTime) -> RwRatioAnalysis {
+    rw_ratio_from_series(&timeseries::traffic_per_hour(records, horizon))
+}
+
 /// §5.1: updates — uploads to a node that already had different content.
 #[derive(Debug, Clone, Serialize, PartialEq)]
 pub struct UpdateAnalysis {
@@ -128,18 +166,48 @@ pub struct UpdateAnalysis {
     pub update_traffic_fraction: f64,
 }
 
-pub fn update_analysis(records: &[TraceRecord]) -> UpdateAnalysis {
-    // node -> (hash, size) of its last upload.
-    let mut last: HashMap<u64, (Option<u1_core::ContentHash>, u64)> = HashMap::new();
-    let mut out = UpdateAnalysis {
-        uploads: 0,
-        update_uploads: 0,
-        upload_bytes: 0,
-        update_bytes: 0,
-        update_op_fraction: 0.0,
-        update_traffic_fraction: 0.0,
-    };
-    for rec in records {
+type Content = (Option<ContentHash>, u64);
+
+/// Streaming state behind [`update_analysis`]. An "update" compares each
+/// upload with the node's *previous* upload, so a chunk's first upload of a
+/// node cannot be classified locally: the partial keeps both the first and
+/// the last content seen per node, and the merge classifies the one
+/// boundary-straddling pair per node.
+pub struct UpdateFold {
+    // node -> (first upload content in this partial, last upload content).
+    nodes: FxHashMap<u64, (Content, Content)>,
+    uploads: u64,
+    update_uploads: u64,
+    upload_bytes: u64,
+    update_bytes: u64,
+}
+
+impl UpdateFold {
+    pub fn new() -> Self {
+        Self {
+            nodes: FxHashMap::default(),
+            uploads: 0,
+            update_uploads: 0,
+            upload_bytes: 0,
+            update_bytes: 0,
+        }
+    }
+}
+
+impl Default for UpdateFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceFold for UpdateFold {
+    type Output = UpdateAnalysis;
+
+    fn new_partial(&self) -> Self {
+        UpdateFold::new()
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
         if let Payload::Storage {
             op: ApiOpKind::Upload,
             success: true,
@@ -149,26 +217,70 @@ pub fn update_analysis(records: &[TraceRecord]) -> UpdateAnalysis {
             ..
         } = &rec.payload
         {
-            out.uploads += 1;
-            out.upload_bytes += size;
-            if let Some((old_hash, old_size)) = last.get(&node.raw()) {
-                // The paper's definition: "an upload of an existing file
-                // that has distinct hash/size".
-                if old_hash != hash || old_size != size {
-                    out.update_uploads += 1;
-                    out.update_bytes += size;
+            self.uploads += 1;
+            self.upload_bytes += size;
+            let content: Content = (*hash, *size);
+            match self.nodes.get_mut(&node.raw()) {
+                Some((_, last)) => {
+                    // The paper's definition: "an upload of an existing file
+                    // that has distinct hash/size".
+                    if *last != content {
+                        self.update_uploads += 1;
+                        self.update_bytes += size;
+                    }
+                    *last = content;
+                }
+                None => {
+                    self.nodes.insert(node.raw(), (content, content));
                 }
             }
-            last.insert(node.raw(), (*hash, *size));
         }
     }
-    if out.uploads > 0 {
-        out.update_op_fraction = out.update_uploads as f64 / out.uploads as f64;
+
+    fn merge(&mut self, later: Self) {
+        self.uploads += later.uploads;
+        self.upload_bytes += later.upload_bytes;
+        self.update_uploads += later.update_uploads;
+        self.update_bytes += later.update_bytes;
+        for (node, (first, last)) in later.nodes {
+            match self.nodes.get_mut(&node) {
+                Some((_, my_last)) => {
+                    // The later chunk's first upload of this node follows
+                    // our last one: classify that boundary pair now.
+                    if *my_last != first {
+                        self.update_uploads += 1;
+                        self.update_bytes += first.1;
+                    }
+                    *my_last = last;
+                }
+                None => {
+                    self.nodes.insert(node, (first, last));
+                }
+            }
+        }
     }
-    if out.upload_bytes > 0 {
-        out.update_traffic_fraction = out.update_bytes as f64 / out.upload_bytes as f64;
+
+    fn finish(self) -> UpdateAnalysis {
+        let mut out = UpdateAnalysis {
+            uploads: self.uploads,
+            update_uploads: self.update_uploads,
+            upload_bytes: self.upload_bytes,
+            update_bytes: self.update_bytes,
+            update_op_fraction: 0.0,
+            update_traffic_fraction: 0.0,
+        };
+        if out.uploads > 0 {
+            out.update_op_fraction = out.update_uploads as f64 / out.uploads as f64;
+        }
+        if out.upload_bytes > 0 {
+            out.update_traffic_fraction = out.update_bytes as f64 / out.upload_bytes as f64;
+        }
+        out
     }
-    out
+}
+
+pub fn update_analysis(records: &[TraceRecord]) -> UpdateAnalysis {
+    crate::engine::run_fold(UpdateFold::new(), records)
 }
 
 /// Fig. 4(c): per-category share of files and of storage bytes.
@@ -179,10 +291,34 @@ pub struct TaxonomyShares {
     pub byte_share: Vec<f64>,
 }
 
-pub fn taxonomy_shares(records: &[TraceRecord]) -> TaxonomyShares {
-    // Distinct nodes per category; bytes = last-known size per node.
-    let mut node_cat: HashMap<u64, (FileCategory, u64)> = HashMap::new();
-    for rec in records {
+/// Streaming state behind [`taxonomy_shares`]: last-writer-wins per node,
+/// so merging extends with the later chunk's entries winning.
+pub struct TaxonomyFold {
+    node_cat: FxHashMap<u64, (FileCategory, u64)>,
+}
+
+impl TaxonomyFold {
+    pub fn new() -> Self {
+        Self {
+            node_cat: FxHashMap::default(),
+        }
+    }
+}
+
+impl Default for TaxonomyFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceFold for TaxonomyFold {
+    type Output = TaxonomyShares;
+
+    fn new_partial(&self) -> Self {
+        TaxonomyFold::new()
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
         if let Payload::Storage {
             op: ApiOpKind::Upload,
             success: true,
@@ -192,28 +328,40 @@ pub fn taxonomy_shares(records: &[TraceRecord]) -> TaxonomyShares {
             ..
         } = &rec.payload
         {
-            node_cat.insert(node.raw(), (FileCategory::of_extension(ext), *size));
+            self.node_cat
+                .insert(node.raw(), (FileCategory::of_extension(ext), *size));
         }
     }
-    let mut files: HashMap<FileCategory, u64> = HashMap::new();
-    let mut bytes: HashMap<FileCategory, u64> = HashMap::new();
-    for (cat, size) in node_cat.values() {
-        *files.entry(*cat).or_default() += 1;
-        *bytes.entry(*cat).or_default() += size;
+
+    fn merge(&mut self, later: Self) {
+        self.node_cat.extend(later.node_cat);
     }
-    let total_files: u64 = files.values().sum();
-    let total_bytes: u64 = bytes.values().sum();
-    TaxonomyShares {
-        categories: FileCategory::ALL.iter().map(|c| c.label()).collect(),
-        file_share: FileCategory::ALL
-            .iter()
-            .map(|c| files.get(c).copied().unwrap_or(0) as f64 / total_files.max(1) as f64)
-            .collect(),
-        byte_share: FileCategory::ALL
-            .iter()
-            .map(|c| bytes.get(c).copied().unwrap_or(0) as f64 / total_bytes.max(1) as f64)
-            .collect(),
+
+    fn finish(self) -> TaxonomyShares {
+        let mut files: FxHashMap<FileCategory, u64> = FxHashMap::default();
+        let mut bytes: FxHashMap<FileCategory, u64> = FxHashMap::default();
+        for (cat, size) in self.node_cat.values() {
+            *files.entry(*cat).or_default() += 1;
+            *bytes.entry(*cat).or_default() += size;
+        }
+        let total_files: u64 = files.values().sum();
+        let total_bytes: u64 = bytes.values().sum();
+        TaxonomyShares {
+            categories: FileCategory::ALL.iter().map(|c| c.label()).collect(),
+            file_share: FileCategory::ALL
+                .iter()
+                .map(|c| files.get(c).copied().unwrap_or(0) as f64 / total_files.max(1) as f64)
+                .collect(),
+            byte_share: FileCategory::ALL
+                .iter()
+                .map(|c| bytes.get(c).copied().unwrap_or(0) as f64 / total_bytes.max(1) as f64)
+                .collect(),
+        }
     }
+}
+
+pub fn taxonomy_shares(records: &[TraceRecord]) -> TaxonomyShares {
+    crate::engine::run_fold(TaxonomyFold::new(), records)
 }
 
 /// Fig. 4(b): size ECDF for all uploaded files plus chosen extensions.
@@ -224,10 +372,32 @@ pub struct SizeByExtension {
     pub under_1mb_fraction: f64,
 }
 
-pub fn size_by_extension(records: &[TraceRecord], exts: &[&str]) -> SizeByExtension {
-    let mut all = Vec::new();
-    let mut per: HashMap<String, Vec<f64>> = HashMap::new();
-    for rec in records {
+/// Streaming state behind [`size_by_extension`]. The ECDF sorts at finish,
+/// so chunk concatenation order never shows in the output.
+pub struct SizeByExtFold {
+    exts: Vec<String>,
+    all: Vec<f64>,
+    per: FxHashMap<String, Vec<f64>>,
+}
+
+impl SizeByExtFold {
+    pub fn new(exts: Vec<String>) -> Self {
+        Self {
+            exts,
+            all: Vec::new(),
+            per: FxHashMap::default(),
+        }
+    }
+}
+
+impl TraceFold for SizeByExtFold {
+    type Output = SizeByExtension;
+
+    fn new_partial(&self) -> Self {
+        SizeByExtFold::new(self.exts.clone())
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
         if let Payload::Storage {
             op: ApiOpKind::Upload,
             success: true,
@@ -236,27 +406,42 @@ pub fn size_by_extension(records: &[TraceRecord], exts: &[&str]) -> SizeByExtens
             ..
         } = &rec.payload
         {
-            all.push(*size as f64);
-            if exts.contains(&ext.as_str()) {
-                per.entry(ext.clone()).or_default().push(*size as f64);
+            self.all.push(*size as f64);
+            if self.exts.iter().any(|e| e == ext) {
+                self.per.entry(ext.clone()).or_default().push(*size as f64);
             }
         }
     }
-    let all = Ecdf::new(all);
-    let under_1mb_fraction = all.cdf(1_000_000.0);
-    SizeByExtension {
-        under_1mb_fraction,
-        by_ext: exts
-            .iter()
-            .filter_map(|e| per.remove(*e).map(|v| (e.to_string(), Ecdf::new(v))))
-            .collect(),
-        all,
+
+    fn merge(&mut self, later: Self) {
+        self.all.extend(later.all);
+        for (ext, sizes) in later.per {
+            self.per.entry(ext).or_default().extend(sizes);
+        }
+    }
+
+    fn finish(mut self) -> SizeByExtension {
+        let all = Ecdf::new(self.all);
+        let under_1mb_fraction = all.cdf(1_000_000.0);
+        SizeByExtension {
+            under_1mb_fraction,
+            by_ext: self
+                .exts
+                .iter()
+                .filter_map(|e| self.per.remove(e).map(|v| (e.to_string(), Ecdf::new(v))))
+                .collect(),
+            all,
+        }
     }
 }
 
-/// Diurnal swing of upload traffic (Fig. 2(a)'s "up to 10x higher").
-pub fn upload_diurnal_swing(records: &[TraceRecord], horizon: SimTime) -> f64 {
-    let ts = timeseries::traffic_per_hour(records, horizon);
+pub fn size_by_extension(records: &[TraceRecord], exts: &[&str]) -> SizeByExtension {
+    let exts = exts.iter().map(|e| e.to_string()).collect();
+    crate::engine::run_fold(SizeByExtFold::new(exts), records)
+}
+
+/// Diurnal swing of upload traffic from an already-computed hourly series.
+pub fn upload_diurnal_swing_from_series(ts: &TrafficSeries) -> f64 {
     let mut by_hour = vec![Vec::new(); 24];
     for (i, up) in ts.upload_bytes.iter().enumerate() {
         by_hour[i % 24].push(*up);
@@ -265,6 +450,11 @@ pub fn upload_diurnal_swing(records: &[TraceRecord], horizon: SimTime) -> f64 {
     let peak = means.iter().cloned().fold(0.0f64, f64::max);
     let trough = means.iter().cloned().fold(f64::MAX, f64::min).max(1.0);
     peak / trough
+}
+
+/// Diurnal swing of upload traffic (Fig. 2(a)'s "up to 10x higher").
+pub fn upload_diurnal_swing(records: &[TraceRecord], horizon: SimTime) -> f64 {
+    upload_diurnal_swing_from_series(&timeseries::traffic_per_hour(records, horizon))
 }
 
 #[cfg(test)]
@@ -317,6 +507,23 @@ mod tests {
         assert_eq!(u.update_uploads, 1);
         assert_eq!(u.update_bytes, 120);
         assert!((u.update_op_fraction - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn updates_split_across_chunks_match_serial() {
+        let recs = vec![
+            transfer(at(1), Upload, 1, 1, 7, 100, 1, "txt"),
+            transfer(at(2), Upload, 1, 1, 7, 100, 1, "txt"),
+            transfer(at(3), Upload, 1, 1, 7, 120, 2, "txt"),
+            transfer(at(4), Upload, 1, 1, 8, 50, 3, "txt"),
+            transfer(at(5), Upload, 1, 1, 8, 60, 4, "txt"),
+        ];
+        let serial = update_analysis(&recs);
+        for split in 0..=recs.len() {
+            let (a, b) = recs.split_at(split);
+            let got = crate::engine::run_chunks(UpdateFold::new(), &[a, b]);
+            assert_eq!(got, serial, "split={split}");
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Table 3 (trace summary) and the Table 1 findings check.
 
+use crate::engine::TraceFold;
 use serde::Serialize;
-use std::collections::HashSet;
-use u1_core::{ApiOpKind, SimTime};
+use u1_core::{ApiOpKind, FxHashSet, SimTime};
 use u1_trace::{Payload, SessionEvent, TraceRecord};
 
 /// Table 3: "Summary of the trace".
@@ -18,20 +18,50 @@ pub struct TraceSummary {
     pub download_bytes: u64,
 }
 
-pub fn trace_summary(records: &[TraceRecord], horizon: SimTime) -> TraceSummary {
-    let mut users: HashSet<u64> = HashSet::new();
-    let mut files: HashSet<u64> = HashSet::new();
-    let mut sessions = 0u64;
-    let mut transfer_ops = 0u64;
-    let mut upload_bytes = 0u64;
-    let mut download_bytes = 0u64;
-    for rec in records {
-        users.insert(rec.payload.user().raw());
+/// Streaming state behind [`trace_summary`]. The user/file id sets are
+/// `FxHashSet` — pure u64 membership dominates this pass and SipHash was
+/// the bottleneck.
+pub struct SummaryFold {
+    horizon: SimTime,
+    records: u64,
+    users: FxHashSet<u64>,
+    files: FxHashSet<u64>,
+    sessions: u64,
+    transfer_ops: u64,
+    upload_bytes: u64,
+    download_bytes: u64,
+}
+
+impl SummaryFold {
+    pub fn new(horizon: SimTime) -> Self {
+        Self {
+            horizon,
+            records: 0,
+            users: FxHashSet::default(),
+            files: FxHashSet::default(),
+            sessions: 0,
+            transfer_ops: 0,
+            upload_bytes: 0,
+            download_bytes: 0,
+        }
+    }
+}
+
+impl TraceFold for SummaryFold {
+    type Output = TraceSummary;
+
+    fn new_partial(&self) -> Self {
+        SummaryFold::new(self.horizon)
+    }
+
+    fn feed(&mut self, rec: &TraceRecord) {
+        self.records += 1;
+        self.users.insert(rec.payload.user().raw());
         match &rec.payload {
             Payload::Session {
                 event: SessionEvent::Open,
                 ..
-            } => sessions += 1,
+            } => self.sessions += 1,
             Payload::Storage {
                 op,
                 success: true,
@@ -40,16 +70,16 @@ pub fn trace_summary(records: &[TraceRecord], horizon: SimTime) -> TraceSummary 
                 ..
             } => {
                 if let Some(n) = node {
-                    files.insert(n.raw());
+                    self.files.insert(n.raw());
                 }
                 match op {
                     ApiOpKind::Upload => {
-                        transfer_ops += 1;
-                        upload_bytes += size;
+                        self.transfer_ops += 1;
+                        self.upload_bytes += size;
                     }
                     ApiOpKind::Download => {
-                        transfer_ops += 1;
-                        download_bytes += size;
+                        self.transfer_ops += 1;
+                        self.download_bytes += size;
                     }
                     _ => {}
                 }
@@ -57,16 +87,33 @@ pub fn trace_summary(records: &[TraceRecord], horizon: SimTime) -> TraceSummary 
             _ => {}
         }
     }
-    TraceSummary {
-        trace_days: horizon.day_index(),
-        records: records.len() as u64,
-        unique_users: users.len() as u64,
-        unique_files: files.len() as u64,
-        sessions,
-        transfer_ops,
-        upload_bytes,
-        download_bytes,
+
+    fn merge(&mut self, later: Self) {
+        self.records += later.records;
+        self.users.extend(later.users);
+        self.files.extend(later.files);
+        self.sessions += later.sessions;
+        self.transfer_ops += later.transfer_ops;
+        self.upload_bytes += later.upload_bytes;
+        self.download_bytes += later.download_bytes;
     }
+
+    fn finish(self) -> TraceSummary {
+        TraceSummary {
+            trace_days: self.horizon.day_index(),
+            records: self.records,
+            unique_users: self.users.len() as u64,
+            unique_files: self.files.len() as u64,
+            sessions: self.sessions,
+            transfer_ops: self.transfer_ops,
+            upload_bytes: self.upload_bytes,
+            download_bytes: self.download_bytes,
+        }
+    }
+}
+
+pub fn trace_summary(records: &[TraceRecord], horizon: SimTime) -> TraceSummary {
+    crate::engine::run_fold(SummaryFold::new(horizon), records)
 }
 
 /// One Table 1 finding with the paper's value and ours.

@@ -1,0 +1,334 @@
+//! Analytics benchmark: the Table-3/figure battery over the bench trace in
+//! both modes — the legacy per-analyzer multi-pass sequence (exactly the
+//! calls the pre-streaming `exp_all` harness made, duplicates included)
+//! against ONE streaming [`u1_analytics::engine::run_all`] pass — plus the
+//! chunk-parallel pass at several thread counts and the logfile parse path
+//! (serial vs parallel `LogDirReader`).
+//!
+//! Writes `BENCH_analytics.json` with wall times, records/sec, the
+//! before/after record-pass counts, parse throughput and thread scaling,
+//! and cross-checks that every mode produces the identical analysis
+//! (scalar outputs compared bit-for-bit).
+//!
+//! Environment overrides: `U1_USERS`, `U1_DAYS`, `U1_SEED`, `U1_ATTACKS=0`
+//! (same as the experiment harness), plus `U1_BENCH_THREADS` as a
+//! comma-separated list of chunk-parallel thread counts (default `1,2,4,8`).
+
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+use u1_analytics as ana;
+use u1_analytics::engine::{run_all, run_all_chunked, EngineConfig, EngineReport};
+use u1_bench::Scenario;
+use u1_core::ApiOpKind;
+use u1_trace::logfile::LogDirReader;
+use u1_trace::{DirSink, TraceSink};
+
+/// The scalar outputs every mode must agree on, bit-for-bit.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    records: u64,
+    unique_files: u64,
+    dedup_ratio: u64,
+    update_traffic_fraction: u64,
+    transitions: u64,
+    upload_gini: u64,
+    sessions: u64,
+    active_fraction: u64,
+    ddos_episodes: usize,
+    rpc_profiles: usize,
+    shard_longrun_cv: u64,
+    auth_failure_fraction: u64,
+    waw_under_1h: u64,
+    file_mortality: u64,
+    upload_cv: u64,
+}
+
+impl Fingerprint {
+    fn of(rep: &EngineReport) -> Self {
+        Self {
+            records: rep.summary.records,
+            unique_files: rep.summary.unique_files,
+            dedup_ratio: rep.dedup.dedup_ratio.to_bits(),
+            update_traffic_fraction: rep.updates.update_traffic_fraction.to_bits(),
+            transitions: rep.markov.total_transitions,
+            upload_gini: rep.inequality.upload_lorenz.gini.to_bits(),
+            sessions: rep.sessions.sessions,
+            active_fraction: rep.sessions.active_fraction.to_bits(),
+            ddos_episodes: rep.ddos.episodes.len(),
+            rpc_profiles: rep.rpc.profiles.len(),
+            shard_longrun_cv: rep.load_balance.shard_longrun_cv.to_bits(),
+            auth_failure_fraction: rep.auth.auth_failure_fraction.to_bits(),
+            waw_under_1h: rep.dependencies.waw_under_1h.to_bits(),
+            file_mortality: rep.lifetimes.file_mortality.to_bits(),
+            upload_cv: rep.burst_upload.cv.to_bits(),
+        }
+    }
+}
+
+/// Replays the pre-streaming `exp_all` analyzer sequence: one full record
+/// pass per call, duplicated calls included (f3a/f3b both ran
+/// `dependency_analysis`, Table 1 re-ran most of the battery, …). Returns
+/// the pass count and the legacy-path fingerprint.
+fn legacy_battery(scn: &Scenario, cfg: &EngineConfig) -> (usize, Fingerprint) {
+    let records = &scn.records;
+    let horizon = scn.horizon;
+    let exts: Vec<&str> = cfg.exts.iter().map(String::as_str).collect();
+    let mut passes = 0usize;
+    let mut pass = |n: usize| passes += n;
+
+    // t3
+    let summary = ana::summary::trace_summary(records, horizon);
+    pass(1);
+    // f2a
+    black_box(ana::timeseries::traffic_per_hour(records, horizon));
+    black_box(ana::storage::upload_diurnal_swing(records, horizon));
+    pass(2);
+    // f2b, f2c
+    black_box(ana::storage::size_category_shares(records));
+    black_box(ana::storage::rw_ratio(records, horizon));
+    pass(2);
+    // f3a, f3b (both called dependency_analysis), f3c
+    let deps = ana::dependencies::dependency_analysis(records);
+    black_box(ana::dependencies::dependency_analysis(records));
+    let lifetimes = ana::dependencies::lifetime_analysis(records);
+    pass(3);
+    // f4a, f4b, f4c
+    let dedup = ana::dedup::dedup_analysis(records);
+    black_box(ana::storage::size_by_extension(records, &exts));
+    black_box(ana::storage::taxonomy_shares(records));
+    pass(3);
+    // f5
+    let ddos = ana::ddos::detect(records, horizon, &cfg.ddos);
+    pass(1);
+    // f6, f7a, f7b, f7c (7b and 7c both ran traffic_inequality)
+    black_box(ana::users::active_online_summary(records, horizon));
+    black_box(ana::users::op_mix(records));
+    let ineq = ana::users::traffic_inequality(records);
+    black_box(ana::users::traffic_inequality(records));
+    pass(4);
+    // f8, f9
+    let markov = ana::markov::transition_graph(records);
+    let burst_up = ana::burstiness::burstiness(records, ApiOpKind::Upload);
+    black_box(ana::burstiness::burstiness(records, ApiOpKind::Unlink));
+    pass(3);
+    // f12, f13 (both ran rpc_analysis), f14, f15, f16
+    let rpc = ana::rpc::rpc_analysis(records);
+    black_box(ana::rpc::rpc_analysis(records));
+    let lb = ana::rpc::load_balance(records, horizon, cfg.machines, cfg.shards, cfg.lb_minutes);
+    let auth = ana::sessions::auth_activity(records, horizon);
+    let sessions = ana::sessions::session_analysis(records);
+    pass(5);
+    // t1 re-ran most of the battery
+    black_box(ana::storage::size_by_extension(records, &[]));
+    let updates = ana::storage::update_analysis(records);
+    black_box(ana::dedup::dedup_analysis(records));
+    black_box(ana::ddos::detect(records, horizon, &cfg.ddos));
+    black_box(ana::users::traffic_inequality(records));
+    black_box(ana::sessions::session_analysis(records));
+    black_box(ana::burstiness::burstiness(records, ApiOpKind::Upload));
+    black_box(ana::rpc::rpc_analysis(records));
+    black_box(ana::sessions::auth_activity(records, horizon));
+    pass(9);
+    // ablations
+    black_box(ana::dedup::dedup_analysis(records));
+    black_box(ana::storage::update_analysis(records));
+    pass(2);
+
+    let fp = Fingerprint {
+        records: summary.records,
+        unique_files: summary.unique_files,
+        dedup_ratio: dedup.dedup_ratio.to_bits(),
+        update_traffic_fraction: updates.update_traffic_fraction.to_bits(),
+        transitions: markov.total_transitions,
+        upload_gini: ineq.upload_lorenz.gini.to_bits(),
+        sessions: sessions.sessions,
+        active_fraction: sessions.active_fraction.to_bits(),
+        ddos_episodes: ddos.episodes.len(),
+        rpc_profiles: rpc.profiles.len(),
+        shard_longrun_cv: lb.shard_longrun_cv.to_bits(),
+        auth_failure_fraction: auth.auth_failure_fraction.to_bits(),
+        waw_under_1h: deps.waw_under_1h.to_bits(),
+        file_mortality: lifetimes.file_mortality.to_bits(),
+        upload_cv: burst_up.cv.to_bits(),
+    };
+    (passes, fp)
+}
+
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let scenario = u1_bench::scenario_from_env();
+    let cfg = u1_bench::engine_config(&scenario);
+    let records = &scenario.records;
+    let n = records.len();
+    let thread_counts: Vec<usize> = std::env::var("U1_BENCH_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .map(|w| w.trim().parse().expect("U1_BENCH_THREADS must be integers"))
+        .collect();
+
+    // Legacy multi-pass battery.
+    let started = Instant::now();
+    let (legacy_passes, legacy_fp) = legacy_battery(&scenario, &cfg);
+    let legacy_secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "[analytics] legacy battery: {legacy_passes} record passes, {legacy_secs:.2}s \
+         ({:.0} records/s effective)",
+        n as f64 / legacy_secs
+    );
+
+    // Streaming single pass.
+    let started = Instant::now();
+    let report = run_all(records, &cfg);
+    let streaming_secs = started.elapsed().as_secs_f64();
+    let streaming_fp = Fingerprint::of(&report);
+    eprintln!(
+        "[analytics] streaming battery: 1 record pass, {streaming_secs:.2}s \
+         ({:.0} records/s)",
+        n as f64 / streaming_secs
+    );
+    assert_eq!(
+        streaming_fp, legacy_fp,
+        "streaming battery disagrees with the legacy per-analyzer battery"
+    );
+
+    // Chunk-parallel scaling.
+    let mut scaling: Vec<(usize, f64)> = Vec::new();
+    for &threads in &thread_counts {
+        let started = Instant::now();
+        let chunked = run_all_chunked(records, &cfg, threads);
+        let secs = started.elapsed().as_secs_f64();
+        assert_eq!(
+            Fingerprint::of(&chunked),
+            streaming_fp,
+            "chunk-parallel battery at {threads} threads disagrees with serial"
+        );
+        eprintln!(
+            "[analytics] chunked threads={threads}: {secs:.2}s ({:.0} records/s, {:.2}x vs serial)",
+            n as f64 / secs,
+            streaming_secs / secs
+        );
+        scaling.push((threads, secs));
+    }
+
+    // Logfile parse path: dump the trace as per-(machine, process, day)
+    // logfiles, then read it back serially and in parallel.
+    let log_dir = u1_bench::out_dir().join("bench-analytics-logs");
+    let _ = std::fs::remove_dir_all(&log_dir);
+    let sink = DirSink::create(&log_dir).expect("create log dir");
+    let started = Instant::now();
+    for rec in records {
+        sink.record(rec.clone());
+    }
+    sink.flush();
+    let write_secs = started.elapsed().as_secs_f64();
+    assert_eq!(sink.io_errors(), 0, "log dump hit I/O errors");
+    let trace_bytes = dir_bytes(&log_dir);
+
+    let reader = LogDirReader::new(&log_dir);
+    let started = Instant::now();
+    let (serial_records, serial_stats) = reader.read_all().expect("serial read");
+    let parse_serial_secs = started.elapsed().as_secs_f64();
+    let parse_threads = thread_counts.iter().copied().max().unwrap_or(1);
+    let started = Instant::now();
+    let (par_records, par_stats) = reader
+        .read_all_parallel(parse_threads)
+        .expect("parallel read");
+    let parse_parallel_secs = started.elapsed().as_secs_f64();
+    assert_eq!(par_stats, serial_stats, "parallel parse stats differ");
+    assert_eq!(par_records, serial_records, "parallel parse records differ");
+    assert_eq!(serial_stats.parsed, n, "parse round-trip lost records");
+    let _ = std::fs::remove_dir_all(&log_dir);
+    eprintln!(
+        "[analytics] parse: {} files, {:.1} MB; serial {parse_serial_secs:.2}s \
+         ({:.0} rec/s, {:.1} MB/s), parallel x{parse_threads} {parse_parallel_secs:.2}s ({:.2}x)",
+        serial_stats.files,
+        trace_bytes as f64 / 1e6,
+        n as f64 / parse_serial_secs,
+        trace_bytes as f64 / 1e6 / parse_serial_secs,
+        parse_serial_secs / parse_parallel_secs,
+    );
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|nz| nz.get())
+        .unwrap_or(1);
+    let speedup = legacy_secs / streaming_secs;
+    let mut human = String::new();
+    human.push_str(&format!(
+        "{} users x {} days (seed {:#x}), {} trace records, host cpus {host_cpus}\n",
+        scenario.cfg.users, scenario.cfg.days, scenario.cfg.seed, n
+    ));
+    human.push_str(&format!(
+        "legacy battery     {legacy_passes:>3} passes  {legacy_secs:>7.2}s\n\
+         streaming battery    1 pass    {streaming_secs:>7.2}s  {speedup:>5.2}x faster\n"
+    ));
+    for &(threads, secs) in &scaling {
+        human.push_str(&format!(
+            "chunked x{threads:<2}                      {secs:>7.2}s  {:>5.2}x vs serial streaming\n",
+            streaming_secs / secs
+        ));
+    }
+    human.push_str(&format!(
+        "parse: serial {parse_serial_secs:.2}s, parallel x{parse_threads} {parse_parallel_secs:.2}s \
+         over {:.1} MB in {} files\n",
+        trace_bytes as f64 / 1e6,
+        serial_stats.files,
+    ));
+    u1_bench::emit(
+        "BENCH_analytics",
+        &human,
+        &json!({
+            "config": {
+                "users": scenario.cfg.users,
+                "days": scenario.cfg.days,
+                "seed": scenario.cfg.seed,
+                "attacks": scenario.cfg.attacks,
+            },
+            "host_cpus": host_cpus,
+            "trace_records": n,
+            "battery": {
+                "legacy_record_passes": legacy_passes,
+                "streaming_record_passes": 1,
+                "legacy_wall_secs": legacy_secs,
+                "streaming_wall_secs": streaming_secs,
+                "streaming_records_per_sec": n as f64 / streaming_secs,
+                "speedup_single_pass_vs_multi_pass": speedup,
+                "outputs_identical": true,
+            },
+            "thread_scaling": scaling
+                .iter()
+                .map(|&(threads, secs)| json!({
+                    "threads": threads,
+                    "wall_secs": secs,
+                    "records_per_sec": n as f64 / secs,
+                    "speedup_vs_serial_streaming": streaming_secs / secs,
+                }))
+                .collect::<Vec<_>>(),
+            "parse": {
+                "files": serial_stats.files,
+                "bytes": trace_bytes,
+                "lines": serial_stats.lines,
+                "malformed": serial_stats.malformed,
+                "write_secs": write_secs,
+                "serial_secs": parse_serial_secs,
+                "parallel_secs": parse_parallel_secs,
+                "parallel_threads": parse_threads,
+                "serial_records_per_sec": n as f64 / parse_serial_secs,
+                "serial_mb_per_sec": trace_bytes as f64 / 1e6 / parse_serial_secs,
+                "parallel_speedup": parse_serial_secs / parse_parallel_secs,
+                "parallel_identical": true,
+            },
+        }),
+    );
+}

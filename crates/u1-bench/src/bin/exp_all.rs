@@ -1,33 +1,35 @@
-//! Runs every experiment from a single simulated month.
+//! Runs every experiment from a single simulated month and ONE streaming
+//! analytics pass over its trace.
 use u1_bench::experiments as exp;
 
 fn main() {
     let scenario = u1_bench::scenario_from_env();
-    exp::exp_t3_summary(&scenario);
-    exp::exp_f2a_traffic_timeseries(&scenario);
-    exp::exp_f2b_size_categories(&scenario);
-    exp::exp_f2c_rw_ratio(&scenario);
-    exp::exp_f3a_after_write(&scenario);
-    exp::exp_f3b_after_read(&scenario);
-    exp::exp_f3c_lifetimes(&scenario);
-    exp::exp_f4a_dedup(&scenario);
-    exp::exp_f4b_sizes_by_ext(&scenario);
-    exp::exp_f4c_categories(&scenario);
-    exp::exp_f5_ddos(&scenario);
-    exp::exp_f6_online_active(&scenario);
-    exp::exp_f7a_op_mix(&scenario);
-    exp::exp_f7b_user_traffic(&scenario);
-    exp::exp_f7c_gini(&scenario);
-    exp::exp_f8_transitions(&scenario);
-    exp::exp_f9_burstiness(&scenario);
+    let report = u1_bench::analyze(&scenario);
+    exp::exp_t3_summary(&report);
+    exp::exp_f2a_traffic_timeseries(&report);
+    exp::exp_f2b_size_categories(&report);
+    exp::exp_f2c_rw_ratio(&report);
+    exp::exp_f3a_after_write(&report);
+    exp::exp_f3b_after_read(&report);
+    exp::exp_f3c_lifetimes(&report);
+    exp::exp_f4a_dedup(&scenario, &report);
+    exp::exp_f4b_sizes_by_ext(&report);
+    exp::exp_f4c_categories(&report);
+    exp::exp_f5_ddos(&scenario, &report);
+    exp::exp_f6_online_active(&report);
+    exp::exp_f7a_op_mix(&report);
+    exp::exp_f7b_user_traffic(&report);
+    exp::exp_f7c_gini(&report);
+    exp::exp_f8_transitions(&report);
+    exp::exp_f9_burstiness(&report);
     exp::exp_f10_volume_contents(&scenario);
     exp::exp_f11_volume_types(&scenario);
-    exp::exp_f12_rpc_latency(&scenario);
-    exp::exp_f13_rpc_scatter(&scenario);
-    exp::exp_f14_load_balance(&scenario);
-    exp::exp_f15_auth_activity(&scenario);
-    exp::exp_f16_sessions(&scenario);
+    exp::exp_f12_rpc_latency(&report);
+    exp::exp_f13_rpc_scatter(&report);
+    exp::exp_f14_load_balance(&report);
+    exp::exp_f15_auth_activity(&report);
+    exp::exp_f16_sessions(&report);
     exp::exp_f17_uploadjobs();
-    exp::exp_t1_findings(&scenario);
-    exp::exp_ablations(&scenario);
+    exp::exp_t1_findings(&report);
+    exp::exp_ablations(&scenario, &report);
 }

@@ -1,5 +1,6 @@
 //! Harness binary for one experiment; see `u1-bench` crate docs.
 fn main() {
     let scenario = u1_bench::scenario_from_env();
-    u1_bench::experiments::exp_f14_load_balance(&scenario);
+    let report = u1_bench::analyze(&scenario);
+    u1_bench::experiments::exp_f14_load_balance(&report);
 }

@@ -1,10 +1,18 @@
 //! One function per paper table/figure. Each prints the paper's rows or
 //! series and returns a JSON document with the measured values next to the
 //! paper's, so EXPERIMENTS.md can quote both.
+//!
+//! Every record-derived experiment reads from a shared [`EngineReport`]
+//! produced by ONE streaming pass over the trace ([`crate::analyze`]);
+//! the harness no longer re-walks `scn.records` per experiment. The two
+//! volume experiments (Fig. 10/11) analyze the end-of-run metastore
+//! snapshot rather than the trace, and Fig. 17 runs its own mini-backend,
+//! so those keep their original inputs.
 
 use crate::{bytes, emit, pct, Scenario};
 use serde_json::{json, Value};
 use u1_analytics as ana;
+use u1_analytics::engine::EngineReport;
 use u1_core::{ApiOpKind, RpcClass, RpcKind};
 use u1_workload::calibration as cal;
 
@@ -22,8 +30,8 @@ fn fmt_series(series: &[f64], per_day: usize) -> String {
 }
 
 /// Table 3: trace summary.
-pub fn exp_t3_summary(scn: &Scenario) -> Value {
-    let s = ana::summary::trace_summary(&scn.records, scn.horizon);
+pub fn exp_t3_summary(rep: &EngineReport) -> Value {
+    let s = &rep.summary;
     let human = format!(
         "Trace duration    {} days (paper: 30)\n\
          Records           {}\n\
@@ -54,9 +62,9 @@ pub fn exp_t3_summary(scn: &Scenario) -> Value {
 }
 
 /// Fig. 2(a): traffic time series.
-pub fn exp_f2a_traffic_timeseries(scn: &Scenario) -> Value {
-    let ts = ana::timeseries::traffic_per_hour(&scn.records, scn.horizon);
-    let swing = ana::storage::upload_diurnal_swing(&scn.records, scn.horizon);
+pub fn exp_f2a_traffic_timeseries(rep: &EngineReport) -> Value {
+    let ts = &rep.traffic;
+    let swing = rep.diurnal_swing;
     let human = format!(
         "Upload GB/hour by day:\n{}\nDiurnal upload swing (peak/trough of hour-of-day means): {swing:.1}x (paper: up to 10x)",
         fmt_series(&ts.upload_bytes, 24)
@@ -72,8 +80,8 @@ pub fn exp_f2a_traffic_timeseries(scn: &Scenario) -> Value {
 }
 
 /// Fig. 2(b): traffic and ops per file-size category.
-pub fn exp_f2b_size_categories(scn: &Scenario) -> Value {
-    let s = ana::storage::size_category_shares(&scn.records);
+pub fn exp_f2b_size_categories(rep: &EngineReport) -> Value {
+    let s = &rep.size_shares;
     let mut human = String::from(
         "size (MB)     up-ops   up-bytes  down-ops down-bytes   (paper: >25MB = 79%/88% of bytes; <0.5MB = 84%/89% of ops)\n",
     );
@@ -107,8 +115,8 @@ pub fn exp_f2b_size_categories(scn: &Scenario) -> Value {
 }
 
 /// Fig. 2(c): R/W ratio distribution + ACF.
-pub fn exp_f2c_rw_ratio(scn: &Scenario) -> Value {
-    let rw = ana::storage::rw_ratio(&scn.records, scn.horizon);
+pub fn exp_f2c_rw_ratio(rep: &EngineReport) -> Value {
+    let rw = &rep.rw;
     let outside = rw
         .acf
         .lags
@@ -192,9 +200,9 @@ fn dep_block(
 }
 
 /// Fig. 3(a): X-after-Write dependencies.
-pub fn exp_f3a_after_write(scn: &Scenario) -> Value {
-    let a = ana::dependencies::dependency_analysis(&scn.records);
-    let (human, j) = dep_block(&a, &ana::dependencies::Dependency::AFTER_WRITE);
+pub fn exp_f3a_after_write(rep: &EngineReport) -> Value {
+    let a = &rep.dependencies;
+    let (human, j) = dep_block(a, &ana::dependencies::Dependency::AFTER_WRITE);
     let human = format!(
         "{human}  WAW under 1h: {} (paper: 80%)\n  (paper shares: WAW 44%, RAW 30%, DAW 26%)",
         pct(a.waw_under_1h)
@@ -206,9 +214,9 @@ pub fn exp_f3a_after_write(scn: &Scenario) -> Value {
 }
 
 /// Fig. 3(b): X-after-Read dependencies + reads per file.
-pub fn exp_f3b_after_read(scn: &Scenario) -> Value {
-    let a = ana::dependencies::dependency_analysis(&scn.records);
-    let (human, j) = dep_block(&a, &ana::dependencies::Dependency::AFTER_READ);
+pub fn exp_f3b_after_read(rep: &EngineReport) -> Value {
+    let a = &rep.dependencies;
+    let (human, j) = dep_block(a, &ana::dependencies::Dependency::AFTER_READ);
     let human = format!(
         "{human}  RAR under 1 day: {} (paper: ~40%)\n  reads/file: median {:.0}, p99 {:.0}, max {:.0} (long tail)\n  dying files (>1 day quiet before delete): {} of {} deleted\n  (paper shares: WAR 10%, RAR 66%, DAR 24%)",
         pct(a.rar_under_1d),
@@ -227,8 +235,8 @@ pub fn exp_f3b_after_read(scn: &Scenario) -> Value {
 }
 
 /// Fig. 3(c): node lifetimes.
-pub fn exp_f3c_lifetimes(scn: &Scenario) -> Value {
-    let l = ana::dependencies::lifetime_analysis(&scn.records);
+pub fn exp_f3c_lifetimes(rep: &EngineReport) -> Value {
+    let l = &rep.lifetimes;
     let human = format!(
         "files created {} — deleted in window {} (paper 28.9%), within 8h {} (paper 17.1%)\n\
          dirs  created {} — deleted in window {} (paper 31.5%), within 8h {} (paper 12.9%)\n\
@@ -253,8 +261,8 @@ pub fn exp_f3c_lifetimes(scn: &Scenario) -> Value {
 }
 
 /// Fig. 4(a): deduplication.
-pub fn exp_f4a_dedup(scn: &Scenario) -> Value {
-    let d = ana::dedup::dedup_analysis(&scn.records);
+pub fn exp_f4a_dedup(scn: &Scenario, rep: &EngineReport) -> Value {
+    let d = &rep.dedup;
     let human = format!(
         "dedup ratio over uploads: {:.3} (paper: 0.171)\n\
          store-level dedup ratio (live contents): {:.3}\n\
@@ -276,9 +284,8 @@ pub fn exp_f4a_dedup(scn: &Scenario) -> Value {
 }
 
 /// Fig. 4(b): file sizes per extension.
-pub fn exp_f4b_sizes_by_ext(scn: &Scenario) -> Value {
-    let s =
-        ana::storage::size_by_extension(&scn.records, &["jpg", "mp3", "pdf", "doc", "java", "zip"]);
+pub fn exp_f4b_sizes_by_ext(rep: &EngineReport) -> Value {
+    let s = &rep.size_by_ext;
     let mut human = format!(
         "all files: {} under 1MB (paper: 90%)\n  ext    median       p90\n",
         pct(s.under_1mb_fraction)
@@ -303,8 +310,8 @@ pub fn exp_f4b_sizes_by_ext(scn: &Scenario) -> Value {
 }
 
 /// Fig. 4(c): category count vs storage share.
-pub fn exp_f4c_categories(scn: &Scenario) -> Value {
-    let t = ana::storage::taxonomy_shares(&scn.records);
+pub fn exp_f4c_categories(rep: &EngineReport) -> Value {
+    let t = &rep.taxonomy;
     let mut human =
         String::from("category      files   storage   (paper: Code most files/least bytes; Audio/Video most bytes)\n");
     for (i, cat) in t.categories.iter().enumerate() {
@@ -322,16 +329,12 @@ pub fn exp_f4c_categories(scn: &Scenario) -> Value {
 }
 
 /// Fig. 5: DDoS detection.
-pub fn exp_f5_ddos(scn: &Scenario) -> Value {
-    let report = ana::ddos::detect(
-        &scn.records,
-        scn.horizon,
-        &ana::ddos::DetectorConfig::default(),
-    );
+pub fn exp_f5_ddos(scn: &Scenario, rep: &EngineReport) -> Value {
     // Count attacks from the session/auth signature (Fig. 5's definition);
     // at small scale single heavy users can legitimately spike the storage
     // series, which the session/auth series are immune to.
-    let control_eps: Vec<_> = report
+    let control_eps: Vec<_> = rep
+        .ddos
         .episodes
         .iter()
         .filter(|e| e.signal != "storage")
@@ -368,8 +371,8 @@ pub fn exp_f5_ddos(scn: &Scenario) -> Value {
 }
 
 /// Fig. 6: online vs active users.
-pub fn exp_f6_online_active(scn: &Scenario) -> Value {
-    let s = ana::users::active_online_summary(&scn.records, scn.horizon);
+pub fn exp_f6_online_active(rep: &EngineReport) -> Value {
+    let s = &rep.active_online;
     let human = format!(
         "active/online ratio per hour: min {}, mean {}, max {} (paper: 3.49%–16.25%)",
         pct(s.min_ratio),
@@ -383,8 +386,8 @@ pub fn exp_f6_online_active(scn: &Scenario) -> Value {
 }
 
 /// Fig. 7(a): operation mix.
-pub fn exp_f7a_op_mix(scn: &Scenario) -> Value {
-    let mix = ana::users::op_mix(&scn.records);
+pub fn exp_f7a_op_mix(rep: &EngineReport) -> Value {
+    let mix = &rep.op_mix;
     let mut human = String::from("operation            count\n");
     for (name, count) in &mix.counts {
         if *count > 0 {
@@ -397,8 +400,8 @@ pub fn exp_f7a_op_mix(scn: &Scenario) -> Value {
 }
 
 /// Fig. 7(b): per-user traffic distribution.
-pub fn exp_f7b_user_traffic(scn: &Scenario) -> Value {
-    let t = ana::users::traffic_inequality(&scn.records);
+pub fn exp_f7b_user_traffic(rep: &EngineReport) -> Value {
+    let t = &rep.inequality;
     let human = format!(
         "users who downloaded anything: {} (paper: 14%)\n\
          users who uploaded anything:   {} (paper: 25%)\n\
@@ -416,8 +419,8 @@ pub fn exp_f7b_user_traffic(scn: &Scenario) -> Value {
 }
 
 /// Fig. 7(c): Lorenz curves and Gini.
-pub fn exp_f7c_gini(scn: &Scenario) -> Value {
-    let t = ana::users::traffic_inequality(&scn.records);
+pub fn exp_f7c_gini(rep: &EngineReport) -> Value {
+    let t = &rep.inequality;
     let human = format!(
         "upload Gini   {:.3} (paper: 0.8943)\n\
          download Gini {:.3} (paper: 0.8966)\n\
@@ -437,8 +440,8 @@ pub fn exp_f7c_gini(scn: &Scenario) -> Value {
 }
 
 /// Fig. 8: transition graph.
-pub fn exp_f8_transitions(scn: &Scenario) -> Value {
-    let g = ana::markov::transition_graph(&scn.records);
+pub fn exp_f8_transitions(rep: &EngineReport) -> Value {
+    let g = &rep.markov;
     let mut human = format!(
         "total transitions: {}\ntop edges (global probability):\n",
         g.total_transitions
@@ -466,9 +469,9 @@ pub fn exp_f8_transitions(scn: &Scenario) -> Value {
 }
 
 /// Fig. 9: burstiness + power-law fits.
-pub fn exp_f9_burstiness(scn: &Scenario) -> Value {
-    let up = ana::burstiness::burstiness(&scn.records, ApiOpKind::Upload);
-    let un = ana::burstiness::burstiness(&scn.records, ApiOpKind::Unlink);
+pub fn exp_f9_burstiness(rep: &EngineReport) -> Value {
+    let up = &rep.burst_upload;
+    let un = &rep.burst_unlink;
     let fit_line = |b: &ana::burstiness::Burstiness| match &b.fit {
         Some(f) => format!(
             "alpha {:.2}, theta {:.1}s over {} tail samples",
@@ -482,17 +485,17 @@ pub fn exp_f9_burstiness(scn: &Scenario) -> Value {
          span: {:.2}s .. {:.0}s ({} decades)",
         up.gaps,
         up.cv,
-        fit_line(&up),
+        fit_line(up),
         un.gaps,
         un.cv,
-        fit_line(&un),
+        fit_line(un),
         up.ecdf.min(),
         up.ecdf.max(),
         ((up.ecdf.max() / up.ecdf.min().max(1e-6)).log10()) as i64,
     );
     let j = json!({
-        "upload": {"gaps": up.gaps, "cv": up.cv, "fit": up.fit.map(|f| json!({"alpha": f.alpha, "theta": f.theta}))},
-        "unlink": {"gaps": un.gaps, "cv": un.cv, "fit": un.fit.map(|f| json!({"alpha": f.alpha, "theta": f.theta}))},
+        "upload": {"gaps": up.gaps, "cv": up.cv, "fit": up.fit.as_ref().map(|f| json!({"alpha": f.alpha, "theta": f.theta}))},
+        "unlink": {"gaps": un.gaps, "cv": un.cv, "fit": un.fit.as_ref().map(|f| json!({"alpha": f.alpha, "theta": f.theta}))},
         "paper": {"upload": {"alpha": cal::UPLOAD_INTEROP_ALPHA, "theta": cal::UPLOAD_INTEROP_THETA},
                    "unlink": {"alpha": cal::UNLINK_INTEROP_ALPHA, "theta": cal::UNLINK_INTEROP_THETA}},
     });
@@ -538,8 +541,8 @@ pub fn exp_f11_volume_types(scn: &Scenario) -> Value {
 }
 
 /// Fig. 12: RPC service-time distributions.
-pub fn exp_f12_rpc_latency(scn: &Scenario) -> Value {
-    let a = ana::rpc::rpc_analysis(&scn.records);
+pub fn exp_f12_rpc_latency(rep: &EngineReport) -> Value {
+    let a = &rep.rpc;
     let mut human = String::from(
         "rpc                                    panel   class      n     median      p99   far(>10x med)\n",
     );
@@ -569,8 +572,8 @@ pub fn exp_f12_rpc_latency(scn: &Scenario) -> Value {
 }
 
 /// Fig. 13: median service time vs frequency scatter.
-pub fn exp_f13_rpc_scatter(scn: &Scenario) -> Value {
-    let a = ana::rpc::rpc_analysis(&scn.records);
+pub fn exp_f13_rpc_scatter(rep: &EngineReport) -> Value {
+    let a = &rep.rpc;
     let read = a.class_median(RpcClass::Read);
     let write = a.class_median(RpcClass::Write);
     let cascade = a.class_median(RpcClass::Cascade);
@@ -596,10 +599,8 @@ pub fn exp_f13_rpc_scatter(scn: &Scenario) -> Value {
 }
 
 /// Fig. 14: load balance.
-pub fn exp_f14_load_balance(scn: &Scenario) -> Value {
-    let machines = scn.backend.config().cluster.machines as usize;
-    let shards = scn.backend.config().store.shards as usize;
-    let lb = ana::rpc::load_balance(&scn.records, scn.horizon, machines, shards, 60);
+pub fn exp_f14_load_balance(rep: &EngineReport) -> Value {
+    let lb = &rep.load_balance;
     let human = format!(
         "API servers, hourly: mean CV across machines {:.2} (high variance = poor short-window balance)\n\
          store shards, per-minute: mean CV across shards {:.2}\n\
@@ -616,8 +617,8 @@ pub fn exp_f14_load_balance(scn: &Scenario) -> Value {
 }
 
 /// Fig. 15: auth/session activity.
-pub fn exp_f15_auth_activity(scn: &Scenario) -> Value {
-    let a = ana::sessions::auth_activity(&scn.records, scn.horizon);
+pub fn exp_f15_auth_activity(rep: &EngineReport) -> Value {
+    let a = &rep.auth;
     let human = format!(
         "auth requests: diurnal swing {:.2}x (paper: 1.5–1.6x day-over-night)\n\
          Monday over weekend: {:.2}x (paper: ~1.15x)\n\
@@ -638,8 +639,8 @@ pub fn exp_f15_auth_activity(scn: &Scenario) -> Value {
 }
 
 /// Fig. 16: session lengths and ops per session.
-pub fn exp_f16_sessions(scn: &Scenario) -> Value {
-    let s = ana::sessions::session_analysis(&scn.records);
+pub fn exp_f16_sessions(rep: &EngineReport) -> Value {
+    let s = &rep.sessions;
     let human = format!(
         "closed sessions: {}\n\
          under 1s: {} (paper: 32%); under 8h: {} (paper: 97%)\n\
@@ -768,27 +769,22 @@ pub fn exp_f17_uploadjobs() -> Value {
     j
 }
 
-/// Table 1: the findings checklist, computed from the scenario.
-pub fn exp_t1_findings(scn: &Scenario) -> Value {
+/// Table 1: the findings checklist, computed from the shared report.
+pub fn exp_t1_findings(rep: &EngineReport) -> Value {
     use ana::summary::Finding;
-    let size = ana::storage::size_by_extension(&scn.records, &[]);
-    let upd = ana::storage::update_analysis(&scn.records);
-    let ded = ana::dedup::dedup_analysis(&scn.records);
     let ddos = {
-        let eps = ana::ddos::detect(&scn.records, scn.horizon, &Default::default()).episodes;
-        let control: Vec<_> = eps
+        let control: Vec<_> = rep
+            .ddos
+            .episodes
             .iter()
             .filter(|e| e.signal != "storage")
             .cloned()
             .collect();
         ana::ddos::distinct_attacks(&control)
     };
-    let ineq = ana::users::traffic_inequality(&scn.records);
-    let sess = ana::sessions::session_analysis(&scn.records);
-    let burst = ana::burstiness::burstiness(&scn.records, ApiOpKind::Upload);
-    let rpcs = ana::rpc::rpc_analysis(&scn.records);
     let far_mean = {
-        let xs: Vec<f64> = rpcs
+        let xs: Vec<f64> = rep
+            .rpc
             .profiles
             .iter()
             .filter(|p| p.count > 100)
@@ -796,18 +792,17 @@ pub fn exp_t1_findings(scn: &Scenario) -> Value {
             .collect();
         ana::stats::mean(&xs)
     };
-    let auth = ana::sessions::auth_activity(&scn.records, scn.horizon);
     let findings = vec![
-        Finding { id: "files<1MB", statement: "90% of files are smaller than 1MB", paper_value: 0.90, measured: size.under_1mb_fraction, tolerance: 0.08 },
-        Finding { id: "update-traffic", statement: "18.5% of upload traffic is caused by file updates", paper_value: 0.1847, measured: upd.update_traffic_fraction, tolerance: 0.6 },
-        Finding { id: "dedup", statement: "deduplication ratio of 17%", paper_value: 0.171, measured: ded.dedup_ratio, tolerance: 0.5 },
+        Finding { id: "files<1MB", statement: "90% of files are smaller than 1MB", paper_value: 0.90, measured: rep.size_by_ext.under_1mb_fraction, tolerance: 0.08 },
+        Finding { id: "update-traffic", statement: "18.5% of upload traffic is caused by file updates", paper_value: 0.1847, measured: rep.updates.update_traffic_fraction, tolerance: 0.6 },
+        Finding { id: "dedup", statement: "deduplication ratio of 17%", paper_value: 0.171, measured: rep.dedup.dedup_ratio, tolerance: 0.5 },
         Finding { id: "ddos", statement: "3 DDoS attacks in one month", paper_value: 3.0, measured: ddos.len() as f64, tolerance: 0.35 },
-        Finding { id: "top1%", statement: "1% of users generate 65% of the traffic (finite-sample-limited: ideal Pareto at this scale gives ~0.49)", paper_value: 0.656, measured: ineq.top1_share, tolerance: 0.50 },
-        Finding { id: "bursty", statement: "user inter-op times are bursty (CV >> 1)", paper_value: 10.0, measured: burst.cv, tolerance: 3.0 },
+        Finding { id: "top1%", statement: "1% of users generate 65% of the traffic (finite-sample-limited: ideal Pareto at this scale gives ~0.49)", paper_value: 0.656, measured: rep.inequality.top1_share, tolerance: 0.50 },
+        Finding { id: "bursty", statement: "user inter-op times are bursty (CV >> 1)", paper_value: 10.0, measured: rep.burst_upload.cv, tolerance: 3.0 },
         Finding { id: "rpc-tails", statement: "7–22% of RPC service times far from median", paper_value: 0.145, measured: far_mean, tolerance: 0.8 },
-        Finding { id: "auth-failures", statement: "2.76% of auth requests fail", paper_value: 0.0276, measured: auth.auth_failure_fraction, tolerance: 2.5 },
-        Finding { id: "active-sessions", statement: "5.57% of sessions are active", paper_value: 0.0557, measured: sess.active_fraction, tolerance: 0.6 },
-        Finding { id: "sessions<8h", statement: "97% of sessions shorter than 8h", paper_value: 0.97, measured: sess.under_8h, tolerance: 0.05 },
+        Finding { id: "auth-failures", statement: "2.76% of auth requests fail", paper_value: 0.0276, measured: rep.auth.auth_failure_fraction, tolerance: 2.5 },
+        Finding { id: "active-sessions", statement: "5.57% of sessions are active", paper_value: 0.0557, measured: rep.sessions.active_fraction, tolerance: 0.6 },
+        Finding { id: "sessions<8h", statement: "97% of sessions shorter than 8h", paper_value: 0.97, measured: rep.sessions.under_8h, tolerance: 0.05 },
     ];
     let mut human = String::from("finding                paper     measured   holds?\n");
     for f in &findings {
@@ -827,13 +822,13 @@ pub fn exp_t1_findings(scn: &Scenario) -> Value {
 }
 
 /// Ablations: quantify the design choices the paper discusses.
-pub fn exp_ablations(scn: &Scenario) -> Value {
+pub fn exp_ablations(scn: &Scenario, rep: &EngineReport) -> Value {
     // (1) Dedup: bytes avoided = logical - stored uploads.
-    let ded = ana::dedup::dedup_analysis(&scn.records);
+    let ded = &rep.dedup;
     let dedup_saving = ded.total_bytes.saturating_sub(ded.unique_bytes);
     // (2) Delta updates (the client lacked them): if updates shipped only
     // 10% of the file (typical delta), the saved traffic would be:
-    let upd = ana::storage::update_analysis(&scn.records);
+    let upd = &rep.updates;
     let delta_saving = (upd.update_bytes as f64 * 0.9) as u64;
     // (3) Warm/cold tiering on the blob store (§9 suggestion).
     let policy = u1_blobstore::TierPolicy::default();

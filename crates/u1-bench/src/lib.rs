@@ -27,6 +27,25 @@ pub use scenario::{run_scenario, scenario_from_env, Scenario};
 use serde_json::Value;
 use std::io::Write;
 use std::path::PathBuf;
+use u1_analytics::engine::{EngineConfig, EngineReport};
+
+/// The engine configuration a scenario implies: its horizon, the backend's
+/// API-machine and store-shard counts, and the paper's default extension
+/// list / detector parameters.
+pub fn engine_config(scn: &Scenario) -> EngineConfig {
+    EngineConfig::new(
+        scn.horizon,
+        scn.backend.config().cluster.machines as usize,
+        scn.backend.config().store.shards as usize,
+    )
+}
+
+/// ONE streaming pass over the scenario's trace producing everything the
+/// experiment battery reads (the legacy harness re-walked `scn.records`
+/// once per analyzer — ~30 passes for an `exp_all` run).
+pub fn analyze(scn: &Scenario) -> EngineReport {
+    u1_analytics::engine::run_all(&scn.records, &engine_config(scn))
+}
 
 /// Output directory for experiment JSON.
 pub fn out_dir() -> PathBuf {

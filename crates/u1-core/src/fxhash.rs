@@ -1,0 +1,182 @@
+//! A fast, deterministic, non-cryptographic hasher for hot-path maps and
+//! sets keyed by small values (ids, hashes, enums).
+//!
+//! The analytics engine spends a large share of the summary/user passes in
+//! `HashSet<u64>` membership checks; SipHash (std's default) is overkill for
+//! trusted, workload-generated keys. This is the classic "Fx" construction
+//! used by rustc: rotate, xor, multiply by a fixed odd seed. It is seeded by
+//! a compile-time constant, so iteration order — while never relied upon by
+//! any analysis (see DESIGN.md §10) — is identical across runs and hosts.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// The multiplier from rustc's FxHash: a random odd constant close to
+/// 2^64 / φ, spreading bits well under wrapping multiplication.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// [`Hasher`] implementing the Fx construction.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+            // Length matters for prefix-free hashing of short tails.
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.add_to_hash(i as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.add_to_hash(i as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.add_to_hash(i as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.add_to_hash(i as usize as u64);
+    }
+}
+
+/// [`BuildHasher`] producing [`FxHasher`]s from a fixed state.
+#[derive(Debug, Clone, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_behave_like_std() {
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..10_000u64 {
+            assert!(set.insert(i * 7));
+        }
+        for i in 0..10_000u64 {
+            assert!(set.contains(&(i * 7)));
+            assert!(!set.insert(i * 7));
+        }
+        assert_eq!(set.len(), 10_000);
+
+        let mut map: FxHashMap<(u64, u8), u64> = FxHashMap::default();
+        for i in 0..1_000u64 {
+            *map.entry((i % 100, (i % 3) as u8)).or_default() += 1;
+        }
+        assert_eq!(map.values().sum::<u64>(), 1_000);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let hash_of = |x: u64| {
+            let mut h = FxBuildHasher.build_hasher();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(hash_of(42), hash_of(42));
+        assert_ne!(hash_of(42), hash_of(43));
+        // Sequential keys must not collide in the low bits the table uses.
+        let mut low: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1_000u64 {
+            low.insert(hash_of(i) >> 48);
+        }
+        assert!(low.len() > 500, "top bits too clustered: {}", low.len());
+    }
+
+    #[test]
+    fn byte_slices_hash_prefix_free() {
+        let hash_bytes = |b: &[u8]| {
+            let mut h = FxBuildHasher.build_hasher();
+            h.write(b);
+            h.finish()
+        };
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abc\0"));
+        assert_ne!(hash_bytes(b"abcdefgh"), hash_bytes(b"abcdefg"));
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+    }
+}

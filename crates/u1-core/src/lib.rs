@@ -16,6 +16,7 @@
 
 pub mod clock;
 pub mod error;
+pub mod fxhash;
 pub mod id;
 pub mod op;
 pub mod partition;
@@ -26,6 +27,7 @@ pub mod taxonomy;
 
 pub use clock::{Clock, RealClock, SimClock, SimDuration, SimTime};
 pub use error::{CoreError, CoreResult};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::{
     ContentHash, MachineId, NodeId, NodeKind, ProcessId, SessionId, ShardId, UploadId, UserId,
     VolumeId, VolumeKind,

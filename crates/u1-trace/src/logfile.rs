@@ -4,12 +4,20 @@
 //! `production-<machine>-<process>-<date>`; each file is internally
 //! sequential; a merged, timestamp-sorted view is what the analyses consume;
 //! ~1% of lines may fail to parse and are skipped (and counted).
+//!
+//! The read path is allocation-light: lines are read into one reused buffer
+//! per file (no per-line `String`), each file yields its own [`ParseStats`]
+//! so the parallel reader can sum them, and [`LogDirReader::read_all_parallel`]
+//! parses one file per task and merges — producing output byte-identical to
+//! the serial [`LogDirReader::read_all`].
 
 use crate::csvline;
 use crate::event::TraceRecord;
 use std::fs;
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use u1_core::{MachineId, ProcessId};
 
 /// Builds the logfile name for a (machine, process, day) triple, e.g.
@@ -46,7 +54,7 @@ pub fn parse_logfile_name(name: &str) -> Option<(MachineId, ProcessId, u64)> {
     Some((machine, ProcessId::new(process), day))
 }
 
-/// Counters describing a directory read.
+/// Counters describing a file or directory read.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ParseStats {
     pub files: usize,
@@ -66,7 +74,58 @@ impl ParseStats {
             self.malformed as f64 / self.lines as f64
         }
     }
+
+    /// Folds another file's (or directory shard's) counters into this one —
+    /// the merge used by the parallel reader.
+    pub fn absorb(&mut self, other: &ParseStats) {
+        self.files += other.files;
+        self.lines += other.lines;
+        self.parsed += other.parsed;
+        self.malformed += other.malformed;
+        self.skipped_files += other.skipped_files;
+    }
 }
+
+/// Parses a single logfile into records plus its own [`ParseStats`]
+/// (`files == 1`). Lines go through one reused buffer — no per-line
+/// allocation. Malformed lines are counted and skipped, never fatal.
+pub fn read_logfile(
+    path: &Path,
+    machine: MachineId,
+    process: ProcessId,
+) -> std::io::Result<(Vec<TraceRecord>, ParseStats)> {
+    let mut stats = ParseStats {
+        files: 1,
+        ..ParseStats::default()
+    };
+    let mut records = Vec::new();
+    let file = fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut buf = String::with_capacity(256);
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        // read_line keeps the terminator; strip `\n` / `\r\n` manually.
+        let line = buf.trim_end_matches(['\n', '\r']);
+        if line.is_empty() {
+            continue;
+        }
+        stats.lines += 1;
+        match csvline::from_line(line, machine, process) {
+            Ok(rec) => {
+                stats.parsed += 1;
+                records.push(rec);
+            }
+            Err(_) => stats.malformed += 1,
+        }
+    }
+    Ok((records, stats))
+}
+
+/// A parsed logfile path with the origin encoded in its name.
+type LogfileEntry = (PathBuf, MachineId, ProcessId);
 
 /// Reads a directory of trace logfiles.
 pub struct LogDirReader {
@@ -78,13 +137,9 @@ impl LogDirReader {
         Self { dir: dir.into() }
     }
 
-    /// Reads and merges every logfile, returning records sorted by
-    /// timestamp (stable within ties) plus parse statistics. Malformed lines
-    /// are counted and skipped, never fatal — matching the original
-    /// pipeline's tolerance.
-    pub fn read_all(&self) -> std::io::Result<(Vec<TraceRecord>, ParseStats)> {
-        let mut stats = ParseStats::default();
-        let mut records = Vec::new();
+    /// The directory's logfiles in deterministic (path-sorted) order, plus
+    /// the count of skipped foreign files.
+    fn logfiles(&self) -> std::io::Result<(Vec<LogfileEntry>, usize)> {
         let mut entries: Vec<PathBuf> = fs::read_dir(&self.dir)?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.is_file())
@@ -92,47 +147,89 @@ impl LogDirReader {
         // Deterministic file order so ties in timestamps break identically
         // across runs.
         entries.sort();
+        let mut files = Vec::with_capacity(entries.len());
+        let mut skipped = 0usize;
         for path in entries {
             let name = path
                 .file_name()
                 .and_then(|n| n.to_str())
                 .unwrap_or_default();
-            let Some((machine, process, _day)) = parse_logfile_name(name) else {
-                stats.skipped_files += 1;
-                continue;
-            };
-            stats.files += 1;
-            self.read_file(&path, machine, process, &mut records, &mut stats)?;
+            match parse_logfile_name(name) {
+                Some((machine, process, _day)) => files.push((path, machine, process)),
+                None => skipped += 1,
+            }
+        }
+        Ok((files, skipped))
+    }
+
+    /// Reads and merges every logfile, returning records sorted by
+    /// timestamp (stable within ties) plus parse statistics. Malformed lines
+    /// are counted and skipped, never fatal — matching the original
+    /// pipeline's tolerance.
+    pub fn read_all(&self) -> std::io::Result<(Vec<TraceRecord>, ParseStats)> {
+        let (files, skipped_files) = self.logfiles()?;
+        let mut stats = ParseStats {
+            skipped_files,
+            ..ParseStats::default()
+        };
+        let mut records = Vec::new();
+        for (path, machine, process) in &files {
+            let (recs, file_stats) = read_logfile(path, *machine, *process)?;
+            stats.absorb(&file_stats);
+            records.extend(recs);
         }
         records.sort_by_key(|r| r.t);
         Ok((records, stats))
     }
 
-    fn read_file(
+    /// [`Self::read_all`] with one parse task per logfile, fanned out over
+    /// `threads` workers. Per-file record vectors are concatenated in the
+    /// same path-sorted order as the serial reader and stable-sorted by
+    /// timestamp, so the output — records and stats — is identical to
+    /// `read_all` at every thread count.
+    pub fn read_all_parallel(
         &self,
-        path: &Path,
-        machine: MachineId,
-        process: ProcessId,
-        out: &mut Vec<TraceRecord>,
-        stats: &mut ParseStats,
-    ) -> std::io::Result<()> {
-        let file = fs::File::open(path)?;
-        let reader = BufReader::new(file);
-        for line in reader.lines() {
-            let line = line?;
-            if line.is_empty() {
-                continue;
-            }
-            stats.lines += 1;
-            match csvline::from_line(&line, machine, process) {
-                Ok(rec) => {
-                    stats.parsed += 1;
-                    out.push(rec);
-                }
-                Err(_) => stats.malformed += 1,
-            }
+        threads: usize,
+    ) -> std::io::Result<(Vec<TraceRecord>, ParseStats)> {
+        let (files, skipped_files) = self.logfiles()?;
+        let threads = threads.max(1).min(files.len().max(1));
+        if threads <= 1 {
+            return self.read_all();
         }
-        Ok(())
+        type FileResult = std::io::Result<(Vec<TraceRecord>, ParseStats)>;
+        let slots: Mutex<Vec<Option<FileResult>>> =
+            Mutex::new((0..files.len()).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((path, machine, process)) = files.get(i) else {
+                        break;
+                    };
+                    let result = read_logfile(path, *machine, *process);
+                    if let Ok(mut slots) = slots.lock() {
+                        slots[i] = Some(result);
+                    }
+                });
+            }
+        });
+        let mut stats = ParseStats {
+            skipped_files,
+            ..ParseStats::default()
+        };
+        let mut records = Vec::new();
+        let slots = slots
+            .into_inner()
+            .map_err(|_| std::io::Error::other("parse worker panicked"))?;
+        for slot in slots {
+            let (recs, file_stats) =
+                slot.ok_or_else(|| std::io::Error::other("parse task missing"))??;
+            stats.absorb(&file_stats);
+            records.extend(recs);
+        }
+        records.sort_by_key(|r| r.t);
+        Ok((records, stats))
     }
 }
 
@@ -166,13 +263,11 @@ mod tests {
         );
     }
 
-    #[test]
-    fn write_then_read_round_trip_with_corruption_tolerance() {
-        let dir = std::env::temp_dir().join(format!("u1-logdir-test-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
+    fn write_corrupted_dir(dir: &Path) -> Vec<TraceRecord> {
+        let _ = fs::remove_dir_all(dir);
         let mut expected = Vec::new();
         {
-            let sink = DirSink::create(&dir).unwrap();
+            let sink = DirSink::create(dir).unwrap();
             for i in 0..50u64 {
                 let rec = TraceRecord::new(
                     SimTime::from_secs(i * 100),
@@ -194,7 +289,7 @@ mod tests {
             sink.flush();
         }
         // Corrupt one file with garbage lines and drop in a foreign file.
-        let garbage_target = fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let garbage_target = fs::read_dir(dir).unwrap().next().unwrap().unwrap().path();
         {
             let mut f = fs::OpenOptions::new()
                 .append(true)
@@ -204,6 +299,14 @@ mod tests {
             writeln!(f, "12345,frobnicate").unwrap();
         }
         fs::write(dir.join("notes.txt"), "not a trace\n").unwrap();
+        expected.sort_by_key(|r| r.t);
+        expected
+    }
+
+    #[test]
+    fn write_then_read_round_trip_with_corruption_tolerance() {
+        let dir = std::env::temp_dir().join(format!("u1-logdir-test-{}", std::process::id()));
+        let expected = write_corrupted_dir(&dir);
 
         let (records, stats) = LogDirReader::new(&dir).read_all().unwrap();
         assert_eq!(stats.parsed, 50);
@@ -214,10 +317,24 @@ mod tests {
         // Sorted by time.
         assert!(records.windows(2).all(|w| w[0].t <= w[1].t));
         // Same multiset of payloads.
-        expected.sort_by_key(|r| r.t);
         for (a, b) in records.iter().zip(expected.iter()) {
             assert_eq!(a.t, b.t);
             assert_eq!(a.payload, b.payload);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_read_is_identical_to_serial_at_every_thread_count() {
+        let dir = std::env::temp_dir().join(format!("u1-logdir-par-test-{}", std::process::id()));
+        let _ = write_corrupted_dir(&dir);
+
+        let reader = LogDirReader::new(&dir);
+        let (serial, serial_stats) = reader.read_all().unwrap();
+        for threads in [1, 2, 3, 8, 64] {
+            let (par, par_stats) = reader.read_all_parallel(threads).unwrap();
+            assert_eq!(par_stats, serial_stats, "stats differ at {threads} threads");
+            assert_eq!(par, serial, "records differ at {threads} threads");
         }
         let _ = fs::remove_dir_all(&dir);
     }

@@ -2,11 +2,26 @@
 
 /// A JSON number. Kept as three variants so `u64` sizes and counters —
 /// ubiquitous in the trace model — print exactly, never through `f64`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub enum Number {
     I64(i64),
     U64(u64),
     F64(f64),
+}
+
+/// Floats compare by bit pattern so `NaN == NaN` and `0.0 != -0.0`: value
+/// trees are compared in differential tests that demand bit-identical
+/// output, where IEEE `NaN != NaN` semantics would make any report with an
+/// empty-bin NaN unequal to itself.
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::I64(a), Number::I64(b)) => a == b,
+            (Number::U64(a), Number::U64(b)) => a == b,
+            (Number::F64(a), Number::F64(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
 }
 
 /// A JSON value.
