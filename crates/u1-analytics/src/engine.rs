@@ -18,6 +18,7 @@ use crate::burstiness::BurstinessFold;
 use crate::ddos::{DdosFold, DdosReport, DetectorConfig};
 use crate::dedup::{DedupAnalysis, DedupFold};
 use crate::dependencies::{DependencyAnalysis, DependencyFold, LifetimeAnalysis, LifetimeFold};
+use crate::faults::{FaultAnalysis, FaultFold};
 use crate::markov::{MarkovFold, TransitionGraph};
 use crate::rpc::{LoadBalance, LoadBalanceFold, RpcAnalysis, RpcFold};
 use crate::sessions::{AuthActivity, AuthActivityFold, SessionAnalysis, SessionFold};
@@ -181,6 +182,7 @@ pub struct EngineReport {
     pub load_balance: LoadBalance,
     pub auth: AuthActivity,
     pub sessions: SessionAnalysis,
+    pub faults: FaultAnalysis,
 }
 
 /// All registered folds, fed simultaneously. Itself a [`TraceFold`], so the
@@ -207,6 +209,7 @@ pub struct Battery {
     load_balance: LoadBalanceFold,
     auth: AuthActivityFold,
     sessions: SessionFold,
+    faults: FaultFold,
 }
 
 impl Battery {
@@ -237,6 +240,7 @@ impl Battery {
             ),
             auth: AuthActivityFold::new(cfg.horizon),
             sessions: SessionFold::new(),
+            faults: FaultFold::new(),
             cfg: cfg.clone(),
         }
     }
@@ -270,6 +274,7 @@ impl TraceFold for Battery {
         self.load_balance.feed(rec);
         self.auth.feed(rec);
         self.sessions.feed(rec);
+        self.faults.feed(rec);
     }
 
     fn merge(&mut self, later: Self) {
@@ -293,6 +298,7 @@ impl TraceFold for Battery {
         self.load_balance.merge(later.load_balance);
         self.auth.merge(later.auth);
         self.sessions.merge(later.sessions);
+        self.faults.merge(later.faults);
     }
 
     fn finish(self) -> EngineReport {
@@ -322,6 +328,7 @@ impl TraceFold for Battery {
             load_balance: self.load_balance.finish(),
             auth: self.auth.finish(),
             sessions: self.sessions.finish(),
+            faults: self.faults.finish(),
             traffic,
             online_active,
         }

@@ -19,6 +19,8 @@
 //! * [`burstiness`] — inter-operation times and their power-law fit (Fig. 9),
 //! * [`volumes`] — files/dirs per volume and volume-type distributions
 //!   (Figs. 10, 11; consumes a [`u1_metastore::store::VolumeSnapshot`]),
+//! * [`faults`] — error rates, error-class mix and retry-latency
+//!   inflation under an injected fault plan,
 //! * [`rpc`] — RPC service-time distributions, the class scatter, and load
 //!   balance (Figs. 12, 13, 14),
 //! * [`sessions`] — session lengths, ops/session, auth activity (Figs. 15,
@@ -36,6 +38,7 @@ pub mod ddos;
 pub mod dedup;
 pub mod dependencies;
 pub mod engine;
+pub mod faults;
 pub mod markov;
 pub mod rpc;
 pub mod sessions;

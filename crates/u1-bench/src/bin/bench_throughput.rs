@@ -20,11 +20,19 @@
 //! Environment overrides: `U1_USERS`, `U1_DAYS`, `U1_SEED`, `U1_ATTACKS=0`
 //! (same as the experiment harness), plus `U1_BENCH_WORKERS` as a
 //! comma-separated list of worker counts (default `1,2,4,8`).
+//!
+//! `--faults <spec>` (or `U1_FAULTS=<spec>`) runs the whole benchmark under
+//! an injected fault plan — `light`, `none`, or a `key=value` list such as
+//! `shard=0.01,rpc=0.002,part=0.01,crash=0.005` (see
+//! [`u1_core::fault::FaultPlan::parse`]). The determinism cross-checks
+//! still apply: a seeded fault plan must produce the identical report and
+//! trace at every worker count.
 
 use serde_json::json;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
+use u1_core::fault::FaultPlan;
 use u1_core::{Sha1, SimClock, SimDuration};
 use u1_server::{Backend, BackendConfig};
 use u1_trace::{csvline, BufferedSink, MemorySink, TraceRecord, TraceSink};
@@ -57,6 +65,7 @@ fn canonical_trace_hash(records: &[TraceRecord]) -> String {
 
 fn run_once(
     mut cfg: WorkloadConfig,
+    fault: &FaultPlan,
     label: &'static str,
     workers: usize,
     buffered: bool,
@@ -73,6 +82,7 @@ fn run_once(
     let backend_cfg = BackendConfig {
         seed: cfg.seed ^ 0xBACC,
         auth_cache_ttl: auth_cache.then(|| SimDuration::from_hours(8)),
+        fault: fault.clone(),
         ..BackendConfig::default()
     };
     let backend = Arc::new(Backend::new(backend_cfg, Arc::new(clock.clone()), sink));
@@ -106,6 +116,22 @@ fn main() {
     if std::env::var("U1_ATTACKS").as_deref() == Ok("0") {
         cfg.attacks = false;
     }
+    // `--faults <spec>` / `U1_FAULTS=<spec>`: run under an injected fault
+    // plan (default: faults off).
+    let args: Vec<String> = std::env::args().collect();
+    let fault_spec = args
+        .iter()
+        .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("U1_FAULTS").ok());
+    let fault = match &fault_spec {
+        Some(spec) => FaultPlan::parse(spec, SimDuration::from_days(cfg.days))
+            .unwrap_or_else(|e| panic!("bad --faults spec {spec:?}: {e}")),
+        None => FaultPlan::none(),
+    };
+    if let Some(spec) = &fault_spec {
+        eprintln!("[throughput] fault plan: {spec}");
+    }
     let worker_counts: Vec<usize> = std::env::var("U1_BENCH_WORKERS")
         .unwrap_or_else(|_| "1,2,4,8".into())
         .split(',')
@@ -114,7 +140,7 @@ fn main() {
 
     let mut runs: Vec<Run> = Vec::new();
     for &w in &worker_counts {
-        runs.push(run_once(cfg.clone(), "buffered", w, true, false));
+        runs.push(run_once(cfg.clone(), &fault, "buffered", w, true, false));
         let run = runs.last().unwrap();
         eprintln!(
             "[throughput] workers={} buffered wall={:.2}s ops/s={:.0}",
@@ -125,7 +151,14 @@ fn main() {
     }
     // Batch-size cross-check: per-record emission (batch size 1) against the
     // buffered path at the same worker count.
-    let unbuffered = run_once(cfg.clone(), "per-record", worker_counts[0], false, false);
+    let unbuffered = run_once(
+        cfg.clone(),
+        &fault,
+        "per-record",
+        worker_counts[0],
+        false,
+        false,
+    );
     eprintln!(
         "[throughput] workers={} per-record wall={:.2}s ops/s={:.0}",
         unbuffered.workers,
@@ -154,7 +187,14 @@ fn main() {
 
     // Auth-cache run: same workload with the memcached-analogue token cache
     // enabled, to record the hit rate and the fast-path throughput.
-    let cached = run_once(cfg.clone(), "auth-cached", worker_counts[0], true, true);
+    let cached = run_once(
+        cfg.clone(),
+        &fault,
+        "auth-cached",
+        worker_counts[0],
+        true,
+        true,
+    );
     let cache_lookups = cached.report.token_cache_hits + cached.report.token_cache_misses;
     let token_cache_hit_rate = if cache_lookups == 0 {
         0.0
@@ -201,6 +241,20 @@ fn main() {
     human.push_str(&format!(
         "host cpus: {host_cpus}; token cache hit rate: {token_cache_hit_rate:.3}\n"
     ));
+    if !fault.is_none() {
+        let r = &base.report;
+        human.push_str(&format!(
+            "faults: rpc_timeouts {} retries {} client_retries {} \
+             uploads interrupted/resumed/abandoned {}/{}/{} rescans {}\n",
+            r.rpc_timeouts,
+            r.rpc_retries,
+            r.client_retries,
+            r.uploads_interrupted,
+            r.uploads_resumed,
+            r.uploads_abandoned,
+            r.rescans_forced,
+        ));
+    }
     u1_bench::emit(
         "BENCH_throughput",
         &human,
@@ -210,6 +264,7 @@ fn main() {
                 "days": cfg.days,
                 "seed": cfg.seed,
                 "attacks": cfg.attacks,
+                "faults": fault_spec,
             },
             "host_cpus": host_cpus,
             "trace_records": base.records,

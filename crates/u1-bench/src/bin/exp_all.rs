@@ -32,4 +32,5 @@ fn main() {
     exp::exp_f17_uploadjobs();
     exp::exp_t1_findings(&report);
     exp::exp_ablations(&scenario, &report);
+    exp::exp_faults();
 }

@@ -1,0 +1,4 @@
+//! Fault-injection experiment (failure-mode handbook); self-contained.
+fn main() {
+    u1_bench::experiments::exp_faults();
+}

@@ -855,3 +855,94 @@ pub fn exp_ablations(scn: &Scenario, rep: &EngineReport) -> Value {
     emit("ablations", &human, &j);
     j
 }
+
+/// Fault-injection experiment: the same small workload run fault-free and
+/// under a ~1% shard-downtime plan (plus light RPC/part/crash/notify
+/// faults), reporting error rates and retry-latency inflation from the
+/// trace tags. Self-contained like Fig. 17: it runs its own pair of
+/// scenarios rather than reusing the shared month.
+pub fn exp_faults() -> Value {
+    use u1_core::fault::FaultPlan;
+    use u1_core::SimDuration;
+    use u1_workload::WorkloadConfig;
+
+    let cfg = WorkloadConfig {
+        users: 300,
+        days: 3,
+        seed: 0xFA17,
+        attacks: false,
+        seed_files: 0.5,
+        workers: 0,
+    };
+    let spec = "shard=0.01,rpc=0.002,part=0.01,crash=0.01,notify=0.02,auth=0.005";
+    let plan = FaultPlan::parse(spec, SimDuration::from_days(cfg.days)).expect("valid fault spec");
+
+    let baseline = crate::run_scenario(cfg.clone());
+    let faulted = crate::run_scenario_with_faults(cfg, plan);
+
+    let base_f = ana::faults::fault_analysis(&baseline.records);
+    let inj_f = ana::faults::fault_analysis(&faulted.records);
+    let br = &baseline.report;
+    let fr = &faulted.report;
+
+    let class_rows: String = inj_f
+        .by_class
+        .iter()
+        .map(|c| format!("    {:<18} {}\n", c.class, c.count))
+        .collect();
+    let human = format!(
+        "fault plan: {spec}\n\n\
+         {:<28} {:>10} {:>10}\n\
+         {:<28} {:>10} {:>10}\n\
+         {:<28} {:>10} {:>10}\n\
+         {:<28} {:>10.4} {:>10.4}\n\
+         {:<28} {:>10} {:>10}\n\
+         {:<28} {:>10} {:>10}\n\
+         {:<28} {:>10} {:>10}\n\
+         {:<28} {:>10} {:>10}\n\
+         {:<28} {:>10} {:>10}\n\
+         {:<28} {:>10.2} {:>10.2}\n\
+         error classes (faulted):\n{class_rows}",
+        "",
+        "baseline",
+        "faulted",
+        "sessions opened",
+        br.sessions_opened,
+        fr.sessions_opened,
+        "ops executed",
+        br.ops_executed,
+        fr.ops_executed,
+        "storage error rate",
+        base_f.storage_error_rate,
+        inj_f.storage_error_rate,
+        "rpc timeouts",
+        br.rpc_timeouts,
+        fr.rpc_timeouts,
+        "server rpc retries",
+        br.rpc_retries,
+        fr.rpc_retries,
+        "client retries",
+        br.client_retries,
+        fr.client_retries,
+        "uploads interrupted/resumed",
+        br.uploads_interrupted,
+        fr.uploads_interrupted,
+        "auth fallbacks / rescans",
+        fr.auth_fallbacks,
+        fr.rescans_forced,
+        "retry latency inflation",
+        base_f.retry_latency_inflation,
+        inj_f.retry_latency_inflation,
+    );
+    let j = json!({
+        "plan": spec,
+        "baseline": {
+            "report": br, "faults": base_f,
+        },
+        "faulted": {
+            "report": fr, "faults": inj_f,
+        },
+    });
+    emit("faults", &human, &j);
+    j
+}

@@ -22,7 +22,7 @@
 pub mod experiments;
 pub mod scenario;
 
-pub use scenario::{run_scenario, scenario_from_env, Scenario};
+pub use scenario::{run_scenario, run_scenario_with_faults, scenario_from_env, Scenario};
 
 use serde_json::Value;
 use std::io::Write;

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 use u1_blobstore::BlobStoreStats;
+use u1_core::fault::FaultPlan;
 use u1_core::{SimClock, SimTime};
 use u1_metastore::store::VolumeSnapshot;
 use u1_server::{Backend, BackendConfig};
@@ -23,6 +24,12 @@ pub struct Scenario {
 
 /// Runs a workload against a fresh backend under a virtual clock.
 pub fn run_scenario(cfg: WorkloadConfig) -> Scenario {
+    run_scenario_with_faults(cfg, FaultPlan::none())
+}
+
+/// [`run_scenario`] with a fault plan injected into the backend (the driver
+/// reads the same plan off the backend for its client-side behavior).
+pub fn run_scenario_with_faults(cfg: WorkloadConfig, fault: FaultPlan) -> Scenario {
     let clock = SimClock::new();
     // Emission goes through the batched path; `sink` keeps a handle on the
     // underlying store for `take_sorted` (the driver flushes at day
@@ -30,6 +37,7 @@ pub fn run_scenario(cfg: WorkloadConfig) -> Scenario {
     let sink = Arc::new(MemorySink::new());
     let backend_cfg = BackendConfig {
         seed: cfg.seed ^ 0xBACC,
+        fault,
         ..BackendConfig::default()
     };
     let backend = Arc::new(Backend::new(

@@ -17,6 +17,11 @@ pub enum MultipartError {
     NoParts,
     /// A zero-byte part.
     EmptyPart,
+    /// The part-put failed transiently (injected fault). The upload itself
+    /// stays alive: the part was not recorded, and re-sending it resumes
+    /// from the last part that did arrive — the behavior uploadjobs exist
+    /// for (§3).
+    PartPutFailed,
 }
 
 impl std::fmt::Display for MultipartError {
@@ -25,6 +30,7 @@ impl std::fmt::Display for MultipartError {
             MultipartError::UnknownUpload => write!(f, "unknown multipart upload"),
             MultipartError::NoParts => write!(f, "multipart upload has no parts"),
             MultipartError::EmptyPart => write!(f, "empty part"),
+            MultipartError::PartPutFailed => write!(f, "part put failed transiently"),
         }
     }
 }

@@ -5,7 +5,8 @@ use crate::tier::Tier;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use u1_core::{ContentHash, SimTime};
+use std::sync::Arc;
+use u1_core::{ContentHash, FaultInjector, SimTime};
 
 /// Metadata of a stored object.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +41,8 @@ pub struct BlobStoreStats {
     pub multipart_initiated: u64,
     pub multipart_completed: u64,
     pub multipart_aborted: u64,
+    /// Part-puts rejected by the fault injector (0 without a fault plan).
+    pub part_put_failures: u64,
 }
 
 /// The S3 stand-in. Thread-safe; all methods take `&self`.
@@ -56,11 +59,20 @@ pub struct BlobStore {
     mp_initiated: AtomicU64,
     mp_completed: AtomicU64,
     mp_aborted: AtomicU64,
+    part_put_failures: AtomicU64,
+    /// Fault-injection plane; `None` (the default) never fails a part-put.
+    faults: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl BlobStore {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs the run's fault injector; part-puts then fail with the
+    /// plan's `part_put_p` probability.
+    pub fn set_faults(&self, injector: Arc<FaultInjector>) {
+        *self.faults.write() = Some(injector);
     }
 
     /// Whether an object with this content identity exists.
@@ -128,13 +140,22 @@ impl BlobStore {
         id
     }
 
-    /// Uploads one part.
+    /// Uploads one part. With a fault injector installed, the put may fail
+    /// transiently *before* the part is recorded — the multipart session
+    /// stays valid and the caller resumes from the last successful part.
     pub fn upload_part(
         &self,
         multipart_id: u64,
         data_len: u64,
         data: Option<Vec<u8>>,
     ) -> Result<(), MultipartError> {
+        if let Some(faults) = self.faults.read().as_ref() {
+            if faults.part_put_fails() {
+                self.part_put_failures.fetch_add(1, Ordering::Relaxed);
+                u1_core::fault::set_error_class(Some(u1_core::fault::ErrorClass::PartPut));
+                return Err(MultipartError::PartPutFailed);
+            }
+        }
         let mut mps = self.multiparts.write();
         let mp = mps
             .get_mut(&multipart_id)
@@ -213,6 +234,7 @@ impl BlobStore {
             multipart_initiated: self.mp_initiated.load(Ordering::Relaxed),
             multipart_completed: self.mp_completed.load(Ordering::Relaxed),
             multipart_aborted: self.mp_aborted.load(Ordering::Relaxed),
+            part_put_failures: self.part_put_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -305,6 +327,33 @@ mod tests {
         // Still resumable after the failed complete.
         s.upload_part(id, 10, None).unwrap();
         assert!(s.complete_multipart(id, h(1), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn injected_part_put_failures_leave_upload_resumable() {
+        use u1_core::FaultPlan;
+        let s = BlobStore::new();
+        let plan = FaultPlan {
+            part_put_p: 0.5,
+            ..FaultPlan::none()
+        };
+        s.set_faults(Arc::new(FaultInjector::new(plan, 3)));
+        let id = s.initiate_multipart(SimTime::ZERO);
+        let mut ok = 0u64;
+        let mut failed = 0u64;
+        for _ in 0..64 {
+            match s.upload_part(id, 100, None) {
+                Ok(()) => ok += 1,
+                Err(MultipartError::PartPutFailed) => failed += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(ok > 0 && failed > 0, "ok={ok} failed={failed}");
+        // Failed puts recorded nothing; the session stays resumable with
+        // exactly the successful parts.
+        assert_eq!(s.multipart_progress(id), Some((ok as usize, ok * 100)));
+        assert_eq!(s.stats().part_put_failures, failed);
+        assert!(s.complete_multipart(id, h(77), SimTime::ZERO).is_ok());
     }
 
     #[test]

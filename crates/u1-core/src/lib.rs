@@ -16,6 +16,7 @@
 
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod fxhash;
 pub mod id;
 pub mod op;
@@ -27,6 +28,7 @@ pub mod taxonomy;
 
 pub use clock::{Clock, RealClock, SimClock, SimDuration, SimTime};
 pub use error::{CoreError, CoreResult};
+pub use fault::{CircuitBreaker, ErrorClass, FaultInjector, FaultPlan, RetryPolicy};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::{
     ContentHash, MachineId, NodeId, NodeKind, ProcessId, SessionId, ShardId, UploadId, UserId,

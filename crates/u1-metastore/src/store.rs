@@ -33,9 +33,10 @@ use crate::shard::{DeadNode, Shard};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use u1_core::{
-    ContentHash, CoreError, CoreResult, NodeId, NodeKind, ShardId, SimDuration, SimTime, UploadId,
-    UserId, VolumeId,
+    ContentHash, CoreError, CoreResult, ErrorClass, FaultInjector, NodeId, NodeKind, ShardId,
+    SimDuration, SimTime, UploadId, UserId, VolumeId,
 };
 
 /// Stripe count for the `volume_owner` routing map.
@@ -109,6 +110,9 @@ pub struct MetaStore {
     next_volume: StridedAlloc,
     next_node: StridedAlloc,
     next_upload: StridedAlloc,
+    /// Fault-injection plane; `None` (the default) means every shard is
+    /// always up.
+    faults: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 #[derive(Debug, Default)]
@@ -133,8 +137,39 @@ impl MetaStore {
             next_volume: StridedAlloc::new(config.shards),
             next_node: StridedAlloc::new(config.shards),
             next_upload: StridedAlloc::new(config.shards),
+            faults: RwLock::new(None),
             config,
         }
+    }
+
+    /// Installs the run's fault injector; requests routed to a shard inside
+    /// one of its unavailability windows then fail with
+    /// [`CoreError::unavailable`] (App. A: the metadata cluster degrades
+    /// per-shard, not as a whole).
+    pub fn set_faults(&self, injector: Arc<FaultInjector>) {
+        *self.faults.write() = Some(injector);
+    }
+
+    /// Fails if `user`'s shard is inside an unavailability window at the
+    /// caller's current virtual time. Checked at the request-routing choke
+    /// points, mirroring where U1 routes "operations by user identifier to
+    /// the appropriate shard".
+    fn check_shard_up(&self, user: UserId) -> CoreResult<()> {
+        let down = match self.faults.read().as_ref() {
+            None => return Ok(()),
+            Some(faults) => {
+                let now = u1_core::partition::current_time().unwrap_or(SimTime::ZERO);
+                faults.shard_down(self.shard_of(user).raw() as u64, now)
+            }
+        };
+        if down {
+            u1_core::fault::set_error_class(Some(ErrorClass::ShardUnavailable));
+            return Err(CoreError::unavailable(format!(
+                "{} unavailable",
+                self.shard_of(user)
+            )));
+        }
+        Ok(())
     }
 
     pub fn config(&self) -> &StoreConfig {
@@ -180,6 +215,10 @@ impl MetaStore {
             .read()
             .get(&volume)
             .ok_or_else(|| CoreError::not_found(format!("volume {volume}")))?;
+        // The volume's rows live on the owner's shard; fail here if that
+        // shard is inside an unavailability window (the routing tier is a
+        // separate, always-up index).
+        self.check_shard_up(owner)?;
         if owner == actor {
             return Ok(owner);
         }
@@ -201,6 +240,7 @@ impl MetaStore {
 
     /// Registers a user (first connection), creating their root volume.
     pub fn create_user(&self, user: UserId, now: SimTime) -> CoreResult<UserRow> {
+        self.check_shard_up(user)?;
         let root = self.alloc_volume(user);
         let row = self.shard(user).write().create_user(user, root, now)?;
         self.owner_stripe(root).write().insert(root, user);
@@ -209,22 +249,26 @@ impl MetaStore {
 
     /// `dal.get_user_data`.
     pub fn get_user_data(&self, user: UserId) -> CoreResult<UserRow> {
+        self.check_shard_up(user)?;
         self.shard(user).read().get_user_data(user)
     }
 
     /// `dal.get_root`.
     pub fn get_root(&self, user: UserId) -> CoreResult<VolumeRow> {
+        self.check_shard_up(user)?;
         self.shard(user).read().get_root(user)
     }
 
     /// `dal.list_volumes` — owned volumes only; combine with
     /// [`MetaStore::list_shares`] for the client-visible volume set.
     pub fn list_volumes(&self, user: UserId) -> CoreResult<Vec<VolumeRow>> {
+        self.check_shard_up(user)?;
         self.shard(user).read().list_volumes(user)
     }
 
     /// `dal.list_shares` — volumes shared *to* this user, with their owners.
     pub fn list_shares(&self, user: UserId) -> CoreResult<Vec<(VolumeRow, UserId)>> {
+        self.check_shard_up(user)?;
         self.shard(user).read().get_user_data(user)?;
         let grants: Vec<ShareRow> = self
             .shares
@@ -286,6 +330,7 @@ impl MetaStore {
 
     /// `dal.create_udf`.
     pub fn create_udf(&self, user: UserId, name: &str, now: SimTime) -> CoreResult<VolumeRow> {
+        self.check_shard_up(user)?;
         let volume = self.alloc_volume(user);
         let row = self
             .shard(user)
@@ -661,6 +706,55 @@ mod tests {
         assert_eq!(s.shard_of(UserId::new(0)), ShardId::new(0));
         assert_eq!(s.shard_of(UserId::new(13)), ShardId::new(3));
         assert_eq!(s.num_shards(), 10);
+    }
+
+    #[test]
+    fn shard_outage_windows_degrade_per_shard_not_cluster_wide() {
+        use u1_core::{partition, FaultPlan};
+        let s = store();
+        let user = UserId::new(1); // shard 1
+        s.create_user(user, now()).unwrap();
+        let plan = FaultPlan {
+            shard_outages: 2,
+            shard_outage_len: SimDuration::from_hours(2),
+            horizon: SimDuration::from_days(2),
+            ..FaultPlan::none()
+        };
+        let inj = Arc::new(FaultInjector::new(plan, 99));
+        let shard = s.shard_of(user).raw() as u64;
+        let probe = |f: &dyn Fn(SimTime) -> bool| {
+            (0..48 * 60)
+                .map(|m| SimTime::from_secs(m * 60))
+                .find(|t| f(*t))
+                .expect("probe found no matching minute")
+        };
+        let t_down = probe(&|t| inj.shard_down(shard, t));
+        let t_up = probe(&|t| !inj.shard_down(shard, t));
+        s.set_faults(Arc::clone(&inj));
+
+        // Inside the window, requests routed to this shard fail unavailable.
+        let ctx = partition::PartitionCtx::new(0);
+        ctx.set_time(t_down);
+        let _g = partition::install(ctx.clone());
+        assert!(matches!(
+            s.get_user_data(user),
+            Err(CoreError::Unavailable(_))
+        ));
+        assert!(matches!(
+            s.list_volumes(user),
+            Err(CoreError::Unavailable(_))
+        ));
+        // The cluster degrades per-shard: some other shard is still up at
+        // the same instant (2h windows per shard rarely all overlap; assert
+        // at least one of the other nine serves).
+        let other_up = (0..10u64)
+            .filter(|sh| *sh != shard)
+            .any(|sh| !inj.shard_down(sh, t_down));
+        assert!(other_up, "every other shard down at once — implausible");
+        // Outside the window the same request succeeds.
+        ctx.set_time(t_up);
+        assert!(s.get_user_data(user).is_ok());
+        u1_core::fault::clear_tags();
     }
 
     #[test]

@@ -29,6 +29,11 @@ pub struct BrokerStats {
     pub delivered: u64,
     /// Publishes that found no remote subscriber.
     pub dropped: u64,
+    /// Events lost *before* reaching any queue — the fault-injection plane
+    /// models broker outages (RabbitMQ restart, queue overflow) by calling
+    /// [`Broker::note_lost`] instead of publishing. Affected clients learn
+    /// about the missed change by rescanning at their next session.
+    pub lost: u64,
 }
 
 /// An in-process message broker standing in for the RabbitMQ server.
@@ -38,6 +43,7 @@ pub struct Broker<T: Clone + Send + 'static> {
     published: AtomicU64,
     delivered: AtomicU64,
     dropped: AtomicU64,
+    lost: AtomicU64,
 }
 
 impl<T: Clone + Send + 'static> Default for Broker<T> {
@@ -54,6 +60,7 @@ impl<T: Clone + Send + 'static> Broker<T> {
             published: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
         }
     }
 
@@ -101,11 +108,19 @@ impl<T: Clone + Send + 'static> Broker<T> {
         self.publish_except(None, event);
     }
 
+    /// Accounts one event lost in the broker itself (injected fan-out
+    /// drop): the publisher decided not to enqueue it anywhere, simulating
+    /// a message that died inside RabbitMQ.
+    pub fn note_lost(&self) {
+        self.lost.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn stats(&self) -> BrokerStats {
         BrokerStats {
             published: self.published.load(Ordering::Relaxed),
             delivered: self.delivered.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
+            lost: self.lost.load(Ordering::Relaxed),
         }
     }
 }
@@ -159,6 +174,18 @@ mod tests {
         let (a, _rx) = broker.subscribe();
         broker.publish_except(Some(a), 1);
         assert_eq!(broker.stats().dropped, 1);
+    }
+
+    #[test]
+    fn lost_events_are_counted_separately_from_undeliverable_ones() {
+        let broker: Broker<u32> = Broker::new();
+        let (_a, rx) = broker.subscribe();
+        broker.note_lost();
+        broker.note_lost();
+        broker.publish(9);
+        let stats = broker.stats();
+        assert_eq!((stats.lost, stats.published, stats.dropped), (2, 1, 0));
+        assert_eq!(drain(&rx), vec![9], "lost events never reach queues");
     }
 
     #[test]

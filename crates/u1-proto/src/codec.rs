@@ -2,7 +2,7 @@
 //!
 //! Layout: one kind byte (request/response/push), a varint request id where
 //! applicable, one variant tag byte, then the variant's fields using the
-//! [`wire`](crate::wire) primitives. Unknown tags decode to
+//! [`crate::wire`] primitives. Unknown tags decode to
 //! [`WireError::BadDiscriminant`] rather than panicking.
 
 use crate::msg::{Message, NodeInfo, Push, Request, Response, VolumeInfo};

@@ -36,6 +36,17 @@ pub struct CommittedUpload {
     pub bytes_transferred: u64,
 }
 
+/// A failed [`Backend::upload_file_with_recovery`] attempt. When `resume`
+/// is `Some`, an upload job exists server-side and a later attempt can pick
+/// up from the last part that arrived instead of restarting — the §3
+/// rationale for upload jobs. `None` means nothing survived (the failure
+/// predates job creation, or the job itself is gone).
+#[derive(Debug, Clone)]
+pub struct UploadFailure {
+    pub resume: Option<UploadId>,
+    pub error: CoreError,
+}
+
 fn ext_of(name: &str) -> &str {
     match name.rsplit_once('.') {
         Some((stem, ext)) if !stem.is_empty() && !ext.is_empty() => ext,
@@ -108,6 +119,25 @@ impl Backend {
     /// the least-loaded process.
     pub fn open_session(&self, token: u1_auth::Token) -> CoreResult<SessionHandle> {
         let slot = self.cluster.place_session();
+        if !self.faults.is_none() && self.faults.auth_down(self.now()) {
+            // Auth-service outage window: the SSO backend is unreachable.
+            // The memcached tier keeps serving whatever it still holds —
+            // even past the TTL — so already-seen clients stay able to
+            // connect; everyone else fails until the outage ends.
+            if let Some(user) = self
+                .token_cache
+                .as_ref()
+                .and_then(|cache| cache.lookup_stale(token))
+            {
+                self.auth_fallbacks
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return self.establish_session(slot, user);
+            }
+            u1_core::fault::set_error_class(Some(u1_core::fault::ErrorClass::AuthOutage));
+            self.log_auth(slot, UserId::new(0), false);
+            self.cluster.release_session(slot);
+            return Err(CoreError::unavailable("auth service outage"));
+        }
         if let Some(cache) = &self.token_cache {
             if let Some(user) = cache.lookup(token, self.now()) {
                 // Cache hit: no auth-service round trip at all, so neither
@@ -116,7 +146,10 @@ impl Backend {
                 return self.establish_session(slot, user);
             }
         }
-        self.rpc(slot, UserId::new(0), RpcKind::GetUserIdFromToken, 0);
+        if let Err(e) = self.rpc(slot, UserId::new(0), RpcKind::GetUserIdFromToken, 0) {
+            self.cluster.release_session(slot);
+            return Err(e);
+        }
         match self.auth.get_user_id_from_token(token, self.now()) {
             Ok(user) => {
                 self.log_auth(slot, user, true);
@@ -140,9 +173,16 @@ impl Backend {
         slot: crate::cluster::Slot,
         user: UserId,
     ) -> CoreResult<SessionHandle> {
-        self.rpc(slot, user, RpcKind::GetUserData, 0);
-        self.rpc(slot, user, RpcKind::GetRoot, 0);
-        self.store.get_user_data(user)?;
+        let prep = self
+            .rpc(slot, user, RpcKind::GetUserData, 0)
+            .and_then(|_| self.rpc(slot, user, RpcKind::GetRoot, 0))
+            .and_then(|_| self.store.get_user_data(user).map(|_| ()));
+        if let Err(e) = prep {
+            // The slot was only reserved; without release a shard outage
+            // would leak cluster capacity on every failed open.
+            self.cluster.release_session(slot);
+            return Err(e);
+        }
         let handle = self.sessions.open(user, slot, self.now());
         self.log_session_event(&handle, SessionEvent::Open);
         Ok(handle)
@@ -184,7 +224,7 @@ impl Backend {
     /// ListVolumes: all volumes of the user — root, UDFs and shares.
     pub fn list_volumes(&self, session: SessionId) -> CoreResult<Vec<VolumeInfo>> {
         let h = self.session(session)?;
-        let d = self.rpc(h.slot, h.user, RpcKind::ListVolumes, 0);
+        let d = self.rpc(h.slot, h.user, RpcKind::ListVolumes, 0)?;
         let result = self.store.list_volumes(h.user).map(|owned| {
             let mut vols: Vec<VolumeInfo> = owned.iter().map(|v| volume_info(v, None)).collect();
             if let Ok(shares) = self.store.list_shares(h.user) {
@@ -214,7 +254,7 @@ impl Backend {
     /// ListShares: only the volumes shared *to* this user.
     pub fn list_shares(&self, session: SessionId) -> CoreResult<Vec<VolumeInfo>> {
         let h = self.session(session)?;
-        let d = self.rpc(h.slot, h.user, RpcKind::ListShares, 0);
+        let d = self.rpc(h.slot, h.user, RpcKind::ListShares, 0)?;
         let result = self.store.list_shares(h.user).map(|shares| {
             shares
                 .iter()
@@ -243,7 +283,7 @@ impl Backend {
     /// CreateUDF.
     pub fn create_udf(&self, session: SessionId, name: &str) -> CoreResult<VolumeInfo> {
         let h = self.session(session)?;
-        let d = self.rpc(h.slot, h.user, RpcKind::CreateUdf, 0);
+        let d = self.rpc(h.slot, h.user, RpcKind::CreateUdf, 0)?;
         let result = self.store.create_udf(h.user, name, self.now());
         self.log_storage(
             &h,
@@ -280,7 +320,7 @@ impl Backend {
         // Notify *before* the rows disappear so recipients are still known.
         let result = self.store.delete_volume(h.user, volume);
         let rows = result.as_ref().map(|r| r.dead.len() as u64).unwrap_or(0);
-        let d = self.rpc(h.slot, h.user, RpcKind::DeleteVolume, rows);
+        let d = self.rpc(h.slot, h.user, RpcKind::DeleteVolume, rows)?;
         self.log_storage(
             &h,
             ApiOpKind::DeleteVolume,
@@ -331,7 +371,7 @@ impl Backend {
             NodeKind::File => ApiOpKind::MakeFile,
             NodeKind::Directory => ApiOpKind::MakeDir,
         };
-        let d = self.rpc(h.slot, h.user, rpc_kind, 0);
+        let d = self.rpc(h.slot, h.user, rpc_kind, 0)?;
         let result = self
             .store
             .make_node(h.user, volume, parent, kind, name, self.now());
@@ -362,7 +402,7 @@ impl Backend {
     /// Unlink.
     pub fn unlink(&self, session: SessionId, volume: VolumeId, node: NodeId) -> CoreResult<u64> {
         let h = self.session(session)?;
-        let d = self.rpc(h.slot, h.user, RpcKind::UnlinkNode, 0);
+        let d = self.rpc(h.slot, h.user, RpcKind::UnlinkNode, 0)?;
         // Capture identity before deletion for the trace record.
         let pre = self.store.get_node(h.user, volume, node).ok();
         let result = self.store.unlink(h.user, volume, node, self.now());
@@ -401,7 +441,7 @@ impl Backend {
         new_name: &str,
     ) -> CoreResult<NodeInfo> {
         let h = self.session(session)?;
-        let d = self.rpc(h.slot, h.user, RpcKind::Move, 0);
+        let d = self.rpc(h.slot, h.user, RpcKind::Move, 0)?;
         let result = self
             .store
             .move_node(h.user, volume, node, new_parent, new_name, self.now());
@@ -437,8 +477,8 @@ impl Backend {
         from_generation: u64,
     ) -> CoreResult<(u64, Vec<NodeInfo>)> {
         let h = self.session(session)?;
-        let d1 = self.rpc(h.slot, h.user, RpcKind::GetVolumeId, 0);
-        let d2 = self.rpc(h.slot, h.user, RpcKind::GetDelta, 0);
+        let d1 = self.rpc(h.slot, h.user, RpcKind::GetVolumeId, 0)?;
+        let d2 = self.rpc(h.slot, h.user, RpcKind::GetDelta, 0)?;
         let result = self.store.get_delta(h.user, volume, from_generation);
         self.log_storage(
             &h,
@@ -465,7 +505,7 @@ impl Backend {
         let h = self.session(session)?;
         let result = self.store.get_from_scratch(h.user, volume);
         let rows = result.as_ref().map(|(_, v)| v.len() as u64).unwrap_or(0);
-        let d = self.rpc(h.slot, h.user, RpcKind::GetFromScratch, rows);
+        let d = self.rpc(h.slot, h.user, RpcKind::GetFromScratch, rows)?;
         self.log_storage(
             &h,
             ApiOpKind::RescanFromScratch,
@@ -495,7 +535,7 @@ impl Backend {
         size: u64,
     ) -> CoreResult<UploadOutcome> {
         let h = self.session(session)?;
-        let mut d = self.rpc(h.slot, h.user, RpcKind::GetReusableContent, 0);
+        let mut d = self.rpc(h.slot, h.user, RpcKind::GetReusableContent, 0)?;
         let node_row = self.store.get_node(h.user, volume, node)?;
         // The content index view is the source of truth for dedup: a hash
         // visible to this partition is either epoch-committed (its blob is
@@ -503,7 +543,7 @@ impl Backend {
         // partition earlier in the epoch.
         if self.store.get_reusable_content(hash, size).is_some() {
             // Dedup hit: link and finish — no transfer.
-            d = d + self.rpc(h.slot, h.user, RpcKind::MakeContent, 0);
+            d = d + self.rpc(h.slot, h.user, RpcKind::MakeContent, 0)?;
             let (row, released) =
                 self.store
                     .make_content(h.user, volume, node, hash, size, self.now())?;
@@ -536,12 +576,12 @@ impl Backend {
             });
         }
         // Miss: set up the multipart upload job.
-        self.rpc(h.slot, h.user, RpcKind::MakeUploadJob, 0);
+        self.rpc(h.slot, h.user, RpcKind::MakeUploadJob, 0)?;
         let job = self
             .store
             .make_uploadjob(h.user, volume, node, hash, size, self.now())?;
         let mp = self.blobs.initiate_multipart(self.now());
-        self.rpc(h.slot, h.user, RpcKind::SetUploadJobMultipartId, 0);
+        self.rpc(h.slot, h.user, RpcKind::SetUploadJobMultipartId, 0)?;
         self.store
             .set_uploadjob_multipart_id(h.user, job.upload, mp, self.now())?;
         Ok(UploadOutcome::Started { upload: job.upload })
@@ -557,11 +597,13 @@ impl Backend {
         data: Option<Vec<u8>>,
     ) -> CoreResult<()> {
         let h = self.session(session)?;
-        self.rpc(h.slot, h.user, RpcKind::AddPartToUploadJob, 0);
-        let job = self
+        self.rpc(h.slot, h.user, RpcKind::AddPartToUploadJob, 0)?;
+        // Put the part *before* recording it in the upload job: a failed
+        // put must leave no metadata claiming bytes the object store never
+        // received, or a later commit would complete a short multipart.
+        let mp = self
             .store
-            .add_part_to_uploadjob(h.user, upload, len, self.now())?;
-        let mp = job
+            .get_uploadjob(h.user, upload)?
             .multipart_id
             .ok_or_else(|| CoreError::invalid("uploadjob has no multipart id"))?;
         self.blobs
@@ -574,7 +616,14 @@ impl Backend {
                     None
                 },
             )
-            .map_err(|e| CoreError::invalid(e.to_string()))?;
+            .map_err(|e| match e {
+                u1_blobstore::MultipartError::PartPutFailed => {
+                    CoreError::unavailable(e.to_string())
+                }
+                other => CoreError::invalid(other.to_string()),
+            })?;
+        self.store
+            .add_part_to_uploadjob(h.user, upload, len, self.now())?;
         Ok(())
     }
 
@@ -586,7 +635,7 @@ impl Backend {
         upload: UploadId,
     ) -> CoreResult<CommittedUpload> {
         let h = self.session(session)?;
-        let mut d = self.rpc(h.slot, h.user, RpcKind::GetUploadJob, 0);
+        let mut d = self.rpc(h.slot, h.user, RpcKind::GetUploadJob, 0)?;
         let job = self.store.get_uploadjob(h.user, upload)?;
         if !job.is_complete() {
             return Err(CoreError::invalid(format!(
@@ -601,7 +650,7 @@ impl Backend {
         self.blobs
             .complete_multipart(mp, job.hash, self.now())
             .map_err(|e| CoreError::invalid(e.to_string()))?;
-        d = d + self.rpc(h.slot, h.user, RpcKind::MakeContent, 0);
+        d = d + self.rpc(h.slot, h.user, RpcKind::MakeContent, 0)?;
         let (row, released) = self.store.make_content(
             h.user,
             job.volume,
@@ -613,7 +662,7 @@ impl Backend {
         if let Some(old) = released {
             self.blobs.delete(old);
         }
-        d = d + self.rpc(h.slot, h.user, RpcKind::DeleteUploadJob, 0);
+        d = d + self.rpc(h.slot, h.user, RpcKind::DeleteUploadJob, 0)?;
         self.store.delete_uploadjob(h.user, upload)?;
         let node_row = self.store.get_node(h.user, job.volume, job.node)?;
         d = d + self.transfer_time(job.declared_size);
@@ -648,7 +697,7 @@ impl Backend {
     /// Client-side cancellation of an in-flight upload.
     pub fn cancel_upload(&self, session: SessionId, upload: UploadId) -> CoreResult<()> {
         let h = self.session(session)?;
-        self.rpc(h.slot, h.user, RpcKind::DeleteUploadJob, 0);
+        self.rpc(h.slot, h.user, RpcKind::DeleteUploadJob, 0)?;
         let job = self.store.delete_uploadjob(h.user, upload)?;
         if let Some(mp) = job.multipart_id {
             let _ = self.blobs.abort_multipart(mp);
@@ -681,6 +730,53 @@ impl Backend {
         }
     }
 
+    /// [`Backend::upload_file`] with crash recovery: `resume` continues an
+    /// interrupted upload job from its last recorded part instead of
+    /// restarting the transfer. With `resume: None` and no injected
+    /// faults, the call sequence (and hence the trace) is exactly that of
+    /// `upload_file`: begin, chunk loop, commit.
+    pub fn upload_file_with_recovery(
+        &self,
+        session: SessionId,
+        volume: VolumeId,
+        node: NodeId,
+        hash: ContentHash,
+        size: u64,
+        resume: Option<UploadId>,
+    ) -> Result<(bool, u64), UploadFailure> {
+        let fail =
+            |resume: Option<UploadId>| move |error: CoreError| UploadFailure { resume, error };
+        let (upload, received) = match resume {
+            Some(upload) => {
+                // If the job was reaped (week-old GC) this fails NotFound
+                // with `resume: None`: nothing left to continue from.
+                let job = self
+                    .session(session)
+                    .and_then(|h| self.store.get_uploadjob(h.user, upload))
+                    .map_err(fail(None))?;
+                (upload, job.bytes_received())
+            }
+            None => match self
+                .begin_upload(session, volume, node, hash, size)
+                .map_err(fail(None))?
+            {
+                UploadOutcome::Deduplicated { .. } => return Ok((true, 0)),
+                UploadOutcome::Started { upload } => (upload, 0),
+            },
+        };
+        let mut remaining = size.max(1).saturating_sub(received);
+        while remaining > 0 {
+            let part = remaining.min(u1_blobstore::PART_SIZE);
+            self.upload_chunk(session, upload, part, None)
+                .map_err(fail(Some(upload)))?;
+            remaining -= part;
+        }
+        let committed = self
+            .commit_upload(session, upload)
+            .map_err(fail(Some(upload)))?;
+        Ok((false, committed.bytes_transferred))
+    }
+
     /// Download (GetContent). Returns (size, hash, bytes-if-live).
     pub fn download(
         &self,
@@ -689,7 +785,7 @@ impl Backend {
         node: NodeId,
     ) -> CoreResult<(u64, ContentHash, Option<Vec<u8>>)> {
         let h = self.session(session)?;
-        let d = self.rpc(h.slot, h.user, RpcKind::GetNode, 0);
+        let d = self.rpc(h.slot, h.user, RpcKind::GetNode, 0)?;
         let row = self.store.get_node(h.user, volume, node);
         let result = match &row {
             Ok(r) => match (r.kind, r.content) {
@@ -915,6 +1011,84 @@ mod tests {
     }
 
     #[test]
+    fn crashed_upload_resumes_from_last_part_not_from_scratch() {
+        let (b, sink, _clock) = backend();
+        let h = open(&b, 1);
+        let v = b.list_volumes(h.session).unwrap()[0].volume;
+        let n = b
+            .make_node(h.session, v, None, NodeKind::File, "video.avi")
+            .unwrap();
+        let hash = ContentHash::from_content_id(9);
+        let size = 12 << 20; // three 5MB parts
+        let upload = match b.begin_upload(h.session, v, n.node, hash, size).unwrap() {
+            UploadOutcome::Started { upload } => upload,
+            other => panic!("{other:?}"),
+        };
+        // Client crashes after the first part.
+        b.upload_chunk(h.session, upload, 5 << 20, None).unwrap();
+        let _ = sink.take_sorted();
+
+        // The recovery path continues the same job: only the two missing
+        // parts travel again, then the commit lands.
+        let (dedup, sent) = b
+            .upload_file_with_recovery(h.session, v, n.node, hash, size, Some(upload))
+            .unwrap();
+        assert!(!dedup);
+        assert_eq!(sent, size);
+        let part_rpcs = sink
+            .take_sorted()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.payload,
+                    u1_trace::Payload::Rpc {
+                        rpc: RpcKind::AddPartToUploadJob,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(part_rpcs, 2, "resume must not re-send the first part");
+        assert!(b.blobs.contains(hash));
+        assert!(b.store.get_uploadjob(h.user, upload).is_err(), "job gone");
+    }
+
+    #[test]
+    fn gc_reaps_crashed_uploads_leaving_no_orphaned_parts() {
+        let (b, _sink, clock) = backend();
+        let h = open(&b, 1);
+        let v = b.list_volumes(h.session).unwrap()[0].volume;
+        let n = b
+            .make_node(h.session, v, None, NodeKind::File, "orphan.iso")
+            .unwrap();
+        let hash = ContentHash::from_content_id(11);
+        let upload = match b
+            .begin_upload(h.session, v, n.node, hash, 10 << 20)
+            .unwrap()
+        {
+            UploadOutcome::Started { upload } => upload,
+            other => panic!("{other:?}"),
+        };
+        b.upload_chunk(h.session, upload, 5 << 20, None).unwrap();
+        // The client vanishes; a week later the daily sweep finds the job.
+        clock.set(u1_core::SimTime::from_days(8));
+        assert_eq!(b.run_maintenance(), 1);
+        let stats = b.blobs.stats();
+        assert_eq!(stats.multipart_aborted, 1, "S3 multipart aborted");
+        assert_eq!(
+            stats.multipart_initiated,
+            stats.multipart_completed + stats.multipart_aborted,
+            "no multipart (and hence no part bytes) left dangling"
+        );
+        assert!(!b.blobs.contains(hash), "no half-written object");
+        // A resume attempt after the GC finds nothing to continue from.
+        let err = b
+            .upload_file_with_recovery(h.session, v, n.node, hash, 10 << 20, Some(upload))
+            .unwrap_err();
+        assert!(err.resume.is_none(), "job reaped: nothing to resume");
+    }
+
+    #[test]
     fn push_notification_reaches_other_device_of_same_user() {
         let (b, _sink, _clock) = backend();
         let token = b.register_user(UserId::new(1));
@@ -1035,6 +1209,90 @@ mod tests {
         assert_eq!(b.sessions.live_count(), 0);
         assert!(!b.blobs.contains(hash), "fraudulent content deleted");
         assert!(b.open_session(token).is_err(), "token revoked");
+    }
+
+    #[test]
+    fn auth_outage_serves_stale_cache_entries_and_rejects_strangers() {
+        use u1_core::{FaultPlan, SimDuration, SimTime};
+        let clock = Arc::new(SimClock::new());
+        let sink = Arc::new(MemorySink::new());
+        let cfg = BackendConfig {
+            auth: u1_auth::AuthConfig {
+                transient_failure_rate: 0.0,
+                token_ttl: None,
+            },
+            auth_cache_ttl: Some(SimDuration::from_hours(8)),
+            fault: FaultPlan {
+                auth_outages: 1,
+                auth_outage_len: SimDuration::from_hours(2),
+                horizon: SimDuration::from_days(1),
+                ..FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        let b = Backend::new(cfg, clock.clone(), sink);
+        let probe = |want_down: bool| {
+            (0..24 * 60)
+                .map(|m| SimTime::from_secs(m * 60))
+                .find(|t| b.faults.auth_down(*t) == want_down)
+                .expect("no matching minute in the day")
+        };
+        let (t_up, t_down) = (probe(false), probe(true));
+
+        // While the auth service is up, a session open populates the cache.
+        clock.set(t_up);
+        let token = b.register_user(UserId::new(1));
+        let h = b.open_session(token).unwrap();
+        b.close_session(h.session).unwrap();
+
+        // During the outage the memcached tier answers for the known
+        // client; a token it has never seen has nowhere to go.
+        clock.set(t_down);
+        let h = b.open_session(token).unwrap();
+        assert_eq!(h.user, UserId::new(1));
+        b.close_session(h.session).unwrap();
+        assert_eq!(b.fault_stats().auth_fallbacks, 1);
+        let stranger = b.register_user(UserId::new(2));
+        assert!(b.open_session(stranger).is_err());
+        assert_eq!(b.sessions.live_count(), 0);
+        u1_core::fault::clear_tags();
+    }
+
+    #[test]
+    fn dropped_fanout_is_remembered_for_next_session_rescan() {
+        use u1_core::FaultPlan;
+        let clock = Arc::new(SimClock::new());
+        let sink = Arc::new(MemorySink::new());
+        let cfg = BackendConfig {
+            auth: u1_auth::AuthConfig {
+                transient_failure_rate: 0.0,
+                token_ttl: None,
+            },
+            fault: FaultPlan {
+                notify_drop_p: 1.0, // every fan-out dies in the broker
+                ..FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        let b = Backend::new(cfg, clock, sink);
+        let token = b.register_user(UserId::new(1));
+        let h1 = b.open_session(token).unwrap();
+        let h2 = b.open_session(token).unwrap(); // second device
+        let (tx, rx) = crossbeam::channel::unbounded();
+        b.push_router.register(h2.session, tx);
+        let v = b.list_volumes(h1.session).unwrap()[0].volume;
+        b.make_node(h1.session, v, None, NodeKind::File, "lost.txt")
+            .unwrap();
+        b.pump_broker();
+        assert!(
+            u1_notify::drain(&rx).is_empty(),
+            "the push must have been dropped"
+        );
+        assert!(b.fault_stats().notify_dropped >= 1);
+        // The owner's devices learn about the change at next session open.
+        assert_eq!(b.take_missed_notify(UserId::new(1)), vec![v]);
+        assert!(b.take_missed_notify(UserId::new(1)).is_empty(), "drained");
+        u1_core::fault::clear_tags();
     }
 
     #[test]

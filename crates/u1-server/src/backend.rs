@@ -9,12 +9,14 @@ use crate::tokencache::{TokenCache, TokenCacheStats};
 use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use u1_auth::{AuthConfig, AuthService};
 use u1_blobstore::BlobStore;
+use u1_core::fault::{self, ErrorClass, FaultInjector, FaultPlan};
 use u1_core::{
-    ApiOpKind, Clock, ContentHash, NodeId, NodeKind, RpcKind, SimDuration, SimTime, UserId,
-    VolumeId,
+    ApiOpKind, Clock, ContentHash, CoreError, CoreResult, NodeId, NodeKind, RpcKind, SimDuration,
+    SimTime, UserId, VolumeId,
 };
 use u1_metastore::{LatencyModel, LatencyProfile, MetaStore, StoreConfig};
 use u1_notify::{Broker, SubscriberId};
@@ -40,6 +42,11 @@ pub struct BackendConfig {
     /// full `GetUserIdFromToken` round trip, which keeps traces bit-for-bit
     /// identical to pre-cache builds.
     pub auth_cache_ttl: Option<SimDuration>,
+    /// Deterministic fault-injection plan ([`FaultPlan::none`] by default).
+    /// With the default plan no fault RNG is ever materialized and every
+    /// trace stays bit-for-bit identical to a build without the fault
+    /// plane.
+    pub fault: FaultPlan,
 }
 
 impl Default for BackendConfig {
@@ -53,8 +60,25 @@ impl Default for BackendConfig {
             transfer_bandwidth: 10 * 1024 * 1024,
             store_real_bytes: false,
             auth_cache_ttl: None,
+            fault: FaultPlan::none(),
         }
     }
+}
+
+/// Fault-plane counters owned by the backend, read once at the end of a
+/// run (like the token-cache stats) rather than summed per partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendFaultStats {
+    /// Injected DAL RPC timeouts (each one is a failed attempt; most are
+    /// absorbed by the server-side retry loop).
+    pub rpc_timeouts: u64,
+    /// Backoff-retries the API→DAL path performed after a timeout.
+    pub rpc_retries: u64,
+    /// Sessions opened from a stale token-cache entry while the auth
+    /// service was down.
+    pub auth_fallbacks: u64,
+    /// Fan-out notifications lost in the notification plane.
+    pub notify_dropped: u64,
 }
 
 /// Per-partition-origin latency models.
@@ -111,6 +135,18 @@ pub struct Backend {
     pub(crate) sink: Arc<dyn TraceSink>,
     /// The memcached-style token cache (`None` when disabled).
     pub(crate) token_cache: Option<TokenCache>,
+    /// The fault-injection plane shared with the metastore and blobstore;
+    /// a no-op injector when `cfg.fault` is [`FaultPlan::none`].
+    pub(crate) faults: Arc<FaultInjector>,
+    rpc_timeouts: AtomicU64,
+    rpc_retries: AtomicU64,
+    pub(crate) auth_fallbacks: AtomicU64,
+    /// Volumes whose change notification was dropped before it reached a
+    /// user, keyed by that user. Only targets on the *origin's own shard*
+    /// are recorded: the shard-parallel driver serializes all activity of
+    /// one shard, so same-shard read-after-write on this map is
+    /// deterministic, while cross-shard entries would race the reader.
+    missed_notify: Mutex<HashMap<UserId, Vec<VolumeId>>>,
     /// One broker subscription per API process; drained synchronously after
     /// every publish (`pump_broker`).
     subscriptions: Vec<(Slot, SubscriberId, Receiver<VolumeEvent>)>,
@@ -120,6 +156,12 @@ pub struct Backend {
 impl Backend {
     pub fn new(cfg: BackendConfig, clock: Arc<dyn Clock>, sink: Arc<dyn TraceSink>) -> Self {
         let store = MetaStore::new(cfg.store.clone());
+        let blobs = BlobStore::new();
+        let faults = Arc::new(FaultInjector::new(cfg.fault.clone(), cfg.seed ^ 0xFA17));
+        if !faults.is_none() {
+            store.set_faults(Arc::clone(&faults));
+            blobs.set_faults(Arc::clone(&faults));
+        }
         let auth = AuthService::new(cfg.auth.clone(), cfg.seed ^ 0xA117);
         let latency = LatencyBank::new(cfg.latency.clone(), cfg.seed ^ 0x1A7);
         let cluster = Cluster::new(cfg.cluster.clone());
@@ -136,7 +178,7 @@ impl Backend {
             cfg,
             clock,
             store,
-            blobs: BlobStore::new(),
+            blobs,
             auth,
             broker,
             cluster,
@@ -145,9 +187,41 @@ impl Backend {
             latency,
             sink,
             token_cache,
+            faults,
+            rpc_timeouts: AtomicU64::new(0),
+            rpc_retries: AtomicU64::new(0),
+            auth_fallbacks: AtomicU64::new(0),
+            missed_notify: Mutex::new(HashMap::new()),
             subscriptions,
             slot_to_sub,
         }
+    }
+
+    /// Fault-plane counters; all zeros under [`FaultPlan::none`].
+    pub fn fault_stats(&self) -> BackendFaultStats {
+        BackendFaultStats {
+            rpc_timeouts: self.rpc_timeouts.load(Ordering::Relaxed),
+            rpc_retries: self.rpc_retries.load(Ordering::Relaxed),
+            auth_fallbacks: self.auth_fallbacks.load(Ordering::Relaxed),
+            notify_dropped: self.broker.stats().lost,
+        }
+    }
+
+    /// Degraded-mode I/O errors of the trace sink (see
+    /// [`u1_trace::TraceSink::io_errors`]); zero for in-memory sinks.
+    pub fn trace_io_errors(&self) -> u64 {
+        self.sink.io_errors()
+    }
+
+    /// Drains the volumes whose change notification to `user` was dropped.
+    /// The client calls this at session open and rescans each volume — the
+    /// recovery path for lost fan-out (a client that missed a push is out
+    /// of sync until its next full generation check).
+    pub fn take_missed_notify(&self, user: UserId) -> Vec<VolumeId> {
+        let mut vols = self.missed_notify.lock().remove(&user).unwrap_or_default();
+        vols.sort_unstable();
+        vols.dedup();
+        vols
     }
 
     /// Hit/miss counters of the token cache; zeros when the cache is
@@ -172,26 +246,65 @@ impl Backend {
     /// Executes one metadata RPC: samples its service time, logs the `rpc`
     /// trace record against the acting user's shard, and returns the
     /// sampled duration.
+    ///
+    /// With the fault plane active, each attempt may time out; timed-out
+    /// attempts are retried with bounded exponential backoff
+    /// ([`u1_core::RetryPolicy`]), each attempt emitting its own `rpc`
+    /// record tagged with the attempt number and (for timeouts) the
+    /// `timeout` error class. The returned duration is the sum of every
+    /// attempt's service time plus the backoff waits; `Err` means the
+    /// retry budget ran out. The caller's attempt tag is restored on exit
+    /// so `storage_done` records keep the *client-level* attempt number.
     pub(crate) fn rpc(
         &self,
         slot: Slot,
         shard_user: UserId,
         rpc: RpcKind,
         cascade_rows: u64,
-    ) -> SimDuration {
-        let d = self.latency.current().lock().sample(rpc, cascade_rows);
-        self.sink.record(TraceRecord::new(
-            self.now(),
-            slot.machine,
-            slot.process,
-            Payload::Rpc {
-                rpc,
-                shard: self.store.shard_of(shard_user),
-                user: shard_user,
-                service_us: d.as_micros(),
-            },
-        ));
-        d
+    ) -> CoreResult<SimDuration> {
+        let model = self.latency.current();
+        let policy = self.faults.plan().rpc_retry;
+        let outer_attempt = fault::current_attempt();
+        let mut total = SimDuration::ZERO;
+        let mut attempt = 1u32;
+        loop {
+            let d = model.lock().sample(rpc, cascade_rows);
+            total = total + d;
+            let timed_out = !self.faults.is_none() && self.faults.rpc_timeout();
+            fault::set_attempt(attempt);
+            fault::set_error_class(if timed_out {
+                Some(ErrorClass::Timeout)
+            } else {
+                None
+            });
+            self.sink.record(TraceRecord::new(
+                self.now(),
+                slot.machine,
+                slot.process,
+                Payload::Rpc {
+                    rpc,
+                    shard: self.store.shard_of(shard_user),
+                    user: shard_user,
+                    service_us: d.as_micros(),
+                },
+            ));
+            if !timed_out {
+                fault::set_attempt(outer_attempt);
+                fault::set_error_class(None);
+                return Ok(total);
+            }
+            self.rpc_timeouts.fetch_add(1, Ordering::Relaxed);
+            if attempt >= policy.max_attempts {
+                fault::set_attempt(outer_attempt);
+                fault::set_error_class(Some(ErrorClass::Timeout));
+                return Err(CoreError::unavailable(format!(
+                    "rpc timed out after {attempt} attempts"
+                )));
+            }
+            total = total + policy.backoff(attempt);
+            self.rpc_retries.fetch_add(1, Ordering::Relaxed);
+            attempt += 1;
+        }
     }
 
     /// Logs a completed (or failed) API operation.
@@ -274,6 +387,22 @@ impl Backend {
         if targets.is_empty() {
             return;
         }
+        if !self.faults.is_none() && self.faults.notify_dropped() {
+            // The fan-out dies inside the notification plane: nobody is
+            // pushed, and affected same-shard clients are remembered so
+            // their next session rescans the volume (see
+            // `take_missed_notify` for why only same-shard targets are
+            // recorded).
+            self.broker.note_lost();
+            let origin_shard = self.store.shard_of(origin.user);
+            let mut missed = self.missed_notify.lock();
+            for user in targets {
+                if self.store.shard_of(user) == origin_shard {
+                    missed.entry(user).or_default().push(volume);
+                }
+            }
+            return;
+        }
 
         let mut remote_any = false;
         for user in &targets {
@@ -340,8 +469,10 @@ impl Backend {
                 machine: u1_core::MachineId::new(0),
                 process: u1_core::ProcessId::new(0),
             };
-            self.rpc(slot, job.user, RpcKind::TouchUploadJob, 0);
-            self.rpc(slot, job.user, RpcKind::DeleteUploadJob, 0);
+            // Maintenance tolerates RPC failures: the row is already gone
+            // and the sweep re-runs daily.
+            let _ = self.rpc(slot, job.user, RpcKind::TouchUploadJob, 0);
+            let _ = self.rpc(slot, job.user, RpcKind::DeleteUploadJob, 0);
             if let Some(mp) = job.multipart_id {
                 let _ = self.blobs.abort_multipart(mp);
             }

@@ -81,6 +81,19 @@ impl TokenCache {
         }
     }
 
+    /// Degraded-mode lookup for auth-service outages: returns whatever the
+    /// cache still holds for the token, *ignoring the TTL* and without
+    /// evicting or touching the hit/miss counters. The real system's
+    /// memcached tier kept serving stale entries while the SSO service was
+    /// down; sessions opened this way are counted as `auth_fallbacks` by
+    /// the backend.
+    pub fn lookup_stale(&self, token: Token) -> Option<UserId> {
+        self.shards[self.shard_of(&token)]
+            .lock()
+            .get(&token)
+            .map(|(user, _)| *user)
+    }
+
     pub fn insert(&self, token: Token, user: UserId, now: SimTime) {
         self.shards[self.shard_of(&token)]
             .lock()
@@ -128,6 +141,19 @@ mod tests {
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (1, 2));
         assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_lookup_serves_expired_entries_without_counting() {
+        let c = TokenCache::new(SimDuration::from_hours(1));
+        let t = Token([3u8; 16]);
+        assert_eq!(c.lookup_stale(t), None);
+        c.insert(t, UserId::new(5), SimTime::ZERO);
+        // Way past the TTL: the fresh path would evict, the stale path
+        // serves.
+        assert_eq!(c.lookup_stale(t), Some(UserId::new(5)));
+        assert_eq!(c.stats(), TokenCacheStats::default());
+        assert_eq!(c.len(), 1, "stale lookup must not evict");
     }
 
     #[test]

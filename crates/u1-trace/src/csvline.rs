@@ -13,12 +13,23 @@
 //! 8640012350,rpc,dal.make_content,shard3,u4,2100
 //! 8640000001,auth,u4,ok
 //! ```
+//!
+//! Fault runs append optional trailing fields — `a=N` (attempt number when
+//! a retry loop re-issued the request) and `ec=<class>` (the injected
+//! [`u1_core::ErrorClass`]):
+//!
+//! ```text
+//! 8640012350,rpc,dal.get_node,shard3,u4,2000000,a=2,ec=timeout
+//! ```
+//!
+//! Both are omitted at their defaults (first attempt, no error), so the
+//! lines of a fault-free run are byte-identical to the pre-fault format.
 
 use crate::event::{Payload, SessionEvent, TraceRecord};
 use std::fmt;
 use u1_core::{
-    ApiOpKind, ContentHash, MachineId, NodeId, NodeKind, ProcessId, RpcKind, SessionId, ShardId,
-    SimTime, UserId, VolumeId,
+    ApiOpKind, ContentHash, ErrorClass, MachineId, NodeId, NodeKind, ProcessId, RpcKind, SessionId,
+    ShardId, SimTime, UserId, VolumeId,
 };
 
 /// Writes a `u64` as decimal digits without going through `core::fmt`'s
@@ -71,6 +82,21 @@ fn write_sanitized_ext<W: fmt::Write>(out: &mut W, ext: &str) -> fmt::Result {
 /// is the allocation-free core; [`to_line`] is a thin compatibility wrapper.
 pub fn write_line<W: fmt::Write>(rec: &TraceRecord, out: &mut W) -> fmt::Result {
     write_u64(out, rec.t.as_micros())?;
+    write_payload(rec, out)?;
+    // Fault tags ride as optional trailing fields so fault-free lines stay
+    // byte-identical to the pre-fault format.
+    if rec.attempt > 1 {
+        out.write_str(",a=")?;
+        write_u64(out, rec.attempt as u64)?;
+    }
+    if let Some(class) = rec.error_class {
+        out.write_str(",ec=")?;
+        out.write_str(class.label())?;
+    }
+    Ok(())
+}
+
+fn write_payload<W: fmt::Write>(rec: &TraceRecord, out: &mut W) -> fmt::Result {
     match &rec.payload {
         Payload::Session {
             event,
@@ -302,7 +328,24 @@ pub fn from_line(
         }
         _ => return err("unknown type"),
     };
-    Ok(TraceRecord::new(t, machine, process, payload))
+    let mut rec = TraceRecord::new(t, machine, process, payload);
+    // A parsed line carries its own fault tags (or none); never inherit the
+    // thread-local tags of whoever is doing the parsing.
+    rec.attempt = 1;
+    rec.error_class = None;
+    for field in fields {
+        if let Some(v) = field.strip_prefix("a=") {
+            rec.attempt = v.parse::<u32>().map_err(|_| LineError {
+                reason: "bad attempt",
+            })?;
+        } else if let Some(v) = field.strip_prefix("ec=") {
+            rec.error_class = Some(ErrorClass::from_label(v).ok_or(LineError {
+                reason: "bad error class",
+            })?);
+        }
+        // Other trailing fields stay tolerated, as before.
+    }
+    Ok(rec)
 }
 
 #[cfg(test)]
@@ -480,6 +523,50 @@ mod tests {
             let back = from_line(&streamed, rec.machine, rec.process).expect("parse");
             assert_eq!(back.payload.request_type(), rec.payload.request_type());
         }
+    }
+
+    #[test]
+    fn fault_tags_round_trip_and_default_to_nothing() {
+        let mut rec = mk(Payload::Rpc {
+            rpc: RpcKind::GetNode,
+            shard: ShardId::new(3),
+            user: UserId::new(4),
+            service_us: 2_000_000,
+        });
+        // Defaults serialize to the pre-fault format exactly.
+        assert!(!to_line(&rec).contains("a=") && !to_line(&rec).contains("ec="));
+        rec.attempt = 2;
+        rec.error_class = Some(ErrorClass::Timeout);
+        let line = to_line(&rec);
+        assert!(line.ends_with(",a=2,ec=timeout"), "line was: {line}");
+        let back = from_line(&line, rec.machine, rec.process).expect("parse");
+        assert_eq!(back.attempt, 2);
+        assert_eq!(back.error_class, Some(ErrorClass::Timeout));
+        assert_eq!(back, rec);
+        // Tags on storage lines too.
+        let mut rec = mk(Payload::Storage {
+            op: ApiOpKind::Upload,
+            session: SessionId::new(1),
+            user: UserId::new(2),
+            volume: VolumeId::new(0),
+            node: Some(NodeId::new(9)),
+            kind: Some(NodeKind::File),
+            size: 10,
+            hash: None,
+            ext: "txt".into(),
+            success: false,
+            duration_us: 77,
+        });
+        rec.error_class = Some(ErrorClass::ShardUnavailable);
+        round_trip(rec);
+        // Bad tag values are rejected, not ignored.
+        assert!(from_line("5,auth,u1,ok,a=x", MachineId::new(0), ProcessId::new(0)).is_err());
+        assert!(from_line(
+            "5,auth,u1,ok,ec=bogus",
+            MachineId::new(0),
+            ProcessId::new(0)
+        )
+        .is_err());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 use u1_core::{
-    ApiOpKind, ContentHash, MachineId, NodeId, NodeKind, ProcessId, RpcKind, SessionId, ShardId,
-    SimTime, UserId, VolumeId,
+    ApiOpKind, ContentHash, ErrorClass, MachineId, NodeId, NodeKind, ProcessId, RpcKind, SessionId,
+    ShardId, SimTime, UserId, VolumeId,
 };
 
 /// Session lifecycle events (request type `session` in the original trace).
@@ -97,6 +97,14 @@ pub struct TraceRecord {
     /// Monotone per-origin sequence number; ties with `origin` break
     /// equal-timestamp records deterministically regardless of worker count.
     pub seq: u64,
+    /// Which attempt of a retried operation produced this record (1 = first
+    /// try). Filled from the thread-local tag set by retry loops (see
+    /// [`u1_core::fault`]); always 1 in fault-free runs, and serialized only
+    /// when > 1 so fault-free traces stay byte-identical.
+    pub attempt: u32,
+    /// Error classification when this record was produced under an injected
+    /// fault; `None` (and unserialized) otherwise.
+    pub error_class: Option<ErrorClass>,
     pub payload: Payload,
 }
 
@@ -109,6 +117,8 @@ impl TraceRecord {
             process,
             origin,
             seq,
+            attempt: u1_core::fault::current_attempt(),
+            error_class: u1_core::fault::current_error_class(),
             payload,
         }
     }

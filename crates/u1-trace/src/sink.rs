@@ -57,6 +57,14 @@ pub trait TraceSink: Send + Sync {
 
     /// Flushes buffered output (no-op for memory sinks).
     fn flush(&self) {}
+
+    /// Number of I/O errors this sink has swallowed while running degraded
+    /// (0 for in-memory sinks, which cannot fail). Surfaced so run reports
+    /// can account for dropped trace output instead of hiding it — see
+    /// `DriverReport::trace_io_errors` in `u1-workload`.
+    fn io_errors(&self) -> u64 {
+        0
+    }
 }
 
 /// Sharing a sink via `Arc` keeps it a sink, including the batch overrides
@@ -76,6 +84,9 @@ impl<S: TraceSink + ?Sized> TraceSink for std::sync::Arc<S> {
     }
     fn flush(&self) {
         (**self).flush();
+    }
+    fn io_errors(&self) -> u64 {
+        (**self).io_errors()
     }
 }
 
@@ -254,7 +265,7 @@ fn merge_runs(runs: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
 ///
 /// Workers in `u1-workload::driver` flush at day boundaries (all partitions
 /// parked on the barrier), and the buffer self-flushes an origin's run when
-/// it reaches [`BUFFER_FLUSH_THRESHOLD`] records. Because each origin is
+/// it reaches `BUFFER_FLUSH_THRESHOLD` records. Because each origin is
 /// emitted by exactly one thread and delivered to the inner sink in
 /// emission order, buffering never changes the canonical `(t, origin, seq)`
 /// trace — only the interleaving of already-concurrent origins.
@@ -312,6 +323,10 @@ impl<S: TraceSink> TraceSink for BufferedSink<S> {
             }
         }
         self.inner.flush();
+    }
+
+    fn io_errors(&self) -> u64 {
+        self.inner.io_errors()
     }
 }
 
@@ -468,6 +483,10 @@ impl TraceSink for DirSink {
             }
         }
     }
+
+    fn io_errors(&self) -> u64 {
+        DirSink::io_errors(self)
+    }
 }
 
 impl Drop for DirSink {
@@ -596,6 +615,15 @@ mod tests {
         sink.flush();
         assert_eq!(sink.io_errors(), 2);
         assert!(sink.first_io_error().is_some());
+        // The count is visible through the trait too (how `Driver::run`
+        // surfaces it into `DriverReport::trace_io_errors`), including
+        // through an `Arc<dyn TraceSink>` and a `BufferedSink` wrapper.
+        let shared: std::sync::Arc<dyn TraceSink> = std::sync::Arc::new(sink);
+        assert_eq!(TraceSink::io_errors(&shared), 2);
+        let buffered = BufferedSink::new(std::sync::Arc::clone(&shared));
+        assert_eq!(buffered.io_errors(), 2);
+        let memory: std::sync::Arc<dyn TraceSink> = std::sync::Arc::new(MemorySink::new());
+        assert_eq!(TraceSink::io_errors(&memory), 0);
         let _ = fs::remove_file(&bogus);
     }
 }

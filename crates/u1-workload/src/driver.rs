@@ -11,7 +11,7 @@
 //! # Parallel execution
 //!
 //! The client population is partitioned by metastore shard
-//! ([`u1_metastore::MetaStore::shard_of`]) into one [`ShardSim`] per shard,
+//! (`MetaStore::shard_of`) into one `ShardSim` per shard,
 //! plus a coordinator partition that owns the cross-cutting events
 //! (maintenance GC and the §5.4 attack episodes). Each partition carries its
 //! own event queue, its own [`u1_core::PartitionCtx`] (origin = shard
@@ -40,10 +40,14 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::{Arc, Barrier, Mutex};
 use u1_auth::Token;
+use u1_blobstore::PART_SIZE;
+use u1_core::fault::{self, CircuitBreaker, FaultInjector, RetryPolicy};
 use u1_core::partition::PartitionCtx;
 use u1_core::{
-    rngx, ApiOpKind, ContentHash, NodeKind, SessionId, SimDuration, SimTime, UserId, VolumeId,
+    rngx, ApiOpKind, ContentHash, CoreError, CoreResult, NodeKind, SessionId, SimDuration, SimTime,
+    UploadId, UserId, VolumeId,
 };
+use u1_server::api::UploadOutcome;
 use u1_server::Backend;
 
 /// Workload parameters.
@@ -125,6 +129,33 @@ pub struct DriverReport {
     /// the run, not per-partition counters — `absorb` skips them.
     pub token_cache_hits: u64,
     pub token_cache_misses: u64,
+    // ----- fault plane (all zeros under `FaultPlan::none()`) -------------
+    /// Client-side retries of ops that failed `unavailable`.
+    pub client_retries: u64,
+    /// Ops the client skipped because its per-shard circuit breaker was
+    /// open (no server work, no trace record).
+    pub breaker_fastfails: u64,
+    /// Uploads cut short by an injected client crash (the upload job stays
+    /// behind, resumable or GC bait).
+    pub uploads_interrupted: u64,
+    /// Crashed uploads continued from their last recorded part at a later
+    /// session.
+    pub uploads_resumed: u64,
+    /// Crashed uploads whose job was gone (reaped by the weekly GC) when
+    /// the client came back.
+    pub uploads_abandoned: u64,
+    /// Rescans forced by a dropped change notification.
+    pub rescans_forced: u64,
+    /// Backend-side fault counters, read once at the end of the run like
+    /// the token-cache stats — `absorb` skips them.
+    pub rpc_timeouts: u64,
+    pub rpc_retries: u64,
+    pub auth_fallbacks: u64,
+    pub notify_dropped: u64,
+    pub part_put_failures: u64,
+    /// Degraded-mode I/O errors swallowed by the trace sink (`DirSink`
+    /// keeps running after a failed open/write; this surfaces the count).
+    pub trace_io_errors: u64,
 }
 
 impl DriverReport {
@@ -148,6 +179,12 @@ impl DriverReport {
         self.users_banned += other.users_banned;
         self.maintenance_runs += other.maintenance_runs;
         self.uploadjobs_reaped += other.uploadjobs_reaped;
+        self.client_retries += other.client_retries;
+        self.breaker_fastfails += other.breaker_fastfails;
+        self.uploads_interrupted += other.uploads_interrupted;
+        self.uploads_resumed += other.uploads_resumed;
+        self.uploads_abandoned += other.uploads_abandoned;
+        self.rescans_forced += other.rescans_forced;
     }
 }
 
@@ -169,6 +206,18 @@ struct DirRef {
     death: Option<SimTime>,
 }
 
+/// An upload a (simulated) client crash left behind: enough to resume the
+/// job from its last recorded part at the next session.
+#[derive(Debug, Clone)]
+struct CrashedUpload {
+    volume: VolumeId,
+    node: u1_core::NodeId,
+    name: String,
+    hash: ContentHash,
+    size: u64,
+    upload: UploadId,
+}
+
 struct ClientState {
     user: UserId,
     token: Token,
@@ -187,6 +236,9 @@ struct ClientState {
     dirs: Vec<DirRef>,
     known_gen: HashMap<VolumeId, u64>,
     pending_upload: Option<(VolumeId, u1_core::NodeId, String, ContentHash, u64)>,
+    /// Survives session ends (that is its whole point): a crashed upload
+    /// is resumed at the next session, or abandoned once the GC reaps it.
+    crashed_upload: Option<CrashedUpload>,
     move_counter: u64,
     /// Machine-paced session (large planned op volume syncs at server
     /// turnaround speed, not human think time).
@@ -332,6 +384,13 @@ struct ShardSim {
     queue: BinaryHeap<Reverse<Event>>,
     seq: u64,
     report: DriverReport,
+    /// Client-side view of the fault plane (its own seed stream, distinct
+    /// from the backend's): used only for injected client crashes.
+    faults: Arc<FaultInjector>,
+    retry_policy: RetryPolicy,
+    /// One breaker per partition — a partition *is* one metastore shard,
+    /// which is exactly the failure domain the outage windows cover.
+    breaker: CircuitBreaker,
 }
 
 impl ShardSim {
@@ -352,6 +411,7 @@ impl ShardSim {
                 break;
             };
             self.ctx.set_time(ev.t);
+            fault::clear_tags();
             match ev.kind {
                 EventKind::SessionStart(u) => self.on_session_start(u as usize, ev.t),
                 EventKind::Op(u) => self.on_op(u as usize, ev.t),
@@ -506,6 +566,9 @@ impl ShardSim {
                 self.push_event(t + plan.duration, EventKind::SessionEnd(u as u32));
 
                 let sid = handle.session;
+                if !self.faults.is_none() {
+                    self.recover_session_state(u, sid, t);
+                }
                 // Startup chatter: a fraction of (re)connections list
                 // volumes/shares; active sessions always do (Fig. 8 flow).
                 let long_enough = plan.duration > SimDuration::from_secs(2);
@@ -566,7 +629,7 @@ impl ShardSim {
             let f = self.clients[u].files.swap_remove(idx);
             self.report.unlinks += 1;
             self.report.ops_executed += 1;
-            if self.backend.unlink(sid, f.volume, f.node).is_err() {
+            if self.retry(|b| b.unlink(sid, f.volume, f.node)).is_err() {
                 self.report.op_errors += 1;
             }
         }
@@ -579,9 +642,214 @@ impl ShardSim {
             let d = self.clients[u].dirs.swap_remove(idx);
             self.report.unlinks += 1;
             self.report.ops_executed += 1;
-            if self.backend.unlink(sid, d.volume, d.node).is_err() {
+            if self.retry(|b| b.unlink(sid, d.volume, d.node)).is_err() {
                 self.report.op_errors += 1;
             }
+        }
+    }
+
+    // ----- client-side failure handling -------------------------------------
+
+    /// Client-side retry with bounded exponential backoff, fronted by a
+    /// per-partition circuit breaker (a partition *is* one metastore shard,
+    /// which is exactly the failure domain the injected outage windows
+    /// cover). Under `FaultPlan::none()` this is a plain passthrough call,
+    /// so the fault-free driver is bit-identical to the pre-fault one.
+    ///
+    /// Only `unavailable` errors are retried; anything else (not-found,
+    /// permission, invalid) is a real answer, not a fault.
+    fn retry<T>(&mut self, f: impl Fn(&Backend) -> CoreResult<T>) -> CoreResult<T> {
+        if self.faults.is_none() {
+            return f(&self.backend);
+        }
+        let now = u1_core::partition::current_time().unwrap_or(SimTime::ZERO);
+        if !self.breaker.allows(now) {
+            self.report.breaker_fastfails += 1;
+            return Err(CoreError::unavailable("circuit open"));
+        }
+        let policy = self.retry_policy;
+        let mut attempt = 1u32;
+        loop {
+            fault::set_attempt(attempt);
+            match f(&self.backend) {
+                Ok(v) => {
+                    self.breaker.record_success();
+                    fault::set_attempt(1);
+                    return Ok(v);
+                }
+                Err(e) => {
+                    let transient = matches!(e, CoreError::Unavailable(_));
+                    if transient {
+                        self.breaker.record_failure(now);
+                    }
+                    if !transient || attempt >= policy.max_attempts {
+                        fault::set_attempt(1);
+                        return Err(e);
+                    }
+                    self.report.client_retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One logical upload under the failure model: an injected client crash
+    /// abandons the job mid-transfer (to be resumed at the next session, or
+    /// reaped by the weekly GC); otherwise the transfer runs in the retry
+    /// loop, carrying the upload-job id across attempts so a retry resumes
+    /// from the last recorded part instead of restarting the stream.
+    #[allow(clippy::too_many_arguments)]
+    fn do_upload(
+        &mut self,
+        u: usize,
+        sid: SessionId,
+        vol: VolumeId,
+        node: u1_core::NodeId,
+        name: &str,
+        hash: ContentHash,
+        size: u64,
+    ) -> CoreResult<(bool, u64)> {
+        if self.faults.is_none() {
+            // Identical call sequence to the pre-fault driver.
+            return self.backend.upload_file(sid, vol, node, hash, size);
+        }
+        if self.faults.client_crashes() {
+            return self.crash_mid_upload(u, sid, vol, node, name, hash, size);
+        }
+        let now = u1_core::partition::current_time().unwrap_or(SimTime::ZERO);
+        if !self.breaker.allows(now) {
+            self.report.breaker_fastfails += 1;
+            return Err(CoreError::unavailable("circuit open"));
+        }
+        let policy = self.retry_policy;
+        let mut resume = None;
+        let mut attempt = 1u32;
+        loop {
+            fault::set_attempt(attempt);
+            match self
+                .backend
+                .upload_file_with_recovery(sid, vol, node, hash, size, resume)
+            {
+                Ok(v) => {
+                    self.breaker.record_success();
+                    fault::set_attempt(1);
+                    return Ok(v);
+                }
+                Err(fail) => {
+                    let transient = matches!(fail.error, CoreError::Unavailable(_));
+                    if transient {
+                        self.breaker.record_failure(now);
+                    }
+                    if !transient || attempt >= policy.max_attempts {
+                        fault::set_attempt(1);
+                        return Err(fail.error);
+                    }
+                    resume = fail.resume;
+                    self.report.client_retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Simulates the client dying mid-transfer: begin the upload, put about
+    /// half the parts, then vanish without commit or cancel. The abandoned
+    /// job is what the resume path (`recover_session_state`) and the weekly
+    /// GC (Appendix A upload jobs) exist for.
+    #[allow(clippy::too_many_arguments)]
+    fn crash_mid_upload(
+        &mut self,
+        u: usize,
+        sid: SessionId,
+        vol: VolumeId,
+        node: u1_core::NodeId,
+        name: &str,
+        hash: ContentHash,
+        size: u64,
+    ) -> CoreResult<(bool, u64)> {
+        let upload = match self.backend.begin_upload(sid, vol, node, hash, size)? {
+            UploadOutcome::Deduplicated { .. } => return Ok((true, 0)),
+            UploadOutcome::Started { upload } => upload,
+        };
+        let total = size.max(1);
+        let parts = total.div_ceil(PART_SIZE);
+        let mut sent = 0u64;
+        for _ in 0..parts / 2 {
+            let part = (total - sent).min(PART_SIZE);
+            if self.backend.upload_chunk(sid, upload, part, None).is_err() {
+                break;
+            }
+            sent += part;
+        }
+        self.clients[u].crashed_upload = Some(CrashedUpload {
+            volume: vol,
+            node,
+            name: name.to_string(),
+            hash,
+            size,
+            upload,
+        });
+        self.report.uploads_interrupted += 1;
+        Err(CoreError::unavailable("client crashed mid-upload"))
+    }
+
+    /// Post-(re)connect recovery, run right after a session opens when the
+    /// fault plane is live: resume a crashed upload from its last recorded
+    /// part, and rescan any volume whose change notification the broker
+    /// dropped while we were away — the client can't know *what* changed,
+    /// only that its generation point can't be trusted (the paper's
+    /// rescan-from-scratch path).
+    fn recover_session_state(&mut self, u: usize, sid: SessionId, t: SimTime) {
+        if let Some(cu) = self.clients[u].crashed_upload.take() {
+            match self.backend.upload_file_with_recovery(
+                sid,
+                cu.volume,
+                cu.node,
+                cu.hash,
+                cu.size,
+                Some(cu.upload),
+            ) {
+                Ok((_, sent)) => {
+                    self.report.uploads += 1;
+                    self.report.uploads_resumed += 1;
+                    self.report.bytes_uploaded += sent;
+                    let c = &mut self.clients[u];
+                    if let Some(f) = c
+                        .files
+                        .iter_mut()
+                        .find(|f| f.volume == cu.volume && f.node == cu.node)
+                    {
+                        f.size = cu.size;
+                        f.hash = cu.hash;
+                        f.last_write = t;
+                    } else {
+                        let death = FileModel::sample_lifetime(&mut c.rng, false).map(|d| t + d);
+                        c.files.push(FileRef {
+                            volume: cu.volume,
+                            node: cu.node,
+                            name: cu.name,
+                            size: cu.size,
+                            hash: cu.hash,
+                            death,
+                            last_write: t,
+                        });
+                    }
+                }
+                Err(fail) if fail.resume.is_none() => {
+                    // The job was reaped by the weekly GC (or the node is
+                    // gone): nothing left to continue from.
+                    self.report.uploads_abandoned += 1;
+                }
+                Err(_) => {
+                    // Still transiently failing; keep it for next session.
+                    self.clients[u].crashed_upload = Some(cu);
+                }
+            }
+        }
+        let user = self.clients[u].user;
+        for vol in self.backend.take_missed_notify(user) {
+            self.report.rescans_forced += 1;
+            let _ = self.backend.rescan_from_scratch(sid, vol);
         }
     }
 
@@ -625,17 +893,16 @@ impl ShardSim {
             Unlink => self.op_unlink(u, sid, t),
             Move => self.op_move(u, sid),
             GetDelta => self.op_get_delta(u, sid),
-            ListVolumes => self.backend.list_volumes(sid).map(|_| ()).is_ok(),
-            ListShares => self.backend.list_shares(sid).map(|_| ()).is_ok(),
+            ListVolumes => self.retry(|b| b.list_volumes(sid)).is_ok(),
+            ListShares => self.retry(|b| b.list_shares(sid)).is_ok(),
             CreateUdf => self.op_create_udf(u, sid),
             DeleteVolume => self.op_delete_volume(u, sid),
             RescanFromScratch => {
                 let vol = self.clients[u].root;
-                self.backend.rescan_from_scratch(sid, vol).is_ok()
+                self.retry(|b| b.rescan_from_scratch(sid, vol)).is_ok()
             }
             QuerySetCaps => self
-                .backend
-                .query_set_caps(sid, vec!["generations".into()])
+                .retry(|b| b.query_set_caps(sid, vec!["generations".into()]))
                 .is_ok(),
             Authenticate | OpenSession | CloseSession => true,
         };
@@ -647,7 +914,7 @@ impl ShardSim {
     fn op_upload(&mut self, u: usize, sid: SessionId, t: SimTime) -> bool {
         // A Make that preceded us?
         if let Some((vol, node, name, hash, size)) = self.clients[u].pending_upload.take() {
-            return match self.backend.upload_file(sid, vol, node, hash, size) {
+            return match self.do_upload(u, sid, vol, node, &name, hash, size) {
                 Ok((dedup, sent)) => {
                     self.report.uploads += 1;
                     if dedup {
@@ -679,7 +946,7 @@ impl ShardSim {
             !c.files.is_empty() && c.rng.gen_range(0.0..1.0) < 0.18
         };
         if is_rewrite {
-            let (idx, vol, node, hash, size, distinct) = {
+            let (idx, vol, node, name, hash, size, distinct) = {
                 let c = &mut self.clients[u];
                 let idx = pick_update_target(c);
                 let old_size = c.files[idx].size;
@@ -696,12 +963,13 @@ impl ShardSim {
                     idx,
                     c.files[idx].volume,
                     c.files[idx].node,
+                    c.files[idx].name.clone(),
                     hash,
                     size,
                     distinct,
                 )
             };
-            return match self.backend.upload_file(sid, vol, node, hash, size) {
+            return match self.do_upload(u, sid, vol, node, &name, hash, size) {
                 Ok((dedup, sent)) => {
                     self.report.uploads += 1;
                     if distinct {
@@ -731,9 +999,8 @@ impl ShardSim {
         if self.clients[u].rng.gen_range(0.0..1.0) < 0.15 {
             let vol = pick_volume(&mut self.clients[u]);
             let name = self.files.new_dir_name();
-            if let Ok(node) = self
-                .backend
-                .make_node(sid, vol, None, NodeKind::Directory, &name)
+            if let Ok(node) =
+                self.retry(|b| b.make_node(sid, vol, None, NodeKind::Directory, &name))
             {
                 let c = &mut self.clients[u];
                 let death = FileModel::sample_lifetime(&mut c.rng, true).map(|d| t + d);
@@ -752,16 +1019,11 @@ impl ShardSim {
         }
         let vol = pick_volume(&mut self.clients[u]);
         let parent = pick_parent(&mut self.clients[u], vol);
-        let Ok(node) = self
-            .backend
-            .make_node(sid, vol, parent, NodeKind::File, &spec.name)
+        let Ok(node) = self.retry(|b| b.make_node(sid, vol, parent, NodeKind::File, &spec.name))
         else {
             return false;
         };
-        match self
-            .backend
-            .upload_file(sid, vol, node.node, spec.hash, spec.size)
-        {
+        match self.do_upload(u, sid, vol, node.node, &spec.name, spec.hash, spec.size) {
             Ok((dedup, sent)) => {
                 self.report.uploads += 1;
                 if dedup {
@@ -827,7 +1089,7 @@ impl ShardSim {
             self.clients[u].files[idx].volume,
             self.clients[u].files[idx].node,
         );
-        match self.backend.download(sid, vol, node) {
+        match self.retry(|b| b.download(sid, vol, node)) {
             Ok((size, _, _)) => {
                 self.report.downloads += 1;
                 self.report.bytes_downloaded += size;
@@ -845,10 +1107,7 @@ impl ShardSim {
         let spec = self.files.new_file(&mut self.clients[u].rng);
         let vol = pick_volume(&mut self.clients[u]);
         let parent = pick_parent(&mut self.clients[u], vol);
-        match self
-            .backend
-            .make_node(sid, vol, parent, NodeKind::File, &spec.name)
-        {
+        match self.retry(|b| b.make_node(sid, vol, parent, NodeKind::File, &spec.name)) {
             Ok(node) => {
                 self.clients[u].pending_upload =
                     Some((vol, node.node, spec.name, spec.hash, spec.size));
@@ -861,10 +1120,7 @@ impl ShardSim {
     fn op_make_dir(&mut self, u: usize, sid: SessionId, t: SimTime) -> bool {
         let vol = pick_volume(&mut self.clients[u]);
         let name = self.files.new_dir_name();
-        match self
-            .backend
-            .make_node(sid, vol, None, NodeKind::Directory, &name)
-        {
+        match self.retry(|b| b.make_node(sid, vol, None, NodeKind::Directory, &name)) {
             Ok(node) => {
                 let c = &mut self.clients[u];
                 let death = FileModel::sample_lifetime(&mut c.rng, true).map(|d| t + d);
@@ -889,7 +1145,7 @@ impl ShardSim {
         if let Some(idx) = overdue_file {
             let f = self.clients[u].files.swap_remove(idx);
             self.report.unlinks += 1;
-            return self.backend.unlink(sid, f.volume, f.node).is_ok();
+            return self.retry(|b| b.unlink(sid, f.volume, f.node)).is_ok();
         }
         let overdue_dir = self.clients[u]
             .dirs
@@ -900,7 +1156,7 @@ impl ShardSim {
             // Cascades server-side; forget local files under that volume's
             // dir lazily (stale refs are swept on failed ops).
             self.report.unlinks += 1;
-            return self.backend.unlink(sid, d.volume, d.node).is_ok();
+            return self.retry(|b| b.unlink(sid, d.volume, d.node)).is_ok();
         }
         let pick_old = {
             let c = &mut self.clients[u];
@@ -913,7 +1169,7 @@ impl ShardSim {
             };
             let f = self.clients[u].files.swap_remove(idx);
             self.report.unlinks += 1;
-            return self.backend.unlink(sid, f.volume, f.node).is_ok();
+            return self.retry(|b| b.unlink(sid, f.volume, f.node)).is_ok();
         }
         // Nothing to delete: degrade to a metadata check.
         self.op_get_delta(u, sid)
@@ -932,10 +1188,7 @@ impl ShardSim {
             (idx, f.volume, f.node, format!("r{counter}_{}", f.name))
         };
         let new_parent = pick_parent(&mut self.clients[u], vol);
-        match self
-            .backend
-            .move_node(sid, vol, node, new_parent, &new_name)
-        {
+        match self.retry(|b| b.move_node(sid, vol, node, new_parent, &new_name)) {
             Ok(_) => {
                 self.clients[u].files[idx].name = new_name;
                 true
@@ -947,7 +1200,7 @@ impl ShardSim {
     fn op_get_delta(&mut self, u: usize, sid: SessionId) -> bool {
         let vol = pick_volume(&mut self.clients[u]);
         let from = *self.clients[u].known_gen.get(&vol).unwrap_or(&0);
-        match self.backend.get_delta(sid, vol, from) {
+        match self.retry(|b| b.get_delta(sid, vol, from)) {
             Ok((generation, _)) => {
                 self.clients[u].known_gen.insert(vol, generation);
                 true
@@ -961,7 +1214,7 @@ impl ShardSim {
             return self.op_get_delta(u, sid);
         }
         let name = format!("udf{}", self.clients[u].udfs.len() + 1);
-        match self.backend.create_udf(sid, &name) {
+        match self.retry(|b| b.create_udf(sid, &name)) {
             Ok(v) => {
                 self.clients[u].udfs.push(v.volume);
                 true
@@ -972,14 +1225,14 @@ impl ShardSim {
 
     fn op_delete_volume(&mut self, u: usize, sid: SessionId) -> bool {
         if self.clients[u].udfs.is_empty() {
-            return self.backend.list_volumes(sid).is_ok();
+            return self.retry(|b| b.list_volumes(sid)).is_ok();
         }
         let idx = {
             let c = &mut self.clients[u];
             c.rng.gen_range(0..c.udfs.len())
         };
         let vol = self.clients[u].udfs.swap_remove(idx);
-        let ok = self.backend.delete_volume(sid, vol).is_ok();
+        let ok = self.retry(|b| b.delete_volume(sid, vol)).is_ok();
         self.clients[u].files.retain(|f| f.volume != vol);
         self.clients[u].dirs.retain(|d| d.volume != vol);
         ok
@@ -1024,6 +1277,7 @@ impl CoordinatorSim {
                 break;
             };
             self.ctx.set_time(ev.t);
+            fault::clear_tags();
             match ev.kind {
                 EventKind::Maintenance => self.on_maintenance(ev.t),
                 EventKind::AttackWave(i) => self.on_attack_wave(i as usize, ev.t),
@@ -1212,6 +1466,14 @@ impl Driver {
         // partition's names and synthetic content ids disjoint.
         let stride = shard_count as u64 + 1;
         let expected_files = cfg.users * 60;
+        // The client-side view of the fault plane: the backend's plan, but
+        // its own derived seed stream, so injected client crashes are
+        // independent of (and don't perturb) the server-side rolls.
+        let faults = Arc::new(FaultInjector::new(
+            backend.config().fault.clone(),
+            rngx::derive_seed(cfg.seed, "client-faults", 0),
+        ));
+        let retry_policy = backend.config().fault.client_retry;
         let shards = (0..shard_count)
             .map(|s| ShardSim {
                 origin: s as u32,
@@ -1222,6 +1484,9 @@ impl Driver {
                 queue: BinaryHeap::new(),
                 seq: 0,
                 report: DriverReport::default(),
+                faults: Arc::clone(&faults),
+                retry_policy,
+                breaker: CircuitBreaker::driver_default(),
             })
             .collect();
         let coordinator = CoordinatorSim {
@@ -1278,6 +1543,7 @@ impl Driver {
                 dirs: Vec::new(),
                 known_gen: HashMap::new(),
                 pending_upload: None,
+                crashed_upload: None,
                 move_counter: 0,
                 bulk: false,
                 tiny_budget: 2,
@@ -1444,6 +1710,13 @@ impl Driver {
         let cache = self.backend.token_cache_stats();
         report.token_cache_hits = cache.hits;
         report.token_cache_misses = cache.misses;
+        let faults = self.backend.fault_stats();
+        report.rpc_timeouts = faults.rpc_timeouts;
+        report.rpc_retries = faults.rpc_retries;
+        report.auth_fallbacks = faults.auth_fallbacks;
+        report.notify_dropped = faults.notify_dropped;
+        report.part_put_failures = self.backend.blobs.stats().part_put_failures;
+        report.trace_io_errors = self.backend.trace_io_errors();
         report
     }
 }
@@ -1573,8 +1846,108 @@ mod tests {
                 uploadjobs_reaped: 0,
                 token_cache_hits: 0,
                 token_cache_misses: 0,
+                client_retries: 0,
+                breaker_fastfails: 0,
+                uploads_interrupted: 0,
+                uploads_resumed: 0,
+                uploads_abandoned: 0,
+                rescans_forced: 0,
+                rpc_timeouts: 0,
+                rpc_retries: 0,
+                auth_fallbacks: 0,
+                notify_dropped: 0,
+                part_put_failures: 0,
+                trace_io_errors: 0,
             }
         );
+    }
+
+    /// The differential determinism guarantee of the fault plane, half 1:
+    /// a backend constructed with an *explicit* `FaultPlan::none()` (the
+    /// injector object exists, every probability is zero, no outage
+    /// windows) reproduces the golden trace SHA and report byte-for-byte.
+    /// Injection must be free when disabled — not just "small".
+    #[test]
+    fn explicit_none_fault_plan_reproduces_the_golden_trace() {
+        let clock = SimClock::new();
+        let sink = Arc::new(MemorySink::new());
+        let backend = Arc::new(Backend::new(
+            BackendConfig {
+                fault: u1_core::fault::FaultPlan::none(),
+                ..Default::default()
+            },
+            Arc::new(clock.clone()),
+            sink.clone(),
+        ));
+        let cfg = WorkloadConfig {
+            users: 120,
+            days: 3,
+            seed: 11,
+            attacks: true,
+            seed_files: 0.5,
+            workers: 0,
+        };
+        let report = Driver::new(cfg, backend, clock).run();
+        let records = sink.take_sorted();
+        assert_eq!(records.len(), 8184);
+        let mut buf = String::new();
+        for r in &records {
+            buf.push_str(&u1_trace::csvline::to_line(r));
+            buf.push_str(&format!("|{}|{}\n", r.origin, r.seq));
+        }
+        let hash = u1_core::Sha1::digest(buf.as_bytes()).to_hex();
+        assert_eq!(hash, "78be5180fee062f073b8838c0cb695e681de3f1b");
+        assert_eq!(report.rpc_timeouts + report.client_retries, 0);
+        assert_eq!(report.uploads_interrupted, 0);
+    }
+
+    fn run_faulted(workers: usize) -> (DriverReport, Vec<u1_trace::TraceRecord>) {
+        let clock = SimClock::new();
+        let sink = Arc::new(MemorySink::new());
+        let backend = Arc::new(Backend::new(
+            BackendConfig {
+                fault: u1_core::fault::FaultPlan::light(SimDuration::from_days(3)),
+                ..Default::default()
+            },
+            Arc::new(clock.clone()),
+            sink.clone(),
+        ));
+        let cfg = WorkloadConfig {
+            users: 120,
+            days: 3,
+            seed: 11,
+            attacks: false,
+            seed_files: 0.5,
+            workers,
+        };
+        let report = Driver::new(cfg, backend, clock).run();
+        (report, sink.take_sorted())
+    }
+
+    /// Half 2: a *nonzero* plan is deterministic — same seed and plan give
+    /// the same faults, retries, and trace regardless of worker count —
+    /// and actually fires (visible retries / error classes in the trace).
+    #[test]
+    fn faulted_run_is_deterministic_across_worker_counts() {
+        let (r1, t1) = run_faulted(1);
+        let (r4, t4) = run_faulted(4);
+        assert_eq!(r1, r4, "faulted report must be worker-count-invariant");
+        assert_eq!(t1, t4, "faulted trace must be worker-count-invariant");
+        // The plan fired: server-side timeouts with retries, and the trace
+        // carries attempt/error-class annotations.
+        assert!(r1.rpc_timeouts > 0, "{r1:?}");
+        assert!(r1.rpc_retries > 0, "{r1:?}");
+        assert!(
+            t1.iter().any(|r| r.attempt > 1),
+            "no retried attempts in trace"
+        );
+        assert!(
+            t1.iter().any(|r| r.error_class.is_some()),
+            "no error classes in trace"
+        );
+        // And the run survived: a light plan degrades, it doesn't wedge.
+        assert!(r1.sessions_opened > 100, "{r1:?}");
+        assert!(r1.uploads > 10, "{r1:?}");
     }
 
     /// The differential test for the batched path: a run whose backend logs

@@ -87,7 +87,7 @@ pub struct FileSpec {
 /// and the 17% dedup ratio, plus unique contents for everything else.
 ///
 /// Popular ranks map to a fixed (size, ext) identity derived from the pool
-/// seed alone (see [`FileModel::popular_identity`]), so independent
+/// seed alone (see `FileModel::popular_identity`), so independent
 /// per-partition pools agree on every popular content without sharing
 /// state — cross-partition dedup (matching hash AND size) keeps working
 /// under the parallel driver, and the mapping no longer depends on which
