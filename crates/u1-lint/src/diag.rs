@@ -51,13 +51,14 @@ impl Finding {
 
     pub fn render_json(&self) -> String {
         format!(
-            r#"{{"rule":"{}","slug":"{}","path":"{}","line":{},"col":{},"message":"{}"}}"#,
+            r#"{{"rule":"{}","slug":"{}","path":"{}","line":{},"col":{},"message":"{}","snippet":"{}"}}"#,
             self.rule,
             self.slug,
             json_escape(&self.path),
             self.line,
             self.col,
             json_escape(&self.message),
+            json_escape(&self.line_text),
         )
     }
 }
@@ -110,6 +111,7 @@ mod tests {
         let json = f.render_json();
         assert!(json.contains(r#""message":"bad \"quote\"""#));
         assert!(json.contains(r#""line":216"#));
+        assert!(json.contains(r#""snippet":"handle.join().unwrap();""#));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! | U1L003 | `msg-exhaustive`     | u1-proto msg.rs vs codec.rs   |
 //! | U1L004 | `async-blocking`     | async fn bodies, all crates   |
 //! | U1L005 | `no-float-eq`        | u1-analytics                  |
+//! | U1L006 | `lock-order`         | workspace lock graph cycles   |
+//! | U1L007 | `guard-across-blocking` | guards spanning blocking ops |
+//! | U1L008 | `nondet-flow`        | hash iteration / wall clock on output paths |
 //!
 //! Findings are suppressible per line with
 //! `// u1-lint: allow(<rule>) — <reason>` (rule ID or slug; the reason is
@@ -15,7 +18,9 @@
 //! burn-down.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod diag;
+pub mod facts;
 pub mod lexer;
 pub mod model;
 pub mod rules;
@@ -28,9 +33,24 @@ use std::path::Path;
 /// Default baseline location, relative to the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.txt";
 
+/// Default lock-graph artifact location, relative to the workspace root.
+pub const LOCK_GRAPH_FILE: &str = "lock-graph.json";
+
+/// Full analysis output: findings plus the lock-graph review artifact.
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    /// The workspace lock-acquisition graph (nodes, edges, cycles) as JSON.
+    pub lock_graph_json: String,
+}
+
 /// Parses and analyzes the given files (paths must be workspace-relative).
 /// Suppressed findings are dropped here; baseline filtering is separate.
 pub fn analyze_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    analyze_sources_full(sources).findings
+}
+
+/// Like [`analyze_sources`], but also renders the lock graph.
+pub fn analyze_sources_full(sources: &[(String, String)]) -> Analysis {
     let files: Vec<SourceFile> = sources
         .iter()
         .map(|(rel, src)| SourceFile::parse(rel, src))
@@ -47,11 +67,20 @@ pub fn analyze_sources(sources: &[(String, String)]) -> Vec<Finding> {
     });
     findings
         .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
-    findings
+    let lock_graph_json = callgraph::Workspace::build(&files).lock_graph_json();
+    Analysis {
+        findings,
+        lock_graph_json,
+    }
 }
 
 /// Reads every analyzable file under `root` and runs all rules.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    Ok(analyze_workspace_full(root)?.findings)
+}
+
+/// Like [`analyze_workspace`], but also renders the lock graph.
+pub fn analyze_workspace_full(root: &Path) -> std::io::Result<Analysis> {
     let mut sources = Vec::new();
     for path in model::workspace_files(root)? {
         let rel = path
@@ -61,7 +90,7 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             .replace('\\', "/");
         sources.push((rel, std::fs::read_to_string(&path)?));
     }
-    Ok(analyze_sources(&sources))
+    Ok(analyze_sources_full(&sources))
 }
 
 /// Applies the baseline at `baseline_path` to raw findings.

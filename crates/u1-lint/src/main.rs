@@ -1,8 +1,9 @@
 //! CLI for the u1-lint workspace analyzer.
 //!
 //! ```text
-//! cargo run -p u1-lint -- check            # human diagnostics, exit 1 on new findings
+//! cargo run -p u1-lint -- check            # human diagnostics, exit 1 on new/stale findings
 //! cargo run -p u1-lint -- check --json     # one JSON object per finding, for CI
+//! cargo run -p u1-lint -- check --lock-graph lock-graph.json  # also export the lock graph
 //! cargo run -p u1-lint -- baseline         # rewrite lint-baseline.txt from current state
 //! ```
 
@@ -16,17 +17,20 @@ struct Args {
     json: bool,
     root: PathBuf,
     baseline: PathBuf,
+    lock_graph: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: u1-lint <check|baseline> [--json] [--root DIR] [--baseline FILE]\n\
+        "usage: u1-lint <check|baseline> [--json] [--root DIR] [--baseline FILE] [--lock-graph FILE]\n\
          \n\
          check     analyze the workspace; exit 1 on findings not in the baseline\n\
+         \u{20}          or on stale baseline entries\n\
          baseline  rewrite the baseline file from the current findings\n\
          --json    (check) emit one JSON object per finding instead of text\n\
          --root    workspace root (default: the root this binary was built in)\n\
-         --baseline  baseline path (default: <root>/{BASELINE_FILE})"
+         --baseline  baseline path (default: <root>/{BASELINE_FILE})\n\
+         --lock-graph  also write the workspace lock-acquisition graph (JSON)"
     );
     std::process::exit(2)
 }
@@ -50,6 +54,7 @@ fn parse_args() -> Args {
         json: false,
         root: default_root,
         baseline: PathBuf::new(),
+        lock_graph: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -57,6 +62,9 @@ fn parse_args() -> Args {
             "--root" => args.root = argv.next().map(PathBuf::from).unwrap_or_else(|| usage()),
             "--baseline" => {
                 args.baseline = argv.next().map(PathBuf::from).unwrap_or_else(|| usage())
+            }
+            "--lock-graph" => {
+                args.lock_graph = Some(argv.next().map(PathBuf::from).unwrap_or_else(|| usage()))
             }
             _ => usage(),
         }
@@ -69,8 +77,8 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let findings = match u1_lint::analyze_workspace(&args.root) {
-        Ok(f) => f,
+    let analysis = match u1_lint::analyze_workspace_full(&args.root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!(
                 "u1-lint: failed to read workspace at {}: {e}",
@@ -79,6 +87,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let findings = analysis.findings;
+
+    if let Some(path) = &args.lock_graph {
+        if let Err(e) = std::fs::write(path, &analysis.lock_graph_json) {
+            eprintln!("u1-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if args.command == "baseline" {
         let rendered = Baseline::render(&findings);
@@ -110,16 +126,6 @@ fn main() -> ExitCode {
         for f in &outcome.new {
             print!("{}", f.render_text());
         }
-        for (key, count) in &outcome.stale {
-            eprintln!(
-                "u1-lint: stale baseline entry (matched nothing, remove it): {key}{}",
-                if *count > 1 {
-                    format!(" (×{count})")
-                } else {
-                    String::new()
-                }
-            );
-        }
         eprintln!(
             "u1-lint: {} new finding(s), {} baselined, {} stale baseline entr(ies)",
             outcome.new.len(),
@@ -127,8 +133,21 @@ fn main() -> ExitCode {
             outcome.stale.len()
         );
     }
+    // Stale entries go to stderr in both modes: a baseline entry matching
+    // nothing means the debt it grandfathered is gone and the file must be
+    // regenerated, so `check` fails rather than letting it rot.
+    for (key, count) in &outcome.stale {
+        eprintln!(
+            "u1-lint: stale baseline entry (matched nothing — rerun `u1-lint baseline`): {key}{}",
+            if *count > 1 {
+                format!(" (×{count})")
+            } else {
+                String::new()
+            }
+        );
+    }
 
-    if outcome.new.is_empty() {
+    if outcome.new.is_empty() && outcome.stale.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -29,6 +29,12 @@ impl Span {
 pub struct FnSpan {
     pub name: String,
     pub is_async: bool,
+    /// Token index of the `fn` keyword: the signature (incl. return type)
+    /// spans `header_tok..body.first_tok`.
+    pub header_tok: usize,
+    /// Enclosing `impl` type name (`Stripe` for `impl<T> Stripe<T>`,
+    /// the type after `for` in trait impls), `None` for free functions.
+    pub owner: Option<String>,
     pub body: Span,
 }
 
@@ -139,7 +145,7 @@ fn find_suppressions(comments: &[Comment], tokens: &[Token]) -> Vec<Suppression>
 
 /// Finds the matching close brace for the open brace at `open`, returning
 /// its token index.
-fn matching_brace(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0usize;
     for (i, t) in tokens.iter().enumerate().skip(open) {
         match t.kind {
@@ -216,9 +222,60 @@ fn matching_bracket(tokens: &[Token], open: usize) -> usize {
     tokens.len().saturating_sub(1)
 }
 
+/// `impl` blocks as (body open brace, body close brace, type name). The
+/// type is the last path segment before the body (after `for` in trait
+/// impls), ignoring generics and where clauses.
+fn find_impl_owners(tokens: &[Token]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].kind.is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut angle = 0i64;
+        let mut owner: Option<String> = None;
+        let mut in_where = false;
+        let mut j = i + 1;
+        let mut open = None;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle -= 1,
+                TokenKind::Punct('{') if angle <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                TokenKind::Punct(';') => break,
+                TokenKind::Ident(id) if angle <= 0 && !in_where => {
+                    if id == "for" {
+                        owner = None;
+                    } else if id == "where" {
+                        in_where = true;
+                    } else {
+                        owner = Some(id.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        match (open, owner) {
+            (Some(open), Some(owner)) => {
+                let close = matching_brace(tokens, open);
+                out.push((open, close, owner));
+                i = open + 1; // impls don't nest; fns inside are assigned below
+            }
+            _ => i = j + 1,
+        }
+    }
+    out
+}
+
 /// Finds every `fn` item and its body, noting whether the header carries
-/// `async`.
+/// `async` and which `impl` block (if any) owns it.
 fn find_fns(tokens: &[Token]) -> Vec<FnSpan> {
+    let impls = find_impl_owners(tokens);
     let mut fns = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
         if !t.kind.is_ident("fn") {
@@ -253,9 +310,15 @@ fn find_fns(tokens: &[Token]) -> Vec<FnSpan> {
         {
             if tokens[open].kind.is_punct('{') {
                 let end = matching_brace(tokens, open);
+                let owner = impls
+                    .iter()
+                    .find(|(o, c, _)| (*o..=*c).contains(&i))
+                    .map(|(_, _, n)| n.clone());
                 fns.push(FnSpan {
                     name: name.to_string(),
                     is_async,
+                    header_tok: i,
+                    owner,
                     body: span_between(tokens, open, end),
                 });
             }
@@ -335,6 +398,34 @@ mod tests {
         assert_eq!(f.fns.len(), 2);
         assert!(f.fns[0].is_async && f.fns[0].name == "handler");
         assert!(!f.fns[1].is_async);
+    }
+
+    #[test]
+    fn impl_owners_are_resolved() {
+        let src = r#"
+struct Stripe;
+impl<T: Ord> Stripe<T> {
+    fn push(&self) {}
+}
+impl std::fmt::Display for Stripe {
+    fn fmt(&self, f: &mut Formatter) {}
+}
+fn free() {}
+"#;
+        let f = SourceFile::parse("crates/u1-x/src/lib.rs", src);
+        let owners: Vec<(&str, Option<&str>)> = f
+            .fns
+            .iter()
+            .map(|g| (g.name.as_str(), g.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            owners,
+            vec![
+                ("push", Some("Stripe")),
+                ("fmt", Some("Stripe")),
+                ("free", None)
+            ]
+        );
     }
 
     #[test]

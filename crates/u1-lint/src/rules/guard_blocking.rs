@@ -1,0 +1,145 @@
+//! U1L007 `guard-across-blocking`: a live `Mutex`/`RwLock` guard spanning a
+//! blocking operation — file or socket I/O, `thread::sleep`, thread
+//! `.join()`, or a channel `recv`.
+//!
+//! Holding a lock across a blocking call serializes every contender behind
+//! the slowest syscall; this is the hold-over-I/O pattern behind the
+//! paper's Fig. 12–14 service-time tails. Detection is per-function: each
+//! guard's token live range (let-binding → end of block, statement for
+//! temporaries, scrutinee block for `match`) is scanned for blocking
+//! sites. Condvar `wait` is deliberately exempt — waiting with the guard
+//! is its contract. A blocking site under several nested guards is
+//! reported once, against the innermost guard.
+
+use super::{finding, Rule};
+use crate::callgraph::Workspace;
+use crate::diag::Finding;
+use crate::model::SourceFile;
+
+pub struct GuardBlocking;
+
+impl Rule for GuardBlocking {
+    fn id(&self) -> &'static str {
+        "U1L007"
+    }
+
+    fn slug(&self) -> &'static str {
+        "guard-across-blocking"
+    }
+
+    fn check(&self, files: &[SourceFile]) -> Vec<Finding> {
+        let ws = Workspace::build(files);
+        let mut out = Vec::new();
+        for (fi, ff) in ws.facts.iter().enumerate() {
+            let file = &files[fi];
+            for f in &ff.fns {
+                for b in &f.blocking {
+                    // Innermost covering guard: the one acquired last before
+                    // the blocking site.
+                    let covering = f
+                        .acquisitions
+                        .iter()
+                        .filter(|a| a.tok < b.tok && (a.live_first..=a.live_last).contains(&b.tok))
+                        .max_by_key(|a| a.tok);
+                    if let Some(a) = covering {
+                        let who = match &a.guard_name {
+                            Some(n) => format!("guard `{n}` ({})", a.display),
+                            None => format!("temporary guard of {}", a.display),
+                        };
+                        out.push(finding(
+                            self.id(),
+                            self.slug(),
+                            file,
+                            b.line,
+                            b.col,
+                            format!(
+                                "{who}, acquired at line {}, is held across blocking {} in `{}`",
+                                a.line, b.what, f.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn check(src: &str) -> Vec<Finding> {
+        GuardBlocking.check(&[SourceFile::parse("crates/u1-x/src/l.rs", src)])
+    }
+
+    #[test]
+    fn guard_across_sleep_and_file_io_flags() {
+        let src = r#"
+fn f(&self) {
+    let g = self.table.lock();
+    std::thread::sleep(backoff);
+    let data = std::fs::File::open(path);
+}
+"#;
+        let f = check(src);
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(f[0].message.contains("guard `g`"));
+        assert!(f[0].message.contains("thread::sleep"));
+        assert!(f[1].message.contains("File open/create"));
+    }
+
+    #[test]
+    fn temporary_guard_spanning_io_in_one_statement_flags() {
+        let src = "fn f(&self) { self.writer.lock().write_all(&bytes); }\n";
+        let f = check(src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0]
+            .message
+            .contains("temporary guard of self.writer.lock()"));
+    }
+
+    #[test]
+    fn io_after_guard_scope_must_not_flag() {
+        let src = r#"
+fn f(&self) {
+    let n = self.table.lock().len();
+    std::thread::sleep(backoff);
+    {
+        let g = self.table.lock();
+        touch(g);
+    }
+    let data = std::fs::File::open(path);
+}
+"#;
+        assert!(check(src).is_empty(), "{:#?}", check(src));
+    }
+
+    #[test]
+    fn drop_before_io_must_not_flag() {
+        let src = r#"
+fn f(&self) {
+    let g = self.table.lock();
+    drop(g);
+    handle.join();
+}
+"#;
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn recv_and_join_under_guard_flag() {
+        let src = r#"
+fn f(&self) {
+    let g = self.state.write();
+    let msg = rx.recv();
+    worker.join();
+}
+"#;
+        let f = check(src);
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains(".recv()"));
+        assert!(f[1].message.contains(".join()"));
+    }
+}

@@ -1,0 +1,135 @@
+//! U1L006 `lock-order`: potential deadlocks from inconsistent lock
+//! acquisition order.
+//!
+//! The workspace lock graph has an edge A → B whenever a live guard of A
+//! spans an acquisition of B — directly in one function body, or through
+//! one level of calls (a guard of A live across a call to a function that
+//! acquires B). Any cycle in that graph is a potential deadlock: two
+//! threads entering the cycle from different edges can each hold one lock
+//! and wait forever on the other (the §5 outage class the paper attributes
+//! to the lock-heavy metadata tier).
+//!
+//! Each cycle is reported once, anchored at the acquisition (or call) site
+//! closing its lexicographically smallest edge, with every edge's two
+//! acquisition sites in the message. Known approximations: lock identity is
+//! `crate/receiver-path`, so two *instances* behind one field (per-shard
+//! stripes, `stripes[i]` vs `stripes[j]`) merge into one node — an
+//! index-ordered stripe sweep shows up as a self-loop and needs a reviewed
+//! `allow`. The full graph is exported as `lock-graph.json` (see
+//! `--lock-graph`) for review even when no cycle exists.
+
+use super::{finding, Rule};
+use crate::callgraph::Workspace;
+use crate::diag::Finding;
+use crate::model::SourceFile;
+
+pub struct LockOrder;
+
+impl Rule for LockOrder {
+    fn id(&self) -> &'static str {
+        "U1L006"
+    }
+
+    fn slug(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn check(&self, files: &[SourceFile]) -> Vec<Finding> {
+        let ws = Workspace::build(files);
+        let mut out = Vec::new();
+        for cycle in ws.cycles() {
+            // Anchor at the first edge of the reported cycle (cycles() roots
+            // each cycle at its smallest lock, so this is deterministic).
+            let anchor = cycle[0];
+            let file = &files[anchor.anchor_file];
+            let path: Vec<&str> = std::iter::once(anchor.held.as_str())
+                .chain(cycle.iter().map(|e| e.acquired.as_str()))
+                .collect();
+            let sites = cycle
+                .iter()
+                .map(|e| {
+                    format!(
+                        "`{}` (held at {}) -> `{}` (acquired at {}, in {})",
+                        e.held, e.held_site, e.acquired, e.acquired_site, e.via
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("; ");
+            out.push(finding(
+                self.id(),
+                self.slug(),
+                file,
+                anchor.anchor_line,
+                1,
+                format!(
+                    "lock-order cycle {} — potential deadlock: {}",
+                    path.join(" -> "),
+                    sites
+                ),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn check(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        LockOrder.check(&files)
+    }
+
+    #[test]
+    fn inverted_order_reports_one_cycle_with_both_sites() {
+        let src = r#"
+fn fwd(&self) {
+    let g = self.alpha.lock();
+    let h = self.beta.lock();
+}
+fn rev(&self) {
+    let g = self.beta.lock();
+    let h = self.alpha.lock();
+}
+"#;
+        let f = check(&[("crates/u1-x/src/l.rs", src)]);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0]
+            .message
+            .contains("u1-x/alpha -> u1-x/beta -> u1-x/alpha"));
+        assert!(f[0].message.contains("l.rs:4"), "{}", f[0].message);
+        assert!(f[0].message.contains("l.rs:8"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn consistent_order_must_not_flag() {
+        let src = r#"
+fn fwd(&self) {
+    let g = self.alpha.lock();
+    let h = self.beta.lock();
+}
+fn also_fwd(&self) {
+    let g = self.alpha.lock();
+    let h = self.beta.lock();
+}
+"#;
+        assert!(check(&[("crates/u1-x/src/l.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn sequential_temporaries_must_not_flag() {
+        let src = r#"
+fn f(&self) {
+    self.alpha.lock().push(1);
+    self.beta.lock().push(2);
+}
+fn g(&self) {
+    self.beta.lock().push(1);
+    self.alpha.lock().push(2);
+}
+"#;
+        assert!(check(&[("crates/u1-x/src/l.rs", src)]).is_empty());
+    }
+}

@@ -5,8 +5,11 @@
 
 pub mod async_blocking;
 pub mod float_eq;
+pub mod guard_blocking;
+pub mod lock_order;
 pub mod msg_exhaustive;
 pub mod no_panic;
+pub mod nondet_flow;
 pub mod truncating_cast;
 
 use crate::diag::Finding;
@@ -37,6 +40,9 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(msg_exhaustive::MsgExhaustive),
         Box::new(async_blocking::AsyncBlocking),
         Box::new(float_eq::FloatEq),
+        Box::new(lock_order::LockOrder),
+        Box::new(guard_blocking::GuardBlocking),
+        Box::new(nondet_flow::NondetFlow),
     ]
 }
 

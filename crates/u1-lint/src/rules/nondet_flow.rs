@@ -1,0 +1,174 @@
+//! U1L008 `nondet-flow`: nondeterminism feeding the deterministic outputs.
+//!
+//! The reproduction's core claim is bit-identical traces and reports at any
+//! worker count; this rule statically gates the two ways that silently
+//! breaks:
+//!
+//! * **Hash-ordered iteration on an output path** — `HashMap`/`HashSet`
+//!   (std or the vendored fxhash) iteration inside any function that
+//!   *reaches* trace emission, `DriverReport`, `EngineReport`, or JSON
+//!   bench output through the approximate call graph. Iteration order
+//!   follows the hasher, so anything it feeds must be re-sorted — prefer
+//!   `BTreeMap`, sort the collected items, or justify with an `allow`.
+//! * **Wall-clock / OS-entropy sources** — bare `SystemTime::now`,
+//!   `thread_rng`, `OsRng`, `from_entropy`/`from_os_rng` anywhere outside
+//!   the allow-list (the seeded-RNG substrate `u1-core/src/rngx.rs`, the
+//!   sim clock `u1-core/src/clock.rs`, and `u1-bench`, whose wall-clock
+//!   timings are measurements, not simulation inputs).
+//!
+//! Functions whose *results* flow into a report built by their caller are
+//! not seen by the forward reach closure — that false-negative class is
+//! covered dynamically by the differential tests and documented in
+//! DESIGN.md §12.
+
+use super::{finding, Rule};
+use crate::callgraph::Workspace;
+use crate::diag::Finding;
+use crate::model::SourceFile;
+
+/// Files/crates where wall-clock and OS-entropy use is by design.
+const ENTROPY_ALLOWED_FILES: &[&str] =
+    &["crates/u1-core/src/clock.rs", "crates/u1-core/src/rngx.rs"];
+const ENTROPY_ALLOWED_CRATES: &[&str] = &["u1-bench"];
+
+pub struct NondetFlow;
+
+impl Rule for NondetFlow {
+    fn id(&self) -> &'static str {
+        "U1L008"
+    }
+
+    fn slug(&self) -> &'static str {
+        "nondet-flow"
+    }
+
+    fn check(&self, files: &[SourceFile]) -> Vec<Finding> {
+        let ws = Workspace::build(files);
+        let mut out = Vec::new();
+        for (fi, ff) in ws.facts.iter().enumerate() {
+            let file = &files[fi];
+            for (gi, f) in ff.fns.iter().enumerate() {
+                if ws.reaches_output[fi][gi] {
+                    for it in &f.hash_iters {
+                        let via = match ws.sink_witness((fi, gi)) {
+                            Some(path) => format!(" (reaches output via `{}`)", path.join(" -> ")),
+                            None => String::new(),
+                        };
+                        out.push(finding(
+                            self.id(),
+                            self.slug(),
+                            file,
+                            it.line,
+                            it.col,
+                            format!(
+                                "hash-ordered iteration `{}` in `{}`, which feeds \
+                                 trace/report output{via}; iteration order follows the \
+                                 hasher — sort, use a BTreeMap, or justify with an allow",
+                                it.display, f.name
+                            ),
+                        ));
+                    }
+                }
+                if !entropy_allowed(file) {
+                    for e in &f.entropy {
+                        out.push(finding(
+                            self.id(),
+                            self.slug(),
+                            file,
+                            e.line,
+                            e.col,
+                            format!(
+                                "nondeterministic source {} in `{}`; simulation inputs \
+                                 must come from the seeded RNG substrate (u1-core rngx) \
+                                 or the sim clock",
+                                e.what, f.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn entropy_allowed(file: &SourceFile) -> bool {
+    ENTROPY_ALLOWED_FILES.contains(&file.rel_path.as_str())
+        || file
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| ENTROPY_ALLOWED_CRATES.contains(&c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn check(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        NondetFlow.check(&files)
+    }
+
+    #[test]
+    fn hash_iteration_reaching_report_flags_with_witness() {
+        let src = r#"
+fn tally(counts: &HashMap<u32, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (_, v) in counts.iter() {
+        out.push(*v);
+    }
+    build_report(out)
+}
+fn build_report(rows: Vec<u64>) -> DriverReport {
+    DriverReport { rows }
+}
+"#;
+        let f = check(&[("crates/u1-x/src/l.rs", src)]);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("counts.iter()"));
+        assert!(f[0].message.contains("build_report"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn hash_iteration_off_the_output_path_must_not_flag() {
+        let src = r#"
+fn probe(counts: &HashMap<u32, u64>) -> u64 {
+    counts.iter().map(|(_, v)| *v).sum()
+}
+"#;
+        assert!(check(&[("crates/u1-x/src/l.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn btree_iteration_on_output_path_must_not_flag() {
+        let src = r#"
+fn tally(counts: &BTreeMap<u32, u64>) -> DriverReport {
+    for (_, v) in counts.iter() {
+        absorb(v);
+    }
+    DriverReport::default()
+}
+"#;
+        assert!(check(&[("crates/u1-x/src/l.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn entropy_outside_allow_list_flags() {
+        let src = "fn f() { let t = SystemTime::now(); }\n";
+        let f = check(&[("crates/u1-server/src/l.rs", src)]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("SystemTime::now"));
+    }
+
+    #[test]
+    fn entropy_in_allowed_files_must_not_flag() {
+        let clock = "fn wall() -> u64 { SystemTime::now().into() }\n";
+        let bench = "fn t() { let started = SystemTime::now(); }\n";
+        assert!(check(&[
+            ("crates/u1-core/src/clock.rs", clock),
+            ("crates/u1-bench/src/scenario.rs", bench),
+        ])
+        .is_empty());
+    }
+}

@@ -28,6 +28,10 @@ fn seeded_violations_are_found_at_exact_locations() {
         ("U1L004", "crates/u1-notify/src/lib.rs", 4),
         ("U1L004", "crates/u1-notify/src/lib.rs", 5),
         ("U1L005", "crates/u1-analytics/src/stats.rs", 4),
+        ("U1L006", "crates/u1-metastore/src/locks.rs", 13),
+        ("U1L007", "crates/u1-metastore/src/locks.rs", 25),
+        ("U1L008", "crates/u1-analytics/src/rollup.rs", 11),
+        ("U1L008", "crates/u1-server/src/uptime.rs", 4),
     ]
     .iter()
     .map(|(r, p, l)| (r.to_string(), p.to_string(), *l))
@@ -95,11 +99,117 @@ fn cli_json_mode_emits_one_object_per_finding() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 8, "{stdout}");
+    assert_eq!(lines.len(), 12, "{stdout}");
     for line in lines {
         assert!(line.starts_with("{\"rule\":\"U1L"), "{line}");
         assert!(line.ends_with('}'), "{line}");
+        // Uniform shape: every object carries the full key set, snippet
+        // included, so CI consumers never need per-rule special cases.
+        for key in [
+            "\"rule\":",
+            "\"slug\":",
+            "\"path\":",
+            "\"line\":",
+            "\"col\":",
+            "\"message\":",
+            "\"snippet\":",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
     }
+}
+
+#[test]
+fn new_rules_report_expected_shapes() {
+    let all = findings();
+    let lock = all
+        .iter()
+        .find(|f| f.rule == "U1L006")
+        .expect("U1L006 finding");
+    assert!(
+        lock.message
+            .contains("u1-metastore/index -> u1-metastore/journal -> u1-metastore/index"),
+        "{}",
+        lock.message
+    );
+    assert!(lock.message.contains("locks.rs:13"), "{}", lock.message);
+    assert!(lock.message.contains("locks.rs:19"), "{}", lock.message);
+
+    let guard = all
+        .iter()
+        .find(|f| f.rule == "U1L007")
+        .expect("U1L007 finding");
+    assert!(guard.message.contains("guard `g`"), "{}", guard.message);
+    assert!(guard.message.contains("stream I/O"), "{}", guard.message);
+
+    let iter = all
+        .iter()
+        .find(|f| f.rule == "U1L008" && f.path.ends_with("rollup.rs"))
+        .expect("U1L008 iteration finding");
+    assert!(
+        iter.message.contains("tally -> build_report"),
+        "witness path missing: {}",
+        iter.message
+    );
+}
+
+#[test]
+fn cli_exits_nonzero_on_stale_baseline_entries() {
+    let baseline =
+        std::env::temp_dir().join(format!("u1-lint-fixture-stale-{}.txt", std::process::id()));
+    // Full baseline plus one entry that matches nothing: everything is
+    // grandfathered, but the stale entry alone must fail the check.
+    let write = Command::new(env!("CARGO_BIN_EXE_u1-lint"))
+        .args(["baseline", "--root"])
+        .arg(fixture_root())
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run u1-lint baseline");
+    assert!(write.status.success());
+    let mut content = std::fs::read_to_string(&baseline).expect("baseline readable");
+    content.push_str("U1L001|crates/u1-server/src/gone.rs|let x = y.unwrap();\n");
+    std::fs::write(&baseline, content).expect("baseline writable");
+
+    let check = Command::new(env!("CARGO_BIN_EXE_u1-lint"))
+        .args(["check", "--root"])
+        .arg(fixture_root())
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run u1-lint check");
+    let _ = std::fs::remove_file(&baseline);
+    assert_eq!(check.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&check.stderr);
+    assert!(stderr.contains("stale baseline entry"), "{stderr}");
+    assert!(stderr.contains("gone.rs"), "{stderr}");
+}
+
+#[test]
+fn cli_lock_graph_flag_writes_artifact() {
+    let graph = std::env::temp_dir().join(format!(
+        "u1-lint-fixture-lock-graph-{}.json",
+        std::process::id()
+    ));
+    let out = Command::new(env!("CARGO_BIN_EXE_u1-lint"))
+        .args(["check", "--root"])
+        .arg(fixture_root())
+        .args(["--baseline", "/nonexistent/u1-lint-baseline.txt"])
+        .arg("--lock-graph")
+        .arg(&graph)
+        .output()
+        .expect("run u1-lint");
+    assert_eq!(out.status.code(), Some(1), "findings still fail the check");
+    let json = std::fs::read_to_string(&graph).expect("lock graph written");
+    let _ = std::fs::remove_file(&graph);
+    // The graph is exported even though only one cycle exists: consistent
+    // `head -> tail` edges from the Ordered fixture appear as plain edges.
+    assert!(json.contains("\"u1-metastore/index\""), "{json}");
+    assert!(json.contains("\"u1-metastore/head\""), "{json}");
+    assert!(
+        json.contains("[\"u1-metastore/index\", \"u1-metastore/journal\", \"u1-metastore/index\"]"),
+        "{json}"
+    );
 }
 
 #[test]

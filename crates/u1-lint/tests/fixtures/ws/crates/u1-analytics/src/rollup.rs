@@ -1,0 +1,36 @@
+//! Seeded U1L008 fixtures: hash-ordered iteration feeding the report
+//! through the call graph (must flag) beside an off-path probe and a
+//! BTreeMap twin (must not flag).
+
+pub struct EngineReport {
+    pub rows: Vec<u64>,
+}
+
+pub fn tally(counts: &HashMap<u32, u64>) -> usize {
+    let mut rows = Vec::new();
+    for (_, v) in counts.iter() {
+        rows.push(*v);
+    }
+    build_report(rows)
+}
+
+fn build_report(rows: Vec<u64>) -> usize {
+    let report = EngineReport { rows };
+    report.rows.len()
+}
+
+pub fn probe(counts: &HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in counts.iter() {
+        total += *v;
+    }
+    total
+}
+
+pub fn tally_sorted(counts: &BTreeMap<u32, u64>) -> usize {
+    let mut rows = Vec::new();
+    for (_, v) in counts.iter() {
+        rows.push(*v);
+    }
+    build_report(rows)
+}

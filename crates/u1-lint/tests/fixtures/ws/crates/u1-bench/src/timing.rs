@@ -1,0 +1,7 @@
+//! u1-bench is on the U1L008 entropy allow-list: wall-clock timings here
+//! are measurements, not simulation inputs, and must not flag.
+
+pub fn wall_ms(epoch: u64) -> u64 {
+    let t = SystemTime::now().as_millis_since(epoch);
+    t
+}

@@ -1,0 +1,6 @@
+//! Seeded U1L008 entropy fixture: wall clock outside the allow-list.
+
+pub fn uptime_ms(epoch: u64) -> u64 {
+    let t = SystemTime::now().as_millis_since(epoch);
+    t
+}

@@ -130,6 +130,7 @@ fn handle_connection(backend: Arc<Backend>, stream: TcpStream) {
                             message: "authenticate first".into(),
                         },
                     ) {
+                        // u1-lint: allow(U1L007) — the writer mutex is what keeps response frames whole against the push thread; writing under it is the framing contract
                         let _ = writer.lock().write_all(&resp);
                     }
                     break 'outer;
@@ -172,6 +173,7 @@ fn send_resp(
     let Ok(bytes) = conn.respond(id, resp) else {
         return false;
     };
+    // u1-lint: allow(U1L007) — whole-frame writes are serialized by this mutex so responses and pushes never interleave on the socket
     writer.lock().write_all(&bytes).is_ok()
 }
 
@@ -226,6 +228,7 @@ fn dispatch(
                                     let Ok(bytes) = pconn.push(push) else {
                                         return;
                                     };
+                                    // u1-lint: allow(U1L007) — push frames share the socket with responses; the mutex hold over the write is the frame-atomicity contract
                                     if push_writer.lock().write_all(&bytes).is_err() {
                                         return;
                                     }

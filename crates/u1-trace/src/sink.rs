@@ -431,6 +431,7 @@ impl DirSink {
                     // the original "one log file per server/service and day".
                     let (_, old) = o.insert((day, self.open(machine, process, day)));
                     if let Some(mut w) = old {
+                        // u1-lint: allow(U1L007) — day rotation must retire the old writer before the stripe accepts new lines; the stripe lock is that ordering
                         let _ = w.flush();
                     }
                 }
@@ -441,6 +442,7 @@ impl DirSink {
             }
         };
         if let Some(w) = &mut slot.1 {
+            // u1-lint: allow(U1L007) — one serialized line per write under the stripe lock is the log-line atomicity contract (no torn lines across processes)
             let _ = w.write_all(line);
         }
     }
@@ -478,6 +480,7 @@ impl TraceSink for DirSink {
         for stripe in &self.stripes {
             for (_, (_, w)) in stripe.lock().iter_mut() {
                 if let Some(w) = w {
+                    // u1-lint: allow(U1L007) — flush() drains each stripe under its lock so no line written before the flush call can be missed
                     let _ = w.flush();
                 }
             }
