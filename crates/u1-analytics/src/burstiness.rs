@@ -105,7 +105,8 @@ impl TraceFold for BurstinessFold {
         }
     }
 
-    fn merge(&mut self, later: Self) {
+    fn merge(&mut self, mut later: Self) {
+        // Boundary gaps must be measured while both sides are intact.
         for (user, t) in &later.first {
             if let Some(prev) = self.last.get(user) {
                 let gap = t.since(*prev).as_secs_f64();
@@ -114,20 +115,45 @@ impl TraceFold for BurstinessFold {
                 }
             }
         }
-        for (user, t) in later.last {
-            self.last.insert(user, t);
+        // `last`: the later chunk's timestamp wins. Merge the smaller map
+        // into the larger; when the later map is the base, earlier entries
+        // only fill absent keys.
+        if later.last.len() > self.last.len() {
+            std::mem::swap(&mut self.last, &mut later.last);
+            for (user, t) in later.last.drain() {
+                self.last.entry(user).or_insert(t);
+            }
+        } else {
+            for (user, t) in later.last {
+                self.last.insert(user, t);
+            }
         }
-        for (user, t) in later.first {
-            self.first.entry(user).or_insert(t);
+        // `first`: the earlier chunk's timestamp wins — the mirror image.
+        if later.first.len() > self.first.len() {
+            std::mem::swap(&mut self.first, &mut later.first);
+            for (user, t) in later.first.drain() {
+                self.first.insert(user, t);
+            }
+        } else {
+            for (user, t) in later.first {
+                self.first.entry(user).or_insert(t);
+            }
         }
-        self.gaps.extend(later.gaps);
+        // Gap buffers: append onto whichever side is larger. `finish` sorts
+        // before fitting, so only the multiset matters.
+        if later.gaps.len() > self.gaps.len() {
+            std::mem::swap(&mut self.gaps, &mut later.gaps);
+        }
+        self.gaps.append(&mut later.gaps);
     }
 
     fn finish(mut self) -> Burstiness {
         self.gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let gaps = self.gaps;
-        let ecdf = Ecdf::new(gaps.clone());
         let fit = fit_power_law(&gaps, 0.35);
+        let n = gaps.len();
+        let cv = cv(&gaps);
+        let ecdf = Ecdf::from_sorted(gaps);
         let ccdf = if ecdf.is_empty() {
             Vec::new()
         } else {
@@ -142,8 +168,8 @@ impl TraceFold for BurstinessFold {
         };
         Burstiness {
             op: self.op.display_name(),
-            gaps: gaps.len(),
-            cv: cv(&gaps),
+            gaps: n,
+            cv,
             fit,
             ccdf,
             ecdf,

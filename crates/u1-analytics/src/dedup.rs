@@ -68,11 +68,23 @@ impl TraceFold for DedupFold {
         }
     }
 
-    fn merge(&mut self, later: Self) {
-        for (hash, (copies, size)) in later.per_hash {
-            let entry = self.per_hash.entry(hash).or_insert((0, size));
-            entry.0 += copies;
-            entry.1 = size;
+    fn merge(&mut self, mut later: Self) {
+        // Copies are additive; the recorded size is the LATER chunk's last
+        // upload. Accumulate into whichever map is larger.
+        if later.per_hash.len() > self.per_hash.len() {
+            std::mem::swap(&mut self.per_hash, &mut later.per_hash);
+            // Base is now the later chunk: earlier copies add in, but the
+            // later chunk's size stands for hashes it already saw.
+            for (hash, (copies, size)) in later.per_hash.drain() {
+                let entry = self.per_hash.entry(hash).or_insert((0, size));
+                entry.0 += copies;
+            }
+        } else {
+            for (hash, (copies, size)) in later.per_hash {
+                let entry = self.per_hash.entry(hash).or_insert((0, size));
+                entry.0 += copies;
+                entry.1 = size;
+            }
         }
     }
 

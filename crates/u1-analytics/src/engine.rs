@@ -9,10 +9,11 @@
 //! [`Battery`] bundles every fold the experiment harness needs and feeds
 //! them all from ONE pass over the trace (the legacy battery made one pass
 //! per analyzer — ~30 passes for an EXPERIMENTS.md regeneration).
-//! [`run_all_chunked`] splits the record slice into contiguous chunks, folds
-//! each on its own thread and k-way merges the partials in order; the
-//! result is exactly equal to the serial pass (see DESIGN.md §10 for the
-//! determinism argument).
+//! [`run_all_chunked`] splits the record slice into contiguous chunks
+//! (adaptively sized — see [`plan_chunk_count`]), folds each on its own
+//! thread and tree-merges the partials in chunk order; the result is
+//! exactly equal to the serial pass (see DESIGN.md §10 for the determinism
+//! argument and §13 for the scaling model).
 
 use crate::burstiness::BurstinessFold;
 use crate::ddos::{DdosFold, DdosReport, DetectorConfig};
@@ -32,6 +33,8 @@ use crate::users::{
     ActiveOnlineSummary, ClassShares, OpMix, OpMixFold, PerUserTrafficFold, TrafficInequality,
 };
 use serde::Serialize;
+use std::time::Instant;
+use u1_core::timing::{saturating_nanos, Phase, PhaseTimers};
 use u1_core::{ApiOpKind, SimTime};
 use u1_trace::TraceRecord;
 
@@ -86,27 +89,125 @@ pub fn run_chunks<F: TraceFold>(mut seed: F, chunks: &[&[TraceRecord]]) -> F::Ou
     seed.finish()
 }
 
-/// Chunk-parallel run: splits `records` into `threads` contiguous chunks,
-/// folds each on its own thread, merges partials in chunk order. Output is
-/// exactly equal to [`run_fold`] at every thread count.
-pub fn run_chunked<F>(mut seed: F, records: &[TraceRecord], threads: usize) -> F::Output
+/// Floor on records per chunk: below this, thread spawn + merge overhead
+/// dominates the fold work and the "parallel" run is slower than serial.
+pub const MIN_CHUNK_RECORDS: usize = 4096;
+
+/// Adaptive chunk count: at most one chunk per thread, but never so many
+/// that a chunk falls under [`MIN_CHUNK_RECORDS`] records. Degenerate
+/// requests (tiny traces, huge thread counts) collapse to 1 — a plain
+/// serial fold with zero spawn overhead.
+pub fn plan_chunk_count(len: usize, threads: usize) -> usize {
+    threads.max(1).min((len / MIN_CHUNK_RECORDS).max(1))
+}
+
+/// Caps a requested thread count at the host's available parallelism:
+/// more fold threads than cores never helps (each carries its own partial
+/// battery state, so oversubscription just thrashes caches). Pure
+/// scheduling — the merge law makes chunk count invisible in the output.
+pub fn host_clamped(threads: usize) -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    threads.min(cpus)
+}
+
+/// Pairwise parallel reduction of chunk partials, in chunk order: rounds of
+/// adjacent-pair merges `(0←1), (2←3), …` until one partial remains. The
+/// merge law (associative, concat-respecting) makes this bit-identical to
+/// the left-fold, but the depth is `log2(chunks)` instead of `chunks`, and
+/// the pairs within a round merge concurrently.
+pub fn tree_merge<F>(mut parts: Vec<F>) -> Option<F>
 where
     F: TraceFold + Send,
 {
-    let threads = threads.max(1).min(records.len().max(1));
-    if threads <= 1 {
-        return run_fold(seed, records);
+    while parts.len() > 1 {
+        // An odd trailing partial sits this round out and rejoins at the end,
+        // so chunk order is preserved.
+        let leftover = if parts.len() % 2 == 1 {
+            parts.pop()
+        } else {
+            None
+        };
+        let mut pairs: Vec<(F, F)> = Vec::with_capacity(parts.len() / 2);
+        let mut iter = parts.drain(..);
+        while let (Some(earlier), Some(later)) = (iter.next(), iter.next()) {
+            pairs.push((earlier, later));
+        }
+        drop(iter);
+        let mut merged: Vec<F> = if pairs.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .into_iter()
+                    .map(|(mut earlier, later)| {
+                        scope.spawn(move || {
+                            earlier.merge(later);
+                            earlier
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("merge worker panicked"))
+                    .collect()
+            })
+        } else {
+            pairs
+                .into_iter()
+                .map(|(mut earlier, later)| {
+                    earlier.merge(later);
+                    earlier
+                })
+                .collect()
+        };
+        merged.extend(leftover);
+        parts = merged;
     }
-    let chunk_len = records.len().div_ceil(threads);
+    parts.pop()
+}
+
+/// Chunk-parallel run: splits `records` into contiguous chunks (see
+/// [`plan_chunk_count`]), folds each on its own thread, tree-merges the
+/// partials in chunk order. Output is exactly equal to [`run_fold`] at
+/// every thread count.
+pub fn run_chunked<F>(seed: F, records: &[TraceRecord], threads: usize) -> F::Output
+where
+    F: TraceFold + Send,
+{
+    run_chunked_timed(seed, records, threads, &PhaseTimers::new())
+}
+
+/// [`run_chunked`] with phase accounting: chunk folds charge
+/// [`Phase::Fold`] (per worker, so the total is thread-seconds) and the
+/// merge reduction charges [`Phase::Merge`].
+pub fn run_chunked_timed<F>(
+    mut seed: F,
+    records: &[TraceRecord],
+    threads: usize,
+    timers: &PhaseTimers,
+) -> F::Output
+where
+    F: TraceFold + Send,
+{
+    let chunks = plan_chunk_count(records.len(), host_clamped(threads));
+    if chunks <= 1 {
+        let start = Instant::now();
+        let out = run_fold(seed, records);
+        timers.add(Phase::Fold, saturating_nanos(start));
+        return out;
+    }
+    let chunk_len = records.len().div_ceil(chunks);
     let partials: Vec<F> = std::thread::scope(|scope| {
         let handles: Vec<_> = records
             .chunks(chunk_len)
             .map(|chunk| {
                 let mut part = seed.new_partial();
                 scope.spawn(move || {
+                    let start = Instant::now();
                     for rec in chunk {
                         part.feed(rec);
                     }
+                    timers.add(Phase::Fold, saturating_nanos(start));
                     part
                 })
             })
@@ -116,9 +217,11 @@ where
             .map(|h| h.join().expect("fold worker panicked"))
             .collect()
     });
-    for part in partials {
-        seed.merge(part);
+    let start = Instant::now();
+    if let Some(merged) = tree_merge(partials) {
+        seed.merge(merged);
     }
+    timers.add(Phase::Merge, saturating_nanos(start));
     seed.finish()
 }
 
@@ -349,6 +452,16 @@ pub fn run_all_chunked(
     run_chunked(Battery::new(cfg), records, threads)
 }
 
+/// [`run_all_chunked`] with phase accounting (see [`run_chunked_timed`]).
+pub fn run_all_chunked_timed(
+    records: &[TraceRecord],
+    cfg: &EngineConfig,
+    threads: usize,
+    timers: &PhaseTimers,
+) -> EngineReport {
+    run_chunked_timed(Battery::new(cfg), records, threads, timers)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +565,56 @@ mod tests {
             bc.finish()
         };
         assert_eq!(serde_json::to_value(&left), serde_json::to_value(&right));
+    }
+
+    #[test]
+    fn chunk_planner_clamps_degenerate_splits() {
+        // Tiny traces never fan out, no matter how many threads are asked
+        // for — the old planner spawned 64 threads for 64 records.
+        assert_eq!(plan_chunk_count(0, 64), 1);
+        assert_eq!(plan_chunk_count(1, 64), 1);
+        assert_eq!(plan_chunk_count(MIN_CHUNK_RECORDS - 1, 64), 1);
+        assert_eq!(plan_chunk_count(MIN_CHUNK_RECORDS, 64), 1);
+        assert_eq!(plan_chunk_count(2 * MIN_CHUNK_RECORDS, 64), 2);
+        // Big traces are still capped at one chunk per thread.
+        assert_eq!(plan_chunk_count(100 * MIN_CHUNK_RECORDS, 4), 4);
+        assert_eq!(plan_chunk_count(100 * MIN_CHUNK_RECORDS, 1), 1);
+        assert_eq!(plan_chunk_count(100 * MIN_CHUNK_RECORDS, 0), 1);
+        // And the degenerate-split run still equals serial (the clamp must
+        // not change output, only the schedule).
+        let recs = mixed_records();
+        let cfg = EngineConfig::new(SimTime::from_hours(3), 3, 4);
+        let serial = serde_json::to_value(&run_all(&recs, &cfg));
+        for threads in [2, 64, 1024] {
+            assert_eq!(plan_chunk_count(recs.len(), threads), 1);
+            let got = serde_json::to_value(&run_all_chunked(&recs, &cfg, threads));
+            assert_eq!(got, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tree_merge_equals_left_fold_at_any_partial_count() {
+        let recs = mixed_records();
+        let cfg = EngineConfig::new(SimTime::from_hours(3), 3, 4);
+        let serial = serde_json::to_value(&run_all(&recs, &cfg));
+        for parts in [1usize, 2, 3, 5, 8, 13] {
+            let chunk_len = recs.len().div_ceil(parts);
+            let mut seed = Battery::new(&cfg);
+            let partials: Vec<Battery> = recs
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let mut p = seed.new_partial();
+                    chunk.iter().for_each(|r| p.feed(r));
+                    p
+                })
+                .collect();
+            if let Some(merged) = tree_merge(partials) {
+                seed.merge(merged);
+            }
+            let got = serde_json::to_value(&seed.finish());
+            assert_eq!(got, serial, "parts={parts}");
+        }
+        assert!(tree_merge(Vec::<Battery>::new()).is_none());
     }
 
     #[test]

@@ -122,26 +122,52 @@ impl TraceFold for MarkovFold {
         }
     }
 
-    fn merge(&mut self, later: Self) {
+    fn merge(&mut self, mut later: Self) {
         // The boundary transition: our last op per user flows into the later
-        // chunk's first op for the same user.
+        // chunk's first op for the same user. Measure while both sides are
+        // intact.
         for (user, first_op) in &later.first {
             if let Some(prev) = self.last.get(user).copied() {
                 self.count_edge(prev, *first_op);
             }
         }
-        for (key, c) in later.counts {
+        // The edge counters are additive, so accumulate into whichever map
+        // is larger — `finish` sorts, so map identity is invisible.
+        if later.counts.len() > self.counts.len() {
+            std::mem::swap(&mut self.counts, &mut later.counts);
+        }
+        for (key, c) in later.counts.drain() {
             *self.counts.entry(key).or_default() += c;
         }
-        for (op, c) in later.from_totals {
+        if later.from_totals.len() > self.from_totals.len() {
+            std::mem::swap(&mut self.from_totals, &mut later.from_totals);
+        }
+        for (op, c) in later.from_totals.drain() {
             *self.from_totals.entry(op).or_default() += c;
         }
         self.total += later.total;
-        for (user, op) in later.last {
-            self.last.insert(user, op);
+        // `last`: the later chunk wins; when the later map is the base,
+        // earlier entries only fill absent keys.
+        if later.last.len() > self.last.len() {
+            std::mem::swap(&mut self.last, &mut later.last);
+            for (user, op) in later.last.drain() {
+                self.last.entry(user).or_insert(op);
+            }
+        } else {
+            for (user, op) in later.last {
+                self.last.insert(user, op);
+            }
         }
-        for (user, op) in later.first {
-            self.first.entry(user).or_insert(op);
+        // `first`: the earlier chunk wins — the mirror image.
+        if later.first.len() > self.first.len() {
+            std::mem::swap(&mut self.first, &mut later.first);
+            for (user, op) in later.first.drain() {
+                self.first.insert(user, op);
+            }
+        } else {
+            for (user, op) in later.first {
+                self.first.entry(user).or_insert(op);
+            }
         }
     }
 

@@ -16,6 +16,16 @@ impl Ecdf {
         Self { sorted: samples }
     }
 
+    /// [`Ecdf::new`] for samples the caller has already sorted: takes
+    /// ownership without re-sorting (or cloning — several folds sort their
+    /// multiset buffer in `finish` and previously cloned it just to build
+    /// the Ecdf). Output is identical to `new` on the same samples.
+    pub fn from_sorted(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| x.is_finite());
+        debug_assert!(samples.windows(2).all(|w| w[0] <= w[1]));
+        Self { sorted: samples }
+    }
+
     pub fn len(&self) -> usize {
         self.sorted.len()
     }

@@ -237,24 +237,45 @@ impl TraceFold for UpdateFold {
         }
     }
 
-    fn merge(&mut self, later: Self) {
+    fn merge(&mut self, mut later: Self) {
         self.uploads += later.uploads;
         self.upload_bytes += later.upload_bytes;
         self.update_uploads += later.update_uploads;
         self.update_bytes += later.update_bytes;
-        for (node, (first, last)) in later.nodes {
-            match self.nodes.get_mut(&node) {
-                Some((_, my_last)) => {
-                    // The later chunk's first upload of this node follows
-                    // our last one: classify that boundary pair now.
-                    if *my_last != first {
-                        self.update_uploads += 1;
-                        self.update_bytes += first.1;
+        if later.nodes.len() > self.nodes.len() {
+            // Iterate the smaller (earlier) map into the later one. The
+            // boundary pair is still (earlier last → later first); the
+            // merged span keeps the earlier first and the later last.
+            std::mem::swap(&mut self.nodes, &mut later.nodes);
+            for (node, (first, last)) in later.nodes.drain() {
+                match self.nodes.get_mut(&node) {
+                    Some((their_first, _)) => {
+                        if last != *their_first {
+                            self.update_uploads += 1;
+                            self.update_bytes += their_first.1;
+                        }
+                        *their_first = first;
                     }
-                    *my_last = last;
+                    None => {
+                        self.nodes.insert(node, (first, last));
+                    }
                 }
-                None => {
-                    self.nodes.insert(node, (first, last));
+            }
+        } else {
+            for (node, (first, last)) in later.nodes {
+                match self.nodes.get_mut(&node) {
+                    Some((_, my_last)) => {
+                        // The later chunk's first upload of this node follows
+                        // our last one: classify that boundary pair now.
+                        if *my_last != first {
+                            self.update_uploads += 1;
+                            self.update_bytes += first.1;
+                        }
+                        *my_last = last;
+                    }
+                    None => {
+                        self.nodes.insert(node, (first, last));
+                    }
                 }
             }
         }
@@ -333,8 +354,17 @@ impl TraceFold for TaxonomyFold {
         }
     }
 
-    fn merge(&mut self, later: Self) {
-        self.node_cat.extend(later.node_cat);
+    fn merge(&mut self, mut later: Self) {
+        // Last writer wins. When the later (winning) map is larger, make it
+        // the base and let earlier entries only fill absent nodes.
+        if later.node_cat.len() > self.node_cat.len() {
+            std::mem::swap(&mut self.node_cat, &mut later.node_cat);
+            for (node, v) in later.node_cat.drain() {
+                self.node_cat.entry(node).or_insert(v);
+            }
+        } else {
+            self.node_cat.extend(later.node_cat);
+        }
     }
 
     fn finish(self) -> TaxonomyShares {
@@ -413,10 +443,22 @@ impl TraceFold for SizeByExtFold {
         }
     }
 
-    fn merge(&mut self, later: Self) {
-        self.all.extend(later.all);
-        for (ext, sizes) in later.per {
-            self.per.entry(ext).or_default().extend(sizes);
+    fn merge(&mut self, mut later: Self) {
+        // Multiset buffers: the ECDFs sort at finish, so append onto
+        // whichever side is larger instead of always copying `later`.
+        if later.all.len() > self.all.len() {
+            std::mem::swap(&mut self.all, &mut later.all);
+        }
+        self.all.append(&mut later.all);
+        if later.per.len() > self.per.len() {
+            std::mem::swap(&mut self.per, &mut later.per);
+        }
+        for (ext, mut sizes) in later.per.drain() {
+            let mine = self.per.entry(ext).or_default();
+            if sizes.len() > mine.len() {
+                std::mem::swap(mine, &mut sizes);
+            }
+            mine.append(&mut sizes);
         }
     }
 

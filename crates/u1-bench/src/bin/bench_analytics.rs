@@ -18,8 +18,11 @@ use serde_json::json;
 use std::hint::black_box;
 use std::time::Instant;
 use u1_analytics as ana;
-use u1_analytics::engine::{run_all, run_all_chunked, EngineConfig, EngineReport};
+use u1_analytics::engine::{
+    host_clamped, plan_chunk_count, run_all, run_all_chunked_timed, EngineConfig, EngineReport,
+};
 use u1_bench::Scenario;
+use u1_core::timing::{Phase, PhaseTimers};
 use u1_core::ApiOpKind;
 use u1_trace::logfile::LogDirReader;
 use u1_trace::{DirSink, TraceSink};
@@ -168,6 +171,19 @@ fn dir_bytes(dir: &std::path::Path) -> u64 {
 }
 
 fn main() {
+    // The 1-CPU-bench trap: thread-scaling numbers from a single-core host
+    // are meaningless. Record host parallelism FIRST and stamp the output.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|nz| nz.get())
+        .unwrap_or(1);
+    let scaling_valid = host_cpus >= 2;
+    if !scaling_valid {
+        eprintln!(
+            "[analytics] WARNING: host has {host_cpus} cpu(s) — thread-scaling \
+             columns are NOT meaningful (scaling_valid=false); run on a \
+             multi-core host to measure scaling"
+        );
+    }
     let scenario = u1_bench::scenario_from_env();
     let cfg = u1_bench::engine_config(&scenario);
     let records = &scenario.records;
@@ -203,23 +219,31 @@ fn main() {
         "streaming battery disagrees with the legacy per-analyzer battery"
     );
 
-    // Chunk-parallel scaling.
-    let mut scaling: Vec<(usize, f64)> = Vec::new();
+    // Chunk-parallel scaling, with per-phase accounting (fold thread-seconds
+    // vs merge seconds — merge is the serial tail the tree merge shrinks).
+    let mut scaling: Vec<(usize, f64, u64, u64)> = Vec::new();
     for &threads in &thread_counts {
+        let timers = PhaseTimers::new();
         let started = Instant::now();
-        let chunked = run_all_chunked(records, &cfg, threads);
+        let chunked = run_all_chunked_timed(records, &cfg, threads, &timers);
         let secs = started.elapsed().as_secs_f64();
         assert_eq!(
             Fingerprint::of(&chunked),
             streaming_fp,
             "chunk-parallel battery at {threads} threads disagrees with serial"
         );
+        let fold_nanos = timers.get(Phase::Fold);
+        let merge_nanos = timers.get(Phase::Merge);
         eprintln!(
-            "[analytics] chunked threads={threads}: {secs:.2}s ({:.0} records/s, {:.2}x vs serial)",
+            "[analytics] chunked threads={threads} (chunks={}): {secs:.2}s \
+             ({:.0} records/s, {:.2}x vs serial; fold {:.2}ts, merge {:.3}s)",
+            plan_chunk_count(n, host_clamped(threads)),
             n as f64 / secs,
-            streaming_secs / secs
+            streaming_secs / secs,
+            fold_nanos as f64 / 1e9,
+            merge_nanos as f64 / 1e9,
         );
-        scaling.push((threads, secs));
+        scaling.push((threads, secs, fold_nanos, merge_nanos));
     }
 
     // Logfile parse path: dump the trace as per-(machine, process, day)
@@ -241,9 +265,10 @@ fn main() {
     let (serial_records, serial_stats) = reader.read_all().expect("serial read");
     let parse_serial_secs = started.elapsed().as_secs_f64();
     let parse_threads = thread_counts.iter().copied().max().unwrap_or(1);
+    let parse_timers = PhaseTimers::new();
     let started = Instant::now();
     let (par_records, par_stats) = reader
-        .read_all_parallel(parse_threads)
+        .read_all_parallel_timed(parse_threads, &parse_timers)
         .expect("parallel read");
     let parse_parallel_secs = started.elapsed().as_secs_f64();
     assert_eq!(par_stats, serial_stats, "parallel parse stats differ");
@@ -260,23 +285,31 @@ fn main() {
         parse_serial_secs / parse_parallel_secs,
     );
 
-    let host_cpus = std::thread::available_parallelism()
-        .map(|nz| nz.get())
-        .unwrap_or(1);
     let speedup = legacy_secs / streaming_secs;
     let mut human = String::new();
     human.push_str(&format!(
-        "{} users x {} days (seed {:#x}), {} trace records, host cpus {host_cpus}\n",
+        "{} users x {} days (seed {:#x}), {} trace records\n",
         scenario.cfg.users, scenario.cfg.days, scenario.cfg.seed, n
+    ));
+    human.push_str(&format!(
+        "host cpus: {host_cpus} (scaling columns {})\n",
+        if scaling_valid {
+            "valid"
+        } else {
+            "NOT VALID — single-core host"
+        }
     ));
     human.push_str(&format!(
         "legacy battery     {legacy_passes:>3} passes  {legacy_secs:>7.2}s\n\
          streaming battery    1 pass    {streaming_secs:>7.2}s  {speedup:>5.2}x faster\n"
     ));
-    for &(threads, secs) in &scaling {
+    for &(threads, secs, fold_nanos, merge_nanos) in &scaling {
         human.push_str(&format!(
-            "chunked x{threads:<2}                      {secs:>7.2}s  {:>5.2}x vs serial streaming\n",
-            streaming_secs / secs
+            "chunked x{threads:<2}                      {secs:>7.2}s  {:>5.2}x vs serial streaming \
+             (fold {:.2}ts, merge {:.3}s)\n",
+            streaming_secs / secs,
+            fold_nanos as f64 / 1e9,
+            merge_nanos as f64 / 1e9,
         ));
     }
     human.push_str(&format!(
@@ -296,6 +329,7 @@ fn main() {
                 "attacks": scenario.cfg.attacks,
             },
             "host_cpus": host_cpus,
+            "scaling_valid": scaling_valid,
             "trace_records": n,
             "battery": {
                 "legacy_record_passes": legacy_passes,
@@ -308,11 +342,14 @@ fn main() {
             },
             "thread_scaling": scaling
                 .iter()
-                .map(|&(threads, secs)| json!({
+                .map(|&(threads, secs, fold_nanos, merge_nanos)| json!({
                     "threads": threads,
+                    "chunks": plan_chunk_count(n, host_clamped(threads)),
                     "wall_secs": secs,
                     "records_per_sec": n as f64 / secs,
                     "speedup_vs_serial_streaming": streaming_secs / secs,
+                    "fold_thread_nanos": fold_nanos,
+                    "merge_nanos": merge_nanos,
                 }))
                 .collect::<Vec<_>>(),
             "parse": {
@@ -328,6 +365,8 @@ fn main() {
                 "serial_mb_per_sec": trace_bytes as f64 / 1e6 / parse_serial_secs,
                 "parallel_speedup": parse_serial_secs / parse_parallel_secs,
                 "parallel_identical": true,
+                "parse_thread_nanos": parse_timers.get(Phase::Parse),
+                "sort_nanos": parse_timers.get(Phase::Sort),
             },
         }),
     );

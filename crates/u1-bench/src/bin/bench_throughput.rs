@@ -103,6 +103,20 @@ fn run_once(
 }
 
 fn main() {
+    // The 1-CPU-bench trap: speedup numbers from a single-core container are
+    // meaningless (every worker count degenerates to ~1.0x). Record the host
+    // parallelism FIRST and stamp every emitted row set with its validity.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scaling_valid = host_cpus >= 2;
+    if !scaling_valid {
+        eprintln!(
+            "[throughput] WARNING: host has {host_cpus} cpu(s) — speedup \
+             columns are NOT meaningful (scaling_valid=false); run on a \
+             multi-core host to measure scaling"
+        );
+    }
     let mut cfg = WorkloadConfig::paper_scaled();
     if let Ok(v) = std::env::var("U1_USERS") {
         cfg.users = v.parse().expect("U1_USERS must be an integer");
@@ -215,14 +229,33 @@ fn main() {
         "{} users x {} days (seed {:#x}), {} trace records, hash {}\n",
         cfg.users, cfg.days, cfg.seed, base.records, base.trace_hash
     ));
-    human.push_str("workers  mode        wall(s)   ops/s     speedup\n");
+    human.push_str(&format!(
+        "host cpus: {host_cpus} (scaling columns {})\n",
+        if scaling_valid {
+            "valid"
+        } else {
+            "NOT VALID — single-core host"
+        }
+    ));
+    human.push_str("workers  mode        wall(s)   ops/s     speedup   park%  flush%\n");
     let mut rows: Vec<serde_json::Value> = Vec::new();
     for r in runs.iter().chain([&unbuffered, &cached]) {
         let ops_per_sec = r.ops as f64 / r.wall_secs;
         let speedup = base.wall_secs / r.wall_secs;
+        // Phase accounting: thread-seconds per phase, measured inside the
+        // driver (see DESIGN.md §13). Park% and flush% are shares of worker
+        // thread time — the two overheads this benchmark exists to shrink.
+        let t = &*r.report.timing;
+        let worker_total = (t.worker_run_nanos + t.barrier_park_nanos + t.day_flush_nanos).max(1);
         human.push_str(&format!(
-            "{:>7}  {:<10}  {:>7.2}  {:>8.0}  {:>6.2}x\n",
-            r.workers, r.label, r.wall_secs, ops_per_sec, speedup
+            "{:>7}  {:<10}  {:>7.2}  {:>8.0}  {:>6.2}x  {:>5.1}  {:>6.1}\n",
+            r.workers,
+            r.label,
+            r.wall_secs,
+            ops_per_sec,
+            speedup,
+            100.0 * t.barrier_park_nanos as f64 / worker_total as f64,
+            100.0 * t.day_flush_nanos as f64 / worker_total as f64,
         ));
         rows.push(json!({
             "workers": r.workers,
@@ -231,15 +264,11 @@ fn main() {
             "ops": r.ops,
             "ops_per_sec": ops_per_sec,
             "speedup_vs_serial": speedup,
+            "phase_nanos": *t,
         }));
     }
-    // Speedup is bounded by the host: on a 1-core container every worker
-    // count degenerates to ~1.0x, so record what was available.
-    let host_cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     human.push_str(&format!(
-        "host cpus: {host_cpus}; token cache hit rate: {token_cache_hit_rate:.3}\n"
+        "token cache hit rate: {token_cache_hit_rate:.3}\n"
     ));
     if !fault.is_none() {
         let r = &base.report;
@@ -267,6 +296,7 @@ fn main() {
                 "faults": fault_spec,
             },
             "host_cpus": host_cpus,
+            "scaling_valid": scaling_valid,
             "trace_records": base.records,
             "trace_hash": base.trace_hash,
             "deterministic_across_worker_counts": deterministic,

@@ -25,6 +25,7 @@ pub mod rngx;
 pub mod sha1;
 pub mod size;
 pub mod taxonomy;
+pub mod timing;
 
 pub use clock::{Clock, RealClock, SimClock, SimDuration, SimTime};
 pub use error::{CoreError, CoreResult};
@@ -39,3 +40,4 @@ pub use partition::PartitionCtx;
 pub use sha1::Sha1;
 pub use size::{ByteSize, SizeCategory};
 pub use taxonomy::FileCategory;
+pub use timing::{CachePadded, Measured, Phase, PhaseNanos, PhaseTimers};

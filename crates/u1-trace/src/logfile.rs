@@ -6,19 +6,36 @@
 //! ~1% of lines may fail to parse and are skipped (and counted).
 //!
 //! The read path is allocation-light: lines are read into one reused buffer
-//! per file (no per-line `String`), each file yields its own [`ParseStats`]
+//! per task (no per-line `String`), each file yields its own [`ParseStats`]
 //! so the parallel reader can sum them, and [`LogDirReader::read_all_parallel`]
-//! parses one file per task and merges — producing output byte-identical to
-//! the serial [`LogDirReader::read_all`].
+//! splits files into *byte ranges aligned to line boundaries* (pread-style:
+//! each task seeks into its own handle — one big file no longer serializes
+//! the whole read on one task) and merges per-range output in `(file, range)`
+//! order — producing output byte-identical to the serial
+//! [`LogDirReader::read_all`].
+//!
+//! Range-split convention: a range `[start, end)` owns every line whose
+//! *first byte* lies in the range. A task with `start > 0` seeks to
+//! `start - 1` and discards through the first `\n` (that line's first byte
+//! is owned by an earlier range), and the last line of a range may extend
+//! past `end` (later ranges skip it by the same rule). Every line is
+//! therefore parsed exactly once no matter where the split points land —
+//! mid-line, on a boundary, or past EOF.
 
 use crate::csvline;
 use crate::event::TraceRecord;
 use std::fs;
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use u1_core::timing::{saturating_nanos, Phase, PhaseTimers};
 use u1_core::{MachineId, ProcessId};
+
+/// Floor on planned range size: below this, per-task overhead (open, seek,
+/// partial-line skip) beats the parallelism. Small files still parse as a
+/// single range each.
+const MIN_RANGE_BYTES: u64 = 256 * 1024;
 
 /// Builds the logfile name for a (machine, process, day) triple, e.g.
 /// `production-whitecurrant-23-day05.csv` — same structure as the paper's
@@ -124,6 +141,134 @@ pub fn read_logfile(
     Ok((records, stats))
 }
 
+/// Parses the byte range `[start, end)` of one logfile: every line whose
+/// first byte lies in the range, following the module-level split
+/// convention. Returns records plus stats with `files == 0` — the caller
+/// attributes the file once (on the range with `start == 0`), so summing
+/// range stats in order reproduces the serial per-file [`ParseStats`]
+/// exactly.
+pub fn read_logfile_range(
+    path: &Path,
+    machine: MachineId,
+    process: ProcessId,
+    start: u64,
+    end: u64,
+) -> std::io::Result<(Vec<TraceRecord>, ParseStats)> {
+    let mut stats = ParseStats::default();
+    let mut records = Vec::new();
+    let file = fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut pos = if start == 0 {
+        0
+    } else {
+        // Seek one byte early and discard through the first newline: if
+        // `start - 1` is a `\n`, this consumes exactly that byte and leaves
+        // us at `start` (a line boundary); otherwise it consumes the tail
+        // of a line owned by an earlier range. Byte-wise (`read_until`) so
+        // a seek into the middle of a line can never split a code point.
+        reader.seek(SeekFrom::Start(start - 1))?;
+        let mut skip = Vec::new();
+        let n = reader.read_until(b'\n', &mut skip)?;
+        start - 1 + n as u64
+    };
+    let mut buf = String::with_capacity(256);
+    // `pos` is the first byte of the next line; the line belongs to this
+    // range iff `pos < end`. Reading its body may run past `end`.
+    while pos < end {
+        buf.clear();
+        let n = reader.read_line(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        pos += n as u64;
+        let line = buf.trim_end_matches(['\n', '\r']);
+        if line.is_empty() {
+            continue;
+        }
+        stats.lines += 1;
+        match csvline::from_line(line, machine, process) {
+            Ok(rec) => {
+                stats.parsed += 1;
+                records.push(rec);
+            }
+            Err(_) => stats.malformed += 1,
+        }
+    }
+    Ok((records, stats))
+}
+
+/// Parses one logfile serially but through the range reader, splitting at
+/// the given byte offsets (unsorted, duplicate, mid-line, or past-EOF
+/// offsets are all fine). A verification helper: output must be identical
+/// to [`read_logfile`] for *any* split set, which is what the differential
+/// tests assert with adversarial offsets.
+pub fn read_logfile_at_splits(
+    path: &Path,
+    machine: MachineId,
+    process: ProcessId,
+    splits: &[u64],
+) -> std::io::Result<(Vec<TraceRecord>, ParseStats)> {
+    let len = fs::metadata(path)?.len();
+    let mut points: Vec<u64> = splits.iter().map(|&s| s.min(len)).collect();
+    points.push(0);
+    points.push(len);
+    points.sort_unstable();
+    points.dedup();
+    let mut records = Vec::new();
+    let mut stats = ParseStats {
+        files: 1,
+        ..ParseStats::default()
+    };
+    for w in points.windows(2) {
+        let (recs, range_stats) = read_logfile_range(path, machine, process, w[0], w[1])?;
+        stats.absorb(&range_stats);
+        records.extend(recs);
+    }
+    Ok((records, stats))
+}
+
+/// One planned parse task: the byte range `[start, end)` of file index
+/// `file`. `first` marks the range that attributes the file itself (stats
+/// `files` count) so per-file stats stay identical to serial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RangeTask {
+    file: usize,
+    first: bool,
+    start: u64,
+    end: u64,
+}
+
+/// Plans line-boundary-agnostic byte ranges over the files: roughly
+/// `threads * 4` equal-size tasks across the total byte count (for load
+/// balance under the work-stealing cursor), floored at [`MIN_RANGE_BYTES`],
+/// each file split independently. Empty files yield one empty range so
+/// they are still counted.
+fn plan_ranges(sizes: &[u64], threads: usize) -> Vec<RangeTask> {
+    let total: u64 = sizes.iter().sum();
+    let target_tasks = (threads * 4).max(1) as u64;
+    let bytes_per_task = (total / target_tasks).max(MIN_RANGE_BYTES);
+    let mut tasks = Vec::new();
+    for (file, &len) in sizes.iter().enumerate() {
+        let ranges = (len / bytes_per_task).max(1);
+        let chunk = len.div_ceil(ranges).max(1);
+        let mut start = 0u64;
+        loop {
+            let end = (start + chunk).min(len);
+            tasks.push(RangeTask {
+                file,
+                first: start == 0,
+                start,
+                end,
+            });
+            if end >= len {
+                break;
+            }
+            start = end;
+        }
+    }
+    tasks
+}
+
 /// A parsed logfile path with the origin encoded in its name.
 type LogfileEntry = (PathBuf, MachineId, ProcessId);
 
@@ -182,35 +327,69 @@ impl LogDirReader {
         Ok((records, stats))
     }
 
-    /// [`Self::read_all`] with one parse task per logfile, fanned out over
-    /// `threads` workers. Per-file record vectors are concatenated in the
-    /// same path-sorted order as the serial reader and stable-sorted by
-    /// timestamp, so the output — records and stats — is identical to
-    /// `read_all` at every thread count.
+    /// [`Self::read_all`] parallelized over line-aligned byte ranges (see
+    /// the module docs for the split convention): every file is split into
+    /// ~equal byte ranges, tasks are claimed off an atomic cursor, and each
+    /// task seeks its own file handle — so one large file parallelizes
+    /// instead of serializing on a single per-file task. Per-range output
+    /// is concatenated in `(file, range)` order — the exact byte order of
+    /// the serial reader — and stable-sorted by timestamp, so records *and*
+    /// per-file stats are identical to `read_all` at every thread count.
     pub fn read_all_parallel(
         &self,
         threads: usize,
     ) -> std::io::Result<(Vec<TraceRecord>, ParseStats)> {
+        self.read_all_parallel_timed(threads, &PhaseTimers::new())
+    }
+
+    /// [`Self::read_all_parallel`], charging parse thread-time to
+    /// [`Phase::Parse`] and the final merge sort to [`Phase::Sort`] on the
+    /// given timer bank (how the bench JSONs get their per-phase blocks).
+    pub fn read_all_parallel_timed(
+        &self,
+        threads: usize,
+        timers: &PhaseTimers,
+    ) -> std::io::Result<(Vec<TraceRecord>, ParseStats)> {
         let (files, skipped_files) = self.logfiles()?;
-        let threads = threads.max(1).min(files.len().max(1));
-        if threads <= 1 {
+        let threads = threads.max(1);
+        if threads <= 1 || files.is_empty() {
             return self.read_all();
         }
-        type FileResult = std::io::Result<(Vec<TraceRecord>, ParseStats)>;
-        let slots: Mutex<Vec<Option<FileResult>>> =
-            Mutex::new((0..files.len()).map(|_| None).collect());
+        let sizes = files
+            .iter()
+            .map(|(path, _, _)| fs::metadata(path).map(|m| m.len()))
+            .collect::<std::io::Result<Vec<u64>>>()?;
+        let tasks = plan_ranges(&sizes, threads);
+        type TaskResult = std::io::Result<(Vec<TraceRecord>, ParseStats)>;
+        let slots: Mutex<Vec<Option<TaskResult>>> =
+            Mutex::new((0..tasks.len()).map(|_| None).collect());
         let next = AtomicUsize::new(0);
+        // Tasks are planned for the REQUESTED thread count (so granularity
+        // and the range/merge logic are identical on every host), but the
+        // worker pool is capped at the host's cores: extra OS threads just
+        // time-slice the same cores over disjoint buffers. Pure scheduling —
+        // tasks drain off the cursor, output is position-indexed.
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = threads.min(tasks.len()).min(cpus.max(1));
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((path, machine, process)) = files.get(i) else {
-                        break;
-                    };
-                    let result = read_logfile(path, *machine, *process);
-                    if let Ok(mut slots) = slots.lock() {
-                        slots[i] = Some(result);
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let t0 = std::time::Instant::now();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else {
+                            break;
+                        };
+                        let (path, machine, process) = &files[task.file];
+                        let result =
+                            read_logfile_range(path, *machine, *process, task.start, task.end);
+                        if let Ok(mut slots) = slots.lock() {
+                            slots[i] = Some(result);
+                        }
                     }
+                    timers.add(Phase::Parse, saturating_nanos(t0));
                 });
             }
         });
@@ -218,17 +397,22 @@ impl LogDirReader {
             skipped_files,
             ..ParseStats::default()
         };
-        let mut records = Vec::new();
         let slots = slots
             .into_inner()
             .map_err(|_| std::io::Error::other("parse worker panicked"))?;
-        for slot in slots {
-            let (recs, file_stats) =
+        let mut records = Vec::new();
+        for (task, slot) in tasks.iter().zip(slots) {
+            let (recs, mut range_stats) =
                 slot.ok_or_else(|| std::io::Error::other("parse task missing"))??;
-            stats.absorb(&file_stats);
+            if task.first {
+                range_stats.files = 1;
+            }
+            stats.absorb(&range_stats);
             records.extend(recs);
         }
+        let t_sort = std::time::Instant::now();
         records.sort_by_key(|r| r.t);
+        timers.add(Phase::Sort, saturating_nanos(t_sort));
         Ok((records, stats))
     }
 }
@@ -337,5 +521,110 @@ mod tests {
             assert_eq!(par, serial, "records differ at {threads} threads");
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite for the byte-range reader: adversarial split points — mid
+    /// line, every line boundary, past EOF, degenerate zero-width — must
+    /// reproduce the serial per-file records and [`ParseStats`] exactly,
+    /// including on an empty file and a file whose final line has no
+    /// trailing newline.
+    #[test]
+    fn range_reader_survives_adversarial_split_points() {
+        let dir = std::env::temp_dir().join(format!("u1-logdir-split-test-{}", std::process::id()));
+        let _ = write_corrupted_dir(&dir);
+        // Adversarial additions: an empty (but valid-named) logfile and a
+        // file whose final line lacks the trailing newline.
+        let empty = dir.join("production-whitecurrant-7-day00.csv");
+        fs::write(&empty, b"").unwrap();
+        let target = dir.join("production-whitecurrant-1-day00.csv");
+        let mut bytes = fs::read(&target).unwrap_or_default();
+        if bytes.last() == Some(&b'\n') {
+            bytes.pop();
+            fs::write(&target, &bytes).unwrap();
+        }
+
+        let (files, _) = LogDirReader::new(&dir).logfiles().unwrap();
+        assert!(files.iter().any(|(p, _, _)| p == &empty));
+        for (path, machine, process) in &files {
+            let (serial, serial_stats) = read_logfile(path, *machine, *process).unwrap();
+            let len = fs::metadata(path).unwrap().len();
+            let splits: Vec<Vec<u64>> = vec![
+                vec![],                              // no split at all
+                vec![0, len, len + 10_000],          // boundaries + past EOF
+                vec![1],                             // mid first line
+                vec![len / 2],                       // mid file
+                vec![len.saturating_sub(1)],         // inside the final line
+                (0..len).step_by(7).collect(),       // dense, mostly mid-line
+                (0..=len).collect(),                 // every byte a split
+                vec![len / 3, len / 3, 2 * len / 3], // duplicates
+            ];
+            for split in &splits {
+                let (recs, stats) =
+                    read_logfile_at_splits(path, *machine, *process, split).unwrap();
+                assert_eq!(
+                    stats, serial_stats,
+                    "per-file stats differ at splits {split:?} for {path:?}"
+                );
+                assert_eq!(
+                    recs, serial,
+                    "records differ at splits {split:?} for {path:?}"
+                );
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The directory-level byte-range reader at thread counts 1/2/4/8 on a
+    /// directory containing an empty file and a no-trailing-newline file:
+    /// records and stats byte-identical to serial, and the planner actually
+    /// splits a large file into multiple ranges.
+    #[test]
+    fn byte_range_parallel_read_matches_serial_with_edge_files() {
+        let dir = std::env::temp_dir().join(format!("u1-logdir-range-test-{}", std::process::id()));
+        let _ = write_corrupted_dir(&dir);
+        fs::write(dir.join("production-whitecurrant-7-day00.csv"), b"").unwrap();
+        let target = dir.join("production-whitecurrant-1-day00.csv");
+        let mut bytes = fs::read(&target).unwrap_or_default();
+        if bytes.last() == Some(&b'\n') {
+            bytes.pop();
+            fs::write(&target, &bytes).unwrap();
+        }
+
+        let reader = LogDirReader::new(&dir);
+        let (serial, serial_stats) = reader.read_all().unwrap();
+        for threads in [1, 2, 4, 8] {
+            let (par, par_stats) = reader.read_all_parallel(threads).unwrap();
+            assert_eq!(par_stats, serial_stats, "stats differ at {threads} threads");
+            assert_eq!(par, serial, "records differ at {threads} threads");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The range planner: every byte covered exactly once, per-file `first`
+    /// flags, empty files kept, large files split.
+    #[test]
+    fn range_planner_covers_every_byte_exactly_once() {
+        let sizes = [3 * MIN_RANGE_BYTES + 17, 0, 1, MIN_RANGE_BYTES];
+        let tasks = plan_ranges(&sizes, 4);
+        for (file, &len) in sizes.iter().enumerate() {
+            let mine: Vec<&RangeTask> = tasks.iter().filter(|t| t.file == file).collect();
+            assert!(!mine.is_empty(), "file {file} lost");
+            assert!(mine[0].first && mine[0].start == 0);
+            assert!(mine[1..].iter().all(|t| !t.first));
+            assert_eq!(mine.last().unwrap().end, len);
+            for w in mine.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap/overlap in file {file}");
+            }
+        }
+        // The big file actually split; the empty file still has one task.
+        assert!(tasks.iter().filter(|t| t.file == 0).count() > 1);
+        assert_eq!(
+            tasks
+                .iter()
+                .filter(|t| t.file == 1)
+                .map(|t| (t.start, t.end))
+                .collect::<Vec<_>>(),
+            vec![(0, 0)]
+        );
     }
 }

@@ -11,12 +11,20 @@ use std::fs::{self, File};
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use u1_core::{MachineId, ProcessId, SimTime};
+use u1_core::{CachePadded, MachineId, ProcessId, SimTime};
 
 /// Stripe count used by the lock-sharded sinks below. Origins (driver
 /// partitions) and (machine, process) pairs are spread across this many
 /// independent locks so concurrent emitters rarely contend.
-const STRIPES: usize = 16;
+///
+/// Origin-keyed sinks ([`MemorySink`], [`BufferedSink`]) stripe by
+/// `origin % STRIPES`; origins are small dense integers (one per metastore
+/// shard plus the coordinator — 11 by default), so 32 stripes is a perfect
+/// collision-free partition up to 32 driver partitions. Each stripe lock is
+/// additionally padded to its own cache line: a `parking_lot` mutex plus a
+/// `Vec` header is well under 64 bytes, so unpadded neighbours would
+/// false-share a line between workers even when their locks never collide.
+const STRIPES: usize = 32;
 
 /// Records buffered per origin before [`BufferedSink`] pushes a batch to its
 /// inner sink on its own (callers still flush explicitly at day boundaries).
@@ -58,6 +66,17 @@ pub trait TraceSink: Send + Sync {
     /// Flushes buffered output (no-op for memory sinks).
     fn flush(&self) {}
 
+    /// Flushes buffering specific to one origin (driver partition), leaving
+    /// other origins' buffers untouched. The default is a no-op: sinks
+    /// without per-origin buffering have already delivered everything.
+    /// [`BufferedSink`] overrides this so each driver worker can drain its
+    /// own partitions' day buffers in parallel *before* parking at the day
+    /// barrier, instead of the coordinator draining every origin serially
+    /// while all workers wait.
+    fn flush_origin(&self, origin: u32) {
+        let _ = origin;
+    }
+
     /// Number of I/O errors this sink has swallowed while running degraded
     /// (0 for in-memory sinks, which cannot fail). Surfaced so run reports
     /// can account for dropped trace output instead of hiding it — see
@@ -84,6 +103,9 @@ impl<S: TraceSink + ?Sized> TraceSink for std::sync::Arc<S> {
     }
     fn flush(&self) {
         (**self).flush();
+    }
+    fn flush_origin(&self, origin: u32) {
+        (**self).flush_origin(origin);
     }
     fn io_errors(&self) -> u64 {
         (**self).io_errors()
@@ -117,20 +139,28 @@ type OriginRuns = Vec<(u32, Vec<TraceRecord>)>;
 /// globally sorting millions of records.
 #[derive(Debug)]
 pub struct MemorySink {
-    stripes: Vec<Mutex<OriginRuns>>,
+    stripes: Vec<CachePadded<Mutex<OriginRuns>>>,
 }
 
 impl Default for MemorySink {
     fn default() -> Self {
-        Self {
-            stripes: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
-        }
+        Self::with_stripes(STRIPES)
     }
 }
 
 impl MemorySink {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A sink with a custom stripe count (collision-free as long as
+    /// `stripes` is at least the number of distinct origins).
+    pub fn with_stripes(stripes: usize) -> Self {
+        Self {
+            stripes: (0..stripes.max(1))
+                .map(|_| CachePadded::new(Mutex::new(Vec::new())))
+                .collect(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -271,14 +301,22 @@ fn merge_runs(runs: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
 /// trace — only the interleaving of already-concurrent origins.
 pub struct BufferedSink<S: TraceSink> {
     inner: S,
-    stripes: Vec<Mutex<OriginRuns>>,
+    stripes: Vec<CachePadded<Mutex<OriginRuns>>>,
 }
 
 impl<S: TraceSink> BufferedSink<S> {
     pub fn new(inner: S) -> Self {
+        Self::with_stripes(inner, STRIPES)
+    }
+
+    /// A buffer with a custom stripe count (collision-free as long as
+    /// `stripes` is at least the number of distinct origins).
+    pub fn with_stripes(inner: S, stripes: usize) -> Self {
         Self {
             inner,
-            stripes: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+            stripes: (0..stripes.max(1))
+                .map(|_| CachePadded::new(Mutex::new(Vec::new())))
+                .collect(),
         }
     }
 
@@ -325,6 +363,24 @@ impl<S: TraceSink> TraceSink for BufferedSink<S> {
         self.inner.flush();
     }
 
+    fn flush_origin(&self, origin: u32) {
+        // Take only this origin's run out of its stripe; deliver outside the
+        // stripe lock. The inner sink is NOT flushed: flush_origin is the
+        // hot per-day path (memory delivery), while I/O flushing stays with
+        // the run-final full flush().
+        let stripe = origin as usize % self.stripes.len();
+        let run = {
+            let mut runs = self.stripes[stripe].lock();
+            let slot = MemorySink::run_slot(&mut runs, origin);
+            if slot.is_empty() {
+                return;
+            }
+            std::mem::take(slot)
+        };
+        let mut run = run;
+        self.inner.record_run(origin, &mut run);
+    }
+
     fn io_errors(&self) -> u64 {
         self.inner.io_errors()
     }
@@ -356,10 +412,16 @@ thread_local! {
 /// (process, day)'s records, counting the failure in
 /// [`DirSink::io_errors`] and keeping the first error message in
 /// [`DirSink::first_io_error`].
+/// One [`DirSink`] stripe: the day-rotated writers of the (machine,
+/// process) pairs hashing to it, padded to a cache line.
+type WriterStripe = CachePadded<Mutex<HashMap<(MachineId, ProcessId), DayWriter>>>;
+
 pub struct DirSink {
     dir: PathBuf,
-    stripes: Vec<Mutex<HashMap<(MachineId, ProcessId), DayWriter>>>,
-    io_errors: AtomicU64,
+    stripes: Vec<WriterStripe>,
+    // Padded: this counter sits next to the stripe array and is bumped on
+    // the degraded path while other threads stream through their stripes.
+    io_errors: CachePadded<AtomicU64>,
     first_error: Mutex<Option<String>>,
 }
 
@@ -370,8 +432,10 @@ impl DirSink {
         fs::create_dir_all(&dir)?;
         Ok(Self {
             dir,
-            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
-            io_errors: AtomicU64::new(0),
+            stripes: (0..STRIPES)
+                .map(|_| CachePadded::new(Mutex::new(HashMap::new())))
+                .collect(),
+            io_errors: CachePadded::new(AtomicU64::new(0)),
             first_error: Mutex::new(None),
         })
     }
@@ -393,10 +457,14 @@ impl DirSink {
     }
 
     fn stripe_of(machine: MachineId, process: ProcessId) -> usize {
-        (machine.raw() as usize)
-            .wrapping_mul(31)
-            .wrapping_add(process.raw() as usize)
-            % STRIPES
+        // Fibonacci-hash the (machine, process) pair and take high bits:
+        // the old `machine*31 + process % STRIPES` folded the paper's small
+        // dense machine/process ids onto a handful of stripes (collisions
+        // between concurrent processes serialize their writers). The
+        // multiplicative mix spreads dense ids uniformly.
+        let key = ((machine.raw() as u64) << 32) | process.raw() as u64;
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (mixed >> 58) as usize % STRIPES
     }
 
     fn open(&self, machine: MachineId, process: ProcessId, day: u64) -> Option<BufWriter<File>> {
@@ -539,13 +607,13 @@ mod tests {
     #[test]
     fn memory_sink_merges_origin_runs_into_canonical_order() {
         let sink = MemorySink::new();
-        // Three origins, interleaved timestamps; origin 17 shares stripe 1
+        // Three origins, interleaved timestamps; origin 33 shares stripe 1
         // with origin 1, exercising the per-stripe multi-run path.
         for (t, origin, seq) in [
             (5u64, 1u32, 0u64),
             (9, 1, 1),
-            (9, 17, 0),
-            (12, 17, 1),
+            (9, 33, 0),
+            (12, 33, 1),
             (3, 2, 0),
             (9, 2, 1),
         ] {
@@ -572,6 +640,34 @@ mod tests {
         assert!(inner.is_empty(), "nothing reaches inner before flush");
         buffered.flush();
         assert_eq!(inner.len(), 100);
+    }
+
+    #[test]
+    fn buffered_sink_flush_origin_drains_only_that_origin() {
+        let inner = std::sync::Arc::new(MemorySink::new());
+        let buffered = BufferedSink::new(std::sync::Arc::clone(&inner));
+        for i in 0..30u64 {
+            buffered.record(rec_origin(i, (i % 3) as u32, i));
+        }
+        buffered.flush_origin(1);
+        assert_eq!(inner.len(), 10, "only origin 1's run is delivered");
+        assert!(inner
+            .take_sorted()
+            .iter()
+            .all(|r| r.origin == 1 && r.seq % 3 == 1));
+        // Re-flushing a drained origin is a no-op; the full flush delivers
+        // the rest.
+        buffered.flush_origin(1);
+        assert!(inner.is_empty());
+        buffered.flush();
+        assert_eq!(inner.len(), 20);
+        // Same through an `Arc<dyn TraceSink>` (how the driver holds it).
+        let shared: std::sync::Arc<dyn TraceSink> =
+            std::sync::Arc::new(BufferedSink::new(std::sync::Arc::clone(&inner)));
+        let _ = inner.take_sorted();
+        shared.record(rec_origin(1, 7, 0));
+        shared.flush_origin(7);
+        assert_eq!(inner.len(), 1);
     }
 
     #[test]

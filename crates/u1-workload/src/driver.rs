@@ -20,14 +20,22 @@
 //! pure function of the seed and the partition, never of thread
 //! interleaving.
 //!
-//! Partitions are packed round-robin onto `cfg.workers` OS threads and run
-//! a day of virtual time at a time. At each day boundary the workers park
+//! Partitions are packed onto `cfg.workers` OS threads by *measured* load:
+//! day 0 uses client counts as the proxy, and every later day re-packs the
+//! shards LPT-style (heaviest first onto the least-loaded worker) using the
+//! event counts each shard actually processed the previous day. Workers run
+//! a day of virtual time at a time, drain their own partitions' buffered
+//! trace runs ([`Backend::flush_trace_origin`]) *before* parking, then park
 //! on a barrier while the coordinator runs its own events for the day and
 //! seals the content-index epoch ([`Backend::seal_content_epoch`]), making
 //! the day's cross-partition dedup state globally visible. Because no
-//! mutable state is keyed by thread or by global arrival order, the report
-//! and the canonically-sorted trace are identical for every worker count —
-//! `workers` is purely a wall-clock knob.
+//! mutable state is keyed by thread or by global arrival order — packing
+//! and flush scheduling only move *when* work happens on the wall clock,
+//! never *what* the simulation computes — the report and the
+//! canonically-sorted trace are identical for every worker count:
+//! `workers` is purely a wall-clock knob. Where the wall-clock goes is
+//! accounted per phase ([`u1_core::timing`]) and surfaced in
+//! [`DriverReport::timing`].
 
 use crate::attack::AttackScript;
 use crate::files::{FileModel, FileSpec};
@@ -43,6 +51,7 @@ use u1_auth::Token;
 use u1_blobstore::PART_SIZE;
 use u1_core::fault::{self, CircuitBreaker, FaultInjector, RetryPolicy};
 use u1_core::partition::PartitionCtx;
+use u1_core::timing::{saturating_nanos, Measured, Phase, PhaseNanos, PhaseTimers};
 use u1_core::{
     rngx, ApiOpKind, ContentHash, CoreError, CoreResult, NodeKind, SessionId, SimDuration, SimTime,
     UploadId, UserId, VolumeId,
@@ -156,6 +165,13 @@ pub struct DriverReport {
     /// Degraded-mode I/O errors swallowed by the trace sink (`DirSink`
     /// keeps running after a failed open/write; this surfaces the count).
     pub trace_io_errors: u64,
+    /// Per-phase wall-clock accounting for the run (worker run / barrier
+    /// park / day flush / seal / coordinator thread-nanos). Wrapped in
+    /// [`Measured`] so it is invisible to `PartialEq`: two runs with the
+    /// same seed produce equal reports but different timings, and the
+    /// determinism asserts (golden literal, worker-count invariance) must
+    /// keep holding. `absorb` skips it.
+    pub timing: Measured<PhaseNanos>,
 }
 
 impl DriverReport {
@@ -295,20 +311,23 @@ fn pick_volume(c: &mut ClientState) -> VolumeId {
     }
 }
 
-fn pick_parent(c: &mut ClientState, vol: VolumeId) -> Option<u1_core::NodeId> {
+/// `scratch` is per-partition scratch reused across calls (and across days)
+/// so the hot op path does not allocate a fresh directory list per draw.
+/// The RNG draw sequence is identical to the old allocating version.
+fn pick_parent(
+    c: &mut ClientState,
+    vol: VolumeId,
+    scratch: &mut Vec<u1_core::NodeId>,
+) -> Option<u1_core::NodeId> {
     if c.rng.gen_range(0.0..1.0) < 0.5 {
         return None;
     }
-    let dirs: Vec<u1_core::NodeId> = c
-        .dirs
-        .iter()
-        .filter(|d| d.volume == vol)
-        .map(|d| d.node)
-        .collect();
-    if dirs.is_empty() {
+    scratch.clear();
+    scratch.extend(c.dirs.iter().filter(|d| d.volume == vol).map(|d| d.node));
+    if scratch.is_empty() {
         None
     } else {
-        Some(dirs[c.rng.gen_range(0..dirs.len())])
+        Some(scratch[c.rng.gen_range(0..scratch.len())])
     }
 }
 
@@ -391,6 +410,12 @@ struct ShardSim {
     /// One breaker per partition — a partition *is* one metastore shard,
     /// which is exactly the failure domain the outage windows cover.
     breaker: CircuitBreaker,
+    /// Events processed since the start of the run. The day loop reads the
+    /// per-day delta to re-pack shards onto workers by measured load (a
+    /// wall-clock-only decision: the count never feeds back into events).
+    events_processed: u64,
+    /// Reusable scratch for [`pick_parent`]'s directory candidate list.
+    dir_scratch: Vec<u1_core::NodeId>,
 }
 
 impl ShardSim {
@@ -412,6 +437,7 @@ impl ShardSim {
             };
             self.ctx.set_time(ev.t);
             fault::clear_tags();
+            self.events_processed += 1;
             match ev.kind {
                 EventKind::SessionStart(u) => self.on_session_start(u as usize, ev.t),
                 EventKind::Op(u) => self.on_op(u as usize, ev.t),
@@ -1018,7 +1044,7 @@ impl ShardSim {
             self.clients[u].tiny_budget = self.clients[u].tiny_budget.saturating_sub(1);
         }
         let vol = pick_volume(&mut self.clients[u]);
-        let parent = pick_parent(&mut self.clients[u], vol);
+        let parent = pick_parent(&mut self.clients[u], vol, &mut self.dir_scratch);
         let Ok(node) = self.retry(|b| b.make_node(sid, vol, parent, NodeKind::File, &spec.name))
         else {
             return false;
@@ -1106,7 +1132,7 @@ impl ShardSim {
     fn op_make_file(&mut self, u: usize, sid: SessionId, _t: SimTime) -> bool {
         let spec = self.files.new_file(&mut self.clients[u].rng);
         let vol = pick_volume(&mut self.clients[u]);
-        let parent = pick_parent(&mut self.clients[u], vol);
+        let parent = pick_parent(&mut self.clients[u], vol, &mut self.dir_scratch);
         match self.retry(|b| b.make_node(sid, vol, parent, NodeKind::File, &spec.name)) {
             Ok(node) => {
                 self.clients[u].pending_upload =
@@ -1187,7 +1213,7 @@ impl ShardSim {
             let f = &c.files[idx];
             (idx, f.volume, f.node, format!("r{counter}_{}", f.name))
         };
-        let new_parent = pick_parent(&mut self.clients[u], vol);
+        let new_parent = pick_parent(&mut self.clients[u], vol, &mut self.dir_scratch);
         match self.retry(|b| b.move_node(sid, vol, node, new_parent, &new_name)) {
             Ok(_) => {
                 self.clients[u].files[idx].name = new_name;
@@ -1449,6 +1475,32 @@ impl CoordinatorSim {
     }
 }
 
+/// Packs `weights.len()` shards onto `workers` bins, heaviest-first onto
+/// the currently lightest bin (LPT / greedy makespan). Deterministic: ties
+/// break toward the lower shard index and the lower bin index. Packing is
+/// a pure wall-clock decision — every shard still runs exactly its own
+/// events, so results are packing-invariant.
+fn pack_lpt(weights: &[u64], workers: usize) -> Vec<Vec<usize>> {
+    let workers = workers.max(1);
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (Reverse(weights[i]), i));
+    let mut loads = vec![0u64; workers];
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for i in order {
+        let mut best = 0;
+        for (w, &load) in loads.iter().enumerate() {
+            if load < loads[best] {
+                best = w;
+            }
+        }
+        // A zero-weight shard still costs a lock + queue peek; floor at 1
+        // so empty shards spread instead of piling onto one bin.
+        loads[best] += weights[i].max(1);
+        bins[best].push(i);
+    }
+    bins
+}
+
 /// The driver itself.
 pub struct Driver {
     cfg: WorkloadConfig,
@@ -1487,6 +1539,8 @@ impl Driver {
                 faults: Arc::clone(&faults),
                 retry_policy,
                 breaker: CircuitBreaker::driver_default(),
+                events_processed: 0,
+                dir_scratch: Vec::new(),
             })
             .collect();
         let coordinator = CoordinatorSim {
@@ -1623,90 +1677,130 @@ impl Driver {
             0 => shard_count.max(1),
             w => w.min(shard_count).max(1),
         };
-        // Pack the partitions round-robin onto the worker threads. The
-        // packing has no effect on results — only on wall-clock time.
-        let mut bins: Vec<Vec<ShardSim>> = (0..workers).map(|_| Vec::new()).collect();
-        for (k, sim) in self.shards.drain(..).enumerate() {
-            bins[k % workers].push(sim);
-        }
-        // Each partition publishes a snapshot of its report at every day
-        // boundary; the coordinator folds them into the attack baseline.
-        let shared: Vec<Mutex<DriverReport>> = (0..shard_count)
-            .map(|_| Mutex::new(DriverReport::default()))
+        let coord_origin = self.coordinator.ctx.origin();
+        // One lock per shard partition: shards migrate between workers when
+        // the day-boundary re-pack moves them, so they cannot be owned by
+        // one thread's stack. Workers lock only their assigned shards while
+        // running a day; the coordinator locks each briefly while every
+        // worker is parked — the locks are never contended, they only carry
+        // ownership across days.
+        let shards: Vec<Mutex<ShardSim>> = self.shards.drain(..).map(Mutex::new).collect();
+        // Day 0 packs by client count (the only load signal available
+        // before anything ran); each later day re-packs by the event count
+        // each shard actually processed the previous day.
+        let init_weights: Vec<u64> = shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").clients.len() as u64)
             .collect();
+        let assignments: Vec<Mutex<Vec<usize>>> = pack_lpt(&init_weights, workers)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let timers = PhaseTimers::new();
         let barrier = Barrier::new(workers + 1);
         let coordinator = &mut self.coordinator;
         let backend = &self.backend;
         std::thread::scope(|s| {
-            for mut bin in bins {
+            for w in 0..workers {
                 let barrier = &barrier;
-                let shared = &shared;
+                let shards = &shards;
+                let assignments = &assignments;
+                let timers = &timers;
                 s.spawn(move || {
+                    let mut mine: Vec<usize> = Vec::new();
                     for day in 0..days {
                         let day_end = SimTime::from_days(day + 1).min(horizon);
-                        for sim in bin.iter_mut() {
+                        mine.clear();
+                        mine.extend_from_slice(
+                            &assignments[w].lock().expect("assignment lock poisoned"),
+                        );
+                        for &i in &mine {
+                            let mut sim = shards[i].lock().expect("shard lock poisoned");
                             let _g = u1_core::partition::install(sim.ctx.clone());
+                            let t_run = std::time::Instant::now();
                             sim.run_until(day_end);
-                            *shared[sim.origin as usize]
-                                .lock()
-                                .expect("report lock poisoned") = sim.report.clone();
+                            timers.add(Phase::WorkerRun, saturating_nanos(t_run));
+                            // Drain this partition's buffered day run *off*
+                            // the barrier: flushing in parallel here instead
+                            // of serially on the coordinator while everyone
+                            // waits. Per-origin order is preserved, so the
+                            // canonical trace is unchanged.
+                            let t_flush = std::time::Instant::now();
+                            backend.flush_trace_origin(sim.origin);
+                            timers.add(Phase::DayFlush, saturating_nanos(t_flush));
                         }
+                        let t_park = std::time::Instant::now();
                         // All partitions quiescent: let the coordinator run.
                         barrier.wait();
                         // Coordinator done; next day slice may start.
                         barrier.wait();
+                        timers.add(Phase::BarrierPark, saturating_nanos(t_park));
                     }
                 });
             }
-            let timing = std::env::var("U1_DRIVER_TIMING").is_ok();
-            let mut t_workers = std::time::Duration::ZERO;
-            let mut t_coord = std::time::Duration::ZERO;
-            let mut t_seal = std::time::Duration::ZERO;
+            let mut prev_events: Vec<u64> = vec![0; shard_count];
+            let mut deltas: Vec<u64> = vec![0; shard_count];
             for day in 0..days {
                 let day_end = SimTime::from_days(day + 1).min(horizon);
-                let t0 = std::time::Instant::now();
                 barrier.wait();
-                let t1 = std::time::Instant::now();
                 {
                     let _g = u1_core::partition::install(coordinator.ctx.clone());
+                    // Fold the parked shards' reports into the attack
+                    // baseline and read the per-day event deltas that drive
+                    // the next day's packing. The locks are uncontended:
+                    // every worker is parked on the barrier.
                     let mut baseline = coordinator.report.clone();
-                    for slot in &shared {
-                        baseline.absorb(&slot.lock().expect("report lock poisoned"));
+                    for (i, shard) in shards.iter().enumerate() {
+                        let sim = shard.lock().expect("shard lock poisoned");
+                        baseline.absorb(&sim.report);
+                        deltas[i] = sim.events_processed - prev_events[i];
+                        prev_events[i] = sim.events_processed;
                     }
                     coordinator.baseline = baseline;
                     coordinator.baseline_window = day_end;
+                    let t_coord = std::time::Instant::now();
                     coordinator.run_until(day_end);
                     coordinator.ctx.set_time(day_end);
-                    let ts = std::time::Instant::now();
+                    timers.add(Phase::Coordinator, saturating_nanos(t_coord));
+                    let t_seal = std::time::Instant::now();
                     backend.seal_content_epoch();
-                    t_seal += ts.elapsed();
-                    // Day-boundary trace flush: every shard partition is
-                    // parked on the barrier, so draining a `BufferedSink`
-                    // here races nothing and bounds buffered memory to one
-                    // day of records.
-                    backend.flush_trace();
+                    timers.add(Phase::Seal, saturating_nanos(t_seal));
+                    // Every shard origin was drained by its worker before
+                    // parking; only the coordinator's own day records
+                    // (attacks, maintenance) remain buffered.
+                    let t_flush = std::time::Instant::now();
+                    backend.flush_trace_origin(coord_origin);
+                    timers.add(Phase::DayFlush, saturating_nanos(t_flush));
+                    if day + 1 < days {
+                        for (slot, bin) in assignments.iter().zip(pack_lpt(&deltas, workers)) {
+                            *slot.lock().expect("assignment lock poisoned") = bin;
+                        }
+                    }
                 }
-                let t2 = std::time::Instant::now();
                 barrier.wait();
-                t_workers += t1 - t0;
-                t_coord += t2 - t1;
-            }
-            if timing {
-                eprintln!(
-                    "[driver-timing] workers {:.2}s coordinator {:.2}s (seal {:.2}s)",
-                    t_workers.as_secs_f64(),
-                    t_coord.as_secs_f64(),
-                    t_seal.as_secs_f64()
-                );
             }
         });
         self.clock.set(horizon);
+        // Run-final full flush: leftover buffers (legacy origin 0 emitters,
+        // anything recorded outside a partition ctx) and sink I/O flushing.
         self.backend.flush_trace();
         let mut report = self.coordinator.report.clone();
-        for slot in &shared {
-            report.absorb(&slot.lock().expect("report lock poisoned"));
+        for shard in &shards {
+            report.absorb(&shard.lock().expect("shard lock poisoned").report);
         }
         report.users = self.cfg.users;
+        report.timing = Measured(timers.snapshot());
+        if std::env::var("U1_DRIVER_TIMING").is_ok() {
+            let t = report.timing.0;
+            eprintln!(
+                "[driver-timing] run {:.2}s park {:.2}s flush {:.2}s coordinator {:.2}s seal {:.2}s (thread-seconds)",
+                t.worker_run_nanos as f64 / 1e9,
+                t.barrier_park_nanos as f64 / 1e9,
+                t.day_flush_nanos as f64 / 1e9,
+                t.coordinator_nanos as f64 / 1e9,
+                t.seal_nanos as f64 / 1e9,
+            );
+        }
         let cache = self.backend.token_cache_stats();
         report.token_cache_hits = cache.hits;
         report.token_cache_misses = cache.misses;
@@ -1790,6 +1884,28 @@ mod tests {
         assert_eq!(t1, t4, "canonical trace must be worker-count-invariant");
     }
 
+    #[test]
+    fn lpt_packing_is_deterministic_and_balanced() {
+        // Heaviest shard first onto the emptiest bin; ties to lower index.
+        let bins = pack_lpt(&[5, 9, 1, 7, 3], 2);
+        // Placement order 9,7,5,3,1: loads end at bin0 = 9+3+1 = 13,
+        // bin1 = 7+5 = 12 — within one item of optimal. Every shard
+        // appears exactly once.
+        assert_eq!(bins, vec![vec![1, 4, 2], vec![3, 0]]);
+        let mut all: Vec<usize> = bins.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        // Zero weights floor at 1 so empty shards still spread.
+        let bins = pack_lpt(&[0, 0, 0, 0], 2);
+        assert_eq!(bins.iter().map(Vec::len).collect::<Vec<_>>(), vec![2, 2]);
+        // More workers than shards leaves trailing bins empty, never panics.
+        let bins = pack_lpt(&[4], 3);
+        assert_eq!(bins, vec![vec![0], vec![], vec![]]);
+        // Identical input ⇒ identical packing (the repack is wall-clock
+        // only, but the schedule itself must be reproducible).
+        assert_eq!(pack_lpt(&[5, 9, 1, 7, 3], 2), pack_lpt(&[5, 9, 1, 7, 3], 2));
+    }
+
     /// Locks the exact observable output of the driver — full report plus a
     /// SHA-1 over every canonical trace line and its `(origin, seq)` stamp.
     /// The constants were recorded on the pre-optimization code; the
@@ -1858,6 +1974,9 @@ mod tests {
                 notify_dropped: 0,
                 part_put_failures: 0,
                 trace_io_errors: 0,
+                // `Measured` compares equal regardless of the run's actual
+                // timings; listed so the literal stays exhaustive.
+                timing: Measured(PhaseNanos::default()),
             }
         );
     }
