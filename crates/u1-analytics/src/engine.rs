@@ -189,12 +189,32 @@ pub fn run_chunked_timed<F>(
 where
     F: TraceFold + Send,
 {
+    fold_chunked_into(&mut seed, records, threads, timers);
+    seed.finish()
+}
+
+/// The non-finishing core of [`run_chunked_timed`]: chunk-parallel-folds
+/// `records` and merges the result into `seed`, leaving it open for more
+/// records. By the merge law, calling this once per contiguous piece of a
+/// sorted stream (in order) and finishing at the end equals one serial pass
+/// over the whole stream — which is what lets the off-disk path fold a
+/// month day by day without ever materializing it.
+pub fn fold_chunked_into<F>(
+    seed: &mut F,
+    records: &[TraceRecord],
+    threads: usize,
+    timers: &PhaseTimers,
+) where
+    F: TraceFold + Send,
+{
     let chunks = plan_chunk_count(records.len(), host_clamped(threads));
     if chunks <= 1 {
         let start = Instant::now();
-        let out = run_fold(seed, records);
+        for rec in records {
+            seed.feed(rec);
+        }
         timers.add(Phase::Fold, saturating_nanos(start));
-        return out;
+        return;
     }
     let chunk_len = records.len().div_ceil(chunks);
     let partials: Vec<F> = std::thread::scope(|scope| {
@@ -222,7 +242,6 @@ where
         seed.merge(merged);
     }
     timers.add(Phase::Merge, saturating_nanos(start));
-    seed.finish()
 }
 
 /// Configuration for the full experiment battery.
@@ -462,6 +481,69 @@ pub fn run_all_chunked_timed(
     run_chunked_timed(Battery::new(cfg), records, threads, timers)
 }
 
+/// What the off-disk pass saw, alongside its report.
+#[derive(Debug)]
+pub struct OffDiskStats {
+    /// Parse counters summed over every day (plus the directory's skipped
+    /// foreign files), identical to a whole-directory read's stats.
+    pub parse: u1_trace::ParseStats,
+    /// Days folded.
+    pub days: usize,
+    /// Largest single-day record buffer held in memory — the pass's working
+    /// set, ~1/30 of the month's records instead of all of them.
+    pub peak_chunk_records: usize,
+}
+
+/// The bounded-memory analytics path: folds a *stamped* trace directory
+/// (see `DirSink::create_stamped`) day by day — read one day, sort it into
+/// canonical `(t, origin, seq)` order, chunk-parallel-fold it into the
+/// running battery, drop it, next day. Day files partition the trace by
+/// `t.day_index()`, so the concatenation of the sorted days is the exact
+/// canonical record sequence and, by the merge law, the report equals
+/// [`run_all`] over the fully materialized trace bit for bit — while peak
+/// memory stays at one day's records.
+pub fn run_all_offdisk(
+    dir: &std::path::Path,
+    cfg: &EngineConfig,
+    threads: usize,
+) -> std::io::Result<(EngineReport, OffDiskStats)> {
+    run_all_offdisk_timed(dir, cfg, threads, &PhaseTimers::new())
+}
+
+/// [`run_all_offdisk`] with phase accounting: day parses charge
+/// `Phase::Parse`/`Phase::Sort` inside the reader, folds and merges charge
+/// [`Phase::Fold`]/[`Phase::Merge`] as usual.
+pub fn run_all_offdisk_timed(
+    dir: &std::path::Path,
+    cfg: &EngineConfig,
+    threads: usize,
+    timers: &PhaseTimers,
+) -> std::io::Result<(EngineReport, OffDiskStats)> {
+    let mut chunks = u1_trace::LogDirReader::new(dir).day_chunks(threads)?;
+    let mut parse = u1_trace::ParseStats {
+        skipped_files: chunks.skipped_files(),
+        ..u1_trace::ParseStats::default()
+    };
+    let mut seed = Battery::new(cfg);
+    let mut days = 0usize;
+    let mut peak_chunk_records = 0usize;
+    while let Some(chunk) = chunks.next_day_timed(timers) {
+        let chunk = chunk?;
+        parse.absorb(&chunk.stats);
+        days += 1;
+        peak_chunk_records = peak_chunk_records.max(chunk.records.len());
+        fold_chunked_into(&mut seed, &chunk.records, threads, timers);
+    }
+    Ok((
+        seed.finish(),
+        OffDiskStats {
+            parse,
+            days,
+            peak_chunk_records,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -615,6 +697,52 @@ mod tests {
             assert_eq!(got, serial, "parts={parts}");
         }
         assert!(tree_merge(Vec::<Battery>::new()).is_none());
+    }
+
+    /// The off-disk day-by-day pass over a stamped trace directory equals
+    /// `run_all` over the fully materialized canonical record sequence —
+    /// field-for-field, at several thread counts — while holding at most
+    /// one day's records.
+    #[test]
+    fn offdisk_run_equals_in_memory_run() {
+        let mut recs = Vec::new();
+        // Three days of the mixed workload, with deliberate cross-origin
+        // timestamp ties (origin/seq stamps assigned round-robin).
+        for day in 0..3u64 {
+            for (i, mut rec) in mixed_records().into_iter().enumerate() {
+                rec.t = SimTime::from_micros(rec.t.as_micros() + day * 86_400 * 1_000_000);
+                rec.origin = (i % 3) as u32;
+                rec.seq = (day as usize * 10_000 + i) as u64;
+                recs.push(rec);
+            }
+        }
+        recs.sort_by_key(|r| (r.t, r.origin, r.seq));
+        let cfg = EngineConfig::new(SimTime::from_hours(72), 3, 4);
+        let serial = serde_json::to_value(&run_all(&recs, &cfg));
+
+        let dir = std::env::temp_dir().join(format!("u1-offdisk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let sink = u1_trace::DirSink::create_stamped(&dir).unwrap();
+            use u1_trace::TraceSink;
+            for rec in &recs {
+                sink.record(rec.clone());
+            }
+            sink.flush();
+            assert_eq!(sink.io_errors(), 0);
+        }
+        for threads in [1, 2, 8] {
+            let (report, stats) = run_all_offdisk(&dir, &cfg, threads).unwrap();
+            assert_eq!(serde_json::to_value(&report), serial, "threads={threads}");
+            assert_eq!(stats.days, 3);
+            assert_eq!(stats.parse.parsed, recs.len());
+            assert_eq!(stats.parse.malformed, 0);
+            assert!(
+                stats.peak_chunk_records < recs.len(),
+                "working set should be one day, not the whole trace"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -437,8 +437,11 @@ impl TraceFold for SizeByExtFold {
         } = &rec.payload
         {
             self.all.push(*size as f64);
-            if self.exts.iter().any(|e| e == ext) {
-                self.per.entry(ext.clone()).or_default().push(*size as f64);
+            if self.exts.iter().any(|e| e.as_str() == ext.as_str()) {
+                self.per
+                    .entry(ext.to_string())
+                    .or_default()
+                    .push(*size as f64);
             }
         }
     }

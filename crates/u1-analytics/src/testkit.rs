@@ -65,7 +65,7 @@ pub fn op(t: SimTime, op: ApiOpKind, session: u64, user: u64) -> TraceRecord {
             kind: None,
             size: 0,
             hash: None,
-            ext: String::new(),
+            ext: u1_core::Ext::EMPTY,
             success: true,
             duration_us: 100,
         },
@@ -97,7 +97,7 @@ pub fn transfer(
             kind: Some(NodeKind::File),
             size,
             hash: Some(ContentHash::from_content_id(content)),
-            ext: ext.to_string(),
+            ext: u1_core::Ext::new(ext),
             success: true,
             duration_us: 1000,
         },
@@ -126,7 +126,7 @@ pub fn node_op(
             kind: Some(kind),
             size: 0,
             hash: None,
-            ext: String::new(),
+            ext: u1_core::Ext::EMPTY,
             success: true,
             duration_us: 100,
         },

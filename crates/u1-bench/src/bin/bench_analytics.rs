@@ -19,55 +19,16 @@ use std::hint::black_box;
 use std::time::Instant;
 use u1_analytics as ana;
 use u1_analytics::engine::{
-    host_clamped, plan_chunk_count, run_all, run_all_chunked_timed, EngineConfig, EngineReport,
+    host_clamped, plan_chunk_count, run_all, run_all_chunked_timed, EngineConfig,
 };
-use u1_bench::Scenario;
+use u1_bench::{Fingerprint, Scenario};
 use u1_core::timing::{Phase, PhaseTimers};
 use u1_core::ApiOpKind;
 use u1_trace::logfile::LogDirReader;
 use u1_trace::{DirSink, TraceSink};
 
-/// The scalar outputs every mode must agree on, bit-for-bit.
-#[derive(Debug, PartialEq)]
-struct Fingerprint {
-    records: u64,
-    unique_files: u64,
-    dedup_ratio: u64,
-    update_traffic_fraction: u64,
-    transitions: u64,
-    upload_gini: u64,
-    sessions: u64,
-    active_fraction: u64,
-    ddos_episodes: usize,
-    rpc_profiles: usize,
-    shard_longrun_cv: u64,
-    auth_failure_fraction: u64,
-    waw_under_1h: u64,
-    file_mortality: u64,
-    upload_cv: u64,
-}
-
-impl Fingerprint {
-    fn of(rep: &EngineReport) -> Self {
-        Self {
-            records: rep.summary.records,
-            unique_files: rep.summary.unique_files,
-            dedup_ratio: rep.dedup.dedup_ratio.to_bits(),
-            update_traffic_fraction: rep.updates.update_traffic_fraction.to_bits(),
-            transitions: rep.markov.total_transitions,
-            upload_gini: rep.inequality.upload_lorenz.gini.to_bits(),
-            sessions: rep.sessions.sessions,
-            active_fraction: rep.sessions.active_fraction.to_bits(),
-            ddos_episodes: rep.ddos.episodes.len(),
-            rpc_profiles: rep.rpc.profiles.len(),
-            shard_longrun_cv: rep.load_balance.shard_longrun_cv.to_bits(),
-            auth_failure_fraction: rep.auth.auth_failure_fraction.to_bits(),
-            waw_under_1h: rep.dependencies.waw_under_1h.to_bits(),
-            file_mortality: rep.lifetimes.file_mortality.to_bits(),
-            upload_cv: rep.burst_upload.cv.to_bits(),
-        }
-    }
-}
+#[global_allocator]
+static ALLOC: u1_bench::mem::CountingAlloc = u1_bench::mem::CountingAlloc;
 
 /// Replays the pre-streaming `exp_all` analyzer sequence: one full record
 /// pass per call, duplicated calls included (f3a/f3b both ran
@@ -300,6 +261,11 @@ fn main() {
         }
     ));
     human.push_str(&format!(
+        "peak rss: {}, allocator peak: {}\n",
+        u1_core::ByteSize(u1_bench::mem::peak_rss_bytes().unwrap_or(0)),
+        u1_core::ByteSize(u1_bench::mem::alloc_peak_bytes()),
+    ));
+    human.push_str(&format!(
         "legacy battery     {legacy_passes:>3} passes  {legacy_secs:>7.2}s\n\
          streaming battery    1 pass    {streaming_secs:>7.2}s  {speedup:>5.2}x faster\n"
     ));
@@ -330,6 +296,8 @@ fn main() {
             },
             "host_cpus": host_cpus,
             "scaling_valid": scaling_valid,
+            "peak_rss_bytes": u1_bench::mem::peak_rss_bytes().unwrap_or(0),
+            "alloc_peak_bytes": u1_bench::mem::alloc_peak_bytes(),
             "trace_records": n,
             "battery": {
                 "legacy_record_passes": legacy_passes,

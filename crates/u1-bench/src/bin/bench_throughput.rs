@@ -38,6 +38,9 @@ use u1_server::{Backend, BackendConfig};
 use u1_trace::{csvline, BufferedSink, MemorySink, TraceRecord, TraceSink};
 use u1_workload::{Driver, DriverReport, WorkloadConfig};
 
+#[global_allocator]
+static ALLOC: u1_bench::mem::CountingAlloc = u1_bench::mem::CountingAlloc;
+
 struct Run {
     label: &'static str,
     workers: usize,
@@ -270,6 +273,11 @@ fn main() {
     human.push_str(&format!(
         "token cache hit rate: {token_cache_hit_rate:.3}\n"
     ));
+    human.push_str(&format!(
+        "peak rss: {}, allocator peak: {}\n",
+        u1_core::ByteSize(u1_bench::mem::peak_rss_bytes().unwrap_or(0)),
+        u1_core::ByteSize(u1_bench::mem::alloc_peak_bytes()),
+    ));
     if !fault.is_none() {
         let r = &base.report;
         human.push_str(&format!(
@@ -297,6 +305,8 @@ fn main() {
             },
             "host_cpus": host_cpus,
             "scaling_valid": scaling_valid,
+            "peak_rss_bytes": u1_bench::mem::peak_rss_bytes().unwrap_or(0),
+            "alloc_peak_bytes": u1_bench::mem::alloc_peak_bytes(),
             "trace_records": base.records,
             "trace_hash": base.trace_hash,
             "deterministic_across_worker_counts": deterministic,

@@ -1,0 +1,131 @@
+//! A compact bit-exact fingerprint of an [`EngineReport`], shared by the
+//! analytics and scale benchmarks: scalar outputs spanning every analysis
+//! family, with floats compared by bit pattern (so NaN == NaN and no
+//! tolerance can mask a real divergence).
+//!
+//! `to_line`/`from_line` give the fingerprint a lossless single-line text
+//! form, which is how `bench_scale`'s child processes report results to the
+//! parent (the vendored serde stub cannot parse JSON back).
+
+use u1_analytics::engine::EngineReport;
+
+/// The scalar outputs every analytics mode must agree on, bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    pub records: u64,
+    pub unique_files: u64,
+    pub dedup_ratio: u64,
+    pub update_traffic_fraction: u64,
+    pub transitions: u64,
+    pub upload_gini: u64,
+    pub sessions: u64,
+    pub active_fraction: u64,
+    pub ddos_episodes: usize,
+    pub rpc_profiles: usize,
+    pub shard_longrun_cv: u64,
+    pub auth_failure_fraction: u64,
+    pub waw_under_1h: u64,
+    pub file_mortality: u64,
+    pub upload_cv: u64,
+}
+
+impl Fingerprint {
+    pub fn of(rep: &EngineReport) -> Self {
+        Self {
+            records: rep.summary.records,
+            unique_files: rep.summary.unique_files,
+            dedup_ratio: rep.dedup.dedup_ratio.to_bits(),
+            update_traffic_fraction: rep.updates.update_traffic_fraction.to_bits(),
+            transitions: rep.markov.total_transitions,
+            upload_gini: rep.inequality.upload_lorenz.gini.to_bits(),
+            sessions: rep.sessions.sessions,
+            active_fraction: rep.sessions.active_fraction.to_bits(),
+            ddos_episodes: rep.ddos.episodes.len(),
+            rpc_profiles: rep.rpc.profiles.len(),
+            shard_longrun_cv: rep.load_balance.shard_longrun_cv.to_bits(),
+            auth_failure_fraction: rep.auth.auth_failure_fraction.to_bits(),
+            waw_under_1h: rep.dependencies.waw_under_1h.to_bits(),
+            file_mortality: rep.lifetimes.file_mortality.to_bits(),
+            upload_cv: rep.burst_upload.cv.to_bits(),
+        }
+    }
+
+    /// Lossless single-line form: 15 decimal fields, comma-separated, in
+    /// declaration order.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.records,
+            self.unique_files,
+            self.dedup_ratio,
+            self.update_traffic_fraction,
+            self.transitions,
+            self.upload_gini,
+            self.sessions,
+            self.active_fraction,
+            self.ddos_episodes,
+            self.rpc_profiles,
+            self.shard_longrun_cv,
+            self.auth_failure_fraction,
+            self.waw_under_1h,
+            self.file_mortality,
+            self.upload_cv,
+        )
+    }
+
+    /// Parses [`Self::to_line`] output; `None` on any malformation.
+    pub fn from_line(line: &str) -> Option<Self> {
+        let mut it = line.trim().split(',');
+        let mut next_u64 = || it.next()?.parse::<u64>().ok();
+        let fp = Self {
+            records: next_u64()?,
+            unique_files: next_u64()?,
+            dedup_ratio: next_u64()?,
+            update_traffic_fraction: next_u64()?,
+            transitions: next_u64()?,
+            upload_gini: next_u64()?,
+            sessions: next_u64()?,
+            active_fraction: next_u64()?,
+            ddos_episodes: usize::try_from(next_u64()?).ok()?,
+            rpc_profiles: usize::try_from(next_u64()?).ok()?,
+            shard_longrun_cv: next_u64()?,
+            auth_failure_fraction: next_u64()?,
+            waw_under_1h: next_u64()?,
+            file_mortality: next_u64()?,
+            upload_cv: next_u64()?,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_round_trip_is_lossless() {
+        let fp = Fingerprint {
+            records: 1,
+            unique_files: 2,
+            dedup_ratio: f64::NAN.to_bits(),
+            update_traffic_fraction: 0.25f64.to_bits(),
+            transitions: u64::MAX,
+            upload_gini: 0,
+            sessions: 7,
+            active_fraction: 1.0f64.to_bits(),
+            ddos_episodes: 3,
+            rpc_profiles: 9,
+            shard_longrun_cv: 0.125f64.to_bits(),
+            auth_failure_fraction: 42,
+            waw_under_1h: 43,
+            file_mortality: 44,
+            upload_cv: 45,
+        };
+        assert_eq!(Fingerprint::from_line(&fp.to_line()), Some(fp));
+        assert_eq!(Fingerprint::from_line("1,2,3"), None);
+        assert_eq!(Fingerprint::from_line(""), None);
+    }
+}

@@ -20,9 +20,15 @@
 //! and writes a JSON document so EXPERIMENTS.md numbers are regenerable.
 
 pub mod experiments;
+pub mod fingerprint;
+pub mod mem;
 pub mod scenario;
 
-pub use scenario::{run_scenario, run_scenario_with_faults, scenario_from_env, Scenario};
+pub use fingerprint::Fingerprint;
+pub use scenario::{
+    run_scenario, run_scenario_streamed, run_scenario_with_faults, scenario_from_env, Scenario,
+    StreamedScenario,
+};
 
 use serde_json::Value;
 use std::io::Write;
@@ -33,6 +39,15 @@ use u1_analytics::engine::{EngineConfig, EngineReport};
 /// API-machine and store-shard counts, and the paper's default extension
 /// list / detector parameters.
 pub fn engine_config(scn: &Scenario) -> EngineConfig {
+    EngineConfig::new(
+        scn.horizon,
+        scn.backend.config().cluster.machines as usize,
+        scn.backend.config().store.shards as usize,
+    )
+}
+
+/// [`engine_config`] for a stream-to-disk run.
+pub fn engine_config_streamed(scn: &StreamedScenario) -> EngineConfig {
     EngineConfig::new(
         scn.horizon,
         scn.backend.config().cluster.machines as usize,

@@ -1,12 +1,13 @@
 //! Scenario execution: one simulated month, everything the analyses need.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use u1_blobstore::BlobStoreStats;
 use u1_core::fault::FaultPlan;
 use u1_core::{SimClock, SimTime};
 use u1_metastore::store::VolumeSnapshot;
 use u1_server::{Backend, BackendConfig};
-use u1_trace::{BufferedSink, MemorySink, TraceRecord};
+use u1_trace::{BufferedSink, DirSink, MemorySink, TraceRecord};
 use u1_workload::{Driver, DriverReport, WorkloadConfig};
 
 /// A completed simulation run plus end-of-run state snapshots.
@@ -65,6 +66,73 @@ pub fn run_scenario_with_faults(cfg: WorkloadConfig, fault: FaultPlan) -> Scenar
         cfg,
         backend,
     }
+}
+
+/// A completed stream-to-disk run: the trace went straight to stamped
+/// logfiles under `trace_dir` instead of accumulating in memory, so the
+/// run's peak RSS is bounded by live metastore/driver state — not by the
+/// month of records. Read the trace back with
+/// `u1_analytics::engine::run_all_offdisk` (bit-identical to the in-memory
+/// report) or `LogDirReader`.
+pub struct StreamedScenario {
+    pub cfg: WorkloadConfig,
+    pub horizon: SimTime,
+    /// Directory of per-(machine, process, day) stamped logfiles.
+    pub trace_dir: PathBuf,
+    pub volumes: Vec<VolumeSnapshot>,
+    pub store_dedup_ratio: f64,
+    pub blob_stats: BlobStoreStats,
+    pub report: DriverReport,
+    /// First trace I/O failure, if the sink ran degraded (the count is in
+    /// `report.trace_io_errors`).
+    pub first_trace_io_error: Option<String>,
+    pub backend: Arc<Backend>,
+}
+
+/// [`run_scenario`], but streaming every record to stamped logfiles under
+/// `dir` as the simulation runs. The wiring is identical — same seeds, same
+/// `BufferedSink` per-origin runs, same flush-off-barrier machinery (the
+/// driver is sink-agnostic) — so the emitted record sequence, and therefore
+/// the canonical `(t, origin, seq)` trace and its golden hash, match the
+/// in-memory mode exactly.
+pub fn run_scenario_streamed(
+    cfg: WorkloadConfig,
+    dir: impl Into<PathBuf>,
+) -> std::io::Result<StreamedScenario> {
+    let clock = SimClock::new();
+    let sink = Arc::new(DirSink::create_stamped(dir)?);
+    let trace_dir = sink.dir().to_path_buf();
+    let backend_cfg = BackendConfig {
+        seed: cfg.seed ^ 0xBACC,
+        fault: FaultPlan::none(),
+        ..BackendConfig::default()
+    };
+    let backend = Arc::new(Backend::new(
+        backend_cfg,
+        Arc::new(clock.clone()),
+        Arc::new(BufferedSink::new(Arc::clone(&sink))),
+    ));
+    let driver = Driver::new(cfg.clone(), Arc::clone(&backend), clock);
+    let started = std::time::Instant::now();
+    let report = driver.run();
+    eprintln!(
+        "[scenario] {} users x {} days streamed to {} in {:.1}s",
+        cfg.users,
+        cfg.days,
+        trace_dir.display(),
+        started.elapsed().as_secs_f64()
+    );
+    Ok(StreamedScenario {
+        horizon: cfg.horizon(),
+        trace_dir,
+        volumes: backend.store.volume_snapshot(),
+        store_dedup_ratio: backend.store.dedup_ratio(),
+        blob_stats: backend.blobs.stats(),
+        report,
+        first_trace_io_error: sink.first_io_error(),
+        cfg,
+        backend,
+    })
 }
 
 /// Builds the workload configuration from the environment (see crate docs)

@@ -6,7 +6,7 @@
 //! metadata is [`LocalVolume`]'s known-generation plus per-node state.
 
 use std::collections::HashMap;
-use u1_core::{ContentHash, NodeId, NodeKind, VolumeId};
+use u1_core::{ContentHash, Name, NodeId, NodeKind, VolumeId};
 use u1_proto::msg::NodeInfo;
 
 /// A file or directory as the client knows it.
@@ -15,7 +15,7 @@ pub struct LocalFile {
     pub node: NodeId,
     pub kind: NodeKind,
     pub parent: Option<NodeId>,
-    pub name: String,
+    pub name: Name,
     pub size: u64,
     pub hash: Option<ContentHash>,
     /// True when the local copy differs from the server's (pending upload).
@@ -55,7 +55,7 @@ pub struct LocalVolume {
     /// point" of §3.4.2).
     pub known_generation: u64,
     nodes: HashMap<NodeId, LocalFile>,
-    by_name: HashMap<(Option<NodeId>, String), NodeId>,
+    by_name: HashMap<(Option<NodeId>, Name), NodeId>,
 }
 
 impl LocalVolume {
@@ -76,7 +76,7 @@ impl LocalVolume {
 
     pub fn find_by_name(&self, parent: Option<NodeId>, name: &str) -> Option<&LocalFile> {
         self.by_name
-            .get(&(parent, name.to_string()))
+            .get(&(parent, Name::new(name)))
             .and_then(|id| self.nodes.get(id))
     }
 

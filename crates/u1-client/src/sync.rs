@@ -112,7 +112,7 @@ impl<T: Transport> SyncEngine<T> {
                     node: info.node,
                     kind: NodeKind::Directory,
                     parent,
-                    name,
+                    name: name.into(),
                     size: 0,
                     hash: None,
                     dirty: false,
@@ -151,7 +151,7 @@ impl<T: Transport> SyncEngine<T> {
                     node,
                     kind: NodeKind::File,
                     parent,
-                    name,
+                    name: name.into(),
                     size,
                     hash: Some(hash),
                     dirty: false,
@@ -174,7 +174,7 @@ impl<T: Transport> SyncEngine<T> {
                 self.stats.moves += 1;
                 if let Some(mut f) = self.local(volume).remove(node) {
                     f.parent = new_parent;
-                    f.name = new_name;
+                    f.name = new_name.into();
                     self.local(volume).upsert(f);
                 }
                 Ok(())

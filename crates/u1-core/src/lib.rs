@@ -19,6 +19,7 @@ pub mod error;
 pub mod fault;
 pub mod fxhash;
 pub mod id;
+pub mod intern;
 pub mod op;
 pub mod partition;
 pub mod rngx;
@@ -35,6 +36,7 @@ pub use id::{
     ContentHash, MachineId, NodeId, NodeKind, ProcessId, SessionId, ShardId, UploadId, UserId,
     VolumeId, VolumeKind,
 };
+pub use intern::{Ext, IdArena, Name, NameArena, NameId};
 pub use op::{ApiOpKind, RpcClass, RpcKind};
 pub use partition::PartitionCtx;
 pub use sha1::Sha1;

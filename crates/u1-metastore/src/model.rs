@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use u1_core::{
-    ContentHash, NodeId, NodeKind, ShardId, SimTime, UploadId, UserId, VolumeId, VolumeKind,
+    ContentHash, Name, NodeId, NodeKind, ShardId, SimTime, UploadId, UserId, VolumeId, VolumeKind,
 };
 
 /// A user account row.
@@ -24,7 +24,9 @@ pub struct VolumeRow {
     pub volume: VolumeId,
     pub owner: UserId,
     pub kind: VolumeKind,
-    pub name: String,
+    /// Inline-optimized name (volume names are short); the shard keeps the
+    /// canonical copy interned in its [`u1_core::NameArena`].
+    pub name: Name,
     pub generation: u64,
     pub created_at: SimTime,
     /// Live nodes currently in the volume.
@@ -40,7 +42,9 @@ pub struct NodeRow {
     pub volume: VolumeId,
     pub parent: Option<NodeId>,
     pub kind: NodeKind,
-    pub name: String,
+    /// Inline-optimized name; the canonical copy lives in the shard's
+    /// [`u1_core::NameArena`], the row is a detached DTO.
+    pub name: Name,
     /// Content attached by `make_content`; `None` for directories and files
     /// created but never uploaded.
     pub content: Option<ContentHash>,

@@ -9,12 +9,40 @@
 //! Reads take the shard lock shared; the paper calls this data model
 //! "lockless" because read RPCs exploit parallel access to the shard pair
 //! and ordinary operations never span shards.
+//!
+//! # Storage layout (memory-bounded scale path)
+//!
+//! Rows are *not* stored as the DTO types of [`crate::model`]. Internally a
+//! shard is slab-allocated and index-linked:
+//!
+//! * All node/volume names live interned in one per-shard
+//!   [`NameArena`]; slots carry a 4-byte [`NameId`], and name equality on
+//!   the `make_node` idempotency probe is a u32 compare.
+//! * Nodes live in a `Vec<NodeSlot>` slab addressed by dense `u32`
+//!   indices; the sparse strided [`NodeId`]s map to slots through one
+//!   `FxHashMap`. Slots are recycled through a free list — but only by
+//!   `delete_volume`, which also drops every per-volume index that could
+//!   reference them, so no stale slot reference can survive reuse.
+//! * Volumes live in a `Vec<VolumeSlot>` slab the same way; each volume
+//!   slot *owns* its secondary indexes (live-name map, change log, member
+//!   list), so the cascade delete is a wholesale drop.
+//! * The per-volume change log backing `get_delta` is an append-only
+//!   `Vec<(generation, slot)>` instead of a `BTreeSet`: generations are
+//!   monotone per volume, so the vector is naturally sorted, a log entry is
+//!   live iff the slot still carries that generation (updating a node makes
+//!   its old entry stale *for free*), and range reads are a binary search
+//!   plus a scan. Stale entries are compacted away once they outnumber the
+//!   members.
+//!
+//! Public methods still speak DTO rows; they are materialized on the way
+//! out (a [`Name`] is built from the arena text — inline, no allocation,
+//! for names up to 22 bytes).
 
 use crate::model::{NodeRow, UploadJobRow, UploadState, UserRow, VolumeRow};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use u1_core::intern::to_u32;
 use u1_core::{
-    ContentHash, CoreError, CoreResult, NodeId, NodeKind, ShardId, SimDuration, SimTime, UploadId,
-    UserId, VolumeId, VolumeKind,
+    ContentHash, CoreError, CoreResult, FxHashMap, IdArena, Name, NameArena, NameId, NodeId,
+    NodeKind, ShardId, SimDuration, SimTime, UploadId, UserId, VolumeId, VolumeKind,
 };
 
 /// A deleted node reported back so the caller can release content refs.
@@ -26,26 +54,105 @@ pub struct DeadNode {
     pub size: u64,
 }
 
+/// Slab storage of one node row. 4-byte interned name, no heap strings;
+/// the only owned allocation is the live-children list of directories.
+#[derive(Debug, Clone)]
+struct NodeSlot {
+    node: NodeId,
+    volume: VolumeId,
+    parent: Option<NodeId>,
+    kind: NodeKind,
+    name: NameId,
+    content: Option<ContentHash>,
+    size: u64,
+    generation: u64,
+    is_live: bool,
+    created_at: SimTime,
+    changed_at: SimTime,
+    /// Live children (directories only), kept sorted ascending so the
+    /// unlink cascade walk is iteration-order-free — the same order the
+    /// previous `BTreeSet` index produced.
+    children: Vec<NodeId>,
+}
+
+/// Slab storage of one volume row plus the secondary indexes it owns.
+/// Dropping the slot (delete-volume cascade) drops every index that could
+/// reference a node slot of this volume.
+#[derive(Debug, Clone)]
+struct VolumeSlot {
+    volume: VolumeId,
+    owner: UserId,
+    kind: VolumeKind,
+    name: NameId,
+    generation: u64,
+    created_at: SimTime,
+    node_count: u64,
+    /// False once the slot has been freed (awaiting reuse).
+    alive: bool,
+    /// Every node slot ever created in this volume (live and tombstoned),
+    /// in creation order. Backs `get_from_scratch` and the cascade delete.
+    members: Vec<u32>,
+    /// Live `(parent, name)` → node slot. Backs `make_node`'s idempotency
+    /// probe without scanning the volume.
+    live_names: FxHashMap<(Option<NodeId>, NameId), u32>,
+    /// Append-only change log `(generation, node slot)`, sorted because
+    /// generations are monotone (same-generation unlink batches are
+    /// appended sorted by node id). An entry is live iff the slot still
+    /// carries that generation. Backs `get_delta` range scans.
+    log: Vec<(u64, u32)>,
+}
+
+impl Default for VolumeSlot {
+    /// The freed-slot placeholder (`alive: false`, empty indexes).
+    fn default() -> Self {
+        Self {
+            volume: VolumeId::new(0),
+            owner: UserId::new(0),
+            kind: VolumeKind::Root,
+            name: NameId::default(),
+            generation: 0,
+            created_at: SimTime::ZERO,
+            node_count: 0,
+            alive: false,
+            members: Vec::new(),
+            live_names: FxHashMap::default(),
+            log: Vec::new(),
+        }
+    }
+}
+
+/// Compact a change log only past this length (every member keeps exactly
+/// one live entry, so short logs are never worth rewriting).
+const LOG_COMPACT_FLOOR: usize = 64;
+
 /// The mutable tables of one shard.
 #[derive(Debug, Default)]
 pub struct Shard {
     pub id: ShardId,
-    users: HashMap<UserId, UserRow>,
-    volumes: HashMap<VolumeId, VolumeRow>,
-    nodes: HashMap<NodeId, NodeRow>,
-    /// Secondary index: nodes per volume (live and tombstoned).
-    volume_nodes: HashMap<VolumeId, HashSet<NodeId>>,
-    /// Secondary index: live `(parent, name)` → node, per volume. Backs
-    /// `make_node`'s idempotency probe without scanning the volume.
-    live_names: HashMap<VolumeId, HashMap<Option<NodeId>, HashMap<String, NodeId>>>,
-    /// Secondary index: per-volume change log ordered by
-    /// `(generation, node)`, one entry per node at its *current*
-    /// generation. Backs `get_delta` range scans.
-    volume_log: HashMap<VolumeId, BTreeSet<(u64, NodeId)>>,
-    /// Secondary index: live children of each directory (`unlink`'s
-    /// cascade walk). Ordered so cascade output is iteration-order-free.
-    children: HashMap<NodeId, BTreeSet<NodeId>>,
-    uploadjobs: HashMap<UploadId, UploadJobRow>,
+    /// All node and volume names, interned once per distinct string.
+    names: NameArena,
+    /// Dense user index; users are never deleted, so no free list.
+    users: IdArena<UserId>,
+    user_rows: Vec<UserRow>,
+    volumes: FxHashMap<VolumeId, u32>,
+    volume_slots: Vec<VolumeSlot>,
+    free_volumes: Vec<u32>,
+    nodes: FxHashMap<NodeId, u32>,
+    node_slots: Vec<NodeSlot>,
+    free_nodes: Vec<u32>,
+    uploadjobs: FxHashMap<UploadId, UploadJobRow>,
+}
+
+fn child_insert(children: &mut Vec<NodeId>, id: NodeId) {
+    if let Err(pos) = children.binary_search(&id) {
+        children.insert(pos, id);
+    }
+}
+
+fn child_remove(children: &mut Vec<NodeId>, id: NodeId) {
+    if let Ok(pos) = children.binary_search(&id) {
+        children.remove(pos);
+    }
 }
 
 impl Shard {
@@ -57,7 +164,7 @@ impl Shard {
     }
 
     pub fn user_count(&self) -> usize {
-        self.users.len()
+        self.user_rows.len()
     }
 
     pub fn node_count(&self) -> usize {
@@ -68,20 +175,119 @@ impl Shard {
         self.uploadjobs.len()
     }
 
+    /// Distinct names interned on this shard (observability only).
+    pub fn interned_names(&self) -> usize {
+        self.names.len()
+    }
+
+    // ----- slab plumbing ----------------------------------------------
+
+    fn intern_name(&mut self, s: &str) -> CoreResult<NameId> {
+        self.names
+            .intern(s)
+            .ok_or_else(|| CoreError::invalid("name arena exhausted"))
+    }
+
+    fn alloc_node_slot(&mut self, slot: NodeSlot) -> CoreResult<u32> {
+        if let Some(free) = self.free_nodes.pop() {
+            self.node_slots[free as usize] = slot;
+            Ok(free)
+        } else {
+            let idx = to_u32(self.node_slots.len())
+                .ok_or_else(|| CoreError::invalid("node slab exhausted"))?;
+            self.node_slots.push(slot);
+            Ok(idx)
+        }
+    }
+
+    fn alloc_volume_slot(&mut self, slot: VolumeSlot) -> CoreResult<u32> {
+        if let Some(free) = self.free_volumes.pop() {
+            self.volume_slots[free as usize] = slot;
+            Ok(free)
+        } else {
+            let idx = to_u32(self.volume_slots.len())
+                .ok_or_else(|| CoreError::invalid("volume slab exhausted"))?;
+            self.volume_slots.push(slot);
+            Ok(idx)
+        }
+    }
+
+    /// Materializes the DTO row for a node slot.
+    fn node_row(&self, slot: u32) -> NodeRow {
+        let s = &self.node_slots[slot as usize];
+        NodeRow {
+            node: s.node,
+            volume: s.volume,
+            parent: s.parent,
+            kind: s.kind,
+            name: Name::new(self.names.resolve(s.name)),
+            content: s.content,
+            size: s.size,
+            generation: s.generation,
+            is_live: s.is_live,
+            created_at: s.created_at,
+            changed_at: s.changed_at,
+        }
+    }
+
+    /// Materializes the DTO row for a volume slot.
+    fn volume_row(&self, idx: u32) -> VolumeRow {
+        let v = &self.volume_slots[idx as usize];
+        VolumeRow {
+            volume: v.volume,
+            owner: v.owner,
+            kind: v.kind,
+            name: Name::new(self.names.resolve(v.name)),
+            generation: v.generation,
+            created_at: v.created_at,
+            node_count: v.node_count,
+        }
+    }
+
+    fn volume_idx(&self, volume: VolumeId) -> CoreResult<u32> {
+        self.volumes
+            .get(&volume)
+            .copied()
+            .ok_or_else(|| CoreError::not_found(format!("volume {volume}")))
+    }
+
+    /// The slot index of `volume` after checking `owner` may write it —
+    /// the slab equivalent of the old `volume_mut` authorization helper.
+    fn owned_volume_idx(&self, owner: UserId, volume: VolumeId) -> CoreResult<u32> {
+        let idx = self.volume_idx(volume)?;
+        if self.volume_slots[idx as usize].owner != owner {
+            return Err(CoreError::permission_denied(format!("volume {volume}")));
+        }
+        Ok(idx)
+    }
+
+    /// Drops log entries whose slot has since moved to a newer generation.
+    /// Live entries stay in `(generation, node)` order (retain preserves
+    /// order, and the log was sorted).
+    fn maybe_compact_log(&mut self, vidx: u32) {
+        let v = &self.volume_slots[vidx as usize];
+        if v.log.len() < LOG_COMPACT_FLOOR || v.log.len() <= v.members.len().saturating_mul(2) {
+            return;
+        }
+        let mut log = std::mem::take(&mut self.volume_slots[vidx as usize].log);
+        log.retain(|&(generation, slot)| self.node_slots[slot as usize].generation == generation);
+        self.volume_slots[vidx as usize].log = log;
+    }
+
     /// Snapshot of every volume on this shard with live file/dir counts.
     pub fn volume_snapshot(&self) -> Vec<crate::store::VolumeSnapshot> {
-        self.volumes
-            .values()
+        self.volume_slots
+            .iter()
+            .filter(|v| v.alive)
             .map(|vol| {
                 let mut files = 0u64;
                 let mut dirs = 0u64;
-                for nid in self.volume_nodes.get(&vol.volume).into_iter().flatten() {
-                    if let Some(n) = self.nodes.get(nid) {
-                        if n.is_live {
-                            match n.kind {
-                                NodeKind::File => files += 1,
-                                NodeKind::Directory => dirs += 1,
-                            }
+                for &slot in &vol.members {
+                    let n = &self.node_slots[slot as usize];
+                    if n.is_live {
+                        match n.kind {
+                            NodeKind::File => files += 1,
+                            NodeKind::Directory => dirs += 1,
                         }
                     }
                 }
@@ -106,7 +312,7 @@ impl Shard {
         root_volume: VolumeId,
         now: SimTime,
     ) -> CoreResult<UserRow> {
-        if self.users.contains_key(&user) {
+        if self.users.get(user).is_some() {
             return Err(CoreError::conflict(format!("user {user} exists")));
         }
         let row = UserRow {
@@ -115,49 +321,55 @@ impl Shard {
             root_volume,
             created_at: now,
         };
-        self.users.insert(user, row.clone());
-        self.volumes.insert(
-            root_volume,
-            VolumeRow {
-                volume: root_volume,
-                owner: user,
-                kind: VolumeKind::Root,
-                name: "Ubuntu One".to_string(),
-                generation: 0,
-                created_at: now,
-                node_count: 0,
-            },
-        );
-        self.volume_nodes.insert(root_volume, HashSet::new());
+        self.users
+            .intern(user)
+            .ok_or_else(|| CoreError::invalid("user arena exhausted"))?;
+        self.user_rows.push(row.clone());
+        let name = self.intern_name("Ubuntu One")?;
+        let vidx = self.alloc_volume_slot(VolumeSlot {
+            volume: root_volume,
+            owner: user,
+            kind: VolumeKind::Root,
+            name,
+            generation: 0,
+            created_at: now,
+            node_count: 0,
+            alive: true,
+            ..Default::default()
+        })?;
+        self.volumes.insert(root_volume, vidx);
         Ok(row)
     }
 
     /// `dal.get_user_data`.
     pub fn get_user_data(&self, user: UserId) -> CoreResult<UserRow> {
         self.users
-            .get(&user)
-            .cloned()
+            .get(user)
+            .map(|slot| self.user_rows[slot as usize].clone())
             .ok_or_else(|| CoreError::not_found(format!("user {user}")))
     }
 
     /// `dal.get_root`.
     pub fn get_root(&self, user: UserId) -> CoreResult<VolumeRow> {
         let u = self.get_user_data(user)?;
-        self.volumes
+        let idx = self
+            .volumes
             .get(&u.root_volume)
-            .cloned()
-            .ok_or_else(|| CoreError::not_found(format!("root volume of {user}")))
+            .copied()
+            .ok_or_else(|| CoreError::not_found(format!("root volume of {user}")))?;
+        Ok(self.volume_row(idx))
     }
 
     /// `dal.list_volumes` — root plus UDFs owned by the user (shares are
     /// resolved by the store layer).
     pub fn list_volumes(&self, user: UserId) -> CoreResult<Vec<VolumeRow>> {
         self.get_user_data(user)?;
-        let mut vols: Vec<VolumeRow> = self
-            .volumes
-            .values()
-            .filter(|v| v.owner == user)
-            .cloned()
+        let mut vols: Vec<VolumeRow> = (0..self.volume_slots.len())
+            .filter(|&i| {
+                let v = &self.volume_slots[i];
+                v.alive && v.owner == user
+            })
+            .map(|i| self.volume_row(i as u32))
             .collect();
         vols.sort_by_key(|v| v.volume);
         Ok(vols)
@@ -177,85 +389,86 @@ impl Shard {
         if name.is_empty() {
             return Err(CoreError::invalid("empty UDF name"));
         }
-        if self
-            .volumes
-            .values()
-            .any(|v| v.owner == user && v.name == name)
-        {
+        // Same-name probe: a name never interned cannot name a volume, and
+        // equal strings share one id, so the old string scan becomes a u32
+        // compare.
+        let dup = self.names.lookup(name).is_some_and(|id| {
+            self.volume_slots
+                .iter()
+                .any(|v| v.alive && v.owner == user && v.name == id)
+        });
+        if dup {
             return Err(CoreError::conflict(format!("UDF '{name}' exists")));
         }
-        let row = VolumeRow {
+        let name_id = self.intern_name(name)?;
+        let vidx = self.alloc_volume_slot(VolumeSlot {
             volume,
             owner: user,
             kind: VolumeKind::UserDefined,
-            name: name.to_string(),
+            name: name_id,
             generation: 0,
             created_at: now,
             node_count: 0,
-        };
-        self.volumes.insert(volume, row.clone());
-        self.volume_nodes.insert(volume, HashSet::new());
-        Ok(row)
+            alive: true,
+            ..Default::default()
+        })?;
+        self.volumes.insert(volume, vidx);
+        Ok(self.volume_row(vidx))
     }
 
     pub fn get_volume(&self, volume: VolumeId) -> CoreResult<VolumeRow> {
-        self.volumes
-            .get(&volume)
-            .cloned()
-            .ok_or_else(|| CoreError::not_found(format!("volume {volume}")))
+        Ok(self.volume_row(self.volume_idx(volume)?))
     }
 
     /// `dal.delete_volume` — the cascade RPC: removes the volume and every
     /// node it contains. The root volume cannot be deleted.
     pub fn delete_volume(&mut self, owner: UserId, volume: VolumeId) -> CoreResult<Vec<DeadNode>> {
-        let vol = self.get_volume(volume)?;
-        if vol.owner != owner {
-            return Err(CoreError::permission_denied(format!("volume {volume}")));
-        }
-        if vol.kind == VolumeKind::Root {
-            return Err(CoreError::invalid("cannot delete the root volume"));
-        }
-        let node_ids = self.volume_nodes.remove(&volume).unwrap_or_default();
-        self.live_names.remove(&volume);
-        self.volume_log.remove(&volume);
-        let mut dead = Vec::with_capacity(node_ids.len());
-        for nid in node_ids {
-            self.children.remove(&nid);
-            if let Some(row) = self.nodes.remove(&nid) {
-                if row.is_live {
-                    dead.push(DeadNode {
-                        node: row.node,
-                        kind: row.kind,
-                        content: row.content,
-                        size: row.size,
-                    });
-                }
+        let vidx = self.volume_idx(volume)?;
+        {
+            let vol = &self.volume_slots[vidx as usize];
+            if vol.owner != owner {
+                return Err(CoreError::permission_denied(format!("volume {volume}")));
             }
+            if vol.kind == VolumeKind::Root {
+                return Err(CoreError::invalid("cannot delete the root volume"));
+            }
+        }
+        // Take the whole slot: its member list, live-name map and log go
+        // with it, so freed node slots cannot be referenced afterwards.
+        let slot = std::mem::take(&mut self.volume_slots[vidx as usize]);
+        let mut dead = Vec::with_capacity(slot.members.len());
+        for nslot in slot.members {
+            let n = &mut self.node_slots[nslot as usize];
+            if n.is_live {
+                dead.push(DeadNode {
+                    node: n.node,
+                    kind: n.kind,
+                    content: n.content,
+                    size: n.size,
+                });
+            }
+            n.children = Vec::new();
+            self.nodes.remove(&n.node);
+            self.free_nodes.push(nslot);
         }
         // Abandon any in-flight uploads into the deleted volume.
         self.uploadjobs.retain(|_, j| j.volume != volume);
         self.volumes.remove(&volume);
+        self.free_volumes.push(vidx);
         Ok(dead)
     }
 
     // ----- nodes -------------------------------------------------------
 
-    fn volume_mut(&mut self, owner: UserId, volume: VolumeId) -> CoreResult<&mut VolumeRow> {
-        let vol = self
-            .volumes
-            .get_mut(&volume)
-            .ok_or_else(|| CoreError::not_found(format!("volume {volume}")))?;
-        if vol.owner != owner {
-            return Err(CoreError::permission_denied(format!("volume {volume}")));
-        }
-        Ok(vol)
-    }
-
     fn check_parent(&self, volume: VolumeId, parent: Option<NodeId>) -> CoreResult<()> {
         let Some(parent) = parent else {
             return Ok(());
         };
-        match self.nodes.get(&parent) {
+        match self
+            .nodes
+            .get(&parent)
+            .map(|&s| &self.node_slots[s as usize])
+        {
             Some(p) if p.volume == volume && p.is_live && p.kind == NodeKind::Directory => Ok(()),
             Some(_) => Err(CoreError::invalid(format!(
                 "parent {parent} is not a live directory of {volume}"
@@ -282,61 +495,68 @@ impl Shard {
         if name.is_empty() {
             return Err(CoreError::invalid("empty node name"));
         }
-        self.volume_mut(owner, volume)?;
+        let vidx = self.owned_volume_idx(owner, volume)?;
         self.check_parent(volume, parent)?;
-        if let Some(existing) = self
-            .live_names
-            .get(&volume)
-            .and_then(|m| m.get(&parent))
-            .and_then(|names| names.get(name))
-            .and_then(|nid| self.nodes.get(nid))
-        {
-            if existing.kind != kind {
+        // Idempotency probe: only interned names can collide, so a miss in
+        // the arena is a miss in the volume.
+        if let Some(existing) = self.names.lookup(name).and_then(|id| {
+            self.volume_slots[vidx as usize]
+                .live_names
+                .get(&(parent, id))
+                .copied()
+        }) {
+            if self.node_slots[existing as usize].kind != kind {
                 return Err(CoreError::conflict(format!(
                     "node '{name}' exists with different kind"
                 )));
             }
-            return Ok(existing.clone());
+            return Ok(self.node_row(existing));
         }
-        let vol = self.volume_mut(owner, volume)?;
-        vol.generation += 1;
-        vol.node_count += 1;
-        let generation = vol.generation;
-        let row = NodeRow {
+        let name_id = self.intern_name(name)?;
+        let generation = {
+            let vol = &mut self.volume_slots[vidx as usize];
+            vol.generation += 1;
+            vol.node_count += 1;
+            vol.generation
+        };
+        let nslot = self.alloc_node_slot(NodeSlot {
             node: node_id,
             volume,
             parent,
             kind,
-            name: name.to_string(),
+            name: name_id,
             content: None,
             size: 0,
             generation,
             is_live: true,
             created_at: now,
             changed_at: now,
-        };
-        self.nodes.insert(node_id, row.clone());
-        self.volume_nodes.entry(volume).or_default().insert(node_id);
-        self.live_names
-            .entry(volume)
-            .or_default()
-            .entry(parent)
-            .or_default()
-            .insert(name.to_string(), node_id);
-        self.volume_log
-            .entry(volume)
-            .or_default()
-            .insert((generation, node_id));
-        if let Some(p) = parent {
-            self.children.entry(p).or_default().insert(node_id);
+            children: Vec::new(),
+        })?;
+        self.nodes.insert(node_id, nslot);
+        {
+            let vol = &mut self.volume_slots[vidx as usize];
+            vol.members.push(nslot);
+            vol.live_names.insert((parent, name_id), nslot);
+            vol.log.push((generation, nslot));
         }
-        Ok(row)
+        if let Some(p) = parent {
+            if let Some(&pslot) = self.nodes.get(&p) {
+                child_insert(&mut self.node_slots[pslot as usize].children, node_id);
+            }
+        }
+        Ok(self.node_row(nslot))
     }
 
     /// `dal.get_node`.
     pub fn get_node(&self, volume: VolumeId, node: NodeId) -> CoreResult<NodeRow> {
         match self.nodes.get(&node) {
-            Some(n) if n.volume == volume && n.is_live => Ok(n.clone()),
+            Some(&s)
+                if self.node_slots[s as usize].volume == volume
+                    && self.node_slots[s as usize].is_live =>
+            {
+                Ok(self.node_row(s))
+            }
             _ => Err(CoreError::not_found(format!("node {node} in {volume}"))),
         }
     }
@@ -354,31 +574,39 @@ impl Shard {
         size: u64,
         now: SimTime,
     ) -> CoreResult<(NodeRow, Option<ContentHash>)> {
-        self.volume_mut(owner, volume)?;
+        let vidx = self.owned_volume_idx(owner, volume)?;
+        // The generation advances before the node lookup — a failed
+        // make_content still burns a generation, as it always has.
         let generation = {
-            let vol = self.volume_mut(owner, volume)?;
+            let vol = &mut self.volume_slots[vidx as usize];
             vol.generation += 1;
             vol.generation
         };
-        let row = self
+        let nslot = self
             .nodes
-            .get_mut(&node)
-            .filter(|n| n.volume == volume && n.is_live)
+            .get(&node)
+            .copied()
+            .filter(|&s| {
+                let n = &self.node_slots[s as usize];
+                n.volume == volume && n.is_live
+            })
             .ok_or_else(|| CoreError::not_found(format!("node {node}")))?;
+        let row = &mut self.node_slots[nslot as usize];
         if row.kind != NodeKind::File {
             return Err(CoreError::invalid("make_content on a directory"));
         }
         let old = row.content;
-        let old_generation = row.generation;
         row.content = Some(hash);
         row.size = size;
         row.generation = generation;
         row.changed_at = now;
-        let result = (row.clone(), old);
-        let log = self.volume_log.entry(volume).or_default();
-        log.remove(&(old_generation, node));
-        log.insert((generation, node));
-        Ok(result)
+        // The old log entry went stale the moment the slot's generation
+        // moved; just append the new one.
+        self.volume_slots[vidx as usize]
+            .log
+            .push((generation, nslot));
+        self.maybe_compact_log(vidx);
+        Ok((self.node_row(nslot), old))
     }
 
     /// `dal.unlink_node`. Deleting a directory cascades to everything under
@@ -391,62 +619,73 @@ impl Shard {
         node: NodeId,
         now: SimTime,
     ) -> CoreResult<Vec<DeadNode>> {
-        self.volume_mut(owner, volume)?;
+        let vidx = self.owned_volume_idx(owner, volume)?;
         let root = self
             .nodes
             .get(&node)
-            .filter(|n| n.volume == volume && n.is_live)
-            .ok_or_else(|| CoreError::not_found(format!("node {node}")))?
-            .node;
-        // Collect the subtree (BFS over the live-children index).
+            .copied()
+            .filter(|&s| {
+                let n = &self.node_slots[s as usize];
+                n.volume == volume && n.is_live
+            })
+            .map(|s| self.node_slots[s as usize].node)
+            .ok_or_else(|| CoreError::not_found(format!("node {node}")))?;
+        // Collect the subtree over the sorted live-children lists — the
+        // same traversal order the previous `BTreeSet` index produced.
         let mut doomed = vec![root];
         let mut queue = vec![root];
         while let Some(cur) = queue.pop() {
-            if let Some(kids) = self.children.get(&cur) {
+            if let Some(&s) = self.nodes.get(&cur) {
+                let kids = &self.node_slots[s as usize].children;
                 doomed.extend(kids.iter().copied());
                 queue.extend(kids.iter().copied());
             }
         }
         let generation = {
-            let vol = self.volume_mut(owner, volume)?;
+            let vol = &mut self.volume_slots[vidx as usize];
             vol.generation += 1;
             vol.node_count = vol.node_count.saturating_sub(doomed.len() as u64);
             vol.generation
         };
         let mut dead = Vec::with_capacity(doomed.len());
+        let mut batch: Vec<(NodeId, u32)> = Vec::with_capacity(doomed.len());
         for nid in doomed {
             // Doomed ids were collected from live rows above; a missing row
             // means nothing to kill, not an error.
-            let Some(row) = self.nodes.get_mut(&nid) else {
+            let Some(&nslot) = self.nodes.get(&nid) else {
                 continue;
             };
-            let old_generation = row.generation;
-            row.is_live = false;
-            row.generation = generation;
-            row.changed_at = now;
-            dead.push(DeadNode {
-                node: row.node,
-                kind: row.kind,
-                content: row.content,
-                size: row.size,
-            });
-            if let Some(names) = self
+            let (parent, name_id) = {
+                let row = &mut self.node_slots[nslot as usize];
+                row.is_live = false;
+                row.generation = generation;
+                row.changed_at = now;
+                dead.push(DeadNode {
+                    node: row.node,
+                    kind: row.kind,
+                    content: row.content,
+                    size: row.size,
+                });
+                row.children = Vec::new();
+                (row.parent, row.name)
+            };
+            self.volume_slots[vidx as usize]
                 .live_names
-                .get_mut(&volume)
-                .and_then(|m| m.get_mut(&row.parent))
-            {
-                names.remove(&row.name);
-            }
-            if let Some(p) = row.parent {
-                if let Some(kids) = self.children.get_mut(&p) {
-                    kids.remove(&nid);
+                .remove(&(parent, name_id));
+            if let Some(p) = parent {
+                if let Some(&pslot) = self.nodes.get(&p) {
+                    child_remove(&mut self.node_slots[pslot as usize].children, nid);
                 }
             }
-            self.children.remove(&nid);
-            let log = self.volume_log.entry(volume).or_default();
-            log.remove(&(old_generation, nid));
-            log.insert((generation, nid));
+            batch.push((nid, nslot));
         }
+        // The whole batch shares one generation; append in node order so
+        // the log stays sorted by (generation, node).
+        batch.sort_by_key(|&(nid, _)| nid);
+        self.volume_slots[vidx as usize]
+            .log
+            .extend(batch.into_iter().map(|(_, nslot)| (generation, nslot)));
+        self.maybe_compact_log(vidx);
         Ok(dead)
     }
 
@@ -464,7 +703,7 @@ impl Shard {
         if new_name.is_empty() {
             return Err(CoreError::invalid("empty node name"));
         }
-        self.volume_mut(owner, volume)?;
+        let vidx = self.owned_volume_idx(owner, volume)?;
         self.check_parent(volume, new_parent)?;
         // A directory cannot be moved under itself.
         if let Some(mut cursor) = new_parent {
@@ -472,51 +711,62 @@ impl Shard {
                 if cursor == node {
                     return Err(CoreError::invalid("move would create a cycle"));
                 }
-                match self.nodes.get(&cursor).and_then(|n| n.parent) {
+                match self
+                    .nodes
+                    .get(&cursor)
+                    .and_then(|&s| self.node_slots[s as usize].parent)
+                {
                     Some(p) => cursor = p,
                     None => break,
                 }
             }
         }
         let generation = {
-            let vol = self.volume_mut(owner, volume)?;
+            let vol = &mut self.volume_slots[vidx as usize];
             vol.generation += 1;
             vol.generation
         };
-        let row = self
+        let nslot = self
             .nodes
-            .get_mut(&node)
-            .filter(|n| n.volume == volume && n.is_live)
+            .get(&node)
+            .copied()
+            .filter(|&s| {
+                let n = &self.node_slots[s as usize];
+                n.volume == volume && n.is_live
+            })
             .ok_or_else(|| CoreError::not_found(format!("node {node}")))?;
-        let old_parent = row.parent;
-        let old_name = std::mem::replace(&mut row.name, new_name.to_string());
-        let old_generation = row.generation;
-        row.parent = new_parent;
-        row.generation = generation;
-        row.changed_at = now;
-        let result = row.clone();
-        let names = self.live_names.entry(volume).or_default();
-        if let Some(old_bucket) = names.get_mut(&old_parent) {
-            old_bucket.remove(&old_name);
+        let new_name_id = self.intern_name(new_name)?;
+        let (old_parent, old_name_id) = {
+            let row = &mut self.node_slots[nslot as usize];
+            let old_parent = row.parent;
+            let old_name_id = std::mem::replace(&mut row.name, new_name_id);
+            row.parent = new_parent;
+            row.generation = generation;
+            row.changed_at = now;
+            (old_parent, old_name_id)
+        };
+        {
+            let vol = &mut self.volume_slots[vidx as usize];
+            vol.live_names.remove(&(old_parent, old_name_id));
+            vol.live_names.insert((new_parent, new_name_id), nslot);
         }
-        names
-            .entry(new_parent)
-            .or_default()
-            .insert(new_name.to_string(), node);
         if old_parent != new_parent {
             if let Some(p) = old_parent {
-                if let Some(kids) = self.children.get_mut(&p) {
-                    kids.remove(&node);
+                if let Some(&pslot) = self.nodes.get(&p) {
+                    child_remove(&mut self.node_slots[pslot as usize].children, node);
                 }
             }
             if let Some(p) = new_parent {
-                self.children.entry(p).or_default().insert(node);
+                if let Some(&pslot) = self.nodes.get(&p) {
+                    child_insert(&mut self.node_slots[pslot as usize].children, node);
+                }
             }
         }
-        let log = self.volume_log.entry(volume).or_default();
-        log.remove(&(old_generation, node));
-        log.insert((generation, node));
-        Ok(result)
+        self.volume_slots[vidx as usize]
+            .log
+            .push((generation, nslot));
+        self.maybe_compact_log(vidx);
+        Ok(self.node_row(nslot))
     }
 
     /// `dal.get_delta` — every node changed after `from_generation`,
@@ -526,17 +776,16 @@ impl Shard {
         volume: VolumeId,
         from_generation: u64,
     ) -> CoreResult<(u64, Vec<NodeRow>)> {
-        let vol = self.get_volume(volume)?;
-        // The log holds each node once, at its current generation, ordered
-        // by (generation, node) — the canonical delta order — so the read
-        // is O(log n + |delta|) instead of a volume scan.
-        let changed: Vec<NodeRow> = self
-            .volume_log
-            .get(&volume)
-            .into_iter()
-            .flat_map(|log| log.range((from_generation.saturating_add(1), NodeId::new(0))..))
-            .filter_map(|(_, nid)| self.nodes.get(nid))
-            .cloned()
+        let vidx = self.volume_idx(volume)?;
+        let vol = &self.volume_slots[vidx as usize];
+        // The log is sorted by generation (monotone appends), each node
+        // live exactly once at its current generation — so the read is a
+        // binary search plus a filtered scan, never a volume scan.
+        let start = vol.log.partition_point(|&(g, _)| g <= from_generation);
+        let changed: Vec<NodeRow> = vol.log[start..]
+            .iter()
+            .filter(|&&(g, s)| self.node_slots[s as usize].generation == g)
+            .map(|&(_, s)| self.node_row(s))
             .collect();
         Ok((vol.generation, changed))
     }
@@ -544,15 +793,13 @@ impl Shard {
     /// `dal.get_from_scratch` — the cascade read: every live node of the
     /// volume (what a fresh client mirrors).
     pub fn get_from_scratch(&self, volume: VolumeId) -> CoreResult<(u64, Vec<NodeRow>)> {
-        let vol = self.get_volume(volume)?;
-        let mut live: Vec<NodeRow> = self
-            .volume_nodes
-            .get(&volume)
-            .into_iter()
-            .flatten()
-            .filter_map(|nid| self.nodes.get(nid))
-            .filter(|n| n.is_live)
-            .cloned()
+        let vidx = self.volume_idx(volume)?;
+        let vol = &self.volume_slots[vidx as usize];
+        let mut live: Vec<NodeRow> = vol
+            .members
+            .iter()
+            .filter(|&&s| self.node_slots[s as usize].is_live)
+            .map(|&s| self.node_row(s))
             .collect();
         live.sort_by_key(|n| n.node);
         Ok((vol.generation, live))
@@ -572,7 +819,7 @@ impl Shard {
         declared_size: u64,
         now: SimTime,
     ) -> CoreResult<UploadJobRow> {
-        self.get_volume(volume)?;
+        self.volume_idx(volume)?;
         let row = UploadJobRow {
             upload,
             user,
@@ -969,6 +1216,101 @@ mod tests {
         let dead = shard.delete_volume(user, udf.volume).unwrap();
         assert_eq!(dead.len(), 1);
         assert!(shard.get_volume(udf.volume).is_err());
+    }
+
+    #[test]
+    fn deleted_volume_slots_are_recycled_safely() {
+        let (mut shard, user, _root) = setup();
+        // Create a UDF with nodes, delete it, create another: the new
+        // volume must reuse the freed slots without leaking old state.
+        let udf1 = shard
+            .create_udf(user, VolumeId::new(200), "One", SimTime::ZERO)
+            .unwrap();
+        for i in 0..5 {
+            shard
+                .make_node(
+                    user,
+                    udf1.volume,
+                    NodeId::new(10 + i),
+                    None,
+                    NodeKind::File,
+                    &format!("f{i}"),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+        }
+        shard.delete_volume(user, udf1.volume).unwrap();
+        let udf2 = shard
+            .create_udf(user, VolumeId::new(201), "Two", SimTime::ZERO)
+            .unwrap();
+        assert_eq!(udf2.generation, 0);
+        assert_eq!(udf2.node_count, 0);
+        let (generation, live) = shard.get_from_scratch(udf2.volume).unwrap();
+        assert_eq!(generation, 0);
+        assert!(live.is_empty(), "recycled volume slot must start empty");
+        // Node slots are recycled too: new nodes land in the new volume.
+        let n = shard
+            .make_node(
+                user,
+                udf2.volume,
+                NodeId::new(50),
+                None,
+                NodeKind::File,
+                "fresh",
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(n.name, "fresh");
+        assert_eq!(n.generation, 1);
+        let (_, delta) = shard.get_delta(udf2.volume, 0).unwrap();
+        assert_eq!(delta.len(), 1, "delta must not see the old volume's log");
+        // The old volume's ids are gone.
+        assert!(shard.get_node(udf2.volume, NodeId::new(10)).is_err());
+    }
+
+    #[test]
+    fn change_log_compaction_preserves_delta_semantics() {
+        let (mut shard, user, root) = setup();
+        let n = shard
+            .make_node(
+                user,
+                root,
+                NodeId::new(1),
+                None,
+                NodeKind::File,
+                "hot",
+                SimTime::ZERO,
+            )
+            .unwrap();
+        // Rewrite the same file far past the compaction floor: the log
+        // accumulates stale entries and must compact without losing the
+        // node's current entry.
+        let mut last_generation = 0;
+        for i in 0..300u64 {
+            let (row, _) = shard
+                .make_content(
+                    user,
+                    root,
+                    n.node,
+                    ContentHash::from_content_id(i + 1),
+                    i + 1,
+                    SimTime::from_secs(i),
+                )
+                .unwrap();
+            last_generation = row.generation;
+        }
+        // From generation zero, exactly one (current) entry is visible.
+        let (generation, delta) = shard.get_delta(root, 0).unwrap();
+        assert_eq!(generation, last_generation);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].generation, last_generation);
+        assert_eq!(delta[0].size, 300);
+        // From just before the last change, still exactly one.
+        let (_, delta) = shard.get_delta(root, last_generation - 1).unwrap();
+        assert_eq!(delta.len(), 1);
+        // From the current generation, nothing.
+        let (_, delta) = shard.get_delta(root, last_generation).unwrap();
+        assert!(delta.is_empty());
     }
 
     #[test]

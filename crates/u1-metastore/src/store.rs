@@ -31,12 +31,11 @@ use crate::contents::{ContentIndex, SealOutcome};
 use crate::model::{ContentRow, ShareRow, UploadJobRow, UserRow, VolumeRow};
 use crate::shard::{DeadNode, Shard};
 use parking_lot::RwLock;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use u1_core::{
-    ContentHash, CoreError, CoreResult, ErrorClass, FaultInjector, NodeId, NodeKind, ShardId,
-    SimDuration, SimTime, UploadId, UserId, VolumeId,
+    ContentHash, CoreError, CoreResult, ErrorClass, FaultInjector, FxHashMap, NodeId, NodeKind,
+    ShardId, SimDuration, SimTime, UploadId, UserId, VolumeId,
 };
 
 /// Stripe count for the `volume_owner` routing map.
@@ -102,7 +101,7 @@ pub struct MetaStore {
     shards: Vec<RwLock<Shard>>,
     /// Global routing index: volume → owner, striped by volume id. Needed
     /// because requests name volumes, while sharding is by user.
-    volume_owner: Vec<RwLock<HashMap<VolumeId, UserId>>>,
+    volume_owner: Vec<RwLock<FxHashMap<VolumeId, UserId>>>,
     /// Cross-user content index (dedup), striped with epoch visibility.
     contents: ContentIndex,
     /// Share grants, indexed both ways.
@@ -117,8 +116,8 @@ pub struct MetaStore {
 
 #[derive(Debug, Default)]
 struct ShareTable {
-    by_recipient: HashMap<UserId, Vec<ShareRow>>,
-    by_volume: HashMap<VolumeId, Vec<ShareRow>>,
+    by_recipient: FxHashMap<UserId, Vec<ShareRow>>,
+    by_volume: FxHashMap<VolumeId, Vec<ShareRow>>,
 }
 
 impl MetaStore {
@@ -130,7 +129,7 @@ impl MetaStore {
         Self {
             shards,
             volume_owner: (0..OWNER_STRIPES)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| RwLock::new(FxHashMap::default()))
                 .collect(),
             contents: ContentIndex::new(),
             shares: RwLock::new(ShareTable::default()),
@@ -202,7 +201,7 @@ impl MetaStore {
         UploadId::new(self.next_upload.next(self.shard_of(owner)))
     }
 
-    fn owner_stripe(&self, volume: VolumeId) -> &RwLock<HashMap<VolumeId, UserId>> {
+    fn owner_stripe(&self, volume: VolumeId) -> &RwLock<FxHashMap<VolumeId, UserId>> {
         &self.volume_owner[volume.raw() as usize % OWNER_STRIPES]
     }
 

@@ -98,7 +98,7 @@ fn get_node_info(buf: &mut impl Buf) -> WireResult<NodeInfo> {
         node: NodeId::new(wire::get_uvarint(buf)?),
         kind: get_node_kind(buf)?,
         parent: wire::get_opt_uvarint(buf)?.map(NodeId::new),
-        name: wire::get_str(buf)?,
+        name: wire::get_str(buf)?.into(),
         size: wire::get_uvarint(buf)?,
         hash: get_opt_hash(buf)?,
         generation: wire::get_uvarint(buf)?,

@@ -6,7 +6,9 @@
 //! the back-end maps them to S3 multipart parts, Appendix A), and
 //! server-initiated pushes (§3.4.2).
 
-use u1_core::{ContentHash, NodeId, NodeKind, SessionId, UploadId, UserId, VolumeId, VolumeKind};
+use u1_core::{
+    ContentHash, Name, NodeId, NodeKind, SessionId, UploadId, UserId, VolumeId, VolumeKind,
+};
 
 /// Correlates requests with their responses over the persistent connection.
 /// Pushes are unsolicited and carry no request id.
@@ -32,7 +34,9 @@ pub struct NodeInfo {
     pub node: NodeId,
     pub kind: NodeKind,
     pub parent: Option<NodeId>,
-    pub name: String,
+    /// Inline-optimized node name (≤ 22 bytes stay on the stack); deltas
+    /// carry many of these, so no per-entry heap allocation.
+    pub name: Name,
     pub size: u64,
     pub hash: Option<ContentHash>,
     /// Generation at which this node last changed.

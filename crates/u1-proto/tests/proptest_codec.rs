@@ -109,7 +109,7 @@ fn arb_node_info() -> impl Strategy<Value = NodeInfo> {
                     NodeKind::Directory
                 },
                 parent: parent.map(NodeId::new),
-                name,
+                name: name.into(),
                 size,
                 hash,
                 generation,

@@ -336,7 +336,7 @@ impl Backend {
                 kind,
                 size,
                 hash,
-                ext: ext.to_string(),
+                ext: u1_core::Ext::new(ext),
                 success,
                 duration_us: duration.as_micros(),
             },

@@ -57,24 +57,16 @@ fn write_id<W: fmt::Write>(out: &mut W, prefix: &str, raw: u64) -> fmt::Result {
     write_u64(out, raw)
 }
 
-/// Writes the sanitized extension field: `[a-z0-9]`, max 16 chars, `-` when
-/// nothing survives. Streaming equivalent of the old `sanitize_ext` —
-/// byte-identical output, no intermediate `String`.
-fn write_sanitized_ext<W: fmt::Write>(out: &mut W, ext: &str) -> fmt::Result {
-    let mut written = 0usize;
-    for c in ext.chars() {
-        if written == 16 {
-            break;
-        }
-        if c.is_ascii_alphanumeric() {
-            out.write_char(c.to_ascii_lowercase())?;
-            written += 1;
-        }
+/// Writes the extension field. [`u1_core::Ext`] is sanitized at
+/// construction with exactly the rules this serializer used to apply per
+/// line (`[a-z0-9]`, max 16 chars), so emission is a plain copy; `-` when
+/// nothing survived sanitization.
+fn write_ext<W: fmt::Write>(out: &mut W, ext: &u1_core::Ext) -> fmt::Result {
+    if ext.is_empty() {
+        out.write_char('-')
+    } else {
+        out.write_str(ext.as_str())
     }
-    if written == 0 {
-        out.write_char('-')?;
-    }
-    Ok(())
 }
 
 /// Serializes a record as one CSV line (no trailing newline) into any
@@ -94,6 +86,20 @@ pub fn write_line<W: fmt::Write>(rec: &TraceRecord, out: &mut W) -> fmt::Result 
         out.write_str(class.label())?;
     }
     Ok(())
+}
+
+/// [`write_line`] plus the synthetic origin/sequence stamps as trailing
+/// `o=`/`q=` fields (after the fault tags). The paper's logfile schema has
+/// no such columns — plain [`write_line`] stays byte-identical to it — but
+/// a *stamped* trace directory can be read back into the exact canonical
+/// `(t, origin, seq)` order, which is what lets the stream-to-disk pipeline
+/// reproduce the in-memory golden trace hash bit for bit.
+pub fn write_line_stamped<W: fmt::Write>(rec: &TraceRecord, out: &mut W) -> fmt::Result {
+    write_line(rec, out)?;
+    out.write_str(",o=")?;
+    write_u64(out, rec.origin as u64)?;
+    out.write_str(",q=")?;
+    write_u64(out, rec.seq)
 }
 
 fn write_payload<W: fmt::Write>(rec: &TraceRecord, out: &mut W) -> fmt::Result {
@@ -144,7 +150,7 @@ fn write_payload<W: fmt::Write>(rec: &TraceRecord, out: &mut W) -> fmt::Result {
                 None => out.write_char('-')?,
             }
             out.write_char(',')?;
-            write_sanitized_ext(out, ext)?;
+            write_ext(out, ext)?;
             out.write_str(if *success { ",ok," } else { ",err," })?;
             write_u64(out, *duration_us)
         }
@@ -267,8 +273,8 @@ pub fn from_line(
                 s => Some(ContentHash::from_hex(s).ok_or(LineError { reason: "bad hash" })?),
             };
             let ext = match fields.next().unwrap_or("") {
-                "-" => String::new(),
-                s => s.to_string(),
+                "-" => u1_core::Ext::EMPTY,
+                s => u1_core::Ext::new(s),
             };
             let success = match fields.next().unwrap_or("") {
                 "ok" => true,
@@ -342,6 +348,16 @@ pub fn from_line(
             rec.error_class = Some(ErrorClass::from_label(v).ok_or(LineError {
                 reason: "bad error class",
             })?);
+        } else if let Some(v) = field.strip_prefix("o=") {
+            // Origin/seq stamps written by `write_line_stamped`; plain
+            // traces lack them and keep whatever `TraceRecord::new` stamped.
+            rec.origin = v.parse::<u32>().map_err(|_| LineError {
+                reason: "bad origin",
+            })?;
+        } else if let Some(v) = field.strip_prefix("q=") {
+            rec.seq = v
+                .parse::<u64>()
+                .map_err(|_| LineError { reason: "bad seq" })?;
         }
         // Other trailing fields stay tolerated, as before.
     }
@@ -405,7 +421,7 @@ mod tests {
             kind: None,
             size: 0,
             hash: None,
-            ext: String::new(),
+            ext: u1_core::Ext::EMPTY,
             success: false,
             duration_us: 10,
         }));
@@ -423,6 +439,43 @@ mod tests {
             user: UserId::new(4),
             success: false,
         }));
+    }
+
+    #[test]
+    fn stamped_line_round_trips_origin_and_seq() {
+        let mut rec = mk(Payload::Auth {
+            user: UserId::new(4),
+            success: true,
+        });
+        rec.origin = 7;
+        rec.seq = 123_456_789;
+        let mut line = String::new();
+        write_line_stamped(&rec, &mut line).unwrap();
+        assert!(line.ends_with(",o=7,q=123456789"), "line was: {line}");
+        let back = from_line(&line, rec.machine, rec.process).expect("parse");
+        assert_eq!(back, rec, "line was: {line}");
+    }
+
+    #[test]
+    fn stamped_line_is_plain_line_plus_stamps() {
+        let mut rec = mk(Payload::Rpc {
+            rpc: RpcKind::GetNode,
+            shard: ShardId::new(1),
+            user: UserId::new(2),
+            service_us: 77,
+        });
+        rec.attempt = 3;
+        rec.error_class = Some(ErrorClass::Timeout);
+        let plain = to_line(&rec);
+        let mut stamped = String::new();
+        write_line_stamped(&rec, &mut stamped).unwrap();
+        // Stamps go strictly after the fault tags; stripping them recovers
+        // the paper-schema line byte for byte.
+        assert_eq!(stamped, format!("{plain},o={},q={}", rec.origin, rec.seq));
+        // And a plain (unstamped) line parses with origin/seq untouched by
+        // the stamp fields.
+        let back = from_line(&plain, rec.machine, rec.process).expect("parse");
+        assert_eq!((back.origin, back.seq), (0, 0));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 use u1_core::{
-    ApiOpKind, ContentHash, ErrorClass, MachineId, NodeId, NodeKind, ProcessId, RpcKind, SessionId,
-    ShardId, SimTime, UserId, VolumeId,
+    ApiOpKind, ContentHash, ErrorClass, Ext, MachineId, NodeId, NodeKind, ProcessId, RpcKind,
+    SessionId, ShardId, SimTime, UserId, VolumeId,
 };
 
 /// Session lifecycle events (request type `session` in the original trace).
@@ -36,8 +36,10 @@ pub enum Payload {
         /// Content hash for transfers (provided by the client before upload,
         /// §3.3); `None` for metadata operations and directories.
         hash: Option<ContentHash>,
-        /// File extension, lowercased, without the dot; empty when n/a.
-        ext: String,
+        /// File extension in the serializer's canonical sanitized form
+        /// (lowercased, no dot); empty when n/a. `Copy`, 17 bytes — the
+        /// record carries no heap string.
+        ext: Ext,
         success: bool,
         /// Server-side processing time for the request, microseconds.
         duration_us: u64,

@@ -24,5 +24,7 @@ pub mod sink;
 
 pub use anonymize::Anonymizer;
 pub use event::{Payload, SessionEvent, TraceRecord};
-pub use logfile::{logfile_name, parse_logfile_name, LogDirReader, ParseStats};
+pub use logfile::{
+    logfile_name, parse_logfile_name, DayChunk, DayChunks, LogDirReader, ParseStats,
+};
 pub use sink::{BufferedSink, DirSink, MemorySink, NullSink, TraceSink};

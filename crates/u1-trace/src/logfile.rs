@@ -269,8 +269,88 @@ fn plan_ranges(sizes: &[u64], threads: usize) -> Vec<RangeTask> {
     tasks
 }
 
-/// A parsed logfile path with the origin encoded in its name.
-type LogfileEntry = (PathBuf, MachineId, ProcessId);
+/// A parsed logfile path with the origin and day encoded in its name.
+type LogfileEntry = (PathBuf, MachineId, ProcessId, u64);
+
+/// Reads the given logfiles serially, concatenating records in file order
+/// (no sort — callers pick their own ordering key).
+fn read_files(files: &[LogfileEntry]) -> std::io::Result<(Vec<TraceRecord>, ParseStats)> {
+    let mut stats = ParseStats::default();
+    let mut records = Vec::new();
+    for (path, machine, process, _day) in files {
+        let (recs, file_stats) = read_logfile(path, *machine, *process)?;
+        stats.absorb(&file_stats);
+        records.extend(recs);
+    }
+    Ok((records, stats))
+}
+
+/// Reads the given logfiles via planned byte ranges on a work-stealing
+/// cursor (see the module docs), concatenating per-range output in
+/// `(file, range)` order — byte-identical to [`read_files`] at every thread
+/// count. No sort; parse thread-time is charged to [`Phase::Parse`].
+fn read_files_parallel(
+    files: &[LogfileEntry],
+    threads: usize,
+    timers: &PhaseTimers,
+) -> std::io::Result<(Vec<TraceRecord>, ParseStats)> {
+    let threads = threads.max(1);
+    if threads <= 1 || files.is_empty() {
+        return read_files(files);
+    }
+    let sizes = files
+        .iter()
+        .map(|(path, _, _, _)| fs::metadata(path).map(|m| m.len()))
+        .collect::<std::io::Result<Vec<u64>>>()?;
+    let tasks = plan_ranges(&sizes, threads);
+    type TaskResult = std::io::Result<(Vec<TraceRecord>, ParseStats)>;
+    let slots: Mutex<Vec<Option<TaskResult>>> =
+        Mutex::new((0..tasks.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    // Tasks are planned for the REQUESTED thread count (so granularity
+    // and the range/merge logic are identical on every host), but the
+    // worker pool is capped at the host's cores: extra OS threads just
+    // time-slice the same cores over disjoint buffers. Pure scheduling —
+    // tasks drain off the cursor, output is position-indexed.
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = threads.min(tasks.len()).min(cpus.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let t0 = std::time::Instant::now();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(i) else {
+                        break;
+                    };
+                    let (path, machine, process, _day) = &files[task.file];
+                    let result = read_logfile_range(path, *machine, *process, task.start, task.end);
+                    if let Ok(mut slots) = slots.lock() {
+                        slots[i] = Some(result);
+                    }
+                }
+                timers.add(Phase::Parse, saturating_nanos(t0));
+            });
+        }
+    });
+    let mut stats = ParseStats::default();
+    let slots = slots
+        .into_inner()
+        .map_err(|_| std::io::Error::other("parse worker panicked"))?;
+    let mut records = Vec::new();
+    for (task, slot) in tasks.iter().zip(slots) {
+        let (recs, mut range_stats) =
+            slot.ok_or_else(|| std::io::Error::other("parse task missing"))??;
+        if task.first {
+            range_stats.files = 1;
+        }
+        stats.absorb(&range_stats);
+        records.extend(recs);
+    }
+    Ok((records, stats))
+}
 
 /// Reads a directory of trace logfiles.
 pub struct LogDirReader {
@@ -300,7 +380,7 @@ impl LogDirReader {
                 .and_then(|n| n.to_str())
                 .unwrap_or_default();
             match parse_logfile_name(name) {
-                Some((machine, process, _day)) => files.push((path, machine, process)),
+                Some((machine, process, day)) => files.push((path, machine, process, day)),
                 None => skipped += 1,
             }
         }
@@ -317,12 +397,8 @@ impl LogDirReader {
             skipped_files,
             ..ParseStats::default()
         };
-        let mut records = Vec::new();
-        for (path, machine, process) in &files {
-            let (recs, file_stats) = read_logfile(path, *machine, *process)?;
-            stats.absorb(&file_stats);
-            records.extend(recs);
-        }
+        let (mut records, read_stats) = read_files(&files)?;
+        stats.absorb(&read_stats);
         records.sort_by_key(|r| r.t);
         Ok((records, stats))
     }
@@ -355,65 +431,109 @@ impl LogDirReader {
         if threads <= 1 || files.is_empty() {
             return self.read_all();
         }
-        let sizes = files
-            .iter()
-            .map(|(path, _, _)| fs::metadata(path).map(|m| m.len()))
-            .collect::<std::io::Result<Vec<u64>>>()?;
-        let tasks = plan_ranges(&sizes, threads);
-        type TaskResult = std::io::Result<(Vec<TraceRecord>, ParseStats)>;
-        let slots: Mutex<Vec<Option<TaskResult>>> =
-            Mutex::new((0..tasks.len()).map(|_| None).collect());
-        let next = AtomicUsize::new(0);
-        // Tasks are planned for the REQUESTED thread count (so granularity
-        // and the range/merge logic are identical on every host), but the
-        // worker pool is capped at the host's cores: extra OS threads just
-        // time-slice the same cores over disjoint buffers. Pure scheduling —
-        // tasks drain off the cursor, output is position-indexed.
-        let cpus = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let workers = threads.min(tasks.len()).min(cpus.max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let t0 = std::time::Instant::now();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(task) = tasks.get(i) else {
-                            break;
-                        };
-                        let (path, machine, process) = &files[task.file];
-                        let result =
-                            read_logfile_range(path, *machine, *process, task.start, task.end);
-                        if let Ok(mut slots) = slots.lock() {
-                            slots[i] = Some(result);
-                        }
-                    }
-                    timers.add(Phase::Parse, saturating_nanos(t0));
-                });
-            }
-        });
         let mut stats = ParseStats {
             skipped_files,
             ..ParseStats::default()
         };
-        let slots = slots
-            .into_inner()
-            .map_err(|_| std::io::Error::other("parse worker panicked"))?;
-        let mut records = Vec::new();
-        for (task, slot) in tasks.iter().zip(slots) {
-            let (recs, mut range_stats) =
-                slot.ok_or_else(|| std::io::Error::other("parse task missing"))??;
-            if task.first {
-                range_stats.files = 1;
-            }
-            stats.absorb(&range_stats);
-            records.extend(recs);
-        }
+        let (mut records, read_stats) = read_files_parallel(&files, threads, timers)?;
+        stats.absorb(&read_stats);
         let t_sort = std::time::Instant::now();
         records.sort_by_key(|r| r.t);
         timers.add(Phase::Sort, saturating_nanos(t_sort));
         Ok((records, stats))
+    }
+
+    /// Groups the directory's logfiles by the day index in their names and
+    /// returns a bounded-memory iterator over them, ascending. This is the
+    /// off-disk scale path: [`DirSink`](crate::DirSink) picks each record's
+    /// file by `t.day_index()`, so the day files exactly partition the trace
+    /// by time, and one day (~1/30 of a month) is the largest buffer the
+    /// reader ever holds.
+    ///
+    /// Each chunk is sorted by `(t, origin, seq)`. On a *stamped* directory
+    /// (see [`DirSink::create_stamped`](crate::DirSink::create_stamped))
+    /// the concatenation of all chunks is therefore the exact canonical
+    /// order of `MemorySink::take_sorted` — what lets off-disk analytics
+    /// reproduce the in-memory results bit for bit.
+    pub fn day_chunks(&self, threads: usize) -> std::io::Result<DayChunks> {
+        let (files, skipped_files) = self.logfiles()?;
+        let mut days: Vec<(u64, Vec<LogfileEntry>)> = Vec::new();
+        // `logfiles()` is path-sorted, not day-sorted (day is the last name
+        // component), so group via a sort by day; the per-day file order
+        // stays path-sorted because the sort is stable.
+        let mut sorted = files;
+        sorted.sort_by_key(|(_, _, _, day)| *day);
+        for entry in sorted {
+            match days.last_mut() {
+                Some((day, group)) if *day == entry.3 => group.push(entry),
+                _ => days.push((entry.3, vec![entry])),
+            }
+        }
+        Ok(DayChunks {
+            days,
+            threads: threads.max(1),
+            next: 0,
+            skipped_files,
+        })
+    }
+}
+
+/// One day of a trace directory, parsed and canonically sorted.
+pub struct DayChunk {
+    /// The day index shared by every record's `t.day_index()`.
+    pub day: u64,
+    /// The day's records, sorted by `(t, origin, seq)`.
+    pub records: Vec<TraceRecord>,
+    /// Parse counters for this day's files only.
+    pub stats: ParseStats,
+}
+
+/// Iterator over a trace directory's days in ascending order; see
+/// [`LogDirReader::day_chunks`]. Only one day's records are in memory at a
+/// time — the caller folds a chunk and drops it before asking for the next.
+pub struct DayChunks {
+    days: Vec<(u64, Vec<LogfileEntry>)>,
+    threads: usize,
+    next: usize,
+    skipped_files: usize,
+}
+
+impl DayChunks {
+    /// Number of distinct days in the directory.
+    pub fn days(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Foreign (non-logfile) files in the directory; attribute this once
+    /// when summing chunk stats to reproduce [`LogDirReader::read_all`]'s
+    /// totals.
+    pub fn skipped_files(&self) -> usize {
+        self.skipped_files
+    }
+
+    /// Reads, parses and canonically sorts the next day. `None` when every
+    /// day has been consumed.
+    pub fn next_day(&mut self) -> Option<std::io::Result<DayChunk>> {
+        self.next_day_timed(&PhaseTimers::new())
+    }
+
+    /// [`Self::next_day`], charging parse thread-time to [`Phase::Parse`]
+    /// and the canonical sort to [`Phase::Sort`].
+    pub fn next_day_timed(&mut self, timers: &PhaseTimers) -> Option<std::io::Result<DayChunk>> {
+        let (day, files) = self.days.get(self.next)?;
+        self.next += 1;
+        Some(
+            read_files_parallel(files, self.threads, timers).map(|(mut records, stats)| {
+                let t_sort = std::time::Instant::now();
+                records.sort_by_key(|r| (r.t, r.origin, r.seq));
+                timers.add(Phase::Sort, saturating_nanos(t_sort));
+                DayChunk {
+                    day: *day,
+                    records,
+                    stats,
+                }
+            }),
+        )
     }
 }
 
@@ -544,8 +664,8 @@ mod tests {
         }
 
         let (files, _) = LogDirReader::new(&dir).logfiles().unwrap();
-        assert!(files.iter().any(|(p, _, _)| p == &empty));
-        for (path, machine, process) in &files {
+        assert!(files.iter().any(|(p, _, _, _)| p == &empty));
+        for (path, machine, process, _day) in &files {
             let (serial, serial_stats) = read_logfile(path, *machine, *process).unwrap();
             let len = fs::metadata(path).unwrap().len();
             let splits: Vec<Vec<u64>> = vec![
@@ -596,6 +716,68 @@ mod tests {
             let (par, par_stats) = reader.read_all_parallel(threads).unwrap();
             assert_eq!(par_stats, serial_stats, "stats differ at {threads} threads");
             assert_eq!(par, serial, "records differ at {threads} threads");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Day-chunked reading of a *stamped* directory: chunks come back in
+    /// ascending day order, each internally sorted by `(t, origin, seq)`,
+    /// and their concatenation is the full canonical order — including
+    /// equal-timestamp records from different origins, which `t`-only
+    /// sorting cannot break deterministically.
+    #[test]
+    fn stamped_day_chunks_concatenate_into_canonical_order() {
+        let dir = std::env::temp_dir().join(format!("u1-logdir-days-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut expected = Vec::new();
+        {
+            let sink = DirSink::create_stamped(&dir).unwrap();
+            let mut i = 0u64;
+            for day in 0..3u64 {
+                for origin in 0..4u32 {
+                    for seq in 0..25u64 {
+                        // Deliberate cross-origin timestamp collisions: t
+                        // depends on seq but not origin.
+                        let mut rec = TraceRecord::new(
+                            SimTime::from_secs(day * 86_400 + seq * 60),
+                            MachineId::new((i % 3) as u16),
+                            ProcessId::new((i % 4) as u16),
+                            Payload::Session {
+                                event: SessionEvent::Open,
+                                session: SessionId::new(i),
+                                user: UserId::new(origin as u64),
+                            },
+                        );
+                        rec.origin = origin;
+                        rec.seq = seq;
+                        expected.push(rec.clone());
+                        sink.record(rec);
+                        i += 1;
+                    }
+                }
+            }
+            sink.flush();
+        }
+        expected.sort_by_key(|r| (r.t, r.origin, r.seq));
+
+        for threads in [1, 4] {
+            let mut chunks = LogDirReader::new(&dir).day_chunks(threads).unwrap();
+            assert_eq!(chunks.days(), 3);
+            assert_eq!(chunks.skipped_files(), 0);
+            let mut all = Vec::new();
+            let mut stats = ParseStats::default();
+            let mut last_day = None;
+            while let Some(chunk) = chunks.next_day() {
+                let chunk = chunk.unwrap();
+                assert!(last_day < Some(chunk.day), "days out of order");
+                last_day = Some(chunk.day);
+                assert!(chunk.records.iter().all(|r| r.t.day_index() == chunk.day));
+                stats.absorb(&chunk.stats);
+                all.extend(chunk.records);
+            }
+            assert_eq!(stats.parsed, expected.len());
+            assert_eq!(stats.malformed, 0);
+            assert_eq!(all, expected, "at {threads} threads");
         }
         let _ = fs::remove_dir_all(&dir);
     }

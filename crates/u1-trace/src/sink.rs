@@ -419,6 +419,10 @@ type WriterStripe = CachePadded<Mutex<HashMap<(MachineId, ProcessId), DayWriter>
 pub struct DirSink {
     dir: PathBuf,
     stripes: Vec<WriterStripe>,
+    /// Append `o=`/`q=` origin/sequence stamps to every line (see
+    /// [`csvline::write_line_stamped`]). Off by default: plain mode emits
+    /// the paper's exact logfile schema.
+    stamped: bool,
     // Padded: this counter sits next to the stripe array and is bumped on
     // the degraded path while other threads stream through their stripes.
     io_errors: CachePadded<AtomicU64>,
@@ -428,6 +432,17 @@ pub struct DirSink {
 impl DirSink {
     /// Creates the directory (and parents) if needed.
     pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::with_stamps(dir, false)
+    }
+
+    /// Like [`DirSink::create`], but every line carries its `(origin, seq)`
+    /// stamp so the directory can be read back into exact canonical order —
+    /// the mode the stream-to-disk pipeline uses.
+    pub fn create_stamped(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::with_stamps(dir, true)
+    }
+
+    fn with_stamps(dir: impl Into<PathBuf>, stamped: bool) -> std::io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(Self {
@@ -435,6 +450,7 @@ impl DirSink {
             stripes: (0..STRIPES)
                 .map(|_| CachePadded::new(Mutex::new(HashMap::new())))
                 .collect(),
+            stamped,
             io_errors: CachePadded::new(AtomicU64::new(0)),
             first_error: Mutex::new(None),
         })
@@ -444,10 +460,20 @@ impl DirSink {
         &self.dir
     }
 
-    /// Number of failed logfile opens since creation. Each failure degrades
-    /// (drops) one (process, day) stream; the next day retries.
+    /// Number of failed logfile operations (opens, writes, flushes) since
+    /// creation. Each failure degrades (drops) one (process, day) stream;
+    /// the next day retries.
     pub fn io_errors(&self) -> u64 {
         self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Counts one degraded-mode I/O failure and keeps the first message.
+    fn note_io_error(&self, msg: impl FnOnce() -> String) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+        let mut slot = self.first_error.lock();
+        if slot.is_none() {
+            *slot = Some(msg());
+        }
     }
 
     /// The first I/O error observed, if any — enough to diagnose a
@@ -477,11 +503,7 @@ impl DirSink {
         match fs::OpenOptions::new().create(true).append(true).open(&path) {
             Ok(file) => Some(BufWriter::new(file)),
             Err(e) => {
-                self.io_errors.fetch_add(1, Ordering::Relaxed);
-                let mut slot = self.first_error.lock();
-                if slot.is_none() {
-                    *slot = Some(format!("open trace logfile {}: {e}", path.display()));
-                }
+                self.note_io_error(|| format!("open trace logfile {}: {e}", path.display()));
                 None
             }
         }
@@ -500,7 +522,9 @@ impl DirSink {
                     let (_, old) = o.insert((day, self.open(machine, process, day)));
                     if let Some(mut w) = old {
                         // u1-lint: allow(U1L007) — day rotation must retire the old writer before the stripe accepts new lines; the stripe lock is that ordering
-                        let _ = w.flush();
+                        if let Err(e) = w.flush() {
+                            self.note_io_error(|| format!("flush trace logfile: {e}"));
+                        }
                     }
                 }
                 o.into_mut()
@@ -511,8 +535,26 @@ impl DirSink {
         };
         if let Some(w) = &mut slot.1 {
             // u1-lint: allow(U1L007) — one serialized line per write under the stripe lock is the log-line atomicity contract (no torn lines across processes)
-            let _ = w.write_all(line);
+            if let Err(e) = w.write_all(line) {
+                // Degrade exactly like a failed open: count it, drop the
+                // writer so the stream goes quiet for the rest of the day
+                // instead of emitting torn lines, retry on rotation.
+                slot.1 = None;
+                self.note_io_error(|| format!("write trace logfile: {e}"));
+            }
         }
+    }
+}
+
+impl DirSink {
+    fn write_line_for_mode(&self, rec: &TraceRecord, buf: &mut String) {
+        buf.clear();
+        let _ = if self.stamped {
+            csvline::write_line_stamped(rec, buf)
+        } else {
+            csvline::write_line(rec, buf)
+        };
+        buf.push('\n');
     }
 }
 
@@ -520,9 +562,7 @@ impl TraceSink for DirSink {
     fn record(&self, rec: TraceRecord) {
         LINE_BUF.with(|b| {
             let mut buf = b.borrow_mut();
-            buf.clear();
-            let _ = csvline::write_line(&rec, &mut *buf);
-            buf.push('\n');
+            self.write_line_for_mode(&rec, &mut buf);
             self.write_serialized(rec.machine, rec.process, rec.t.day_index(), buf.as_bytes());
         });
     }
@@ -531,9 +571,7 @@ impl TraceSink for DirSink {
         LINE_BUF.with(|b| {
             let mut buf = b.borrow_mut();
             for rec in recs {
-                buf.clear();
-                let _ = csvline::write_line(rec, &mut *buf);
-                buf.push('\n');
+                self.write_line_for_mode(rec, &mut buf);
                 self.write_serialized(rec.machine, rec.process, rec.t.day_index(), buf.as_bytes());
             }
         });
@@ -546,10 +584,13 @@ impl TraceSink for DirSink {
 
     fn flush(&self) {
         for stripe in &self.stripes {
-            for (_, (_, w)) in stripe.lock().iter_mut() {
-                if let Some(w) = w {
+            for (_, slot) in stripe.lock().iter_mut() {
+                if let Some(w) = &mut slot.1 {
                     // u1-lint: allow(U1L007) — flush() drains each stripe under its lock so no line written before the flush call can be missed
-                    let _ = w.flush();
+                    if let Err(e) = w.flush() {
+                        slot.1 = None;
+                        self.note_io_error(|| format!("flush trace logfile: {e}"));
+                    }
                 }
             }
         }
@@ -724,5 +765,51 @@ mod tests {
         let memory: std::sync::Arc<dyn TraceSink> = std::sync::Arc::new(MemorySink::new());
         assert_eq!(TraceSink::io_errors(&memory), 0);
         let _ = fs::remove_file(&bogus);
+    }
+
+    /// Write and flush failures (not just failed opens) are counted and
+    /// degrade the (process, day) stream without panicking. Tests run as
+    /// root, where permission tricks don't bite, so the failing device is
+    /// `/dev/full`: opens succeed, every flushed byte returns `ENOSPC`.
+    #[cfg(unix)]
+    #[test]
+    fn dir_sink_counts_write_and_flush_failures() {
+        if !std::path::Path::new("/dev/full").exists() {
+            return; // non-Linux unix: no such device, nothing to test
+        }
+        let dir = std::env::temp_dir().join(format!("u1-trace-full-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let sink = DirSink::create(&dir).unwrap();
+        for proc in [1u16, 2u16] {
+            std::os::unix::fs::symlink(
+                "/dev/full",
+                dir.join(crate::logfile::logfile_name(
+                    MachineId::new(0),
+                    ProcessId::new(proc),
+                    0,
+                )),
+            )
+            .unwrap();
+        }
+        // Process 1: enough lines to overflow the BufWriter mid-record, so
+        // the failure surfaces on the write path itself.
+        for i in 0..2_000u64 {
+            sink.record(rec(10 + i % 50, 0, 1));
+        }
+        assert_eq!(sink.io_errors(), 1, "{:?}", sink.first_io_error());
+        let first = sink.first_io_error().expect("first error recorded");
+        assert!(first.starts_with("write trace logfile"), "was: {first}");
+        // The degraded stream goes quiet instead of erroring per record.
+        sink.record(rec(11, 0, 1));
+        assert_eq!(sink.io_errors(), 1);
+        // Process 2: one buffered line; the failure surfaces at flush().
+        sink.record(rec(10, 0, 2));
+        sink.flush();
+        assert_eq!(sink.io_errors(), 2);
+        // Both streams degraded; a full-run completion with errors counted
+        // is exactly the driver's degraded-mode contract.
+        sink.flush();
+        assert_eq!(sink.io_errors(), 2);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -208,7 +208,7 @@ impl DriverReport {
 struct FileRef {
     volume: VolumeId,
     node: u1_core::NodeId,
-    name: String,
+    name: u1_core::Name,
     size: u64,
     hash: ContentHash,
     death: Option<SimTime>,
@@ -228,7 +228,7 @@ struct DirRef {
 struct CrashedUpload {
     volume: VolumeId,
     node: u1_core::NodeId,
-    name: String,
+    name: u1_core::Name,
     hash: ContentHash,
     size: u64,
     upload: UploadId,
@@ -251,7 +251,7 @@ struct ClientState {
     files: Vec<FileRef>,
     dirs: Vec<DirRef>,
     known_gen: HashMap<VolumeId, u64>,
-    pending_upload: Option<(VolumeId, u1_core::NodeId, String, ContentHash, u64)>,
+    pending_upload: Option<(VolumeId, u1_core::NodeId, u1_core::Name, ContentHash, u64)>,
     /// Survives session ends (that is its whole point): a crashed upload
     /// is resumed at the next session, or abandoned once the GC reaps it.
     crashed_upload: Option<CrashedUpload>,
@@ -810,7 +810,7 @@ impl ShardSim {
         self.clients[u].crashed_upload = Some(CrashedUpload {
             volume: vol,
             node,
-            name: name.to_string(),
+            name: name.into(),
             hash,
             size,
             upload,
@@ -1216,7 +1216,7 @@ impl ShardSim {
         let new_parent = pick_parent(&mut self.clients[u], vol, &mut self.dir_scratch);
         match self.retry(|b| b.move_node(sid, vol, node, new_parent, &new_name)) {
             Ok(_) => {
-                self.clients[u].files[idx].name = new_name;
+                self.clients[u].files[idx].name = new_name.into();
                 true
             }
             Err(_) => false,

@@ -4,7 +4,7 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 use u1_core::rngx;
-use u1_core::{ContentHash, FileCategory, SimDuration};
+use u1_core::{ContentHash, FileCategory, Name, SimDuration};
 
 /// Extension frequency weights, shaped to Fig. 4(c): Code holds the most
 /// files, Audio/Video few files but the most bytes, Docs ≈ 10% of files.
@@ -72,7 +72,9 @@ fn size_params(cat: FileCategory) -> (f64, f64) {
 /// A sampled new file.
 #[derive(Debug, Clone)]
 pub struct FileSpec {
-    pub name: String,
+    /// Generated names are short ("f123.ext"), so they stay inline in
+    /// [`Name`] — no heap allocation per sampled file.
+    pub name: Name,
     pub ext: &'static str,
     pub category: FileCategory,
     pub size: u64,
@@ -251,7 +253,7 @@ impl FileModel {
         };
         self.next_name += self.name_stride;
         FileSpec {
-            name: format!("f{}.{}", self.next_name, ext),
+            name: format!("f{}.{}", self.next_name, ext).into(),
             ext,
             category: FileCategory::of_extension(ext),
             size,
@@ -271,10 +273,10 @@ impl FileModel {
         (content_id, ContentHash::from_content_id(content_id), size)
     }
 
-    /// Fresh directory name.
-    pub fn new_dir_name(&mut self) -> String {
+    /// Fresh directory name (short enough to stay inline in [`Name`]).
+    pub fn new_dir_name(&mut self) -> Name {
         self.next_name += self.name_stride;
-        format!("dir{}", self.next_name)
+        format!("dir{}", self.next_name).into()
     }
 }
 
