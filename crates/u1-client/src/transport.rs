@@ -267,6 +267,10 @@ pub struct TcpTransport {
     pushes: Vec<Push>,
     session: Option<SessionId>,
     buf: Vec<u8>,
+    /// Send `UploadChunkSparse` instead of zero-filled `UploadChunk`s when
+    /// the caller provides no content bytes. Only valid against a
+    /// measurement-mode server (real-byte servers reject sparse chunks).
+    sparse_content: bool,
 }
 
 impl TcpTransport {
@@ -279,7 +283,18 @@ impl TcpTransport {
             pushes: Vec::new(),
             session: None,
             buf: vec![0u8; 64 * 1024],
+            sparse_content: false,
         })
+    }
+
+    /// Switches content-less uploads to the sparse wire path: one
+    /// `UploadChunkSparse` per S3 part, mirroring `DirectTransport`'s part
+    /// schedule byte-for-byte in the back-end trace without shipping (or
+    /// even allocating) filler. Use against measurement-mode servers; a
+    /// real-byte server refuses sparse chunks.
+    pub fn with_sparse_content(mut self) -> Self {
+        self.sparse_content = true;
+        self
     }
 
     /// Sends one request and blocks until its final response, buffering any
@@ -330,15 +345,21 @@ impl TcpTransport {
             .pop()
             .ok_or_else(|| CoreError::invalid("no response"))?;
         if let Response::Error { code, message } = &resp {
-            return Err(match code.as_str() {
-                "not_found" => CoreError::not_found(message.clone()),
-                "conflict" => CoreError::conflict(message.clone()),
-                "denied" => CoreError::permission_denied(message.clone()),
-                "unavailable" => CoreError::unavailable(message.clone()),
-                _ => CoreError::invalid(message.clone()),
-            });
+            return Err(wire_error(code, message.clone()));
         }
         Ok(resp)
+    }
+}
+
+/// Reconstitutes a typed [`CoreError`] from its wire form, so TCP clients
+/// observe the same error kinds as in-process ones.
+fn wire_error(code: &str, message: String) -> CoreError {
+    match code {
+        "not_found" => CoreError::not_found(message),
+        "conflict" => CoreError::conflict(message),
+        "denied" => CoreError::permission_denied(message),
+        "unavailable" => CoreError::unavailable(message),
+        _ => CoreError::invalid(message),
     }
 }
 
@@ -494,24 +515,41 @@ impl Transport for TcpTransport {
                 bytes_sent: 0,
             }),
             Response::UploadBegun { upload, .. } => {
-                let bytes = data.unwrap_or_else(|| vec![0u8; size as usize]);
                 let mut sent = 0u64;
-                // Wire chunks are bounded by the frame limit, not the S3
-                // part size; 1MB keeps frames comfortable.
-                const WIRE_CHUNK: usize = 1024 * 1024;
-                for chunk in bytes.chunks(WIRE_CHUNK.max(1)) {
-                    self.call_one(Request::UploadChunk {
-                        upload,
-                        data: chunk.to_vec(),
-                    })?;
-                    sent += chunk.len() as u64;
-                }
-                if bytes.is_empty() {
-                    self.call_one(Request::UploadChunk {
-                        upload,
-                        data: vec![0u8],
-                    })?;
-                    sent += 1;
+                if data.is_none() && self.sparse_content {
+                    // Measurement mode: declare part lengths without
+                    // materializing bytes — the same part schedule as
+                    // `DirectTransport` (one `UploadChunkSparse` per S3
+                    // part), so both paths produce identical back-end RPC
+                    // sequences and trace records.
+                    let mut remaining = size.max(1);
+                    while remaining > 0 {
+                        let part = remaining.min(u1_blobstore_part_size());
+                        self.call_one(Request::UploadChunkSparse { upload, len: part })?;
+                        sent += part;
+                        remaining -= part;
+                    }
+                } else {
+                    // Live bytes (zero filler when the caller names a size
+                    // but no content): wire chunks are bounded by the frame
+                    // limit, not the S3 part size; 1MB keeps frames
+                    // comfortable.
+                    let bytes = data.unwrap_or_else(|| vec![0u8; size as usize]);
+                    const WIRE_CHUNK: usize = 1024 * 1024;
+                    for chunk in bytes.chunks(WIRE_CHUNK.max(1)) {
+                        self.call_one(Request::UploadChunk {
+                            upload,
+                            data: chunk.to_vec(),
+                        })?;
+                        sent += chunk.len() as u64;
+                    }
+                    if bytes.is_empty() {
+                        self.call_one(Request::UploadChunk {
+                            upload,
+                            data: vec![0u8],
+                        })?;
+                        sent += 1;
+                    }
                 }
                 match self.call_one(Request::CommitUpload { upload })? {
                     Response::UploadDone { .. } => Ok(UploadResult {
@@ -534,20 +572,32 @@ impl Transport for TcpTransport {
         let mut size = 0u64;
         let mut hash = None;
         let mut data = Vec::new();
+        let mut chunks_seen = false;
         for resp in responses {
             match resp {
                 Response::ContentBegin { size: s, hash: h } => {
                     size = s;
                     hash = Some(h);
                 }
-                Response::ContentChunk { data: d } => data.extend_from_slice(&d),
+                Response::ContentChunk { data: d } => {
+                    chunks_seen = true;
+                    data.extend_from_slice(&d);
+                }
                 Response::ContentEnd => {}
-                Response::Error { message, .. } => return Err(CoreError::invalid(message)),
+                Response::Error { code, message } => return Err(wire_error(&code, message)),
                 other => return Err(CoreError::invalid(format!("unexpected {}", other.label()))),
             }
         }
         let hash = hash.ok_or_else(|| CoreError::invalid("missing content header"))?;
-        Ok((size, hash, Some(data)))
+        // A chunkless stream with a nonzero declared size is measurement
+        // mode: the server accounted the transfer but holds no bytes —
+        // mirror `DirectTransport` by reporting `None`.
+        let data = if !chunks_seen && size > 0 {
+            None
+        } else {
+            Some(data)
+        };
+        Ok((size, hash, data))
     }
 
     fn poll_pushes(&mut self) -> Vec<Push> {
@@ -575,8 +625,15 @@ impl Transport for TcpTransport {
     }
 
     fn close(&mut self) {
+        // A live session says goodbye and waits for the acknowledgement:
+        // the server closes the session *before* answering, so by the time
+        // `close` returns the teardown is globally ordered — matching
+        // `DirectTransport::close`, whose `close_session` call is
+        // synchronous. An unauthenticated connection just disconnects.
+        if self.session.take().is_some() {
+            let _ = self.call_one(Request::Bye);
+        }
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
-        self.session = None;
     }
 
     fn session(&self) -> Option<SessionId> {

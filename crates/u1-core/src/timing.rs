@@ -32,7 +32,8 @@ use serde::Serialize;
 ///
 /// The driver uses the first five; the parallel logfile reader uses
 /// [`Phase::Parse`] and [`Phase::Sort`]; the chunked analytics engine uses
-/// [`Phase::Fold`] and [`Phase::Merge`].
+/// [`Phase::Fold`] and [`Phase::Merge`]; the wire tier's reactor thread
+/// (DESIGN.md §15) splits its loop across the four `Net*` phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Worker threads advancing shard simulations (`run_until`).
@@ -54,10 +55,18 @@ pub enum Phase {
     Fold,
     /// Merging fold partials back together (tree reduction).
     Merge,
+    /// Reactor: accepting connections and running admission control.
+    NetAccept,
+    /// Reactor: nonblocking socket reads and frame decoding.
+    NetRead,
+    /// Reactor: dispatching decoded requests into backend handlers.
+    NetServe,
+    /// Reactor: draining per-connection send queues to sockets.
+    NetWrite,
 }
 
 /// Number of distinct [`Phase`] values (size of a [`PhaseTimers`] bank).
-pub const PHASE_COUNT: usize = 9;
+pub const PHASE_COUNT: usize = 13;
 
 impl Phase {
     #[inline]
@@ -72,6 +81,10 @@ impl Phase {
             Phase::Sort => 6,
             Phase::Fold => 7,
             Phase::Merge => 8,
+            Phase::NetAccept => 9,
+            Phase::NetRead => 10,
+            Phase::NetServe => 11,
+            Phase::NetWrite => 12,
         }
     }
 }
@@ -156,6 +169,10 @@ impl PhaseTimers {
             sort_nanos: self.get(Phase::Sort),
             fold_nanos: self.get(Phase::Fold),
             merge_nanos: self.get(Phase::Merge),
+            net_accept_nanos: self.get(Phase::NetAccept),
+            net_read_nanos: self.get(Phase::NetRead),
+            net_serve_nanos: self.get(Phase::NetServe),
+            net_write_nanos: self.get(Phase::NetWrite),
         }
     }
 }
@@ -194,6 +211,14 @@ pub struct PhaseNanos {
     pub fold_nanos: u64,
     /// Thread-nanos merging fold partials (tree reduction).
     pub merge_nanos: u64,
+    /// Reactor nanos accepting connections (admission control included).
+    pub net_accept_nanos: u64,
+    /// Reactor nanos in nonblocking reads and frame decoding.
+    pub net_read_nanos: u64,
+    /// Reactor nanos dispatching requests into backend handlers.
+    pub net_serve_nanos: u64,
+    /// Reactor nanos draining send queues to sockets.
+    pub net_write_nanos: u64,
 }
 
 impl PhaseNanos {

@@ -1,0 +1,29 @@
+//! Readiness polling for the wire tier (DESIGN.md §15).
+//!
+//! The real UbuntuOne API servers were Twisted processes: a single-threaded
+//! event loop multiplexing thousands of persistent client connections over
+//! `epoll`. This crate vendors exactly the slice of that machinery the
+//! serving tier needs — nothing else:
+//!
+//! * [`Poller`] — a level-triggered `epoll` instance
+//!   (`epoll_create1`/`epoll_ctl`/`epoll_wait` via direct FFI; the symbols
+//!   come from the libc that `std` already links, so no external crate is
+//!   involved),
+//! * [`Interest`] — the read/write readiness a registration asks for
+//!   (write interest is toggled dynamically for backpressure),
+//! * [`Event`] — one readiness notification, carrying the caller's token.
+//!
+//! Deliberately **not** here: timers, wakers, executors, or any task
+//! abstraction. The reactor in `u1-server::tcpserver` owns its loop and
+//! calls [`Poller::wait`] with a short timeout; everything above readiness
+//! (connection state machines, send queues, admission control) lives with
+//! the policy that needs it.
+//!
+//! Only Linux has an implementation; on other targets every call returns
+//! [`std::io::ErrorKind::Unsupported`] so the workspace still builds.
+
+mod poller;
+#[cfg(target_os = "linux")]
+mod sys;
+
+pub use poller::{Event, Interest, Poller};

@@ -1,0 +1,65 @@
+//! Raw `epoll` FFI.
+//!
+//! The declarations bind symbols from the C library that `std` already
+//! links on Linux — no `libc` crate, no build script. Layout note:
+//! `struct epoll_event` is declared `__attribute__((packed))` in the kernel
+//! UAPI headers **on x86-64 only** (a 2.6-era ABI accident preserved
+//! forever); other architectures use natural alignment. The `cfg_attr`
+//! below mirrors that exactly — getting it wrong corrupts the `data` field
+//! of every second event in a `epoll_wait` batch.
+
+use std::os::raw::c_int;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half — surfaced so half-closed connections are
+/// torn down without waiting for a read to return 0.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+/// `EPOLL_CLOEXEC` (== `O_CLOEXEC`): the epoll fd must not leak into
+/// subprocesses the host happens to spawn.
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-owned cookie, returned verbatim with each event.
+    pub data: u64,
+}
+
+extern "C" {
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut EpollEvent,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_layout_matches_the_kernel_abi() {
+        // 12 bytes packed on x86-64, 16 bytes naturally aligned elsewhere.
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+            assert_eq!(std::mem::align_of::<EpollEvent>(), 1);
+        } else {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+        }
+    }
+}

@@ -129,6 +129,8 @@ mod req_tag {
     pub const CANCEL_UPLOAD: u8 = 16;
     pub const GET_CONTENT: u8 = 17;
     pub const PING: u8 = 18;
+    pub const UPLOAD_CHUNK_SPARSE: u8 = 19;
+    pub const BYE: u8 = 20;
 }
 
 fn put_request(buf: &mut impl BufMut, req: &Request) {
@@ -221,6 +223,11 @@ fn put_request(buf: &mut impl BufMut, req: &Request) {
             wire::put_uvarint(buf, upload.raw());
             wire::put_bytes(buf, data);
         }
+        Request::UploadChunkSparse { upload, len } => {
+            buf.put_u8(UPLOAD_CHUNK_SPARSE);
+            wire::put_uvarint(buf, upload.raw());
+            wire::put_uvarint(buf, *len);
+        }
         Request::CommitUpload { upload } => {
             buf.put_u8(COMMIT_UPLOAD);
             wire::put_uvarint(buf, upload.raw());
@@ -235,6 +242,7 @@ fn put_request(buf: &mut impl BufMut, req: &Request) {
             wire::put_uvarint(buf, node.raw());
         }
         Request::Ping => buf.put_u8(PING),
+        Request::Bye => buf.put_u8(BYE),
     }
 }
 
@@ -300,6 +308,10 @@ fn get_request(buf: &mut impl Buf) -> WireResult<Request> {
             upload: UploadId::new(wire::get_uvarint(buf)?),
             data: wire::get_bytes(buf)?,
         },
+        UPLOAD_CHUNK_SPARSE => Request::UploadChunkSparse {
+            upload: UploadId::new(wire::get_uvarint(buf)?),
+            len: wire::get_uvarint(buf)?,
+        },
         COMMIT_UPLOAD => Request::CommitUpload {
             upload: UploadId::new(wire::get_uvarint(buf)?),
         },
@@ -311,6 +323,7 @@ fn get_request(buf: &mut impl Buf) -> WireResult<Request> {
             node: NodeId::new(wire::get_uvarint(buf)?),
         },
         PING => Request::Ping,
+        BYE => Request::Bye,
         d => return Err(WireError::BadDiscriminant(d)),
     })
 }
@@ -647,6 +660,10 @@ mod tests {
                 upload: UploadId::new(7),
                 data: vec![0u8; 100],
             },
+            Request::UploadChunkSparse {
+                upload: UploadId::new(7),
+                len: 5 * 1024 * 1024,
+            },
             Request::CommitUpload {
                 upload: UploadId::new(7),
             },
@@ -655,6 +672,7 @@ mod tests {
             },
             Request::GetContent { volume: v, node: n },
             Request::Ping,
+            Request::Bye,
         ] {
             round_trip(Message::Request { id: 88, req });
         }

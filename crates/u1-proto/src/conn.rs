@@ -4,7 +4,31 @@
 //! write come out as [`bytes::Bytes`]. This keeps the protocol logic —
 //! request/response correlation, authentication gating, stream bookkeeping —
 //! fully unit-testable, and lets the same state machines drive the real TCP
-//! transport ([`crate::tcp`]) and the virtual-time simulation.
+//! transport ([`crate::tcp`]), the epoll reactor
+//! (`u1_server::tcpserver`), and the virtual-time simulation.
+//!
+//! A full exchange, with the "socket" replaced by byte slices:
+//!
+//! ```
+//! use u1_proto::conn::{ClientConn, ClientEvent, ServerConn, ServerEvent};
+//! use u1_proto::msg::{Request, Response};
+//!
+//! let mut client = ClientConn::new();
+//! let mut server = ServerConn::new();
+//!
+//! // Client side: encode a request; `bytes` is what you would write().
+//! let (id, bytes) = client.request(Request::Ping).unwrap();
+//!
+//! // Server side: feed whatever arrived; complete requests pop out.
+//! // (`Ping` is allowed before authentication; data ops are not.)
+//! let events = server.on_bytes(&bytes).unwrap();
+//! assert_eq!(events, vec![ServerEvent::Request { id, req: Request::Ping }]);
+//!
+//! // Server answers; `reply` is what the reactor queues on its send queue.
+//! let reply = server.respond(id, Response::Pong).unwrap();
+//! let events = client.on_bytes(&reply).unwrap();
+//! assert_eq!(events, vec![ClientEvent::Response { id, resp: Response::Pong }]);
+//! ```
 
 use crate::codec;
 use crate::frame::{encode_frame, FrameDecoder, FrameError};

@@ -1,10 +1,40 @@
 //! Length-prefixed framing.
 //!
-//! Every message travels in one frame: a 4-byte big-endian length followed
-//! by the message body. The decoder is incremental — feed it arbitrary byte
-//! chunks (as they arrive from a socket) and pull complete frames out — the
-//! framing pattern the networking guides emphasize: never assume message
+//! Every message travels in one frame. Bytes on the wire:
+//!
+//! ```text
+//! +---------------------+--------------------------------+
+//! | length: u32, BE     | body: exactly `length` bytes   |
+//! | (4 bytes)           | (codec-encoded Message)        |
+//! +---------------------+--------------------------------+
+//! ```
+//!
+//! The length counts the body only (not itself) and is bounded by
+//! [`MAX_FRAME_LEN`]; a larger announcement is rejected *before* any body
+//! bytes are buffered, so a hostile peer cannot make the decoder allocate
+//! 4GB by sending five bytes. An empty body (`length == 0`) is legal.
+//!
+//! The decoder is incremental — feed it arbitrary byte chunks (as they
+//! arrive from a socket) and pull complete frames out — the framing
+//! pattern the networking guides emphasize: never assume message
 //! boundaries align with read boundaries.
+//!
+//! ```
+//! use bytes::BytesMut;
+//! use u1_proto::frame::{encode_frame, FrameDecoder};
+//!
+//! let mut out = BytesMut::new();
+//! encode_frame(b"ping", &mut out).unwrap();
+//! assert_eq!(out.as_ref(), [0, 0, 0, 4, b'p', b'i', b'n', b'g']);
+//!
+//! // Bytes arrive in arbitrary chunks; frames come out whole.
+//! let bytes: &[u8] = out.as_ref();
+//! let mut dec = FrameDecoder::new();
+//! dec.extend(&bytes[..3]); // partial header
+//! assert!(dec.next_frame().unwrap().is_none());
+//! dec.extend(&bytes[3..]); // rest of header + body
+//! assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"ping");
+//! ```
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 

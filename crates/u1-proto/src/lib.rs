@@ -17,16 +17,20 @@
 //!   maximum-frame-size guard,
 //! * [`conn`] — client/server connection state machines (handshake,
 //!   request/response correlation, in-flight upload bookkeeping),
+//! * [`nio`] — nonblocking read/write helpers ([`SendQueue`] with a
+//!   partial-write cursor, [`nio::read_once`]) for the epoll reactor,
 //! * [`tcp`] — a small blocking transport binding frames to `std::net`.
 
 pub mod codec;
 pub mod conn;
 pub mod frame;
 pub mod msg;
+pub mod nio;
 pub mod tcp;
 pub mod wire;
 
 pub use conn::{ClientConn, ConnError, ServerConn, ServerEvent};
 pub use frame::{FrameDecoder, FrameError, MAX_FRAME_LEN};
 pub use msg::{Message, NodeInfo, Push, Request, RequestId, Response, VolumeInfo};
+pub use nio::{ReadOutcome, SendQueue};
 pub use wire::{WireError as ProtoError, WireResult as ProtoResult};

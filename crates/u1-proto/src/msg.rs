@@ -5,6 +5,24 @@
 //! appears in Fig. 8), chunked content transfer (uploads are sent in parts;
 //! the back-end maps them to S3 multipart parts, Appendix A), and
 //! server-initiated pushes (§3.4.2).
+//!
+//! Three message kinds share the connection, distinguished by
+//! [`Message`]'s leading tag byte:
+//!
+//! * [`Request`] — client → server, stamped with a [`RequestId`] for
+//!   correlation. Only `Authenticate`, `QuerySetCaps`, and `Ping` are
+//!   legal before authentication; everything else earns an error and a
+//!   disconnect ([`Request::allowed_unauthenticated`]).
+//! * [`Response`] — server → client, echoing the request's id. Most
+//!   requests get exactly one; content downloads stream
+//!   `ContentBegin` / `ContentChunk`* / `ContentEnd` under a single id,
+//!   and only the *final* response ([`Response::is_final`]) retires it.
+//! * [`Push`] — server → client, unsolicited, no id (§3.4.2): other
+//!   devices' changes arriving on this volume.
+//!
+//! Byte-level layout is the codec's concern (varints and length-prefixed
+//! strings per [`crate::wire`], one message per length-prefixed frame per
+//! [`crate::frame`]); this module is the vocabulary.
 
 use u1_core::{
     ContentHash, Name, NodeId, NodeKind, SessionId, UploadId, UserId, VolumeId, VolumeKind,
@@ -105,6 +123,16 @@ pub enum Request {
         upload: UploadId,
         data: Vec<u8>,
     },
+    /// One part of an upload carrying only its *declared* length — the
+    /// measurement-mode twin of [`Request::UploadChunk`]. The back-end
+    /// accounts the bytes (RPC records, transfer time, multipart
+    /// bookkeeping) without either side materializing or shipping them, so
+    /// a month-scale client fleet does not push terabytes of zeros through
+    /// loopback. Servers running with real byte storage reject it.
+    UploadChunkSparse {
+        upload: UploadId,
+        len: u64,
+    },
     /// Commit a finished upload.
     CommitUpload {
         upload: UploadId,
@@ -121,6 +149,12 @@ pub enum Request {
     },
     /// Keep-alive.
     Ping,
+    /// Graceful goodbye: close the session *now*, then the connection. The
+    /// server answers [`Response::Ok`] after the session is gone, flushes,
+    /// and closes — so a client that waits for the reply knows its session
+    /// teardown is ordered before anything that happens next (an abrupt
+    /// disconnect is reaped asynchronously when the reactor notices EOF).
+    Bye,
 }
 
 impl Request {
@@ -141,10 +175,12 @@ impl Request {
             Request::RescanFromScratch { .. } => "rescan_from_scratch",
             Request::BeginUpload { .. } => "begin_upload",
             Request::UploadChunk { .. } => "upload_chunk",
+            Request::UploadChunkSparse { .. } => "upload_chunk_sparse",
             Request::CommitUpload { .. } => "commit_upload",
             Request::CancelUpload { .. } => "cancel_upload",
             Request::GetContent { .. } => "get_content",
             Request::Ping => "ping",
+            Request::Bye => "bye",
         }
     }
 

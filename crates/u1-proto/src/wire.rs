@@ -5,6 +5,41 @@
 //! length prefixes for strings/bytes. Decoding is strict — truncated or
 //! over-long input yields a [`WireError`] instead of panicking, because
 //! frames arrive from the network.
+//!
+//! # Error taxonomy
+//!
+//! Every decode failure maps to exactly one [`WireError`] variant, and all
+//! of them are **fatal for the connection** (the serving tier drops the
+//! peer rather than resynchronizing a corrupt stream):
+//!
+//! | Variant | Fires when |
+//! |---|---|
+//! | [`Truncated`](WireError::Truncated) | the buffer ends mid-value (varint, hash, discriminant) |
+//! | [`VarintOverflow`](WireError::VarintOverflow) | a varint runs past 10 bytes or encodes more than 64 bits |
+//! | [`BadLength`](WireError::BadLength) | a length prefix exceeds the remaining buffer, or trailing garbage follows a message |
+//! | [`BadDiscriminant`](WireError::BadDiscriminant) | an enum tag byte has no defined meaning |
+//! | [`BadUtf8`](WireError::BadUtf8) | a string field holds invalid UTF-8 |
+//! | [`Overflow`](WireError::Overflow) | a decoded integer exceeds the field's native width (`usize` counts, `u32` request ids) |
+//!
+//! Encoding cannot fail: buffers grow, and every encodable value has a
+//! representation.
+//!
+//! ```
+//! use bytes::BytesMut;
+//! use u1_proto::wire::{get_uvarint, put_uvarint, WireError};
+//!
+//! let mut buf = BytesMut::new();
+//! put_uvarint(&mut buf, 300);
+//! assert_eq!(buf.as_ref(), [0xAC, 0x02]); // LEB128, low 7 bits first
+//!
+//! let mut cur = buf.freeze();
+//! assert_eq!(get_uvarint(&mut cur), Ok(300));
+//!
+//! // Strictness: a continuation bit with nothing after it is an error,
+//! // never a partial value.
+//! let mut cut = &[0x80u8][..];
+//! assert_eq!(get_uvarint(&mut cut), Err(WireError::Truncated));
+//! ```
 
 use bytes::{Buf, BufMut};
 

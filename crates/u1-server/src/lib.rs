@@ -40,4 +40,5 @@ pub use backend::{Backend, BackendConfig};
 pub use cluster::ClusterConfig;
 pub use push::VolumeEvent;
 pub use session::SessionHandle;
+pub use tcpserver::{ReactorConfig, TcpServer, WireStats};
 pub use tokencache::{TokenCache, TokenCacheStats};

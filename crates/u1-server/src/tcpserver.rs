@@ -1,67 +1,198 @@
-//! Live TCP front-end: real protocol connections against the backend.
+//! Live TCP front-end: an epoll reactor serving the storage protocol.
 //!
-//! Threading model (the guides' classic blocking design): one acceptor
-//! thread, one reader thread per connection, plus one push-writer thread
-//! per authenticated session that forwards broker-routed pushes onto the
-//! client's TCP connection — the persistent connection that makes U1's
-//! push notifications possible (§3.3).
+//! Threading model (DESIGN.md §15): **one thread**, the Twisted shape the
+//! real U1 API servers had — a single event loop multiplexing every
+//! persistent client connection over level-triggered `epoll` (via
+//! [`u1_net::Poller`]). There are no per-connection threads, no
+//! per-session push-writer threads, and no socket mutexes: every read,
+//! every dispatch, and every write happens on the reactor thread, and
+//! outbound frames (responses *and* pushes) go through a per-connection
+//! [`SendQueue`] that the reactor drains when the socket reports writable.
+//!
+//! Admission control (§5.4 — U1 ran per-IP throttling after the 2014
+//! abuse incident):
+//!
+//! * a hard cap on concurrent connections ([`ReactorConfig::max_connections`]),
+//! * a per-IP accept throttle (at most `accept_burst_per_ip` accepts per
+//!   `accept_window` from one address),
+//! * a per-connection send budget: a client that stops reading while the
+//!   server owes it bytes accumulates queued frames, and once the queue
+//!   exceeds [`ReactorConfig::send_budget_bytes`] the connection is evicted
+//!   — slow readers cost bounded memory, not unbounded growth.
+//!
+//! Shutdown drains: accepting stops, queued bytes are flushed, and any
+//! connection still unflushed at `drain_timeout` is force-closed.
 
 use crate::api::UploadOutcome;
 use crate::backend::Backend;
 use crate::session::SessionHandle;
-use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use u1_auth::Token;
+use u1_core::timing::{Phase, PhaseNanos, PhaseTimers};
 use u1_core::{CoreError, NodeKind};
+use u1_net::{Interest, Poller};
 use u1_proto::conn::{ServerConn, ServerEvent};
-use u1_proto::msg::{Request, RequestId, Response};
+use u1_proto::msg::{Push, Request, RequestId, Response};
+use u1_proto::nio::{read_once, ReadOutcome, SendQueue};
 use u1_proto::tcp;
 
 /// Maximum bytes per ContentChunk response.
 const DOWNLOAD_CHUNK: usize = 256 * 1024;
 
+/// Token under which the listening socket is registered.
+const LISTENER: u64 = 0;
+
+/// Reactor tuning knobs. [`ReactorConfig::default`] matches what the tests
+/// and benches expect from a well-behaved deployment.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Hard cap on concurrently served connections; accepts beyond it are
+    /// refused (closed immediately).
+    pub max_connections: usize,
+    /// Accepts allowed from one IP per `accept_window` before the reactor
+    /// starts refusing that address (§5.4 per-IP throttling).
+    pub accept_burst_per_ip: u32,
+    /// Length of the per-IP accounting window.
+    pub accept_window: Duration,
+    /// Eviction threshold for a connection's unsent queued bytes.
+    pub send_budget_bytes: usize,
+    /// Upper bound on one `epoll_wait`; also the cadence at which pending
+    /// pushes are forwarded and the shutdown flag is observed.
+    pub tick: Duration,
+    /// How long shutdown waits for queued bytes to flush before
+    /// force-closing the stragglers.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            max_connections: 1024,
+            accept_burst_per_ip: 256,
+            accept_window: Duration::from_secs(1),
+            send_budget_bytes: 32 * 1024 * 1024,
+            tick: Duration::from_millis(5),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Monotone counters the reactor maintains; snapshot via
+/// [`TcpServer::stats`]. All relaxed: they are diagnostics, not
+/// synchronization.
+#[derive(Debug, Default)]
+struct WireCounters {
+    accepted: AtomicU64,
+    refused_capacity: AtomicU64,
+    refused_throttle: AtomicU64,
+    evicted_slow: AtomicU64,
+    graceful_byes: AtomicU64,
+    eof_reaps: AtomicU64,
+    protocol_errors: AtomicU64,
+    pushes_forwarded: AtomicU64,
+}
+
+/// A point-in-time copy of the reactor's admission/lifecycle counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireStats {
+    /// Connections admitted past all admission checks.
+    pub accepted: u64,
+    /// Accepts refused because `max_connections` was reached.
+    pub refused_capacity: u64,
+    /// Accepts refused by the per-IP throttle.
+    pub refused_throttle: u64,
+    /// Connections evicted for exceeding their send budget (slow readers).
+    pub evicted_slow: u64,
+    /// Sessions ended by an explicit `Bye` (vs. reaped on EOF).
+    pub graceful_byes: u64,
+    /// Connections reaped because the peer disconnected (EOF/hangup/error).
+    pub eof_reaps: u64,
+    /// Connections dropped for framing or protocol violations.
+    pub protocol_errors: u64,
+    /// Push notifications forwarded onto client connections.
+    pub pushes_forwarded: u64,
+}
+
+impl WireCounters {
+    fn snapshot(&self) -> WireStats {
+        WireStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused_capacity: self.refused_capacity.load(Ordering::Relaxed),
+            refused_throttle: self.refused_throttle.load(Ordering::Relaxed),
+            evicted_slow: self.evicted_slow.load(Ordering::Relaxed),
+            graceful_byes: self.graceful_byes.load(Ordering::Relaxed),
+            eof_reaps: self.eof_reaps.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            pushes_forwarded: self.pushes_forwarded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared between the [`TcpServer`] handle and the reactor thread.
+struct Shared {
+    shutdown: AtomicBool,
+    counters: WireCounters,
+    timers: PhaseTimers,
+}
+
 /// A running TCP server.
 pub struct TcpServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl TcpServer {
-    /// Binds and starts accepting. Pass `"127.0.0.1:0"` to get an ephemeral
-    /// port (see [`TcpServer::local_addr`]).
+    /// Binds and starts the reactor with default tuning. Pass
+    /// `"127.0.0.1:0"` to get an ephemeral port (see
+    /// [`TcpServer::local_addr`]).
     pub fn start(backend: Arc<Backend>, addr: &str) -> std::io::Result<TcpServer> {
+        Self::start_with(backend, addr, ReactorConfig::default())
+    }
+
+    /// Binds and starts the reactor with explicit tuning.
+    pub fn start_with(
+        backend: Arc<Backend>,
+        addr: &str,
+        cfg: ReactorConfig,
+    ) -> std::io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let shutdown2 = Arc::clone(&shutdown);
-        let accept_thread =
-            std::thread::Builder::new()
-                .name("u1-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shutdown2.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        match stream {
-                            Ok(stream) => {
-                                let backend = Arc::clone(&backend);
-                                let _ = std::thread::Builder::new()
-                                    .name("u1-conn".into())
-                                    .spawn(move || handle_connection(backend, stream));
-                            }
-                            Err(_) => return,
-                        }
-                    }
-                })?;
+        let poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            counters: WireCounters::default(),
+            timers: PhaseTimers::new(),
+        });
+        let shared2 = Arc::clone(&shared);
+        let reactor = std::thread::Builder::new()
+            .name("u1-reactor".into())
+            .spawn(move || {
+                Reactor {
+                    backend,
+                    listener,
+                    poller,
+                    shared: shared2,
+                    cfg,
+                    conns: HashMap::new(),
+                    throttle: HashMap::new(),
+                    next_token: LISTENER + 1,
+                }
+                .run();
+            })?;
         Ok(TcpServer {
             addr: local,
-            shutdown,
-            accept_thread: Some(accept_thread),
+            shared,
+            reactor: Some(reactor),
         })
     }
 
@@ -69,13 +200,22 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stops accepting new connections. Existing connections drain on their
-    /// own when clients disconnect.
+    /// Admission and lifecycle counters, as of now.
+    pub fn stats(&self) -> WireStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Cumulative reactor time by phase (NetAccept/NetRead/NetServe/NetWrite).
+    pub fn phase_nanos(&self) -> PhaseNanos {
+        self.shared.timers.snapshot()
+    }
+
+    /// Stops accepting, drains queued bytes (bounded by
+    /// [`ReactorConfig::drain_timeout`]), closes every connection, and joins
+    /// the reactor thread.
     pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.reactor.take() {
             let _ = t.join();
         }
     }
@@ -83,9 +223,8 @@ impl TcpServer {
 
 impl Drop for TcpServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.reactor.take() {
             let _ = t.join();
         }
     }
@@ -98,205 +237,460 @@ fn err_response(e: &CoreError) -> Response {
     }
 }
 
-/// Per-connection server loop.
-fn handle_connection(backend: Arc<Backend>, stream: TcpStream) {
-    let _ = tcp::configure(&stream);
-    let writer = Arc::new(Mutex::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    }));
-    let mut reader = stream;
-    let mut conn = ServerConn::new();
-    let mut handle: Option<SessionHandle> = None;
-    let mut push_thread: Option<JoinHandle<()>> = None;
-    let mut buf = vec![0u8; 64 * 1024];
+/// Why a connection is being torn down — selects the stat to bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cause {
+    Eof,
+    Protocol,
+    Evicted,
+    /// Queue flushed after a close-worthy exchange (Bye, auth refusal,
+    /// pre-auth violation) or during shutdown drain.
+    Flushed,
+}
 
-    'outer: loop {
-        let n = match tcp::read_some(&mut reader, &mut buf) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => n,
+/// One live connection owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    peer_ip: IpAddr,
+    proto: ServerConn,
+    sendq: SendQueue,
+    handle: Option<SessionHandle>,
+    push_rx: Option<crossbeam::channel::Receiver<Push>>,
+    /// Flush the send queue, then close — no more reads are processed.
+    closing: bool,
+    /// Last interest registered with the poller (write side toggles).
+    want_write: bool,
+}
+
+struct Reactor {
+    backend: Arc<Backend>,
+    listener: TcpListener,
+    poller: Poller,
+    shared: Arc<Shared>,
+    cfg: ReactorConfig,
+    conns: HashMap<u64, Conn>,
+    throttle: HashMap<IpAddr, (Instant, u32)>,
+    next_token: u64,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = Vec::with_capacity(256);
+        let mut read_buf = vec![0u8; 64 * 1024];
+        let mut draining_since: Option<Instant> = None;
+
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) && draining_since.is_none() {
+                draining_since = Some(Instant::now());
+                let _ = self.poller.deregister(self.listener.as_raw_fd());
+                for conn in self.conns.values_mut() {
+                    conn.closing = true;
+                }
+            }
+            if let Some(t0) = draining_since {
+                if self.conns.is_empty() {
+                    return;
+                }
+                if t0.elapsed() >= self.cfg.drain_timeout {
+                    let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                    for token in tokens {
+                        self.teardown(token, Cause::Flushed);
+                    }
+                    return;
+                }
+            }
+
+            events.clear();
+            if self.poller.wait(&mut events, Some(self.cfg.tick)).is_err() {
+                // The poller itself failing is unrecoverable; drop
+                // everything (sessions are reaped in teardown).
+                let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                for token in tokens {
+                    self.teardown(token, Cause::Flushed);
+                }
+                return;
+            }
+
+            for &ev in &events {
+                if ev.token == LISTENER {
+                    if draining_since.is_none() {
+                        self.accept_ready();
+                    }
+                    continue;
+                }
+                if !self.conns.contains_key(&ev.token) {
+                    continue; // torn down earlier this batch
+                }
+                if ev.hangup {
+                    self.teardown(ev.token, Cause::Eof);
+                    continue;
+                }
+                if ev.readable {
+                    self.conn_readable(ev.token, &mut read_buf);
+                }
+                // Writability is consumed by the post-pass below.
+            }
+
+            self.post_pass();
+        }
+    }
+
+    /// Accepts until the backlog is empty, applying admission control.
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = self
+                .shared
+                .timers
+                .time(Phase::NetAccept, || self.listener.accept());
+            let (stream, peer) = match accepted {
+                Ok(pair) => pair,
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            };
+            if self.conns.len() >= self.cfg.max_connections {
+                self.shared
+                    .counters
+                    .refused_capacity
+                    .fetch_add(1, Ordering::Relaxed);
+                continue; // dropping the stream closes it
+            }
+            if !self.admit_ip(peer.ip()) {
+                self.shared
+                    .counters
+                    .refused_throttle
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = tcp::configure(&stream);
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .poller
+                .register(stream.as_raw_fd(), token, Interest::READ)
+                .is_err()
+            {
+                continue;
+            }
+            self.shared
+                .counters
+                .accepted
+                .fetch_add(1, Ordering::Relaxed);
+            self.conns.insert(
+                token,
+                Conn {
+                    stream,
+                    peer_ip: peer.ip(),
+                    proto: ServerConn::new(),
+                    sendq: SendQueue::new(),
+                    handle: None,
+                    push_rx: None,
+                    closing: false,
+                    want_write: false,
+                },
+            );
+        }
+    }
+
+    /// Sliding-window per-IP accept throttle.
+    fn admit_ip(&mut self, ip: IpAddr) -> bool {
+        let now = Instant::now();
+        let entry = self.throttle.entry(ip).or_insert((now, 0));
+        if now.duration_since(entry.0) > self.cfg.accept_window {
+            *entry = (now, 0);
+        }
+        entry.1 += 1;
+        entry.1 <= self.cfg.accept_burst_per_ip
+    }
+
+    /// Reads once and feeds the protocol state machine.
+    fn conn_readable(&mut self, token: u64, buf: &mut [u8]) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
         };
-        let events = match conn.on_bytes(&buf[..n]) {
+        if conn.closing {
+            return; // draining: ignore further input
+        }
+        let outcome = self
+            .shared
+            .timers
+            .time(Phase::NetRead, || read_once(&mut conn.stream, buf));
+        let n = match outcome {
+            Ok(ReadOutcome::Bytes(n)) => n,
+            Ok(ReadOutcome::WouldBlock) => return,
+            Ok(ReadOutcome::Closed) | Err(_) => {
+                self.teardown(token, Cause::Eof);
+                return;
+            }
+        };
+        let events = match conn.proto.on_bytes(&buf[..n]) {
             Ok(evs) => evs,
-            Err(_) => break, // protocol violation: drop the connection
+            Err(_) => {
+                self.teardown(token, Cause::Protocol);
+                return;
+            }
         };
         for ev in events {
+            // `conn` must be re-fetched per event: dispatch borrows the map
+            // entry and may mark it closing.
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.closing {
+                return;
+            }
             match ev {
                 ServerEvent::Unauthenticated { id } => {
-                    if let Ok(resp) = conn.respond(
-                        id,
-                        Response::Error {
-                            code: "denied".into(),
-                            message: "authenticate first".into(),
-                        },
-                    ) {
-                        // u1-lint: allow(U1L007) — the writer mutex is what keeps response frames whole against the push thread; writing under it is the framing contract
-                        let _ = writer.lock().write_all(&resp);
+                    let resp = Response::Error {
+                        code: "denied".into(),
+                        message: "authenticate first".into(),
+                    };
+                    let ok = conn.proto.respond(id, resp).map(|b| conn.sendq.push(b));
+                    conn.closing = true;
+                    if ok.is_err() {
+                        self.teardown(token, Cause::Protocol);
+                        return;
                     }
-                    break 'outer;
                 }
                 ServerEvent::Request { id, req } => {
-                    if !dispatch(
-                        &backend,
-                        &mut conn,
-                        &writer,
-                        &mut handle,
-                        &mut push_thread,
-                        id,
-                        req,
-                    ) {
-                        break 'outer;
+                    let backend = Arc::clone(&self.backend);
+                    let timers = &self.shared.timers;
+                    let counters = &self.shared.counters;
+                    let keep = timers.time(Phase::NetServe, || {
+                        dispatch(&backend, counters, conn, id, req)
+                    });
+                    if !keep {
+                        self.teardown(token, Cause::Protocol);
+                        return;
                     }
                 }
             }
         }
     }
 
-    // Connection died (client disconnect, NAT cut, shutdown): the session
-    // dies with it (§3.1.1).
-    if let Some(h) = handle {
-        let _ = backend.close_session(h.session);
+    /// Per-tick maintenance over every connection: forward pending pushes,
+    /// flush send queues, toggle write interest, enforce the send budget,
+    /// and finish `closing` connections whose queues drained.
+    fn post_pass(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+
+            // Pushes routed to this session since the last tick (delivered
+            // by backend calls — possibly on behalf of *other* connections'
+            // requests — earlier in this same reactor loop).
+            if !conn.closing {
+                if let Some(rx) = &conn.push_rx {
+                    let mut forwarded = 0u64;
+                    let mut dead = false;
+                    while let Ok(push) = rx.try_recv() {
+                        match conn.proto.push(push) {
+                            Ok(bytes) => {
+                                conn.sendq.push(bytes);
+                                forwarded += 1;
+                            }
+                            Err(_) => {
+                                dead = true;
+                                break;
+                            }
+                        }
+                    }
+                    if forwarded > 0 {
+                        self.shared
+                            .counters
+                            .pushes_forwarded
+                            .fetch_add(forwarded, Ordering::Relaxed);
+                    }
+                    if dead {
+                        self.teardown(token, Cause::Protocol);
+                        continue;
+                    }
+                }
+            }
+
+            if !conn.sendq.is_empty() {
+                let flushed = self
+                    .shared
+                    .timers
+                    .time(Phase::NetWrite, || conn.sendq.write_to(&mut conn.stream));
+                if flushed.is_err() {
+                    self.teardown(token, Cause::Eof);
+                    continue;
+                }
+            }
+
+            if conn.sendq.queued_bytes() > self.cfg.send_budget_bytes {
+                self.teardown(token, Cause::Evicted);
+                continue;
+            }
+
+            if conn.closing && conn.sendq.is_empty() {
+                self.teardown(token, Cause::Flushed);
+                continue;
+            }
+
+            let want_write = !conn.sendq.is_empty();
+            if want_write != conn.want_write {
+                let interest = if want_write {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                if self
+                    .poller
+                    .reregister(conn.stream.as_raw_fd(), token, interest)
+                    .is_ok()
+                {
+                    conn.want_write = want_write;
+                }
+            }
+        }
     }
-    if let Some(t) = push_thread {
-        let _ = t.join();
+
+    /// Removes a connection: best-effort flush of anything already queued,
+    /// session reap, poller cleanup, stats.
+    fn teardown(&mut self, token: u64, cause: Cause) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        if cause == Cause::Flushed {
+            let _ = conn.sendq.write_to(&mut conn.stream);
+            let _ = conn.stream.flush();
+        }
+        // The session dies with its TCP connection (§3.1.1) — unless Bye
+        // already closed it (handle was taken then).
+        if let Some(h) = conn.handle.take() {
+            let _ = self.backend.close_session(h.session);
+        }
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        let counter = match cause {
+            Cause::Eof => Some(&self.shared.counters.eof_reaps),
+            Cause::Protocol => Some(&self.shared.counters.protocol_errors),
+            Cause::Evicted => Some(&self.shared.counters.evicted_slow),
+            Cause::Flushed => None,
+        };
+        if let Some(c) = counter {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        // Stop the throttle map from growing without bound: the entry is
+        // only interesting while its window is hot.
+        if let Some((start, _)) = self.throttle.get(&conn.peer_ip) {
+            if start.elapsed() > self.cfg.accept_window {
+                self.throttle.remove(&conn.peer_ip);
+            }
+        }
     }
 }
 
-fn send_resp(
-    conn: &ServerConn,
-    writer: &Arc<Mutex<TcpStream>>,
-    id: RequestId,
-    resp: Response,
-) -> bool {
-    // An encode failure (oversized frame) is as fatal as a dead socket:
-    // report it the same way so the caller drops the connection.
-    let Ok(bytes) = conn.respond(id, resp) else {
-        return false;
-    };
-    // u1-lint: allow(U1L007) — whole-frame writes are serialized by this mutex so responses and pushes never interleave on the socket
-    writer.lock().write_all(&bytes).is_ok()
-}
-
-/// Handles one request; returns false to drop the connection.
+/// Queues the response(s) for one request; returns false to drop the
+/// connection (protocol-fatal encode failure). All writes go through the
+/// send queue — nothing here touches the socket.
 fn dispatch(
     backend: &Arc<Backend>,
-    conn: &mut ServerConn,
-    writer: &Arc<Mutex<TcpStream>>,
-    handle: &mut Option<SessionHandle>,
-    push_thread: &mut Option<JoinHandle<()>>,
+    counters: &WireCounters,
+    conn: &mut Conn,
     id: RequestId,
     req: Request,
 ) -> bool {
+    let queue = |conn: &mut Conn, resp: Response| -> bool {
+        match conn.proto.respond(id, resp) {
+            Ok(bytes) => {
+                conn.sendq.push(bytes);
+                true
+            }
+            Err(_) => false,
+        }
+    };
     match req {
-        Request::Ping => send_resp(conn, writer, id, Response::Pong),
+        Request::Ping => queue(conn, Response::Pong),
         Request::QuerySetCaps { caps } => {
-            if let Some(h) = handle {
+            if let Some(h) = &conn.handle {
                 let _ = backend.query_set_caps(h.session, caps.clone());
             }
-            send_resp(conn, writer, id, Response::Capabilities { accepted: caps })
+            queue(conn, Response::Capabilities { accepted: caps })
         }
         Request::Authenticate { token } => {
-            if handle.is_some() {
-                return send_resp(
+            if conn.handle.is_some() {
+                return queue(
                     conn,
-                    writer,
-                    id,
                     err_response(&CoreError::conflict("already authenticated")),
                 );
             }
             let Some(token) = Token::from_bytes(&token) else {
-                return send_resp(
-                    conn,
-                    writer,
-                    id,
-                    err_response(&CoreError::invalid("malformed token")),
-                );
+                return queue(conn, err_response(&CoreError::invalid("malformed token")));
             };
             match backend.open_session(token) {
                 Ok(h) => {
-                    conn.mark_authenticated(h.session, h.user);
-                    // Route pushes for this session onto the connection.
+                    conn.proto.mark_authenticated(h.session, h.user);
+                    // Route pushes for this session into the reactor: the
+                    // receiver is drained into this connection's send queue
+                    // every tick.
                     let (tx, rx) = crossbeam::channel::unbounded();
                     backend.push_router.register(h.session, tx);
-                    let push_writer = Arc::clone(writer);
-                    let pconn = ServerConn::new();
-                    let spawned =
-                        std::thread::Builder::new()
-                            .name("u1-push".into())
-                            .spawn(move || {
-                                while let Ok(push) = rx.recv() {
-                                    let Ok(bytes) = pconn.push(push) else {
-                                        return;
-                                    };
-                                    // u1-lint: allow(U1L007) — push frames share the socket with responses; the mutex hold over the write is the frame-atomicity contract
-                                    if push_writer.lock().write_all(&bytes).is_err() {
-                                        return;
-                                    }
-                                }
-                            });
-                    match spawned {
-                        Ok(t) => *push_thread = Some(t),
-                        Err(_) => {
-                            // Without a push writer the session would sync
-                            // stale data silently; refuse it instead.
-                            backend.push_router.unregister(h.session);
-                            let _ = backend.close_session(h.session);
-                            send_resp(
-                                conn,
-                                writer,
-                                id,
-                                err_response(&CoreError::unavailable("push delivery")),
-                            );
-                            return false;
-                        }
-                    }
+                    conn.push_rx = Some(rx);
                     let resp = Response::AuthOk {
                         session: h.session,
                         user: h.user,
                     };
-                    *handle = Some(h);
-                    send_resp(conn, writer, id, resp)
+                    conn.handle = Some(h);
+                    queue(conn, resp)
                 }
                 Err(e) => {
-                    send_resp(conn, writer, id, err_response(&e));
-                    false
+                    let ok = queue(conn, err_response(&e));
+                    // Auth refusal ends the connection once the error has
+                    // flushed.
+                    conn.closing = true;
+                    ok
                 }
             }
         }
+        Request::Bye => {
+            // Synchronous goodbye: the session is closed *before* the Ok is
+            // queued, so a client that waits for the reply observes its
+            // teardown strictly ordered. The connection flushes and closes.
+            if let Some(h) = conn.handle.take() {
+                let _ = backend.close_session(h.session);
+                conn.push_rx = None;
+                counters.graceful_byes.fetch_add(1, Ordering::Relaxed);
+            }
+            let ok = queue(conn, Response::Ok);
+            conn.closing = true;
+            ok
+        }
         other => {
-            let Some(h) = handle.as_ref() else {
-                return send_resp(
+            let Some(h) = conn.handle.as_ref() else {
+                return queue(
                     conn,
-                    writer,
-                    id,
                     err_response(&CoreError::permission_denied("no session")),
                 );
             };
             let sid = h.session;
             match other {
                 Request::ListVolumes => match backend.list_volumes(sid) {
-                    Ok(volumes) => send_resp(conn, writer, id, Response::Volumes { volumes }),
-                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    Ok(volumes) => queue(conn, Response::Volumes { volumes }),
+                    Err(e) => queue(conn, err_response(&e)),
                 },
                 Request::ListShares => match backend.list_shares(sid) {
-                    Ok(volumes) => send_resp(conn, writer, id, Response::Volumes { volumes }),
-                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    Ok(volumes) => queue(conn, Response::Volumes { volumes }),
+                    Err(e) => queue(conn, err_response(&e)),
                 },
                 Request::CreateUdf { name } => match backend.create_udf(sid, &name) {
-                    Ok(v) => send_resp(
+                    Ok(v) => queue(
                         conn,
-                        writer,
-                        id,
                         Response::VolumeCreated {
                             volume: v.volume,
                             generation: v.generation,
                         },
                     ),
-                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    Err(e) => queue(conn, err_response(&e)),
                 },
                 Request::DeleteVolume { volume } => match backend.delete_volume(sid, volume) {
-                    Ok(_) => send_resp(conn, writer, id, Response::Ok),
-                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    Ok(_) => queue(conn, Response::Ok),
+                    Err(e) => queue(conn, err_response(&e)),
                 },
                 Request::MakeFile {
                     volume,
@@ -309,16 +703,14 @@ fn dispatch(
                         Some(parent)
                     };
                     match backend.make_node(sid, volume, parent, NodeKind::File, &name) {
-                        Ok(n) => send_resp(
+                        Ok(n) => queue(
                             conn,
-                            writer,
-                            id,
                             Response::NodeCreated {
                                 node: n.node,
                                 generation: n.generation,
                             },
                         ),
-                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                        Err(e) => queue(conn, err_response(&e)),
                     }
                 }
                 Request::MakeDir {
@@ -332,21 +724,19 @@ fn dispatch(
                         Some(parent)
                     };
                     match backend.make_node(sid, volume, parent, NodeKind::Directory, &name) {
-                        Ok(n) => send_resp(
+                        Ok(n) => queue(
                             conn,
-                            writer,
-                            id,
                             Response::NodeCreated {
                                 node: n.node,
                                 generation: n.generation,
                             },
                         ),
-                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                        Err(e) => queue(conn, err_response(&e)),
                     }
                 }
                 Request::Unlink { volume, node } => match backend.unlink(sid, volume, node) {
-                    Ok(_) => send_resp(conn, writer, id, Response::Ok),
-                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    Ok(_) => queue(conn, Response::Ok),
+                    Err(e) => queue(conn, err_response(&e)),
                 },
                 Request::Move {
                     volume,
@@ -360,39 +750,35 @@ fn dispatch(
                         Some(new_parent)
                     };
                     match backend.move_node(sid, volume, node, new_parent, &new_name) {
-                        Ok(_) => send_resp(conn, writer, id, Response::Ok),
-                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                        Ok(_) => queue(conn, Response::Ok),
+                        Err(e) => queue(conn, err_response(&e)),
                     }
                 }
                 Request::GetDelta {
                     volume,
                     from_generation,
                 } => match backend.get_delta(sid, volume, from_generation) {
-                    Ok((generation, nodes)) => send_resp(
+                    Ok((generation, nodes)) => queue(
                         conn,
-                        writer,
-                        id,
                         Response::Delta {
                             volume,
                             generation,
                             nodes,
                         },
                     ),
-                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    Err(e) => queue(conn, err_response(&e)),
                 },
                 Request::RescanFromScratch { volume } => {
                     match backend.rescan_from_scratch(sid, volume) {
-                        Ok((generation, nodes)) => send_resp(
+                        Ok((generation, nodes)) => queue(
                             conn,
-                            writer,
-                            id,
                             Response::Delta {
                                 volume,
                                 generation,
                                 nodes,
                             },
                         ),
-                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                        Err(e) => queue(conn, err_response(&e)),
                     }
                 }
                 Request::BeginUpload {
@@ -401,84 +787,367 @@ fn dispatch(
                     hash,
                     size,
                 } => match backend.begin_upload(sid, volume, node, hash, size) {
-                    Ok(UploadOutcome::Deduplicated { node, generation }) => send_resp(
+                    Ok(UploadOutcome::Deduplicated { node, generation }) => queue(
                         conn,
-                        writer,
-                        id,
                         Response::UploadDone {
                             node,
                             generation,
                             hash,
                         },
                     ),
-                    Ok(UploadOutcome::Started { upload }) => send_resp(
+                    Ok(UploadOutcome::Started { upload }) => queue(
                         conn,
-                        writer,
-                        id,
                         Response::UploadBegun {
                             upload,
                             reusable: false,
                         },
                     ),
-                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    Err(e) => queue(conn, err_response(&e)),
                 },
                 Request::UploadChunk { upload, data } => {
                     match backend.upload_chunk(sid, upload, data.len() as u64, Some(data)) {
-                        Ok(()) => send_resp(conn, writer, id, Response::Ok),
-                        Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                        Ok(()) => queue(conn, Response::Ok),
+                        Err(e) => queue(conn, err_response(&e)),
+                    }
+                }
+                Request::UploadChunkSparse { upload, len } => {
+                    // Sparse chunks exist for the measurement path only; a
+                    // server storing real bytes must not account content it
+                    // never received.
+                    if backend.cfg.store_real_bytes {
+                        return queue(
+                            conn,
+                            err_response(&CoreError::invalid(
+                                "sparse chunk on a real-bytes server",
+                            )),
+                        );
+                    }
+                    match backend.upload_chunk(sid, upload, len, None) {
+                        Ok(()) => queue(conn, Response::Ok),
+                        Err(e) => queue(conn, err_response(&e)),
                     }
                 }
                 Request::CommitUpload { upload } => match backend.commit_upload(sid, upload) {
-                    Ok(c) => send_resp(
+                    Ok(c) => queue(
                         conn,
-                        writer,
-                        id,
                         Response::UploadDone {
                             node: c.node,
                             generation: c.generation,
                             hash: c.hash,
                         },
                     ),
-                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    Err(e) => queue(conn, err_response(&e)),
                 },
                 Request::CancelUpload { upload } => match backend.cancel_upload(sid, upload) {
-                    Ok(()) => send_resp(conn, writer, id, Response::Ok),
-                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    Ok(()) => queue(conn, Response::Ok),
+                    Err(e) => queue(conn, err_response(&e)),
                 },
                 Request::GetContent { volume, node } => match backend.download(sid, volume, node) {
                     Ok((size, hash, data)) => {
-                        if !send_resp(conn, writer, id, Response::ContentBegin { size, hash }) {
+                        if !queue(conn, Response::ContentBegin { size, hash }) {
                             return false;
                         }
-                        let bytes = data.unwrap_or_else(|| vec![0u8; size as usize]);
-                        for chunk in bytes.chunks(DOWNLOAD_CHUNK) {
-                            if !send_resp(
-                                conn,
-                                writer,
-                                id,
-                                Response::ContentChunk {
-                                    data: chunk.to_vec(),
-                                },
-                            ) {
-                                return false;
+                        // Measurement mode returns no bytes: the stream is
+                        // Begin immediately followed by End, and the
+                        // declared size is the transfer's accounting. Live
+                        // bytes are chunked below the frame limit.
+                        if let Some(bytes) = data {
+                            for chunk in bytes.chunks(DOWNLOAD_CHUNK) {
+                                if !queue(
+                                    conn,
+                                    Response::ContentChunk {
+                                        data: chunk.to_vec(),
+                                    },
+                                ) {
+                                    return false;
+                                }
                             }
                         }
-                        send_resp(conn, writer, id, Response::ContentEnd)
+                        queue(conn, Response::ContentEnd)
                     }
-                    Err(e) => send_resp(conn, writer, id, err_response(&e)),
+                    Err(e) => queue(conn, err_response(&e)),
                 },
                 // Handled by the outer match arms; if control flow ever
                 // regresses, answer with a typed error instead of panicking
-                // the connection thread.
-                Request::Authenticate { .. } | Request::QuerySetCaps { .. } | Request::Ping => {
-                    send_resp(
-                        conn,
-                        writer,
-                        id,
-                        err_response(&CoreError::invalid("control request in data path")),
-                    )
+                // the reactor.
+                Request::Authenticate { .. }
+                | Request::QuerySetCaps { .. }
+                | Request::Ping
+                | Request::Bye => queue(
+                    conn,
+                    err_response(&CoreError::invalid("control request in data path")),
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendConfig;
+    use std::io::Read;
+    use u1_core::{RealClock, UserId};
+    use u1_proto::conn::{ClientConn, ClientEvent};
+    use u1_trace::MemorySink;
+
+    fn test_backend(store_real_bytes: bool) -> Arc<Backend> {
+        Arc::new(Backend::new(
+            BackendConfig {
+                auth: u1_auth::AuthConfig {
+                    transient_failure_rate: 0.0,
+                    token_ttl: None,
+                },
+                store_real_bytes,
+                ..Default::default()
+            },
+            Arc::new(RealClock::new()),
+            Arc::new(MemorySink::new()),
+        ))
+    }
+
+    /// Minimal blocking client against the reactor.
+    struct TestClient {
+        stream: TcpStream,
+        conn: ClientConn,
+    }
+
+    impl TestClient {
+        fn connect(addr: SocketAddr) -> Self {
+            TestClient {
+                stream: TcpStream::connect(addr).expect("connect"),
+                conn: ClientConn::new(),
+            }
+        }
+
+        fn call(&mut self, req: Request) -> Response {
+            let (id, bytes) = self.conn.request(req).expect("encode");
+            self.stream.write_all(&bytes).expect("send");
+            let mut buf = [0u8; 64 * 1024];
+            loop {
+                let n = self.stream.read(&mut buf).expect("recv");
+                assert!(n > 0, "server closed mid-call");
+                for ev in self.conn.on_bytes(&buf[..n]).expect("protocol") {
+                    if let ClientEvent::Response { id: got, resp } = ev {
+                        if got == id && resp.is_final() {
+                            return resp;
+                        }
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn over_capacity_accepts_are_refused() {
+        let backend = test_backend(false);
+        let server = TcpServer::start_with(
+            backend,
+            "127.0.0.1:0",
+            ReactorConfig {
+                max_connections: 2,
+                ..Default::default()
+            },
+        )
+        .expect("start");
+        let mut a = TestClient::connect(server.local_addr());
+        let mut b = TestClient::connect(server.local_addr());
+        assert_eq!(a.call(Request::Ping), Response::Pong);
+        assert_eq!(b.call(Request::Ping), Response::Pong);
+
+        // The third connection is admitted by the kernel but refused by the
+        // reactor: the first read observes the close.
+        let mut c = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut buf = [0u8; 16];
+        let n = c.read(&mut buf).expect("refused reads as EOF");
+        assert_eq!(n, 0, "refused connection must be closed unread");
+        assert_eq!(server.stats().refused_capacity, 1);
+        assert_eq!(server.stats().accepted, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_ip_throttle_refuses_bursts() {
+        let backend = test_backend(false);
+        let server = TcpServer::start_with(
+            backend,
+            "127.0.0.1:0",
+            ReactorConfig {
+                accept_burst_per_ip: 3,
+                accept_window: Duration::from_secs(60),
+                ..Default::default()
+            },
+        )
+        .expect("start");
+        let mut kept = Vec::new();
+        for _ in 0..3 {
+            let mut c = TestClient::connect(server.local_addr());
+            assert_eq!(c.call(Request::Ping), Response::Pong);
+            kept.push(c);
+        }
+        let mut c = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut buf = [0u8; 16];
+        assert_eq!(c.read(&mut buf).expect("refused"), 0);
+        let stats = server.stats();
+        assert_eq!(stats.refused_throttle, 1);
+        assert_eq!(stats.accepted, 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_reader_is_evicted_once_over_budget() {
+        let backend = test_backend(true);
+        let token = backend.register_user(UserId::new(9));
+        let server = TcpServer::start_with(
+            Arc::clone(&backend),
+            "127.0.0.1:0",
+            ReactorConfig {
+                send_budget_bytes: 64 * 1024,
+                ..Default::default()
+            },
+        )
+        .expect("start");
+        let mut c = TestClient::connect(server.local_addr());
+        let auth = c.call(Request::Authenticate {
+            token: token.as_bytes().to_vec(),
+        });
+        assert!(matches!(auth, Response::AuthOk { .. }));
+        let Response::Volumes { volumes } = c.call(Request::ListVolumes) else {
+            panic!("volumes");
+        };
+        let root = volumes[0].volume;
+        let resp = c.call(Request::MakeFile {
+            volume: root,
+            parent: u1_core::NodeId::new(0),
+            name: "big.bin".into(),
+        });
+        let Response::NodeCreated { node, .. } = resp else {
+            panic!("make_file: {resp:?}");
+        };
+        // 32MB of real bytes: larger than any loopback socket buffer, so
+        // queued frames must exceed the 64KB budget while we refuse to read.
+        let data: Vec<u8> = (0..32 * 1024 * 1024u32).map(|i| (i % 240) as u8).collect();
+        let hash = u1_core::Sha1::digest(&data);
+        let resp = c.call(Request::BeginUpload {
+            volume: root,
+            node,
+            hash,
+            size: data.len() as u64,
+        });
+        let Response::UploadBegun { upload, .. } = resp else {
+            panic!("begin: {resp:?}");
+        };
+        for chunk in data.chunks(4 * 1024 * 1024) {
+            assert_eq!(
+                c.call(Request::UploadChunk {
+                    upload,
+                    data: chunk.to_vec(),
+                }),
+                Response::Ok
+            );
+        }
+        assert!(matches!(
+            c.call(Request::CommitUpload { upload }),
+            Response::UploadDone { .. }
+        ));
+
+        // Ask for the content back, then stop reading entirely.
+        let (_id, bytes) = c
+            .conn
+            .request(Request::GetContent { volume: root, node })
+            .expect("encode");
+        c.stream.write_all(&bytes).expect("send");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().evicted_slow == 0 {
+            assert!(Instant::now() < deadline, "eviction never happened");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.stats().evicted_slow, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bye_closes_session_before_responding() {
+        let backend = test_backend(false);
+        let token = backend.register_user(UserId::new(4));
+        let server = TcpServer::start(Arc::clone(&backend), "127.0.0.1:0").expect("start");
+        let mut c = TestClient::connect(server.local_addr());
+        assert!(matches!(
+            c.call(Request::Authenticate {
+                token: token.as_bytes().to_vec(),
+            }),
+            Response::AuthOk { .. }
+        ));
+        assert_eq!(backend.sessions.live_count(), 1);
+        assert_eq!(c.call(Request::Bye), Response::Ok);
+        // The Ok was queued after close_session ran on the reactor: by the
+        // time the client has it, the session is gone.
+        assert_eq!(backend.sessions.live_count(), 0);
+        assert_eq!(server.stats().graceful_byes, 1);
+        // And the connection is closed right after the flush.
+        let mut buf = [0u8; 16];
+        assert_eq!(c.stream.read(&mut buf).expect("closed"), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sparse_chunks_are_refused_when_storing_real_bytes() {
+        let backend = test_backend(true);
+        let token = backend.register_user(UserId::new(5));
+        let server = TcpServer::start(Arc::clone(&backend), "127.0.0.1:0").expect("start");
+        let mut c = TestClient::connect(server.local_addr());
+        assert!(matches!(
+            c.call(Request::Authenticate {
+                token: token.as_bytes().to_vec(),
+            }),
+            Response::AuthOk { .. }
+        ));
+        let Response::Volumes { volumes } = c.call(Request::ListVolumes) else {
+            panic!("volumes");
+        };
+        let root = volumes[0].volume;
+        let resp = c.call(Request::MakeFile {
+            volume: root,
+            parent: u1_core::NodeId::new(0),
+            name: "f".into(),
+        });
+        let Response::NodeCreated { node, .. } = resp else {
+            panic!("make_file: {resp:?}");
+        };
+        let data = vec![7u8; 64];
+        let resp = c.call(Request::BeginUpload {
+            volume: root,
+            node,
+            hash: u1_core::Sha1::digest(&data),
+            size: data.len() as u64,
+        });
+        let Response::UploadBegun { upload, .. } = resp else {
+            panic!("begin: {resp:?}");
+        };
+        let resp = c.call(Request::UploadChunkSparse {
+            upload,
+            len: data.len() as u64,
+        });
+        assert!(
+            matches!(resp, Response::Error { ref code, .. } if code == "invalid"),
+            "sparse chunk must be refused: {resp:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_and_closes_connections() {
+        let backend = test_backend(false);
+        let server = TcpServer::start(backend, "127.0.0.1:0").expect("start");
+        let mut c = TestClient::connect(server.local_addr());
+        assert_eq!(c.call(Request::Ping), Response::Pong);
+        let t0 = Instant::now();
+        server.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "idle connections drain immediately, not at the deadline"
+        );
+        let mut buf = [0u8; 16];
+        assert_eq!(c.stream.read(&mut buf).expect("drained close"), 0);
     }
 }
